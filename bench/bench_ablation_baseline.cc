@@ -1,0 +1,91 @@
+// Ablation A1 — is the SCC algorithm's generality free?
+//
+// On safe AND unique inputs (a directed coordination cycle), both the
+// Gupta et al. baseline (§2.3) and the SCC Coordination Algorithm (§4)
+// apply.  Both issue exactly one database query; the SCC algorithm
+// additionally pays for Tarjan + condensation.  This bench quantifies
+// that overhead — the paper's claim is that graph processing is
+// negligible, so the two curves should sit on top of each other.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/gupta_baseline.h"
+#include "algo/scc_coordination.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "workload/entangled_workloads.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+const Database& SocialDb() {
+  static Database* db = [] {
+    auto* database = new Database();
+    ENTANGLED_CHECK(
+        InstallSocialTable(database, "Users", kSlashdotTableSize).ok());
+    return database;
+  }();
+  return *db;
+}
+
+void PrintPaperSeries() {
+  benchutil::PrintSeriesHeader(
+      "Ablation A1: Gupta baseline vs SCC algorithm on safe+unique "
+      "cycles",
+      {"num_queries", "gupta_ms", "scc_ms", "gupta_db_queries",
+       "scc_db_queries"});
+  for (int n = 10; n <= 100; n += 10) {
+    QuerySet set;
+    MakeCycleWorkload(n, "Users", &set);
+    uint64_t gupta_db = 0;
+    uint64_t scc_db = 0;
+    double gupta_ms = benchutil::MeanMillis(5, [&] {
+      GuptaBaseline baseline(&SocialDb());
+      auto result = baseline.Solve(set);
+      ENTANGLED_CHECK(result.ok()) << result.status();
+      gupta_db = baseline.stats().db_queries;
+    });
+    double scc_ms = benchutil::MeanMillis(5, [&] {
+      SccCoordinator coordinator(&SocialDb());
+      auto result = coordinator.Solve(set);
+      ENTANGLED_CHECK(result.ok()) << result.status();
+      scc_db = coordinator.stats().db_queries;
+    });
+    benchutil::PrintRow({static_cast<double>(n), gupta_ms, scc_ms,
+                         static_cast<double>(gupta_db),
+                         static_cast<double>(scc_db)});
+  }
+  benchutil::PrintNote(
+      "expected: both issue 1 DB query; SCC overhead small and flat");
+}
+
+void BM_GuptaCycle(benchmark::State& state) {
+  QuerySet set;
+  MakeCycleWorkload(static_cast<int>(state.range(0)), "Users", &set);
+  for (auto _ : state) {
+    GuptaBaseline baseline(&SocialDb());
+    benchmark::DoNotOptimize(baseline.Solve(set).ok());
+  }
+}
+BENCHMARK(BM_GuptaCycle)->Arg(20)->Arg(100);
+
+void BM_SccCycle(benchmark::State& state) {
+  QuerySet set;
+  MakeCycleWorkload(static_cast<int>(state.range(0)), "Users", &set);
+  for (auto _ : state) {
+    SccCoordinator coordinator(&SocialDb());
+    benchmark::DoNotOptimize(coordinator.Solve(set).ok());
+  }
+}
+BENCHMARK(BM_SccCycle)->Arg(20)->Arg(100);
+
+}  // namespace
+}  // namespace entangled
+
+int main(int argc, char** argv) {
+  entangled::PrintPaperSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 4 — "Processing Time in List Structure" (paper §6.1).
+//
+// Workload: a chain of n entangled queries over an 82,168-row social
+// table; query i coordinates with query i+1, the last with nobody.
+// This is the worst case for the SCC Coordination Algorithm: n
+// singleton SCCs, a distinct coordinating set per suffix, and therefore
+// n database queries.  The paper reports processing time growing
+// linearly in n for n = 10..100; the reproduction prints the same
+// series (plus the hardware-independent database-query count).
+
+#include <benchmark/benchmark.h>
+
+#include "algo/scc_coordination.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "workload/entangled_workloads.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+const Database& SocialDb() {
+  static Database* db = [] {
+    auto* database = new Database();
+    ENTANGLED_CHECK(
+        InstallSocialTable(database, "Users", kSlashdotTableSize).ok());
+    return database;
+  }();
+  return *db;
+}
+
+void RunOnce(int n, SolverStats* stats) {
+  QuerySet set;
+  MakeListWorkload(n, "Users", &set);
+  SccCoordinator coordinator(&SocialDb());
+  auto result = coordinator.Solve(set);
+  ENTANGLED_CHECK(result.ok()) << result.status();
+  ENTANGLED_CHECK_EQ(result->queries.size(), static_cast<size_t>(n));
+  if (stats != nullptr) *stats = coordinator.stats();
+}
+
+void PrintPaperSeries() {
+  benchutil::PrintSeriesHeader(
+      "Figure 4: SCC algorithm processing time, list structure "
+      "(82168-row table)",
+      {"num_queries", "time_ms", "db_queries", "graph_ms"});
+  for (int n = 10; n <= 100; n += 10) {
+    SolverStats stats;
+    double ms = benchutil::MeanMillis(5, [&] { RunOnce(n, &stats); });
+    benchutil::PrintRow({static_cast<double>(n), ms,
+                         static_cast<double>(stats.db_queries),
+                         stats.graph_seconds * 1e3});
+  }
+  benchutil::PrintNote(
+      "expected shape: linear in n; db_queries == n (one per suffix)");
+}
+
+void BM_SccListWorkload(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SolverStats stats;
+  for (auto _ : state) {
+    RunOnce(n, &stats);
+  }
+  state.counters["db_queries"] = static_cast<double>(stats.db_queries);
+  state.counters["sccs"] = static_cast<double>(stats.num_sccs);
+}
+BENCHMARK(BM_SccListWorkload)->Arg(10)->Arg(40)->Arg(70)->Arg(100);
+
+}  // namespace
+}  // namespace entangled
+
+int main(int argc, char** argv) {
+  entangled::PrintPaperSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 5 — "Processing Time in Scale Free Network Structure" (§6.1).
+//
+// Workload: coordination partners drawn from a directed Barabási–Albert
+// scale-free network (the paper's social-network model [1]); sizes
+// n = 10..100, averaged over ten random graphs per size, over the
+// 82,168-row social table.  The paper finds the running time linear in
+// n and lower than the list structure's (fewer database round-trips,
+// since reachable sets overlap).
+
+#include <benchmark/benchmark.h>
+
+#include "algo/scc_coordination.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "workload/entangled_workloads.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+constexpr int kEdgesPerNode = 2;
+constexpr int kGraphsPerSize = 10;
+
+const Database& SocialDb() {
+  static Database* db = [] {
+    auto* database = new Database();
+    ENTANGLED_CHECK(
+        InstallSocialTable(database, "Users", kSlashdotTableSize).ok());
+    return database;
+  }();
+  return *db;
+}
+
+SolverStats RunOnce(int n, uint64_t seed) {
+  Rng rng(seed);
+  QuerySet set;
+  MakeScaleFreeWorkload(n, kEdgesPerNode, "Users", &rng, &set);
+  SccCoordinator coordinator(&SocialDb());
+  auto result = coordinator.Solve(set);
+  ENTANGLED_CHECK(result.ok()) << result.status();
+  return coordinator.stats();
+}
+
+void PrintPaperSeries() {
+  benchutil::PrintSeriesHeader(
+      "Figure 5: SCC algorithm processing time, scale-free structure "
+      "(mean of 10 random graphs)",
+      {"num_queries", "time_ms", "db_queries_mean"});
+  RunOnce(10, 1);  // warm-up: build the social table's hash index once
+  for (int n = 10; n <= 100; n += 10) {
+    double total_ms = 0;
+    double total_db = 0;
+    for (uint64_t seed = 1; seed <= kGraphsPerSize; ++seed) {
+      WallTimer timer;
+      SolverStats stats = RunOnce(n, seed);
+      total_ms += timer.ElapsedMillis();
+      total_db += static_cast<double>(stats.db_queries);
+    }
+    benchutil::PrintRow({static_cast<double>(n), total_ms / kGraphsPerSize,
+                         total_db / kGraphsPerSize});
+  }
+  benchutil::PrintNote(
+      "expected shape: linear in n, faster than Figure 4's list");
+}
+
+void BM_SccScaleFree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    RunOnce(n, seed);
+    seed = seed % kGraphsPerSize + 1;
+  }
+}
+BENCHMARK(BM_SccScaleFree)->Arg(10)->Arg(55)->Arg(100);
+
+}  // namespace
+}  // namespace entangled
+
+int main(int argc, char** argv) {
+  entangled::PrintPaperSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 6 — "Graph Processing Time in Scale Free Network" (§6.1).
+//
+// Stress test of graph construction and preprocessing alone: scale-free
+// coordination structures of n = 100..1000 queries, ten random graphs
+// per size.  Measured time covers exactly the SCC algorithm's graph
+// phase — extended-coordination-graph construction, safety checking,
+// postcondition pre-cleaning, Tarjan SCC and condensation — via the
+// solver's graph_seconds counter.  The paper finds this "negligible,
+// and grows very slowly".
+
+#include <benchmark/benchmark.h>
+
+#include "algo/scc_coordination.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "core/coordination_graph.h"
+#include "graph/condensation.h"
+#include "graph/generators.h"
+#include "graph/scc.h"
+#include "workload/entangled_workloads.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+constexpr int kEdgesPerNode = 2;
+constexpr int kGraphsPerSize = 10;
+
+const Database& SocialDb() {
+  static Database* db = [] {
+    auto* database = new Database();
+    // Graph processing does not touch the data; a small table keeps the
+    // (untimed) grounding phase cheap.
+    ENTANGLED_CHECK(InstallSocialTable(database, "Users", 2048).ok());
+    return database;
+  }();
+  return *db;
+}
+
+QuerySet MakeWorkload(int n, uint64_t seed) {
+  Rng rng(seed);
+  QuerySet set;
+  MakeScaleFreeWorkload(n, kEdgesPerNode, "Users", &rng, &set);
+  return set;
+}
+
+void PrintPaperSeries() {
+  benchutil::PrintSeriesHeader(
+      "Figure 6: graph construction + preprocessing time, scale-free "
+      "networks (mean of 10 graphs)",
+      {"num_queries", "graph_ms", "total_ms", "edges"});
+  for (int n = 100; n <= 1000; n += 100) {
+    double graph_ms = 0;
+    double total_ms = 0;
+    double edges = 0;
+    for (uint64_t seed = 1; seed <= kGraphsPerSize; ++seed) {
+      QuerySet set = MakeWorkload(n, seed);
+      SccCoordinator coordinator(&SocialDb());
+      WallTimer timer;
+      auto result = coordinator.Solve(set);
+      ENTANGLED_CHECK(result.ok()) << result.status();
+      total_ms += timer.ElapsedMillis();
+      graph_ms += coordinator.stats().graph_seconds * 1e3;
+      edges += static_cast<double>(coordinator.stats().graph_edges);
+    }
+    benchutil::PrintRow({static_cast<double>(n), graph_ms / kGraphsPerSize,
+                         total_ms / kGraphsPerSize,
+                         edges / kGraphsPerSize});
+  }
+  benchutil::PrintNote(
+      "expected shape: graph_ms negligible relative to total, slow "
+      "growth in n");
+}
+
+/// Microbenchmark of the pure graph kernels (no queries involved):
+/// Tarjan + condensation on scale-free digraphs.
+void BM_TarjanCondense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Digraph graph = MakeScaleFree(n, kEdgesPerNode, &rng);
+  for (auto _ : state) {
+    SccResult scc = TarjanScc(graph);
+    Digraph condensed = Condense(graph, scc);
+    benchmark::DoNotOptimize(condensed.num_edges());
+  }
+}
+BENCHMARK(BM_TarjanCondense)->Arg(100)->Arg(500)->Arg(1000);
+
+/// Microbenchmark of extended-coordination-graph construction (the
+/// quadratic unifiability sweep).
+void BM_ExtendedGraphBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  QuerySet set = MakeWorkload(n, /*seed=*/3);
+  for (auto _ : state) {
+    ExtendedCoordinationGraph ecg(set);
+    benchmark::DoNotOptimize(ecg.edges().size());
+  }
+}
+BENCHMARK(BM_ExtendedGraphBuild)->Arg(100)->Arg(500)->Arg(1000);
+
+}  // namespace
+}  // namespace entangled
+
+int main(int argc, char** argv) {
+  entangled::PrintPaperSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 7 — "Processing Time as a Function of Possible Values" (§6.2).
+//
+// Consistent Coordination Algorithm stress test: 50 A-consistent
+// queries, complete friendship graph, Flights table of 100..1000 rows
+// in which every row carries a distinct (destination, day) pair and
+// every row satisfies every query — the absolute worst case, where
+// |V(Q)| equals the table size and nothing ever prunes.  The paper
+// reports time linear in the number of candidate values.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "algo/consistent.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "workload/consistent_workloads.h"
+
+namespace entangled {
+namespace {
+
+constexpr size_t kNumQueries = 50;
+
+std::unique_ptr<Database> MakeDb(size_t table_rows) {
+  auto db = std::make_unique<Database>();
+  ENTANGLED_CHECK(
+      InstallDistinctFlightsTable(db.get(), "Flights", table_rows).ok());
+  ENTANGLED_CHECK(InstallCompleteFriends(db.get(), "Friends",
+                                         MakeUserNames(kNumQueries))
+                      .ok());
+  return db;
+}
+
+SolverStats RunOnce(const Database& db) {
+  ConsistentCoordinator coordinator(&db,
+                                    MakeFlightSchema("Flights", "Friends"));
+  auto result =
+      coordinator.Solve(MakeWorstCaseConsistentQueries(kNumQueries, 4));
+  ENTANGLED_CHECK(result.ok()) << result.status();
+  ENTANGLED_CHECK_EQ(result->size(), kNumQueries);
+  return coordinator.stats();
+}
+
+void PrintPaperSeries() {
+  benchutil::PrintSeriesHeader(
+      "Figure 7: consistent algorithm processing time vs number of "
+      "possible coordination values (50 queries, complete friendships)",
+      {"table_rows", "time_ms", "candidate_values", "db_queries"});
+  for (size_t rows = 100; rows <= 1000; rows += 100) {
+    std::unique_ptr<Database> db = MakeDb(rows);
+    SolverStats stats;
+    double ms = benchutil::MeanMillis(3, [&] { stats = RunOnce(*db); });
+    benchutil::PrintRow({static_cast<double>(rows), ms,
+                         static_cast<double>(stats.candidate_values),
+                         static_cast<double>(stats.db_queries)});
+  }
+  benchutil::PrintNote(
+      "expected shape: linear in the number of candidate values "
+      "(= table size in this worst case)");
+}
+
+void BM_ConsistentValues(benchmark::State& state) {
+  std::unique_ptr<Database> db =
+      MakeDb(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RunOnce(*db);
+  }
+}
+BENCHMARK(BM_ConsistentValues)->Arg(100)->Arg(500)->Arg(1000);
+
+}  // namespace
+}  // namespace entangled
+
+int main(int argc, char** argv) {
+  entangled::PrintPaperSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 8 — "Processing Time as a Function of Number of Queries"
+// (§6.2).
+//
+// The more realistic §6.2 configuration: the Flights table is fixed at
+// 100 tuples (each a distinct destination/day combination), friendships
+// are complete, every tuple satisfies every query, and the number of
+// queries sweeps 10..100.  The paper reports time linear in the number
+// of queries.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "algo/consistent.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "workload/consistent_workloads.h"
+
+namespace entangled {
+namespace {
+
+constexpr size_t kTableRows = 100;
+
+std::unique_ptr<Database> MakeDb(size_t num_queries) {
+  auto db = std::make_unique<Database>();
+  ENTANGLED_CHECK(
+      InstallDistinctFlightsTable(db.get(), "Flights", kTableRows).ok());
+  ENTANGLED_CHECK(InstallCompleteFriends(db.get(), "Friends",
+                                         MakeUserNames(num_queries))
+                      .ok());
+  return db;
+}
+
+SolverStats RunOnce(const Database& db, size_t num_queries) {
+  ConsistentCoordinator coordinator(&db,
+                                    MakeFlightSchema("Flights", "Friends"));
+  auto result =
+      coordinator.Solve(MakeWorstCaseConsistentQueries(num_queries, 4));
+  ENTANGLED_CHECK(result.ok()) << result.status();
+  ENTANGLED_CHECK_EQ(result->size(), num_queries);
+  return coordinator.stats();
+}
+
+void PrintPaperSeries() {
+  benchutil::PrintSeriesHeader(
+      "Figure 8: consistent algorithm processing time vs number of "
+      "queries (100-tuple Flights table, complete friendships)",
+      {"num_queries", "time_ms", "db_queries", "cleaning_rounds"});
+  for (size_t n = 10; n <= 100; n += 10) {
+    std::unique_ptr<Database> db = MakeDb(n);
+    SolverStats stats;
+    double ms = benchutil::MeanMillis(3, [&] { stats = RunOnce(*db, n); });
+    benchutil::PrintRow({static_cast<double>(n), ms,
+                         static_cast<double>(stats.db_queries),
+                         static_cast<double>(stats.cleaning_rounds)});
+  }
+  benchutil::PrintNote("expected shape: linear in the number of queries");
+}
+
+void BM_ConsistentQueries(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::unique_ptr<Database> db = MakeDb(n);
+  for (auto _ : state) {
+    RunOnce(*db, n);
+  }
+}
+BENCHMARK(BM_ConsistentQueries)->Arg(10)->Arg(55)->Arg(100);
+
+}  // namespace
+}  // namespace entangled
+
+int main(int argc, char** argv) {
+  entangled::PrintPaperSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

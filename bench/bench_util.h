@@ -1,0 +1,57 @@
+#ifndef ENTANGLED_BENCH_BENCH_UTIL_H_
+#define ENTANGLED_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace entangled {
+namespace benchutil {
+
+/// Mean wall-clock milliseconds of `reps` runs of `fn` (after one
+/// untimed warm-up).
+inline double MeanMillis(int reps, const std::function<void()>& fn) {
+  fn();  // warm-up: first-touch allocations, lazy indexes
+  WallTimer timer;
+  for (int r = 0; r < reps; ++r) fn();
+  return timer.ElapsedMillis() / reps;
+}
+
+/// Prints the header of a paper-series table:
+///
+///   === Figure 4: ... ===
+///   n,time_ms,db_queries
+inline void PrintSeriesHeader(const std::string& title,
+                              const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : ",", columns[i].c_str());
+  }
+  std::printf("\n");
+}
+
+/// Prints one CSV row; integral-looking values print without decimals.
+inline void PrintRow(const std::vector<double>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) std::printf(",");
+    double v = values[i];
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+      std::printf("%lld", static_cast<long long>(v));
+    } else {
+      std::printf("%.4f", v);
+    }
+  }
+  std::printf("\n");
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("# %s\n", note.c_str());
+}
+
+}  // namespace benchutil
+}  // namespace entangled
+
+#endif  // ENTANGLED_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// Executing Theorem 1: solving 3SAT *through* entangled-query
+// coordination.  The database holds nothing but D = {0, 1} — every
+// conjunctive query over it is trivially decidable — yet deciding
+// whether a coordinating set exists decides satisfiability.  That is
+// the paper's crisp separation between conjunctive-query hardness and
+// coordination hardness (§3).
+//
+// Build & run:  ./build/examples/sat_reduction [num_vars] [num_clauses]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "algo/generic_solver.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/validator.h"
+#include "reductions/dpll.h"
+#include "reductions/random_sat.h"
+#include "reductions/theorem1.h"
+
+using namespace entangled;
+
+int main(int argc, char** argv) {
+  int num_vars = argc > 1 ? std::atoi(argv[1]) : 4;
+  int num_clauses = argc > 2 ? std::atoi(argv[2]) : 10;
+  Rng rng(424242);
+  CnfFormula formula = Random3Sat(num_vars, num_clauses, &rng);
+
+  std::cout << "== 3SAT via social coordination (Theorem 1) ==\n\n"
+            << "formula: " << formula.ToString() << "\n\n";
+
+  // Reference answer from a classical DPLL solver.
+  DpllSolver dpll;
+  WallTimer dpll_timer;
+  auto reference = dpll.Solve(formula);
+  double dpll_ms = dpll_timer.ElapsedMillis();
+  std::cout << "DPLL says: "
+            << (reference ? "satisfiable" : "unsatisfiable") << "  ("
+            << dpll_ms << " ms, " << dpll.stats().decisions
+            << " decisions)\n";
+
+  // The Theorem-1 encoding.
+  QuerySet queries;
+  Database db;
+  Theorem1Encoding encoding = EncodeTheorem1(formula, &queries, &db);
+  std::cout << "\nencoded as " << queries.size()
+            << " entangled queries over the database D = {0, 1}:\n";
+  std::cout << queries.QueryToString(encoding.clause_query) << "\n";
+  std::cout << queries.QueryToString(encoding.val_queries[0]) << "\n";
+  std::cout << queries.QueryToString(encoding.true_queries[0]) << "\n";
+  std::cout << queries.QueryToString(encoding.false_queries[0]) << "\n";
+  std::cout << "... (" << (queries.size() - 4) << " more)\n\n";
+
+  GenericSolver solver(&db);
+  WallTimer coordination_timer;
+  auto solution = solver.FindContaining(queries, encoding.clause_query);
+  double coordination_ms = coordination_timer.ElapsedMillis();
+
+  if (solution.ok()) {
+    std::cout << "coordination says: satisfiable  (" << coordination_ms
+              << " ms, " << solver.stats().db_queries
+              << " trivial DB queries)\n";
+    TruthAssignment decoded =
+        encoding.DecodeAssignment(formula, *solution);
+    std::cout << "decoded assignment:";
+    for (int v = 1; v <= formula.num_vars; ++v) {
+      std::cout << " x" << v << "="
+                << (decoded[static_cast<size_t>(v)] ? 1 : 0);
+    }
+    std::cout << "\nassignment satisfies formula: "
+              << (Satisfies(formula, decoded) ? "yes" : "NO (bug!)")
+              << "\n";
+    std::cout << "solution validates (Definition 1): "
+              << ValidateSolution(db, queries, *solution) << "\n";
+  } else if (solution.status().IsNotFound()) {
+    std::cout << "coordination says: unsatisfiable  (" << coordination_ms
+              << " ms)\n";
+  } else {
+    std::cout << "coordination gave up: " << solution.status() << "\n";
+  }
+
+  bool agree = solution.ok() == reference.has_value();
+  std::cout << "\nDPLL and coordination agree: " << (agree ? "yes" : "NO")
+            << "\n"
+            << "(the coordination route is exponential in the worst case "
+               "— that is Theorem 1's point)\n";
+  return agree ? 0 : 1;
+}

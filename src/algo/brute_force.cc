@@ -1,0 +1,96 @@
+#include "algo/brute_force.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/validator.h"
+
+namespace entangled {
+namespace {
+
+constexpr size_t kMaxQueries = 20;
+
+/// Enumerates all k-subsets of {0..n-1} in lexicographic order.
+template <typename Callback>
+bool ForEachSubsetOfSize(size_t n, size_t k, Callback&& callback) {
+  std::vector<QueryId> subset(k);
+  for (size_t i = 0; i < k; ++i) subset[i] = static_cast<QueryId>(i);
+  while (true) {
+    if (callback(subset)) return true;
+    // Advance to the next combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (subset[i] < static_cast<QueryId>(n - k + i)) {
+        ++subset[i];
+        for (size_t j = i + 1; j < k; ++j) {
+          subset[j] = subset[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) return false;
+    }
+    if (k == 0) return false;
+  }
+}
+
+}  // namespace
+
+BruteForceSolver::BruteForceSolver(const Database* db) : db_(db) {
+  ENTANGLED_CHECK(db != nullptr);
+}
+
+std::optional<CoordinationSolution> BruteForceSolver::FindBySize(
+    const QuerySet& set, bool largest_first) {
+  const size_t n = set.size();
+  ENTANGLED_CHECK_LE(n, kMaxQueries)
+      << "BruteForceSolver is an oracle for small instances";
+  std::optional<CoordinationSolution> found;
+  auto try_size = [&](size_t k) {
+    return ForEachSubsetOfSize(n, k, [&](const std::vector<QueryId>& sub) {
+      std::optional<Binding> witness =
+          FindCoordinatingWitness(*db_, set, sub);
+      if (!witness.has_value()) return false;
+      found = CoordinationSolution{sub, std::move(*witness)};
+      return true;
+    });
+  };
+  if (largest_first) {
+    for (size_t k = n; k >= 1; --k) {
+      if (try_size(k)) break;
+    }
+  } else {
+    for (size_t k = 1; k <= n; ++k) {
+      if (try_size(k)) break;
+    }
+  }
+  return found;
+}
+
+std::optional<CoordinationSolution> BruteForceSolver::FindMaximum(
+    const QuerySet& set) {
+  return FindBySize(set, /*largest_first=*/true);
+}
+
+std::optional<CoordinationSolution> BruteForceSolver::FindAny(
+    const QuerySet& set) {
+  return FindBySize(set, /*largest_first=*/false);
+}
+
+std::vector<std::vector<QueryId>> BruteForceSolver::AllCoordinatingSets(
+    const QuerySet& set) {
+  const size_t n = set.size();
+  ENTANGLED_CHECK_LE(n, kMaxQueries);
+  std::vector<std::vector<QueryId>> result;
+  for (size_t k = 1; k <= n; ++k) {
+    ForEachSubsetOfSize(n, k, [&](const std::vector<QueryId>& sub) {
+      if (FindCoordinatingWitness(*db_, set, sub).has_value()) {
+        result.push_back(sub);
+      }
+      return false;  // keep enumerating
+    });
+  }
+  return result;
+}
+
+}  // namespace entangled

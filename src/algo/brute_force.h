@@ -1,0 +1,45 @@
+#ifndef ENTANGLED_ALGO_BRUTE_FORCE_H_
+#define ENTANGLED_ALGO_BRUTE_FORCE_H_
+
+#include <optional>
+
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief Subset-enumeration oracle: decides Entangled and
+/// EntangledMax by testing every non-empty subset with the independent
+/// Definition-1 witness search (core/validator.h).
+///
+/// Doubly exponential and proud of it — this is the ground truth the
+/// property tests compare every polynomial algorithm against, and the
+/// executable semantics of EntangledMax for the Theorem-2 reduction
+/// tests.  CHECK-fails above 20 queries.
+class BruteForceSolver {
+ public:
+  explicit BruteForceSolver(const Database* db);
+
+  /// A maximum-size coordinating set (EntangledMax), or nullopt when no
+  /// coordinating set exists.  Deterministic: among equal-size sets the
+  /// lexicographically smallest id-vector wins.
+  std::optional<CoordinationSolution> FindMaximum(const QuerySet& set);
+
+  /// Any coordinating set (smallest first — cheap existence check).
+  std::optional<CoordinationSolution> FindAny(const QuerySet& set);
+
+  /// All coordinating subsets, as sorted id-vectors (tests only).
+  std::vector<std::vector<QueryId>> AllCoordinatingSets(
+      const QuerySet& set);
+
+ private:
+  std::optional<CoordinationSolution> FindBySize(const QuerySet& set,
+                                                 bool largest_first);
+
+  const Database* db_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_ALGO_BRUTE_FORCE_H_

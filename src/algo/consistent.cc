@@ -1,0 +1,541 @@
+#include "algo/consistent.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace entangled {
+
+bool ConsistentSolution::ContainsQuery(size_t query_index) const {
+  return FindMember(query_index) != nullptr;
+}
+
+const ConsistentMember* ConsistentSolution::FindMember(
+    size_t query_index) const {
+  for (const ConsistentMember& member : members) {
+    if (member.query_index == query_index) return &member;
+  }
+  return nullptr;
+}
+
+ConsistentCoordinator::ConsistentCoordinator(const Database* db,
+                                             ConsistentSchema schema,
+                                             ConsistentOptions options)
+    : db_(db), schema_(std::move(schema)), options_(options) {
+  ENTANGLED_CHECK(db != nullptr);
+}
+
+Status ConsistentCoordinator::ValidateInput(
+    const std::vector<ConsistentQuery>& queries) const {
+  auto thing = db_->Get(schema_.thing_relation);
+  if (!thing.ok()) return thing.status();
+  auto friends = db_->Get(schema_.friends_relation);
+  if (!friends.ok()) return friends.status();
+  if ((*friends)->arity() != 2) {
+    return Status::InvalidArgument("friends relation ",
+                                   schema_.friends_relation,
+                                   " must be binary (user, friend)");
+  }
+  const size_t num_attrs = (*thing)->arity() - 1;
+  if (schema_.coordination_attrs.empty()) {
+    return Status::InvalidArgument(
+        "at least one coordination attribute is required");
+  }
+  for (size_t column : schema_.coordination_attrs) {
+    if (column < 1 || column > num_attrs) {
+      return Status::InvalidArgument(
+          "coordination attribute column ", column,
+          " out of range (1..", num_attrs, "); column 0 is the key");
+    }
+  }
+  std::unordered_set<std::string> users;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ConsistentQuery& q = queries[i];
+    if (q.user.empty()) {
+      return Status::InvalidArgument("query #", i, " has an empty user");
+    }
+    if (!users.insert(q.user).second) {
+      return Status::InvalidArgument(
+          "user ", q.user,
+          " submitted more than one query (§5 assumes one each)");
+    }
+    if (q.self_spec.size() != num_attrs) {
+      return Status::InvalidArgument(
+          "query of ", q.user, " specifies ", q.self_spec.size(),
+          " attributes but ", schema_.thing_relation, " has ", num_attrs);
+    }
+    for (const PartnerSpec& partner : q.partners) {
+      if (partner.kind == PartnerSpec::Kind::kNamedUser) {
+        if (partner.user == q.user) {
+          return Status::InvalidArgument("user ", q.user,
+                                         " cannot partner with themselves");
+        }
+        if (partner.user.empty()) {
+          return Status::InvalidArgument("query of ", q.user,
+                                         " has an empty constant partner");
+        }
+      } else {
+        if (partner.min_friends < 1) {
+          return Status::InvalidArgument("query of ", q.user,
+                                         " requires min_friends >= 1");
+        }
+        if (!partner.relation.empty()) {
+          auto extra = db_->Get(partner.relation);
+          if (!extra.ok()) return extra.status();
+          if ((*extra)->arity() != 2) {
+            return Status::InvalidArgument(
+                "partner relation ", partner.relation,
+                " must be binary (user, friend)");
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<ConsistentSolution> ConsistentCoordinator::Solve(
+    const std::vector<ConsistentQuery>& queries) {
+  stats_.Reset();
+  value_outcomes_.clear();
+  ENTANGLED_RETURN_IF_ERROR(ValidateInput(queries));
+  if (queries.empty()) {
+    return Status::NotFound("no coordinating set: no queries submitted");
+  }
+  WallTimer total_timer;
+  const Relation& thing = **db_->Get(schema_.thing_relation);
+  const size_t n = queries.size();
+  const std::vector<size_t>& coord = schema_.coordination_attrs;
+
+  std::unordered_map<std::string, size_t> user_index;
+  for (size_t i = 0; i < n; ++i) user_index.emplace(queries[i].user, i);
+
+  // ---- Step 1: option lists V(q), with a witness row per value -------
+  // options[i] maps an A-tuple v to the first S-row that matches q_i's
+  // self constraints with coordination attributes v.
+  using ValueKey = std::vector<Value>;
+  std::vector<std::unordered_map<ValueKey, RowId, VectorHash>> options(n);
+  std::vector<ValueKey> value_order;  // V(Q), deterministic order
+  std::unordered_set<ValueKey, VectorHash> value_seen;
+
+  auto coord_key_of_row = [&](const Tuple& row) {
+    ValueKey key;
+    key.reserve(coord.size());
+    for (size_t c : coord) key.push_back(row[c]);
+    return key;
+  };
+  auto self_pattern = [&](const ConsistentQuery& q) {
+    std::vector<std::optional<Value>> pattern(thing.arity());
+    for (size_t a = 0; a < q.self_spec.size(); ++a) {
+      pattern[a + 1] = q.self_spec[a];
+    }
+    return pattern;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<std::optional<Value>> pattern =
+        self_pattern(queries[i]);
+    ++stats_.db_queries;  // one "retrieve my options" query per user
+    ++db_->stats().enumerate_queries;
+    auto consider = [&](RowId row_id) {
+      ValueKey key = coord_key_of_row(thing.row(row_id));
+      options[static_cast<size_t>(i)].try_emplace(key, row_id);
+      if (value_seen.insert(key).second) value_order.push_back(key);
+    };
+    if (options_.use_indexes) {
+      for (RowId row_id : thing.SelectWhere(pattern)) consider(row_id);
+    } else {
+      for (RowId row_id = 0; row_id < thing.size(); ++row_id) {
+        bool match = true;
+        const Tuple& row = thing.row(row_id);
+        for (size_t c = 0; c < pattern.size() && match; ++c) {
+          if (pattern[c].has_value() && row[c] != *pattern[c]) match = false;
+        }
+        if (match) consider(row_id);
+      }
+    }
+  }
+  stats_.candidate_values = value_order.size();
+
+  // ---- Step 2: pruned coordination graph ----------------------------
+  // Nodes: queries with V(q) nonempty.  Constant partners resolve to
+  // query indices; friends requirements resolve, per their friendship
+  // relation, to the candidate partner queries allowed by it.
+  WallTimer graph_timer;
+  std::vector<bool> node_alive(n);
+  for (size_t i = 0; i < n; ++i) node_alive[i] = !options[i].empty();
+  stats_.graph_nodes = n;
+
+  constexpr size_t kNoQuery = static_cast<size_t>(-1);
+  struct ResolvedPartner {
+    bool is_friends;
+    int min_friends;            // kFriends only
+    size_t query_index;         // kNamedUser only; kNoQuery if absent
+    std::vector<size_t> edges;  // kFriends only: candidate partners
+  };
+  std::vector<std::vector<ResolvedPartner>> resolved(n);
+  // Friend lists are fetched once per (user, relation) pair — §6.2's
+  // "second type of query".
+  std::unordered_map<std::string, std::vector<size_t>> friend_cache;
+
+  auto friends_of = [&](const std::string& user,
+                        const std::string& relation_name)
+      -> const std::vector<size_t>& {
+    std::string cache_key = relation_name;
+    cache_key.push_back('\0');
+    cache_key += user;
+    auto it = friend_cache.find(cache_key);
+    if (it != friend_cache.end()) return it->second;
+    ++stats_.db_queries;
+    ++db_->stats().enumerate_queries;
+    std::vector<size_t> result;
+    const Relation& relation = **db_->Get(relation_name);
+    for (RowId row_id : relation.Probe(0, Value::Str(user))) {
+      const Value& name = relation.row(row_id)[1];
+      if (!name.is_string()) continue;
+      auto uit = user_index.find(name.AsString());
+      if (uit == user_index.end()) continue;
+      size_t j = uit->second;
+      if (!node_alive[j] || queries[j].user == user) continue;
+      if (std::find(result.begin(), result.end(), j) == result.end()) {
+        result.push_back(j);
+      }
+    }
+    std::sort(result.begin(), result.end());
+    return friend_cache.emplace(std::move(cache_key), std::move(result))
+        .first->second;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const ConsistentQuery& q = queries[i];
+    for (const PartnerSpec& partner : q.partners) {
+      ResolvedPartner entry;
+      if (partner.kind == PartnerSpec::Kind::kNamedUser) {
+        entry.is_friends = false;
+        entry.min_friends = 0;
+        auto it = user_index.find(partner.user);
+        size_t j = it == user_index.end() ? kNoQuery : it->second;
+        if (j != kNoQuery && !node_alive[j]) j = kNoQuery;
+        entry.query_index = j;
+        if (j != kNoQuery) ++stats_.graph_edges;
+      } else {
+        entry.is_friends = true;
+        entry.min_friends = partner.min_friends;
+        entry.query_index = kNoQuery;
+        if (node_alive[i]) {
+          const std::string& relation_name = partner.relation.empty()
+                                                 ? schema_.friends_relation
+                                                 : partner.relation;
+          entry.edges = friends_of(q.user, relation_name);
+          stats_.graph_edges += entry.edges.size();
+        }
+      }
+      resolved[i].push_back(std::move(entry));
+    }
+  }
+  stats_.graph_seconds = graph_timer.ElapsedSeconds();
+
+  // ---- Steps 3-4: per-value subgraphs and cleaning -------------------
+  // CleanValue runs the paper's cleaning phase for one candidate value
+  // into a caller-provided buffer; independent across values, so the
+  // loop parallelizes trivially (§6.2's future-work enhancement).
+  std::atomic<uint64_t> cleaning_rounds{0};
+  auto clean_value = [&](const ValueKey& v,
+                         std::vector<bool>* in_gv) -> size_t {
+    for (size_t i = 0; i < n; ++i) {
+      (*in_gv)[i] = node_alive[i] && options[i].count(v) > 0;
+    }
+    uint64_t rounds = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++rounds;
+      for (size_t i = 0; i < n; ++i) {
+        if (!(*in_gv)[i]) continue;
+        bool satisfied = true;
+        for (const ResolvedPartner& partner : resolved[i]) {
+          if (partner.is_friends) {
+            int surviving = 0;
+            for (size_t j : partner.edges) {
+              if ((*in_gv)[j] && ++surviving >= partner.min_friends) break;
+            }
+            if (surviving < partner.min_friends) satisfied = false;
+          } else {
+            if (partner.query_index == kNoQuery ||
+                !(*in_gv)[partner.query_index]) {
+              satisfied = false;
+            }
+          }
+          if (!satisfied) break;
+        }
+        if (!satisfied) {
+          (*in_gv)[i] = false;
+          changed = true;
+        }
+      }
+    }
+    cleaning_rounds.fetch_add(rounds, std::memory_order_relaxed);
+    size_t survivors = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if ((*in_gv)[i]) ++survivors;
+    }
+    return survivors;
+  };
+
+  const size_t num_values = value_order.size();
+  std::vector<size_t> sizes(num_values, 0);
+  const int threads =
+      std::max(1, std::min<int>(options_.num_threads,
+                                static_cast<int>(num_values)));
+  if (threads <= 1) {
+    std::vector<bool> in_gv(n);
+    for (size_t vi = 0; vi < num_values; ++vi) {
+      sizes[vi] = clean_value(value_order[vi], &in_gv);
+    }
+  } else {
+    // Static partition: worker t handles values [t*chunk, ...).  The
+    // shared inputs (options, resolved, node_alive) are read-only here;
+    // each worker owns its buffer and output slots.
+    std::vector<std::thread> workers;
+    const size_t chunk = (num_values + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const size_t begin = static_cast<size_t>(t) * chunk;
+      const size_t end = std::min(num_values, begin + chunk);
+      if (begin >= end) break;
+      workers.emplace_back([&, begin, end] {
+        std::vector<bool> in_gv(n);
+        for (size_t vi = begin; vi < end; ++vi) {
+          sizes[vi] = clean_value(value_order[vi], &in_gv);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  // Deterministic selection regardless of thread count: first value in
+  // V(Q) order with the largest surviving set.
+  std::optional<ValueKey> best_value;
+  size_t best_size = 0;
+  for (size_t vi = 0; vi < num_values; ++vi) {
+    value_outcomes_.emplace_back(value_order[vi], sizes[vi]);
+    if (sizes[vi] > best_size) {
+      best_size = sizes[vi];
+      best_value = value_order[vi];
+    }
+  }
+  std::vector<size_t> best_survivors;
+  if (best_value.has_value()) {
+    std::vector<bool> in_gv(n);
+    clean_value(*best_value, &in_gv);  // recompute the winner's members
+    for (size_t i = 0; i < n; ++i) {
+      if (in_gv[i]) best_survivors.push_back(i);
+    }
+  }
+  stats_.cleaning_rounds = cleaning_rounds.load();
+
+  if (!best_value.has_value()) {
+    stats_.total_seconds = total_timer.ElapsedSeconds();
+    return Status::NotFound(
+        "no coordinating set in which all queries agree on the "
+        "coordination attributes (and by Proposition 1, none at all)");
+  }
+
+  // ---- Step 5: ground the winning set --------------------------------
+  ConsistentSolution solution;
+  solution.agreed_value = *best_value;
+  std::vector<bool> surviving(n, false);
+  for (size_t i : best_survivors) surviving[i] = true;
+  for (size_t i : best_survivors) {
+    ConsistentMember member;
+    member.query_index = i;
+    // One final per-member query fetches the concrete tuple (§6.2's
+    // third query type); the witness row was recorded during step 1.
+    ++stats_.db_queries;
+    ++db_->stats().conjunctive_queries;
+    member.self_row = options[i].at(*best_value);
+    for (const ResolvedPartner& partner : resolved[i]) {
+      std::vector<size_t> chosen;
+      if (partner.is_friends) {
+        for (size_t j : partner.edges) {
+          if (!surviving[j]) continue;
+          chosen.push_back(j);
+          if (static_cast<int>(chosen.size()) >= partner.min_friends) break;
+        }
+        ENTANGLED_CHECK_GE(static_cast<int>(chosen.size()),
+                           partner.min_friends)
+            << "cleaning left an unsatisfiable friends requirement";
+      } else {
+        ENTANGLED_CHECK(partner.query_index != kNoQuery &&
+                        surviving[partner.query_index])
+            << "cleaning left an unsatisfiable constant partner";
+        chosen.push_back(partner.query_index);
+      }
+      member.partner_queries.push_back(std::move(chosen));
+    }
+    solution.members.push_back(std::move(member));
+  }
+  stats_.total_seconds = total_timer.ElapsedSeconds();
+  return solution;
+}
+
+ConsistentConversion ToEntangledQueries(
+    const ConsistentSchema& schema,
+    const std::vector<ConsistentQuery>& queries, QuerySet* set) {
+  ENTANGLED_CHECK(set != nullptr);
+  ConsistentConversion conversion;
+  std::vector<bool> is_coord;  // per attribute column of S (1-based)
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ConsistentQuery& q = queries[i];
+    const size_t num_attrs = q.self_spec.size();
+    is_coord.assign(num_attrs + 1, false);
+    for (size_t c : schema.coordination_attrs) is_coord[c] = true;
+
+    ConsistentConversion::QueryVars vars;
+    EntangledQuery eq;
+    eq.name = "q_" + q.user;
+
+    // Self atom S(x, a^x_1 ... a^x_d).
+    vars.self_key = set->NewVar("x_" + q.user);
+    std::vector<Term> self_terms;
+    self_terms.push_back(Term::Var(vars.self_key));
+    vars.self_attrs.resize(num_attrs);
+    std::vector<Term> shared_coord_terms(num_attrs + 1);  // by S column
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const size_t column = a + 1;
+      Term term;
+      if (q.self_spec[a].has_value()) {
+        term = Term::Const(*q.self_spec[a]);
+      } else {
+        VarId v = set->NewVar("a_" + q.user + "_" + std::to_string(column));
+        vars.self_attrs[a] = v;
+        term = Term::Var(v);
+      }
+      if (is_coord[column]) shared_coord_terms[column] = term;
+      self_terms.push_back(term);
+    }
+    eq.body.emplace_back(schema.thing_relation, std::move(self_terms));
+
+    // Head R(x, User).
+    eq.head.emplace_back(
+        "R", std::vector<Term>{Term::Var(vars.self_key), Term::Str(q.user)});
+
+    // Partner requirements: each emitted slot contributes one
+    // postcondition R(y_i, partner) and a body atom S(y_i, ...); friend
+    // slots additionally bind their partner through F(User, f).
+    for (size_t p = 0; p < q.partners.size(); ++p) {
+      const PartnerSpec& partner = q.partners[p];
+      const int slots = partner.is_friend_variable() ? partner.min_friends
+                                                     : 1;
+      std::vector<size_t> slot_indices;
+      for (int s = 0; s < slots; ++s) {
+        ConsistentConversion::PartnerVars pvars;
+        const std::string suffix =
+            "_" + q.user + "_" + std::to_string(p) + "_" +
+            std::to_string(s);
+        pvars.key = set->NewVar("y" + suffix);
+        pvars.attrs.resize(num_attrs);
+
+        Term partner_term;
+        if (partner.is_friend_variable()) {
+          VarId f = set->NewVar("f" + suffix);
+          pvars.friend_name = f;
+          partner_term = Term::Var(f);
+          const std::string& relation_name = partner.relation.empty()
+                                                 ? schema.friends_relation
+                                                 : partner.relation;
+          eq.body.emplace_back(
+              relation_name,
+              std::vector<Term>{Term::Str(q.user), Term::Var(f)});
+        } else {
+          partner_term = Term::Str(partner.user);
+        }
+        eq.postconditions.emplace_back(
+            "R", std::vector<Term>{Term::Var(pvars.key), partner_term});
+
+        std::vector<Term> partner_terms;
+        partner_terms.push_back(Term::Var(pvars.key));
+        for (size_t a = 0; a < num_attrs; ++a) {
+          const size_t column = a + 1;
+          if (is_coord[column]) {
+            // A-coordinating: same term as the user's own (Def. 7).
+            partner_terms.push_back(shared_coord_terms[column]);
+          } else {
+            // A-non-coordinating: fresh distinct variable (Def. 8).
+            VarId w =
+                set->NewVar("w" + suffix + "_" + std::to_string(column));
+            pvars.attrs[a] = w;
+            partner_terms.push_back(Term::Var(w));
+          }
+        }
+        eq.body.emplace_back(schema.thing_relation,
+                             std::move(partner_terms));
+        slot_indices.push_back(vars.partners.size());
+        vars.partners.push_back(std::move(pvars));
+      }
+      vars.spec_slots.push_back(std::move(slot_indices));
+    }
+    conversion.query_ids.push_back(set->AddQuery(std::move(eq)));
+    conversion.vars.push_back(std::move(vars));
+  }
+  return conversion;
+}
+
+CoordinationSolution ToCoordinationSolution(
+    const Database& db, const ConsistentSchema& schema,
+    const std::vector<ConsistentQuery>& queries,
+    const ConsistentConversion& conversion,
+    const ConsistentSolution& solution) {
+  const Relation& thing = **db.Get(schema.thing_relation);
+  CoordinationSolution result;
+  for (const ConsistentMember& member : solution.members) {
+    const size_t i = member.query_index;
+    const ConsistentConversion::QueryVars& vars = conversion.vars[i];
+    result.queries.push_back(conversion.query_ids[i]);
+    const Tuple& self_row = thing.row(member.self_row);
+    result.assignment.emplace(vars.self_key, self_row[0]);
+    for (size_t a = 0; a < vars.self_attrs.size(); ++a) {
+      if (vars.self_attrs[a].has_value()) {
+        result.assignment.emplace(*vars.self_attrs[a], self_row[a + 1]);
+      }
+    }
+    ENTANGLED_CHECK_EQ(member.partner_queries.size(),
+                       vars.spec_slots.size());
+    for (size_t p = 0; p < vars.spec_slots.size(); ++p) {
+      const std::vector<size_t>& slots = vars.spec_slots[p];
+      const std::vector<size_t>& chosen = member.partner_queries[p];
+      ENTANGLED_CHECK_GE(chosen.size(), slots.size())
+          << "fewer chosen partners than emitted slots";
+      for (size_t s = 0; s < slots.size(); ++s) {
+        const ConsistentConversion::PartnerVars& pvars =
+            vars.partners[slots[s]];
+        const size_t j = chosen[s];
+        const ConsistentMember* partner_member = solution.FindMember(j);
+        ENTANGLED_CHECK(partner_member != nullptr)
+            << "partner query " << j << " missing from the solution";
+        const Tuple& partner_row = thing.row(partner_member->self_row);
+        result.assignment.emplace(pvars.key, partner_row[0]);
+        if (pvars.friend_name.has_value()) {
+          result.assignment.emplace(*pvars.friend_name,
+                                    Value::Str(queries[j].user));
+        }
+        for (size_t a = 0; a < pvars.attrs.size(); ++a) {
+          if (pvars.attrs[a].has_value()) {
+            result.assignment.emplace(*pvars.attrs[a],
+                                      partner_row[a + 1]);
+          }
+        }
+      }
+    }
+  }
+  std::sort(result.queries.begin(), result.queries.end());
+  return result;
+}
+
+}  // namespace entangled

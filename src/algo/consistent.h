@@ -1,0 +1,229 @@
+#ifndef ENTANGLED_ALGO_CONSISTENT_H_
+#define ENTANGLED_ALGO_CONSISTENT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/stats.h"
+#include "common/result.h"
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief The application schema the Consistent Coordination Algorithm
+/// is specialized to (paper §5): one "thing" relation S whose column 0
+/// is a unique key and whose remaining columns are attributes, one
+/// binary friendship relation F(user, friend), and a fixed set A of
+/// *coordination attributes* every user coordinates on.
+struct ConsistentSchema {
+  std::string thing_relation;            ///< e.g. "Flights"
+  std::string friends_relation;          ///< e.g. "Friends"
+  std::vector<size_t> coordination_attrs;  ///< column indices of S (>= 1)
+};
+
+/// \brief One coordination requirement of a consistent query: a named
+/// user (a constant in the postcondition), or "at least k of my
+/// friends" drawn from a binary relation (a friend variable, plus the
+/// paper's §5-Discussion generalizations: several relations may supply
+/// partners, and k > 1 is supported even though it is *not expressible*
+/// in the entangled-query syntax itself).
+struct PartnerSpec {
+  enum class Kind {
+    kNamedUser,  ///< coordinate with this specific user
+    kFriends,    ///< coordinate with >= min_friends distinct friends
+  };
+
+  /// A specific user, named as a constant.
+  static PartnerSpec User(std::string name) {
+    PartnerSpec spec;
+    spec.kind = Kind::kNamedUser;
+    spec.user = std::move(name);
+    return spec;
+  }
+  /// Any single friend; `relation` overrides the schema's friendship
+  /// relation ("" uses the default).
+  static PartnerSpec AnyFriend(std::string relation = "") {
+    return KFriends(1, std::move(relation));
+  }
+  /// At least `k` distinct friends from `relation` (default schema
+  /// relation when empty).
+  static PartnerSpec KFriends(int k, std::string relation = "") {
+    PartnerSpec spec;
+    spec.kind = Kind::kFriends;
+    spec.min_friends = k;
+    spec.relation = std::move(relation);
+    return spec;
+  }
+
+  bool is_friend_variable() const { return kind == Kind::kFriends; }
+
+  Kind kind = Kind::kNamedUser;
+  std::string user;       ///< engaged iff kind == kNamedUser
+  int min_friends = 1;    ///< engaged iff kind == kFriends
+  std::string relation;   ///< friendship relation override ("" = default)
+
+  std::string ToString() const {
+    if (kind == Kind::kNamedUser) return user;
+    std::string source = relation.empty() ? "friends" : relation;
+    if (min_friends == 1) return "<any of my " + source + ">";
+    return "<at least " + std::to_string(min_friends) + " of my " +
+           source + ">";
+  }
+};
+
+/// \brief An A-consistent entangled query in structured form
+/// (Definition 9): the user, their constraints on S's attribute columns
+/// (nullopt = "don't care"), and their coordination partners.
+///
+/// A-consistency is built into the representation: constraints on
+/// coordination attributes apply to the user *and* every partner
+/// (A-coordinating), while partners are unconstrained on the remaining
+/// attributes (A-non-coordinating).  ToEntangledQueries spells out the
+/// equivalent general-form entangled queries.
+struct ConsistentQuery {
+  std::string user;
+  /// Per attribute column of S (index 0 of this vector = S column 1).
+  std::vector<std::optional<Value>> self_spec;
+  std::vector<PartnerSpec> partners;
+};
+
+/// \brief Per-user outcome of a consistent coordination.
+struct ConsistentMember {
+  size_t query_index;   ///< index into the input query vector
+  RowId self_row;       ///< chosen tuple of S for this user
+  /// For each PartnerSpec of the query, the input-indices of the
+  /// queries chosen as partners: exactly one for a named user, at least
+  /// min_friends distinct ones for a friends requirement.
+  std::vector<std::vector<size_t>> partner_queries;
+};
+
+/// \brief A coordinating set in which every member agrees on the
+/// coordination attributes (Proposition 1 guarantees this loses
+/// nothing).
+struct ConsistentSolution {
+  std::vector<Value> agreed_value;       ///< the common A-tuple v
+  std::vector<ConsistentMember> members; ///< sorted by query_index
+
+  size_t size() const { return members.size(); }
+  bool ContainsQuery(size_t query_index) const;
+  const ConsistentMember* FindMember(size_t query_index) const;
+};
+
+/// \brief Options for ConsistentCoordinator.
+struct ConsistentOptions {
+  /// Use the relation's cached group/hash indexes when computing V(q)
+  /// (ablation A2 of DESIGN.md runs with this off: every V(q) becomes a
+  /// full scan).
+  bool use_indexes = true;
+
+  /// Worker threads for the per-value cleaning loop — the
+  /// parallelization §6.2 leaves as future work ("each possible value
+  /// can be easily checked independently").  Results are identical for
+  /// any thread count; 1 runs the paper's sequential algorithm.
+  int num_threads = 1;
+};
+
+/// \brief The Consistent Coordination Algorithm (paper §5): finds a
+/// coordinating set for *unsafe* sets, provided every query is
+/// A-consistent for the same coordination attributes A.
+///
+/// Pipeline: compute the option list V(q) for every query (one database
+/// enumeration each); build the pruned coordination graph (constant
+/// partners + friendship edges); for every candidate value v in
+/// V(Q) = ∪ V(q), restrict to G_v and iteratively remove queries whose
+/// coordination requirements fail; return the largest surviving set.
+///
+/// Guarantee: the maximum-size coordinating set among those whose
+/// members agree on A (Proposition 1: one exists whenever any
+/// coordinating set does).  Cost: O(|Q|) database work plus
+/// O(|V(Q)|·|Q|^2) cleaning.
+class ConsistentCoordinator {
+ public:
+  ConsistentCoordinator(const Database* db, ConsistentSchema schema,
+                        ConsistentOptions options = {});
+
+  /// Schema/shape validation: relations exist, attribute indices are in
+  /// range, users are distinct, nobody partners with themselves.
+  Status ValidateInput(const std::vector<ConsistentQuery>& queries) const;
+
+  /// OK with the best single-value coordinating set; NotFound when no
+  /// value admits one; InvalidArgument on malformed input.
+  Result<ConsistentSolution> Solve(
+      const std::vector<ConsistentQuery>& queries);
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// (value, surviving-set size) for every candidate value examined by
+  /// the last Solve, in examination order — the movie example's
+  /// "Cinemark fails, Regal wins" trace.
+  const std::vector<std::pair<std::vector<Value>, size_t>>& value_outcomes()
+      const {
+    return value_outcomes_;
+  }
+
+  const ConsistentSchema& schema() const { return schema_; }
+
+ private:
+  const Database* db_;
+  ConsistentSchema schema_;
+  ConsistentOptions options_;
+  SolverStats stats_;
+  std::vector<std::pair<std::vector<Value>, size_t>> value_outcomes_;
+};
+
+/// \brief Bookkeeping produced by ToEntangledQueries so that solutions
+/// can be translated between the structured and the general form.
+struct ConsistentConversion {
+  struct PartnerVars {
+    VarId key;                          ///< y_i
+    std::optional<VarId> friend_name;   ///< f, for friend-variable partners
+    /// Per attribute column: the fresh variable used for a
+    /// non-coordination attribute (nullopt when the position is a shared
+    /// coordination term or constant).
+    std::vector<std::optional<VarId>> attrs;
+  };
+  struct QueryVars {
+    VarId self_key;  ///< x
+    /// Per attribute column: variable for unconstrained positions.
+    std::vector<std::optional<VarId>> self_attrs;
+    /// One entry per *emitted postcondition* (a KFriends spec with
+    /// min_friends = k emits k of them).
+    std::vector<PartnerVars> partners;
+    /// Maps each PartnerSpec of the source query to its indices in
+    /// `partners`.
+    std::vector<std::vector<size_t>> spec_slots;
+  };
+  std::vector<QueryId> query_ids;
+  std::vector<QueryVars> vars;
+};
+
+/// \brief Spells a structured consistent instance out as general-form
+/// entangled queries (§5 "the general form of his query"), appending
+/// them to `*set`.  The result is typically *unsafe* — that is the point
+/// of the consistent algorithm.
+///
+/// A KFriends(k > 1) spec becomes k friend-variable postconditions;
+/// entangled-query syntax cannot force the k friends to be *distinct*
+/// (the paper notes this in §5's Discussion), so the converted set is a
+/// relaxation.  Solutions produced by ConsistentCoordinator use
+/// distinct friends and therefore still validate against it.
+ConsistentConversion ToEntangledQueries(
+    const ConsistentSchema& schema,
+    const std::vector<ConsistentQuery>& queries, QuerySet* set);
+
+/// \brief Translates a ConsistentSolution into a Definition-1 solution
+/// over the converted query set, so the independent validator can audit
+/// the consistent algorithm end-to-end.
+CoordinationSolution ToCoordinationSolution(
+    const Database& db, const ConsistentSchema& schema,
+    const std::vector<ConsistentQuery>& queries,
+    const ConsistentConversion& conversion,
+    const ConsistentSolution& solution);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_ALGO_CONSISTENT_H_

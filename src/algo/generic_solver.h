@@ -1,0 +1,57 @@
+#ifndef ENTANGLED_ALGO_GENERIC_SOLVER_H_
+#define ENTANGLED_ALGO_GENERIC_SOLVER_H_
+
+#include <cstdint>
+
+#include "algo/stats.h"
+#include "common/result.h"
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief Options for GenericSolver.
+struct GenericSolverOptions {
+  /// Upper bound on explored search nodes before giving up with
+  /// OutOfRange.  Entangled(Qall) is NP-complete (Theorem 1) — a budget
+  /// keeps pathological instances from hanging tests.
+  uint64_t max_expansions = 10'000'000;
+};
+
+/// \brief Complete backtracking solver for arbitrary — unsafe and
+/// non-unique — sets of entangled queries (the class Qall of §3).
+///
+/// The search grows a candidate set S from a seed query: it picks the
+/// next unsatisfied postcondition, branches over every head in Q it
+/// unifies with (pulling the head's owner into S), and at a complete
+/// matching grounds the combined body of S with one database query.
+/// This decides Entangled(Qall) exactly; worst-case exponential time, as
+/// it must be unless P = NP.  It exists to execute the paper's hardness
+/// constructions (§3, Appendix A/B) and to cross-check the polynomial
+/// algorithms on small instances — production workloads should use
+/// SccCoordinator or ConsistentCoordinator.
+class GenericSolver {
+ public:
+  explicit GenericSolver(const Database* db,
+                         GenericSolverOptions options = {});
+
+  /// Any coordinating set (tries every seed in id order).  NotFound when
+  /// none exists; OutOfRange when the expansion budget is exhausted.
+  Result<CoordinationSolution> FindAny(const QuerySet& set);
+
+  /// A coordinating set containing `seed`, if one exists.
+  Result<CoordinationSolution> FindContaining(const QuerySet& set,
+                                              QueryId seed);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  const Database* db_;
+  GenericSolverOptions options_;
+  SolverStats stats_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_ALGO_GENERIC_SOLVER_H_

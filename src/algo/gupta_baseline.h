@@ -1,0 +1,42 @@
+#ifndef ENTANGLED_ALGO_GUPTA_BASELINE_H_
+#define ENTANGLED_ALGO_GUPTA_BASELINE_H_
+
+#include "algo/stats.h"
+#include "common/result.h"
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief The baseline evaluation algorithm of Gupta et al. [SIGMOD'11]
+/// as summarized in paper §2.3: requires the query set to be both *safe*
+/// and *unique*.
+///
+/// It computes the Most General Unifier across all queries (traversing
+/// the extended coordination graph), builds one combined conjunctive
+/// query from the unified heads and bodies, and issues it to the
+/// database; a witness grounds the entire set at once.
+///
+/// Uniqueness means all-or-nothing: when the combined query fails, no
+/// coordinating set exists.  The SCC Coordination Algorithm subsumes
+/// this baseline; it is implemented for comparison benchmarks (ablation
+/// A1 in DESIGN.md).
+class GuptaBaseline {
+ public:
+  explicit GuptaBaseline(const Database* db);
+
+  /// OK with the full set, NotFound when unification or grounding fails,
+  /// FailedPrecondition when the set is not safe+unique.
+  Result<CoordinationSolution> Solve(const QuerySet& set);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  const Database* db_;
+  SolverStats stats_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_ALGO_GUPTA_BASELINE_H_

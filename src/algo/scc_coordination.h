@@ -1,0 +1,99 @@
+#ifndef ENTANGLED_ALGO_SCC_COORDINATION_H_
+#define ENTANGLED_ALGO_SCC_COORDINATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "algo/stats.h"
+#include "common/result.h"
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief Scores a candidate coordinating set; the sweep returns the
+/// highest-scoring successful set (ties break towards the earlier
+/// discovery).  §4 suggests application-specific criteria — "the set
+/// with the most gold-status passengers", "the set containing some VIP
+/// client" — all expressible as scores.
+using CoordinationScore =
+    std::function<double(const QuerySet&, const std::vector<QueryId>&)>;
+
+/// The paper's default criterion: maximum size.
+CoordinationScore MaxSizeScore();
+
+/// Prefers sets containing `vip`, then larger sets: score is |S| plus a
+/// dominating bonus when the VIP participates.
+CoordinationScore VipScore(QueryId vip);
+
+/// Weighted sum of per-query weights (e.g. gold-status passengers);
+/// missing ids weigh `default_weight`.
+CoordinationScore WeightedScore(std::vector<double> weights,
+                                double default_weight = 0.0);
+
+/// \brief Options for SccCoordinator.
+struct SccOptions {
+  /// Verify the safety precondition (Definition 2) and fail with
+  /// FailedPrecondition when violated.  Benchmarks that construct
+  /// safe-by-construction workloads may disable the check.
+  bool check_safety = true;
+
+  /// Iteratively drop queries owning a postcondition that unifies with
+  /// no remaining head before building the components graph (the
+  /// implementation's pre-processing step, §6.1).
+  bool prune_postconditions = true;
+
+  /// Selection criterion among the successful sets (null = MaxSizeScore,
+  /// the paper's default).
+  CoordinationScore score;
+};
+
+/// \brief The SCC Coordination Algorithm (paper §4): finds a
+/// coordinating set for a *safe* (but not necessarily unique) set of
+/// entangled queries.
+///
+/// Pipeline: pre-clean unsatisfiable postconditions; build the
+/// coordination graph; contract strongly connected components into the
+/// components DAG G'; sweep G' in reverse topological order, unifying
+/// each component with its successors' combined queries and grounding
+/// the result with a single database query; finally return the
+/// successful component with the largest reachable query set R(q).
+///
+/// Guarantee (paper §4): a coordinating set is found whenever one
+/// exists, and the returned set has maximum size among
+/// { R(q) | q in Q } — maximizing over *all* coordinating sets is
+/// NP-hard (Theorem 2).
+///
+/// Cost: at most one database query per SCC plus O(|Q|^2) processing.
+class SccCoordinator {
+ public:
+  explicit SccCoordinator(const Database* db, SccOptions options = {});
+
+  /// Solves the instance.  Status outcomes:
+  ///  * OK               — a coordinating set (with Definition-1 witness)
+  ///  * NotFound         — no coordinating set exists among {R(q)}
+  ///  * FailedPrecondition — the set is unsafe (when check_safety).
+  Result<CoordinationSolution> Solve(const QuerySet& set);
+
+  /// Work counters of the last Solve call.
+  const SolverStats& stats() const { return stats_; }
+
+  /// The reachable query sets of every component whose combined query
+  /// grounded successfully during the last Solve (each is a coordinating
+  /// set; Solve returned the largest).  Mirrors the paper's observation
+  /// that the sweep discovers a *list* of coordinating sets.
+  const std::vector<std::vector<QueryId>>& successful_sets() const {
+    return successful_sets_;
+  }
+
+ private:
+  const Database* db_;
+  SccOptions options_;
+  SolverStats stats_;
+  std::vector<std::vector<QueryId>> successful_sets_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_ALGO_SCC_COORDINATION_H_

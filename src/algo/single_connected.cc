@@ -1,0 +1,31 @@
+#include "algo/single_connected.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/properties.h"
+
+namespace entangled {
+
+SingleConnectedSolver::SingleConnectedSolver(const Database* db) : db_(db) {
+  ENTANGLED_CHECK(db != nullptr);
+}
+
+Result<CoordinationSolution> SingleConnectedSolver::Solve(
+    const QuerySet& set) {
+  stats_.Reset();
+  if (set.empty()) {
+    return Status::NotFound("no coordinating set: the query set is empty");
+  }
+  WallTimer timer;
+  if (!IsSingleConnected(set)) {
+    return Status::FailedPrecondition(
+        "the query set is not single-connected (Definition 6)");
+  }
+  GenericSolver solver(db_);
+  auto result = solver.FindAny(set);
+  stats_ = solver.stats();
+  stats_.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace entangled

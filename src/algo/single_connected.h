@@ -1,0 +1,46 @@
+#ifndef ENTANGLED_ALGO_SINGLE_CONNECTED_H_
+#define ENTANGLED_ALGO_SINGLE_CONNECTED_H_
+
+#include "algo/generic_solver.h"
+#include "algo/stats.h"
+#include "common/result.h"
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief Solver for single-connected sets (Definition 6 / Theorem 3):
+/// every query has at most one postcondition and the coordination graph
+/// has at most one simple path between any two queries.
+///
+/// Theorem 3 states Entangled restricted to this class is solvable with
+/// a linear number of conjunctive queries; the constructive proof lives
+/// in an appendix section that the paper text does not include, so this
+/// implementation realizes the *feasibility* claim as follows: it
+/// verifies the class membership, then runs the complete backtracking
+/// search.  On single-connected inputs the branches of that search lead
+/// into pairwise-disjoint subtrees (two branches reconverging would
+/// create two simple paths), so no partial matching is ever explored
+/// twice and the database-query count stays linear in |Q| plus the
+/// number of alternative heads — which tests assert on representative
+/// instances.  Outputs are always exact; only the worst-case bound is
+/// heuristic.
+class SingleConnectedSolver {
+ public:
+  explicit SingleConnectedSolver(const Database* db);
+
+  /// OK with a coordinating set, NotFound when none exists,
+  /// FailedPrecondition when the set is not single-connected.
+  Result<CoordinationSolution> Solve(const QuerySet& set);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  const Database* db_;
+  SolverStats stats_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_ALGO_SINGLE_CONNECTED_H_

@@ -1,0 +1,47 @@
+#ifndef ENTANGLED_ALGO_STATS_H_
+#define ENTANGLED_ALGO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace entangled {
+
+/// \brief Work counters shared by all coordination solvers.
+///
+/// The paper reports wall-clock time but *reasons* in database
+/// round-trips and graph-processing overhead (§4 "Running Time", §6.1
+/// Figure 6); these counters expose both so experiments can compare the
+/// hardware-independent quantities directly.
+struct SolverStats {
+  uint64_t db_queries = 0;      ///< conjunctive queries sent to the DB
+  uint64_t unifications = 0;    ///< atom-pair unification attempts
+  uint64_t graph_nodes = 0;     ///< coordination-graph vertices
+  uint64_t graph_edges = 0;     ///< coordination-graph edges (collapsed)
+  uint64_t num_sccs = 0;        ///< strongly connected components
+  uint64_t candidate_values = 0;  ///< |V(Q)| (consistent algorithm)
+  uint64_t cleaning_rounds = 0;   ///< cleaning-phase sweeps (consistent)
+  double graph_seconds = 0.0;   ///< graph build + SCC + condensation time
+  double total_seconds = 0.0;   ///< end-to-end Solve time
+
+  void Reset() { *this = SolverStats{}; }
+  std::string ToString() const;
+};
+
+inline std::string SolverStats::ToString() const {
+  std::string out = "SolverStats{db_queries=" + std::to_string(db_queries);
+  out += ", unifications=" + std::to_string(unifications);
+  out += ", graph=" + std::to_string(graph_nodes) + "n/" +
+         std::to_string(graph_edges) + "e/" + std::to_string(num_sccs) +
+         "scc";
+  if (candidate_values > 0) {
+    out += ", values=" + std::to_string(candidate_values);
+    out += ", cleaning_rounds=" + std::to_string(cleaning_rounds);
+  }
+  out += ", graph_s=" + std::to_string(graph_seconds);
+  out += ", total_s=" + std::to_string(total_seconds) + "}";
+  return out;
+}
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_ALGO_STATS_H_

@@ -1,0 +1,43 @@
+#ifndef ENTANGLED_COMMON_HASH_H_
+#define ENTANGLED_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace entangled {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe with a
+/// 64-bit constant).
+template <typename T>
+void HashCombine(size_t* seed, const T& value) {
+  *seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ULL + (*seed << 6) +
+           (*seed >> 2);
+}
+
+/// Hash functor for std::pair, usable as unordered_map's Hash argument.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = 0;
+    HashCombine(&seed, p.first);
+    HashCombine(&seed, p.second);
+    return seed;
+  }
+};
+
+/// Hash functor for std::vector of hashable elements.
+struct VectorHash {
+  template <typename T>
+  size_t operator()(const std::vector<T>& v) const {
+    size_t seed = v.size();
+    for (const auto& item : v) HashCombine(&seed, item);
+    return seed;
+  }
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_HASH_H_

@@ -1,0 +1,26 @@
+#include "common/interner.h"
+
+#include "common/logging.h"
+
+namespace entangled {
+
+Symbol StringInterner::Intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) return it->second;
+  Symbol symbol = static_cast<Symbol>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(strings_.back(), symbol);
+  return symbol;
+}
+
+Symbol StringInterner::Lookup(std::string_view text) const {
+  auto it = index_.find(std::string(text));
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& StringInterner::ToString(Symbol symbol) const {
+  ENTANGLED_CHECK(Contains(symbol)) << "unknown symbol " << symbol;
+  return strings_[static_cast<size_t>(symbol)];
+}
+
+}  // namespace entangled

@@ -1,0 +1,53 @@
+#ifndef ENTANGLED_COMMON_INTERNER_H_
+#define ENTANGLED_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace entangled {
+
+/// \brief Integer handle for an interned string.  Symbols from the same
+/// StringInterner compare equal iff the underlying strings are equal.
+using Symbol = int32_t;
+
+/// \brief Sentinel for "no symbol".
+inline constexpr Symbol kInvalidSymbol = -1;
+
+/// \brief A bidirectional string <-> integer map.
+///
+/// Relation names and attribute names are interned so that atom
+/// comparison and graph construction work on integers.  Not thread-safe;
+/// each QuerySet/Database owns its own interner or shares one
+/// single-threadedly.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  /// Returns the symbol for `text`, interning it on first use.
+  Symbol Intern(std::string_view text);
+
+  /// Returns the symbol for `text`, or kInvalidSymbol if never interned.
+  Symbol Lookup(std::string_view text) const;
+
+  /// Returns the string for `symbol`; CHECK-fails on invalid symbols.
+  const std::string& ToString(Symbol symbol) const;
+
+  /// Whether `symbol` names an interned string.
+  bool Contains(Symbol symbol) const {
+    return symbol >= 0 && static_cast<size_t>(symbol) < strings_.size();
+  }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, Symbol> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_INTERNER_H_

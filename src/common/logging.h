@@ -1,0 +1,61 @@
+#ifndef ENTANGLED_COMMON_LOGGING_H_
+#define ENTANGLED_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace entangled {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used by the CHECK macros so call sites can stream context:
+/// ENTANGLED_CHECK(x > 0) << "x was " << x;
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL " << file << ":" << line
+            << "] Check failed: " << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed expression into void so the CHECK ternary's arms
+/// have a common type.  operator& binds looser than operator<<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace entangled
+
+/// CHECK-style invariant assertions (enabled in all build types):
+/// programmer-error guards, not recoverable-error reporting.
+#define ENTANGLED_CHECK(condition)                             \
+  (condition) ? static_cast<void>(0)                           \
+              : ::entangled::internal::Voidify() &             \
+                    ::entangled::internal::FatalLogMessage(    \
+                        __FILE__, __LINE__, #condition)        \
+                        .stream()
+
+#define ENTANGLED_CHECK_EQ(a, b) \
+  ENTANGLED_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ENTANGLED_CHECK_NE(a, b) \
+  ENTANGLED_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ENTANGLED_CHECK_LT(a, b) \
+  ENTANGLED_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ENTANGLED_CHECK_LE(a, b) \
+  ENTANGLED_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ENTANGLED_CHECK_GT(a, b) \
+  ENTANGLED_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ENTANGLED_CHECK_GE(a, b) \
+  ENTANGLED_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // ENTANGLED_COMMON_LOGGING_H_

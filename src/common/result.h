@@ -1,0 +1,88 @@
+#ifndef ENTANGLED_COMMON_RESULT_H_
+#define ENTANGLED_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace entangled {
+
+/// \brief Either a value of type T or a non-OK Status (an arrow::Result /
+/// absl::StatusOr analogue).
+///
+///     Result<int> ParsePort(const std::string& s);
+///     ...
+///     auto port = ParsePort(s);
+///     if (!port.ok()) return port.status();
+///     Use(*port);
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status; CHECK-fails on OK status
+  /// because an OK Result must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    ENTANGLED_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Value accessors; CHECK-fail when holding an error.
+  const T& value() const& {
+    ENTANGLED_CHECK(ok()) << "Result::value() on error: "
+                          << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    ENTANGLED_CHECK(ok()) << "Result::value() on error: "
+                          << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    ENTANGLED_CHECK(ok()) << "Result::value() on error: "
+                          << std::get<Status>(repr_).ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating its error or binding its
+/// value to `lhs`.
+#define ENTANGLED_ASSIGN_OR_RETURN(lhs, expr)               \
+  ENTANGLED_ASSIGN_OR_RETURN_IMPL(                          \
+      ENTANGLED_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define ENTANGLED_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define ENTANGLED_CONCAT_(a, b) ENTANGLED_CONCAT_IMPL_(a, b)
+#define ENTANGLED_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_RESULT_H_

@@ -1,0 +1,73 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace entangled {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotateLeft(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = RotateLeft(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotateLeft(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  ENTANGLED_CHECK_GT(bound, 0u);
+  // Rejection sampling over the largest multiple of bound.
+  const uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    uint64_t draw = Next();
+    if (draw >= threshold) return draw % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  ENTANGLED_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<size_t> Rng::Sample(size_t n, size_t k) {
+  ENTANGLED_CHECK_LE(k, n);
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  // Partial Fisher-Yates: the first k positions become the sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(NextBounded(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace entangled

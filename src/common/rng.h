@@ -1,0 +1,65 @@
+#ifndef ENTANGLED_COMMON_RNG_H_
+#define ENTANGLED_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**,
+/// seeded via SplitMix64).
+///
+/// All stochastic workload generation flows through this class so that
+/// every experiment in the repository is reproducible bit-for-bit across
+/// platforms.  (std::mt19937 is deterministic, but the standard
+/// *distributions* are not specified, so we implement our own draws.)
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound), bound > 0.  Uses rejection sampling
+  /// (unbiased).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive, lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p in [0, 1].
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    ENTANGLED_CHECK(items != nullptr);
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index of a non-empty container.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    ENTANGLED_CHECK(!items.empty());
+    return items[static_cast<size_t>(NextBounded(items.size()))];
+  }
+
+  /// Draws k distinct indices from [0, n) in random order (k <= n).
+  std::vector<size_t> Sample(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_RNG_H_

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace entangled {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace entangled

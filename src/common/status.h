@@ -1,0 +1,140 @@
+#ifndef ENTANGLED_COMMON_STATUS_H_
+#define ENTANGLED_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace entangled {
+
+/// \brief Canonical error codes, modelled after the Arrow/RocksDB Status
+/// idiom.  Library code reports recoverable failures through Status (or
+/// Result<T>); exceptions are reserved for programmer errors via CHECK.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error outcome carrying a code and a message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and supports
+/// the usual factory functions:
+///
+///     Status DoThing() {
+///       if (bad) return Status::InvalidArgument("bad thing: ", detail);
+///       return Status::OK();
+///     }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status FailedPrecondition(Args&&... args) {
+    return Make(StatusCode::kFailedPrecondition, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unimplemented(Args&&... args) {
+    return Make(StatusCode::kUnimplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+
+ private:
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::string message;
+    (AppendPiece(&message, std::forward<Args>(args)), ...);
+    return Status(code, std::move(message));
+  }
+  static void AppendPiece(std::string* out, const std::string& piece) {
+    out->append(piece);
+  }
+  static void AppendPiece(std::string* out, const char* piece) {
+    out->append(piece);
+  }
+  static void AppendPiece(std::string* out, char piece) {
+    out->push_back(piece);
+  }
+  template <typename T>
+  static void AppendPiece(std::string* out, const T& piece) {
+    out->append(std::to_string(piece));
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+/// Propagates a non-OK Status from an expression out of the enclosing
+/// function.
+#define ENTANGLED_RETURN_IF_ERROR(expr)                    \
+  do {                                                     \
+    ::entangled::Status _status = (expr);                  \
+    if (!_status.ok()) return _status;                     \
+  } while (false)
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+#ifndef ENTANGLED_COMMON_STRINGS_H_
+#define ENTANGLED_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace entangled {
+
+/// Concatenates the string representations of all arguments.  Numeric
+/// types go through operator<< so doubles keep their default formatting.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  ((out << args), ...);
+  return out.str();
+}
+
+/// Joins `pieces` with `separator` ("a", ",", {"a","b"} -> "a,b").
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// Joins arbitrary items with `separator` after streaming each through
+/// operator<<.
+template <typename Container>
+std::string JoinStreamed(const Container& items, std::string_view separator) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << separator;
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Whether `text` starts with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_STRINGS_H_

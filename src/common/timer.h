@@ -1,0 +1,36 @@
+#ifndef ENTANGLED_COMMON_TIMER_H_
+#define ENTANGLED_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace entangled {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harness
+/// and by per-algorithm statistics.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_TIMER_H_

@@ -1,0 +1,69 @@
+#include "core/coordination_graph.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+ExtendedCoordinationGraph::ExtendedCoordinationGraph(const QuerySet& set) {
+  const size_t n = set.size();
+  out_.resize(n);
+  for (QueryId from = 0; from < static_cast<QueryId>(n); ++from) {
+    const EntangledQuery& q = set.query(from);
+    for (size_t pi = 0; pi < q.postconditions.size(); ++pi) {
+      const Atom& post = q.postconditions[pi];
+      for (QueryId to = 0; to < static_cast<QueryId>(n); ++to) {
+        const EntangledQuery& target = set.query(to);
+        for (size_t hi = 0; hi < target.head.size(); ++hi) {
+          if (!PositionwiseUnifiable(post, target.head[hi])) continue;
+          out_[static_cast<size_t>(from)].push_back(edges_.size());
+          edges_.push_back(ExtendedEdge{from, pi, to, hi});
+        }
+      }
+    }
+  }
+}
+
+const std::vector<size_t>& ExtendedCoordinationGraph::OutEdges(
+    QueryId q) const {
+  ENTANGLED_CHECK(q >= 0 && static_cast<size_t>(q) < out_.size());
+  return out_[static_cast<size_t>(q)];
+}
+
+std::vector<size_t> ExtendedCoordinationGraph::EdgesOfPostcondition(
+    QueryId q, size_t post_index) const {
+  std::vector<size_t> result;
+  for (size_t e : OutEdges(q)) {
+    if (edges_[e].post_index == post_index) result.push_back(e);
+  }
+  return result;
+}
+
+Digraph ExtendedCoordinationGraph::Collapse() const {
+  Digraph graph(static_cast<NodeId>(out_.size()));
+  for (const ExtendedEdge& edge : edges_) {
+    graph.AddEdgeUnique(edge.from, edge.to);
+  }
+  return graph;
+}
+
+std::string ExtendedCoordinationGraph::ToString(const QuerySet& set) const {
+  std::ostringstream out;
+  out << "ExtendedCoordinationGraph(" << edges_.size() << " edges)";
+  for (const ExtendedEdge& edge : edges_) {
+    const EntangledQuery& from = set.query(edge.from);
+    const EntangledQuery& to = set.query(edge.to);
+    out << "\n  (" << from.name << ", "
+        << set.AtomToString(from.postconditions[edge.post_index]) << ") -> ("
+        << to.name << ", " << set.AtomToString(to.head[edge.head_index])
+        << ")";
+  }
+  return out.str();
+}
+
+Digraph BuildCoordinationGraph(const QuerySet& set) {
+  return ExtendedCoordinationGraph(set).Collapse();
+}
+
+}  // namespace entangled

@@ -1,0 +1,66 @@
+#ifndef ENTANGLED_CORE_COORDINATION_GRAPH_H_
+#define ENTANGLED_CORE_COORDINATION_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "graph/digraph.h"
+
+namespace entangled {
+
+/// \brief One edge of the extended coordination graph (§2.3): the
+/// postcondition atom `postconditions[post_index]` of query `from`
+/// unifies (positionwise) with the head atom `head[head_index]` of query
+/// `to` — i.e. `from` potentially needs `to`'s head to be satisfied.
+struct ExtendedEdge {
+  QueryId from;
+  size_t post_index;
+  QueryId to;
+  size_t head_index;
+
+  friend bool operator==(const ExtendedEdge& a, const ExtendedEdge& b) {
+    return a.from == b.from && a.post_index == b.post_index &&
+           a.to == b.to && a.head_index == b.head_index;
+  }
+};
+
+/// \brief The extended coordination graph: a directed multigraph over
+/// the query set, with one edge per unifiable (postcondition, head)
+/// pair.
+class ExtendedCoordinationGraph {
+ public:
+  /// Builds the graph over all queries of `set` (quadratic in the number
+  /// of atoms; in realistic workloads the graph is very sparse, §4).
+  explicit ExtendedCoordinationGraph(const QuerySet& set);
+
+  const std::vector<ExtendedEdge>& edges() const { return edges_; }
+  size_t num_queries() const { return out_.size(); }
+
+  /// Edge indices leaving query q (one per matching (post, head) pair).
+  const std::vector<size_t>& OutEdges(QueryId q) const;
+
+  /// Edge indices leaving the specific postcondition `post_index` of
+  /// query q; the paper's safety condition is |this| <= 1 for every
+  /// postcondition (Definition 2).
+  std::vector<size_t> EdgesOfPostcondition(QueryId q,
+                                           size_t post_index) const;
+
+  /// The (collapsed) coordination graph: one node per query, an edge
+  /// (q, q') when some postcondition of q unifies with some head of q'.
+  /// Self-loops are kept (they collapse inside SCCs anyway).
+  Digraph Collapse() const;
+
+  std::string ToString(const QuerySet& set) const;
+
+ private:
+  std::vector<ExtendedEdge> edges_;
+  std::vector<std::vector<size_t>> out_;  // per query, edge indices
+};
+
+/// \brief Convenience: the collapsed coordination graph of a query set.
+Digraph BuildCoordinationGraph(const QuerySet& set);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_CORE_COORDINATION_GRAPH_H_

@@ -1,0 +1,111 @@
+#include "core/grounding.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+bool CoordinationSolution::Contains(QueryId q) const {
+  return std::binary_search(queries.begin(), queries.end(), q);
+}
+
+std::vector<Atom> CoordinationSolution::GroundedHeads(const QuerySet& set,
+                                                      QueryId q) const {
+  std::vector<Atom> result;
+  for (const Atom& atom : set.query(q).head) {
+    result.push_back(GroundAtom(atom, assignment));
+  }
+  return result;
+}
+
+Atom GroundAtom(const Atom& atom, const Binding& assignment) {
+  Atom result;
+  result.relation = atom.relation;
+  result.terms.reserve(atom.terms.size());
+  for (const Term& term : atom.terms) {
+    if (term.is_constant()) {
+      result.terms.push_back(term);
+      continue;
+    }
+    auto it = assignment.find(term.var());
+    ENTANGLED_CHECK(it != assignment.end())
+        << "variable ?" << term.var() << " of " << atom.ToString()
+        << " is unassigned";
+    result.terms.push_back(Term::Const(it->second));
+  }
+  return result;
+}
+
+std::optional<Value> AnyDomainValue(const Database& db) {
+  for (const std::string& name : db.relation_names()) {
+    const Relation* relation = db.Find(name);
+    if (!relation->empty()) return relation->row(0)[0];
+  }
+  return std::nullopt;
+}
+
+std::optional<Binding> CompleteAssignment(const Database& db,
+                                          const QuerySet& set,
+                                          const std::vector<QueryId>& queries,
+                                          Substitution* subst,
+                                          const Binding& witness) {
+  ENTANGLED_CHECK(subst != nullptr);
+  Binding assignment;
+  std::optional<Value> fallback;
+  bool fallback_computed = false;
+  for (QueryId q : queries) {
+    for (VarId v : set.query(q).Variables()) {
+      Term resolved = subst->Resolve(Term::Var(v));
+      if (resolved.is_constant()) {
+        assignment.emplace(v, resolved.constant());
+        continue;
+      }
+      auto it = witness.find(resolved.var());
+      if (it != witness.end()) {
+        assignment.emplace(v, it->second);
+        continue;
+      }
+      if (!fallback_computed) {
+        fallback = AnyDomainValue(db);
+        fallback_computed = true;
+      }
+      if (!fallback.has_value()) return std::nullopt;  // empty domain
+      assignment.emplace(v, *fallback);
+    }
+  }
+  return assignment;
+}
+
+std::string SolutionToString(const QuerySet& set,
+                             const CoordinationSolution& solution) {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < solution.queries.size(); ++i) {
+    if (i > 0) out << ", ";
+    const std::string& name = set.query(solution.queries[i]).name;
+    out << (name.empty() ? "q" + std::to_string(solution.queries[i]) : name);
+  }
+  out << "}";
+  // Render only variables belonging to the chosen queries, in id order.
+  std::vector<VarId> vars;
+  for (QueryId q : solution.queries) {
+    for (VarId v : set.query(q).Variables()) vars.push_back(v);
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  out << " with h = {";
+  bool first = true;
+  for (VarId v : vars) {
+    auto it = solution.assignment.find(v);
+    if (it == solution.assignment.end()) continue;
+    if (!first) out << ", ";
+    out << set.var_name(v) << " -> " << it->second.ToString(/*quote=*/true);
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace entangled

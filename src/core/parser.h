@@ -1,0 +1,41 @@
+#ifndef ENTANGLED_CORE_PARSER_H_
+#define ENTANGLED_CORE_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/query.h"
+
+namespace entangled {
+
+/// \brief Parses entangled queries written in the paper's concrete
+/// syntax:
+///
+///     q1: { R(Chris, x) } R(Gwyneth, x) :- Flights(x, Zurich).
+///     q2: { } R(Chris, y) :- Flights(y, Zurich).
+///
+/// Lexical rules:
+///  * `name:` before the opening brace names the query (optional).
+///  * Identifiers starting with a lowercase letter are variables, scoped
+///    to their query (queries are standardized apart automatically);
+///    a bare `_` is a fresh anonymous variable at each occurrence.
+///  * Identifiers starting with an uppercase letter are string
+///    constants when they appear as terms (Chris, Zurich); quoted
+///    strings ('LAX' or "LAX") and integers are constants too.
+///  * The identifier before `(` is a relation name (any case).
+///  * Postconditions `{...}` and body may be empty; the head may not.
+///  * `%` and `//` start comments running to end of line.
+///
+/// Parsed queries are appended to `*set`; the returned ids are in input
+/// order.  On error, nothing useful remains in `*set` — parse into a
+/// scratch set when input is untrusted.
+Result<std::vector<QueryId>> ParseQueries(const std::string& text,
+                                          QuerySet* set);
+
+/// \brief Parses exactly one query.
+Result<QueryId> ParseQuery(const std::string& text, QuerySet* set);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_CORE_PARSER_H_

@@ -1,0 +1,46 @@
+#include "core/properties.h"
+
+#include "graph/reachability.h"
+
+namespace entangled {
+
+bool IsSafeQuery(const ExtendedCoordinationGraph& graph, QueryId q,
+                 const QuerySet& set) {
+  const EntangledQuery& query = set.query(q);
+  for (size_t pi = 0; pi < query.postconditions.size(); ++pi) {
+    if (graph.EdgesOfPostcondition(q, pi).size() > 1) return false;
+  }
+  return true;
+}
+
+bool IsSafeSet(const QuerySet& set, const ExtendedCoordinationGraph& graph) {
+  for (QueryId q = 0; q < static_cast<QueryId>(set.size()); ++q) {
+    if (!IsSafeQuery(graph, q, set)) return false;
+  }
+  return true;
+}
+
+bool IsSafeSet(const QuerySet& set) {
+  ExtendedCoordinationGraph graph(set);
+  return IsSafeSet(set, graph);
+}
+
+bool IsUniqueSet(const QuerySet& set) {
+  return IsStronglyConnected(BuildCoordinationGraph(set));
+}
+
+bool IsSingleConnected(const QuerySet& set) {
+  for (const EntangledQuery& q : set.queries()) {
+    if (q.postconditions.size() > 1) return false;
+  }
+  Digraph graph = BuildCoordinationGraph(set);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (u == v) continue;
+      if (CountSimplePaths(graph, u, v, /*limit=*/2) > 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace entangled

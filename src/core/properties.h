@@ -1,0 +1,34 @@
+#ifndef ENTANGLED_CORE_PROPERTIES_H_
+#define ENTANGLED_CORE_PROPERTIES_H_
+
+#include "core/coordination_graph.h"
+#include "core/query.h"
+
+namespace entangled {
+
+/// \brief Whether query q is *safe* in its set (Definition 2): none of
+/// its postcondition atoms unifies with more than one head atom
+/// appearing anywhere in the set (its own head included).
+bool IsSafeQuery(const ExtendedCoordinationGraph& graph, QueryId q,
+                 const QuerySet& set);
+
+/// \brief Whether every query in the set is safe.
+bool IsSafeSet(const QuerySet& set);
+bool IsSafeSet(const QuerySet& set, const ExtendedCoordinationGraph& graph);
+
+/// \brief Whether a *safe* set is *unique* (Definition 3): its
+/// coordination graph has a directed path between every two vertices,
+/// i.e. is strongly connected.  (The paper defines uniqueness only for
+/// safe sets; this predicate checks just the connectivity condition.)
+bool IsUniqueSet(const QuerySet& set);
+
+/// \brief Whether the set is single-connected (Definition 6): every
+/// query has at most one postcondition atom and the coordination graph
+/// has at most one simple path between every ordered pair of queries.
+/// Exponential-time check in the worst case; intended for small sets and
+/// tests (the class exists for Theorem 3, not for production workloads).
+bool IsSingleConnected(const QuerySet& set);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_CORE_PROPERTIES_H_

@@ -1,0 +1,204 @@
+#include "core/query.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+std::vector<VarId> EntangledQuery::Variables() const {
+  std::vector<VarId> vars;
+  std::unordered_set<VarId> seen;
+  auto collect = [&](const std::vector<Atom>& atoms) {
+    for (const Atom& atom : atoms) {
+      for (const Term& term : atom.terms) {
+        if (term.is_variable() && seen.insert(term.var()).second) {
+          vars.push_back(term.var());
+        }
+      }
+    }
+  };
+  collect(postconditions);
+  collect(head);
+  collect(body);
+  return vars;
+}
+
+VarId QuerySet::NewVar(std::string name) {
+  var_names_.push_back(std::move(name));
+  return static_cast<VarId>(var_names_.size() - 1);
+}
+
+const std::string& QuerySet::var_name(VarId v) const {
+  ENTANGLED_CHECK(v >= 0 && static_cast<size_t>(v) < var_names_.size())
+      << "unknown variable " << v;
+  return var_names_[static_cast<size_t>(v)];
+}
+
+QueryId QuerySet::AddQuery(EntangledQuery query) {
+  query.id = static_cast<QueryId>(queries_.size());
+  // Every variable mentioned must have been allocated by this set.
+  for (VarId v : query.Variables()) {
+    ENTANGLED_CHECK(v >= 0 && static_cast<size_t>(v) < var_names_.size())
+        << "query " << query.name << " uses foreign variable " << v;
+  }
+  queries_.push_back(std::move(query));
+  return queries_.back().id;
+}
+
+const EntangledQuery& QuerySet::query(QueryId id) const {
+  ENTANGLED_CHECK(id >= 0 && static_cast<size_t>(id) < queries_.size())
+      << "unknown query " << id;
+  return queries_[static_cast<size_t>(id)];
+}
+
+EntangledQuery& QuerySet::mutable_query(QueryId id) {
+  ENTANGLED_CHECK(id >= 0 && static_cast<size_t>(id) < queries_.size())
+      << "unknown query " << id;
+  return queries_[static_cast<size_t>(id)];
+}
+
+QueryId QuerySet::FindByName(const std::string& name) const {
+  for (const EntangledQuery& q : queries_) {
+    if (q.name == name) return q.id;
+  }
+  return -1;
+}
+
+QuerySet QuerySet::Subset(const std::vector<QueryId>& ids,
+                          std::vector<QueryId>* original_ids) const {
+  QuerySet subset;
+  subset.var_names_ = var_names_;
+  if (original_ids != nullptr) original_ids->clear();
+  for (QueryId id : ids) {
+    subset.AddQuery(query(id));  // copies; AddQuery renumbers
+    if (original_ids != nullptr) original_ids->push_back(id);
+  }
+  return subset;
+}
+
+std::string QuerySet::TermToString(const Term& term) const {
+  if (term.is_constant()) return term.constant().ToString(/*quote=*/true);
+  return var_name(term.var());
+}
+
+std::string QuerySet::AtomToString(const Atom& atom) const {
+  std::ostringstream out;
+  out << atom.relation << "(";
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << TermToString(atom.terms[i]);
+  }
+  out << ")";
+  return out.str();
+}
+
+std::string QuerySet::AtomListToString(const std::vector<Atom>& atoms,
+                                       const std::string& empty) const {
+  if (atoms.empty()) return empty;
+  std::vector<std::string> pieces;
+  pieces.reserve(atoms.size());
+  std::ostringstream out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << AtomToString(atoms[i]);
+  }
+  return out.str();
+}
+
+std::string QuerySet::QueryToString(QueryId id) const {
+  const EntangledQuery& q = query(id);
+  std::ostringstream out;
+  if (!q.name.empty()) out << q.name << ": ";
+  out << "{" << AtomListToString(q.postconditions, "") << "} "
+      << AtomListToString(q.head, "") << " :- "
+      << AtomListToString(q.body, "") << ".";
+  return out.str();
+}
+
+std::string QuerySet::ToString() const {
+  std::ostringstream out;
+  for (const EntangledQuery& q : queries_) {
+    out << QueryToString(q.id) << "\n";
+  }
+  return out.str();
+}
+
+Status QuerySet::CheckWellFormed(const Database& db) const {
+  // Answer-relation arities must be consistent set-wide so that heads
+  // and postconditions can unify.
+  std::unordered_map<std::string, size_t> answer_arity;
+  for (const EntangledQuery& q : queries_) {
+    for (const Atom& atom : q.body) {
+      const Relation* relation = db.Find(atom.relation);
+      if (relation == nullptr) {
+        return Status::InvalidArgument(
+            "query ", q.name, ": body relation ", atom.relation,
+            " is not in the database schema (property (i) of §2.1)");
+      }
+      if (relation->arity() != atom.arity()) {
+        return Status::InvalidArgument(
+            "query ", q.name, ": body atom ", atom.ToString(), " has arity ",
+            atom.arity(), " but relation has arity ", relation->arity());
+      }
+    }
+    auto check_answer = [&](const Atom& atom,
+                            const char* where) -> Status {
+      if (db.Contains(atom.relation)) {
+        return Status::InvalidArgument(
+            "query ", q.name, ": ", where, " relation ", atom.relation,
+            " clashes with the database schema (property (ii) of §2.1)");
+      }
+      auto [it, inserted] = answer_arity.emplace(atom.relation, atom.arity());
+      if (!inserted && it->second != atom.arity()) {
+        return Status::InvalidArgument(
+            "query ", q.name, ": answer relation ", atom.relation,
+            " used with arities ", it->second, " and ", atom.arity());
+      }
+      return Status::OK();
+    };
+    for (const Atom& atom : q.postconditions) {
+      ENTANGLED_RETURN_IF_ERROR(check_answer(atom, "postcondition"));
+    }
+    for (const Atom& atom : q.head) {
+      ENTANGLED_RETURN_IF_ERROR(check_answer(atom, "head"));
+    }
+  }
+  return Status::OK();
+}
+
+QueryBuilder::QueryBuilder(QuerySet* set, std::string name) : set_(set) {
+  ENTANGLED_CHECK(set != nullptr);
+  query_.name = std::move(name);
+}
+
+VarId QueryBuilder::Var(std::string name) {
+  return set_->NewVar(std::move(name));
+}
+
+QueryBuilder& QueryBuilder::Post(std::string relation,
+                                 std::vector<Term> terms) {
+  query_.postconditions.emplace_back(std::move(relation), std::move(terms));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Head(std::string relation,
+                                 std::vector<Term> terms) {
+  query_.head.emplace_back(std::move(relation), std::move(terms));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Body(std::string relation,
+                                 std::vector<Term> terms) {
+  query_.body.emplace_back(std::move(relation), std::move(terms));
+  return *this;
+}
+
+QueryId QueryBuilder::Build() {
+  ENTANGLED_CHECK(!built_) << "QueryBuilder::Build called twice";
+  built_ = true;
+  return set_->AddQuery(std::move(query_));
+}
+
+}  // namespace entangled

@@ -1,0 +1,126 @@
+#ifndef ENTANGLED_CORE_QUERY_H_
+#define ENTANGLED_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/atom.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief Identifier of an entangled query within a QuerySet.
+using QueryId = int32_t;
+
+/// \brief An entangled query {P} H :- B (paper §2.1): postconditions P
+/// and head H over *answer* relations, body B over database relations.
+///
+/// A query is satisfied in a coordinating set S when its body grounds in
+/// the database and each grounded postcondition atom equals a grounded
+/// head atom of some query in S (Definition 1).
+struct EntangledQuery {
+  QueryId id = -1;
+  std::string name;  ///< display name, e.g. "qC"
+
+  std::vector<Atom> postconditions;
+  std::vector<Atom> head;
+  std::vector<Atom> body;
+
+  /// All distinct variable ids, in first-occurrence order over
+  /// (postconditions, head, body).
+  std::vector<VarId> Variables() const;
+};
+
+/// \brief A set of entangled queries sharing one variable namespace.
+///
+/// Variable ids are unique across the whole set ("standardized apart"),
+/// so atoms from different queries can be unified directly.  Queries are
+/// built either programmatically through QueryBuilder or textually
+/// through ParseQueries (core/parser.h).
+class QuerySet {
+ public:
+  QuerySet() = default;
+
+  /// Allocates a fresh variable with a display name (names need not be
+  /// unique; ids are).
+  VarId NewVar(std::string name);
+
+  size_t num_vars() const { return var_names_.size(); }
+  const std::string& var_name(VarId v) const;
+
+  /// Adds a fully-formed query (id is overwritten); returns its id.
+  QueryId AddQuery(EntangledQuery query);
+
+  size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+
+  const EntangledQuery& query(QueryId id) const;
+  EntangledQuery& mutable_query(QueryId id);
+  const std::vector<EntangledQuery>& queries() const { return queries_; }
+
+  /// Id of the query named `name`, or -1.
+  QueryId FindByName(const std::string& name) const;
+
+  /// A new set containing copies of the given queries (renumbered
+  /// 0..k-1, input order preserved).  The variable table is copied
+  /// wholesale, so variable ids — and hence atoms — remain valid in the
+  /// subset.  `original_ids` (optional) receives the source id of each
+  /// subset query.
+  QuerySet Subset(const std::vector<QueryId>& ids,
+                  std::vector<QueryId>* original_ids = nullptr) const;
+
+  /// Renders a term/atom/query with variable display names
+  /// ("R('C', x1)" instead of "R('C', ?3)").
+  std::string TermToString(const Term& term) const;
+  std::string AtomToString(const Atom& atom) const;
+  std::string AtomListToString(const std::vector<Atom>& atoms,
+                               const std::string& empty = "{}") const;
+  /// "qC: {P} H :- B."
+  std::string QueryToString(QueryId id) const;
+  /// All queries, one per line.
+  std::string ToString() const;
+
+  /// Checks the syntactic well-formedness conditions of §2.1 against a
+  /// database: every body relation is in the schema, no head or
+  /// postcondition relation is, and relation arities are consistent.
+  Status CheckWellFormed(const Database& db) const;
+
+ private:
+  std::vector<EntangledQuery> queries_;
+  std::vector<std::string> var_names_;
+};
+
+/// \brief Fluent construction of one entangled query:
+///
+///     QueryBuilder b(&set, "qC");
+///     VarId x1 = b.Var("x1"), x2 = b.Var("x2"), x = b.Var("x");
+///     b.Post("R", {Term::Str("G"), Term::Var(x1)});
+///     b.Head("R", {Term::Str("C"), Term::Var(x1)});
+///     b.Body("F", {Term::Var(x1), Term::Var(x)});
+///     QueryId qc = b.Build();
+class QueryBuilder {
+ public:
+  QueryBuilder(QuerySet* set, std::string name);
+
+  /// Fresh variable scoped to the enclosing set.
+  VarId Var(std::string name);
+
+  QueryBuilder& Post(std::string relation, std::vector<Term> terms);
+  QueryBuilder& Head(std::string relation, std::vector<Term> terms);
+  QueryBuilder& Body(std::string relation, std::vector<Term> terms);
+
+  /// Adds the query to the set and returns its id.  The builder must not
+  /// be reused afterwards.
+  QueryId Build();
+
+ private:
+  QuerySet* set_;
+  EntangledQuery query_;
+  bool built_ = false;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_CORE_QUERY_H_

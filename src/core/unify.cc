@@ -1,0 +1,125 @@
+#include "core/unify.h"
+
+#include "common/logging.h"
+
+namespace entangled {
+
+Substitution::Substitution(size_t num_vars)
+    : parent_(num_vars), rank_(num_vars, 0), constant_(num_vars) {
+  for (size_t v = 0; v < num_vars; ++v) {
+    parent_[v] = static_cast<VarId>(v);
+  }
+}
+
+VarId Substitution::Find(VarId v) {
+  ENTANGLED_CHECK(v >= 0 && static_cast<size_t>(v) < parent_.size())
+      << "unknown variable " << v;
+  VarId root = v;
+  while (parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+  }
+  while (parent_[static_cast<size_t>(v)] != root) {
+    VarId next = parent_[static_cast<size_t>(v)];
+    parent_[static_cast<size_t>(v)] = root;
+    v = next;
+  }
+  return root;
+}
+
+const Value* Substitution::ConstantOf(VarId v) {
+  const auto& slot = constant_[static_cast<size_t>(Find(v))];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+bool Substitution::UnifyVars(VarId a, VarId b) {
+  VarId ra = Find(a);
+  VarId rb = Find(b);
+  if (ra == rb) return true;
+  const auto& ca = constant_[static_cast<size_t>(ra)];
+  const auto& cb = constant_[static_cast<size_t>(rb)];
+  if (ca.has_value() && cb.has_value() && *ca != *cb) return false;
+  // Union by rank; the surviving root inherits the constant.
+  if (rank_[static_cast<size_t>(ra)] < rank_[static_cast<size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<size_t>(rb)] = ra;
+  if (rank_[static_cast<size_t>(ra)] == rank_[static_cast<size_t>(rb)]) {
+    ++rank_[static_cast<size_t>(ra)];
+  }
+  if (!constant_[static_cast<size_t>(ra)].has_value() &&
+      constant_[static_cast<size_t>(rb)].has_value()) {
+    constant_[static_cast<size_t>(ra)] = constant_[static_cast<size_t>(rb)];
+  }
+  constant_[static_cast<size_t>(rb)].reset();
+  return true;
+}
+
+bool Substitution::BindConstant(VarId v, const Value& value) {
+  VarId root = Find(v);
+  auto& slot = constant_[static_cast<size_t>(root)];
+  if (slot.has_value()) return *slot == value;
+  slot = value;
+  return true;
+}
+
+bool Substitution::UnifyTerms(const Term& a, const Term& b) {
+  if (a.is_constant() && b.is_constant()) {
+    return a.constant() == b.constant();
+  }
+  if (a.is_variable() && b.is_variable()) {
+    return UnifyVars(a.var(), b.var());
+  }
+  if (a.is_variable()) return BindConstant(a.var(), b.constant());
+  return BindConstant(b.var(), a.constant());
+}
+
+bool Substitution::UnifyAtoms(const Atom& a, const Atom& b) {
+  if (a.relation != b.relation || a.arity() != b.arity()) return false;
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    if (!UnifyTerms(a.terms[i], b.terms[i])) return false;
+  }
+  return true;
+}
+
+bool Substitution::UnifyAtomLists(const std::vector<Atom>& as,
+                                  const std::vector<Atom>& bs) {
+  if (as.size() != bs.size()) return false;
+  for (size_t i = 0; i < as.size(); ++i) {
+    if (!UnifyAtoms(as[i], bs[i])) return false;
+  }
+  return true;
+}
+
+Term Substitution::Resolve(const Term& term) {
+  if (term.is_constant()) return term;
+  VarId root = Find(term.var());
+  const auto& slot = constant_[static_cast<size_t>(root)];
+  if (slot.has_value()) return Term::Const(*slot);
+  return Term::Var(root);
+}
+
+Atom Substitution::Apply(const Atom& atom) {
+  Atom result;
+  result.relation = atom.relation;
+  result.terms.reserve(atom.terms.size());
+  for (const Term& term : atom.terms) {
+    result.terms.push_back(Resolve(term));
+  }
+  return result;
+}
+
+std::vector<Atom> Substitution::ApplyAll(const std::vector<Atom>& atoms) {
+  std::vector<Atom> result;
+  result.reserve(atoms.size());
+  for (const Atom& atom : atoms) result.push_back(Apply(atom));
+  return result;
+}
+
+std::optional<Substitution> MostGeneralUnifier(const Atom& a, const Atom& b,
+                                               size_t num_vars) {
+  Substitution subst(num_vars);
+  if (!subst.UnifyAtoms(a, b)) return std::nullopt;
+  return subst;
+}
+
+}  // namespace entangled

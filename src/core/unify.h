@@ -1,0 +1,75 @@
+#ifndef ENTANGLED_CORE_UNIFY_H_
+#define ENTANGLED_CORE_UNIFY_H_
+
+#include <optional>
+#include <vector>
+
+#include "db/atom.h"
+
+namespace entangled {
+
+/// \brief A substitution over a fixed variable universe, maintained as a
+/// union-find of variable classes with at most one constant per class.
+///
+/// Because entangled-query atoms are flat (no function symbols), the
+/// Most General Unifier reduces to merging variable classes and binding
+/// classes to constants — near-linear time, no occurs check needed.
+/// This is the engine behind both the paper's MGU step (§2.3) and the
+/// per-component combined queries of the SCC algorithm (§4).
+class Substitution {
+ public:
+  /// Identity substitution over variables 0..num_vars-1.
+  explicit Substitution(size_t num_vars);
+
+  size_t num_vars() const { return parent_.size(); }
+
+  /// Representative variable of v's class (path-compressing).
+  VarId Find(VarId v);
+
+  /// Constant bound to v's class, or nullptr.
+  const Value* ConstantOf(VarId v);
+
+  /// Merges the classes of a and b; false on constant clash.
+  bool UnifyVars(VarId a, VarId b);
+
+  /// Binds v's class to `value`; false on clash with a different
+  /// constant.
+  bool BindConstant(VarId v, const Value& value);
+
+  /// Unifies two terms; false when impossible.
+  bool UnifyTerms(const Term& a, const Term& b);
+
+  /// Unifies two atoms positionwise; false on relation/arity mismatch or
+  /// term clash.  May leave partial bindings behind on failure — callers
+  /// that need transactionality take a copy first (coordination
+  /// instances are small; the paper's algorithms abandon the whole
+  /// component on failure anyway).
+  bool UnifyAtoms(const Atom& a, const Atom& b);
+
+  /// Unifies the atom lists pairwise (requires equal lengths).
+  bool UnifyAtomLists(const std::vector<Atom>& as,
+                      const std::vector<Atom>& bs);
+
+  /// Rewrites a term to its class constant (if any) or representative
+  /// variable.
+  Term Resolve(const Term& term);
+
+  /// Applies Resolve to every term of the atom.
+  Atom Apply(const Atom& atom);
+  std::vector<Atom> ApplyAll(const std::vector<Atom>& atoms);
+
+ private:
+  std::vector<VarId> parent_;
+  std::vector<int32_t> rank_;
+  // Engaged entry = constant of the class whose representative this is.
+  std::vector<std::optional<Value>> constant_;
+};
+
+/// \brief Convenience MGU of two atoms over `num_vars` variables;
+/// nullopt when they do not unify.
+std::optional<Substitution> MostGeneralUnifier(const Atom& a, const Atom& b,
+                                               size_t num_vars);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_CORE_UNIFY_H_

@@ -1,0 +1,41 @@
+#ifndef ENTANGLED_CORE_VALIDATOR_H_
+#define ENTANGLED_CORE_VALIDATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief Checks Definition 1 for a concrete (subset, assignment) pair:
+/// (0) the subset is non-empty, (1) every variable of the subset is
+/// assigned, (2) every grounded body atom is a database tuple, (3) the
+/// grounded postconditions are a subset of the grounded heads.
+///
+/// This is the oracle the whole test suite trusts: it shares no code
+/// with any solver (no unification, no graphs — just syntactic
+/// grounding and lookups).
+Status ValidateSolution(const Database& db, const QuerySet& set,
+                        const CoordinationSolution& solution);
+
+/// \brief Decides whether `subset` is a coordinating set, returning a
+/// witnessing assignment when it is.
+///
+/// Backtracks over postcondition -> head matchings (within the subset),
+/// unifies each matched pair, grounds the combined bodies against the
+/// database, and finally assigns any leftover free variables an
+/// arbitrary domain value (Definition 1 only requires *some* value from
+/// the domain of I).  Worst-case exponential in the number of
+/// postconditions — this is the reference semantics, not a production
+/// solver.
+std::optional<Binding> FindCoordinatingWitness(
+    const Database& db, const QuerySet& set,
+    const std::vector<QueryId>& subset);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_CORE_VALIDATOR_H_

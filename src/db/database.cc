@@ -1,0 +1,44 @@
+#include "db/database.h"
+
+namespace entangled {
+
+Result<Relation*> Database::CreateRelation(
+    const std::string& name, std::vector<std::string> column_names) {
+  if (Contains(name)) {
+    return Status::AlreadyExists("relation ", name, " already exists");
+  }
+  if (column_names.empty()) {
+    return Status::InvalidArgument("relation ", name, " needs columns");
+  }
+  auto relation = std::make_unique<Relation>(name, std::move(column_names));
+  Relation* ptr = relation.get();
+  relations_.emplace(name, std::move(relation));
+  names_.push_back(name);
+  return ptr;
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Relation* Database::FindMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Result<const Relation*> Database::Get(const std::string& name) const {
+  const Relation* relation = Find(name);
+  if (relation == nullptr) {
+    return Status::NotFound("no relation named ", name);
+  }
+  return relation;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, relation] : relations_) total += relation->size();
+  return total;
+}
+
+}  // namespace entangled

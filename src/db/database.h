@@ -1,0 +1,75 @@
+#ifndef ENTANGLED_DB_DATABASE_H_
+#define ENTANGLED_DB_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "db/relation.h"
+
+namespace entangled {
+
+/// \brief Counters describing the work the database has performed.
+///
+/// The paper's cost model counts *database round-trips* ("|Q| queries to
+/// the database", §4); these counters let benches and tests report that
+/// hardware-independent figure next to wall time.
+struct DatabaseStats {
+  uint64_t conjunctive_queries = 0;  ///< FindOne / Satisfiable calls.
+  uint64_t enumerate_queries = 0;    ///< EnumerateDistinct calls.
+  uint64_t rows_matched = 0;         ///< Candidate rows tested by the joins.
+
+  void Reset() { *this = DatabaseStats{}; }
+  uint64_t total_queries() const {
+    return conjunctive_queries + enumerate_queries;
+  }
+};
+
+/// \brief A named collection of in-memory relations (the catalog).
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty relation; fails if the name is taken.
+  Result<Relation*> CreateRelation(const std::string& name,
+                                   std::vector<std::string> column_names);
+
+  /// Looks up a relation; nullptr when absent.
+  const Relation* Find(const std::string& name) const;
+  Relation* FindMutable(const std::string& name);
+
+  /// Looks up a relation; error Status when absent.
+  Result<const Relation*> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return Find(name) != nullptr;
+  }
+
+  /// Relation names in creation order.
+  const std::vector<std::string>& relation_names() const { return names_; }
+
+  size_t relation_count() const { return relations_.size(); }
+
+  /// Total number of tuples across all relations.
+  size_t TotalRows() const;
+
+  /// Work counters; mutable because read-only query evaluation updates
+  /// them through const Database references.
+  DatabaseStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+  std::vector<std::string> names_;
+  mutable DatabaseStats stats_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_DB_DATABASE_H_

@@ -1,0 +1,217 @@
+#include "db/evaluator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace entangled {
+namespace {
+
+/// Candidate row ids for `atom` under the current bindings: probe the
+/// most selective bound column's index, or fall back to a full scan.
+/// Returns nullptr to mean "all rows" (avoids materializing 0..n-1).
+const std::vector<RowId>* Candidates(const Relation& relation,
+                                     const Atom& atom, const Binding& binding,
+                                     std::vector<RowId>* scratch) {
+  std::optional<size_t> best_column;
+  Value best_value;
+  size_t best_bucket = relation.size() + 1;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    const Value* bound = nullptr;
+    if (term.is_constant()) {
+      bound = &term.constant();
+    } else {
+      auto it = binding.find(term.var());
+      if (it != binding.end()) bound = &it->second;
+    }
+    if (bound == nullptr) continue;
+    size_t bucket = relation.Probe(i, *bound).size();
+    if (bucket < best_bucket) {
+      best_bucket = bucket;
+      best_column = i;
+      best_value = *bound;
+    }
+    if (bucket == 0) break;  // cannot get more selective
+  }
+  if (!best_column.has_value()) return nullptr;  // full scan
+  *scratch = relation.Probe(*best_column, best_value);
+  return scratch;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const Database* db) : db_(db) {
+  ENTANGLED_CHECK(db != nullptr);
+}
+
+Status Evaluator::Validate(const std::vector<Atom>& body) const {
+  for (const Atom& atom : body) {
+    const Relation* relation = db_->Find(atom.relation);
+    if (relation == nullptr) {
+      return Status::NotFound("body atom ", atom.ToString(),
+                              " references unknown relation ", atom.relation);
+    }
+    if (relation->arity() != atom.arity()) {
+      return Status::InvalidArgument(
+          "body atom ", atom.ToString(), " has arity ", atom.arity(),
+          " but relation ", atom.relation, " has arity ", relation->arity());
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> Evaluator::OrderAtoms(const std::vector<Atom>& body,
+                                          const Binding& initial) const {
+  // Greedy static join order: repeatedly pick the atom with the most
+  // bound positions (constants + already-bound variables); break ties by
+  // smaller relation.  Keeps the backtracking join selective.
+  std::unordered_set<VarId> bound;
+  for (const auto& [var, value] : initial) bound.insert(var);
+
+  std::vector<size_t> order;
+  std::vector<bool> used(body.size(), false);
+  for (size_t step = 0; step < body.size(); ++step) {
+    size_t best = body.size();
+    size_t best_bound_count = 0;
+    size_t best_size = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (used[i]) continue;
+      size_t bound_count = 0;
+      for (const Term& term : body[i].terms) {
+        if (term.is_constant() ||
+            (term.is_variable() && bound.count(term.var()) > 0)) {
+          ++bound_count;
+        }
+      }
+      const Relation* relation = db_->Find(body[i].relation);
+      size_t size = relation == nullptr ? 0 : relation->size();
+      if (best == body.size() || bound_count > best_bound_count ||
+          (bound_count == best_bound_count && size < best_size)) {
+        best = i;
+        best_bound_count = bound_count;
+        best_size = size;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const Term& term : body[best].terms) {
+      if (term.is_variable()) bound.insert(term.var());
+    }
+  }
+  return order;
+}
+
+template <typename Callback>
+void Evaluator::Search(const std::vector<Atom>& body, const Binding& initial,
+                       Callback&& on_solution) const {
+  for (const Atom& atom : body) {
+    const Relation* relation = db_->Find(atom.relation);
+    ENTANGLED_CHECK(relation != nullptr)
+        << "unknown relation " << atom.relation << "; call Validate() first";
+    ENTANGLED_CHECK_EQ(relation->arity(), atom.arity())
+        << "arity mismatch on " << atom.ToString();
+  }
+
+  std::vector<size_t> order = OrderAtoms(body, initial);
+  Binding binding = initial;
+  DatabaseStats& stats = db_->stats();
+
+  // Explicit recursion over atom positions with a per-frame trail so
+  // bindings roll back on backtrack.
+  auto recurse = [&](auto&& self, size_t depth) -> bool {
+    if (depth == body.size()) return on_solution(binding);
+    const Atom& atom = body[order[depth]];
+    const Relation& relation = *db_->Find(atom.relation);
+
+    std::vector<RowId> scratch;
+    const std::vector<RowId>* candidates =
+        Candidates(relation, atom, binding, &scratch);
+
+    auto try_row = [&](const Tuple& row) -> bool {
+      ++stats.rows_matched;
+      std::vector<VarId> trail;
+      bool match = true;
+      for (size_t i = 0; i < atom.terms.size() && match; ++i) {
+        const Term& term = atom.terms[i];
+        if (term.is_constant()) {
+          match = (term.constant() == row[i]);
+        } else {
+          auto [it, inserted] = binding.try_emplace(term.var(), row[i]);
+          if (inserted) {
+            trail.push_back(term.var());
+          } else {
+            match = (it->second == row[i]);
+          }
+        }
+      }
+      bool stop = match && self(self, depth + 1);
+      for (VarId var : trail) binding.erase(var);
+      return stop;
+    };
+
+    if (candidates == nullptr) {
+      for (const Tuple& row : relation.rows()) {
+        if (try_row(row)) return true;
+      }
+    } else {
+      for (RowId id : *candidates) {
+        if (try_row(relation.row(id))) return true;
+      }
+    }
+    return false;
+  };
+  recurse(recurse, 0);
+}
+
+std::optional<Binding> Evaluator::FindOne(const std::vector<Atom>& body,
+                                          const Binding& initial) const {
+  ++db_->stats().conjunctive_queries;
+  std::optional<Binding> result;
+  Search(body, initial, [&](const Binding& solution) {
+    result = solution;
+    return true;  // stop at the first witness (choose-1 semantics)
+  });
+  return result;
+}
+
+bool Evaluator::Satisfiable(const std::vector<Atom>& body,
+                            const Binding& initial) const {
+  return FindOne(body, initial).has_value();
+}
+
+std::vector<std::vector<Value>> Evaluator::EnumerateDistinct(
+    const std::vector<Atom>& body, const std::vector<VarId>& projection,
+    const Binding& initial) const {
+  ++db_->stats().enumerate_queries;
+  std::vector<std::vector<Value>> result;
+  std::unordered_set<std::vector<Value>, VectorHash> seen;
+  Search(body, initial, [&](const Binding& solution) {
+    std::vector<Value> key;
+    key.reserve(projection.size());
+    for (VarId var : projection) {
+      auto it = solution.find(var);
+      ENTANGLED_CHECK(it != solution.end())
+          << "projection variable ?" << var << " does not occur in the body";
+      key.push_back(it->second);
+    }
+    if (seen.insert(key).second) result.push_back(std::move(key));
+    return false;  // keep enumerating
+  });
+  return result;
+}
+
+uint64_t Evaluator::CountSolutions(const std::vector<Atom>& body,
+                                   const Binding& initial) const {
+  ++db_->stats().enumerate_queries;
+  uint64_t count = 0;
+  Search(body, initial, [&](const Binding&) {
+    ++count;
+    return false;
+  });
+  return count;
+}
+
+}  // namespace entangled

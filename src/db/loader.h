@@ -1,0 +1,42 @@
+#ifndef ENTANGLED_DB_LOADER_H_
+#define ENTANGLED_DB_LOADER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief Populates a Database from the textual `.edb` format used by
+/// the command-line driver:
+///
+///     % flights demo
+///     relation Flights(flightId, destination) {
+///       (101, Zurich)
+///       (102, 'New York')
+///     }
+///     relation Friends(user, friend) {
+///       (Ann, Bob)
+///     }
+///
+/// Bare numbers load as integers; identifiers and quoted strings load
+/// as strings.  `%` and `//` start line comments.  Relations may appear
+/// multiple times (tuples accumulate) as long as arities agree.
+Status LoadDatabase(const std::string& text, Database* db);
+
+/// \brief Loads a `.edb` file from disk.
+Status LoadDatabaseFile(const std::string& path, Database* db);
+
+/// \brief Serializes a database in the same format (stable order:
+/// relations by creation, tuples by insertion); LoadDatabase(Dump(db))
+/// reproduces the instance.
+std::string DumpDatabase(const Database& db);
+
+/// \brief Reads a whole file into a string (NotFound on failure).
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_DB_LOADER_H_

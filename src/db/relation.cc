@@ -1,0 +1,189 @@
+#include "db/relation.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace entangled {
+namespace {
+
+const std::vector<RowId>& EmptyRowList() {
+  static const std::vector<RowId> kEmpty;
+  return kEmpty;
+}
+
+bool RowMatches(const Tuple& row,
+                const std::vector<std::optional<Value>>& pattern) {
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i].has_value() && row[i] != *pattern[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TupleToString(const Tuple& tuple) {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << tuple[i].ToString(/*quote=*/true);
+  }
+  out << ")";
+  return out.str();
+}
+
+Relation::Relation(std::string name, std::vector<std::string> column_names)
+    : name_(std::move(name)), column_names_(std::move(column_names)) {
+  ENTANGLED_CHECK(!column_names_.empty())
+      << "relation " << name_ << " needs at least one column";
+}
+
+std::optional<size_t> Relation::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status Relation::Insert(Tuple tuple) {
+  if (tuple.size() != arity()) {
+    return Status::InvalidArgument("relation ", name_, " has arity ", arity(),
+                                   " but tuple ", TupleToString(tuple),
+                                   " has arity ", tuple.size());
+  }
+  RowId id = static_cast<RowId>(rows_.size());
+  // Keep the lazily-built caches consistent.
+  for (auto& [column, index] : column_indexes_) {
+    index[tuple[column]].push_back(id);
+  }
+  for (auto& [columns, index] : group_indexes_) {
+    std::vector<Value> key;
+    key.reserve(columns.size());
+    for (size_t c : columns) key.push_back(tuple[c]);
+    index[std::move(key)].push_back(id);
+  }
+  rows_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status Relation::InsertAll(std::vector<Tuple> tuples) {
+  for (auto& tuple : tuples) {
+    ENTANGLED_RETURN_IF_ERROR(Insert(std::move(tuple)));
+  }
+  return Status::OK();
+}
+
+const Tuple& Relation::row(RowId id) const {
+  ENTANGLED_CHECK_LT(id, rows_.size());
+  return rows_[id];
+}
+
+const Relation::ColumnIndexMap& Relation::EnsureColumnIndex(
+    size_t column) const {
+  ENTANGLED_CHECK_LT(column, arity());
+  auto it = column_indexes_.find(column);
+  if (it != column_indexes_.end()) return it->second;
+  ColumnIndexMap index;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index[rows_[id][column]].push_back(id);
+  }
+  return column_indexes_.emplace(column, std::move(index)).first->second;
+}
+
+const std::vector<RowId>& Relation::Probe(size_t column,
+                                          const Value& value) const {
+  const ColumnIndexMap& index = EnsureColumnIndex(column);
+  auto it = index.find(value);
+  return it == index.end() ? EmptyRowList() : it->second;
+}
+
+std::vector<RowId> Relation::SelectWhere(
+    const std::vector<std::optional<Value>>& pattern) const {
+  ENTANGLED_CHECK_EQ(pattern.size(), arity());
+  // Pick the most selective engaged column to seed the scan.
+  std::optional<size_t> best_column;
+  size_t best_bucket = rows_.size() + 1;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (!pattern[i].has_value()) continue;
+    size_t bucket = Probe(i, *pattern[i]).size();
+    if (bucket < best_bucket) {
+      best_bucket = bucket;
+      best_column = i;
+    }
+  }
+  std::vector<RowId> result;
+  if (!best_column.has_value()) {
+    // No constraints: every row matches.
+    result.resize(rows_.size());
+    for (RowId id = 0; id < rows_.size(); ++id) result[id] = id;
+    return result;
+  }
+  for (RowId id : Probe(*best_column, *pattern[*best_column])) {
+    if (RowMatches(rows_[id], pattern)) result.push_back(id);
+  }
+  return result;
+}
+
+bool Relation::AnyMatch(
+    const std::vector<std::optional<Value>>& pattern) const {
+  ENTANGLED_CHECK_EQ(pattern.size(), arity());
+  std::optional<size_t> best_column;
+  size_t best_bucket = rows_.size() + 1;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (!pattern[i].has_value()) continue;
+    size_t bucket = Probe(i, *pattern[i]).size();
+    if (bucket < best_bucket) {
+      best_bucket = bucket;
+      best_column = i;
+    }
+  }
+  if (!best_column.has_value()) return !rows_.empty();
+  for (RowId id : Probe(*best_column, *pattern[*best_column])) {
+    if (RowMatches(rows_[id], pattern)) return true;
+  }
+  return false;
+}
+
+std::vector<Value> Relation::DistinctValues(size_t column) const {
+  ENTANGLED_CHECK_LT(column, arity());
+  std::vector<Value> result;
+  std::unordered_set<Value> seen;
+  for (const Tuple& row : rows_) {
+    if (seen.insert(row[column]).second) result.push_back(row[column]);
+  }
+  return result;
+}
+
+const std::unordered_map<std::vector<Value>, std::vector<RowId>, VectorHash>&
+Relation::GroupBy(const std::vector<size_t>& columns) const {
+  for (size_t c : columns) ENTANGLED_CHECK_LT(c, arity());
+  auto it = group_indexes_.find(columns);
+  if (it != group_indexes_.end()) return it->second;
+  GroupIndexMap index;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    std::vector<Value> key;
+    key.reserve(columns.size());
+    for (size_t c : columns) key.push_back(rows_[id][c]);
+    index[std::move(key)].push_back(id);
+  }
+  return group_indexes_.emplace(columns, std::move(index)).first->second;
+}
+
+std::vector<std::vector<Value>> Relation::GroupKeys(
+    const std::vector<size_t>& columns) const {
+  const GroupIndexMap& groups = GroupBy(columns);
+  std::vector<std::vector<Value>> keys;
+  keys.reserve(groups.size());
+  std::unordered_set<std::vector<Value>, VectorHash> seen;
+  for (const Tuple& row : rows_) {
+    std::vector<Value> key;
+    key.reserve(columns.size());
+    for (size_t c : columns) key.push_back(row[c]);
+    if (seen.insert(key).second) keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+}  // namespace entangled

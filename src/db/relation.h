@@ -1,0 +1,103 @@
+#ifndef ENTANGLED_DB_RELATION_H_
+#define ENTANGLED_DB_RELATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "db/value.h"
+
+namespace entangled {
+
+/// \brief Row identifier within a relation (index into the row store).
+using RowId = uint32_t;
+
+/// \brief A database tuple.
+using Tuple = std::vector<Value>;
+
+/// "(v1, v2, ...)".
+std::string TupleToString(const Tuple& tuple);
+
+/// \brief An in-memory relation: a named, fixed-arity bag of tuples with
+/// lazily-built hash indexes.
+///
+/// Indexes are caches: they are built on first probe of a column (or
+/// column group) and kept consistent by Insert.  Building them is
+/// logically const, matching how the evaluator — which only reads the
+/// database — accelerates its scans.
+class Relation {
+ public:
+  Relation(std::string name, std::vector<std::string> column_names);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  size_t arity() const { return column_names_.size(); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Index of the column called `name`, if any.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Appends a tuple; fails on arity mismatch.
+  Status Insert(Tuple tuple);
+
+  /// Appends Insert(...) for each tuple; stops at the first failure.
+  Status InsertAll(std::vector<Tuple> tuples);
+
+  const Tuple& row(RowId id) const;
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Row ids whose `column` equals `value` (hash-index probe; builds the
+  /// index on first use).
+  const std::vector<RowId>& Probe(size_t column, const Value& value) const;
+
+  /// Row ids matching `pattern`, where disengaged positions are
+  /// wildcards.  Uses the most selective single-column index among the
+  /// engaged positions, then filters.
+  std::vector<RowId> SelectWhere(
+      const std::vector<std::optional<Value>>& pattern) const;
+
+  /// Whether at least one row matches `pattern`.
+  bool AnyMatch(const std::vector<std::optional<Value>>& pattern) const;
+
+  /// Distinct values appearing in `column`, in first-seen row order.
+  std::vector<Value> DistinctValues(size_t column) const;
+
+  /// Groups rows by their projection onto `columns`; the map is cached.
+  /// Iteration over the returned map is unordered; use GroupKeys for a
+  /// deterministic ordering.
+  const std::unordered_map<std::vector<Value>, std::vector<RowId>,
+                           VectorHash>&
+  GroupBy(const std::vector<size_t>& columns) const;
+
+  /// Distinct projections onto `columns`, in first-seen row order
+  /// (deterministic companion of GroupBy).
+  std::vector<std::vector<Value>> GroupKeys(
+      const std::vector<size_t>& columns) const;
+
+ private:
+  using ColumnIndexMap = std::unordered_map<Value, std::vector<RowId>>;
+  using GroupIndexMap =
+      std::unordered_map<std::vector<Value>, std::vector<RowId>, VectorHash>;
+
+  const ColumnIndexMap& EnsureColumnIndex(size_t column) const;
+
+  std::string name_;
+  std::vector<std::string> column_names_;
+  std::vector<Tuple> rows_;
+
+  // Lazily-built caches (see class comment).
+  mutable std::unordered_map<size_t, ColumnIndexMap> column_indexes_;
+  mutable std::unordered_map<std::vector<size_t>, GroupIndexMap, VectorHash>
+      group_indexes_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_DB_RELATION_H_

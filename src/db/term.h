@@ -1,0 +1,76 @@
+#ifndef ENTANGLED_DB_TERM_H_
+#define ENTANGLED_DB_TERM_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/logging.h"
+#include "db/value.h"
+
+namespace entangled {
+
+/// \brief Identifier of a query variable.  Variable ids are scoped to a
+/// QuerySet; queries added to the same set are standardized apart so ids
+/// never collide across queries.
+using VarId = int32_t;
+
+/// \brief A term of an atom: either a variable or a constant Value.
+class Term {
+ public:
+  /// Default-constructs variable 0 (needed for container resizing).
+  Term() : var_(0), is_variable_(true) {}
+
+  static Term Var(VarId id) {
+    Term t;
+    t.is_variable_ = true;
+    t.var_ = id;
+    return t;
+  }
+  static Term Const(Value value) {
+    Term t;
+    t.is_variable_ = false;
+    t.constant_ = std::move(value);
+    return t;
+  }
+  /// Convenience constant factories.
+  static Term Int(int64_t v) { return Const(Value::Int(v)); }
+  static Term Str(std::string v) { return Const(Value::Str(std::move(v))); }
+
+  bool is_variable() const { return is_variable_; }
+  bool is_constant() const { return !is_variable_; }
+
+  VarId var() const {
+    ENTANGLED_CHECK(is_variable_) << "Term is not a variable";
+    return var_;
+  }
+  const Value& constant() const {
+    ENTANGLED_CHECK(!is_variable_) << "Term is not a constant";
+    return constant_;
+  }
+
+  /// Variables render as "?<id>"; use QuerySet::TermToString for named
+  /// variables.
+  std::string ToString() const {
+    return is_variable_ ? "?" + std::to_string(var_) : constant_.ToString();
+  }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_variable_ != b.is_variable_) return false;
+    return a.is_variable_ ? a.var_ == b.var_ : a.constant_ == b.constant_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+ private:
+  Value constant_;
+  VarId var_;
+  bool is_variable_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Term& term) {
+  return os << term.ToString();
+}
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_DB_TERM_H_

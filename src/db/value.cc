@@ -1,0 +1,39 @@
+#include "db/value.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace entangled {
+
+int64_t Value::AsInt() const {
+  ENTANGLED_CHECK(is_int()) << "Value is not an int: " << ToString(true);
+  return std::get<int64_t>(repr_);
+}
+
+const std::string& Value::AsString() const {
+  ENTANGLED_CHECK(is_string()) << "Value is not a string: " << ToString(true);
+  return std::get<std::string>(repr_);
+}
+
+std::string Value::ToString(bool quote) const {
+  if (is_int()) return std::to_string(std::get<int64_t>(repr_));
+  const std::string& s = std::get<std::string>(repr_);
+  if (!quote) return s;
+  return "'" + s + "'";
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(kind());
+  if (is_int()) {
+    HashCombine(&seed, std::get<int64_t>(repr_));
+  } else {
+    HashCombine(&seed, std::get<std::string>(repr_));
+  }
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace entangled

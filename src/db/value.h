@@ -1,0 +1,73 @@
+#ifndef ENTANGLED_DB_VALUE_H_
+#define ENTANGLED_DB_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace entangled {
+
+/// \brief A dynamically-typed database value: a 64-bit integer or a
+/// string.
+///
+/// The coordination algorithms are schema-agnostic, so relations hold
+/// dynamically typed tuples.  Values order integers before strings
+/// (arbitrary but total), which makes scan order — and therefore the
+/// choose-1 witness the evaluator returns — deterministic.
+class Value {
+ public:
+  enum class Kind : uint8_t { kInt = 0, kString = 1 };
+
+  /// Default-constructs the integer 0 (needed for container resizing).
+  Value() : repr_(int64_t{0}) {}
+
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+  static Value Str(std::string_view v) { return Value(std::string(v)); }
+  static Value Str(const char* v) { return Value(std::string(v)); }
+
+  Kind kind() const {
+    return repr_.index() == 0 ? Kind::kInt : Kind::kString;
+  }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_string() const { return kind() == Kind::kString; }
+
+  /// Accessors; CHECK-fail on kind mismatch.
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+
+  /// Renders the value; strings are quoted only when `quote` is set.
+  std::string ToString(bool quote = false) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.repr_ == b.repr_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.repr_ < b.repr_;
+  }
+
+  size_t Hash() const;
+
+ private:
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+
+  std::variant<int64_t, std::string> repr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace entangled
+
+namespace std {
+template <>
+struct hash<entangled::Value> {
+  size_t operator()(const entangled::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // ENTANGLED_DB_VALUE_H_

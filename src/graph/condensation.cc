@@ -1,0 +1,26 @@
+#include "graph/condensation.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace entangled {
+
+Digraph Condense(const Digraph& graph, const SccResult& scc) {
+  ENTANGLED_CHECK_EQ(scc.component_of.size(),
+                     static_cast<size_t>(graph.num_nodes()));
+  Digraph result(scc.num_components());
+  std::unordered_set<std::pair<NodeId, NodeId>, PairHash> seen;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    NodeId cu = scc.component_of[static_cast<size_t>(u)];
+    for (NodeId v : graph.Successors(u)) {
+      NodeId cv = scc.component_of[static_cast<size_t>(v)];
+      if (cu == cv) continue;
+      if (seen.emplace(cu, cv).second) result.AddEdge(cu, cv);
+    }
+  }
+  return result;
+}
+
+}  // namespace entangled

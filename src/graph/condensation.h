@@ -1,0 +1,19 @@
+#ifndef ENTANGLED_GRAPH_CONDENSATION_H_
+#define ENTANGLED_GRAPH_CONDENSATION_H_
+
+#include "graph/digraph.h"
+#include "graph/scc.h"
+
+namespace entangled {
+
+/// \brief The components graph G' of the paper (§4): one node per SCC,
+/// an edge S1 -> S2 when some u in S1 has an edge to some v in S2,
+/// parallel edges collapsed and self-loops dropped.
+///
+/// `scc` must come from TarjanScc/NaiveScc over the same `graph`.  The
+/// result is a DAG whose node c corresponds to scc.members[c].
+Digraph Condense(const Digraph& graph, const SccResult& scc);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_GRAPH_CONDENSATION_H_

@@ -1,0 +1,93 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+Digraph::Digraph(NodeId num_nodes) {
+  ENTANGLED_CHECK_GE(num_nodes, 0);
+  out_.resize(static_cast<size_t>(num_nodes));
+  in_.resize(static_cast<size_t>(num_nodes));
+}
+
+NodeId Digraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+void Digraph::AddEdge(NodeId u, NodeId v) {
+  ENTANGLED_CHECK(u >= 0 && u < num_nodes()) << "bad source " << u;
+  ENTANGLED_CHECK(v >= 0 && v < num_nodes()) << "bad target " << v;
+  out_[static_cast<size_t>(u)].push_back(v);
+  in_[static_cast<size_t>(v)].push_back(u);
+  ++num_edges_;
+}
+
+bool Digraph::AddEdgeUnique(NodeId u, NodeId v) {
+  if (HasEdge(u, v)) return false;
+  AddEdge(u, v);
+  return true;
+}
+
+bool Digraph::HasEdge(NodeId u, NodeId v) const {
+  ENTANGLED_CHECK(u >= 0 && u < num_nodes()) << "bad source " << u;
+  const auto& successors = out_[static_cast<size_t>(u)];
+  return std::find(successors.begin(), successors.end(), v) !=
+         successors.end();
+}
+
+const std::vector<NodeId>& Digraph::Successors(NodeId u) const {
+  ENTANGLED_CHECK(u >= 0 && u < num_nodes()) << "bad node " << u;
+  return out_[static_cast<size_t>(u)];
+}
+
+const std::vector<NodeId>& Digraph::Predecessors(NodeId v) const {
+  ENTANGLED_CHECK(v >= 0 && v < num_nodes()) << "bad node " << v;
+  return in_[static_cast<size_t>(v)];
+}
+
+Digraph Digraph::InducedSubgraph(const std::vector<bool>& keep,
+                                 std::vector<NodeId>* old_to_new) const {
+  ENTANGLED_CHECK_EQ(keep.size(), static_cast<size_t>(num_nodes()));
+  std::vector<NodeId> mapping(keep.size(), -1);
+  NodeId next = 0;
+  for (size_t v = 0; v < keep.size(); ++v) {
+    if (keep[v]) mapping[v] = next++;
+  }
+  Digraph result(next);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (mapping[static_cast<size_t>(u)] < 0) continue;
+    for (NodeId v : Successors(u)) {
+      if (mapping[static_cast<size_t>(v)] < 0) continue;
+      result.AddEdge(mapping[static_cast<size_t>(u)],
+                     mapping[static_cast<size_t>(v)]);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return result;
+}
+
+Digraph Digraph::Reversed() const {
+  Digraph result(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : Successors(u)) result.AddEdge(v, u);
+  }
+  return result;
+}
+
+std::string Digraph::ToString() const {
+  std::ostringstream out;
+  out << "Digraph(" << num_nodes() << " nodes, " << num_edges_ << " edges)";
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (Successors(u).empty()) continue;
+    out << "\n  " << u << " ->";
+    for (NodeId v : Successors(u)) out << " " << v;
+  }
+  return out.str();
+}
+
+}  // namespace entangled

@@ -1,0 +1,67 @@
+#ifndef ENTANGLED_GRAPH_DIGRAPH_H_
+#define ENTANGLED_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace entangled {
+
+/// \brief Node identifier within a Digraph (dense, 0-based).
+using NodeId = int32_t;
+
+/// \brief A directed graph over a fixed node set, stored as forward and
+/// reverse adjacency lists.
+///
+/// This is the JGraphT substitute: coordination graphs, condensations
+/// and the synthetic social networks are all Digraphs.  Parallel edges
+/// are allowed unless callers use AddEdgeUnique; self-loops are allowed
+/// (a query whose postcondition unifies with its own head).
+class Digraph {
+ public:
+  /// An empty graph with `num_nodes` isolated nodes.
+  explicit Digraph(NodeId num_nodes = 0);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(out_.size()); }
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Appends a new isolated node and returns its id.
+  NodeId AddNode();
+
+  /// Adds the edge u -> v (parallel edges permitted).
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Adds u -> v unless it is already present; returns whether an edge
+  /// was added.  O(out-degree(u)).
+  bool AddEdgeUnique(NodeId u, NodeId v);
+
+  /// Whether the edge u -> v is present.  O(out-degree(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  const std::vector<NodeId>& Successors(NodeId u) const;
+  const std::vector<NodeId>& Predecessors(NodeId v) const;
+
+  size_t OutDegree(NodeId u) const { return Successors(u).size(); }
+  size_t InDegree(NodeId v) const { return Predecessors(v).size(); }
+
+  /// The subgraph induced by nodes with keep[v] == true.  Kept nodes are
+  /// renumbered densely in increasing id order; `old_to_new` (optional)
+  /// receives the mapping with -1 for dropped nodes.
+  Digraph InducedSubgraph(const std::vector<bool>& keep,
+                          std::vector<NodeId>* old_to_new = nullptr) const;
+
+  /// The graph with every edge reversed.
+  Digraph Reversed() const;
+
+  /// Multi-line human-readable dump (for test failure messages).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_GRAPH_DIGRAPH_H_

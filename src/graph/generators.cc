@@ -1,0 +1,97 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+Digraph MakeChain(NodeId n) {
+  Digraph graph(n);
+  for (NodeId v = 0; v + 1 < n; ++v) graph.AddEdge(v, v + 1);
+  return graph;
+}
+
+Digraph MakeCycle(NodeId n) {
+  Digraph graph(n);
+  if (n == 0) return graph;
+  for (NodeId v = 0; v < n; ++v) graph.AddEdge(v, (v + 1) % n);
+  return graph;
+}
+
+Digraph MakeComplete(NodeId n) {
+  Digraph graph(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) graph.AddEdge(u, v);
+    }
+  }
+  return graph;
+}
+
+Digraph MakeErdosRenyi(NodeId n, double p, Rng* rng) {
+  ENTANGLED_CHECK(rng != nullptr);
+  Digraph graph(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v && rng->NextBool(p)) graph.AddEdge(u, v);
+    }
+  }
+  return graph;
+}
+
+Digraph MakeScaleFree(NodeId n, int edges_per_node, Rng* rng) {
+  ENTANGLED_CHECK(rng != nullptr);
+  ENTANGLED_CHECK_GE(edges_per_node, 1);
+  Digraph graph(n);
+  if (n <= 1) return graph;
+
+  // Preferential attachment via the repeated-endpoints trick: every edge
+  // endpoint is appended to `attachment`, so drawing a uniform element
+  // of `attachment` is a draw proportional to degree.  Seeding each node
+  // once gives the customary (in-degree + 1) smoothing so isolated early
+  // nodes stay reachable.
+  std::vector<NodeId> attachment;
+  attachment.reserve(static_cast<size_t>(n) *
+                     static_cast<size_t>(edges_per_node + 1));
+  attachment.push_back(0);
+  for (NodeId v = 1; v < n; ++v) {
+    int edges = std::min<int>(edges_per_node, v);
+    std::vector<NodeId> chosen;
+    while (static_cast<int>(chosen.size()) < edges) {
+      NodeId target = rng->Choice(attachment);
+      if (target == v) continue;
+      if (std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(target);
+    }
+    for (NodeId target : chosen) {
+      graph.AddEdge(v, target);
+      attachment.push_back(target);  // target gains in-degree weight
+    }
+    attachment.push_back(v);  // smoothing seed for the new node
+  }
+  return graph;
+}
+
+Digraph MakeRandomKOut(NodeId n, int k, Rng* rng) {
+  ENTANGLED_CHECK(rng != nullptr);
+  ENTANGLED_CHECK_GE(k, 0);
+  Digraph graph(n);
+  if (n <= 1) return graph;
+  for (NodeId u = 0; u < n; ++u) {
+    int out = std::min<int>(k, n - 1);
+    // Draw `out` distinct targets != u.
+    std::vector<size_t> draws =
+        rng->Sample(static_cast<size_t>(n - 1), static_cast<size_t>(out));
+    for (size_t d : draws) {
+      NodeId v = static_cast<NodeId>(d);
+      if (v >= u) v = static_cast<NodeId>(d + 1);  // skip u
+      graph.AddEdge(u, v);
+    }
+  }
+  return graph;
+}
+
+}  // namespace entangled

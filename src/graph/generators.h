@@ -1,0 +1,37 @@
+#ifndef ENTANGLED_GRAPH_GENERATORS_H_
+#define ENTANGLED_GRAPH_GENERATORS_H_
+
+#include "common/rng.h"
+#include "graph/digraph.h"
+
+namespace entangled {
+
+/// Chain 0 -> 1 -> ... -> n-1 (the paper's Figure-4 "list structure":
+/// each query coordinates with the next, the last with nobody).
+Digraph MakeChain(NodeId n);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Digraph MakeCycle(NodeId n);
+
+/// Complete digraph: every ordered pair (u, v), u != v.
+Digraph MakeComplete(NodeId n);
+
+/// Erdős–Rényi G(n, p): each ordered pair independently with
+/// probability p.
+Digraph MakeErdosRenyi(NodeId n, double p, Rng* rng);
+
+/// Directed Barabási–Albert scale-free network [Barabási & Albert 1999],
+/// the paper's model for social coordination structure (§6.1): nodes
+/// arrive one at a time and attach `edges_per_node` out-edges to earlier
+/// nodes by preferential attachment on (in-degree + 1); the in-degree
+/// distribution follows a power law.  Self-loops and parallel edges are
+/// avoided.
+Digraph MakeScaleFree(NodeId n, int edges_per_node, Rng* rng);
+
+/// Each node draws k distinct out-neighbours uniformly (k capped at
+/// n - 1).
+Digraph MakeRandomKOut(NodeId n, int k, Rng* rng);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_GRAPH_GENERATORS_H_

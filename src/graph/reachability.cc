@@ -1,0 +1,70 @@
+#include "graph/reachability.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+std::vector<bool> ReachableFrom(const Digraph& graph, NodeId source) {
+  ENTANGLED_CHECK(source >= 0 && source < graph.num_nodes());
+  std::vector<bool> visited(static_cast<size_t>(graph.num_nodes()), false);
+  std::deque<NodeId> queue;
+  visited[static_cast<size_t>(source)] = true;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : graph.Successors(u)) {
+      if (!visited[static_cast<size_t>(v)]) {
+        visited[static_cast<size_t>(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return visited;
+}
+
+bool IsStronglyConnected(const Digraph& graph) {
+  if (graph.num_nodes() <= 1) return true;
+  std::vector<bool> forward = ReachableFrom(graph, 0);
+  for (bool reachable : forward) {
+    if (!reachable) return false;
+  }
+  std::vector<bool> backward = ReachableFrom(graph.Reversed(), 0);
+  for (bool reachable : backward) {
+    if (!reachable) return false;
+  }
+  return true;
+}
+
+namespace {
+
+int CountSimplePathsRec(const Digraph& graph, NodeId current, NodeId target,
+                        int limit, std::vector<bool>* visited) {
+  if (current == target) return 1;
+  int count = 0;
+  for (NodeId next : graph.Successors(current)) {
+    if ((*visited)[static_cast<size_t>(next)]) continue;
+    (*visited)[static_cast<size_t>(next)] = true;
+    count += CountSimplePathsRec(graph, next, target, limit - count,
+                                 visited);
+    (*visited)[static_cast<size_t>(next)] = false;
+    if (count >= limit) return count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int CountSimplePaths(const Digraph& graph, NodeId source, NodeId target,
+                     int limit) {
+  ENTANGLED_CHECK(source >= 0 && source < graph.num_nodes());
+  ENTANGLED_CHECK(target >= 0 && target < graph.num_nodes());
+  ENTANGLED_CHECK_GT(limit, 0);
+  std::vector<bool> visited(static_cast<size_t>(graph.num_nodes()), false);
+  visited[static_cast<size_t>(source)] = true;
+  return CountSimplePathsRec(graph, source, target, limit, &visited);
+}
+
+}  // namespace entangled

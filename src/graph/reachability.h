@@ -1,0 +1,26 @@
+#ifndef ENTANGLED_GRAPH_REACHABILITY_H_
+#define ENTANGLED_GRAPH_REACHABILITY_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace entangled {
+
+/// Nodes reachable from `source` (including `source` itself), as a
+/// characteristic vector.  BFS, O(V + E).
+std::vector<bool> ReachableFrom(const Digraph& graph, NodeId source);
+
+/// Whether every ordered pair of nodes is connected by a directed path —
+/// the paper's *uniqueness* condition on coordination graphs (Def. 3).
+bool IsStronglyConnected(const Digraph& graph);
+
+/// Counts the simple paths from `source` to `target`, stopping early at
+/// `limit`.  Exponential in the worst case; used by the
+/// single-connectedness test (Def. 6) on small query sets.
+int CountSimplePaths(const Digraph& graph, NodeId source, NodeId target,
+                     int limit);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_GRAPH_REACHABILITY_H_

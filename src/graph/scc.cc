@@ -1,0 +1,169 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/reachability.h"
+
+namespace entangled {
+
+SccResult TarjanScc(const Digraph& graph) {
+  const NodeId n = graph.num_nodes();
+  constexpr NodeId kUnvisited = -1;
+
+  std::vector<NodeId> index(static_cast<size_t>(n), kUnvisited);
+  std::vector<NodeId> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<NodeId> stack;  // Tarjan's component stack
+
+  SccResult result;
+  result.component_of.assign(static_cast<size_t>(n), kUnvisited);
+  NodeId next_index = 0;
+
+  // Explicit DFS frames: (node, next successor offset).
+  struct Frame {
+    NodeId node;
+    size_t next_child;
+  };
+  std::vector<Frame> frames;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[static_cast<size_t>(root)] = next_index;
+    lowlink[static_cast<size_t>(root)] = next_index;
+    ++next_index;
+    stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const auto& successors = graph.Successors(frame.node);
+      if (frame.next_child < successors.size()) {
+        NodeId child = successors[frame.next_child++];
+        if (index[static_cast<size_t>(child)] == kUnvisited) {
+          index[static_cast<size_t>(child)] = next_index;
+          lowlink[static_cast<size_t>(child)] = next_index;
+          ++next_index;
+          stack.push_back(child);
+          on_stack[static_cast<size_t>(child)] = true;
+          frames.push_back({child, 0});
+        } else if (on_stack[static_cast<size_t>(child)]) {
+          lowlink[static_cast<size_t>(frame.node)] =
+              std::min(lowlink[static_cast<size_t>(frame.node)],
+                       index[static_cast<size_t>(child)]);
+        }
+      } else {
+        // Node finished: maybe pop an SCC, then propagate lowlink.
+        NodeId v = frame.node;
+        if (lowlink[static_cast<size_t>(v)] ==
+            index[static_cast<size_t>(v)]) {
+          std::vector<NodeId> component;
+          NodeId id = result.num_components();
+          while (true) {
+            NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = false;
+            result.component_of[static_cast<size_t>(w)] = id;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(component.begin(), component.end());
+          result.members.push_back(std::move(component));
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          NodeId parent = frames.back().node;
+          lowlink[static_cast<size_t>(parent)] =
+              std::min(lowlink[static_cast<size_t>(parent)],
+                       lowlink[static_cast<size_t>(v)]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+SccResult NaiveScc(const Digraph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<std::vector<bool>> reach(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    reach[static_cast<size_t>(v)] = ReachableFrom(graph, v);
+  }
+  SccResult result;
+  result.component_of.assign(static_cast<size_t>(n), -1);
+  // Group mutually-reachable nodes; component ids then get renumbered in
+  // reverse topological order to match TarjanScc's contract.
+  for (NodeId v = 0; v < n; ++v) {
+    if (result.component_of[static_cast<size_t>(v)] != -1) continue;
+    NodeId id = result.num_components();
+    result.members.emplace_back();
+    for (NodeId w = v; w < n; ++w) {
+      if (result.component_of[static_cast<size_t>(w)] == -1 &&
+          reach[static_cast<size_t>(v)][static_cast<size_t>(w)] &&
+          reach[static_cast<size_t>(w)][static_cast<size_t>(v)]) {
+        result.component_of[static_cast<size_t>(w)] = id;
+        result.members[static_cast<size_t>(id)].push_back(w);
+      }
+    }
+  }
+  // Renumber: component A precedes B when A is reachable from B (sinks
+  // first), using any member as the representative.
+  const NodeId num_components = result.num_components();
+  std::vector<std::vector<NodeId>> comp_succs(
+      static_cast<size_t>(num_components));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.Successors(u)) {
+      NodeId cu = result.component_of[static_cast<size_t>(u)];
+      NodeId cv = result.component_of[static_cast<size_t>(v)];
+      if (cu != cv) comp_succs[static_cast<size_t>(cu)].push_back(cv);
+    }
+  }
+  // Kahn on the condensation, emitting sinks first.
+  std::vector<int> out_degree(static_cast<size_t>(num_components), 0);
+  std::vector<std::vector<NodeId>> comp_preds(
+      static_cast<size_t>(num_components));
+  for (NodeId c = 0; c < num_components; ++c) {
+    std::sort(comp_succs[static_cast<size_t>(c)].begin(),
+              comp_succs[static_cast<size_t>(c)].end());
+    comp_succs[static_cast<size_t>(c)].erase(
+        std::unique(comp_succs[static_cast<size_t>(c)].begin(),
+                    comp_succs[static_cast<size_t>(c)].end()),
+        comp_succs[static_cast<size_t>(c)].end());
+    out_degree[static_cast<size_t>(c)] =
+        static_cast<int>(comp_succs[static_cast<size_t>(c)].size());
+    for (NodeId d : comp_succs[static_cast<size_t>(c)]) {
+      comp_preds[static_cast<size_t>(d)].push_back(c);
+    }
+  }
+  std::vector<NodeId> order;
+  std::vector<NodeId> queue;
+  for (NodeId c = 0; c < num_components; ++c) {
+    if (out_degree[static_cast<size_t>(c)] == 0) queue.push_back(c);
+  }
+  while (!queue.empty()) {
+    NodeId c = queue.back();
+    queue.pop_back();
+    order.push_back(c);
+    for (NodeId p : comp_preds[static_cast<size_t>(c)]) {
+      if (--out_degree[static_cast<size_t>(p)] == 0) queue.push_back(p);
+    }
+  }
+  ENTANGLED_CHECK_EQ(order.size(), static_cast<size_t>(num_components));
+  std::vector<NodeId> new_id(static_cast<size_t>(num_components));
+  for (NodeId pos = 0; pos < num_components; ++pos) {
+    new_id[static_cast<size_t>(order[static_cast<size_t>(pos)])] = pos;
+  }
+  SccResult renumbered;
+  renumbered.component_of.resize(static_cast<size_t>(n));
+  renumbered.members.resize(static_cast<size_t>(num_components));
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId c = new_id[static_cast<size_t>(
+        result.component_of[static_cast<size_t>(v)])];
+    renumbered.component_of[static_cast<size_t>(v)] = c;
+    renumbered.members[static_cast<size_t>(c)].push_back(v);
+  }
+  return renumbered;
+}
+
+}  // namespace entangled

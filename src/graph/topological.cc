@@ -1,0 +1,68 @@
+#include "graph/topological.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace entangled {
+
+Result<std::vector<NodeId>> TopologicalOrder(const Digraph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<int> in_degree(static_cast<size_t>(n), 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.Successors(u)) {
+      ++in_degree[static_cast<size_t>(v)];
+    }
+  }
+  // Min-heap keyed on node id for a deterministic order.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<NodeId>>
+      ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_degree[static_cast<size_t>(v)] == 0) ready.push(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<size_t>(n));
+  while (!ready.empty()) {
+    NodeId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (NodeId v : graph.Successors(u)) {
+      if (--in_degree[static_cast<size_t>(v)] == 0) ready.push(v);
+    }
+  }
+  if (order.size() != static_cast<size_t>(n)) {
+    return Status::FailedPrecondition("graph has a cycle; ", order.size(),
+                                      " of ", n, " nodes ordered");
+  }
+  return order;
+}
+
+Result<std::vector<NodeId>> ReverseTopologicalOrder(const Digraph& graph) {
+  auto order = TopologicalOrder(graph);
+  if (!order.ok()) return order.status();
+  std::vector<NodeId> reversed = std::move(order).value();
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+bool IsTopologicalOrder(const Digraph& graph,
+                        const std::vector<NodeId>& order) {
+  if (order.size() != static_cast<size_t>(graph.num_nodes())) return false;
+  std::vector<NodeId> position(order.size(), -1);
+  for (size_t i = 0; i < order.size(); ++i) {
+    NodeId v = order[i];
+    if (v < 0 || v >= graph.num_nodes()) return false;
+    if (position[static_cast<size_t>(v)] != -1) return false;  // duplicate
+    position[static_cast<size_t>(v)] = static_cast<NodeId>(i);
+  }
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.Successors(u)) {
+      if (position[static_cast<size_t>(u)] >=
+          position[static_cast<size_t>(v)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace entangled

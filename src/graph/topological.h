@@ -1,0 +1,27 @@
+#ifndef ENTANGLED_GRAPH_TOPOLOGICAL_H_
+#define ENTANGLED_GRAPH_TOPOLOGICAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/digraph.h"
+
+namespace entangled {
+
+/// Topological order of a DAG (sources first); error Status when the
+/// graph has a cycle.  Kahn's algorithm; ties are broken by smaller node
+/// id so the order is deterministic.
+Result<std::vector<NodeId>> TopologicalOrder(const Digraph& graph);
+
+/// Reverse topological order (sinks first) — the order in which the SCC
+/// Coordination Algorithm sweeps the components graph (§4).
+Result<std::vector<NodeId>> ReverseTopologicalOrder(const Digraph& graph);
+
+/// Whether `order` is a permutation of the nodes listing every edge's
+/// source before its target.
+bool IsTopologicalOrder(const Digraph& graph,
+                        const std::vector<NodeId>& order);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_GRAPH_TOPOLOGICAL_H_

@@ -1,0 +1,152 @@
+#include "reductions/appendix_b.h"
+
+#include "common/logging.h"
+
+namespace entangled {
+namespace {
+
+std::string ClauseName(size_t index) { return "C" + std::to_string(index + 1); }
+std::string PosLiteralName(int32_t var) { return "X" + std::to_string(var); }
+std::string NegLiteralName(int32_t var) {
+  return "X" + std::to_string(var) + "*";
+}
+std::string SelectorName(int32_t var) { return "S" + std::to_string(var); }
+
+}  // namespace
+
+AppendixBEncoding EncodeAppendixB(const CnfFormula& formula, QuerySet* set,
+                                  Database* db) {
+  ENTANGLED_CHECK(set != nullptr);
+  ENTANGLED_CHECK(db != nullptr);
+  ENTANGLED_CHECK(formula.WellFormed());
+
+  // Fl(flight, date): one flight per date.
+  if (!db->Contains("Fl")) {
+    Relation* fl = *db->CreateRelation("Fl", {"flight", "date"});
+    ENTANGLED_CHECK(fl->Insert({Value::Int(1), Value::Str("1MAR")}).ok());
+    ENTANGLED_CHECK(fl->Insert({Value::Int(2), Value::Str("2MAR")}).ok());
+  }
+  // Fr(clause, literal): which literal queries can witness each clause.
+  Relation* fr = db->FindMutable("Fr");
+  if (fr == nullptr) fr = *db->CreateRelation("Fr", {"clause", "literal"});
+  for (size_t c = 0; c < formula.clauses.size(); ++c) {
+    for (const Literal& literal : formula.clauses[c]) {
+      ENTANGLED_CHECK(
+          fr->Insert({Value::Str(ClauseName(c)),
+                      Value::Str(literal.positive()
+                                     ? PosLiteralName(literal.var())
+                                     : NegLiteralName(literal.var()))})
+              .ok());
+    }
+  }
+
+  AppendixBEncoding encoding;
+  const Term t1mar = Term::Str("1MAR");
+  const Term t2mar = Term::Str("2MAR");
+
+  // qC: requires every clause, all flying on 1MAR.
+  {
+    EntangledQuery q;
+    q.name = "qC";
+    VarId x = set->NewVar("x_C");
+    q.head.emplace_back("R",
+                        std::vector<Term>{Term::Var(x), Term::Str("C")});
+    q.body.emplace_back("Fl", std::vector<Term>{Term::Var(x), t1mar});
+    for (size_t c = 0; c < formula.clauses.size(); ++c) {
+      VarId y = set->NewVar("y_C_" + std::to_string(c + 1));
+      q.postconditions.emplace_back(
+          "R", std::vector<Term>{Term::Var(y), Term::Str(ClauseName(c))});
+      q.body.emplace_back("Fl", std::vector<Term>{Term::Var(y), t1mar});
+    }
+    encoding.qc = set->AddQuery(std::move(q));
+  }
+
+  // qCj: satisfied through any of the clause's literal "friends".
+  for (size_t c = 0; c < formula.clauses.size(); ++c) {
+    EntangledQuery q;
+    q.name = "q" + ClauseName(c);
+    VarId x = set->NewVar("x_" + ClauseName(c));
+    VarId y = set->NewVar("y_" + ClauseName(c));
+    VarId f = set->NewVar("f_" + ClauseName(c));
+    VarId d = set->NewVar("d_" + ClauseName(c));
+    q.postconditions.emplace_back(
+        "R", std::vector<Term>{Term::Var(y), Term::Var(f)});
+    q.head.emplace_back(
+        "R", std::vector<Term>{Term::Var(x), Term::Str(ClauseName(c))});
+    q.body.emplace_back(
+        "Fr", std::vector<Term>{Term::Str(ClauseName(c)), Term::Var(f)});
+    q.body.emplace_back("Fl", std::vector<Term>{Term::Var(x), t1mar});
+    q.body.emplace_back("Fl",
+                        std::vector<Term>{Term::Var(y), Term::Var(d)});
+    encoding.clause_queries.push_back(set->AddQuery(std::move(q)));
+  }
+
+  // qXi / qXi* / Si per variable: the selection gadget.
+  for (int32_t v = 1; v <= formula.num_vars; ++v) {
+    {
+      EntangledQuery q;
+      q.name = "q" + PosLiteralName(v);
+      VarId x = set->NewVar("x_X" + std::to_string(v));
+      VarId y = set->NewVar("y_X" + std::to_string(v));
+      q.postconditions.emplace_back(
+          "R",
+          std::vector<Term>{Term::Var(y), Term::Str(SelectorName(v))});
+      q.head.emplace_back(
+          "R",
+          std::vector<Term>{Term::Var(x), Term::Str(PosLiteralName(v))});
+      q.body.emplace_back("Fl", std::vector<Term>{Term::Var(x), t1mar});
+      q.body.emplace_back("Fl", std::vector<Term>{Term::Var(y), t1mar});
+      encoding.positive_queries.push_back(set->AddQuery(std::move(q)));
+    }
+    {
+      EntangledQuery q;
+      q.name = "q" + NegLiteralName(v);
+      VarId x = set->NewVar("x_X" + std::to_string(v) + "s");
+      VarId y = set->NewVar("y_X" + std::to_string(v) + "s");
+      q.postconditions.emplace_back(
+          "R",
+          std::vector<Term>{Term::Var(y), Term::Str(SelectorName(v))});
+      q.head.emplace_back(
+          "R",
+          std::vector<Term>{Term::Var(x), Term::Str(NegLiteralName(v))});
+      q.body.emplace_back("Fl", std::vector<Term>{Term::Var(x), t2mar});
+      q.body.emplace_back("Fl", std::vector<Term>{Term::Var(y), t2mar});
+      encoding.negative_queries.push_back(set->AddQuery(std::move(q)));
+    }
+    {
+      EntangledQuery q;
+      q.name = SelectorName(v);
+      VarId x = set->NewVar("x_S" + std::to_string(v));
+      VarId y = set->NewVar("y_S" + std::to_string(v));
+      VarId d = set->NewVar("d_S" + std::to_string(v));
+      VarId d2 = set->NewVar("d2_S" + std::to_string(v));
+      q.postconditions.emplace_back(
+          "R", std::vector<Term>{Term::Var(y), Term::Str("C")});
+      q.head.emplace_back(
+          "R",
+          std::vector<Term>{Term::Var(x), Term::Str(SelectorName(v))});
+      q.body.emplace_back("Fl",
+                          std::vector<Term>{Term::Var(x), Term::Var(d)});
+      q.body.emplace_back("Fl",
+                          std::vector<Term>{Term::Var(y), Term::Var(d2)});
+      encoding.selector_queries.push_back(set->AddQuery(std::move(q)));
+    }
+  }
+  return encoding;
+}
+
+TruthAssignment AppendixBEncoding::DecodeAssignment(
+    const CnfFormula& formula, const CoordinationSolution& sol) const {
+  TruthAssignment assignment(static_cast<size_t>(formula.num_vars) + 1,
+                             true);
+  for (int32_t v = 1; v <= formula.num_vars; ++v) {
+    const size_t index = static_cast<size_t>(v - 1);
+    if (sol.Contains(negative_queries[index]) &&
+        !sol.Contains(positive_queries[index])) {
+      assignment[static_cast<size_t>(v)] = false;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace entangled

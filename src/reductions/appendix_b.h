@@ -1,0 +1,51 @@
+#ifndef ENTANGLED_REDUCTIONS_APPENDIX_B_H_
+#define ENTANGLED_REDUCTIONS_APPENDIX_B_H_
+
+#include <vector>
+
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+#include "reductions/cnf.h"
+
+namespace entangled {
+
+/// \brief The Appendix-B construction: relaxing §5's "everyone
+/// coordinates on the same attributes" brings NP-hardness back.  Some
+/// queries coordinate on the flight date only, others on (date, flight);
+/// 3SAT embeds via a circular dependency through a selection gadget.
+///
+/// Database: Fl(flight, date) with one flight on '1MAR' and one on
+/// '2MAR'; Fr(clause, literal) lists which literal queries can satisfy
+/// each clause.
+///
+///   qC  : {R(y1,C1),...,R(yk,Ck)} R(x,C)    :- Fl(x,1MAR), ⋀i Fl(yi,1MAR)
+///   qCj : {R(y,f)}               R(x,Cj)    :- Fr(Cj,f), Fl(x,1MAR), Fl(y,d)
+///   qXi : {R(y,Si)}              R(x,Xi)    :- Fl(x,1MAR), Fl(y,1MAR)
+///   qXi*: {R(y,Si)}              R(x,Xi*)   :- Fl(x,2MAR), Fl(y,2MAR)
+///   Si  : {R(y,C)}               R(x,Si)    :- Fl(x,d), Fl(y,d')
+///
+/// The Si gadget's single head forces at most one of {qXi, qXi*} into
+/// any coordinating set (their bodies pin Si's flight to different
+/// dates), encoding the truth value of xi.  The formula is satisfiable
+/// iff a coordinating set exists.
+struct AppendixBEncoding {
+  QueryId qc;
+  std::vector<QueryId> clause_queries;    ///< qCj, per clause
+  std::vector<QueryId> positive_queries;  ///< qXi, per variable
+  std::vector<QueryId> negative_queries;  ///< qXi*, per variable
+  std::vector<QueryId> selector_queries;  ///< Si, per variable
+
+  /// Variable i is true iff its positive-literal query participates.
+  TruthAssignment DecodeAssignment(const CnfFormula& formula,
+                                   const CoordinationSolution& sol) const;
+};
+
+/// \brief Builds the Appendix-B instance into `*set` / `*db` (relations
+/// "Fl" and "Fr").
+AppendixBEncoding EncodeAppendixB(const CnfFormula& formula, QuerySet* set,
+                                  Database* db);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_REDUCTIONS_APPENDIX_B_H_

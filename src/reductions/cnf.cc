@@ -1,0 +1,50 @@
+#include "reductions/cnf.h"
+
+#include <sstream>
+
+namespace entangled {
+
+std::string CnfFormula::ToString() const {
+  std::ostringstream out;
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    if (c > 0) out << " & ";
+    out << "(";
+    for (size_t i = 0; i < clauses[c].size(); ++i) {
+      if (i > 0) out << " | ";
+      out << clauses[c][i].ToString();
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+bool CnfFormula::WellFormed() const {
+  for (const Clause& clause : clauses) {
+    if (clause.empty()) return false;
+    for (const Literal& literal : clause) {
+      if (literal.encoded == 0 || literal.var() > num_vars) return false;
+    }
+  }
+  return true;
+}
+
+bool Satisfies(const CnfFormula& formula,
+               const TruthAssignment& assignment) {
+  if (assignment.size() < static_cast<size_t>(formula.num_vars) + 1) {
+    return false;
+  }
+  for (const Clause& clause : formula.clauses) {
+    bool satisfied = false;
+    for (const Literal& literal : clause) {
+      if (assignment[static_cast<size_t>(literal.var())] ==
+          literal.positive()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace entangled

@@ -1,0 +1,57 @@
+#ifndef ENTANGLED_REDUCTIONS_CNF_H_
+#define ENTANGLED_REDUCTIONS_CNF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace entangled {
+
+/// \brief A propositional literal: variable index (1-based) with a sign.
+/// DIMACS-style integer encoding: +v is the positive literal, -v the
+/// negation.
+struct Literal {
+  int32_t encoded = 0;  ///< non-zero; sign = polarity
+
+  static Literal Pos(int32_t var) { return Literal{var}; }
+  static Literal Neg(int32_t var) { return Literal{-var}; }
+
+  int32_t var() const { return encoded < 0 ? -encoded : encoded; }
+  bool positive() const { return encoded > 0; }
+  Literal Negated() const { return Literal{-encoded}; }
+
+  friend bool operator==(const Literal& a, const Literal& b) {
+    return a.encoded == b.encoded;
+  }
+  std::string ToString() const {
+    return (positive() ? "x" : "~x") + std::to_string(var());
+  }
+};
+
+/// \brief A clause: a disjunction of literals.
+using Clause = std::vector<Literal>;
+
+/// \brief A CNF formula over variables 1..num_vars.
+struct CnfFormula {
+  int32_t num_vars = 0;
+  std::vector<Clause> clauses;
+
+  /// "(x1 | ~x2 | x3) & (...)".
+  std::string ToString() const;
+
+  /// Whether every clause has at least one literal of a variable in
+  /// range; malformed formulas fail fast in the encoders.
+  bool WellFormed() const;
+};
+
+/// \brief Truth assignment: values[v] is the value of variable v
+/// (index 0 unused).
+using TruthAssignment = std::vector<bool>;
+
+/// \brief Whether `assignment` satisfies every clause of `formula`.
+bool Satisfies(const CnfFormula& formula, const TruthAssignment& assignment);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_REDUCTIONS_CNF_H_

@@ -1,0 +1,169 @@
+#include "reductions/dpll.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace entangled {
+namespace {
+
+enum class VarState : uint8_t { kUnassigned, kTrue, kFalse };
+
+struct SearchState {
+  std::vector<VarState> values;  // 1-based
+  const CnfFormula* formula;
+  DpllStats* stats;
+};
+
+bool LiteralTrue(const SearchState& state, const Literal& literal) {
+  VarState v = state.values[static_cast<size_t>(literal.var())];
+  return literal.positive() ? v == VarState::kTrue : v == VarState::kFalse;
+}
+
+bool LiteralFalse(const SearchState& state, const Literal& literal) {
+  VarState v = state.values[static_cast<size_t>(literal.var())];
+  return literal.positive() ? v == VarState::kFalse : v == VarState::kTrue;
+}
+
+/// Applies unit propagation and pure-literal elimination to a fixpoint.
+/// Returns false on conflict.  Assigned variables are appended to
+/// `trail` for rollback.
+bool Propagate(SearchState* state, std::vector<int32_t>* trail) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Unit propagation.
+    for (const Clause& clause : state->formula->clauses) {
+      int unassigned = 0;
+      const Literal* unit = nullptr;
+      bool satisfied = false;
+      for (const Literal& literal : clause) {
+        if (LiteralTrue(*state, literal)) {
+          satisfied = true;
+          break;
+        }
+        if (!LiteralFalse(*state, literal)) {
+          ++unassigned;
+          unit = &literal;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned == 0) return false;  // conflict
+      if (unassigned == 1) {
+        state->values[static_cast<size_t>(unit->var())] =
+            unit->positive() ? VarState::kTrue : VarState::kFalse;
+        trail->push_back(unit->var());
+        ++state->stats->unit_propagations;
+        changed = true;
+      }
+    }
+    if (changed) continue;
+    // Pure-literal elimination.
+    std::vector<uint8_t> polarity(
+        static_cast<size_t>(state->formula->num_vars) + 1, 0);
+    for (const Clause& clause : state->formula->clauses) {
+      bool satisfied = false;
+      for (const Literal& literal : clause) {
+        if (LiteralTrue(*state, literal)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (const Literal& literal : clause) {
+        if (LiteralFalse(*state, literal)) continue;
+        polarity[static_cast<size_t>(literal.var())] |=
+            literal.positive() ? 1 : 2;
+      }
+    }
+    for (int32_t v = 1; v <= state->formula->num_vars; ++v) {
+      if (state->values[static_cast<size_t>(v)] != VarState::kUnassigned) {
+        continue;
+      }
+      uint8_t p = polarity[static_cast<size_t>(v)];
+      if (p == 1 || p == 2) {
+        state->values[static_cast<size_t>(v)] =
+            p == 1 ? VarState::kTrue : VarState::kFalse;
+        trail->push_back(v);
+        ++state->stats->pure_eliminations;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool AllSatisfied(const SearchState& state) {
+  for (const Clause& clause : state.formula->clauses) {
+    bool satisfied = false;
+    for (const Literal& literal : clause) {
+      if (LiteralTrue(state, literal)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+bool Search(SearchState* state) {
+  std::vector<int32_t> trail;
+  if (!Propagate(state, &trail)) {
+    for (int32_t v : trail) {
+      state->values[static_cast<size_t>(v)] = VarState::kUnassigned;
+    }
+    return false;
+  }
+  if (AllSatisfied(*state)) return true;
+
+  int32_t branch_var = 0;
+  for (int32_t v = 1; v <= state->formula->num_vars; ++v) {
+    if (state->values[static_cast<size_t>(v)] == VarState::kUnassigned) {
+      branch_var = v;
+      break;
+    }
+  }
+  if (branch_var == 0) {
+    // Everything assigned but some clause unsatisfied.
+    for (int32_t v : trail) {
+      state->values[static_cast<size_t>(v)] = VarState::kUnassigned;
+    }
+    return false;
+  }
+  for (VarState choice : {VarState::kTrue, VarState::kFalse}) {
+    ++state->stats->decisions;
+    state->values[static_cast<size_t>(branch_var)] = choice;
+    if (Search(state)) return true;
+    ++state->stats->backtracks;
+    state->values[static_cast<size_t>(branch_var)] = VarState::kUnassigned;
+  }
+  for (int32_t v : trail) {
+    state->values[static_cast<size_t>(v)] = VarState::kUnassigned;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<TruthAssignment> DpllSolver::Solve(const CnfFormula& formula) {
+  stats_ = DpllStats{};
+  ENTANGLED_CHECK(formula.WellFormed()) << "malformed CNF formula";
+  SearchState state;
+  state.values.assign(static_cast<size_t>(formula.num_vars) + 1,
+                      VarState::kUnassigned);
+  state.formula = &formula;
+  state.stats = &stats_;
+  if (!Search(&state)) return std::nullopt;
+  TruthAssignment assignment(static_cast<size_t>(formula.num_vars) + 1,
+                             false);
+  for (int32_t v = 1; v <= formula.num_vars; ++v) {
+    assignment[static_cast<size_t>(v)] =
+        state.values[static_cast<size_t>(v)] == VarState::kTrue;
+  }
+  ENTANGLED_CHECK(Satisfies(formula, assignment))
+      << "DPLL returned a non-satisfying assignment";
+  return assignment;
+}
+
+}  // namespace entangled

@@ -1,0 +1,29 @@
+#include "reductions/random_sat.h"
+
+#include "common/logging.h"
+
+namespace entangled {
+
+CnfFormula RandomKSat(int32_t num_vars, int32_t num_clauses, int32_t k,
+                      Rng* rng) {
+  ENTANGLED_CHECK(rng != nullptr);
+  ENTANGLED_CHECK_GE(k, 1);
+  ENTANGLED_CHECK_GE(num_vars, k);
+  CnfFormula formula;
+  formula.num_vars = num_vars;
+  formula.clauses.reserve(static_cast<size_t>(num_clauses));
+  for (int32_t c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    std::vector<size_t> vars = rng->Sample(static_cast<size_t>(num_vars),
+                                           static_cast<size_t>(k));
+    for (size_t v : vars) {
+      int32_t var = static_cast<int32_t>(v) + 1;
+      clause.push_back(rng->NextBool() ? Literal::Pos(var)
+                                       : Literal::Neg(var));
+    }
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+}  // namespace entangled

@@ -1,0 +1,22 @@
+#ifndef ENTANGLED_REDUCTIONS_RANDOM_SAT_H_
+#define ENTANGLED_REDUCTIONS_RANDOM_SAT_H_
+
+#include "common/rng.h"
+#include "reductions/cnf.h"
+
+namespace entangled {
+
+/// \brief A uniformly random k-SAT formula: each clause draws k distinct
+/// variables and independent polarities.  num_vars >= k >= 1.
+CnfFormula RandomKSat(int32_t num_vars, int32_t num_clauses, int32_t k,
+                      Rng* rng);
+
+/// \brief Random 3SAT (the paper's reductions are from 3SAT).
+inline CnfFormula Random3Sat(int32_t num_vars, int32_t num_clauses,
+                             Rng* rng) {
+  return RandomKSat(num_vars, num_clauses, 3, rng);
+}
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_REDUCTIONS_RANDOM_SAT_H_

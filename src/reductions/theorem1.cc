@@ -1,0 +1,101 @@
+#include "reductions/theorem1.h"
+
+#include "common/logging.h"
+
+namespace entangled {
+namespace {
+
+// Built via append rather than operator+(const char*, string&&), which
+// trips a spurious -Wrestrict in GCC 12 (PR105651).
+std::string ClauseRelation(size_t clause_index) {
+  std::string name("C");
+  name += std::to_string(clause_index + 1);
+  return name;
+}
+
+std::string VarRelation(int32_t var) {
+  std::string name("R");
+  name += std::to_string(var);
+  return name;
+}
+
+}  // namespace
+
+Theorem1Encoding EncodeTheorem1(const CnfFormula& formula, QuerySet* set,
+                                Database* db) {
+  ENTANGLED_CHECK(set != nullptr);
+  ENTANGLED_CHECK(db != nullptr);
+  ENTANGLED_CHECK(formula.WellFormed());
+
+  if (!db->Contains("D")) {
+    Relation* d = *db->CreateRelation("D", {"value"});
+    ENTANGLED_CHECK(d->Insert({Value::Int(0)}).ok());
+    ENTANGLED_CHECK(d->Insert({Value::Int(1)}).ok());
+  }
+
+  Theorem1Encoding encoding;
+  const size_t k = formula.clauses.size();
+  const int32_t m = formula.num_vars;
+
+  // Clause-Query: {C1(1), ..., Ck(1)} C(1) :- ∅.
+  {
+    EntangledQuery q;
+    q.name = "Clause-Query";
+    for (size_t j = 0; j < k; ++j) {
+      q.postconditions.emplace_back(ClauseRelation(j),
+                                    std::vector<Term>{Term::Int(1)});
+    }
+    q.head.emplace_back("C", std::vector<Term>{Term::Int(1)});
+    encoding.clause_query = set->AddQuery(std::move(q));
+  }
+
+  for (int32_t v = 1; v <= m; ++v) {
+    // xi-Val: {C(1)} Ri(x) :- D(x).
+    {
+      EntangledQuery q;
+      q.name = "x" + std::to_string(v) + "-Val";
+      q.postconditions.emplace_back("C", std::vector<Term>{Term::Int(1)});
+      VarId x = set->NewVar("x_val" + std::to_string(v));
+      q.head.emplace_back(VarRelation(v), std::vector<Term>{Term::Var(x)});
+      q.body.emplace_back("D", std::vector<Term>{Term::Var(x)});
+      encoding.val_queries.push_back(set->AddQuery(std::move(q)));
+    }
+    // xi-True: {Ri(1)} ⋀_{j : xi ∈ Cj} Cj(1) :- ∅.
+    // xi-False: {Ri(0)} ⋀_{j : ¬xi ∈ Cj} Cj(1) :- ∅.
+    for (bool polarity : {true, false}) {
+      EntangledQuery q;
+      q.name = "x" + std::to_string(v) + (polarity ? "-True" : "-False");
+      q.postconditions.emplace_back(
+          VarRelation(v), std::vector<Term>{Term::Int(polarity ? 1 : 0)});
+      for (size_t j = 0; j < k; ++j) {
+        for (const Literal& literal : formula.clauses[j]) {
+          if (literal.var() == v && literal.positive() == polarity) {
+            q.head.emplace_back(ClauseRelation(j),
+                                std::vector<Term>{Term::Int(1)});
+            break;
+          }
+        }
+      }
+      QueryId id = set->AddQuery(std::move(q));
+      (polarity ? encoding.true_queries : encoding.false_queries)
+          .push_back(id);
+    }
+  }
+  return encoding;
+}
+
+TruthAssignment Theorem1Encoding::DecodeAssignment(
+    const CnfFormula& formula, const CoordinationSolution& sol) const {
+  TruthAssignment assignment(static_cast<size_t>(formula.num_vars) + 1,
+                             true);
+  for (int32_t v = 1; v <= formula.num_vars; ++v) {
+    const size_t index = static_cast<size_t>(v - 1);
+    if (sol.Contains(false_queries[index]) &&
+        !sol.Contains(true_queries[index])) {
+      assignment[static_cast<size_t>(v)] = false;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace entangled

@@ -1,0 +1,47 @@
+#ifndef ENTANGLED_REDUCTIONS_THEOREM1_H_
+#define ENTANGLED_REDUCTIONS_THEOREM1_H_
+
+#include <vector>
+
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+#include "reductions/cnf.h"
+
+namespace entangled {
+
+/// \brief The Theorem-1 construction: reduces 3SAT to Entangled(Qall)
+/// over a database holding only the unary relation D = {0, 1}, so every
+/// conjunctive query is trivially decidable — the hardness lives
+/// entirely in choosing the coordinating set.
+///
+/// Per formula with clauses C1..Ck over variables x1..xm:
+///   Clause-Query : {C1(1),...,Ck(1)}  C(1)            :- ∅
+///   xi-Val       : {C(1)}             Ri(x)           :- D(x)
+///   xi-True      : {Ri(1)}            ⋀_{xi∈Cj} Cj(1) :- ∅
+///   xi-False     : {Ri(0)}            ⋀_{¬xi∈Cj} Cj(1):- ∅
+///
+/// The formula is satisfiable iff the encoding has a coordinating set
+/// (Appendix A).
+struct Theorem1Encoding {
+  QueryId clause_query;
+  std::vector<QueryId> val_queries;    ///< per variable, 1-based offset 0
+  std::vector<QueryId> true_queries;   ///< per variable
+  std::vector<QueryId> false_queries;  ///< per variable
+
+  /// Reads a truth assignment back from a coordinating set: variable i
+  /// is true iff its xi-True query participates (variables mentioned by
+  /// neither polarity query default to true, as in the proof of
+  /// Theorem 1).
+  TruthAssignment DecodeAssignment(const CnfFormula& formula,
+                                   const CoordinationSolution& sol) const;
+};
+
+/// \brief Builds the Theorem-1 instance: installs D = {0,1} into `*db`
+/// (creating relation "D") and appends the queries to `*set`.
+Theorem1Encoding EncodeTheorem1(const CnfFormula& formula, QuerySet* set,
+                                Database* db);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_REDUCTIONS_THEOREM1_H_

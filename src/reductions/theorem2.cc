@@ -1,0 +1,98 @@
+#include "reductions/theorem2.h"
+
+#include "common/logging.h"
+
+namespace entangled {
+namespace {
+
+std::string VarRelation(int32_t var) { return "R" + std::to_string(var); }
+
+Term LiteralValue(const Literal& literal) {
+  return Term::Int(literal.positive() ? 1 : 0);
+}
+
+Term NegatedLiteralValue(const Literal& literal) {
+  return Term::Int(literal.positive() ? 0 : 1);
+}
+
+}  // namespace
+
+Theorem2Encoding EncodeTheorem2(const CnfFormula& formula, QuerySet* set,
+                                Database* db) {
+  ENTANGLED_CHECK(set != nullptr);
+  ENTANGLED_CHECK(db != nullptr);
+  ENTANGLED_CHECK(formula.WellFormed());
+  for (const Clause& clause : formula.clauses) {
+    for (size_t i = 0; i < clause.size(); ++i) {
+      for (size_t j = i + 1; j < clause.size(); ++j) {
+        ENTANGLED_CHECK(clause[i].var() != clause[j].var())
+            << "the staircase gadget needs distinct variables per clause";
+      }
+    }
+  }
+
+  if (!db->Contains("D")) {
+    Relation* d = *db->CreateRelation("D", {"value"});
+    ENTANGLED_CHECK(d->Insert({Value::Int(0)}).ok());
+    ENTANGLED_CHECK(d->Insert({Value::Int(1)}).ok());
+  }
+
+  Theorem2Encoding encoding;
+  // q(xj) = {} Rj(xj) :- D(xj).
+  for (int32_t v = 1; v <= formula.num_vars; ++v) {
+    EntangledQuery q;
+    q.name = "q(x" + std::to_string(v) + ")";
+    VarId x = set->NewVar("x" + std::to_string(v));
+    q.head.emplace_back(VarRelation(v), std::vector<Term>{Term::Var(x)});
+    q.body.emplace_back("D", std::vector<Term>{Term::Var(x)});
+    encoding.var_queries.push_back(set->AddQuery(std::move(q)));
+  }
+  // Per clause: the one-literal-witness staircase.
+  for (size_t c = 0; c < formula.clauses.size(); ++c) {
+    const Clause& clause = formula.clauses[c];
+    const std::string clause_relation = "C" + std::to_string(c + 1);
+    std::vector<QueryId> ids;
+    for (size_t pos = 0; pos < clause.size(); ++pos) {
+      EntangledQuery q;
+      q.name = clause_relation + "-lit" + std::to_string(pos + 1);
+      // Own literal must hold ...
+      q.postconditions.emplace_back(
+          VarRelation(clause[pos].var()),
+          std::vector<Term>{LiteralValue(clause[pos])});
+      // ... and every earlier literal must NOT hold.
+      for (size_t earlier = 0; earlier < pos; ++earlier) {
+        q.postconditions.emplace_back(
+            VarRelation(clause[earlier].var()),
+            std::vector<Term>{NegatedLiteralValue(clause[earlier])});
+      }
+      q.head.emplace_back(clause_relation,
+                          std::vector<Term>{Term::Int(1)});
+      ids.push_back(set->AddQuery(std::move(q)));
+    }
+    encoding.clause_queries.push_back(std::move(ids));
+  }
+  return encoding;
+}
+
+TruthAssignment Theorem2Encoding::DecodeAssignment(
+    const CnfFormula& formula, const CoordinationSolution& sol) const {
+  TruthAssignment assignment(static_cast<size_t>(formula.num_vars) + 1,
+                             true);
+  // Each participating literal query pins its own literal's polarity and
+  // the negation of the earlier ones.
+  for (size_t c = 0; c < formula.clauses.size(); ++c) {
+    const Clause& clause = formula.clauses[c];
+    for (size_t pos = 0; pos < clause.size(); ++pos) {
+      if (!sol.Contains(clause_queries[c][pos])) continue;
+      assignment[static_cast<size_t>(clause[pos].var())] =
+          clause[pos].positive();
+      for (size_t earlier = 0; earlier < pos; ++earlier) {
+        assignment[static_cast<size_t>(clause[earlier].var())] =
+            !clause[earlier].positive();
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace entangled

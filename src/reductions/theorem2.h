@@ -1,0 +1,56 @@
+#ifndef ENTANGLED_REDUCTIONS_THEOREM2_H_
+#define ENTANGLED_REDUCTIONS_THEOREM2_H_
+
+#include <vector>
+
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+#include "reductions/cnf.h"
+
+namespace entangled {
+
+/// \brief The Theorem-2 construction: reduces 3SAT to
+/// EntangledMax(Qsafe) — the produced set is *safe*, yet finding a
+/// maximum coordinating set decides satisfiability.
+///
+/// Per variable xj:     q(xj)      = {}                         Rj(xj) :- D(xj)
+/// Per clause C = l1∨l2∨l3 (writing l = x^v, ¬0=1, ¬1=0):
+///   first literal:  {Rj1(v1)}                       C(1) :- ∅
+///   second literal: {Rj2(v2), Rj1(¬v1)}             C(1) :- ∅
+///   third literal:  {Rj3(v3), Rj2(¬v2), Rj1(¬v1)}   C(1) :- ∅
+///
+/// The staircase of postconditions makes the three queries mutually
+/// exclusive, so each clause contributes at most one query to any
+/// coordinating set: the maximum size is k + m iff the formula is
+/// satisfiable (Figure 9 / Appendix A).
+struct Theorem2Encoding {
+  std::vector<QueryId> var_queries;                  ///< q(xj), per variable
+  std::vector<std::vector<QueryId>> clause_queries;  ///< 3 per clause
+
+  /// k + m: the target size that certifies satisfiability.
+  size_t SatisfiableSize(const CnfFormula& formula) const {
+    return formula.clauses.size() +
+           static_cast<size_t>(formula.num_vars);
+  }
+
+  /// Reads the assignment off the chosen literal queries: variable v is
+  /// true when some clause query whose own literal is positive-v
+  /// participates (unconstrained variables default to true).
+  TruthAssignment DecodeAssignment(const CnfFormula& formula,
+                                   const CoordinationSolution& sol) const;
+};
+
+/// \brief Builds the Theorem-2 instance into `*set` / `*db` (relation
+/// "D" = {0,1}).  The theorem is stated for 3SAT; the staircase gadget
+/// works for any clause width, so the encoder only requires the
+/// literals of a clause to use distinct variables (tests exploit this:
+/// the smallest unsatisfiable 3SAT instance needs 8 clauses, which
+/// pushes the brute-force EntangledMax oracle out of reach, while an
+/// unsatisfiable 2SAT core stays tiny).
+Theorem2Encoding EncodeTheorem2(const CnfFormula& formula, QuerySet* set,
+                                Database* db);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_REDUCTIONS_THEOREM2_H_

@@ -1,0 +1,148 @@
+#include "system/engine.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "core/coordination_graph.h"
+#include "core/parser.h"
+
+namespace entangled {
+
+CoordinationEngine::CoordinationEngine(const Database* db,
+                                       EngineOptions options)
+    : db_(db), options_(options) {
+  ENTANGLED_CHECK(db != nullptr);
+}
+
+Result<QueryId> CoordinationEngine::Submit(const std::string& query_text) {
+  auto id = ParseQuery(query_text, &all_);
+  if (!id.ok()) return id.status();
+  // The parser already appended the query; run the shared admission
+  // path without re-adding.
+  pending_.resize(all_.size(), false);
+  pending_[static_cast<size_t>(*id)] = true;
+  ++stats_.submitted;
+  if (options_.evaluate_every > 0 &&
+      ++since_last_eval_ >= options_.evaluate_every) {
+    since_last_eval_ = 0;
+    EvaluateComponentOf(*id);
+  }
+  return id;
+}
+
+QueryId CoordinationEngine::SubmitQuery(EntangledQuery query) {
+  QueryId id = all_.AddQuery(std::move(query));
+  pending_.resize(all_.size(), false);
+  pending_[static_cast<size_t>(id)] = true;
+  ++stats_.submitted;
+  if (options_.evaluate_every > 0 &&
+      ++since_last_eval_ >= options_.evaluate_every) {
+    since_last_eval_ = 0;
+    EvaluateComponentOf(id);
+  }
+  return id;
+}
+
+std::vector<QueryId> CoordinationEngine::PendingQueries() const {
+  std::vector<QueryId> pending;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i]) pending.push_back(static_cast<QueryId>(i));
+  }
+  return pending;
+}
+
+bool CoordinationEngine::IsPending(QueryId id) const {
+  return id >= 0 && static_cast<size_t>(id) < pending_.size() &&
+         pending_[static_cast<size_t>(id)];
+}
+
+std::vector<QueryId> CoordinationEngine::ComponentOf(QueryId root) const {
+  // Weak connectivity over the coordination graph of the pending
+  // queries.  The graph is rebuilt over the pending subset; incremental
+  // maintenance would only matter once components grow far beyond the
+  // workloads of §6.
+  std::vector<QueryId> pending = PendingQueries();
+  std::vector<QueryId> original;
+  QuerySet subset = all_.Subset(pending, &original);
+  Digraph graph = BuildCoordinationGraph(subset);
+
+  // Locate root within the subset.
+  NodeId root_node = -1;
+  for (size_t i = 0; i < original.size(); ++i) {
+    if (original[i] == root) root_node = static_cast<NodeId>(i);
+  }
+  ENTANGLED_CHECK_GE(root_node, 0) << "root query is not pending";
+
+  std::vector<bool> visited(static_cast<size_t>(graph.num_nodes()), false);
+  std::deque<NodeId> queue{root_node};
+  visited[static_cast<size_t>(root_node)] = true;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (const auto& neighbours :
+         {graph.Successors(u), graph.Predecessors(u)}) {
+      for (NodeId v : neighbours) {
+        if (!visited[static_cast<size_t>(v)]) {
+          visited[static_cast<size_t>(v)] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  std::vector<QueryId> component;
+  for (size_t i = 0; i < visited.size(); ++i) {
+    if (visited[i]) component.push_back(original[i]);
+  }
+  return component;
+}
+
+bool CoordinationEngine::EvaluateComponentOf(QueryId root) {
+  if (!IsPending(root)) return false;
+  std::vector<QueryId> component = ComponentOf(root);
+  std::vector<QueryId> original;
+  QuerySet subset = all_.Subset(component, &original);
+
+  SccCoordinator coordinator(db_, options_.scc);
+  ++stats_.evaluations;
+  auto result = coordinator.Solve(subset);
+  stats_.db_queries += coordinator.stats().db_queries;
+  if (!result.ok()) {
+    if (result.status().IsFailedPrecondition()) ++stats_.unsafe_components;
+    return false;
+  }
+
+  // Translate subset ids back to engine ids and retire the winners.
+  CoordinationSolution solution;
+  solution.assignment = result->assignment;  // var ids are shared
+  for (QueryId local : result->queries) {
+    QueryId engine_id = original[static_cast<size_t>(local)];
+    solution.queries.push_back(engine_id);
+    pending_[static_cast<size_t>(engine_id)] = false;
+  }
+  std::sort(solution.queries.begin(), solution.queries.end());
+  stats_.coordinated_queries += solution.queries.size();
+  ++stats_.coordinating_sets;
+  if (callback_) callback_(all_, solution);
+  return true;
+}
+
+size_t CoordinationEngine::Flush() {
+  size_t delivered = 0;
+  bool progress = true;
+  // Re-evaluate until no component coordinates: retiring one set can
+  // leave a smaller component that still coordinates on its own.
+  while (progress) {
+    progress = false;
+    for (QueryId id : PendingQueries()) {
+      if (!IsPending(id)) continue;  // retired by an earlier evaluation
+      if (EvaluateComponentOf(id)) {
+        ++delivered;
+        progress = true;
+      }
+    }
+  }
+  return delivered;
+}
+
+}  // namespace entangled

@@ -1,0 +1,102 @@
+#ifndef ENTANGLED_SYSTEM_ENGINE_H_
+#define ENTANGLED_SYSTEM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algo/scc_coordination.h"
+#include "common/result.h"
+#include "core/grounding.h"
+#include "core/query.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief Engine work counters.
+struct EngineStats {
+  uint64_t submitted = 0;            ///< queries accepted
+  uint64_t evaluations = 0;          ///< component evaluations run
+  uint64_t coordinated_queries = 0;  ///< queries retired in solutions
+  uint64_t coordinating_sets = 0;    ///< solutions delivered
+  uint64_t unsafe_components = 0;    ///< components skipped as unsafe
+  uint64_t db_queries = 0;           ///< conjunctive queries issued
+};
+
+/// \brief Options for CoordinationEngine.
+struct EngineOptions {
+  /// Evaluate the arriving query's connected component after every
+  /// `evaluate_every` submissions (1 = the Youtopia behaviour described
+  /// in §6.1: "when a new query arrives ... calls an evaluation method
+  /// on the connected component").  0 disables automatic evaluation;
+  /// call Flush().
+  size_t evaluate_every = 1;
+
+  /// Passed through to the SCC Coordination Algorithm.
+  SccOptions scc;
+};
+
+/// \brief The Youtopia-style coordination module (§6.1): queries arrive
+/// one at a time, the engine maintains the coordination graph
+/// incrementally, evaluates the affected connected component with the
+/// SCC Coordination Algorithm, delivers any coordinating set found
+/// through a callback, and retires its queries.
+///
+/// Single-threaded by design; the database outlives the engine.
+class CoordinationEngine {
+ public:
+  /// Invoked with the engine's master query set and each solution found
+  /// (query ids refer to that master set).
+  using SolutionCallback =
+      std::function<void(const QuerySet&, const CoordinationSolution&)>;
+
+  CoordinationEngine(const Database* db, EngineOptions options = {});
+
+  void set_solution_callback(SolutionCallback callback) {
+    callback_ = std::move(callback);
+  }
+
+  /// Submits one query in the paper's concrete syntax (core/parser.h).
+  Result<QueryId> Submit(const std::string& query_text);
+
+  /// Submits a pre-built query whose variables were allocated through
+  /// NewVar() on mutable_queries().
+  QueryId SubmitQuery(EntangledQuery query);
+
+  /// Evaluates every pending component; returns the number of
+  /// coordinating sets delivered.
+  size_t Flush();
+
+  /// Master query set (all queries ever submitted; retired ones keep
+  /// their slots).  Use NewVar() here before SubmitQuery.
+  QuerySet* mutable_queries() { return &all_; }
+  const QuerySet& queries() const { return all_; }
+
+  /// Queries awaiting coordination.
+  std::vector<QueryId> PendingQueries() const;
+  bool IsPending(QueryId id) const;
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  /// Runs the SCC algorithm on the pending component containing `root`;
+  /// returns true when a solution was delivered.
+  bool EvaluateComponentOf(QueryId root);
+
+  /// Pending queries weakly connected to `root` in the coordination
+  /// graph (including `root`).
+  std::vector<QueryId> ComponentOf(QueryId root) const;
+
+  const Database* db_;
+  EngineOptions options_;
+  QuerySet all_;
+  std::vector<bool> pending_;  // per query id in all_
+  size_t since_last_eval_ = 0;
+  SolutionCallback callback_;
+  EngineStats stats_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_SYSTEM_ENGINE_H_

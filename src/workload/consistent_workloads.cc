@@ -1,0 +1,96 @@
+#include "workload/consistent_workloads.h"
+
+namespace entangled {
+
+ConsistentSchema MakeFlightSchema(const std::string& flights_relation,
+                                  const std::string& friends_relation) {
+  ConsistentSchema schema;
+  schema.thing_relation = flights_relation;
+  schema.friends_relation = friends_relation;
+  schema.coordination_attrs = {1, 2};  // destination, day
+  return schema;
+}
+
+Status InstallDistinctFlightsTable(Database* db, const std::string& name,
+                                   size_t num_rows) {
+  auto relation = db->CreateRelation(
+      name, {"fid", "destination", "day", "source", "airline"});
+  if (!relation.ok()) return relation.status();
+  for (size_t i = 0; i < num_rows; ++i) {
+    ENTANGLED_RETURN_IF_ERROR((*relation)->Insert(
+        {Value::Int(static_cast<int64_t>(i)),
+         Value::Str("city" + std::to_string(i)),
+         Value::Str("day" + std::to_string(i)),
+         Value::Str("src" + std::to_string(i % 7)),
+         Value::Str("air" + std::to_string(i % 3))}));
+  }
+  return Status::OK();
+}
+
+Status InstallFlightsGrid(Database* db, const std::string& name,
+                          const std::vector<std::string>& destinations,
+                          const std::vector<std::string>& days,
+                          size_t flights_per_combo,
+                          const std::vector<std::string>& sources,
+                          const std::vector<std::string>& airlines) {
+  if (destinations.empty() || days.empty() || sources.empty() ||
+      airlines.empty()) {
+    return Status::InvalidArgument("empty attribute pool for flights grid");
+  }
+  auto relation = db->CreateRelation(
+      name, {"fid", "destination", "day", "source", "airline"});
+  if (!relation.ok()) return relation.status();
+  int64_t fid = 0;
+  for (const std::string& destination : destinations) {
+    for (const std::string& day : days) {
+      for (size_t i = 0; i < flights_per_combo; ++i) {
+        ENTANGLED_RETURN_IF_ERROR((*relation)->Insert(
+            {Value::Int(fid), Value::Str(destination), Value::Str(day),
+             Value::Str(sources[static_cast<size_t>(fid) % sources.size()]),
+             Value::Str(
+                 airlines[static_cast<size_t>(fid) % airlines.size()])}));
+        ++fid;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status InstallCompleteFriends(Database* db, const std::string& name,
+                              const std::vector<std::string>& users) {
+  auto relation = db->CreateRelation(name, {"user", "friend"});
+  if (!relation.ok()) return relation.status();
+  for (const std::string& a : users) {
+    for (const std::string& b : users) {
+      if (a == b) continue;
+      ENTANGLED_RETURN_IF_ERROR(
+          (*relation)->Insert({Value::Str(a), Value::Str(b)}));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> MakeUserNames(size_t n) {
+  std::vector<std::string> users;
+  users.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    users.push_back("user" + std::to_string(i));
+  }
+  return users;
+}
+
+std::vector<ConsistentQuery> MakeWorstCaseConsistentQueries(
+    size_t n, size_t num_attributes) {
+  std::vector<ConsistentQuery> queries;
+  queries.reserve(n);
+  for (const std::string& user : MakeUserNames(n)) {
+    ConsistentQuery q;
+    q.user = user;
+    q.self_spec.assign(num_attributes, std::nullopt);
+    q.partners.push_back(PartnerSpec::AnyFriend());
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace entangled

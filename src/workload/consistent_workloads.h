@@ -1,0 +1,52 @@
+#ifndef ENTANGLED_WORKLOAD_CONSISTENT_WORKLOADS_H_
+#define ENTANGLED_WORKLOAD_CONSISTENT_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "algo/consistent.h"
+#include "common/status.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief The flight schema of §6.2: Flights(fid, destination, day,
+/// source, airline), coordination attributes = {destination, day}.
+ConsistentSchema MakeFlightSchema(const std::string& flights_relation,
+                                  const std::string& friends_relation);
+
+/// \brief Installs a Flights relation with `num_rows` rows in which
+/// every row carries a *distinct* (destination, day) pair — the paper's
+/// worst case where |V(Q)| equals the table size (Figure 7).
+Status InstallDistinctFlightsTable(Database* db, const std::string& name,
+                                   size_t num_rows);
+
+/// \brief Installs a Flights relation covering the cross product of
+/// `destinations` x `days` with `flights_per_combo` flights each,
+/// sources and airlines assigned round-robin from the given pools.
+Status InstallFlightsGrid(Database* db, const std::string& name,
+                          const std::vector<std::string>& destinations,
+                          const std::vector<std::string>& days,
+                          size_t flights_per_combo,
+                          const std::vector<std::string>& sources,
+                          const std::vector<std::string>& airlines);
+
+/// \brief Installs a complete friendship graph over `users` (both
+/// directions of every pair) — Figures 7/8 use a complete Friends
+/// table.
+Status InstallCompleteFriends(Database* db, const std::string& name,
+                              const std::vector<std::string>& users);
+
+/// \brief User names "user0".."user<n-1>".
+std::vector<std::string> MakeUserNames(size_t n);
+
+/// \brief The §6.2 stress queries: n users, every attribute a
+/// "don't care" (every tuple satisfies every query) and one
+/// any-friend partner each — nothing ever prunes, the algorithm's
+/// worst case.
+std::vector<ConsistentQuery> MakeWorstCaseConsistentQueries(
+    size_t n, size_t num_attributes);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_WORKLOAD_CONSISTENT_WORKLOADS_H_

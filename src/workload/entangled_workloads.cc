@@ -1,0 +1,53 @@
+#include "workload/entangled_workloads.h"
+
+#include "common/logging.h"
+#include "graph/generators.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+
+std::vector<QueryId> MakeStructuredWorkload(const Digraph& structure,
+                                            const std::string& table,
+                                            QuerySet* set) {
+  ENTANGLED_CHECK(set != nullptr);
+  std::vector<QueryId> ids;
+  ids.reserve(static_cast<size_t>(structure.num_nodes()));
+  for (NodeId i = 0; i < structure.num_nodes(); ++i) {
+    const std::string me = SocialHandle(static_cast<size_t>(i));
+    EntangledQuery q;
+    q.name = "q_" + me;
+    VarId x = set->NewVar("x_" + me);
+    q.head.emplace_back("R",
+                        std::vector<Term>{Term::Str(me), Term::Var(x)});
+    q.body.emplace_back(table,
+                        std::vector<Term>{Term::Var(x), Term::Str(me)});
+    for (NodeId j : structure.Successors(i)) {
+      const std::string partner = SocialHandle(static_cast<size_t>(j));
+      VarId y = set->NewVar("y_" + me + "_" + partner);
+      q.postconditions.emplace_back(
+          "R", std::vector<Term>{Term::Str(partner), Term::Var(y)});
+    }
+    ids.push_back(set->AddQuery(std::move(q)));
+  }
+  return ids;
+}
+
+std::vector<QueryId> MakeListWorkload(int n, const std::string& table,
+                                      QuerySet* set) {
+  return MakeStructuredWorkload(MakeChain(n), table, set);
+}
+
+std::vector<QueryId> MakeScaleFreeWorkload(int n, int edges_per_node,
+                                           const std::string& table,
+                                           Rng* rng, QuerySet* set) {
+  ENTANGLED_CHECK(rng != nullptr);
+  return MakeStructuredWorkload(MakeScaleFree(n, edges_per_node, rng), table,
+                                set);
+}
+
+std::vector<QueryId> MakeCycleWorkload(int n, const std::string& table,
+                                       QuerySet* set) {
+  return MakeStructuredWorkload(MakeCycle(n), table, set);
+}
+
+}  // namespace entangled

@@ -1,0 +1,50 @@
+#ifndef ENTANGLED_WORKLOAD_ENTANGLED_WORKLOADS_H_
+#define ENTANGLED_WORKLOAD_ENTANGLED_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/query.h"
+#include "graph/digraph.h"
+
+namespace entangled {
+
+/// \brief Emits one entangled query per node of `structure` into `*set`
+/// (§6.1's workload shape): node i's query is
+///
+///   { R(user<j1>, y1), R(user<j2>, y2), ... }  R(user<i>, x) :-
+///       <table>(x, 'user<i>')
+///
+/// with one postcondition per successor j of i in `structure`.  Every
+/// body is satisfiable (the handle exists — "the most demanding
+/// scenario"), the set is safe by construction (the first answer-atom
+/// position is a distinct constant per query), and it is *not* unique
+/// whenever `structure` is not strongly connected.
+///
+/// Returns the query ids in node order.
+std::vector<QueryId> MakeStructuredWorkload(const Digraph& structure,
+                                            const std::string& table,
+                                            QuerySet* set);
+
+/// \brief The Figure-4 "list structure": a chain of n queries, each
+/// coordinating with the next, the last with nobody — the worst case
+/// for the SCC algorithm (n singleton SCCs, a different coordinating
+/// set per suffix, n database queries).
+std::vector<QueryId> MakeListWorkload(int n, const std::string& table,
+                                      QuerySet* set);
+
+/// \brief The Figures-5/6 workload: coordination partners follow a
+/// directed Barabási–Albert scale-free network [1] of n nodes.
+std::vector<QueryId> MakeScaleFreeWorkload(int n, int edges_per_node,
+                                           const std::string& table,
+                                           Rng* rng, QuerySet* set);
+
+/// \brief A safe *and unique* workload (a directed cycle): the regime
+/// the Gupta et al. baseline supports, used by ablation A1.
+std::vector<QueryId> MakeCycleWorkload(int n, const std::string& table,
+                                       QuerySet* set);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_WORKLOAD_ENTANGLED_WORKLOADS_H_

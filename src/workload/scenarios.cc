@@ -1,0 +1,166 @@
+#include "workload/scenarios.h"
+
+#include "common/logging.h"
+#include "core/parser.h"
+
+namespace entangled {
+namespace {
+
+void MustInsert(Relation* relation, Tuple tuple) {
+  Status status = relation->Insert(std::move(tuple));
+  ENTANGLED_CHECK(status.ok()) << status.ToString();
+}
+
+}  // namespace
+
+FlightHotelIds BuildFlightHotelScenario(Database* db, QuerySet* set) {
+  ENTANGLED_CHECK(db != nullptr && set != nullptr);
+  Relation* flights = *db->CreateRelation("F", {"flightId", "destination"});
+  Relation* hotels = *db->CreateRelation("H", {"hotelId", "location"});
+  int64_t fid = 100, hid = 200;
+  for (const char* city : {"Paris", "Athens", "Madrid", "Zurich"}) {
+    MustInsert(flights, {Value::Int(fid++), Value::Str(city)});
+    MustInsert(flights, {Value::Int(fid++), Value::Str(city)});
+    MustInsert(hotels, {Value::Int(hid++), Value::Str(city)});
+  }
+
+  // Figure 1, verbatim (C, G, J, W are the band members; the answer
+  // relations R and Q coordinate flights and hotels respectively).
+  auto ids = ParseQueries(R"(
+    qC: { R(G, x1) }           R(C, x1), Q(C, x2) :- F(x1, x), H(x2, x).
+    qG: { R(C, y1), Q(C, y2) } R(G, y1), Q(G, y2) :- F(y1, Paris), H(y2, Paris).
+    qJ: { R(C, z1), R(G, z1) } R(J, z1), Q(J, z2) :- F(z1, Athens), H(z2, Athens).
+    qW: { R(C, w1), Q(J, w2) } R(W, w1), Q(W, w2) :- F(w1, Madrid), H(w2, Madrid).
+  )",
+                          set);
+  ENTANGLED_CHECK(ids.ok()) << ids.status().ToString();
+  ENTANGLED_CHECK_EQ(ids->size(), 4u);
+  return FlightHotelIds{(*ids)[0], (*ids)[1], (*ids)[2], (*ids)[3]};
+}
+
+MovieScenario BuildMovieScenario(Database* db) {
+  ENTANGLED_CHECK(db != nullptr);
+  // Friendships (table C of §5), directed as listed in the paper.
+  Relation* friends = *db->CreateRelation("C", {"user", "friend"});
+  const std::vector<std::pair<const char*, const char*>> pairs = {
+      {"Chris", "Jonny"}, {"Chris", "Guy"},  {"Guy", "Chris"},
+      {"Guy", "Jonny"},   {"Jonny", "Chris"}, {"Jonny", "Will"},
+      {"Will", "Chris"},  {"Will", "Guy"},
+  };
+  for (const auto& [user, fr] : pairs) {
+    MustInsert(friends, {Value::Str(user), Value::Str(fr)});
+  }
+  // Cinemas table M = (movie_id, cinema, movie): Hugo plays at Regal,
+  // AMC and Cinemark; Contagion at Regal; Project X at AMC.
+  Relation* movies =
+      *db->CreateRelation("M", {"movie_id", "cinema", "movie"});
+  MustInsert(movies, {Value::Int(1), Value::Str("Regal"),
+                      Value::Str("Contagion")});
+  MustInsert(movies, {Value::Int(2), Value::Str("Regal"),
+                      Value::Str("Hugo")});
+  MustInsert(movies, {Value::Int(3), Value::Str("AMC"),
+                      Value::Str("Project X")});
+  MustInsert(movies,
+             {Value::Int(4), Value::Str("AMC"), Value::Str("Hugo")});
+  MustInsert(movies, {Value::Int(5), Value::Str("Cinemark"),
+                      Value::Str("Hugo")});
+
+  MovieScenario scenario;
+  scenario.schema.thing_relation = "M";
+  scenario.schema.friends_relation = "C";
+  scenario.schema.coordination_attrs = {1};  // the cinema column
+
+  // qc: Chris wants Contagion at Regal, with Will (a constant partner —
+  // note Will is not Chris's friend, which is allowed).
+  ConsistentQuery chris;
+  chris.user = "Chris";
+  chris.self_spec = {Value::Str("Regal"), Value::Str("Contagion")};
+  chris.partners = {PartnerSpec::User("Will")};
+  // qg: Guy wants Project X at AMC, with any friend.
+  ConsistentQuery guy;
+  guy.user = "Guy";
+  guy.self_spec = {Value::Str("AMC"), Value::Str("Project X")};
+  guy.partners = {PartnerSpec::AnyFriend()};
+  // qj / qw: Jonny and Will want Hugo anywhere, with any friend.
+  ConsistentQuery jonny;
+  jonny.user = "Jonny";
+  jonny.self_spec = {std::nullopt, Value::Str("Hugo")};
+  jonny.partners = {PartnerSpec::AnyFriend()};
+  ConsistentQuery will;
+  will.user = "Will";
+  will.self_spec = {std::nullopt, Value::Str("Hugo")};
+  will.partners = {PartnerSpec::AnyFriend()};
+
+  scenario.queries = {std::move(chris), std::move(guy), std::move(jonny),
+                      std::move(will)};
+  return scenario;
+}
+
+ConcertScenario BuildConcertScenario(Database* db, size_t num_fans,
+                                     Rng* rng) {
+  ENTANGLED_CHECK(db != nullptr && rng != nullptr);
+  ENTANGLED_CHECK_GE(num_fans, 2u);
+  ConcertScenario scenario;
+  scenario.tour_stops = {"Zurich", "Paris", "Berlin", "London"};
+  const std::vector<std::string> days = {"Jun14", "Jun15", "Jun21"};
+  const std::vector<std::string> homes = {"NYC", "SFO", "TLV", "NRT",
+                                          "GRU"};
+  const std::vector<std::string> airlines = {"AirAlpha", "AirBravo"};
+
+  // Flights(fid, destination, day, source, airline): every home city
+  // reaches every tour stop on every concert day, alternating airlines.
+  Relation* flights = *db->CreateRelation(
+      "Flights", {"fid", "destination", "day", "source", "airline"});
+  int64_t fid = 1000;
+  for (const std::string& home : homes) {
+    for (const std::string& stop : scenario.tour_stops) {
+      for (const std::string& day : days) {
+        MustInsert(flights,
+                   {Value::Int(fid), Value::Str(stop), Value::Str(day),
+                    Value::Str(home),
+                    Value::Str(airlines[static_cast<size_t>(fid) %
+                                        airlines.size()])});
+        ++fid;
+      }
+    }
+  }
+
+  // Friendship ring with a chord: fan i knows fan i+1 and fan i+2.
+  Relation* friends = *db->CreateRelation("Fans", {"user", "friend"});
+  for (size_t i = 0; i < num_fans; ++i) {
+    scenario.fans.push_back("fan" + std::to_string(i));
+  }
+  for (size_t i = 0; i < num_fans; ++i) {
+    for (size_t step : {size_t{1}, size_t{2}}) {
+      size_t j = (i + step) % num_fans;
+      if (j == i) continue;
+      MustInsert(friends, {Value::Str(scenario.fans[i]),
+                           Value::Str(scenario.fans[j])});
+    }
+  }
+
+  scenario.schema.thing_relation = "Flights";
+  scenario.schema.friends_relation = "Fans";
+  scenario.schema.coordination_attrs = {1, 2};  // destination, day
+
+  // Fans live in different cities (origin is a personal, non-shared
+  // constraint); some pin the concert city, some their airline.
+  for (size_t i = 0; i < num_fans; ++i) {
+    ConsistentQuery q;
+    q.user = scenario.fans[i];
+    q.self_spec.assign(4, std::nullopt);
+    q.self_spec[2] = Value::Str(homes[i % homes.size()]);  // source
+    if (i % 3 == 0) {
+      q.self_spec[0] =
+          Value::Str(rng->Choice(scenario.tour_stops));  // destination
+    }
+    if (i % 5 == 0) {
+      q.self_spec[3] = Value::Str(airlines[i % airlines.size()]);
+    }
+    q.partners.push_back(PartnerSpec::AnyFriend());
+    scenario.queries.push_back(std::move(q));
+  }
+  return scenario;
+}
+
+}  // namespace entangled

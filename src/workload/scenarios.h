@@ -1,0 +1,54 @@
+#ifndef ENTANGLED_WORKLOAD_SCENARIOS_H_
+#define ENTANGLED_WORKLOAD_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "algo/consistent.h"
+#include "common/rng.h"
+#include "core/query.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief Query handles for the §2.2 flight–hotel example (Figure 1).
+struct FlightHotelIds {
+  QueryId qc;  ///< Chris: same flight as Guy, any destination
+  QueryId qg;  ///< Guy: Paris, same flight and hotel as Chris
+  QueryId qj;  ///< Jonny: Athens, same flight as Chris and Guy
+  QueryId qw;  ///< Will: Madrid, same flight as Chris, same hotel as Jonny
+};
+
+/// \brief Builds the flight–hotel example exactly as in Figure 1:
+/// relations F(flightId, destination) and H(hotelId, location) with a
+/// few flights/hotels per city, plus the four band-member queries.
+///
+/// With the default data the SCC algorithm coordinates {qC, qG} (Paris)
+/// while qJ and qW fail, reproducing §4's walkthrough.
+FlightHotelIds BuildFlightHotelScenario(Database* db, QuerySet* set);
+
+/// \brief The §5 movie-night example: friendship table C, cinema table
+/// M(movie_id, cinema, movie), coordination attribute = cinema.
+/// Expected outcome: Regal wins with {Chris, Jonny, Will}; Cinemark
+/// cleans down to nothing.
+struct MovieScenario {
+  ConsistentSchema schema;
+  std::vector<ConsistentQuery> queries;  ///< Chris, Guy, Jonny, Will
+};
+MovieScenario BuildMovieScenario(Database* db);
+
+/// \brief Example 2: Coldplay fans across the world coordinating on a
+/// concert (destination, date), each with at least one friend, personal
+/// non-coordination constraints (origin airport, airline) sprinkled in.
+struct ConcertScenario {
+  ConsistentSchema schema;
+  std::vector<ConsistentQuery> queries;
+  std::vector<std::string> fans;
+  std::vector<std::string> tour_stops;
+};
+ConcertScenario BuildConcertScenario(Database* db, size_t num_fans,
+                                     Rng* rng);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,20 @@
+#include "workload/social_data.h"
+
+namespace entangled {
+
+Status InstallSocialTable(Database* db, const std::string& name,
+                          size_t num_rows) {
+  auto relation = db->CreateRelation(name, {"id", "handle"});
+  if (!relation.ok()) return relation.status();
+  for (size_t i = 0; i < num_rows; ++i) {
+    ENTANGLED_RETURN_IF_ERROR((*relation)->Insert(
+        {Value::Int(static_cast<int64_t>(i)), Value::Str(SocialHandle(i))}));
+  }
+  return Status::OK();
+}
+
+std::string SocialHandle(size_t index) {
+  return "user" + std::to_string(index);
+}
+
+}  // namespace entangled

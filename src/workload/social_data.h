@@ -1,0 +1,34 @@
+#ifndef ENTANGLED_WORKLOAD_SOCIAL_DATA_H_
+#define ENTANGLED_WORKLOAD_SOCIAL_DATA_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// Row count of the Slashdot table used by the paper's §6.1 experiments.
+inline constexpr size_t kSlashdotTableSize = 82168;
+
+/// \brief Installs the synthetic stand-in for the paper's Slashdot
+/// social-network table: relation `name`(id, handle) with `num_rows`
+/// rows (id = 0..n-1, handle = "user<i>").
+///
+/// Substitution note (DESIGN.md §1): the original data is a crawl we do
+/// not have; the experiments only require a large relation in which
+/// every query body has at least one witness, which this preserves.
+/// Handles are unique, so a body atom `name`(x, 'user<k>') matches
+/// exactly one row through the hash index — the paper's "simple bodies"
+/// regime.
+Status InstallSocialTable(Database* db, const std::string& name,
+                          size_t num_rows);
+
+/// \brief Handle of row `index` ("user<index>").
+std::string SocialHandle(size_t index);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_WORKLOAD_SOCIAL_DATA_H_

@@ -1,0 +1,89 @@
+#include "algo/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/validator.h"
+#include "workload/scenarios.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+class BruteForceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 16).ok());
+  }
+  Database db_;
+};
+
+TEST_F(BruteForceTest, FindsMaximumOnFlightHotel) {
+  Database db;
+  QuerySet set;
+  FlightHotelIds ids = BuildFlightHotelScenario(&db, &set);
+  BruteForceSolver solver(&db);
+  auto maximum = solver.FindMaximum(set);
+  ASSERT_TRUE(maximum.has_value());
+  // {qC, qG} is the unique maximum coordinating set (§4 walkthrough).
+  EXPECT_EQ(maximum->queries, (std::vector<QueryId>{ids.qc, ids.qg}));
+  EXPECT_TRUE(ValidateSolution(db, set, *maximum).ok());
+}
+
+TEST_F(BruteForceTest, FindAnyPrefersSmallSets) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "solo: { }        K(w) :- Users(w, 'user5').\n"
+      "a:    { R(B, x) } R(A, x) :- Users(x, 'user3').\n"
+      "b:    { R(A, y) } R(B, y) :- Users(y, 'user3').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  BruteForceSolver solver(&db_);
+  auto any = solver.FindAny(set);
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(any->queries.size(), 1u);  // the singleton comes first
+  auto maximum = solver.FindMaximum(set);
+  ASSERT_TRUE(maximum.has_value());
+  EXPECT_EQ(maximum->queries.size(), 3u);
+}
+
+TEST_F(BruteForceTest, NoCoordinatingSetReturnsNullopt) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { Missing(x) } R(A, x) :- Users(x, 'user1').", &set);
+  ASSERT_TRUE(ids.ok());
+  BruteForceSolver solver(&db_);
+  EXPECT_FALSE(solver.FindAny(set).has_value());
+  EXPECT_FALSE(solver.FindMaximum(set).has_value());
+  EXPECT_TRUE(solver.AllCoordinatingSets(set).empty());
+}
+
+TEST_F(BruteForceTest, AllCoordinatingSetsEnumerates) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "solo1: { } K(w) :- Users(w, 'user5').\n"
+      "solo2: { } L(v) :- Users(v, 'user6').",
+      &set);
+  ASSERT_TRUE(ids.ok());
+  BruteForceSolver solver(&db_);
+  auto all = solver.AllCoordinatingSets(set);
+  // {solo1}, {solo2}, {solo1, solo2}.
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST_F(BruteForceTest, MaximumIsDeterministicOnTies) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "solo1: { } K(w) :- Users(w, 'user5').\n"
+      "solo2: { } L(v) :- Users(v, 'user6').\n"
+      "dead:  { Missing(z) } M(z) :- Users(z, 'user7').",
+      &set);
+  ASSERT_TRUE(ids.ok());
+  BruteForceSolver solver(&db_);
+  auto maximum = solver.FindMaximum(set);
+  ASSERT_TRUE(maximum.has_value());
+  EXPECT_EQ(maximum->queries, (std::vector<QueryId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,247 @@
+#include "algo/consistent.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/consistent_workloads.h"
+#include "workload/scenarios.h"
+
+namespace entangled {
+namespace {
+
+/// §5's movie-night example, exactly as narrated in the paper.
+class MovieNightTest : public ::testing::Test {
+ protected:
+  void SetUp() override { scenario_ = BuildMovieScenario(&db_); }
+
+  Database db_;
+  MovieScenario scenario_;
+};
+
+TEST_F(MovieNightTest, OptionListsMatchThePaperTable) {
+  ConsistentCoordinator coordinator(&db_, scenario_.schema);
+  ASSERT_TRUE(coordinator.Solve(scenario_.queries).ok());
+  // V(qc)={Regal}, V(qg)={AMC}, V(qj)=V(qw)={Regal,AMC,Cinemark}:
+  // V(Q) in first-seen order is Regal, AMC, Cinemark.
+  const auto& outcomes = coordinator.value_outcomes();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].first, (std::vector<Value>{Value::Str("Regal")}));
+  EXPECT_EQ(outcomes[1].first, (std::vector<Value>{Value::Str("AMC")}));
+  EXPECT_EQ(outcomes[2].first,
+            (std::vector<Value>{Value::Str("Cinemark")}));
+}
+
+TEST_F(MovieNightTest, CinemarkCleansDownToNothing) {
+  // G_Cinemark = {Jonny, Will}; Will has no friend there, then Jonny
+  // loses Will: empty (the paper's walkthrough).
+  ConsistentCoordinator coordinator(&db_, scenario_.schema);
+  ASSERT_TRUE(coordinator.Solve(scenario_.queries).ok());
+  const auto& outcomes = coordinator.value_outcomes();
+  EXPECT_EQ(outcomes[2].second, 0u);  // Cinemark
+}
+
+TEST_F(MovieNightTest, RegalWinsWithChrisJonnyWill) {
+  ConsistentCoordinator coordinator(&db_, scenario_.schema);
+  auto result = coordinator.Solve(scenario_.queries);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->agreed_value,
+            (std::vector<Value>{Value::Str("Regal")}));
+  EXPECT_EQ(result->size(), 3u);
+  EXPECT_TRUE(result->ContainsQuery(0));   // Chris
+  EXPECT_FALSE(result->ContainsQuery(1));  // Guy goes to AMC, excluded
+  EXPECT_TRUE(result->ContainsQuery(2));   // Jonny
+  EXPECT_TRUE(result->ContainsQuery(3));   // Will
+}
+
+TEST_F(MovieNightTest, AmcAlsoSupportsThreeButRegalIsFirst) {
+  // G_AMC = {Guy, Jonny, Will} survives cleaning too; the tie breaks
+  // towards the first value in V(Q) order, matching the paper's choice
+  // of Regal.
+  ConsistentCoordinator coordinator(&db_, scenario_.schema);
+  ASSERT_TRUE(coordinator.Solve(scenario_.queries).ok());
+  EXPECT_EQ(coordinator.value_outcomes()[1].second, 3u);  // AMC
+}
+
+TEST_F(MovieNightTest, ChosenTuplesSatisfyEachUser) {
+  ConsistentCoordinator coordinator(&db_, scenario_.schema);
+  auto result = coordinator.Solve(scenario_.queries);
+  ASSERT_TRUE(result.ok());
+  const Relation& movies = **db_.Get("M");
+  for (const ConsistentMember& member : result->members) {
+    const Tuple& row = movies.row(member.self_row);
+    const ConsistentQuery& q = scenario_.queries[member.query_index];
+    // Cinema is the agreed value; self constraints hold.
+    EXPECT_EQ(row[1], result->agreed_value[0]);
+    for (size_t a = 0; a < q.self_spec.size(); ++a) {
+      if (q.self_spec[a].has_value()) {
+        EXPECT_EQ(row[a + 1], *q.self_spec[a]);
+      }
+    }
+  }
+  // Chris partners with Will (his constant); Jonny/Will with surviving
+  // friends.
+  const ConsistentMember* chris = result->FindMember(0);
+  ASSERT_NE(chris, nullptr);
+  EXPECT_EQ(chris->partner_queries,
+            (std::vector<std::vector<size_t>>{{3}}));
+  const ConsistentMember* will = result->FindMember(3);
+  ASSERT_NE(will, nullptr);
+  // Will's friends are Chris and Guy; only Chris survives at Regal.
+  EXPECT_EQ(will->partner_queries,
+            (std::vector<std::vector<size_t>>{{0}}));
+}
+
+TEST_F(MovieNightTest, StatsCountDbWorkAndValues) {
+  ConsistentCoordinator coordinator(&db_, scenario_.schema);
+  ASSERT_TRUE(coordinator.Solve(scenario_.queries).ok());
+  const SolverStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.candidate_values, 3u);
+  // 4 option queries + 3 friend lookups (Chris names Will directly)
+  // + 3 final groundings.
+  EXPECT_EQ(stats.db_queries, 10u);
+  EXPECT_GT(stats.cleaning_rounds, 0u);
+}
+
+class ConsistentEdgeCaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeFlightSchema("Flights", "Friends");
+    ASSERT_TRUE(InstallFlightsGrid(&db_, "Flights", {"Paris", "Rome"},
+                                   {"d1", "d2"}, 2, {"NYC", "SFO"},
+                                   {"AirA", "AirB"})
+                    .ok());
+    ASSERT_TRUE(
+        InstallCompleteFriends(&db_, "Friends", MakeUserNames(4)).ok());
+  }
+  Database db_;
+  ConsistentSchema schema_;
+};
+
+TEST_F(ConsistentEdgeCaseTest, AllWildcardsCoordinateEveryone) {
+  auto queries = MakeWorstCaseConsistentQueries(4, 4);
+  ConsistentCoordinator coordinator(&db_, schema_);
+  auto result = coordinator.Solve(queries);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 4u);
+  EXPECT_EQ(coordinator.stats().candidate_values, 4u);  // 2 dests x 2 days
+}
+
+TEST_F(ConsistentEdgeCaseTest, ConflictingConstantsSplitUsers) {
+  auto queries = MakeWorstCaseConsistentQueries(4, 4);
+  queries[0].self_spec[0] = Value::Str("Paris");
+  queries[1].self_spec[0] = Value::Str("Paris");
+  queries[2].self_spec[0] = Value::Str("Rome");
+  queries[3].self_spec[0] = Value::Str("Rome");
+  ConsistentCoordinator coordinator(&db_, schema_);
+  auto result = coordinator.Solve(queries);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Either city supports exactly its two fans.
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST_F(ConsistentEdgeCaseTest, UnsatisfiableSelfSpecDropsQuery) {
+  auto queries = MakeWorstCaseConsistentQueries(3, 4);
+  queries[2].self_spec[0] = Value::Str("Atlantis");
+  ConsistentCoordinator coordinator(&db_, schema_);
+  auto result = coordinator.Solve(queries);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_FALSE(result->ContainsQuery(2));
+}
+
+TEST_F(ConsistentEdgeCaseTest, LonelyUserCannotCoordinate) {
+  // One user whose only partner option is a friend — but there is only
+  // one query, so the friend variable can never be satisfied.
+  auto queries = MakeWorstCaseConsistentQueries(1, 4);
+  ConsistentCoordinator coordinator(&db_, schema_);
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsNotFound());
+}
+
+TEST_F(ConsistentEdgeCaseTest, PartnerlessQueryIsItsOwnSet) {
+  std::vector<ConsistentQuery> queries(1);
+  queries[0].user = "user0";
+  queries[0].self_spec.assign(4, std::nullopt);
+  ConsistentCoordinator coordinator(&db_, schema_);
+  auto result = coordinator.Solve(queries);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST_F(ConsistentEdgeCaseTest, ConstantPartnerWithoutQueryFails) {
+  std::vector<ConsistentQuery> queries(1);
+  queries[0].user = "user0";
+  queries[0].self_spec.assign(4, std::nullopt);
+  queries[0].partners.push_back(PartnerSpec::User("celebrity"));
+  ConsistentCoordinator coordinator(&db_, schema_);
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsNotFound());
+}
+
+TEST_F(ConsistentEdgeCaseTest, CascadingCleaning) {
+  // user0 needs user1 (constant), user1 needs user2 (constant), user2's
+  // spec is unsatisfiable: the whole chain collapses.
+  std::vector<ConsistentQuery> queries(3);
+  for (size_t i = 0; i < 3; ++i) {
+    queries[i].user = "user" + std::to_string(i);
+    queries[i].self_spec.assign(4, std::nullopt);
+  }
+  queries[0].partners.push_back(PartnerSpec::User("user1"));
+  queries[1].partners.push_back(PartnerSpec::User("user2"));
+  queries[2].self_spec[0] = Value::Str("Atlantis");
+  ConsistentCoordinator coordinator(&db_, schema_);
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsNotFound());
+}
+
+TEST_F(ConsistentEdgeCaseTest, ValidationCatchesBadInput) {
+  ConsistentCoordinator coordinator(&db_, schema_);
+  std::vector<ConsistentQuery> queries(2);
+  queries[0].user = "user0";
+  queries[0].self_spec.assign(4, std::nullopt);
+  queries[1].user = "user0";  // duplicate user
+  queries[1].self_spec.assign(4, std::nullopt);
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsInvalidArgument());
+
+  queries[1].user = "user1";
+  queries[1].self_spec.assign(2, std::nullopt);  // wrong attribute count
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsInvalidArgument());
+
+  queries[1].self_spec.assign(4, std::nullopt);
+  queries[1].partners.push_back(PartnerSpec::User("user1"));  // self
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsInvalidArgument());
+}
+
+TEST_F(ConsistentEdgeCaseTest, BadSchemaRejected) {
+  ConsistentSchema bad = schema_;
+  bad.coordination_attrs = {0};  // the key is not an attribute
+  ConsistentCoordinator coordinator(&db_, bad);
+  EXPECT_TRUE(coordinator.Solve(MakeWorstCaseConsistentQueries(2, 4))
+                  .status()
+                  .IsInvalidArgument());
+
+  ConsistentSchema missing = schema_;
+  missing.thing_relation = "Nowhere";
+  ConsistentCoordinator coordinator2(&db_, missing);
+  EXPECT_TRUE(coordinator2.Solve(MakeWorstCaseConsistentQueries(2, 4))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ConsistentEdgeCaseTest, IndexAblationAgrees) {
+  auto queries = MakeWorstCaseConsistentQueries(4, 4);
+  queries[2].self_spec[0] = Value::Str("Paris");
+  ConsistentCoordinator indexed(&db_, schema_);
+  ConsistentOptions no_index_options;
+  no_index_options.use_indexes = false;
+  ConsistentCoordinator scanning(&db_, schema_, no_index_options);
+  auto a = indexed.Solve(queries);
+  auto b = scanning.Solve(queries);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->agreed_value, b->agreed_value);
+  EXPECT_EQ(a->size(), b->size());
+}
+
+TEST_F(ConsistentEdgeCaseTest, EmptyQueryListIsNotFound) {
+  ConsistentCoordinator coordinator(&db_, schema_);
+  EXPECT_TRUE(coordinator.Solve({}).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace entangled

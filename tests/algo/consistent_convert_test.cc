@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "algo/consistent.h"
+#include "core/properties.h"
+#include "core/validator.h"
+#include "workload/consistent_workloads.h"
+#include "workload/scenarios.h"
+
+namespace entangled {
+namespace {
+
+class ConvertTest : public ::testing::Test {
+ protected:
+  void SetUp() override { scenario_ = BuildMovieScenario(&db_); }
+
+  Database db_;
+  MovieScenario scenario_;
+};
+
+TEST_F(ConvertTest, GeneralFormShape) {
+  QuerySet set;
+  ConsistentConversion conversion =
+      ToEntangledQueries(scenario_.schema, scenario_.queries, &set);
+  ASSERT_EQ(set.size(), 4u);
+  ASSERT_EQ(conversion.query_ids.size(), 4u);
+
+  // Chris: {R(y, Will)} R(x, Chris) :- M(x, Regal, Contagion),
+  //                                    M(y, Regal, z).
+  const EntangledQuery& chris = set.query(conversion.query_ids[0]);
+  ASSERT_EQ(chris.postconditions.size(), 1u);
+  EXPECT_EQ(chris.postconditions[0].relation, "R");
+  EXPECT_EQ(chris.postconditions[0].terms[1], Term::Str("Will"));
+  ASSERT_EQ(chris.head.size(), 1u);
+  EXPECT_EQ(chris.head[0].terms[1], Term::Str("Chris"));
+  ASSERT_EQ(chris.body.size(), 2u);  // own tuple + partner tuple
+  EXPECT_EQ(chris.body[0].relation, "M");
+  EXPECT_EQ(chris.body[0].terms[1], Term::Str("Regal"));
+  EXPECT_EQ(chris.body[0].terms[2], Term::Str("Contagion"));
+  // Partner coordinates on the cinema (same constant), not the movie.
+  EXPECT_EQ(chris.body[1].terms[1], Term::Str("Regal"));
+  EXPECT_TRUE(chris.body[1].terms[2].is_variable());
+
+  // Guy has a friend variable: body gains C(Guy, f).
+  const EntangledQuery& guy = set.query(conversion.query_ids[1]);
+  ASSERT_EQ(guy.body.size(), 3u);
+  EXPECT_EQ(guy.body[1].relation, "C");
+  EXPECT_EQ(guy.body[1].terms[0], Term::Str("Guy"));
+  EXPECT_TRUE(guy.body[1].terms[1].is_variable());
+  // Guy's postcondition mentions the same friend variable.
+  EXPECT_EQ(guy.postconditions[0].terms[1], guy.body[1].terms[1]);
+}
+
+TEST_F(ConvertTest, SharedCoordinationVariable) {
+  QuerySet set;
+  ConsistentConversion conversion =
+      ToEntangledQueries(scenario_.schema, scenario_.queries, &set);
+  // Jonny leaves the cinema open: his own atom and his partner's atom
+  // must share one variable in the cinema column (A-coordinating).
+  const EntangledQuery& jonny = set.query(conversion.query_ids[2]);
+  const Atom& self = jonny.body[0];   // M(x, b, Hugo)
+  const Atom& partner = jonny.body[2];  // M(y, b, z)
+  ASSERT_TRUE(self.terms[1].is_variable());
+  EXPECT_EQ(self.terms[1], partner.terms[1]);
+  // Movie column: constant for Jonny, fresh variable for the partner.
+  EXPECT_EQ(self.terms[2], Term::Str("Hugo"));
+  ASSERT_TRUE(partner.terms[2].is_variable());
+  EXPECT_NE(partner.terms[2], self.terms[1]);
+}
+
+TEST_F(ConvertTest, ConvertedSetIsUnsafe) {
+  // Friend variables make postconditions unify with several heads —
+  // exactly why §5 needs its own algorithm.
+  QuerySet set;
+  ToEntangledQueries(scenario_.schema, scenario_.queries, &set);
+  EXPECT_FALSE(IsSafeSet(set));
+}
+
+TEST_F(ConvertTest, SolutionTranslatesAndValidates) {
+  // The bridge theorem of this repository: the consistent algorithm's
+  // output, translated to the general form, passes the independent
+  // Definition-1 validator.
+  ConsistentCoordinator coordinator(&db_, scenario_.schema);
+  auto solution = coordinator.Solve(scenario_.queries);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+
+  QuerySet set;
+  ConsistentConversion conversion =
+      ToEntangledQueries(scenario_.schema, scenario_.queries, &set);
+  CoordinationSolution translated = ToCoordinationSolution(
+      db_, scenario_.schema, scenario_.queries, conversion, *solution);
+  EXPECT_EQ(translated.queries.size(), solution->size());
+  EXPECT_TRUE(ValidateSolution(db_, set, translated).ok());
+}
+
+TEST_F(ConvertTest, WellFormedAgainstTheSchema) {
+  QuerySet set;
+  ToEntangledQueries(scenario_.schema, scenario_.queries, &set);
+  EXPECT_TRUE(set.CheckWellFormed(db_).ok());
+}
+
+TEST(ConvertGridTest, WorstCaseWorkloadTranslatesAndValidates) {
+  Database db;
+  ConsistentSchema schema = MakeFlightSchema("Flights", "Friends");
+  ASSERT_TRUE(InstallFlightsGrid(&db, "Flights", {"Paris", "Rome"},
+                                 {"d1"}, 1, {"NYC"}, {"AirA"})
+                  .ok());
+  ASSERT_TRUE(
+      InstallCompleteFriends(&db, "Friends", MakeUserNames(3)).ok());
+  auto queries = MakeWorstCaseConsistentQueries(3, 4);
+  ConsistentCoordinator coordinator(&db, schema);
+  auto solution = coordinator.Solve(queries);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_EQ(solution->size(), 3u);
+
+  QuerySet set;
+  ConsistentConversion conversion =
+      ToEntangledQueries(schema, queries, &set);
+  CoordinationSolution translated =
+      ToCoordinationSolution(db, schema, queries, conversion, *solution);
+  EXPECT_TRUE(ValidateSolution(db, set, translated).ok());
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,199 @@
+// Tests for the §5-Discussion generalizations of the Consistent
+// Coordination Algorithm: "at least k friends" requirements (not
+// expressible in entangled-query syntax) and partners drawn from
+// multiple binary relations.
+
+#include <gtest/gtest.h>
+
+#include "algo/consistent.h"
+#include "core/validator.h"
+#include "workload/consistent_workloads.h"
+
+namespace entangled {
+namespace {
+
+class GeneralizationsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeFlightSchema("Flights", "Friends");
+    ASSERT_TRUE(InstallFlightsGrid(&db_, "Flights", {"Paris"}, {"d1"}, 2,
+                                   {"NYC"}, {"AirA"})
+                    .ok());
+    friends_ = *db_.CreateRelation("Friends", {"user", "friend"});
+    buddies_ = *db_.CreateRelation("Buddies", {"user", "friend"});
+  }
+
+  void Befriend(Relation* relation, const std::string& a,
+                const std::string& b) {
+    ASSERT_TRUE(relation->Insert({Value::Str(a), Value::Str(b)}).ok());
+  }
+
+  ConsistentQuery Wildcard(const std::string& user) {
+    ConsistentQuery q;
+    q.user = user;
+    q.self_spec.assign(4, std::nullopt);
+    return q;
+  }
+
+  Database db_;
+  ConsistentSchema schema_;
+  Relation* friends_ = nullptr;
+  Relation* buddies_ = nullptr;
+};
+
+TEST_F(GeneralizationsTest, KFriendsSatisfiedWhenEnoughSurvive) {
+  // u0 needs two friends; u1 and u2 are both friends and present.
+  std::vector<ConsistentQuery> queries = {Wildcard("u0"), Wildcard("u1"),
+                                          Wildcard("u2")};
+  queries[0].partners = {PartnerSpec::KFriends(2)};
+  Befriend(friends_, "u0", "u1");
+  Befriend(friends_, "u0", "u2");
+  Befriend(friends_, "u1", "u0");
+  Befriend(friends_, "u2", "u0");
+  queries[1].partners = {PartnerSpec::AnyFriend()};
+  queries[2].partners = {PartnerSpec::AnyFriend()};
+
+  ConsistentCoordinator coordinator(&db_, schema_);
+  auto result = coordinator.Solve(queries);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 3u);
+  const ConsistentMember* u0 = result->FindMember(0);
+  ASSERT_NE(u0, nullptr);
+  ASSERT_EQ(u0->partner_queries.size(), 1u);
+  // Two *distinct* partners chosen.
+  ASSERT_EQ(u0->partner_queries[0].size(), 2u);
+  EXPECT_NE(u0->partner_queries[0][0], u0->partner_queries[0][1]);
+}
+
+TEST_F(GeneralizationsTest, KFriendsFailsWhenOnlyOneSurvives) {
+  std::vector<ConsistentQuery> queries = {Wildcard("u0"), Wildcard("u1")};
+  queries[0].partners = {PartnerSpec::KFriends(2)};
+  queries[1].partners = {PartnerSpec::AnyFriend()};
+  Befriend(friends_, "u0", "u1");
+  Befriend(friends_, "u1", "u0");
+
+  ConsistentCoordinator coordinator(&db_, schema_);
+  // u0 cannot muster two friends; u1 then loses its only friend too.
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsNotFound());
+}
+
+TEST_F(GeneralizationsTest, KFriendsRemovalCascades) {
+  // u0 needs 2 friends (u1, u2); u2's spec is unsatisfiable, so u0
+  // drops to one surviving friend and must be removed, which then
+  // removes u1 (whose only friend is u0).
+  std::vector<ConsistentQuery> queries = {Wildcard("u0"), Wildcard("u1"),
+                                          Wildcard("u2")};
+  queries[0].partners = {PartnerSpec::KFriends(2)};
+  queries[1].partners = {PartnerSpec::AnyFriend()};
+  queries[2].self_spec[0] = Value::Str("Atlantis");  // no such flight
+  Befriend(friends_, "u0", "u1");
+  Befriend(friends_, "u0", "u2");
+  Befriend(friends_, "u1", "u0");
+
+  ConsistentCoordinator coordinator(&db_, schema_);
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsNotFound());
+}
+
+TEST_F(GeneralizationsTest, PartnersFromMultipleRelations) {
+  // u0 wants one friend AND one study buddy; the two relations resolve
+  // to different users.
+  std::vector<ConsistentQuery> queries = {Wildcard("u0"), Wildcard("u1"),
+                                          Wildcard("u2")};
+  queries[0].partners = {PartnerSpec::AnyFriend(),
+                         PartnerSpec::AnyFriend("Buddies")};
+  queries[1].partners = {};
+  queries[2].partners = {};
+  Befriend(friends_, "u0", "u1");
+  Befriend(buddies_, "u0", "u2");
+
+  ConsistentCoordinator coordinator(&db_, schema_);
+  auto result = coordinator.Solve(queries);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 3u);
+  const ConsistentMember* u0 = result->FindMember(0);
+  ASSERT_NE(u0, nullptr);
+  ASSERT_EQ(u0->partner_queries.size(), 2u);
+  EXPECT_EQ(u0->partner_queries[0], (std::vector<size_t>{1}));  // friend
+  EXPECT_EQ(u0->partner_queries[1], (std::vector<size_t>{2}));  // buddy
+}
+
+TEST_F(GeneralizationsTest, AlternateRelationOnlyCountsItsOwnEdges) {
+  // u0 needs a Buddy, but only has a Friend: not satisfiable.
+  std::vector<ConsistentQuery> queries = {Wildcard("u0"), Wildcard("u1")};
+  queries[0].partners = {PartnerSpec::AnyFriend("Buddies")};
+  queries[1].partners = {};
+  Befriend(friends_, "u0", "u1");
+
+  ConsistentCoordinator coordinator(&db_, schema_);
+  auto result = coordinator.Solve(queries);
+  // u1 (no requirements) still coordinates alone.
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_TRUE(result->ContainsQuery(1));
+}
+
+TEST_F(GeneralizationsTest, KFriendsConversionEmitsKSlots) {
+  std::vector<ConsistentQuery> queries = {Wildcard("u0"), Wildcard("u1"),
+                                          Wildcard("u2")};
+  queries[0].partners = {PartnerSpec::KFriends(2)};
+  QuerySet set;
+  ConsistentConversion conversion =
+      ToEntangledQueries(schema_, queries, &set);
+  const EntangledQuery& q0 = set.query(conversion.query_ids[0]);
+  EXPECT_EQ(q0.postconditions.size(), 2u);
+  // Body: own S atom + 2 x (F atom + partner S atom).
+  EXPECT_EQ(q0.body.size(), 5u);
+  ASSERT_EQ(conversion.vars[0].spec_slots.size(), 1u);
+  EXPECT_EQ(conversion.vars[0].spec_slots[0].size(), 2u);
+}
+
+TEST_F(GeneralizationsTest, KFriendsSolutionValidatesAfterConversion) {
+  std::vector<ConsistentQuery> queries = {Wildcard("u0"), Wildcard("u1"),
+                                          Wildcard("u2")};
+  queries[0].partners = {PartnerSpec::KFriends(2)};
+  queries[1].partners = {PartnerSpec::AnyFriend()};
+  queries[2].partners = {PartnerSpec::User("u0")};
+  Befriend(friends_, "u0", "u1");
+  Befriend(friends_, "u0", "u2");
+  Befriend(friends_, "u1", "u0");
+
+  ConsistentCoordinator coordinator(&db_, schema_);
+  auto result = coordinator.Solve(queries);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 3u);
+
+  QuerySet set;
+  ConsistentConversion conversion =
+      ToEntangledQueries(schema_, queries, &set);
+  CoordinationSolution translated =
+      ToCoordinationSolution(db_, schema_, queries, conversion, *result);
+  EXPECT_TRUE(ValidateSolution(db_, set, translated).ok())
+      << set.ToString();
+}
+
+TEST_F(GeneralizationsTest, ValidateInputRejectsBadGeneralizations) {
+  std::vector<ConsistentQuery> queries = {Wildcard("u0")};
+  ConsistentCoordinator coordinator(&db_, schema_);
+
+  queries[0].partners = {PartnerSpec::KFriends(0)};
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsInvalidArgument());
+
+  queries[0].partners = {PartnerSpec::AnyFriend("NoSuchRelation")};
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsNotFound());
+
+  ASSERT_TRUE(db_.CreateRelation("Ternary", {"a", "b", "c"}).ok());
+  queries[0].partners = {PartnerSpec::AnyFriend("Ternary")};
+  EXPECT_TRUE(coordinator.Solve(queries).status().IsInvalidArgument());
+}
+
+TEST_F(GeneralizationsTest, PartnerSpecToString) {
+  EXPECT_EQ(PartnerSpec::User("Ann").ToString(), "Ann");
+  EXPECT_EQ(PartnerSpec::AnyFriend().ToString(), "<any of my friends>");
+  EXPECT_EQ(PartnerSpec::KFriends(3).ToString(),
+            "<at least 3 of my friends>");
+  EXPECT_EQ(PartnerSpec::KFriends(2, "Buddies").ToString(),
+            "<at least 2 of my Buddies>");
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,110 @@
+// The §6.2 future-work enhancement: per-value cleaning runs on worker
+// threads.  The contract is bit-for-bit equality with the sequential
+// algorithm — same agreed value, same members, same option lists.
+
+#include <gtest/gtest.h>
+
+#include "algo/consistent.h"
+#include "common/rng.h"
+#include "workload/consistent_workloads.h"
+#include "workload/scenarios.h"
+
+namespace entangled {
+namespace {
+
+ConsistentOptions Threads(int n) {
+  ConsistentOptions options;
+  options.num_threads = n;
+  return options;
+}
+
+void ExpectSameSolution(const Result<ConsistentSolution>& a,
+                        const Result<ConsistentSolution>& b) {
+  ASSERT_EQ(a.ok(), b.ok()) << a.status() << " vs " << b.status();
+  if (!a.ok()) return;
+  EXPECT_EQ(a->agreed_value, b->agreed_value);
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t m = 0; m < a->members.size(); ++m) {
+    EXPECT_EQ(a->members[m].query_index, b->members[m].query_index);
+    EXPECT_EQ(a->members[m].self_row, b->members[m].self_row);
+    EXPECT_EQ(a->members[m].partner_queries,
+              b->members[m].partner_queries);
+  }
+}
+
+TEST(ConsistentParallelTest, MovieExampleIdenticalAcrossThreadCounts) {
+  Database db;
+  MovieScenario scenario = BuildMovieScenario(&db);
+  ConsistentCoordinator sequential(&db, scenario.schema, Threads(1));
+  auto base = sequential.Solve(scenario.queries);
+  for (int threads : {2, 3, 8}) {
+    ConsistentCoordinator parallel(&db, scenario.schema, Threads(threads));
+    auto result = parallel.Solve(scenario.queries);
+    ExpectSameSolution(base, result);
+    EXPECT_EQ(sequential.value_outcomes(), parallel.value_outcomes());
+  }
+}
+
+TEST(ConsistentParallelTest, WorstCaseWorkloadIdentical) {
+  Database db;
+  ASSERT_TRUE(InstallDistinctFlightsTable(&db, "Flights", 300).ok());
+  ASSERT_TRUE(
+      InstallCompleteFriends(&db, "Friends", MakeUserNames(20)).ok());
+  ConsistentSchema schema = MakeFlightSchema("Flights", "Friends");
+  auto queries = MakeWorstCaseConsistentQueries(20, 4);
+
+  ConsistentCoordinator sequential(&db, schema, Threads(1));
+  ConsistentCoordinator parallel(&db, schema, Threads(4));
+  auto a = sequential.Solve(queries);
+  auto b = parallel.Solve(queries);
+  ExpectSameSolution(a, b);
+  EXPECT_EQ(sequential.stats().candidate_values,
+            parallel.stats().candidate_values);
+}
+
+TEST(ConsistentParallelTest, RandomInstancesIdentical) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 127);
+    Database db;
+    ConsistentSchema schema = MakeFlightSchema("Flights", "Friends");
+    ASSERT_TRUE(InstallFlightsGrid(&db, "Flights",
+                                   {"Paris", "Rome", "Oslo"},
+                                   {"d1", "d2"}, 2, {"NYC", "SFO"},
+                                   {"AirA"})
+                    .ok());
+    size_t num_users = 3 + rng.NextBounded(4);
+    auto users = MakeUserNames(num_users);
+    Relation* friends = *db.CreateRelation("Friends", {"user", "friend"});
+    for (const auto& a : users) {
+      for (const auto& b : users) {
+        if (a != b && rng.NextBool(0.5)) {
+          ASSERT_TRUE(friends->Insert({Value::Str(a), Value::Str(b)}).ok());
+        }
+      }
+    }
+    auto queries = MakeWorstCaseConsistentQueries(num_users, 4);
+    for (auto& q : queries) {
+      if (rng.NextBool(0.3)) q.self_spec[0] = Value::Str("Paris");
+    }
+    ConsistentCoordinator sequential(&db, schema, Threads(1));
+    ConsistentCoordinator parallel(&db, schema, Threads(3));
+    ExpectSameSolution(sequential.Solve(queries), parallel.Solve(queries));
+  }
+}
+
+TEST(ConsistentParallelTest, MoreThreadsThanValuesIsFine) {
+  Database db;
+  ASSERT_TRUE(InstallFlightsGrid(&db, "Flights", {"Paris"}, {"d1"}, 1,
+                                 {"NYC"}, {"AirA"})
+                  .ok());
+  ASSERT_TRUE(
+      InstallCompleteFriends(&db, "Friends", MakeUserNames(2)).ok());
+  ConsistentCoordinator coordinator(
+      &db, MakeFlightSchema("Flights", "Friends"), Threads(16));
+  auto result = coordinator.Solve(MakeWorstCaseConsistentQueries(2, 4));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);
+}
+
+}  // namespace
+}  // namespace entangled

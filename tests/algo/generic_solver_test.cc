@@ -1,0 +1,148 @@
+#include "algo/generic_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/validator.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+class GenericSolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 16).ok());
+  }
+  Database db_;
+};
+
+TEST_F(GenericSolverTest, SolvesUnsafeFriendChoice) {
+  // "Go with at least one of my friends": asker's postcondition unifies
+  // with two heads — unsafe, out of scope for SccCoordinator, bread and
+  // butter for the generic solver.
+  QuerySet set;
+  auto ids = ParseQueries(
+      "asker: { R(f) } H(x)  :- Users(x, 'user0').\n"
+      "a:     { }      R(ya) :- Users(ya, 'user1').\n"
+      "b:     { }      R(yb) :- Users(yb, 'user2').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  GenericSolver solver(&db_);
+  auto result = solver.FindContaining(set, (*ids)[0]);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+  EXPECT_TRUE(result->Contains((*ids)[0]));
+  // Exactly one friend gets pulled in.
+  EXPECT_EQ(result->queries.size(), 2u);
+}
+
+TEST_F(GenericSolverTest, BacktracksOverFirstChoice) {
+  // The first matching head (query a) leads to an unsatisfiable body;
+  // the solver must fall back to b.
+  QuerySet set;
+  auto ids = ParseQueries(
+      "asker: { R(f) } H(x)  :- Users(x, 'user0').\n"
+      "a:     { }      R(ya) :- Users(ya, 'ghost').\n"
+      "b:     { }      R(yb) :- Users(yb, 'user2').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  GenericSolver solver(&db_);
+  auto result = solver.FindContaining(set, (*ids)[0]);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->Contains((*ids)[2]));
+  EXPECT_FALSE(result->Contains((*ids)[1]));
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+}
+
+TEST_F(GenericSolverTest, PullsInTransitiveRequirements) {
+  // asker -> a -> b: choosing a forces a's own postcondition, which
+  // forces b.
+  QuerySet set;
+  auto ids = ParseQueries(
+      "asker: { R(f) }  H(x)  :- Users(x, 'user0').\n"
+      "a:     { S(g) }  R(ya) :- Users(ya, 'user1').\n"
+      "b:     { }       S(yb) :- Users(yb, 'user2').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  GenericSolver solver(&db_);
+  auto result = solver.FindContaining(set, (*ids)[0]);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries.size(), 3u);
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+}
+
+TEST_F(GenericSolverTest, NotFoundWhenNoHeadMatches) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "asker: { Missing(f) } H(x) :- Users(x, 'user0').", &set);
+  ASSERT_TRUE(ids.ok());
+  GenericSolver solver(&db_);
+  auto result = solver.FindAny(set);
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(GenericSolverTest, FindAnySkipsDoomedSeeds) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "doomed: { Missing(f) } H(x) :- Users(x, 'user0').\n"
+      "fine:   { }            K(y) :- Users(y, 'user1').",
+      &set);
+  ASSERT_TRUE(ids.ok());
+  GenericSolver solver(&db_);
+  auto result = solver.FindAny(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries, (std::vector<QueryId>{(*ids)[1]}));
+}
+
+TEST_F(GenericSolverTest, CyclicDependenciesResolve) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { R(B, x) } R(A, x) :- Users(x, 'user3').\n"
+      "b: { R(A, y) } R(B, y) :- Users(y, 'user3').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  GenericSolver solver(&db_);
+  auto result = solver.FindAny(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries.size(), 2u);
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+}
+
+TEST_F(GenericSolverTest, InvalidSeedRejected) {
+  QuerySet set;
+  GenericSolver solver(&db_);
+  EXPECT_TRUE(
+      solver.FindContaining(set, 0).status().IsInvalidArgument());
+}
+
+TEST_F(GenericSolverTest, BudgetExhaustionReported) {
+  // A deliberately tiny budget trips on any instance with work to do.
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { R(B, x) } R(A, x) :- Users(x, 'user3').\n"
+      "b: { R(A, y) } R(B, y) :- Users(y, 'user3').",
+      &set);
+  ASSERT_TRUE(ids.ok());
+  GenericSolverOptions options;
+  options.max_expansions = 1;
+  GenericSolver solver(&db_, options);
+  auto result = solver.FindContaining(set, 0);
+  EXPECT_TRUE(result.status().IsOutOfRange());
+}
+
+TEST_F(GenericSolverTest, StatsCountWork) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "asker: { R(f) } H(x)  :- Users(x, 'user0').\n"
+      "a:     { }      R(ya) :- Users(ya, 'user1').",
+      &set);
+  ASSERT_TRUE(ids.ok());
+  GenericSolver solver(&db_);
+  ASSERT_TRUE(solver.FindAny(set).ok());
+  EXPECT_GT(solver.stats().db_queries, 0u);
+  EXPECT_GT(solver.stats().unifications, 0u);
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,109 @@
+#include "algo/gupta_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/validator.h"
+#include "workload/entangled_workloads.h"
+#include "workload/scenarios.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+class GuptaBaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 32).ok());
+  }
+  Database db_;
+};
+
+TEST_F(GuptaBaselineTest, SolvesSafeUniqueCycle) {
+  QuerySet set;
+  MakeCycleWorkload(6, "Users", &set);
+  GuptaBaseline baseline(&db_);
+  auto result = baseline.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries.size(), 6u);
+  CoordinationSolution solution = *result;
+  EXPECT_TRUE(ValidateSolution(db_, set, solution).ok());
+  EXPECT_EQ(baseline.stats().db_queries, 1u);  // one combined query
+}
+
+TEST_F(GuptaBaselineTest, RejectsNonUniqueChain) {
+  QuerySet set;
+  MakeListWorkload(4, "Users", &set);
+  GuptaBaseline baseline(&db_);
+  auto result = baseline.Solve(set);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+  EXPECT_NE(result.status().message().find("unique"), std::string::npos);
+}
+
+TEST_F(GuptaBaselineTest, RejectsUnsafeSet) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "asker: { R(x) } H(x) :- Users(u, 'user0').\n"
+      "a: { H(y) } R(y) :- Users(v, 'user1').\n"
+      "b: { H(z) } R(z) :- Users(w, 'user2').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  GuptaBaseline baseline(&db_);
+  auto result = baseline.Solve(set);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+  EXPECT_NE(result.status().message().find("safe"), std::string::npos);
+}
+
+TEST_F(GuptaBaselineTest, NotFoundWhenBodyUnsatisfiable) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { R(B, x) } R(A, x) :- Users(x, 'user1').\n"
+      "b: { R(A, y) } R(B, y) :- Users(y, 'nobody').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  GuptaBaseline baseline(&db_);
+  auto result = baseline.Solve(set);
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(GuptaBaselineTest, NotFoundWhenUnificationClashes) {
+  // b's postcondition R(A, 1, 2) is positionwise unifiable with a's
+  // head R(A, x, x) — the coordination graph is a safe, unique cycle —
+  // but true unification requires x = 1 and x = 2 simultaneously.
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { R(B, w) }    R(A, x, x) :- Users(u, 'user0').\n"
+      "b: { R(A, 1, 2) } R(B, y)    :- Users(v, 'user1').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  GuptaBaseline baseline(&db_);
+  auto result = baseline.Solve(set);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_NE(result.status().message().find("unification"),
+            std::string::npos);
+}
+
+TEST_F(GuptaBaselineTest, EmptySetIsNotFound) {
+  QuerySet set;
+  GuptaBaseline baseline(&db_);
+  EXPECT_TRUE(baseline.Solve(set).status().IsNotFound());
+}
+
+TEST_F(GuptaBaselineTest, AgreesWithSccAlgorithmOnUniqueSets) {
+  // On safe+unique inputs the two algorithms must agree: same set (all
+  // queries), both valid.
+  for (int n : {2, 3, 5, 8}) {
+    QuerySet set;
+    MakeCycleWorkload(n, "Users", &set);
+    GuptaBaseline baseline(&db_);
+    auto result = baseline.Solve(set);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->queries.size(), static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,285 @@
+#include "algo/scc_coordination.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/validator.h"
+#include "graph/digraph.h"
+#include "workload/entangled_workloads.h"
+#include "workload/scenarios.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+class SccAlgorithmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 64).ok());
+  }
+  Database db_;
+};
+
+TEST_F(SccAlgorithmTest, FlightHotelWalkthrough) {
+  // §4: {qC, qG} coordinate on Paris; qJ fails (no flight is both the
+  // Paris flight and an Athens flight), and qW fails transitively.
+  Database db;
+  QuerySet set;
+  FlightHotelIds ids = BuildFlightHotelScenario(&db, &set);
+  SccCoordinator coordinator(&db);
+  auto result = coordinator.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries, (std::vector<QueryId>{ids.qc, ids.qg}));
+  EXPECT_TRUE(ValidateSolution(db, set, *result).ok());
+
+  // Chris and Guy share flight and hotel, both in Paris.
+  VarId x1 = set.query(ids.qc).head[0].terms[1].var();
+  VarId y1 = set.query(ids.qg).head[0].terms[1].var();
+  EXPECT_EQ(result->assignment.at(x1), result->assignment.at(y1));
+
+  // Only the {qC, qG} component grounded successfully.
+  ASSERT_EQ(coordinator.successful_sets().size(), 1u);
+  EXPECT_EQ(coordinator.successful_sets()[0],
+            (std::vector<QueryId>{ids.qc, ids.qg}));
+  // One DB query for {qC,qG}; qJ's combined query also goes to the DB
+  // and fails; qW is skipped because its successor failed.
+  EXPECT_EQ(coordinator.stats().db_queries, 2u);
+  EXPECT_EQ(coordinator.stats().num_sccs, 3u);
+}
+
+TEST_F(SccAlgorithmTest, Example1GwynethJoinsTheBand) {
+  // Safe but non-unique: the band pair coordinates mutually, Gwyneth
+  // hangs off Chris.  The algorithm must return all three (R(gwyneth)).
+  QuerySet set;
+  auto ids = ParseQueries(
+      "chris:   { R(Guy, x) }     R(Chris, x)   :- Users(x, 'user1').\n"
+      "guy:     { R(Chris, y) }   R(Guy, y)     :- Users(y, 'user1').\n"
+      "gwyneth: { R(Chris, z) }   R(Gwyneth, z) :- Users(z, 'user1').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  SccCoordinator coordinator(&db_);
+  auto result = coordinator.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries.size(), 3u);
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+  // Both R(chris) = {chris, guy} and R(gwyneth) = all three succeed.
+  EXPECT_EQ(coordinator.successful_sets().size(), 2u);
+}
+
+TEST_F(SccAlgorithmTest, Section4ComponentsExample) {
+  // Components graph:  q3+q4 -> q1+q2 <- q5+q6.  Discovered
+  // coordinating sets: {q1,q2}, {q1,q2,q3,q4}, {q1,q2,q5,q6}; a
+  // maximum one (size 4) is returned.
+  Digraph structure(6);
+  structure.AddEdge(0, 1);
+  structure.AddEdge(1, 0);  // q1+q2
+  structure.AddEdge(2, 3);
+  structure.AddEdge(3, 2);  // q3+q4
+  structure.AddEdge(4, 5);
+  structure.AddEdge(5, 4);  // q5+q6
+  structure.AddEdge(2, 0);  // q3+q4 needs q1+q2
+  structure.AddEdge(4, 0);  // q5+q6 needs q1+q2
+  QuerySet set;
+  MakeStructuredWorkload(structure, "Users", &set);
+  SccCoordinator coordinator(&db_);
+  auto result = coordinator.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries.size(), 4u);
+  EXPECT_TRUE(result->Contains(0));
+  EXPECT_TRUE(result->Contains(1));
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+
+  std::vector<size_t> sizes;
+  for (const auto& s : coordinator.successful_sets()) {
+    sizes.push_back(s.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 4, 4}));
+}
+
+TEST_F(SccAlgorithmTest, ListWorkloadCoordinatesWholeChain) {
+  QuerySet set;
+  MakeListWorkload(10, "Users", &set);
+  SccCoordinator coordinator(&db_);
+  auto result = coordinator.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries.size(), 10u);
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+  // Worst case of §6.1: one database query per suffix.
+  EXPECT_EQ(coordinator.stats().db_queries, 10u);
+  EXPECT_EQ(coordinator.stats().num_sccs, 10u);
+  EXPECT_EQ(coordinator.successful_sets().size(), 10u);
+}
+
+TEST_F(SccAlgorithmTest, PreCleaningRemovesHopelessQueries) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { R(B, x) }    R(A, x) :- Users(x, 'user1').\n"
+      "b: { R(Cc, y) }   R(B, y) :- Users(y, 'user2').\n"
+      "c: { Missing(z) } R(Cc, z) :- Users(z, 'user3').\n"
+      "d: { }            R(Dd, w) :- Users(w, 'user4').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  SccCoordinator coordinator(&db_);
+  auto result = coordinator.Solve(set);
+  // c's postcondition matches no head, so c, b, a all die in
+  // pre-cleaning; d survives alone.
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries, (std::vector<QueryId>{(*ids)[3]}));
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+}
+
+TEST_F(SccAlgorithmTest, NotFoundWhenEverythingPrunes) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { Missing(x) } R(A, x) :- Users(x, 'user1').", &set);
+  ASSERT_TRUE(ids.ok());
+  SccCoordinator coordinator(&db_);
+  EXPECT_TRUE(coordinator.Solve(set).status().IsNotFound());
+}
+
+TEST_F(SccAlgorithmTest, NotFoundWhenBodyUnsatisfiable) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { } R(A, x) :- Users(x, 'ghost-user').", &set);
+  ASSERT_TRUE(ids.ok());
+  SccCoordinator coordinator(&db_);
+  EXPECT_TRUE(coordinator.Solve(set).status().IsNotFound());
+}
+
+TEST_F(SccAlgorithmTest, UnsafeSetRejectedByDefault) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "asker: { R(x) } H(x) :- Users(u, 'user0').\n"
+      "a:     { }      R(y) :- Users(y, 'user1').\n"
+      "b:     { }      R(z) :- Users(z, 'user2').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  SccCoordinator coordinator(&db_);
+  EXPECT_TRUE(coordinator.Solve(set).status().IsFailedPrecondition());
+}
+
+TEST_F(SccAlgorithmTest, EmptySetIsNotFound) {
+  QuerySet set;
+  SccCoordinator coordinator(&db_);
+  EXPECT_TRUE(coordinator.Solve(set).status().IsNotFound());
+}
+
+TEST_F(SccAlgorithmTest, UnificationFailureMarksComponentFailed) {
+  // b's postcondition is positionwise unifiable with a's head but truly
+  // non-unifiable (repeated variable vs distinct constants): the pair's
+  // component fails, the standalone query d still coordinates.
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { R(B, w) }    R(A, x, x) :- Users(u, 'user0').\n"
+      "b: { R(A, 1, 2) } R(B, y)    :- Users(v, 'user1').\n"
+      "d: { }            R(Dd, t)   :- Users(t, 'user4').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  SccCoordinator coordinator(&db_);
+  auto result = coordinator.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries, (std::vector<QueryId>{(*ids)[2]}));
+}
+
+TEST_F(SccAlgorithmTest, SharedSuccessorCountedOnce) {
+  // Diamond: q1 and q2 both need q0; q3 needs q1 and q2.  R(q3) must
+  // contain four queries, not five (q0 deduplicated).
+  Digraph structure(4);
+  structure.AddEdge(1, 0);
+  structure.AddEdge(2, 0);
+  structure.AddEdge(3, 1);
+  structure.AddEdge(3, 2);
+  QuerySet set;
+  MakeStructuredWorkload(structure, "Users", &set);
+  SccCoordinator coordinator(&db_);
+  auto result = coordinator.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries, (std::vector<QueryId>{0, 1, 2, 3}));
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+}
+
+TEST_F(SccAlgorithmTest, StatsReportGraphShape) {
+  QuerySet set;
+  MakeListWorkload(7, "Users", &set);
+  SccCoordinator coordinator(&db_);
+  ASSERT_TRUE(coordinator.Solve(set).ok());
+  EXPECT_EQ(coordinator.stats().graph_nodes, 7u);
+  EXPECT_EQ(coordinator.stats().graph_edges, 6u);
+  EXPECT_EQ(coordinator.stats().num_sccs, 7u);
+  EXPECT_GT(coordinator.stats().unifications, 0u);
+  EXPECT_GE(coordinator.stats().total_seconds, 0.0);
+}
+
+TEST_F(SccAlgorithmTest, VipScorePrefersSmallerSetWithVip) {
+  // Components graph: q3+q4 -> q1+q2 <- q5+q6 (as in §4's example).
+  // Max-size picks a 4-set; with q1 as... every set contains q1.  Make
+  // q5 the VIP: only {q1,q2,q5,q6} contains it.
+  Digraph structure(6);
+  structure.AddEdge(0, 1);
+  structure.AddEdge(1, 0);
+  structure.AddEdge(2, 3);
+  structure.AddEdge(3, 2);
+  structure.AddEdge(4, 5);
+  structure.AddEdge(5, 4);
+  structure.AddEdge(2, 0);
+  structure.AddEdge(4, 0);
+  QuerySet set;
+  MakeStructuredWorkload(structure, "Users", &set);
+
+  // Default criterion: one of the two 4-sets.
+  SccCoordinator plain(&db_);
+  auto by_size = plain.Solve(set);
+  ASSERT_TRUE(by_size.ok());
+  EXPECT_EQ(by_size->queries.size(), 4u);
+
+  // VIP criterion: must return the set containing query 4.
+  SccOptions options;
+  options.score = VipScore(4);
+  SccCoordinator vip(&db_, options);
+  auto with_vip = vip.Solve(set);
+  ASSERT_TRUE(with_vip.ok()) << with_vip.status();
+  EXPECT_EQ(with_vip->queries, (std::vector<QueryId>{0, 1, 4, 5}));
+}
+
+TEST_F(SccAlgorithmTest, WeightedScoreSelectsGoldPassengers) {
+  // Two disjoint 2-cycles; queries 2 and 3 carry the gold status.
+  Digraph structure(4);
+  structure.AddEdge(0, 1);
+  structure.AddEdge(1, 0);
+  structure.AddEdge(2, 3);
+  structure.AddEdge(3, 2);
+  QuerySet set;
+  MakeStructuredWorkload(structure, "Users", &set);
+
+  SccOptions options;
+  options.score = WeightedScore({0.0, 0.0, 5.0, 5.0});
+  SccCoordinator coordinator(&db_, options);
+  auto result = coordinator.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries, (std::vector<QueryId>{2, 3}));
+  // Both components succeeded; selection, not search, differed.
+  EXPECT_EQ(coordinator.successful_sets().size(), 2u);
+}
+
+TEST_F(SccAlgorithmTest, PruningCanBeDisabled) {
+  // With pruning off, the hopeless component simply fails during the
+  // sweep instead of being pre-cleaned; the result is the same.
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { Missing(x) } R(A, x) :- Users(x, 'user1').\n"
+      "d: { }            R(Dd, w) :- Users(w, 'user4').",
+      &set);
+  ASSERT_TRUE(ids.ok());
+  SccOptions options;
+  options.prune_postconditions = false;
+  SccCoordinator coordinator(&db_, options);
+  auto result = coordinator.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->queries, (std::vector<QueryId>{(*ids)[1]}));
+}
+
+}  // namespace
+}  // namespace entangled

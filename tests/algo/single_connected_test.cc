@@ -1,0 +1,90 @@
+#include "algo/single_connected.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/validator.h"
+#include "workload/entangled_workloads.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+class SingleConnectedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 16).ok());
+  }
+  Database db_;
+};
+
+TEST_F(SingleConnectedTest, SolvesChain) {
+  QuerySet set;
+  MakeListWorkload(5, "Users", &set);
+  SingleConnectedSolver solver(&db_);
+  auto result = solver.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+}
+
+TEST_F(SingleConnectedTest, SolvesUnsafeFanoutTree) {
+  // One postcondition, two alternative heads, branches never
+  // reconverge: the defining shape of Qsc (unsafe yet tractable).
+  QuerySet set;
+  auto ids = ParseQueries(
+      "root:  { R(f) } H(x)  :- Users(x, 'user0').\n"
+      "leaf1: { }      R(ya) :- Users(ya, 'ghost').\n"
+      "leaf2: { }      R(yb) :- Users(yb, 'user2').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  SingleConnectedSolver solver(&db_);
+  auto result = solver.Solve(set);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidateSolution(db_, set, *result).ok());
+  // Linear database work on tree instances (Theorem 3's promise): at
+  // most one grounding attempt per alternative plus one per seed.
+  EXPECT_LE(solver.stats().db_queries, 2u * set.size());
+}
+
+TEST_F(SingleConnectedTest, RejectsTwoPostconditions) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { R(x), S(x) } H(x) :- Users(x, 'user0').\n"
+      "b: { } R(y) :- Users(y, 'user1').\n"
+      "c: { } S(z) :- Users(z, 'user1').",
+      &set);
+  ASSERT_TRUE(ids.ok());
+  SingleConnectedSolver solver(&db_);
+  EXPECT_TRUE(solver.Solve(set).status().IsFailedPrecondition());
+}
+
+TEST_F(SingleConnectedTest, RejectsDiamond) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "q0: { Mid(a) } Top(a) :- Users(a, 'user0').\n"
+      "q1: { Bot(w1) } Mid(v1) :- Users(v1, 'user1').\n"
+      "q2: { Bot(w2) } Mid(v2) :- Users(v2, 'user2').\n"
+      "q3: { } Bot(z) :- Users(z, 'user3').",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  SingleConnectedSolver solver(&db_);
+  EXPECT_TRUE(solver.Solve(set).status().IsFailedPrecondition());
+}
+
+TEST_F(SingleConnectedTest, NotFoundPropagates) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { Missing(x) } R(A, x) :- Users(x, 'user1').", &set);
+  ASSERT_TRUE(ids.ok());
+  SingleConnectedSolver solver(&db_);
+  EXPECT_TRUE(solver.Solve(set).status().IsNotFound());
+}
+
+TEST_F(SingleConnectedTest, EmptySetIsNotFound) {
+  QuerySet set;
+  SingleConnectedSolver solver(&db_);
+  EXPECT_TRUE(solver.Solve(set).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace entangled

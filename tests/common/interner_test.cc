@@ -1,0 +1,57 @@
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(InternerTest, InternIsIdempotent) {
+  StringInterner interner;
+  Symbol a = interner.Intern("flights");
+  Symbol b = interner.Intern("flights");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(InternerTest, DistinctStringsGetDistinctSymbols) {
+  StringInterner interner;
+  Symbol a = interner.Intern("a");
+  Symbol b = interner.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, RoundTrip) {
+  StringInterner interner;
+  Symbol a = interner.Intern("hotels");
+  EXPECT_EQ(interner.ToString(a), "hotels");
+}
+
+TEST(InternerTest, LookupWithoutIntern) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Lookup("ghost"), kInvalidSymbol);
+  interner.Intern("ghost");
+  EXPECT_NE(interner.Lookup("ghost"), kInvalidSymbol);
+}
+
+TEST(InternerTest, ContainsChecksRange) {
+  StringInterner interner;
+  Symbol a = interner.Intern("x");
+  EXPECT_TRUE(interner.Contains(a));
+  EXPECT_FALSE(interner.Contains(kInvalidSymbol));
+  EXPECT_FALSE(interner.Contains(a + 1));
+}
+
+TEST(InternerTest, EmptyStringIsInternable) {
+  StringInterner interner;
+  Symbol empty = interner.Intern("");
+  EXPECT_EQ(interner.ToString(empty), "");
+}
+
+TEST(InternerDeathTest, ToStringOnUnknownSymbolAborts) {
+  StringInterner interner;
+  EXPECT_DEATH(interner.ToString(3), "unknown symbol");
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBoundedHitsAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t draw = rng.NextInt(-2, 2);
+    EXPECT_GE(draw, -2);
+    EXPECT_LE(draw, 2);
+    seen.insert(draw);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of -2..2 appear
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double draw = rng.NextDouble();
+    EXPECT_GE(draw, 0.0);
+    EXPECT_LT(draw, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRespectsExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolIsRoughlyFair) {
+  Rng rng(17);
+  int heads = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBool()) ++heads;
+  }
+  EXPECT_GT(heads, kDraws * 45 / 100);
+  EXPECT_LT(heads, kDraws * 55 / 100);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, SampleReturnsDistinctIndices) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<size_t> sample = rng.Sample(10, 4);
+    ASSERT_EQ(sample.size(), 4u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (size_t s : sample) EXPECT_LT(s, 10u);
+  }
+}
+
+TEST(RngTest, SampleFullRangeIsPermutation) {
+  Rng rng(41);
+  std::vector<size_t> sample = rng.Sample(6, 6);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(RngTest, ChoicePicksExistingElement) {
+  Rng rng(43);
+  std::vector<int> items = {10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    int choice = rng.Choice(items);
+    EXPECT_TRUE(choice == 10 || choice == 20 || choice == 30);
+  }
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,92 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ErrorFactoriesSetCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, ErrorIsNotOk) {
+  Status status = Status::NotFound("missing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(status.IsInvalidArgument());
+}
+
+TEST(StatusTest, MessageConcatenatesPieces) {
+  Status status = Status::InvalidArgument("arity ", 3, " != ", 4);
+  EXPECT_EQ(status.message(), "arity 3 != 4");
+}
+
+TEST(StatusTest, MessageSupportsCharAndString) {
+  Status status =
+      Status::Internal(std::string("a"), 'b', "c", int64_t{42});
+  EXPECT_EQ(status.message(), "abc42");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("gone").ToString(), "Not found: gone");
+  EXPECT_EQ(Status(StatusCode::kInternal, "").ToString(), "Internal");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::NotFound("inner"); };
+  auto outer = [&]() -> Status {
+    ENTANGLED_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto succeeds = [] { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    ENTANGLED_RETURN_IF_ERROR(succeeds());
+    return Status::Internal("reached");
+  };
+  EXPECT_TRUE(outer().IsInternal());
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "Invalid argument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "Already exists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "Failed precondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "Out of range");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace entangled

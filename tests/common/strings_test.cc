@@ -1,0 +1,50 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("n=", 5, ", f=", 1.5), "n=5, f=1.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, JoinStreamed) {
+  std::vector<int> xs = {1, 2, 3};
+  EXPECT_EQ(JoinStreamed(xs, "-"), "1-2-3");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, StartsAndEndsWith) {
+  EXPECT_TRUE(StartsWith("flights", "fli"));
+  EXPECT_FALSE(StartsWith("fli", "flights"));
+  EXPECT_TRUE(EndsWith("flights", "hts"));
+  EXPECT_FALSE(EndsWith("hts", "flights"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\n hi"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,170 @@
+#include "core/coordination_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "workload/scenarios.h"
+
+namespace entangled {
+namespace {
+
+TEST(CoordinationGraphTest, GwynethChrisExample) {
+  // q1 = {R(Chris, x)} R(Gwyneth, x) :- Flights(x, Zurich)
+  // q2 = { }           R(Chris, y)   :- Flights(y, Zurich)
+  QuerySet set;
+  QueryBuilder b1(&set, "q1");
+  VarId x = b1.Var("x");
+  b1.Post("R", {Term::Str("Chris"), Term::Var(x)});
+  b1.Head("R", {Term::Str("Gwyneth"), Term::Var(x)});
+  b1.Body("Flights", {Term::Var(x), Term::Str("Zurich")});
+  QueryId q1 = b1.Build();
+  QueryBuilder b2(&set, "q2");
+  VarId y = b2.Var("y");
+  b2.Head("R", {Term::Str("Chris"), Term::Var(y)});
+  b2.Body("Flights", {Term::Var(y), Term::Str("Zurich")});
+  QueryId q2 = b2.Build();
+
+  ExtendedCoordinationGraph ecg(set);
+  ASSERT_EQ(ecg.edges().size(), 1u);
+  EXPECT_EQ(ecg.edges()[0].from, q1);
+  EXPECT_EQ(ecg.edges()[0].to, q2);
+  EXPECT_EQ(ecg.edges()[0].post_index, 0u);
+  EXPECT_EQ(ecg.edges()[0].head_index, 0u);
+
+  Digraph graph = ecg.Collapse();
+  EXPECT_TRUE(graph.HasEdge(q1, q2));
+  EXPECT_EQ(graph.num_edges(), 1);
+}
+
+TEST(CoordinationGraphTest, FlightHotelExtendedGraphMatchesFigure2) {
+  Database db;
+  QuerySet set;
+  FlightHotelIds ids = BuildFlightHotelScenario(&db, &set);
+
+  ExtendedCoordinationGraph ecg(set);
+  // Figure 2 has seven extended edges:
+  //   qC.R(G,x1)  -> qG.R(G,y1)
+  //   qG.R(C,y1)  -> qC.R(C,x1)      qG.Q(C,y2) -> qC.Q(C,x2)
+  //   qJ.R(C,z1)  -> qC.R(C,x1)      qJ.R(G,z1) -> qG.R(G,y1)
+  //   qW.R(C,w1)  -> qC.R(C,x1)      qW.Q(J,w2) -> qJ.Q(J,z2)
+  EXPECT_EQ(ecg.edges().size(), 7u);
+
+  auto has_edge = [&](QueryId from, size_t pi, QueryId to) {
+    for (const ExtendedEdge& e : ecg.edges()) {
+      if (e.from == from && e.post_index == pi && e.to == to) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_edge(ids.qc, 0, ids.qg));
+  EXPECT_TRUE(has_edge(ids.qg, 0, ids.qc));
+  EXPECT_TRUE(has_edge(ids.qg, 1, ids.qc));
+  EXPECT_TRUE(has_edge(ids.qj, 0, ids.qc));
+  EXPECT_TRUE(has_edge(ids.qj, 1, ids.qg));
+  EXPECT_TRUE(has_edge(ids.qw, 0, ids.qc));
+  EXPECT_TRUE(has_edge(ids.qw, 1, ids.qj));
+
+  // The collapsed graph of §2.3: qW -> {qJ, qC}, qJ -> {qG, qC},
+  // qG <-> qC.  qG's two postconditions both target qC, so the seven
+  // extended edges collapse to six.
+  Digraph graph = ecg.Collapse();
+  EXPECT_EQ(graph.num_edges(), 6);
+  EXPECT_TRUE(graph.HasEdge(ids.qc, ids.qg));
+  EXPECT_TRUE(graph.HasEdge(ids.qg, ids.qc));
+  EXPECT_TRUE(graph.HasEdge(ids.qj, ids.qc));
+  EXPECT_TRUE(graph.HasEdge(ids.qj, ids.qg));
+  EXPECT_TRUE(graph.HasEdge(ids.qw, ids.qc));
+  EXPECT_TRUE(graph.HasEdge(ids.qw, ids.qj));
+  EXPECT_FALSE(graph.HasEdge(ids.qc, ids.qj));
+}
+
+TEST(CoordinationGraphTest, CollapseDropsParallelEdges) {
+  // Two postconditions of q1 both point at q2's two heads -> up to four
+  // extended edges but a single collapsed edge.
+  QuerySet set;
+  QueryBuilder b1(&set, "q1");
+  VarId a = b1.Var("a");
+  VarId b = b1.Var("b");
+  b1.Post("R", {Term::Var(a)});
+  b1.Post("R", {Term::Var(b)});
+  b1.Head("H1", {Term::Var(a)});
+  QueryId q1 = b1.Build();
+  QueryBuilder b2(&set, "q2");
+  VarId c = b2.Var("c");
+  VarId d = b2.Var("d");
+  b2.Head("R", {Term::Var(c)});
+  b2.Head("R", {Term::Var(d)});
+  QueryId q2 = b2.Build();
+
+  ExtendedCoordinationGraph ecg(set);
+  EXPECT_EQ(ecg.edges().size(), 4u);
+  Digraph graph = ecg.Collapse();
+  EXPECT_EQ(graph.num_edges(), 1);
+  EXPECT_TRUE(graph.HasEdge(q1, q2));
+}
+
+TEST(CoordinationGraphTest, SelfEdgeWhenOwnHeadUnifies) {
+  QuerySet set;
+  QueryBuilder b(&set, "q");
+  VarId x = b.Var("x");
+  b.Post("R", {Term::Var(x)});
+  b.Head("R", {Term::Int(1)});
+  QueryId q = b.Build();
+  Digraph graph = BuildCoordinationGraph(set);
+  EXPECT_TRUE(graph.HasEdge(q, q));
+}
+
+TEST(CoordinationGraphTest, ConstantMismatchMeansNoEdge) {
+  QuerySet set;
+  QueryBuilder b1(&set, "q1");
+  VarId x = b1.Var("x");
+  b1.Post("R", {Term::Str("G"), Term::Var(x)});
+  b1.Head("R", {Term::Str("C"), Term::Var(x)});
+  b1.Build();
+  QueryBuilder b2(&set, "q2");
+  VarId y = b2.Var("y");
+  b2.Head("R", {Term::Str("J"), Term::Var(y)});
+  b2.Build();
+  ExtendedCoordinationGraph ecg(set);
+  EXPECT_TRUE(ecg.edges().empty());
+}
+
+TEST(CoordinationGraphTest, EdgesOfPostconditionFilters) {
+  QuerySet set;
+  QueryBuilder b1(&set, "q1");
+  VarId x = b1.Var("x");
+  VarId z = b1.Var("z");
+  b1.Post("A", {Term::Var(x)});
+  b1.Post("B", {Term::Var(z)});
+  b1.Head("H", {Term::Var(x)});
+  QueryId q1 = b1.Build();
+  QueryBuilder b2(&set, "q2");
+  VarId y = b2.Var("y");
+  b2.Head("A", {Term::Var(y)});
+  b2.Head("B", {Term::Var(y)});
+  b2.Build();
+
+  ExtendedCoordinationGraph ecg(set);
+  EXPECT_EQ(ecg.EdgesOfPostcondition(q1, 0).size(), 1u);
+  EXPECT_EQ(ecg.EdgesOfPostcondition(q1, 1).size(), 1u);
+  EXPECT_EQ(ecg.OutEdges(q1).size(), 2u);
+}
+
+TEST(CoordinationGraphTest, ToStringNamesEndpoints) {
+  QuerySet set;
+  QueryBuilder b1(&set, "alpha");
+  VarId x = b1.Var("x");
+  b1.Post("R", {Term::Var(x)});
+  b1.Head("H", {Term::Var(x)});
+  b1.Build();
+  QueryBuilder b2(&set, "beta");
+  VarId y = b2.Var("y");
+  b2.Head("R", {Term::Var(y)});
+  b2.Build();
+  ExtendedCoordinationGraph ecg(set);
+  std::string s = ecg.ToString(set);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace entangled

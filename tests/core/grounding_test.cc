@@ -1,0 +1,127 @@
+#include "core/grounding.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/unify.h"
+
+namespace entangled {
+namespace {
+
+TEST(GroundAtomTest, ReplacesVariablesAndKeepsConstants) {
+  Binding assignment;
+  assignment.emplace(0, Value::Int(101));
+  Atom atom("R", {Term::Str("Chris"), Term::Var(0)});
+  Atom ground = GroundAtom(atom, assignment);
+  EXPECT_EQ(ground, Atom("R", {Term::Str("Chris"), Term::Int(101)}));
+}
+
+TEST(GroundAtomTest, GroundAtomIsFixpoint) {
+  Binding assignment;
+  Atom atom("R", {Term::Int(1)});
+  EXPECT_EQ(GroundAtom(atom, assignment), atom);
+}
+
+TEST(GroundAtomDeathTest, UnboundVariableAborts) {
+  Binding assignment;
+  Atom atom("R", {Term::Var(7)});
+  EXPECT_DEATH(GroundAtom(atom, assignment), "unassigned");
+}
+
+TEST(SolutionTest, ContainsUsesBinarySearch) {
+  CoordinationSolution solution;
+  solution.queries = {1, 3, 5};
+  EXPECT_TRUE(solution.Contains(3));
+  EXPECT_FALSE(solution.Contains(2));
+  EXPECT_FALSE(solution.Contains(0));
+}
+
+TEST(SolutionTest, GroundedHeadsGroundEveryHeadAtom) {
+  QuerySet set;
+  auto id = ParseQuery("q: { } R(x), Q(x, 7) :- D(x).", &set);
+  ASSERT_TRUE(id.ok());
+  VarId x = set.query(*id).head[0].terms[0].var();
+  CoordinationSolution solution;
+  solution.queries = {*id};
+  solution.assignment.emplace(x, Value::Int(3));
+  auto heads = solution.GroundedHeads(set, *id);
+  ASSERT_EQ(heads.size(), 2u);
+  EXPECT_EQ(heads[0], Atom("R", {Term::Int(3)}));
+  EXPECT_EQ(heads[1], Atom("Q", {Term::Int(3), Term::Int(7)}));
+}
+
+TEST(AnyDomainValueTest, FindsFirstValueSkippingEmptyRelations) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("Empty", {"a"}).ok());
+  Relation* full = *db.CreateRelation("Full", {"a"});
+  ASSERT_TRUE(full->Insert({Value::Str("v")}).ok());
+  auto value = AnyDomainValue(db);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, Value::Str("v"));
+}
+
+TEST(AnyDomainValueTest, EmptyDatabaseHasNoDomain) {
+  Database db;
+  EXPECT_FALSE(AnyDomainValue(db).has_value());
+  ASSERT_TRUE(db.CreateRelation("Empty", {"a"}).ok());
+  EXPECT_FALSE(AnyDomainValue(db).has_value());
+}
+
+TEST(CompleteAssignmentTest, ResolvesThroughSubstitutionAndWitness) {
+  Database db;
+  Relation* d = *db.CreateRelation("D", {"v"});
+  ASSERT_TRUE(d->Insert({Value::Int(9)}).ok());
+
+  QuerySet set;
+  auto id = ParseQuery("q: { } H(a, b, c) :- D(b).", &set);
+  ASSERT_TRUE(id.ok());
+  VarId a = set.query(*id).head[0].terms[0].var();
+  VarId b = set.query(*id).head[0].terms[1].var();
+  VarId c = set.query(*id).head[0].terms[2].var();
+
+  Substitution subst(set.num_vars());
+  ASSERT_TRUE(subst.BindConstant(a, Value::Int(42)));  // via unification
+  Binding witness;
+  witness.emplace(subst.Find(b), Value::Int(9));  // via the database
+
+  auto assignment = CompleteAssignment(db, set, {*id}, &subst, witness);
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_EQ(assignment->at(a), Value::Int(42));
+  EXPECT_EQ(assignment->at(b), Value::Int(9));
+  EXPECT_EQ(assignment->at(c), Value::Int(9));  // fallback domain value
+}
+
+TEST(CompleteAssignmentTest, FailsOnlyOnEmptyDomainWithFreeVars) {
+  Database db;  // empty: no domain values at all
+  QuerySet set;
+  auto id = ParseQuery("q: { } H(z) :- .", &set);
+  ASSERT_TRUE(id.ok());
+  Substitution subst(set.num_vars());
+  EXPECT_FALSE(CompleteAssignment(db, set, {*id}, &subst, {}).has_value());
+
+  // But with every variable pinned, the empty domain does not matter.
+  VarId z = set.query(*id).head[0].terms[0].var();
+  ASSERT_TRUE(subst.BindConstant(z, Value::Int(1)));
+  EXPECT_TRUE(CompleteAssignment(db, set, {*id}, &subst, {}).has_value());
+}
+
+TEST(SolutionToStringTest, OmitsForeignVariables) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { } H(x) :- D(x).\n"
+      "b: { } K(y) :- D(y).",
+      &set);
+  ASSERT_TRUE(ids.ok());
+  VarId x = set.query((*ids)[0]).head[0].terms[0].var();
+  VarId y = set.query((*ids)[1]).head[0].terms[0].var();
+  CoordinationSolution solution;
+  solution.queries = {(*ids)[0]};  // only query a
+  solution.assignment.emplace(x, Value::Int(1));
+  solution.assignment.emplace(y, Value::Int(2));  // stray entry
+  std::string rendered = SolutionToString(set, solution);
+  EXPECT_NE(rendered.find("x -> 1"), std::string::npos);
+  EXPECT_EQ(rendered.find("y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,178 @@
+#include "core/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(ParserTest, GwynethQueryFromThePaper) {
+  QuerySet set;
+  auto id = ParseQuery(
+      "q1: { R(Chris, x) } R(Gwyneth, x) :- Flights(x, Zurich).", &set);
+  ASSERT_TRUE(id.ok()) << id.status();
+  const EntangledQuery& q = set.query(*id);
+  EXPECT_EQ(q.name, "q1");
+  ASSERT_EQ(q.postconditions.size(), 1u);
+  ASSERT_EQ(q.head.size(), 1u);
+  ASSERT_EQ(q.body.size(), 1u);
+  EXPECT_EQ(q.postconditions[0].relation, "R");
+  EXPECT_EQ(q.postconditions[0].terms[0], Term::Str("Chris"));
+  EXPECT_TRUE(q.postconditions[0].terms[1].is_variable());
+  // The same variable x is shared between postcondition and head.
+  EXPECT_EQ(q.postconditions[0].terms[1], q.head[0].terms[1]);
+  EXPECT_EQ(q.body[0].relation, "Flights");
+  EXPECT_EQ(q.body[0].terms[1], Term::Str("Zurich"));
+}
+
+TEST(ParserTest, EmptyPostconditionsAndBody) {
+  QuerySet set;
+  auto id = ParseQuery("{ } R(Chris, y) :- Flights(y, Zurich).", &set);
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_TRUE(set.query(*id).postconditions.empty());
+
+  auto id2 = ParseQuery("{C(1)} R(x) :- .", &set);
+  ASSERT_TRUE(id2.ok()) << id2.status();
+  EXPECT_TRUE(set.query(*id2).body.empty());
+}
+
+TEST(ParserTest, DefaultNameAssigned) {
+  QuerySet set;
+  auto id = ParseQuery("{ } H(x) :- D(x).", &set);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(set.query(*id).name, "q0");
+}
+
+TEST(ParserTest, NumbersAndQuotedStrings) {
+  QuerySet set;
+  auto id = ParseQuery(
+      "q: { R(1) } H(-5, 'New York', \"a b\") :- D(0).", &set);
+  ASSERT_TRUE(id.ok()) << id.status();
+  const EntangledQuery& q = set.query(*id);
+  EXPECT_EQ(q.postconditions[0].terms[0], Term::Int(1));
+  EXPECT_EQ(q.head[0].terms[0], Term::Int(-5));
+  EXPECT_EQ(q.head[0].terms[1], Term::Str("New York"));
+  EXPECT_EQ(q.head[0].terms[2], Term::Str("a b"));
+}
+
+TEST(ParserTest, CaseDistinguishesVariablesFromConstants) {
+  QuerySet set;
+  auto id = ParseQuery("q: { } H(x, Xavier, yoga) :- .", &set);
+  ASSERT_TRUE(id.ok());
+  const Atom& head = set.query(*id).head[0];
+  EXPECT_TRUE(head.terms[0].is_variable());
+  EXPECT_EQ(head.terms[1], Term::Str("Xavier"));
+  EXPECT_TRUE(head.terms[2].is_variable());
+}
+
+TEST(ParserTest, AnonymousVariablesAreFreshEachTime) {
+  QuerySet set;
+  auto id = ParseQuery("q: { } H(_, _) :- .", &set);
+  ASSERT_TRUE(id.ok());
+  const Atom& head = set.query(*id).head[0];
+  ASSERT_TRUE(head.terms[0].is_variable());
+  ASSERT_TRUE(head.terms[1].is_variable());
+  EXPECT_NE(head.terms[0].var(), head.terms[1].var());
+}
+
+TEST(ParserTest, QueriesAreStandardizedApart) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "a: { } H(x) :- D(x).\n"
+      "b: { } H(x) :- D(x).",
+      &set);
+  ASSERT_TRUE(ids.ok());
+  VarId xa = set.query((*ids)[0]).head[0].terms[0].var();
+  VarId xb = set.query((*ids)[1]).head[0].terms[0].var();
+  EXPECT_NE(xa, xb);
+  EXPECT_EQ(set.var_name(xa), "x");
+  EXPECT_EQ(set.var_name(xb), "x");
+}
+
+TEST(ParserTest, SameVariableSharedWithinQuery) {
+  QuerySet set;
+  auto id = ParseQuery("q: { } H(x, x) :- D(x).", &set);
+  ASSERT_TRUE(id.ok());
+  const EntangledQuery& q = set.query(*id);
+  EXPECT_EQ(q.head[0].terms[0], q.head[0].terms[1]);
+  EXPECT_EQ(q.head[0].terms[0], q.body[0].terms[0]);
+}
+
+TEST(ParserTest, CommentsAreSkipped) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "% leading comment\n"
+      "q: { } H(x) :- D(x). // trailing comment\n"
+      "% another\n",
+      &set);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  EXPECT_EQ(ids->size(), 1u);
+}
+
+TEST(ParserTest, MultipleQueriesInOrder) {
+  QuerySet set;
+  auto ids = ParseQueries(
+      "one: { } A(x) :- D(x). two: { } B(y) :- D(y). three: {} C(z) :- .",
+      &set);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 3u);
+  EXPECT_EQ(set.query((*ids)[0]).name, "one");
+  EXPECT_EQ(set.query((*ids)[2]).name, "three");
+}
+
+TEST(ParserTest, ZeroArityAtomAllowed) {
+  QuerySet set;
+  auto id = ParseQuery("q: { } H() :- .", &set);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(set.query(*id).head[0].arity(), 0u);
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  QuerySet set;
+  auto missing_dot = ParseQuery("q: { } H(x) :- D(x)", &set);
+  ASSERT_FALSE(missing_dot.ok());
+  EXPECT_NE(missing_dot.status().message().find("line 1"),
+            std::string::npos);
+
+  auto bad_char = ParseQuery("q: { } H(x) :- D(x) & E(x).", &set);
+  ASSERT_FALSE(bad_char.ok());
+  EXPECT_NE(bad_char.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnMissingBrace) {
+  QuerySet set;
+  EXPECT_FALSE(ParseQuery("q: R(x) :- D(x).", &set).ok());
+}
+
+TEST(ParserTest, ErrorOnUnterminatedString) {
+  QuerySet set;
+  auto result = ParseQuery("q: { } H('oops) :- .", &set);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ParseQueryRejectsMultiple) {
+  QuerySet set;
+  auto result = ParseQuery("a: {} H(x) :- . b: {} H(y) :- .", &set);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ParserTest, RoundTripThroughPrinter) {
+  QuerySet set;
+  const std::string text =
+      "qG: {R('C', y1), Q('C', y2)} R('G', y1), Q('G', y2) :- "
+      "F(y1, 'Paris'), H(y2, 'Paris').";
+  auto id = ParseQuery(text, &set);
+  ASSERT_TRUE(id.ok()) << id.status();
+  // Printing and re-parsing yields a structurally identical query.
+  std::string printed = set.QueryToString(*id);
+  QuerySet set2;
+  auto id2 = ParseQuery(printed, &set2);
+  ASSERT_TRUE(id2.ok()) << id2.status() << " printed: " << printed;
+  EXPECT_EQ(set2.QueryToString(*id2), printed);
+}
+
+}  // namespace
+}  // namespace entangled

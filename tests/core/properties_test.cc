@@ -1,0 +1,167 @@
+#include "core/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "workload/entangled_workloads.h"
+#include "workload/scenarios.h"
+
+namespace entangled {
+namespace {
+
+/// q_i coordinating with the next via R(user<i+1>, y), over a tiny
+/// social table.
+QuerySet MakeChainSet(int n) {
+  QuerySet set;
+  MakeListWorkload(n, "Users", &set);
+  return set;
+}
+
+TEST(PropertiesTest, FlightHotelIsSafeNotUnique) {
+  Database db;
+  QuerySet set;
+  BuildFlightHotelScenario(&db, &set);
+  EXPECT_TRUE(IsSafeSet(set));
+  EXPECT_FALSE(IsUniqueSet(set));  // qW is reachable from nobody
+}
+
+TEST(PropertiesTest, GwynethBreaksUniquenessNotSafety) {
+  // Example 1: the band cycle alone is safe and unique; adding
+  // Gwyneth's request to fly with Chris keeps it safe, kills
+  // uniqueness.
+  QuerySet set;
+  QueryBuilder bc(&set, "chris");
+  VarId x = bc.Var("x");
+  bc.Post("R", {Term::Str("Guy"), Term::Var(x)});
+  bc.Head("R", {Term::Str("Chris"), Term::Var(x)});
+  bc.Body("F", {Term::Var(x)});
+  bc.Build();
+  QueryBuilder bg(&set, "guy");
+  VarId y = bg.Var("y");
+  bg.Post("R", {Term::Str("Chris"), Term::Var(y)});
+  bg.Head("R", {Term::Str("Guy"), Term::Var(y)});
+  bg.Body("F", {Term::Var(y)});
+  bg.Build();
+  EXPECT_TRUE(IsSafeSet(set));
+  EXPECT_TRUE(IsUniqueSet(set));
+
+  QueryBuilder bp(&set, "gwyneth");
+  VarId z = bp.Var("z");
+  bp.Post("R", {Term::Str("Chris"), Term::Var(z)});
+  bp.Head("R", {Term::Str("Gwyneth"), Term::Var(z)});
+  bp.Body("F", {Term::Var(z)});
+  bp.Build();
+  EXPECT_TRUE(IsSafeSet(set));
+  EXPECT_FALSE(IsUniqueSet(set));
+}
+
+TEST(PropertiesTest, TwoMatchingHeadsAreUnsafe) {
+  QuerySet set;
+  QueryBuilder b1(&set, "asker");
+  VarId x = b1.Var("x");
+  b1.Post("R", {Term::Var(x)});  // variable: unifies with both heads
+  b1.Head("H", {Term::Var(x)});
+  b1.Build();
+  QueryBuilder b2(&set, "a");
+  VarId y = b2.Var("y");
+  b2.Head("R", {Term::Var(y)});
+  b2.Build();
+  QueryBuilder b3(&set, "b");
+  VarId z = b3.Var("z");
+  b3.Head("R", {Term::Var(z)});
+  b3.Build();
+  EXPECT_FALSE(IsSafeSet(set));
+  ExtendedCoordinationGraph ecg(set);
+  EXPECT_FALSE(IsSafeQuery(ecg, 0, set));
+  EXPECT_TRUE(IsSafeQuery(ecg, 1, set));
+}
+
+TEST(PropertiesTest, OwnHeadCountsTowardSafety) {
+  // The only matching head is the query's own: still safe (one head).
+  QuerySet set;
+  QueryBuilder b(&set, "self");
+  VarId x = b.Var("x");
+  b.Post("R", {Term::Var(x)});
+  b.Head("R", {Term::Int(1)});
+  b.Build();
+  EXPECT_TRUE(IsSafeSet(set));
+}
+
+TEST(PropertiesTest, ChainWorkloadSafeNotUnique) {
+  QuerySet set = MakeChainSet(5);
+  EXPECT_TRUE(IsSafeSet(set));
+  EXPECT_FALSE(IsUniqueSet(set));
+}
+
+TEST(PropertiesTest, CycleWorkloadSafeAndUnique) {
+  QuerySet set;
+  MakeCycleWorkload(5, "Users", &set);
+  EXPECT_TRUE(IsSafeSet(set));
+  EXPECT_TRUE(IsUniqueSet(set));
+}
+
+TEST(PropertiesTest, SingleConnectedChain) {
+  EXPECT_TRUE(IsSingleConnected(MakeChainSet(6)));
+}
+
+TEST(PropertiesTest, TwoPostconditionsBreakSingleConnectedness) {
+  Database db;
+  QuerySet set;
+  BuildFlightHotelScenario(&db, &set);  // qG, qJ, qW have 2 posts
+  EXPECT_FALSE(IsSingleConnected(set));
+}
+
+TEST(PropertiesTest, TwoSimplePathsBreakSingleConnectedness) {
+  // Diamond with <=1 postcondition per query but two paths q0 ~> q3:
+  // q0's post matches heads of q1 and q2 (unsafe but one post);
+  // q1, q2 each need q3.
+  QuerySet set;
+  QueryBuilder b0(&set, "q0");
+  VarId a = b0.Var("a");
+  b0.Post("Mid", {Term::Var(a)});
+  b0.Head("Top", {Term::Var(a)});
+  b0.Build();
+  for (const char* name : {"q1", "q2"}) {
+    QueryBuilder b(&set, name);
+    VarId v = b.Var("v");
+    VarId w = b.Var("w");
+    b.Post("Bot", {Term::Var(w)});
+    b.Head("Mid", {Term::Var(v)});
+    b.Build();
+  }
+  QueryBuilder b3(&set, "q3");
+  VarId z = b3.Var("z");
+  b3.Head("Bot", {Term::Var(z)});
+  b3.Build();
+
+  EXPECT_FALSE(IsSafeSet(set));        // q0's post has two targets
+  EXPECT_FALSE(IsSingleConnected(set));  // two simple paths q0 -> q3
+}
+
+TEST(PropertiesTest, UnsafeFanoutCanStillBeSingleConnected) {
+  // One post matching two heads, but the branches never reconverge.
+  QuerySet set;
+  QueryBuilder b0(&set, "root");
+  VarId a = b0.Var("a");
+  b0.Post("Leaf", {Term::Var(a)});
+  b0.Head("Root", {Term::Var(a)});
+  b0.Build();
+  for (const char* name : {"leaf1", "leaf2"}) {
+    QueryBuilder b(&set, name);
+    VarId v = b.Var("v");
+    b.Head("Leaf", {Term::Var(v)});
+    b.Build();
+  }
+  EXPECT_FALSE(IsSafeSet(set));
+  EXPECT_TRUE(IsSingleConnected(set));
+}
+
+TEST(PropertiesTest, EmptySetIsTriviallyEverything) {
+  QuerySet set;
+  EXPECT_TRUE(IsSafeSet(set));
+  EXPECT_TRUE(IsUniqueSet(set));
+  EXPECT_TRUE(IsSingleConnected(set));
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,181 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(QueryTest, BuilderConstructsQuery) {
+  QuerySet set;
+  QueryBuilder b(&set, "q1");
+  VarId x = b.Var("x");
+  b.Post("R", {Term::Str("Chris"), Term::Var(x)});
+  b.Head("R", {Term::Str("Gwyneth"), Term::Var(x)});
+  b.Body("Flights", {Term::Var(x), Term::Str("Zurich")});
+  QueryId id = b.Build();
+
+  const EntangledQuery& q = set.query(id);
+  EXPECT_EQ(q.name, "q1");
+  EXPECT_EQ(q.postconditions.size(), 1u);
+  EXPECT_EQ(q.head.size(), 1u);
+  EXPECT_EQ(q.body.size(), 1u);
+  EXPECT_EQ(q.id, id);
+}
+
+TEST(QueryTest, VariablesCollectsDistinctInOrder) {
+  QuerySet set;
+  QueryBuilder b(&set, "q");
+  VarId x = b.Var("x");
+  VarId y = b.Var("y");
+  b.Post("P", {Term::Var(y)});
+  b.Head("H", {Term::Var(x), Term::Var(y)});
+  b.Body("B", {Term::Var(x), Term::Var(x)});
+  QueryId id = b.Build();
+  EXPECT_EQ(set.query(id).Variables(), (std::vector<VarId>{y, x}));
+}
+
+TEST(QueryTest, IdsAreSequential) {
+  QuerySet set;
+  QueryId a = QueryBuilder(&set, "a").Build();
+  QueryId b = QueryBuilder(&set, "b").Build();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(QueryTest, FindByName) {
+  QuerySet set;
+  QueryBuilder(&set, "alpha").Build();
+  QueryId beta = QueryBuilder(&set, "beta").Build();
+  EXPECT_EQ(set.FindByName("beta"), beta);
+  EXPECT_EQ(set.FindByName("gamma"), -1);
+}
+
+TEST(QueryTest, ToStringUsesVariableNames) {
+  QuerySet set;
+  QueryBuilder b(&set, "qC");
+  VarId x1 = b.Var("x1");
+  b.Post("R", {Term::Str("G"), Term::Var(x1)});
+  b.Head("R", {Term::Str("C"), Term::Var(x1)});
+  b.Body("F", {Term::Var(x1), Term::Str("Paris")});
+  QueryId id = b.Build();
+  EXPECT_EQ(set.QueryToString(id),
+            "qC: {R('G', x1)} R('C', x1) :- F(x1, 'Paris').");
+}
+
+TEST(QueryTest, ToStringEmptyParts) {
+  QuerySet set;
+  QueryBuilder b(&set, "q");
+  b.Head("H", {Term::Int(1)});
+  QueryId id = b.Build();
+  EXPECT_EQ(set.QueryToString(id), "q: {} H(1) :- .");
+}
+
+TEST(QueryTest, SubsetPreservesVariablesAndRenumbers) {
+  QuerySet set;
+  QueryBuilder b1(&set, "a");
+  VarId x = b1.Var("x");
+  b1.Head("H", {Term::Var(x)});
+  b1.Body("B", {Term::Var(x)});
+  QueryId qa = b1.Build();
+  QueryBuilder b2(&set, "b");
+  VarId y = b2.Var("y");
+  b2.Head("H", {Term::Var(y)});
+  QueryId qb = b2.Build();
+  (void)qa;
+
+  std::vector<QueryId> original;
+  QuerySet subset = set.Subset({qb}, &original);
+  EXPECT_EQ(subset.size(), 1u);
+  EXPECT_EQ(original, (std::vector<QueryId>{qb}));
+  EXPECT_EQ(subset.query(0).name, "b");
+  EXPECT_EQ(subset.query(0).id, 0);
+  // Variable ids survive: y still renders as "y".
+  EXPECT_EQ(subset.var_name(y), "y");
+  EXPECT_EQ(subset.query(0).head[0].terms[0].var(), y);
+}
+
+TEST(QueryTest, CheckWellFormedAcceptsProperQueries) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("F", {"id", "dest"}).ok());
+  QuerySet set;
+  QueryBuilder b(&set, "q");
+  VarId x = b.Var("x");
+  b.Post("R", {Term::Var(x)});
+  b.Head("R", {Term::Var(x)});
+  b.Body("F", {Term::Var(x), Term::Str("Paris")});
+  b.Build();
+  EXPECT_TRUE(set.CheckWellFormed(db).ok());
+}
+
+TEST(QueryTest, CheckWellFormedRejectsUnknownBodyRelation) {
+  Database db;
+  QuerySet set;
+  QueryBuilder b(&set, "q");
+  VarId x = b.Var("x");
+  b.Head("R", {Term::Var(x)});
+  b.Body("F", {Term::Var(x)});
+  b.Build();
+  Status status = set.CheckWellFormed(db);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("property (i)"), std::string::npos);
+}
+
+TEST(QueryTest, CheckWellFormedRejectsAnswerSchemaClash) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("F", {"id"}).ok());
+  QuerySet set;
+  QueryBuilder b(&set, "q");
+  VarId x = b.Var("x");
+  b.Head("F", {Term::Var(x)});  // head uses a schema relation
+  b.Body("F", {Term::Var(x)});
+  b.Build();
+  Status status = set.CheckWellFormed(db);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("property (ii)"), std::string::npos);
+}
+
+TEST(QueryTest, CheckWellFormedRejectsBodyArityMismatch) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("F", {"id", "dest"}).ok());
+  QuerySet set;
+  QueryBuilder b(&set, "q");
+  VarId x = b.Var("x");
+  b.Head("R", {Term::Var(x)});
+  b.Body("F", {Term::Var(x)});  // F has arity 2
+  b.Build();
+  EXPECT_TRUE(set.CheckWellFormed(db).IsInvalidArgument());
+}
+
+TEST(QueryTest, CheckWellFormedRejectsInconsistentAnswerArity) {
+  Database db;
+  QuerySet set;
+  QueryBuilder b1(&set, "a");
+  VarId x = b1.Var("x");
+  b1.Head("R", {Term::Var(x)});
+  b1.Build();
+  QueryBuilder b2(&set, "b");
+  VarId y = b2.Var("y");
+  b2.Head("R", {Term::Var(y), Term::Var(y)});
+  b2.Build();
+  EXPECT_TRUE(set.CheckWellFormed(db).IsInvalidArgument());
+}
+
+TEST(QueryDeathTest, ForeignVariableAborts) {
+  QuerySet set;
+  EntangledQuery q;
+  q.name = "bad";
+  q.head.emplace_back("H", std::vector<Term>{Term::Var(99)});
+  EXPECT_DEATH(set.AddQuery(std::move(q)), "foreign variable");
+}
+
+TEST(QueryDeathTest, DoubleBuildAborts) {
+  QuerySet set;
+  QueryBuilder b(&set, "q");
+  b.Head("H", {Term::Int(1)});
+  b.Build();
+  EXPECT_DEATH(b.Build(), "Build called twice");
+}
+
+}  // namespace
+}  // namespace entangled

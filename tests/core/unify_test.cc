@@ -1,0 +1,155 @@
+#include "core/unify.h"
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(UnifyTest, IdentitySubstitution) {
+  Substitution subst(3);
+  EXPECT_EQ(subst.Find(0), 0);
+  EXPECT_EQ(subst.Find(2), 2);
+  EXPECT_EQ(subst.ConstantOf(1), nullptr);
+}
+
+TEST(UnifyTest, UnifyVarsMergesClasses) {
+  Substitution subst(3);
+  EXPECT_TRUE(subst.UnifyVars(0, 1));
+  EXPECT_EQ(subst.Find(0), subst.Find(1));
+  EXPECT_NE(subst.Find(0), subst.Find(2));
+}
+
+TEST(UnifyTest, BindConstantPropagatesThroughClass) {
+  Substitution subst(3);
+  ASSERT_TRUE(subst.UnifyVars(0, 1));
+  ASSERT_TRUE(subst.BindConstant(0, Value::Int(7)));
+  ASSERT_NE(subst.ConstantOf(1), nullptr);
+  EXPECT_EQ(*subst.ConstantOf(1), Value::Int(7));
+}
+
+TEST(UnifyTest, ConstantClashFails) {
+  Substitution subst(2);
+  ASSERT_TRUE(subst.BindConstant(0, Value::Int(1)));
+  EXPECT_FALSE(subst.BindConstant(0, Value::Int(2)));
+  EXPECT_TRUE(subst.BindConstant(0, Value::Int(1)));  // same value fine
+}
+
+TEST(UnifyTest, MergingBoundClassesChecksConstants) {
+  Substitution subst(4);
+  ASSERT_TRUE(subst.BindConstant(0, Value::Str("a")));
+  ASSERT_TRUE(subst.BindConstant(1, Value::Str("a")));
+  EXPECT_TRUE(subst.UnifyVars(0, 1));  // equal constants merge
+
+  ASSERT_TRUE(subst.BindConstant(2, Value::Str("b")));
+  ASSERT_TRUE(subst.BindConstant(3, Value::Str("c")));
+  EXPECT_FALSE(subst.UnifyVars(2, 3));  // distinct constants clash
+}
+
+TEST(UnifyTest, MergePropagatesOneSidedConstant) {
+  Substitution subst(2);
+  ASSERT_TRUE(subst.BindConstant(1, Value::Int(5)));
+  ASSERT_TRUE(subst.UnifyVars(0, 1));
+  ASSERT_NE(subst.ConstantOf(0), nullptr);
+  EXPECT_EQ(*subst.ConstantOf(0), Value::Int(5));
+}
+
+TEST(UnifyTest, UnifyTermsAllCases) {
+  Substitution subst(4);
+  EXPECT_TRUE(subst.UnifyTerms(Term::Int(3), Term::Int(3)));
+  EXPECT_FALSE(subst.UnifyTerms(Term::Int(3), Term::Int(4)));
+  EXPECT_TRUE(subst.UnifyTerms(Term::Var(0), Term::Var(1)));
+  EXPECT_TRUE(subst.UnifyTerms(Term::Var(2), Term::Str("x")));
+  EXPECT_TRUE(subst.UnifyTerms(Term::Str("x"), Term::Var(3)));
+  EXPECT_FALSE(subst.UnifyTerms(Term::Var(2), Term::Str("y")));
+}
+
+TEST(UnifyTest, UnifyAtomsRelationMismatch) {
+  Substitution subst(2);
+  Atom a("R", {Term::Var(0)});
+  Atom b("S", {Term::Var(1)});
+  EXPECT_FALSE(subst.UnifyAtoms(a, b));
+  Atom c("R", {Term::Var(0), Term::Var(1)});
+  EXPECT_FALSE(subst.UnifyAtoms(a, c));  // arity mismatch
+}
+
+TEST(UnifyTest, UnifyAtomsBindsPairwise) {
+  Substitution subst(3);
+  Atom post("R", {Term::Str("C"), Term::Var(0)});
+  Atom head("R", {Term::Var(1), Term::Var(2)});
+  ASSERT_TRUE(subst.UnifyAtoms(post, head));
+  EXPECT_EQ(*subst.ConstantOf(1), Value::Str("C"));
+  EXPECT_EQ(subst.Find(0), subst.Find(2));
+}
+
+TEST(UnifyTest, RepeatedVariableMakesPositionwiseInsufficient) {
+  // R(x, x) and R(1, 2) are positionwise unifiable (var positions) but
+  // truly non-unifiable — exactly the gap between the coordination
+  // graph's edge test and real unification.
+  Atom a("R", {Term::Var(0), Term::Var(0)});
+  Atom b("R", {Term::Int(1), Term::Int(2)});
+  EXPECT_TRUE(PositionwiseUnifiable(a, b));
+  Substitution subst(1);
+  EXPECT_FALSE(subst.UnifyAtoms(a, b));
+}
+
+TEST(UnifyTest, ResolveRewritesToRepresentativeOrConstant) {
+  Substitution subst(3);
+  ASSERT_TRUE(subst.UnifyVars(0, 1));
+  ASSERT_TRUE(subst.BindConstant(2, Value::Int(9)));
+  Term r0 = subst.Resolve(Term::Var(0));
+  Term r1 = subst.Resolve(Term::Var(1));
+  EXPECT_TRUE(r0.is_variable());
+  EXPECT_EQ(r0, r1);
+  EXPECT_EQ(subst.Resolve(Term::Var(2)), Term::Int(9));
+  EXPECT_EQ(subst.Resolve(Term::Str("k")), Term::Str("k"));
+}
+
+TEST(UnifyTest, ApplyRewritesAtom) {
+  Substitution subst(2);
+  ASSERT_TRUE(subst.BindConstant(0, Value::Str("Paris")));
+  Atom atom("F", {Term::Var(1), Term::Var(0)});
+  Atom applied = subst.Apply(atom);
+  EXPECT_EQ(applied.relation, "F");
+  EXPECT_TRUE(applied.terms[0].is_variable());
+  EXPECT_EQ(applied.terms[1], Term::Str("Paris"));
+}
+
+TEST(UnifyTest, TransitiveChainBindsAll) {
+  Substitution subst(5);
+  for (VarId v = 0; v + 1 < 5; ++v) {
+    ASSERT_TRUE(subst.UnifyVars(v, v + 1));
+  }
+  ASSERT_TRUE(subst.BindConstant(4, Value::Int(42)));
+  for (VarId v = 0; v < 5; ++v) {
+    ASSERT_NE(subst.ConstantOf(v), nullptr);
+    EXPECT_EQ(*subst.ConstantOf(v), Value::Int(42));
+  }
+}
+
+TEST(UnifyTest, MostGeneralUnifierFactory) {
+  Atom a("R", {Term::Var(0), Term::Str("x")});
+  Atom b("R", {Term::Int(1), Term::Var(1)});
+  auto mgu = MostGeneralUnifier(a, b, 2);
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(*mgu->ConstantOf(0), Value::Int(1));
+  EXPECT_EQ(*mgu->ConstantOf(1), Value::Str("x"));
+  EXPECT_FALSE(
+      MostGeneralUnifier(Atom("R", {Term::Int(1)}),
+                         Atom("R", {Term::Int(2)}), 0)
+          .has_value());
+}
+
+TEST(UnifyTest, UnifyAtomListsPairwise) {
+  Substitution subst(2);
+  std::vector<Atom> as = {Atom("R", {Term::Var(0)}),
+                          Atom("S", {Term::Var(1)})};
+  std::vector<Atom> bs = {Atom("R", {Term::Int(1)}),
+                          Atom("S", {Term::Int(2)})};
+  EXPECT_TRUE(subst.UnifyAtomLists(as, bs));
+  EXPECT_EQ(*subst.ConstantOf(0), Value::Int(1));
+  Substitution fresh(2);
+  EXPECT_FALSE(fresh.UnifyAtomLists(as, {bs[0]}));  // length mismatch
+}
+
+}  // namespace
+}  // namespace entangled

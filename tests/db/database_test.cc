@@ -1,0 +1,71 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(DatabaseTest, CreateAndFind) {
+  Database db;
+  auto flights = db.CreateRelation("F", {"id", "dest"});
+  ASSERT_TRUE(flights.ok());
+  EXPECT_EQ(db.Find("F"), *flights);
+  EXPECT_EQ(db.Find("missing"), nullptr);
+  EXPECT_TRUE(db.Contains("F"));
+  EXPECT_EQ(db.relation_count(), 1u);
+}
+
+TEST(DatabaseTest, DuplicateNameRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("F", {"id"}).ok());
+  auto dup = db.CreateRelation("F", {"other"});
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+}
+
+TEST(DatabaseTest, EmptyColumnsRejected) {
+  Database db;
+  EXPECT_TRUE(db.CreateRelation("F", {}).status().IsInvalidArgument());
+}
+
+TEST(DatabaseTest, GetReturnsNotFound) {
+  Database db;
+  EXPECT_TRUE(db.Get("nope").status().IsNotFound());
+}
+
+TEST(DatabaseTest, RelationNamesInCreationOrder) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("B", {"x"}).ok());
+  ASSERT_TRUE(db.CreateRelation("A", {"x"}).ok());
+  EXPECT_EQ(db.relation_names(), (std::vector<std::string>{"B", "A"}));
+}
+
+TEST(DatabaseTest, TotalRowsSumsRelations) {
+  Database db;
+  Relation* a = *db.CreateRelation("A", {"x"});
+  Relation* b = *db.CreateRelation("B", {"x"});
+  ASSERT_TRUE(a->Insert({Value::Int(1)}).ok());
+  ASSERT_TRUE(a->Insert({Value::Int(2)}).ok());
+  ASSERT_TRUE(b->Insert({Value::Int(3)}).ok());
+  EXPECT_EQ(db.TotalRows(), 3u);
+}
+
+TEST(DatabaseTest, StatsAccumulateAndReset) {
+  Database db;
+  db.stats().conjunctive_queries = 5;
+  db.stats().enumerate_queries = 2;
+  EXPECT_EQ(db.stats().total_queries(), 7u);
+  db.stats().Reset();
+  EXPECT_EQ(db.stats().total_queries(), 0u);
+}
+
+TEST(DatabaseTest, FindMutableAllowsInserts) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("A", {"x"}).ok());
+  Relation* a = db.FindMutable("A");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->Insert({Value::Int(9)}).ok());
+  EXPECT_EQ(db.Find("A")->size(), 1u);
+}
+
+}  // namespace
+}  // namespace entangled

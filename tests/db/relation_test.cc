@@ -1,0 +1,151 @@
+#include "db/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+Relation MakeFlights() {
+  Relation flights("F", {"flightId", "destination"});
+  EXPECT_TRUE(flights.Insert({Value::Int(101), Value::Str("Zurich")}).ok());
+  EXPECT_TRUE(flights.Insert({Value::Int(102), Value::Str("Paris")}).ok());
+  EXPECT_TRUE(flights.Insert({Value::Int(103), Value::Str("Zurich")}).ok());
+  return flights;
+}
+
+TEST(RelationTest, BasicProperties) {
+  Relation flights = MakeFlights();
+  EXPECT_EQ(flights.name(), "F");
+  EXPECT_EQ(flights.arity(), 2u);
+  EXPECT_EQ(flights.size(), 3u);
+  EXPECT_FALSE(flights.empty());
+}
+
+TEST(RelationTest, ColumnIndexLookup) {
+  Relation flights = MakeFlights();
+  EXPECT_EQ(flights.ColumnIndex("flightId"), 0u);
+  EXPECT_EQ(flights.ColumnIndex("destination"), 1u);
+  EXPECT_FALSE(flights.ColumnIndex("airline").has_value());
+}
+
+TEST(RelationTest, InsertRejectsArityMismatch) {
+  Relation flights("F", {"a", "b"});
+  Status status = flights.Insert({Value::Int(1)});
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(flights.size(), 0u);
+}
+
+TEST(RelationTest, RowAccess) {
+  Relation flights = MakeFlights();
+  EXPECT_EQ(flights.row(0)[0], Value::Int(101));
+  EXPECT_EQ(flights.row(2)[1], Value::Str("Zurich"));
+}
+
+TEST(RelationTest, ProbeFindsMatchingRows) {
+  Relation flights = MakeFlights();
+  const auto& zurich = flights.Probe(1, Value::Str("Zurich"));
+  EXPECT_EQ(zurich, (std::vector<RowId>{0, 2}));
+  EXPECT_TRUE(flights.Probe(1, Value::Str("Oslo")).empty());
+}
+
+TEST(RelationTest, ProbeIndexStaysConsistentAcrossInserts) {
+  Relation flights = MakeFlights();
+  // Build the index first ...
+  EXPECT_EQ(flights.Probe(1, Value::Str("Paris")).size(), 1u);
+  // ... then insert and re-probe: the index must see the new row.
+  EXPECT_TRUE(flights.Insert({Value::Int(104), Value::Str("Paris")}).ok());
+  EXPECT_EQ(flights.Probe(1, Value::Str("Paris")),
+            (std::vector<RowId>{1, 3}));
+}
+
+TEST(RelationTest, SelectWhereSingleColumn) {
+  Relation flights = MakeFlights();
+  std::vector<std::optional<Value>> pattern = {std::nullopt,
+                                               Value::Str("Zurich")};
+  EXPECT_EQ(flights.SelectWhere(pattern), (std::vector<RowId>{0, 2}));
+}
+
+TEST(RelationTest, SelectWhereConjunction) {
+  Relation flights = MakeFlights();
+  std::vector<std::optional<Value>> pattern = {Value::Int(103),
+                                               Value::Str("Zurich")};
+  EXPECT_EQ(flights.SelectWhere(pattern), (std::vector<RowId>{2}));
+  pattern[1] = Value::Str("Paris");
+  EXPECT_TRUE(flights.SelectWhere(pattern).empty());
+}
+
+TEST(RelationTest, SelectWhereNoConstraintsReturnsAll) {
+  Relation flights = MakeFlights();
+  std::vector<std::optional<Value>> pattern = {std::nullopt, std::nullopt};
+  EXPECT_EQ(flights.SelectWhere(pattern).size(), 3u);
+}
+
+TEST(RelationTest, AnyMatch) {
+  Relation flights = MakeFlights();
+  EXPECT_TRUE(flights.AnyMatch({std::nullopt, Value::Str("Paris")}));
+  EXPECT_FALSE(flights.AnyMatch({Value::Int(101), Value::Str("Paris")}));
+  EXPECT_TRUE(flights.AnyMatch({std::nullopt, std::nullopt}));
+}
+
+TEST(RelationTest, AnyMatchOnEmptyRelation) {
+  Relation empty("E", {"a"});
+  EXPECT_FALSE(empty.AnyMatch({std::nullopt}));
+  EXPECT_FALSE(empty.AnyMatch({Value::Int(1)}));
+}
+
+TEST(RelationTest, DistinctValuesFirstSeenOrder) {
+  Relation flights = MakeFlights();
+  std::vector<Value> destinations = flights.DistinctValues(1);
+  EXPECT_EQ(destinations,
+            (std::vector<Value>{Value::Str("Zurich"), Value::Str("Paris")}));
+}
+
+TEST(RelationTest, GroupByPartitionsRows) {
+  Relation flights = MakeFlights();
+  const auto& groups = flights.GroupBy({1});
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.at({Value::Str("Zurich")}),
+            (std::vector<RowId>{0, 2}));
+  EXPECT_EQ(groups.at({Value::Str("Paris")}), (std::vector<RowId>{1}));
+}
+
+TEST(RelationTest, GroupByStaysConsistentAcrossInserts) {
+  Relation flights = MakeFlights();
+  flights.GroupBy({1});  // build the cache
+  EXPECT_TRUE(flights.Insert({Value::Int(105), Value::Str("Oslo")}).ok());
+  const auto& groups = flights.GroupBy({1});
+  EXPECT_EQ(groups.at({Value::Str("Oslo")}), (std::vector<RowId>{3}));
+}
+
+TEST(RelationTest, GroupKeysDeterministicOrder) {
+  Relation flights = MakeFlights();
+  auto keys = flights.GroupKeys({1});
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], (std::vector<Value>{Value::Str("Zurich")}));
+  EXPECT_EQ(keys[1], (std::vector<Value>{Value::Str("Paris")}));
+}
+
+TEST(RelationTest, GroupByMultipleColumns) {
+  Relation r("R", {"a", "b", "c"});
+  ASSERT_TRUE(
+      r.Insert({Value::Int(1), Value::Str("x"), Value::Int(10)}).ok());
+  ASSERT_TRUE(
+      r.Insert({Value::Int(2), Value::Str("x"), Value::Int(10)}).ok());
+  ASSERT_TRUE(
+      r.Insert({Value::Int(3), Value::Str("y"), Value::Int(10)}).ok());
+  const auto& groups = r.GroupBy({1, 2});
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.at({Value::Str("x"), Value::Int(10)}).size(), 2u);
+}
+
+TEST(RelationTest, TupleToString) {
+  EXPECT_EQ(TupleToString({Value::Int(1), Value::Str("a")}), "(1, 'a')");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+TEST(RelationDeathTest, NoColumnsAborts) {
+  EXPECT_DEATH(Relation("bad", {}), "at least one column");
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,81 @@
+#include "db/value.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(-42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_FALSE(v.is_string());
+  EXPECT_EQ(v.kind(), Value::Kind::kInt);
+  EXPECT_EQ(v.AsInt(), -42);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v = Value::Str("Zurich");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "Zurich");
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, EqualityWithinKind) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+}
+
+TEST(ValueTest, CrossKindNeverEqual) {
+  EXPECT_NE(Value::Int(0), Value::Str("0"));
+  EXPECT_NE(Value::Int(0), Value::Str(""));
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  // Ints sort before strings (variant index order).
+  EXPECT_LT(Value::Int(999), Value::Str("a"));
+}
+
+TEST(ValueTest, ToStringQuoting) {
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Str("LAX").ToString(), "LAX");
+  EXPECT_EQ(Value::Str("LAX").ToString(/*quote=*/true), "'LAX'");
+  EXPECT_EQ(Value::Int(7).ToString(/*quote=*/true), "7");
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  // Not a strict requirement of hashing, but the representations used
+  // here keep int 0 and "" distinct, and equal values hash equal.
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+  EXPECT_NE(Value::Int(0).Hash(), Value::Str("").Hash());
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value> values;
+  values.insert(Value::Int(1));
+  values.insert(Value::Int(1));
+  values.insert(Value::Str("1"));
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_TRUE(values.count(Value::Int(1)) > 0);
+  EXPECT_TRUE(values.count(Value::Str("1")) > 0);
+  EXPECT_EQ(values.count(Value::Int(2)), 0u);
+}
+
+TEST(ValueDeathTest, WrongAccessorAborts) {
+  EXPECT_DEATH(Value::Int(1).AsString(), "not a string");
+  EXPECT_DEATH(Value::Str("x").AsInt(), "not an int");
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,100 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g(0);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(DigraphTest, AddNodesAndEdges) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.Successors(1), (std::vector<NodeId>{2}));
+  EXPECT_EQ(g.Predecessors(1), (std::vector<NodeId>{0}));
+}
+
+TEST(DigraphTest, AddNodeGrowsGraph) {
+  Digraph g(1);
+  NodeId n = g.AddNode();
+  EXPECT_EQ(n, 1);
+  EXPECT_EQ(g.num_nodes(), 2);
+  g.AddEdge(0, n);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(DigraphTest, ParallelEdgesAllowed) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+}
+
+TEST(DigraphTest, AddEdgeUniqueDeduplicates) {
+  Digraph g(2);
+  EXPECT_TRUE(g.AddEdgeUnique(0, 1));
+  EXPECT_FALSE(g.AddEdgeUnique(0, 1));
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(DigraphTest, SelfLoop) {
+  Digraph g(1);
+  g.AddEdge(0, 0);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(DigraphTest, Reversed) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Digraph r = g.Reversed();
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+  EXPECT_EQ(r.num_edges(), 2);
+}
+
+TEST(DigraphTest, InducedSubgraphRenumbers) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  std::vector<NodeId> mapping;
+  Digraph sub = g.InducedSubgraph({true, false, true, true}, &mapping);
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(mapping, (std::vector<NodeId>{0, -1, 1, 2}));
+  // Surviving edges: 2->3 becomes 1->2, 3->0 becomes 2->0.
+  EXPECT_EQ(sub.num_edges(), 2);
+  EXPECT_TRUE(sub.HasEdge(1, 2));
+  EXPECT_TRUE(sub.HasEdge(2, 0));
+}
+
+TEST(DigraphTest, ToStringMentionsCounts) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  std::string s = g.ToString();
+  EXPECT_NE(s.find("2 nodes"), std::string::npos);
+  EXPECT_NE(s.find("1 edges"), std::string::npos);
+}
+
+TEST(DigraphDeathTest, OutOfRangeAborts) {
+  Digraph g(2);
+  EXPECT_DEATH(g.AddEdge(0, 2), "bad target");
+  EXPECT_DEATH(g.AddEdge(-1, 0), "bad source");
+  EXPECT_DEATH(g.Successors(5), "bad node");
+}
+
+}  // namespace
+}  // namespace entangled

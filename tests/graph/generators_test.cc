@@ -1,0 +1,108 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/reachability.h"
+
+namespace entangled {
+namespace {
+
+TEST(GeneratorsTest, ChainShape) {
+  Digraph g = MakeChain(4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(3, 0));
+  EXPECT_EQ(MakeChain(0).num_edges(), 0);
+  EXPECT_EQ(MakeChain(1).num_edges(), 0);
+}
+
+TEST(GeneratorsTest, CycleShape) {
+  Digraph g = MakeCycle(4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.HasEdge(3, 0));
+  EXPECT_TRUE(IsStronglyConnected(g));
+  EXPECT_EQ(MakeCycle(0).num_nodes(), 0);
+}
+
+TEST(GeneratorsTest, CompleteShape) {
+  Digraph g = MakeComplete(5);
+  EXPECT_EQ(g.num_edges(), 20);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_FALSE(g.HasEdge(v, v));
+}
+
+TEST(GeneratorsTest, ErdosRenyiExtremes) {
+  Rng rng(1);
+  EXPECT_EQ(MakeErdosRenyi(10, 0.0, &rng).num_edges(), 0);
+  EXPECT_EQ(MakeErdosRenyi(10, 1.0, &rng).num_edges(), 90);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministicUnderSeed) {
+  Rng rng1(42), rng2(42);
+  Digraph a = MakeErdosRenyi(20, 0.3, &rng1);
+  Digraph b = MakeErdosRenyi(20, 0.3, &rng2);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < 20; ++u) {
+    EXPECT_EQ(a.Successors(u), b.Successors(u));
+  }
+}
+
+TEST(GeneratorsTest, ScaleFreeEdgeCount) {
+  Rng rng(5);
+  // Node v attaches min(m, v) edges: 1 + 2 + 2 + ... + 2.
+  Digraph g = MakeScaleFree(50, 2, &rng);
+  EXPECT_EQ(g.num_edges(), 1 + 2 * 48);
+  // New nodes only point backwards.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Successors(u)) EXPECT_LT(v, u);
+  }
+}
+
+TEST(GeneratorsTest, ScaleFreeNoSelfLoopsNoParallel) {
+  Rng rng(6);
+  Digraph g = MakeScaleFree(200, 3, &rng);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<NodeId> succ = g.Successors(u);
+    std::sort(succ.begin(), succ.end());
+    EXPECT_TRUE(std::adjacent_find(succ.begin(), succ.end()) == succ.end())
+        << "parallel edge at " << u;
+    EXPECT_FALSE(g.HasEdge(u, u));
+  }
+}
+
+TEST(GeneratorsTest, ScaleFreeIsSkewed) {
+  // Preferential attachment should concentrate in-degree: the max
+  // in-degree must clearly exceed the mean.
+  Rng rng(7);
+  Digraph g = MakeScaleFree(400, 2, &rng);
+  size_t max_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  double mean_in =
+      static_cast<double>(g.num_edges()) / static_cast<double>(400);
+  EXPECT_GT(static_cast<double>(max_in), 5.0 * mean_in);
+}
+
+TEST(GeneratorsTest, RandomKOutDegrees) {
+  Rng rng(8);
+  Digraph g = MakeRandomKOut(30, 3, &rng);
+  for (NodeId u = 0; u < 30; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 3u);
+    EXPECT_FALSE(g.HasEdge(u, u));
+    std::vector<NodeId> succ = g.Successors(u);
+    std::sort(succ.begin(), succ.end());
+    EXPECT_TRUE(std::adjacent_find(succ.begin(), succ.end()) == succ.end());
+  }
+}
+
+TEST(GeneratorsTest, RandomKOutCapsAtNMinusOne) {
+  Rng rng(9);
+  Digraph g = MakeRandomKOut(4, 10, &rng);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(g.OutDegree(u), 3u);
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,165 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/condensation.h"
+#include "graph/generators.h"
+#include "graph/topological.h"
+
+namespace entangled {
+namespace {
+
+/// Components as canonical sorted member lists, order-insensitive.
+std::vector<std::vector<NodeId>> CanonicalComponents(const SccResult& scc) {
+  std::vector<std::vector<NodeId>> components = scc.members;
+  std::sort(components.begin(), components.end());
+  return components;
+}
+
+TEST(SccTest, SingletonGraph) {
+  Digraph g(1);
+  SccResult scc = TarjanScc(g);
+  EXPECT_EQ(scc.num_components(), 1);
+  EXPECT_EQ(scc.members[0], (std::vector<NodeId>{0}));
+}
+
+TEST(SccTest, ChainHasSingletonComponents) {
+  SccResult scc = TarjanScc(MakeChain(5));
+  EXPECT_EQ(scc.num_components(), 5);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  SccResult scc = TarjanScc(MakeCycle(6));
+  EXPECT_EQ(scc.num_components(), 1);
+  EXPECT_EQ(scc.members[0].size(), 6u);
+}
+
+TEST(SccTest, SelfLoopIsItsOwnComponent) {
+  Digraph g(2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  SccResult scc = TarjanScc(g);
+  EXPECT_EQ(scc.num_components(), 2);
+}
+
+TEST(SccTest, TwoCyclesBridge) {
+  // 0 <-> 1 -> 2 <-> 3.
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);
+  SccResult scc = TarjanScc(g);
+  EXPECT_EQ(scc.num_components(), 2);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[2], scc.component_of[3]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[2]);
+  // Pop order is reverse topological: sink {2,3} must be component 0.
+  EXPECT_EQ(scc.component_of[2], 0);
+}
+
+TEST(SccTest, ComponentIdsAreReverseTopological) {
+  // Every edge of the condensation must go from higher id to lower id.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Digraph g = MakeErdosRenyi(30, 0.08, &rng);
+    SccResult scc = TarjanScc(g);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v : g.Successors(u)) {
+        if (scc.component_of[u] != scc.component_of[v]) {
+          EXPECT_GT(scc.component_of[u], scc.component_of[v]);
+        }
+      }
+    }
+  }
+}
+
+TEST(SccTest, FlightHotelExampleComponents) {
+  // The §2.2 coordination graph: qW -> {qJ, qC}, qJ -> {qC, qG},
+  // qC <-> qG (nodes 0=qC 1=qG 2=qJ 3=qW).
+  Digraph g(4);
+  g.AddEdge(0, 1);  // qC needs qG
+  g.AddEdge(1, 0);  // qG needs qC
+  g.AddEdge(2, 0);  // qJ needs qC
+  g.AddEdge(2, 1);  // qJ needs qG
+  g.AddEdge(3, 0);  // qW needs qC
+  g.AddEdge(3, 2);  // qW needs qJ
+  SccResult scc = TarjanScc(g);
+  auto components = CanonicalComponents(scc);
+  EXPECT_EQ(components, (std::vector<std::vector<NodeId>>{
+                            {0, 1}, {2}, {3}}));
+}
+
+TEST(SccTest, MatchesNaiveOnRandomGraphs) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    NodeId n = static_cast<NodeId>(2 + rng.NextBounded(25));
+    Digraph g = MakeErdosRenyi(n, rng.NextDouble() * 0.3, &rng);
+    SccResult tarjan = TarjanScc(g);
+    SccResult naive = NaiveScc(g);
+    EXPECT_EQ(CanonicalComponents(tarjan), CanonicalComponents(naive))
+        << g.ToString();
+    // Both numberings must be reverse topological (they may differ in
+    // tie-breaks; the property is what matters).
+    for (const SccResult& scc : {tarjan, naive}) {
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (NodeId v : g.Successors(u)) {
+          if (scc.component_of[u] != scc.component_of[v]) {
+            EXPECT_GT(scc.component_of[u], scc.component_of[v])
+                << g.ToString();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  // 50k nodes would crash a recursive Tarjan; the iterative one is fine.
+  SccResult scc = TarjanScc(MakeChain(50000));
+  EXPECT_EQ(scc.num_components(), 50000);
+}
+
+TEST(CondensationTest, CondensedGraphIsDag) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Digraph g = MakeErdosRenyi(25, 0.15, &rng);
+    SccResult scc = TarjanScc(g);
+    Digraph condensed = Condense(g, scc);
+    EXPECT_EQ(condensed.num_nodes(), scc.num_components());
+    EXPECT_TRUE(TopologicalOrder(condensed).ok()) << condensed.ToString();
+  }
+}
+
+TEST(CondensationTest, ParallelEdgesCollapse) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);  // component A = {0,1}
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);  // component B = {2,3}
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);  // two A->B edges in the original
+  SccResult scc = TarjanScc(g);
+  Digraph condensed = Condense(g, scc);
+  EXPECT_EQ(condensed.num_nodes(), 2);
+  EXPECT_EQ(condensed.num_edges(), 1);
+}
+
+TEST(CondensationTest, SelfLoopsDropped) {
+  Digraph g(2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  SccResult scc = TarjanScc(g);
+  Digraph condensed = Condense(g, scc);
+  EXPECT_EQ(condensed.num_edges(), 1);
+  for (NodeId c = 0; c < condensed.num_nodes(); ++c) {
+    EXPECT_FALSE(condensed.HasEdge(c, c));
+  }
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,108 @@
+#include "graph/topological.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+
+namespace entangled {
+namespace {
+
+TEST(TopologicalTest, ChainOrders) {
+  Digraph g = MakeChain(4);
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(TopologicalTest, ReverseChain) {
+  auto order = ReverseTopologicalOrder(MakeChain(4));
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<NodeId>{3, 2, 1, 0}));
+}
+
+TEST(TopologicalTest, CycleIsRejected) {
+  auto order = TopologicalOrder(MakeCycle(3));
+  EXPECT_TRUE(order.status().IsFailedPrecondition());
+}
+
+TEST(TopologicalTest, SelfLoopIsRejected) {
+  Digraph g(1);
+  g.AddEdge(0, 0);
+  EXPECT_FALSE(TopologicalOrder(g).ok());
+}
+
+TEST(TopologicalTest, DeterministicTieBreakBySmallerId) {
+  // Diamond: 0 -> {1, 2} -> 3; 1 and 2 are both ready after 0.
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(TopologicalTest, IsTopologicalOrderValidation) {
+  Digraph g = MakeChain(3);
+  EXPECT_TRUE(IsTopologicalOrder(g, {0, 1, 2}));
+  EXPECT_FALSE(IsTopologicalOrder(g, {1, 0, 2}));
+  EXPECT_FALSE(IsTopologicalOrder(g, {0, 1}));        // not a permutation
+  EXPECT_FALSE(IsTopologicalOrder(g, {0, 0, 2}));     // duplicate
+  EXPECT_FALSE(IsTopologicalOrder(g, {0, 1, 5}));     // out of range
+}
+
+TEST(TopologicalTest, RandomDagsValidate) {
+  Rng rng(55);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Random DAG: only forward edges i -> j with i < j.
+    NodeId n = static_cast<NodeId>(2 + rng.NextBounded(30));
+    Digraph g(n);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        if (rng.NextBool(0.2)) g.AddEdge(i, j);
+      }
+    }
+    auto order = TopologicalOrder(g);
+    ASSERT_TRUE(order.ok());
+    EXPECT_TRUE(IsTopologicalOrder(g, *order));
+  }
+}
+
+TEST(ReachabilityTest, ReachableFromChainHead) {
+  std::vector<bool> reach = ReachableFrom(MakeChain(4), 1);
+  EXPECT_EQ(reach, (std::vector<bool>{false, true, true, true}));
+}
+
+TEST(ReachabilityTest, StronglyConnectedDetection) {
+  EXPECT_TRUE(IsStronglyConnected(MakeCycle(5)));
+  EXPECT_FALSE(IsStronglyConnected(MakeChain(5)));
+  EXPECT_TRUE(IsStronglyConnected(MakeComplete(4)));
+  EXPECT_TRUE(IsStronglyConnected(Digraph(1)));
+  EXPECT_TRUE(IsStronglyConnected(Digraph(0)));
+  EXPECT_FALSE(IsStronglyConnected(Digraph(2)));  // two isolated nodes
+}
+
+TEST(ReachabilityTest, CountSimplePaths) {
+  // Diamond has two simple paths 0 -> 3.
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(CountSimplePaths(g, 0, 3, 10), 2);
+  EXPECT_EQ(CountSimplePaths(g, 0, 3, 2), 2);  // capped exactly
+  EXPECT_EQ(CountSimplePaths(g, 3, 0, 10), 0);
+  EXPECT_EQ(CountSimplePaths(g, 0, 0, 10), 1);  // trivial path
+}
+
+TEST(ReachabilityTest, CountSimplePathsRespectsLimit) {
+  // Complete graph has many simple paths; the limit caps the work.
+  Digraph g = MakeComplete(8);
+  EXPECT_EQ(CountSimplePaths(g, 0, 7, 5), 5);
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,87 @@
+// Robustness: the parser must return a Status — never crash, hang, or
+// corrupt the query set — on arbitrary byte soup, on truncations of
+// valid programs, and on random token streams.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/parser.h"
+
+namespace entangled {
+namespace {
+
+const char kValidProgram[] =
+    "qC: { R(G, x1) } R(C, x1), Q(C, x2) :- F(x1, x), H(x2, x).\n"
+    "qG: { R(C, y1), Q(C, y2) } R(G, y1), Q(G, y2) :- F(y1, Paris).";
+
+TEST(ParserFuzzTest, EveryPrefixOfAValidProgramIsHandled) {
+  const std::string program = kValidProgram;
+  for (size_t cut = 0; cut <= program.size(); ++cut) {
+    QuerySet set;
+    auto result = ParseQueries(program.substr(0, cut), &set);
+    // Either parses (full statements only) or reports a clean error.
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsInvalidArgument()) << cut;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup;
+    size_t length = rng.NextBounded(80);
+    for (size_t i = 0; i < length; ++i) {
+      soup.push_back(static_cast<char>(32 + rng.NextBounded(95)));
+    }
+    QuerySet set;
+    auto result = ParseQueries(soup, &set);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsInvalidArgument());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomTokenStreamsNeverCrash) {
+  Rng rng(0xBEEF);
+  const std::vector<std::string> tokens = {
+      "{",  "}",    "(",     ")",     ",",   ":-",   ".",    ":",
+      "R",  "x",    "Chris", "42",    "-7",  "'s'",  "_",    "q1",
+      "%c", "\n",   "\"d\"", "Flights"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string program;
+    size_t length = rng.NextBounded(30);
+    for (size_t i = 0; i < length; ++i) {
+      program += rng.Choice(tokens);
+      program.push_back(' ');
+    }
+    QuerySet set;
+    auto result = ParseQueries(program, &set);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsInvalidArgument());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, DeeplyNestedInputStaysIterative) {
+  // Long atom lists and long programs must not blow the stack.
+  std::string long_list = "q: { } H(";
+  for (int i = 0; i < 5000; ++i) long_list += "x" + std::to_string(i) + ",";
+  long_list += "x) :- .";
+  QuerySet set;
+  EXPECT_TRUE(ParseQueries(long_list, &set).ok());
+
+  std::string many_queries;
+  for (int i = 0; i < 2000; ++i) {
+    many_queries += "{ } H" + std::to_string(i) + "(x) :- .\n";
+  }
+  QuerySet set2;
+  auto result = ParseQueries(many_queries, &set2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2000u);
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "algo/brute_force.h"
+#include "algo/generic_solver.h"
+#include "common/rng.h"
+#include "core/validator.h"
+#include "reductions/dpll.h"
+#include "reductions/random_sat.h"
+#include "reductions/theorem1.h"
+#include "reductions/theorem2.h"
+
+namespace entangled {
+namespace {
+
+/// Property (Theorem 1 / Appendix A): a random 3SAT formula is
+/// satisfiable iff its Entangled(Qall) encoding over D = {0,1} has a
+/// coordinating set; when it does, the decoded assignment satisfies the
+/// formula.
+class Theorem1RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem1RoundTrip, SatIffCoordinates) {
+  Rng rng(GetParam() * 104729);
+  // Around the phase transition for spicy instances.
+  const int num_vars = 3 + static_cast<int>(rng.NextBounded(2));  // 3..4
+  const int num_clauses =
+      2 + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(
+              3 * num_vars)));
+  CnfFormula formula = Random3Sat(num_vars, num_clauses, &rng);
+
+  DpllSolver dpll;
+  bool satisfiable = dpll.Solve(formula).has_value();
+
+  QuerySet set;
+  Database db;
+  Theorem1Encoding encoding = EncodeTheorem1(formula, &set, &db);
+  GenericSolver solver(&db);
+  auto result = solver.FindContaining(set, encoding.clause_query);
+
+  EXPECT_EQ(result.ok(), satisfiable)
+      << formula.ToString() << "\n" << result.status();
+  if (result.ok()) {
+    EXPECT_TRUE(ValidateSolution(db, set, *result).ok())
+        << formula.ToString();
+    TruthAssignment decoded = encoding.DecodeAssignment(formula, *result);
+    EXPECT_TRUE(Satisfies(formula, decoded)) << formula.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, Theorem1RoundTrip,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+/// Property (Theorem 2 / Figure 9): for a random small formula with
+/// distinct-variable clauses, the maximum coordinating set of the
+/// *safe* encoding has size k + m iff the formula is satisfiable.
+class Theorem2RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem2RoundTrip, MaxSizeCertifiesSatisfiability) {
+  Rng rng(GetParam() * 7907);
+  const int num_vars = 3;
+  const int num_clauses = 2 + static_cast<int>(rng.NextBounded(2));
+  CnfFormula formula = Random3Sat(num_vars, num_clauses, &rng);
+
+  DpllSolver dpll;
+  bool satisfiable = dpll.Solve(formula).has_value();
+
+  QuerySet set;
+  Database db;
+  Theorem2Encoding encoding = EncodeTheorem2(formula, &set, &db);
+  BruteForceSolver brute(&db);
+  auto maximum = brute.FindMaximum(set);
+  ASSERT_TRUE(maximum.has_value());  // the var queries always coordinate
+  EXPECT_TRUE(ValidateSolution(db, set, *maximum).ok());
+
+  const size_t target = encoding.SatisfiableSize(formula);
+  if (satisfiable) {
+    EXPECT_EQ(maximum->queries.size(), target) << formula.ToString();
+    TruthAssignment decoded = encoding.DecodeAssignment(formula, *maximum);
+    EXPECT_TRUE(Satisfies(formula, decoded)) << formula.ToString();
+  } else {
+    EXPECT_LT(maximum->queries.size(), target) << formula.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, Theorem2RoundTrip,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace entangled

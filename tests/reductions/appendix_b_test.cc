@@ -1,0 +1,96 @@
+#include "reductions/appendix_b.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/generic_solver.h"
+#include "core/properties.h"
+#include "core/validator.h"
+#include "reductions/dpll.h"
+
+namespace entangled {
+namespace {
+
+CnfFormula Parse(int num_vars, std::vector<std::vector<int>> clauses) {
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (const auto& clause : clauses) {
+    Clause c;
+    for (int lit : clause) c.push_back(Literal{lit});
+    f.clauses.push_back(std::move(c));
+  }
+  return f;
+}
+
+TEST(AppendixBTest, EncodingShape) {
+  CnfFormula f = Parse(2, {{1, -2}});
+  QuerySet set;
+  Database db;
+  AppendixBEncoding enc = EncodeAppendixB(f, &set, &db);
+  // qC + 1 clause + 2 * (pos + neg + selector).
+  EXPECT_EQ(set.size(), 1u + 1u + 3u * 2u);
+  EXPECT_EQ(db.Find("Fl")->size(), 2u);  // one flight per date
+  EXPECT_EQ(db.Find("Fr")->size(), 2u);  // two literals in the clause
+  // Unsafe: the clause query's R(y, f) has a variable friend slot.
+  EXPECT_FALSE(IsSafeSet(set));
+  (void)enc;
+}
+
+TEST(AppendixBTest, SatisfiableFormulaCoordinates) {
+  CnfFormula f = Parse(2, {{1, -2}});
+  ASSERT_TRUE(DpllSolver().Solve(f).has_value());
+  QuerySet set;
+  Database db;
+  AppendixBEncoding enc = EncodeAppendixB(f, &set, &db);
+  GenericSolver solver(&db);
+  auto result = solver.FindContaining(set, enc.qc);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidateSolution(db, set, *result).ok());
+  TruthAssignment decoded = enc.DecodeAssignment(f, *result);
+  EXPECT_TRUE(Satisfies(f, decoded));
+}
+
+TEST(AppendixBTest, SelectionGadgetForbidsBothPolarities) {
+  CnfFormula f = Parse(1, {{1}});
+  QuerySet set;
+  Database db;
+  AppendixBEncoding enc = EncodeAppendixB(f, &set, &db);
+  GenericSolver solver(&db);
+  auto result = solver.FindContaining(set, enc.qc);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->Contains(enc.positive_queries[0]) &&
+               result->Contains(enc.negative_queries[0]));
+}
+
+TEST(AppendixBTest, UnsatisfiableCoreHasNoCoordinatingSetAroundQc) {
+  // (x1) & (~x1): the positive query needs the selector on 1MAR, the
+  // negative one on 2MAR — qC needs both clauses, but their literal
+  // queries pin the same selector's flight to different dates.
+  CnfFormula f = Parse(1, {{1}, {-1}});
+  ASSERT_FALSE(DpllSolver().Solve(f).has_value());
+  QuerySet set;
+  Database db;
+  AppendixBEncoding enc = EncodeAppendixB(f, &set, &db);
+  GenericSolver solver(&db);
+  auto result = solver.FindContaining(set, enc.qc);
+  EXPECT_TRUE(result.status().IsNotFound()) << result.status();
+}
+
+TEST(AppendixBTest, CircularDependencyPullsEverythingIn) {
+  // Any coordinating set containing a literal query also contains its
+  // selector, qC, and every clause query (the circular dependency of
+  // Appendix B).
+  CnfFormula f = Parse(2, {{1, 2}});
+  QuerySet set;
+  Database db;
+  AppendixBEncoding enc = EncodeAppendixB(f, &set, &db);
+  GenericSolver solver(&db);
+  auto result = solver.FindContaining(set, enc.positive_queries[0]);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->Contains(enc.qc));
+  EXPECT_TRUE(result->Contains(enc.selector_queries[0]));
+  EXPECT_TRUE(result->Contains(enc.clause_queries[0]));
+  EXPECT_TRUE(ValidateSolution(db, set, *result).ok());
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,84 @@
+#include "reductions/cnf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "reductions/random_sat.h"
+
+namespace entangled {
+namespace {
+
+TEST(CnfTest, LiteralBasics) {
+  Literal p = Literal::Pos(3);
+  Literal n = Literal::Neg(3);
+  EXPECT_EQ(p.var(), 3);
+  EXPECT_EQ(n.var(), 3);
+  EXPECT_TRUE(p.positive());
+  EXPECT_FALSE(n.positive());
+  EXPECT_EQ(p.Negated(), n);
+  EXPECT_EQ(n.Negated(), p);
+  EXPECT_EQ(p.ToString(), "x3");
+  EXPECT_EQ(n.ToString(), "~x3");
+}
+
+TEST(CnfTest, FormulaToString) {
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{Literal::Pos(1), Literal::Neg(2)}};
+  EXPECT_EQ(f.ToString(), "(x1 | ~x2)");
+}
+
+TEST(CnfTest, WellFormedChecks) {
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{Literal::Pos(1)}};
+  EXPECT_TRUE(f.WellFormed());
+  f.clauses.push_back({});
+  EXPECT_FALSE(f.WellFormed());  // empty clause
+  f.clauses = {{Literal::Pos(3)}};
+  EXPECT_FALSE(f.WellFormed());  // variable out of range
+}
+
+TEST(CnfTest, SatisfiesEvaluatesClauses) {
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{Literal::Pos(1), Literal::Pos(2)},
+               {Literal::Neg(1), Literal::Pos(2)}};
+  TruthAssignment both_true = {false, true, true};
+  TruthAssignment x1_only = {false, true, false};
+  TruthAssignment none = {false, false, false};
+  EXPECT_TRUE(Satisfies(f, both_true));
+  EXPECT_FALSE(Satisfies(f, x1_only));   // second clause fails
+  EXPECT_FALSE(Satisfies(f, none));      // first clause fails
+  EXPECT_FALSE(Satisfies(f, {false}));   // too short
+}
+
+TEST(RandomSatTest, ShapeIsRespected) {
+  Rng rng(13);
+  CnfFormula f = Random3Sat(6, 10, &rng);
+  EXPECT_EQ(f.num_vars, 6);
+  EXPECT_EQ(f.clauses.size(), 10u);
+  EXPECT_TRUE(f.WellFormed());
+  for (const Clause& clause : f.clauses) {
+    ASSERT_EQ(clause.size(), 3u);
+    EXPECT_NE(clause[0].var(), clause[1].var());
+    EXPECT_NE(clause[1].var(), clause[2].var());
+    EXPECT_NE(clause[0].var(), clause[2].var());
+  }
+}
+
+TEST(RandomSatTest, DeterministicUnderSeed) {
+  Rng rng1(99), rng2(99);
+  CnfFormula a = Random3Sat(5, 8, &rng1);
+  CnfFormula b = Random3Sat(5, 8, &rng2);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(RandomSatTest, KSatGeneralizes) {
+  Rng rng(21);
+  CnfFormula f = RandomKSat(4, 5, 2, &rng);
+  for (const Clause& clause : f.clauses) EXPECT_EQ(clause.size(), 2u);
+}
+
+}  // namespace
+}  // namespace entangled

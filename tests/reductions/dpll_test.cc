@@ -1,0 +1,115 @@
+#include "reductions/dpll.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "reductions/random_sat.h"
+
+namespace entangled {
+namespace {
+
+CnfFormula Parse(int num_vars, std::vector<std::vector<int>> clauses) {
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (const auto& clause : clauses) {
+    Clause c;
+    for (int lit : clause) c.push_back(Literal{lit});
+    f.clauses.push_back(std::move(c));
+  }
+  return f;
+}
+
+TEST(DpllTest, TrivialSat) {
+  DpllSolver solver;
+  auto result = solver.Solve(Parse(1, {{1}}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE((*result)[1]);
+}
+
+TEST(DpllTest, TrivialUnsat) {
+  DpllSolver solver;
+  EXPECT_FALSE(solver.Solve(Parse(1, {{1}, {-1}})).has_value());
+}
+
+TEST(DpllTest, EmptyFormulaIsSat) {
+  DpllSolver solver;
+  EXPECT_TRUE(solver.Solve(Parse(3, {})).has_value());
+}
+
+TEST(DpllTest, UnitPropagationChains) {
+  // x1, x1->x2, x2->x3 forces all three true without branching.
+  DpllSolver solver;
+  auto result = solver.Solve(Parse(3, {{1}, {-1, 2}, {-2, 3}}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE((*result)[1]);
+  EXPECT_TRUE((*result)[2]);
+  EXPECT_TRUE((*result)[3]);
+  EXPECT_EQ(solver.stats().decisions, 0u);
+  EXPECT_GE(solver.stats().unit_propagations, 3u);
+}
+
+TEST(DpllTest, PureLiteralElimination) {
+  // x1 appears only positively: pure.
+  DpllSolver solver;
+  auto result = solver.Solve(Parse(2, {{1, 2}, {1, -2}}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE((*result)[1]);
+  EXPECT_GE(solver.stats().pure_eliminations, 1u);
+}
+
+TEST(DpllTest, ClassicUnsatPigeonhole) {
+  // Two pigeons, one hole: p1, p2, not both.
+  DpllSolver solver;
+  EXPECT_FALSE(solver.Solve(Parse(2, {{1}, {2}, {-1, -2}})).has_value());
+}
+
+TEST(DpllTest, KnownUnsat3SatCore) {
+  // All eight clauses over three variables: unsatisfiable.
+  std::vector<std::vector<int>> clauses;
+  for (int mask = 0; mask < 8; ++mask) {
+    clauses.push_back({(mask & 1) ? 1 : -1, (mask & 2) ? 2 : -2,
+                       (mask & 4) ? 3 : -3});
+  }
+  DpllSolver solver;
+  EXPECT_FALSE(solver.Solve(Parse(3, clauses)).has_value());
+}
+
+TEST(DpllTest, ReturnedAssignmentsAlwaysSatisfy) {
+  Rng rng(77);
+  int sat_count = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    // Around the 3SAT phase transition (ratio ~4.3) for interesting
+    // instances.
+    CnfFormula f = Random3Sat(8, 8 * 4, &rng);
+    DpllSolver solver;
+    auto result = solver.Solve(f);
+    if (result.has_value()) {
+      ++sat_count;
+      EXPECT_TRUE(Satisfies(f, *result));
+    }
+  }
+  // Both outcomes must occur over 60 phase-transition draws.
+  EXPECT_GT(sat_count, 0);
+  EXPECT_LT(sat_count, 60);
+}
+
+TEST(DpllTest, AgreesWithExhaustiveCheckOnSmallFormulas) {
+  Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    CnfFormula f =
+        Random3Sat(5, 3 + static_cast<int>(rng.NextBounded(18)), &rng);
+    // Exhaustive truth-table check.
+    bool exhaustive_sat = false;
+    for (int mask = 0; mask < (1 << 5) && !exhaustive_sat; ++mask) {
+      TruthAssignment assignment(6, false);
+      for (int v = 1; v <= 5; ++v) assignment[v] = (mask >> (v - 1)) & 1;
+      exhaustive_sat = Satisfies(f, assignment);
+    }
+    DpllSolver solver;
+    EXPECT_EQ(solver.Solve(f).has_value(), exhaustive_sat)
+        << f.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,118 @@
+#include "reductions/theorem1.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/generic_solver.h"
+#include "core/properties.h"
+#include "core/validator.h"
+#include "reductions/dpll.h"
+
+namespace entangled {
+namespace {
+
+CnfFormula Parse(int num_vars, std::vector<std::vector<int>> clauses) {
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (const auto& clause : clauses) {
+    Clause c;
+    for (int lit : clause) c.push_back(Literal{lit});
+    f.clauses.push_back(std::move(c));
+  }
+  return f;
+}
+
+TEST(Theorem1Test, EncodingShape) {
+  CnfFormula f = Parse(3, {{1, -2, 3}, {-1, 2, -3}});
+  QuerySet set;
+  Database db;
+  Theorem1Encoding enc = EncodeTheorem1(f, &set, &db);
+
+  // 1 clause-query + m val + m true + m false.
+  EXPECT_EQ(set.size(), 1u + 3u * 3u);
+  // The database is just D = {0, 1}: conjunctive queries over it are
+  // trivially polynomial — the crisp separation of Theorem 1.
+  EXPECT_EQ(db.relation_count(), 1u);
+  EXPECT_EQ(db.Find("D")->size(), 2u);
+
+  const EntangledQuery& clause_query = set.query(enc.clause_query);
+  EXPECT_EQ(clause_query.postconditions.size(), 2u);  // one per clause
+  EXPECT_TRUE(clause_query.body.empty());
+
+  // x1 appears positively in C1, negatively in C2.
+  const EntangledQuery& x1_true = set.query(enc.true_queries[0]);
+  ASSERT_EQ(x1_true.head.size(), 1u);
+  EXPECT_EQ(x1_true.head[0].relation, "C1");
+  const EntangledQuery& x1_false = set.query(enc.false_queries[0]);
+  ASSERT_EQ(x1_false.head.size(), 1u);
+  EXPECT_EQ(x1_false.head[0].relation, "C2");
+
+  // The instance is intentionally unsafe: clause postconditions have
+  // multiple candidate heads.
+  EXPECT_FALSE(IsSafeSet(set));
+}
+
+TEST(Theorem1Test, SatisfiableFormulaHasCoordinatingSet) {
+  CnfFormula f = Parse(2, {{1, 2, -2}, {-1, 2, -2}});  // trivially sat
+  QuerySet set;
+  Database db;
+  Theorem1Encoding enc = EncodeTheorem1(f, &set, &db);
+  GenericSolver solver(&db);
+  auto result = solver.FindContaining(set, enc.clause_query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidateSolution(db, set, *result).ok());
+  // The decoded assignment satisfies the formula (Appendix A).
+  TruthAssignment assignment = enc.DecodeAssignment(f, *result);
+  EXPECT_TRUE(Satisfies(f, assignment));
+}
+
+TEST(Theorem1Test, UnsatisfiableFormulaHasNone) {
+  // The canonical unsatisfiable 3SAT core: all eight sign patterns over
+  // three variables.
+  std::vector<std::vector<int>> clauses;
+  for (int mask = 0; mask < 8; ++mask) {
+    clauses.push_back({(mask & 1) ? 1 : -1, (mask & 2) ? 2 : -2,
+                       (mask & 4) ? 3 : -3});
+  }
+  CnfFormula f = Parse(3, clauses);
+  ASSERT_FALSE(DpllSolver().Solve(f).has_value());
+
+  QuerySet set;
+  Database db;
+  Theorem1Encoding enc = EncodeTheorem1(f, &set, &db);
+  GenericSolver solver(&db);
+  auto result = solver.FindContaining(set, enc.clause_query);
+  EXPECT_TRUE(result.status().IsNotFound()) << result.status();
+}
+
+TEST(Theorem1Test, NonemptyCoordinatingSetsAllContainClauseQuery) {
+  // Any coordinating set must contain the Clause-Query (Appendix A):
+  // check by asking the generic solver for a set around a val-query.
+  CnfFormula g = Parse(3, {{1, 2, 3}});
+  QuerySet set;
+  Database db;
+  Theorem1Encoding enc = EncodeTheorem1(g, &set, &db);
+  GenericSolver solver(&db);
+  auto result = solver.FindContaining(set, enc.val_queries[0]);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->Contains(enc.clause_query));
+  EXPECT_TRUE(ValidateSolution(db, set, *result).ok());
+}
+
+TEST(Theorem1Test, TrueAndFalseQueriesAreMutuallyExclusive) {
+  CnfFormula f = Parse(2, {{1, 2, -1}});
+  QuerySet set;
+  Database db;
+  Theorem1Encoding enc = EncodeTheorem1(f, &set, &db);
+  GenericSolver solver(&db);
+  auto result = solver.FindContaining(set, enc.clause_query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (int v = 0; v < 2; ++v) {
+    bool has_true = result->Contains(enc.true_queries[v]);
+    bool has_false = result->Contains(enc.false_queries[v]);
+    EXPECT_FALSE(has_true && has_false)
+        << "x" << (v + 1) << " chosen both true and false";
+  }
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,82 @@
+#include "workload/consistent_workloads.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace entangled {
+namespace {
+
+TEST(ConsistentWorkloadTest, DistinctFlightsHaveDistinctCoordPairs) {
+  Database db;
+  ASSERT_TRUE(InstallDistinctFlightsTable(&db, "Flights", 250).ok());
+  const Relation* flights = db.Find("Flights");
+  ASSERT_NE(flights, nullptr);
+  EXPECT_EQ(flights->size(), 250u);
+  EXPECT_EQ(flights->arity(), 5u);
+  // (destination, day) pairs are all distinct: |groups| == |rows|.
+  EXPECT_EQ(flights->GroupBy({1, 2}).size(), 250u);
+}
+
+TEST(ConsistentWorkloadTest, GridCoversCrossProduct) {
+  Database db;
+  ASSERT_TRUE(InstallFlightsGrid(&db, "Flights", {"A", "B", "C"},
+                                 {"d1", "d2"}, 4, {"NYC"}, {"Air"})
+                  .ok());
+  const Relation* flights = db.Find("Flights");
+  EXPECT_EQ(flights->size(), 3u * 2u * 4u);
+  EXPECT_EQ(flights->GroupBy({1, 2}).size(), 6u);
+  for (const auto& [key, rows] : flights->GroupBy({1, 2})) {
+    EXPECT_EQ(rows.size(), 4u);
+  }
+}
+
+TEST(ConsistentWorkloadTest, GridRejectsEmptyPools) {
+  Database db;
+  EXPECT_TRUE(InstallFlightsGrid(&db, "Flights", {}, {"d"}, 1, {"s"},
+                                 {"a"})
+                  .IsInvalidArgument());
+}
+
+TEST(ConsistentWorkloadTest, CompleteFriendsHasAllPairs) {
+  Database db;
+  auto users = MakeUserNames(5);
+  ASSERT_TRUE(InstallCompleteFriends(&db, "Friends", users).ok());
+  const Relation* friends = db.Find("Friends");
+  EXPECT_EQ(friends->size(), 5u * 4u);
+  // No self-friendship.
+  for (const Tuple& row : friends->rows()) {
+    EXPECT_NE(row[0], row[1]);
+  }
+}
+
+TEST(ConsistentWorkloadTest, UserNamesAreSequential) {
+  auto users = MakeUserNames(3);
+  EXPECT_EQ(users,
+            (std::vector<std::string>{"user0", "user1", "user2"}));
+}
+
+TEST(ConsistentWorkloadTest, WorstCaseQueriesAreAllWildcards) {
+  auto queries = MakeWorstCaseConsistentQueries(4, 4);
+  ASSERT_EQ(queries.size(), 4u);
+  for (const ConsistentQuery& q : queries) {
+    EXPECT_EQ(q.self_spec.size(), 4u);
+    for (const auto& spec : q.self_spec) {
+      EXPECT_FALSE(spec.has_value());
+    }
+    ASSERT_EQ(q.partners.size(), 1u);
+    EXPECT_TRUE(q.partners[0].is_friend_variable());
+  }
+}
+
+TEST(ConsistentWorkloadTest, FlightSchemaCoordinatesOnDestinationDay) {
+  ConsistentSchema schema = MakeFlightSchema("Flights", "Friends");
+  EXPECT_EQ(schema.thing_relation, "Flights");
+  EXPECT_EQ(schema.friends_relation, "Friends");
+  EXPECT_EQ(schema.coordination_attrs, (std::vector<size_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,96 @@
+#include "workload/entangled_workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "core/coordination_graph.h"
+#include "core/properties.h"
+#include "db/evaluator.h"
+#include "graph/generators.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 128).ok());
+  }
+  Database db_;
+};
+
+TEST_F(WorkloadTest, ListWorkloadShape) {
+  QuerySet set;
+  std::vector<QueryId> ids = MakeListWorkload(5, "Users", &set);
+  ASSERT_EQ(ids.size(), 5u);
+  // Query i coordinates with i+1; the last with nobody.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(set.query(ids[static_cast<size_t>(i)]).postconditions.size(),
+              1u);
+  }
+  EXPECT_TRUE(set.query(ids[4]).postconditions.empty());
+}
+
+TEST_F(WorkloadTest, ListWorkloadGraphIsChain) {
+  QuerySet set;
+  MakeListWorkload(6, "Users", &set);
+  Digraph graph = BuildCoordinationGraph(set);
+  EXPECT_EQ(graph.num_edges(), 5);
+  for (NodeId i = 0; i + 1 < 6; ++i) {
+    EXPECT_TRUE(graph.HasEdge(i, i + 1));
+  }
+}
+
+TEST_F(WorkloadTest, BodiesAreSatisfiable) {
+  QuerySet set;
+  MakeListWorkload(8, "Users", &set);
+  Evaluator evaluator(&db_);
+  for (const EntangledQuery& q : set.queries()) {
+    EXPECT_TRUE(evaluator.Satisfiable(q.body)) << q.name;
+  }
+}
+
+TEST_F(WorkloadTest, WorkloadIsSafe) {
+  QuerySet set;
+  Rng rng(3);
+  MakeScaleFreeWorkload(30, 2, "Users", &rng, &set);
+  EXPECT_TRUE(IsSafeSet(set));
+}
+
+TEST_F(WorkloadTest, ScaleFreeGraphReproducedExactly) {
+  Rng rng_graph(11);
+  Digraph expected = MakeScaleFree(20, 2, &rng_graph);
+  Rng rng_workload(11);
+  QuerySet set;
+  MakeScaleFreeWorkload(20, 2, "Users", &rng_workload, &set);
+  Digraph actual = BuildCoordinationGraph(set);
+  ASSERT_EQ(actual.num_nodes(), expected.num_nodes());
+  for (NodeId u = 0; u < expected.num_nodes(); ++u) {
+    for (NodeId v : expected.Successors(u)) {
+      EXPECT_TRUE(actual.HasEdge(u, v)) << u << "->" << v;
+    }
+    EXPECT_EQ(actual.OutDegree(u), expected.OutDegree(u));
+  }
+}
+
+TEST_F(WorkloadTest, CycleWorkloadIsUnique) {
+  QuerySet set;
+  MakeCycleWorkload(5, "Users", &set);
+  EXPECT_TRUE(IsSafeSet(set));
+  EXPECT_TRUE(IsUniqueSet(set));
+}
+
+TEST_F(WorkloadTest, StructuredWorkloadHonoursArbitraryGraphs) {
+  Digraph structure(3);
+  structure.AddEdge(0, 2);
+  structure.AddEdge(2, 0);
+  QuerySet set;
+  MakeStructuredWorkload(structure, "Users", &set);
+  Digraph graph = BuildCoordinationGraph(set);
+  EXPECT_TRUE(graph.HasEdge(0, 2));
+  EXPECT_TRUE(graph.HasEdge(2, 0));
+  EXPECT_EQ(graph.num_edges(), 2);
+}
+
+}  // namespace
+}  // namespace entangled

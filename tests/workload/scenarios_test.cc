@@ -1,0 +1,96 @@
+#include "workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/consistent.h"
+#include "core/properties.h"
+
+namespace entangled {
+namespace {
+
+TEST(FlightHotelScenarioTest, MatchesFigure1Text) {
+  Database db;
+  QuerySet set;
+  FlightHotelIds ids = BuildFlightHotelScenario(&db, &set);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_EQ(set.QueryToString(ids.qc),
+            "qC: {R('G', x1)} R('C', x1), Q('C', x2) :- F(x1, x), "
+            "H(x2, x).");
+  EXPECT_EQ(set.QueryToString(ids.qg),
+            "qG: {R('C', y1), Q('C', y2)} R('G', y1), Q('G', y2) :- "
+            "F(y1, 'Paris'), H(y2, 'Paris').");
+  EXPECT_TRUE(set.CheckWellFormed(db).ok());
+  EXPECT_TRUE(IsSafeSet(set));
+  EXPECT_FALSE(IsUniqueSet(set));
+}
+
+TEST(FlightHotelScenarioTest, DatabaseHasFlightsAndHotels) {
+  Database db;
+  QuerySet set;
+  BuildFlightHotelScenario(&db, &set);
+  EXPECT_TRUE(db.Contains("F"));
+  EXPECT_TRUE(db.Contains("H"));
+  EXPECT_GT(db.Find("F")->size(), 0u);
+  // Paris has both a flight and a hotel (so qC+qG can succeed).
+  EXPECT_TRUE(db.Find("F")->AnyMatch({std::nullopt, Value::Str("Paris")}));
+  EXPECT_TRUE(db.Find("H")->AnyMatch({std::nullopt, Value::Str("Paris")}));
+}
+
+TEST(MovieScenarioTest, TablesMatchSection5) {
+  Database db;
+  MovieScenario scenario = BuildMovieScenario(&db);
+  // Friendships as listed: Chris: Jonny, Guy; etc.
+  const Relation* friends = db.Find("C");
+  ASSERT_NE(friends, nullptr);
+  EXPECT_EQ(friends->size(), 8u);
+  EXPECT_TRUE(friends->AnyMatch({Value::Str("Jonny"), Value::Str("Will")}));
+  EXPECT_FALSE(friends->AnyMatch({Value::Str("Jonny"), Value::Str("Guy")}));
+  // Hugo plays at three cinemas.
+  const Relation* movies = db.Find("M");
+  EXPECT_EQ(movies->Probe(2, Value::Str("Hugo")).size(), 3u);
+  // Four queries: Chris, Guy, Jonny, Will.
+  ASSERT_EQ(scenario.queries.size(), 4u);
+  EXPECT_EQ(scenario.queries[0].user, "Chris");
+  EXPECT_FALSE(scenario.queries[0].partners[0].is_friend_variable());
+  EXPECT_EQ(scenario.queries[0].partners[0].user, "Will");
+  EXPECT_TRUE(scenario.queries[3].partners[0].is_friend_variable());
+  EXPECT_EQ(scenario.schema.coordination_attrs, (std::vector<size_t>{1}));
+}
+
+TEST(ConcertScenarioTest, BuildsConsistentInstance) {
+  Database db;
+  Rng rng(42);
+  ConcertScenario scenario = BuildConcertScenario(&db, 8, &rng);
+  EXPECT_EQ(scenario.queries.size(), 8u);
+  EXPECT_EQ(scenario.fans.size(), 8u);
+  ASSERT_TRUE(db.Contains("Flights"));
+  ASSERT_TRUE(db.Contains("Fans"));
+  // Every fan has a home-city constraint (source, non-coordination).
+  for (const ConsistentQuery& q : scenario.queries) {
+    EXPECT_TRUE(q.self_spec[2].has_value());
+    ASSERT_EQ(q.partners.size(), 1u);
+    EXPECT_TRUE(q.partners[0].is_friend_variable());
+  }
+  ConsistentCoordinator coordinator(&db, scenario.schema);
+  EXPECT_TRUE(coordinator.ValidateInput(scenario.queries).ok());
+}
+
+TEST(ConcertScenarioTest, CoordinationSucceedsForUnpinnedFans) {
+  Database db;
+  Rng rng(7);
+  ConcertScenario scenario = BuildConcertScenario(&db, 6, &rng);
+  ConsistentCoordinator coordinator(&db, scenario.schema);
+  auto result = coordinator.Solve(scenario.queries);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->size(), 2u);
+  // The agreed value is a (destination, day) pair over the tour stops.
+  ASSERT_EQ(result->agreed_value.size(), 2u);
+  bool known_stop = false;
+  for (const std::string& stop : scenario.tour_stops) {
+    if (result->agreed_value[0] == Value::Str(stop)) known_stop = true;
+  }
+  EXPECT_TRUE(known_stop);
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,41 @@
+#include "workload/social_data.h"
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(SocialDataTest, InstallsRequestedRows) {
+  Database db;
+  ASSERT_TRUE(InstallSocialTable(&db, "Users", 100).ok());
+  const Relation* users = db.Find("Users");
+  ASSERT_NE(users, nullptr);
+  EXPECT_EQ(users->size(), 100u);
+  EXPECT_EQ(users->arity(), 2u);
+  EXPECT_EQ(users->row(7)[0], Value::Int(7));
+  EXPECT_EQ(users->row(7)[1], Value::Str("user7"));
+}
+
+TEST(SocialDataTest, HandlesAreUnique) {
+  Database db;
+  ASSERT_TRUE(InstallSocialTable(&db, "Users", 500).ok());
+  EXPECT_EQ(db.Find("Users")->DistinctValues(1).size(), 500u);
+}
+
+TEST(SocialDataTest, HandleHelperMatchesTable) {
+  EXPECT_EQ(SocialHandle(0), "user0");
+  EXPECT_EQ(SocialHandle(82167), "user82167");
+}
+
+TEST(SocialDataTest, DuplicateInstallRejected) {
+  Database db;
+  ASSERT_TRUE(InstallSocialTable(&db, "Users", 10).ok());
+  EXPECT_TRUE(InstallSocialTable(&db, "Users", 10).IsAlreadyExists());
+}
+
+TEST(SocialDataTest, PaperScaleConstant) {
+  EXPECT_EQ(kSlashdotTableSize, 82168u);
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,187 @@
+// entangled_cli — batch driver for entangled-query coordination.
+//
+//   entangled_cli --data instance.edb --queries requests.eq
+//                 [--algorithm scc|gupta|generic|single] [--quiet]
+//
+// Loads a database (db/loader.h format), parses entangled queries in
+// the paper's syntax (core/parser.h), runs the chosen coordination
+// algorithm, independently validates the result against Definition 1,
+// and prints each participant's grounded answers.
+//
+// Exit codes: 0 = coordinating set found; 2 = none exists;
+//             1 = usage/parse/validation error.
+
+#include <iostream>
+#include <string>
+
+#include "algo/generic_solver.h"
+#include "algo/gupta_baseline.h"
+#include "algo/scc_coordination.h"
+#include "algo/single_connected.h"
+#include "core/parser.h"
+#include "core/properties.h"
+#include "core/validator.h"
+#include "db/loader.h"
+
+namespace {
+
+using namespace entangled;
+
+struct CliOptions {
+  std::string data_path;
+  std::string queries_path;
+  std::string algorithm = "scc";
+  bool quiet = false;
+};
+
+void PrintUsage() {
+  std::cerr
+      << "usage: entangled_cli --data FILE.edb --queries FILE.eq\n"
+      << "                     [--algorithm scc|gupta|generic|single]\n"
+      << "                     [--quiet]\n\n"
+      << "  --data       database instance (relation blocks; see docs)\n"
+      << "  --queries    entangled queries, one '{P} H :- B.' each\n"
+      << "  --algorithm  scc      SCC Coordination Algorithm (default;\n"
+      << "                        safe sets, uniqueness not required)\n"
+      << "               gupta    Gupta et al. baseline (safe + unique)\n"
+      << "               generic  complete exponential search (any set)\n"
+      << "               single   single-connected solver (Theorem 3)\n"
+      << "  --quiet      print only the coordinating set\n";
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--data") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->data_path = v;
+    } else if (arg == "--queries") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->queries_path = v;
+    } else if (arg == "--algorithm") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->algorithm = v;
+    } else if (arg == "--quiet") {
+      options->quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return !options->data_path.empty() && !options->queries_path.empty();
+}
+
+Result<CoordinationSolution> RunAlgorithm(const CliOptions& options,
+                                          const Database& db,
+                                          const QuerySet& queries,
+                                          std::string* stats_line) {
+  if (options.algorithm == "scc") {
+    SccCoordinator solver(&db);
+    auto result = solver.Solve(queries);
+    *stats_line = solver.stats().ToString();
+    return result;
+  }
+  if (options.algorithm == "gupta") {
+    GuptaBaseline solver(&db);
+    auto result = solver.Solve(queries);
+    *stats_line = solver.stats().ToString();
+    return result;
+  }
+  if (options.algorithm == "generic") {
+    GenericSolver solver(&db);
+    auto result = solver.FindAny(queries);
+    *stats_line = solver.stats().ToString();
+    return result;
+  }
+  if (options.algorithm == "single") {
+    SingleConnectedSolver solver(&db);
+    auto result = solver.Solve(queries);
+    *stats_line = solver.stats().ToString();
+    return result;
+  }
+  return Status::InvalidArgument("unknown algorithm '", options.algorithm,
+                                 "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 1;
+  }
+
+  Database db;
+  if (Status status = LoadDatabaseFile(options.data_path, &db);
+      !status.ok()) {
+    std::cerr << options.data_path << ": " << status << "\n";
+    return 1;
+  }
+
+  auto query_text = ReadFileToString(options.queries_path);
+  if (!query_text.ok()) {
+    std::cerr << options.queries_path << ": " << query_text.status()
+              << "\n";
+    return 1;
+  }
+  QuerySet queries;
+  auto ids = ParseQueries(*query_text, &queries);
+  if (!ids.ok()) {
+    std::cerr << options.queries_path << ": " << ids.status() << "\n";
+    return 1;
+  }
+  if (Status status = queries.CheckWellFormed(db); !status.ok()) {
+    std::cerr << "ill-formed queries: " << status << "\n";
+    return 1;
+  }
+
+  if (!options.quiet) {
+    std::cout << "database: " << db.relation_count() << " relations, "
+              << db.TotalRows() << " tuples\n"
+              << "queries:  " << queries.size() << " ("
+              << (IsSafeSet(queries) ? "safe" : "UNSAFE") << ", "
+              << (IsUniqueSet(queries) ? "unique" : "not unique")
+              << ")\n\n";
+  }
+
+  std::string stats_line;
+  auto solution = RunAlgorithm(options, db, queries, &stats_line);
+  if (!solution.ok()) {
+    if (solution.status().IsNotFound()) {
+      std::cout << "no coordinating set: " << solution.status().message()
+                << "\n";
+      return 2;
+    }
+    std::cerr << "error: " << solution.status() << "\n";
+    return 1;
+  }
+
+  if (Status valid = ValidateSolution(db, queries, *solution);
+      !valid.ok()) {
+    std::cerr << "INTERNAL ERROR: solver returned an invalid solution: "
+              << valid << "\n";
+    return 1;
+  }
+
+  std::cout << "coordinating set: "
+            << SolutionToString(queries, *solution) << "\n";
+  if (!options.quiet) {
+    for (QueryId id : solution->queries) {
+      for (const Atom& answer : solution->GroundedHeads(queries, id)) {
+        std::cout << "  " << queries.query(id).name << " <- " << answer
+                  << "\n";
+      }
+    }
+    std::cout << "stats: " << stats_line << "\n";
+  }
+  return 0;
+}
