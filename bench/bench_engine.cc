@@ -51,6 +51,7 @@ struct Outcome {
   double ms;
   uint64_t sets;
   uint64_t evaluations;
+  uint64_t db_queries;
 };
 
 Outcome RunEager(const std::vector<std::string>& arrivals) {
@@ -61,7 +62,7 @@ Outcome RunEager(const std::vector<std::string>& arrivals) {
     ENTANGLED_CHECK(id.ok()) << id.status();
   }
   return {timer.ElapsedMillis(), engine.stats().coordinating_sets,
-          engine.stats().evaluations};
+          engine.stats().evaluations, engine.stats().db_queries};
 }
 
 Outcome RunBatched(const std::vector<std::string>& arrivals) {
@@ -75,7 +76,7 @@ Outcome RunBatched(const std::vector<std::string>& arrivals) {
   }
   engine.Flush();
   return {timer.ElapsedMillis(), engine.stats().coordinating_sets,
-          engine.stats().evaluations};
+          engine.stats().evaluations, engine.stats().db_queries};
 }
 
 void PrintPaperSeries() {
@@ -94,6 +95,22 @@ void PrintPaperSeries() {
     const double n = 2.0 * pairs;
     benchutil::PrintRow({static_cast<double>(pairs), eager.ms, batched.ms,
                          n / (eager.ms / 1e3), n / (batched.ms / 1e3)});
+    // Machine-readable record for perf-trajectory tracking: ops/sec
+    // plus the paper's hardware-independent cost (db round-trips).
+    benchutil::PrintJsonRecord(
+        "engine_eager",
+        {{"num_pairs", static_cast<double>(pairs)},
+         {"ms", eager.ms},
+         {"qps", n / (eager.ms / 1e3)},
+         {"evaluations", static_cast<double>(eager.evaluations)},
+         {"db_queries", static_cast<double>(eager.db_queries)}});
+    benchutil::PrintJsonRecord(
+        "engine_batched",
+        {{"num_pairs", static_cast<double>(pairs)},
+         {"ms", batched.ms},
+         {"qps", n / (batched.ms / 1e3)},
+         {"evaluations", static_cast<double>(batched.evaluations)},
+         {"db_queries", static_cast<double>(batched.db_queries)}});
   }
   benchutil::PrintNote(
       "both modes deliver every pair; eager retires pairs on arrival and "

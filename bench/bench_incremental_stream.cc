@@ -1,0 +1,188 @@
+// Streaming-engine throughput: incremental coordination core versus
+// the from-scratch-rebuild reference path.
+//
+// Scenario: a backlog of `pending` stuck queries (each waiting on a
+// postcondition nobody answers — the §6.1 steady state of requests that
+// have not coordinated yet) sits in the engine while a stream of
+// mutually-entangled pairs arrives under the eager per-arrival policy.
+// The incremental core admits an arrival through its per-relation
+// unification index and evaluates just the arrival's component (a
+// union-find lookup); the reference path rebuilds the coordination
+// graph over the whole pending set for every arrival, which is
+// O(pending²) atom-pair work per submission.
+//
+// A second series measures Flush() fan-out: N independent coordinating
+// components evaluated by 1 vs. several worker threads.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "system/engine.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+constexpr size_t kSocialRows = 4096;
+
+const Database& SocialDb() {
+  static Database* db = [] {
+    auto* database = new Database();
+    ENTANGLED_CHECK(InstallSocialTable(database, "Users", kSocialRows).ok());
+    return database;
+  }();
+  return *db;
+}
+
+std::string StuckQuery(size_t i) {
+  return "w" + std::to_string(i) + ": { Dead" + std::to_string(i) +
+         "(m) } W" + std::to_string(i) + "(s) :- Users(s, 'user" +
+         std::to_string(i % 97) + "').";
+}
+
+/// Pair i coordinates with itself through answer relation P{i}.
+std::vector<std::string> PairQueries(size_t i) {
+  const std::string rel = "P" + std::to_string(i);
+  const std::string handle = "'user" + std::to_string(i % 97) + "'";
+  return {
+      "a" + std::to_string(i) + ": { " + rel + "(Bob, x) } " + rel +
+          "(Alice, x) :- Users(x, " + handle + ").",
+      "b" + std::to_string(i) + ": { " + rel + "(Alice, y) } " + rel +
+          "(Bob, y) :- Users(y, " + handle + ").",
+  };
+}
+
+struct StreamOutcome {
+  double seconds = 0;
+  size_t arrivals = 0;
+  uint64_t sets = 0;
+  uint64_t db_queries = 0;
+  double qps() const { return arrivals / seconds; }
+};
+
+/// Preloads the stuck backlog without evaluation, switches to the eager
+/// per-arrival policy, then streams pair arrivals until `max_arrivals`
+/// or the time budget runs out (the rebuild path is far too slow to
+/// stream thousands of arrivals at a 10k backlog).
+StreamOutcome RunStream(bool incremental, size_t pending,
+                        size_t max_arrivals, double budget_seconds) {
+  EngineOptions options;
+  options.incremental = incremental;
+  options.evaluate_every = 0;
+  CoordinationEngine engine(&SocialDb(), options);
+  for (size_t i = 0; i < pending; ++i) {
+    auto id = engine.Submit(StuckQuery(i));
+    ENTANGLED_CHECK(id.ok()) << id.status();
+  }
+  engine.set_evaluate_every(1);
+
+  StreamOutcome outcome;
+  const uint64_t db_before = engine.stats().db_queries;
+  WallTimer timer;
+  size_t pair = 0;
+  while (outcome.arrivals < max_arrivals &&
+         (outcome.arrivals < 2 ||
+          timer.ElapsedSeconds() < budget_seconds)) {
+    for (const std::string& text : PairQueries(pair++)) {
+      auto id = engine.Submit(text);
+      ENTANGLED_CHECK(id.ok()) << id.status();
+      ++outcome.arrivals;
+    }
+  }
+  outcome.seconds = timer.ElapsedSeconds();
+  outcome.sets = engine.stats().coordinating_sets;
+  outcome.db_queries = engine.stats().db_queries - db_before;
+  ENTANGLED_CHECK_EQ(outcome.sets, static_cast<uint64_t>(pair))
+      << "every pair must coordinate on its second arrival";
+  ENTANGLED_CHECK_EQ(engine.PendingQueries().size(), pending)
+      << "the stuck backlog must survive untouched";
+  return outcome;
+}
+
+void StreamSeries() {
+  benchutil::PrintSeriesHeader(
+      "Incremental stream: sustained submissions/sec vs pending backlog, "
+      "eager per-arrival evaluation",
+      {"pending", "incremental_qps", "rebuild_qps", "speedup"});
+  double speedup_at_10k = 0;
+  for (size_t pending : {size_t{1000}, size_t{10000}}) {
+    StreamOutcome fast = RunStream(/*incremental=*/true, pending,
+                                   /*max_arrivals=*/2000,
+                                   /*budget_seconds=*/5.0);
+    StreamOutcome slow = RunStream(/*incremental=*/false, pending,
+                                   /*max_arrivals=*/2000,
+                                   /*budget_seconds=*/2.0);
+    const double speedup = fast.qps() / slow.qps();
+    if (pending == 10000) speedup_at_10k = speedup;
+    benchutil::PrintRow({static_cast<double>(pending), fast.qps(),
+                         slow.qps(), speedup});
+    benchutil::PrintJsonRecord(
+        "incremental_stream",
+        {{"pending", static_cast<double>(pending)},
+         {"incremental_qps", fast.qps()},
+         {"incremental_arrivals", static_cast<double>(fast.arrivals)},
+         {"incremental_db_queries", static_cast<double>(fast.db_queries)},
+         {"rebuild_qps", slow.qps()},
+         {"rebuild_arrivals", static_cast<double>(slow.arrivals)},
+         {"rebuild_db_queries", static_cast<double>(slow.db_queries)},
+         {"speedup", speedup}});
+  }
+  benchutil::PrintNote(
+      "the reference path rebuilds the coordination graph over the whole "
+      "pending set per arrival; the incremental index touches only the "
+      "arrival's relation buckets and component");
+  ENTANGLED_CHECK_GE(speedup_at_10k, 5.0)
+      << "incremental core must beat the from-scratch rebuild by >= 5x "
+         "sustained submissions/sec at a 10k pending backlog";
+}
+
+void ParallelFlushSeries() {
+  benchutil::PrintSeriesHeader(
+      "Parallel flush: N independent coordinating pairs per flush, "
+      "1 vs 4 worker threads",
+      {"components", "t1_ms", "t4_ms", "t1_qps", "t4_qps"});
+  for (size_t components : {size_t{64}, size_t{256}}) {
+    double ms[2];
+    for (size_t mode = 0; mode < 2; ++mode) {
+      EngineOptions options;
+      options.evaluate_every = 0;
+      options.flush_threads = mode == 0 ? 1 : 4;
+      CoordinationEngine engine(&SocialDb(), options);
+      for (size_t i = 0; i < components; ++i) {
+        for (const std::string& text : PairQueries(i)) {
+          ENTANGLED_CHECK(engine.Submit(text).ok());
+        }
+      }
+      WallTimer timer;
+      size_t delivered = engine.Flush();
+      ms[mode] = timer.ElapsedMillis();
+      ENTANGLED_CHECK_EQ(delivered, components);
+    }
+    const double n = static_cast<double>(2 * components);
+    benchutil::PrintRow({static_cast<double>(components), ms[0], ms[1],
+                         n / (ms[0] / 1e3), n / (ms[1] / 1e3)});
+    benchutil::PrintJsonRecord(
+        "parallel_flush",
+        {{"components", static_cast<double>(components)},
+         {"t1_ms", ms[0]},
+         {"t4_ms", ms[1]},
+         {"t1_qps", n / (ms[0] / 1e3)},
+         {"t4_qps", n / (ms[1] / 1e3)}});
+  }
+  benchutil::PrintNote(
+      "disjoint dirty components evaluate on the pool; results apply in "
+      "deterministic component order, so outputs match the serial flush "
+      "bit for bit (gains require hardware parallelism)");
+}
+
+}  // namespace
+}  // namespace entangled
+
+int main() {
+  entangled::StreamSeries();
+  entangled::ParallelFlushSeries();
+  return 0;
+}

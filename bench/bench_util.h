@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/timer.h"
@@ -49,6 +50,28 @@ inline void PrintRow(const std::vector<double>& values) {
 
 inline void PrintNote(const std::string& note) {
   std::printf("# %s\n", note.c_str());
+}
+
+/// Emits one machine-readable JSON record per line, tagged BENCH_JSON
+/// so perf-tracking tooling can grep it out of the human-readable
+/// output:
+///
+///   BENCH_JSON {"bench":"engine_eager","num_pairs":25,"qps":123.4}
+///
+/// Integral-looking values print without decimals (matching PrintRow).
+inline void PrintJsonRecord(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::printf("BENCH_JSON {\"bench\":\"%s\"", bench.c_str());
+  for (const auto& [key, value] : fields) {
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      std::printf(",\"%s\":%lld", key.c_str(),
+                  static_cast<long long>(value));
+    } else {
+      std::printf(",\"%s\":%.4f", key.c_str(), value);
+    }
+  }
+  std::printf("}\n");
 }
 
 }  // namespace benchutil

@@ -7,7 +7,6 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/coordination_graph.h"
-#include "core/properties.h"
 #include "core/unify.h"
 #include "db/evaluator.h"
 #include "graph/condensation.h"
@@ -56,21 +55,33 @@ SccCoordinator::SccCoordinator(const Database* db, SccOptions options)
 }
 
 Result<CoordinationSolution> SccCoordinator::Solve(const QuerySet& set) {
+  WallTimer total_timer;
+  WallTimer graph_timer;
   stats_.Reset();
   successful_sets_.clear();
   if (set.empty()) {
     return Status::NotFound("no coordinating set: the query set is empty");
   }
+  // ---- Graph construction (measured for Figure 6) ----
+  ExtendedCoordinationGraph ecg(set);
+  return SolveWithEdges(set, ecg.edges(), total_timer, graph_timer);
+}
+
+Result<CoordinationSolution> SccCoordinator::Solve(
+    const QuerySet& set, const std::vector<ExtendedEdge>& edges) {
   WallTimer total_timer;
   WallTimer graph_timer;
-
-  // ---- Graph construction & preprocessing (measured for Figure 6) ----
-  ExtendedCoordinationGraph ecg(set);
-  if (options_.check_safety && !IsSafeSet(set, ecg)) {
-    return Status::FailedPrecondition(
-        "the query set is not safe (Definition 2); use GenericSolver or "
-        "ConsistentCoordinator for unsafe sets");
+  stats_.Reset();
+  successful_sets_.clear();
+  if (set.empty()) {
+    return Status::NotFound("no coordinating set: the query set is empty");
   }
+  return SolveWithEdges(set, edges, total_timer, graph_timer);
+}
+
+Result<CoordinationSolution> SccCoordinator::SolveWithEdges(
+    const QuerySet& set, const std::vector<ExtendedEdge>& edges,
+    const WallTimer& total_timer, const WallTimer& graph_timer) {
   const QueryId n = static_cast<QueryId>(set.size());
 
   // Per-postcondition target lists, and pre-cleaning: a query whose
@@ -82,9 +93,22 @@ Result<CoordinationSolution> SccCoordinator::Solve(const QuerySet& set) {
     const EntangledQuery& query = set.query(q);
     post_targets[static_cast<size_t>(q)].resize(query.postconditions.size());
   }
-  for (const ExtendedEdge& edge : ecg.edges()) {
+  for (const ExtendedEdge& edge : edges) {
     post_targets[static_cast<size_t>(edge.from)][edge.post_index].push_back(
         edge.to);
+  }
+  if (options_.check_safety) {
+    // Definition 2 straight off the edge multiplicities: a postcondition
+    // unifying with more than one head in the set breaks safety.
+    for (QueryId q = 0; q < n; ++q) {
+      for (const auto& targets : post_targets[static_cast<size_t>(q)]) {
+        if (targets.size() > 1) {
+          return Status::FailedPrecondition(
+              "the query set is not safe (Definition 2); use GenericSolver "
+              "or ConsistentCoordinator for unsafe sets");
+        }
+      }
+    }
   }
   std::vector<bool> alive(static_cast<size_t>(n), true);
   if (options_.prune_postconditions) {
@@ -114,7 +138,7 @@ Result<CoordinationSolution> SccCoordinator::Solve(const QuerySet& set) {
   // Coordination graph restricted to live queries (dead queries stay as
   // isolated vertices and their singleton components are skipped below).
   Digraph graph(n);
-  for (const ExtendedEdge& edge : ecg.edges()) {
+  for (const ExtendedEdge& edge : edges) {
     if (alive[static_cast<size_t>(edge.from)] &&
         alive[static_cast<size_t>(edge.to)]) {
       graph.AddEdgeUnique(edge.from, edge.to);
@@ -139,8 +163,11 @@ Result<CoordinationSolution> SccCoordinator::Solve(const QuerySet& set) {
   std::vector<std::vector<QueryId>> reach(
       static_cast<size_t>(num_components));
 
+  // Database round-trips are tallied locally (not by diffing the shared
+  // Database counters) so concurrent Solve calls — the engine's parallel
+  // Flush() evaluates disjoint components on worker threads — attribute
+  // their own work exactly.
   Evaluator evaluator(db_);
-  const uint64_t db_queries_before = db_->stats().conjunctive_queries;
 
   struct Best {
     std::vector<QueryId> queries;
@@ -236,6 +263,7 @@ Result<CoordinationSolution> SccCoordinator::Solve(const QuerySet& set) {
         }
       }
     }
+    ++stats_.db_queries;
     std::optional<Binding> witness = evaluator.FindOne(body);
     if (!witness.has_value()) {
       failed[static_cast<size_t>(c)] = true;
@@ -248,7 +276,6 @@ Result<CoordinationSolution> SccCoordinator::Solve(const QuerySet& set) {
     }
   }
 
-  stats_.db_queries = db_->stats().conjunctive_queries - db_queries_before;
   stats_.total_seconds = total_timer.ElapsedSeconds();
 
   if (!best.has_value()) {

@@ -6,6 +6,8 @@
 
 #include "algo/stats.h"
 #include "common/result.h"
+#include "common/timer.h"
+#include "core/coordination_graph.h"
 #include "core/grounding.h"
 #include "core/query.h"
 #include "db/database.h"
@@ -76,6 +78,22 @@ class SccCoordinator {
   ///  * FailedPrecondition — the set is unsafe (when check_safety).
   Result<CoordinationSolution> Solve(const QuerySet& set);
 
+  /// Same, but over a caller-supplied extended coordination graph view:
+  /// `edges` must be exactly the unifiable (postcondition, head) pairs
+  /// of `set` (e.g. sliced out of an incremental
+  /// ExtendedCoordinationGraph, core/coordination_graph.h).  Skips the
+  /// quadratic graph rebuild — the streaming engine's per-component
+  /// evaluations stop re-deriving edges its persistent index already
+  /// knows.  Safety is still checked from the edge multiplicities when
+  /// options.check_safety, and for safe sets edge order does not affect
+  /// the result (each postcondition has at most one target).  Callers
+  /// that disable the safety check and pass an *unsafe* set should
+  /// supply edges in the batch constructor's (from, post_index, to,
+  /// head_index) lexicographic order to match Solve(set) exactly, since
+  /// an ambiguous postcondition resolves to its first listed target.
+  Result<CoordinationSolution> Solve(const QuerySet& set,
+                                     const std::vector<ExtendedEdge>& edges);
+
   /// Work counters of the last Solve call.
   const SolverStats& stats() const { return stats_; }
 
@@ -88,6 +106,12 @@ class SccCoordinator {
   }
 
  private:
+  /// Shared pipeline behind both Solve overloads; `graph_timer` covers
+  /// whatever graph work already happened (batch ECG construction).
+  Result<CoordinationSolution> SolveWithEdges(
+      const QuerySet& set, const std::vector<ExtendedEdge>& edges,
+      const WallTimer& total_timer, const WallTimer& graph_timer);
+
   const Database* db_;
   SccOptions options_;
   SolverStats stats_;

@@ -1,0 +1,57 @@
+#ifndef ENTANGLED_COMMON_ATOMIC_COUNTER_H_
+#define ENTANGLED_COMMON_ATOMIC_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace entangled {
+
+/// \brief A copyable uint64 counter with relaxed-atomic increments.
+///
+/// Stat structs (DatabaseStats in particular) are bumped from const
+/// query-evaluation paths that may run on several worker threads at once
+/// — the engine's parallel Flush() and ConsistentCoordinator's per-value
+/// cleaning loop both evaluate against one shared read-only Database.
+/// The counters are monotone tallies with no cross-counter invariants,
+/// so relaxed ordering suffices; the type mimics a plain uint64_t
+/// (implicit conversion, ++, +=, =) to keep call sites unchanged.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t value = 0) : value_(value) {}  // NOLINT: implicit
+
+  RelaxedCounter(const RelaxedCounter& other) : value_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t value) {
+    store(value);
+    return *this;
+  }
+
+  uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+  void store(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  uint64_t operator++() {
+    return value_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  uint64_t operator++(int) {
+    return value_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RelaxedCounter& operator+=(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Reads as a plain integer anywhere one is expected.
+  operator uint64_t() const { return load(); }  // NOLINT: implicit
+
+ private:
+  std::atomic<uint64_t> value_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_ATOMIC_COUNTER_H_

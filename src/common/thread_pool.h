@@ -1,0 +1,105 @@
+#ifndef ENTANGLED_COMMON_THREAD_POOL_H_
+#define ENTANGLED_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+/// \brief A fixed-size pool of worker threads draining a FIFO task
+/// queue.
+///
+/// Deliberately minimal: the engine's parallel Flush() (and any future
+/// fan-out work) needs "run these independent closures on N threads and
+/// wait", nothing more.  Results travel through whatever the closures
+/// capture; ordering guarantees are the caller's responsibility — the
+/// engine keeps its outputs deterministic by *applying* results in a
+/// fixed order regardless of completion order (see system/engine.cc).
+///
+/// Submit() is thread-safe.  Destruction drains the queue: queued tasks
+/// still run before the workers exit.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    ENTANGLED_CHECK_GT(num_threads, 0u);
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_worker_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; it will run on some worker thread.
+  void Submit(std::function<void()> task) {
+    ENTANGLED_CHECK(task != nullptr);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    wake_worker_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished running (queue empty
+  /// and no task in flight).  Tasks submitted concurrently with Wait()
+  /// may or may not be covered; the intended pattern is
+  /// submit-batch-then-wait from one coordinating thread.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_worker_.wait(lock,
+                          [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++in_flight_;
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        --in_flight_;
+        if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_worker_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_THREAD_POOL_H_

@@ -1,14 +1,65 @@
 #include "core/coordination_graph.h"
 
+#include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/logging.h"
 
 namespace entangled {
 
+void ExtendedCoordinationGraph::EnsureCapacity(size_t n) {
+  if (out_.size() < n) {
+    out_.resize(n);
+    in_.resize(n);
+    live_.resize(n, false);
+    indexed_relations_.resize(n);
+  }
+}
+
+void ExtendedCoordinationGraph::IndexAtoms(const QuerySet& set, QueryId q) {
+  const EntangledQuery& query = set.query(q);
+  auto& touched = indexed_relations_[static_cast<size_t>(q)];
+  for (size_t pi = 0; pi < query.postconditions.size(); ++pi) {
+    post_buckets_[query.postconditions[pi].relation].push_back(
+        AtomRef{q, pi});
+    touched.push_back(query.postconditions[pi].relation);
+  }
+  for (size_t hi = 0; hi < query.head.size(); ++hi) {
+    head_buckets_[query.head[hi].relation].push_back(AtomRef{q, hi});
+    touched.push_back(query.head[hi].relation);
+  }
+}
+
+size_t ExtendedCoordinationGraph::AddEdgeSlot(QueryId from, size_t post_index,
+                                              QueryId to, size_t head_index) {
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    edges_[slot] = ExtendedEdge{from, post_index, to, head_index};
+    edge_live_[slot] = true;
+  } else {
+    slot = edges_.size();
+    edges_.push_back(ExtendedEdge{from, post_index, to, head_index});
+    edge_live_.push_back(true);
+  }
+  out_[static_cast<size_t>(from)].push_back(slot);
+  in_[static_cast<size_t>(to)].push_back(slot);
+  return slot;
+}
+
 ExtendedCoordinationGraph::ExtendedCoordinationGraph(const QuerySet& set) {
+  // Batch mode: index every query first, then emit edges in the
+  // canonical (from, post_index, to, head_index) lexicographic order the
+  // batch algorithms and their tests rely on.
   const size_t n = set.size();
-  out_.resize(n);
+  EnsureCapacity(n);
+  for (QueryId q = 0; q < static_cast<QueryId>(n); ++q) {
+    live_[static_cast<size_t>(q)] = true;
+    IndexAtoms(set, q);
+  }
+  num_live_ = n;
   for (QueryId from = 0; from < static_cast<QueryId>(n); ++from) {
     const EntangledQuery& q = set.query(from);
     for (size_t pi = 0; pi < q.postconditions.size(); ++pi) {
@@ -17,11 +68,112 @@ ExtendedCoordinationGraph::ExtendedCoordinationGraph(const QuerySet& set) {
         const EntangledQuery& target = set.query(to);
         for (size_t hi = 0; hi < target.head.size(); ++hi) {
           if (!PositionwiseUnifiable(post, target.head[hi])) continue;
-          out_[static_cast<size_t>(from)].push_back(edges_.size());
-          edges_.push_back(ExtendedEdge{from, pi, to, hi});
+          AddEdgeSlot(from, pi, to, hi);
         }
       }
     }
+  }
+}
+
+void ExtendedCoordinationGraph::AddQuery(const QuerySet& set, QueryId q) {
+  ENTANGLED_CHECK(q >= 0 && static_cast<size_t>(q) < set.size())
+      << "query " << q << " is not in the set";
+  EnsureCapacity(set.size());
+  ENTANGLED_CHECK(!live_[static_cast<size_t>(q)])
+      << "query " << q << " is already live";
+  live_[static_cast<size_t>(q)] = true;
+  ++num_live_;
+  IndexAtoms(set, q);
+
+  const EntangledQuery& query = set.query(q);
+  // q's postconditions against every live head sharing a relation name
+  // (q's own heads included — they were indexed just above).
+  for (size_t pi = 0; pi < query.postconditions.size(); ++pi) {
+    const Atom& post = query.postconditions[pi];
+    auto bucket = head_buckets_.find(post.relation);
+    if (bucket == head_buckets_.end()) continue;
+    for (const AtomRef& ref : bucket->second) {
+      const Atom& head = set.query(ref.query).head[ref.index];
+      if (!PositionwiseUnifiable(post, head)) continue;
+      AddEdgeSlot(q, pi, ref.query, ref.index);
+    }
+  }
+  // Live postconditions of *other* queries against q's heads (q's own
+  // postconditions were fully handled above).
+  for (size_t hi = 0; hi < query.head.size(); ++hi) {
+    const Atom& head = query.head[hi];
+    auto bucket = post_buckets_.find(head.relation);
+    if (bucket == post_buckets_.end()) continue;
+    for (const AtomRef& ref : bucket->second) {
+      if (ref.query == q) continue;
+      const Atom& post = set.query(ref.query).postconditions[ref.index];
+      if (!PositionwiseUnifiable(post, head)) continue;
+      AddEdgeSlot(ref.query, ref.index, q, hi);
+    }
+  }
+}
+
+void ExtendedCoordinationGraph::RetireQueries(
+    const std::vector<QueryId>& ids) {
+  if (ids.empty()) return;
+  std::unordered_set<QueryId> retiring;
+  for (QueryId q : ids) {
+    ENTANGLED_CHECK(IsLive(q)) << "query " << q << " is not live";
+    retiring.insert(q);
+  }
+  // Collect incident edge slots once (a self-loop sits in both lists).
+  std::unordered_set<size_t> dead_slots;
+  for (QueryId q : ids) {
+    for (size_t e : out_[static_cast<size_t>(q)]) dead_slots.insert(e);
+    for (size_t e : in_[static_cast<size_t>(q)]) dead_slots.insert(e);
+  }
+  // Unlink dead slots from surviving endpoints' lists.
+  auto unlink = [](std::vector<size_t>* slots, size_t e) {
+    auto it = std::find(slots->begin(), slots->end(), e);
+    ENTANGLED_CHECK(it != slots->end());
+    *it = slots->back();
+    slots->pop_back();
+  };
+  for (size_t e : dead_slots) {
+    const ExtendedEdge& edge = edges_[e];
+    if (retiring.count(edge.from) == 0) {
+      unlink(&out_[static_cast<size_t>(edge.from)], e);
+    }
+    if (retiring.count(edge.to) == 0) {
+      unlink(&in_[static_cast<size_t>(edge.to)], e);
+    }
+    edge_live_[e] = false;
+    free_slots_.push_back(e);
+  }
+  // Drop the retired queries' own lists, liveness, and index entries.
+  for (QueryId q : ids) {
+    out_[static_cast<size_t>(q)].clear();
+    in_[static_cast<size_t>(q)].clear();
+    live_[static_cast<size_t>(q)] = false;
+    --num_live_;
+  }
+  // Scrub only the buckets the retired queries' atoms actually landed
+  // in — not the whole index — so retirement stays proportional to the
+  // retired queries' footprint.
+  auto scrub = [&retiring](std::vector<AtomRef>* bucket) {
+    bucket->erase(std::remove_if(bucket->begin(), bucket->end(),
+                                 [&retiring](const AtomRef& ref) {
+                                   return retiring.count(ref.query) > 0;
+                                 }),
+                  bucket->end());
+  };
+  std::unordered_set<std::string> touched_relations;
+  for (QueryId q : ids) {
+    auto& touched = indexed_relations_[static_cast<size_t>(q)];
+    touched_relations.insert(touched.begin(), touched.end());
+    touched.clear();
+    touched.shrink_to_fit();
+  }
+  for (const std::string& relation : touched_relations) {
+    auto head_bucket = head_buckets_.find(relation);
+    if (head_bucket != head_buckets_.end()) scrub(&head_bucket->second);
+    auto post_bucket = post_buckets_.find(relation);
+    if (post_bucket != post_buckets_.end()) scrub(&post_bucket->second);
   }
 }
 
@@ -29,6 +181,12 @@ const std::vector<size_t>& ExtendedCoordinationGraph::OutEdges(
     QueryId q) const {
   ENTANGLED_CHECK(q >= 0 && static_cast<size_t>(q) < out_.size());
   return out_[static_cast<size_t>(q)];
+}
+
+const std::vector<size_t>& ExtendedCoordinationGraph::InEdges(
+    QueryId q) const {
+  ENTANGLED_CHECK(q >= 0 && static_cast<size_t>(q) < in_.size());
+  return in_[static_cast<size_t>(q)];
 }
 
 std::vector<size_t> ExtendedCoordinationGraph::EdgesOfPostcondition(
@@ -42,16 +200,20 @@ std::vector<size_t> ExtendedCoordinationGraph::EdgesOfPostcondition(
 
 Digraph ExtendedCoordinationGraph::Collapse() const {
   Digraph graph(static_cast<NodeId>(out_.size()));
-  for (const ExtendedEdge& edge : edges_) {
-    graph.AddEdgeUnique(edge.from, edge.to);
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (!edge_live_[e]) continue;
+    graph.AddEdgeUnique(edges_[e].from, edges_[e].to);
   }
   return graph;
 }
 
 std::string ExtendedCoordinationGraph::ToString(const QuerySet& set) const {
   std::ostringstream out;
-  out << "ExtendedCoordinationGraph(" << edges_.size() << " edges)";
-  for (const ExtendedEdge& edge : edges_) {
+  out << "ExtendedCoordinationGraph(" << edges_.size() - free_slots_.size()
+      << " edges)";
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (!edge_live_[e]) continue;
+    const ExtendedEdge& edge = edges_[e];
     const EntangledQuery& from = set.query(edge.from);
     const EntangledQuery& to = set.query(edge.to);
     out << "\n  (" << from.name << ", "

@@ -2,6 +2,7 @@
 #define ENTANGLED_CORE_COORDINATION_GRAPH_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/query.h"
@@ -28,19 +29,79 @@ struct ExtendedEdge {
 /// \brief The extended coordination graph: a directed multigraph over
 /// the query set, with one edge per unifiable (postcondition, head)
 /// pair.
+///
+/// Two construction modes share one representation:
+///
+///  * **Batch** (the paper's §2.3 definition): the one-argument
+///    constructor builds the graph over every query of a set at once.
+///  * **Incremental** (the streaming engine, §6.1): default-construct,
+///    then AddQuery() per arrival and RetireQueries() per delivered
+///    coordinating set.  A per-relation unification index buckets live
+///    head and postcondition atoms by relation name, so admitting a
+///    query unifies only against candidate buckets — near O(degree) for
+///    realistic workloads instead of rescanning every pending atom.
+///
+/// After a retirement the edge *array* keeps freed slots for reuse, so
+/// edges() is only meaningful for never-retired graphs (the batch use);
+/// incremental consumers walk OutEdges()/InEdges() + edge(), which are
+/// always exact.
 class ExtendedCoordinationGraph {
  public:
-  /// Builds the graph over all queries of `set` (quadratic in the number
-  /// of atoms; in realistic workloads the graph is very sparse, §4).
+  /// An empty incremental graph; grow it with AddQuery().
+  ExtendedCoordinationGraph() = default;
+
+  /// Batch mode: builds the graph over all queries of `set` (quadratic
+  /// in the number of atoms; in realistic workloads the graph is very
+  /// sparse, §4).
   explicit ExtendedCoordinationGraph(const QuerySet& set);
 
-  const std::vector<ExtendedEdge>& edges() const { return edges_; }
-  size_t num_queries() const { return out_.size(); }
+  // ------------------------------------------------------------------
+  // Incremental API
+  // ------------------------------------------------------------------
 
-  /// Edge indices leaving query q (one per matching (post, head) pair).
+  /// Admits query `q` of `set` (not currently live here): unifies its
+  /// postconditions against the live head buckets and its heads against
+  /// the live postcondition buckets, adding one edge per match
+  /// (self-edges included).  Afterwards OutEdges(q)/InEdges(q) are
+  /// exactly q's incident edges.  Cost: O(candidate atoms sharing a
+  /// relation name), not O(all pending atoms).
+  void AddQuery(const QuerySet& set, QueryId q);
+
+  /// Removes the given live queries and every edge incident to them;
+  /// their atoms leave the unification index.  Freed edge slots are
+  /// reused by later AddQuery calls.
+  void RetireQueries(const std::vector<QueryId>& ids);
+
+  /// Whether q has been added and not retired.
+  bool IsLive(QueryId q) const {
+    return q >= 0 && static_cast<size_t>(q) < live_.size() &&
+           live_[static_cast<size_t>(q)];
+  }
+
+  /// Number of live (added, not retired) queries.
+  size_t num_live() const { return num_live_; }
+
+  /// The edge stored in slot e (slots come from OutEdges/InEdges).
+  const ExtendedEdge& edge(size_t e) const { return edges_[e]; }
+
+  /// Edge slots leaving query q (one per matching (post, head) pair).
   const std::vector<size_t>& OutEdges(QueryId q) const;
 
-  /// Edge indices leaving the specific postcondition `post_index` of
+  /// Edge slots entering query q.
+  const std::vector<size_t>& InEdges(QueryId q) const;
+
+  // ------------------------------------------------------------------
+  // Batch accessors
+  // ------------------------------------------------------------------
+
+  /// All edge slots in creation order.  Exact for graphs that never
+  /// retired a query; after retirement freed slots may hold stale
+  /// entries — use OutEdges()/InEdges() + edge() instead.
+  const std::vector<ExtendedEdge>& edges() const { return edges_; }
+
+  size_t num_queries() const { return out_.size(); }
+
+  /// Edge slots leaving the specific postcondition `post_index` of
   /// query q; the paper's safety condition is |this| <= 1 for every
   /// postcondition (Definition 2).
   std::vector<size_t> EdgesOfPostcondition(QueryId q,
@@ -48,14 +109,46 @@ class ExtendedCoordinationGraph {
 
   /// The (collapsed) coordination graph: one node per query, an edge
   /// (q, q') when some postcondition of q unifies with some head of q'.
-  /// Self-loops are kept (they collapse inside SCCs anyway).
+  /// Self-loops are kept (they collapse inside SCCs anyway).  Retired
+  /// queries remain as isolated vertices.
   Digraph Collapse() const;
 
   std::string ToString(const QuerySet& set) const;
 
  private:
+  /// A live head or postcondition atom: query + index within its list.
+  struct AtomRef {
+    QueryId query;
+    size_t index;
+  };
+
+  /// Stores the edge (reusing a freed slot when available) and links it
+  /// into both endpoint lists; returns the slot.
+  size_t AddEdgeSlot(QueryId from, size_t post_index, QueryId to,
+                     size_t head_index);
+
+  /// Grows the per-query tables to cover ids 0..n-1.
+  void EnsureCapacity(size_t n);
+
+  /// Registers q's atoms in the unification index.
+  void IndexAtoms(const QuerySet& set, QueryId q);
+
   std::vector<ExtendedEdge> edges_;
-  std::vector<std::vector<size_t>> out_;  // per query, edge indices
+  std::vector<bool> edge_live_;       // parallel to edges_
+  std::vector<size_t> free_slots_;    // dead entries of edges_
+  std::vector<std::vector<size_t>> out_;  // per query, edge slots
+  std::vector<std::vector<size_t>> in_;   // per query, edge slots
+  std::vector<bool> live_;
+  size_t num_live_ = 0;
+
+  // The unification index: live atoms bucketed by relation name (arity
+  // mismatches are rejected by PositionwiseUnifiable during the scan).
+  // Buckets hold queries in admission order.  indexed_relations_
+  // remembers, per query, which buckets its atoms landed in, so
+  // retirement scrubs only those buckets instead of the whole index.
+  std::unordered_map<std::string, std::vector<AtomRef>> head_buckets_;
+  std::unordered_map<std::string, std::vector<AtomRef>> post_buckets_;
+  std::vector<std::vector<std::string>> indexed_relations_;  // per query
 };
 
 /// \brief Convenience: the collapsed coordination graph of a query set.

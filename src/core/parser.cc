@@ -317,12 +317,21 @@ Result<std::vector<QueryId>> ParseQueries(const std::string& text,
 }
 
 Result<QueryId> ParseQuery(const std::string& text, QuerySet* set) {
-  auto ids = ParseQueries(text, set);
-  if (!ids.ok()) return ids.status();
-  if (ids->size() != 1) {
-    return Status::InvalidArgument("expected exactly one query, found ",
-                                   ids->size());
+  // Validate against a staging set first: a text holding zero or
+  // several queries — or one that fails mid-parse after an earlier
+  // query succeeded — must not leak partial parses into `set`.
+  {
+    QuerySet staging;
+    auto ids = ParseQueries(text, &staging);
+    if (!ids.ok()) return ids.status();
+    if (ids->size() != 1) {
+      return Status::InvalidArgument("expected exactly one query, found ",
+                                     ids->size());
+    }
   }
+  auto ids = ParseQueries(text, set);
+  ENTANGLED_CHECK(ids.ok() && ids->size() == 1)
+      << "validated text re-parse failed";
   return (*ids)[0];
 }
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/atomic_counter.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "db/relation.h"
@@ -18,10 +19,16 @@ namespace entangled {
 /// The paper's cost model counts *database round-trips* ("|Q| queries to
 /// the database", §4); these counters let benches and tests report that
 /// hardware-independent figure next to wall time.
+///
+/// The counters are relaxed-atomic because read-only evaluation updates
+/// them through const Database references from several threads at once
+/// (the engine's parallel Flush() evaluates disjoint components against
+/// one shared database; ConsistentCoordinator's cleaning loop shards
+/// values across workers).
 struct DatabaseStats {
-  uint64_t conjunctive_queries = 0;  ///< FindOne / Satisfiable calls.
-  uint64_t enumerate_queries = 0;    ///< EnumerateDistinct calls.
-  uint64_t rows_matched = 0;         ///< Candidate rows tested by the joins.
+  RelaxedCounter conjunctive_queries;  ///< FindOne / Satisfiable calls.
+  RelaxedCounter enumerate_queries;    ///< EnumerateDistinct calls.
+  RelaxedCounter rows_matched;  ///< Candidate rows tested by the joins.
 
   void Reset() { *this = DatabaseStats{}; }
   uint64_t total_queries() const {

@@ -117,7 +117,11 @@ void Evaluator::Search(const std::vector<Atom>& body, const Binding& initial,
 
   std::vector<size_t> order = OrderAtoms(body, initial);
   Binding binding = initial;
-  DatabaseStats& stats = db_->stats();
+  // Tallied locally and added to the shared (atomic) counters once per
+  // query: an atomic fetch_add per candidate row in the innermost join
+  // loop would have every parallel-flush worker ping-ponging one cache
+  // line of the shared Database.
+  uint64_t rows_matched = 0;
 
   // Explicit recursion over atom positions with a per-frame trail so
   // bindings roll back on backtrack.
@@ -131,7 +135,7 @@ void Evaluator::Search(const std::vector<Atom>& body, const Binding& initial,
         Candidates(relation, atom, binding, &scratch);
 
     auto try_row = [&](const Tuple& row) -> bool {
-      ++stats.rows_matched;
+      ++rows_matched;
       std::vector<VarId> trail;
       bool match = true;
       for (size_t i = 0; i < atom.terms.size() && match; ++i) {
@@ -164,6 +168,7 @@ void Evaluator::Search(const std::vector<Atom>& body, const Binding& initial,
     return false;
   };
   recurse(recurse, 0);
+  db_->stats().rows_matched += rows_matched;
 }
 
 std::optional<Binding> Evaluator::FindOne(const std::vector<Atom>& body,

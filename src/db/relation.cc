@@ -40,6 +40,23 @@ Relation::Relation(std::string name, std::vector<std::string> column_names)
       << "relation " << name_ << " needs at least one column";
 }
 
+Relation::Relation(const Relation& other)
+    : name_(other.name_), column_names_(other.column_names_) {
+  std::shared_lock<std::shared_mutex> lock(other.index_mutex_);
+  rows_ = other.rows_;
+  column_indexes_ = other.column_indexes_;
+  group_indexes_ = other.group_indexes_;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : name_(std::move(other.name_)),
+      column_names_(std::move(other.column_names_)) {
+  std::unique_lock<std::shared_mutex> lock(other.index_mutex_);
+  rows_ = std::move(other.rows_);
+  column_indexes_ = std::move(other.column_indexes_);
+  group_indexes_ = std::move(other.group_indexes_);
+}
+
 std::optional<size_t> Relation::ColumnIndex(const std::string& name) const {
   for (size_t i = 0; i < column_names_.size(); ++i) {
     if (column_names_[i] == name) return i;
@@ -55,6 +72,7 @@ Status Relation::Insert(Tuple tuple) {
   }
   RowId id = static_cast<RowId>(rows_.size());
   // Keep the lazily-built caches consistent.
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
   for (auto& [column, index] : column_indexes_) {
     index[tuple[column]].push_back(id);
   }
@@ -83,7 +101,15 @@ const Tuple& Relation::row(RowId id) const {
 const Relation::ColumnIndexMap& Relation::EnsureColumnIndex(
     size_t column) const {
   ENTANGLED_CHECK_LT(column, arity());
-  auto it = column_indexes_.find(column);
+  {
+    // Fast path: already built — shared lock only, so concurrent
+    // readers never serialize on a warm index.
+    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    auto it = column_indexes_.find(column);
+    if (it != column_indexes_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  auto it = column_indexes_.find(column);  // lost a build race?
   if (it != column_indexes_.end()) return it->second;
   ColumnIndexMap index;
   for (RowId id = 0; id < rows_.size(); ++id) {
@@ -159,7 +185,13 @@ std::vector<Value> Relation::DistinctValues(size_t column) const {
 const std::unordered_map<std::vector<Value>, std::vector<RowId>, VectorHash>&
 Relation::GroupBy(const std::vector<size_t>& columns) const {
   for (size_t c : columns) ENTANGLED_CHECK_LT(c, arity());
-  auto it = group_indexes_.find(columns);
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    auto it = group_indexes_.find(columns);
+    if (it != group_indexes_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  auto it = group_indexes_.find(columns);  // lost a build race?
   if (it != group_indexes_.end()) return it->second;
   GroupIndexMap index;
   for (RowId id = 0; id < rows_.size(); ++id) {

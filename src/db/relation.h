@@ -2,7 +2,9 @@
 #define ENTANGLED_DB_RELATION_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,10 +30,25 @@ std::string TupleToString(const Tuple& tuple);
 /// Indexes are caches: they are built on first probe of a column (or
 /// column group) and kept consistent by Insert.  Building them is
 /// logically const, matching how the evaluator — which only reads the
-/// database — accelerates its scans.
+/// database — accelerates its scans.  Cache access is guarded by a
+/// reader-writer lock so concurrent read-only evaluation (the engine's
+/// parallel Flush(), ConsistentCoordinator's worker threads) is safe:
+/// steady-state probes of an already-built index take only the shared
+/// lock; the exclusive lock is held just while an index is built.
+/// Returned references stay valid after the lock drops because the
+/// cache maps are node-based and an inner index is never mutated once
+/// built (Insert, the only writer, must not run concurrently with
+/// readers).
 class Relation {
  public:
   Relation(std::string name, std::vector<std::string> column_names);
+
+  // Copy/move transplant the data and caches under the source's index
+  // lock; the destination starts with a fresh (unlocked) mutex.
+  Relation(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(const Relation&) = delete;
+  Relation& operator=(Relation&&) = delete;
 
   const std::string& name() const { return name_; }
   const std::vector<std::string>& column_names() const {
@@ -93,6 +110,7 @@ class Relation {
   std::vector<Tuple> rows_;
 
   // Lazily-built caches (see class comment).
+  mutable std::shared_mutex index_mutex_;
   mutable std::unordered_map<size_t, ColumnIndexMap> column_indexes_;
   mutable std::unordered_map<std::vector<size_t>, GroupIndexMap, VectorHash>
       group_indexes_;

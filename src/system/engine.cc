@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <future>
+#include <queue>
+#include <utility>
 
 #include "common/logging.h"
-#include "core/coordination_graph.h"
 #include "core/parser.h"
 
 namespace entangled {
@@ -15,34 +17,119 @@ CoordinationEngine::CoordinationEngine(const Database* db,
   ENTANGLED_CHECK(db != nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------------
+
+void CoordinationEngine::CheckNotReentrant() const {
+  ENTANGLED_CHECK(!in_callback_)
+      << "solution callbacks must not re-enter the CoordinationEngine; "
+         "defer Submit/Cancel/Flush until the delivering call returns";
+}
+
 Result<QueryId> CoordinationEngine::Submit(const std::string& query_text) {
+  CheckNotReentrant();
   auto id = ParseQuery(query_text, &all_);
   if (!id.ok()) return id.status();
   // The parser already appended the query; run the shared admission
   // path without re-adding.
-  pending_.resize(all_.size(), false);
-  pending_[static_cast<size_t>(*id)] = true;
-  ++stats_.submitted;
-  if (options_.evaluate_every > 0 &&
-      ++since_last_eval_ >= options_.evaluate_every) {
-    since_last_eval_ = 0;
-    EvaluateComponentOf(*id);
-  }
+  Admit(*id);
   return id;
 }
 
 QueryId CoordinationEngine::SubmitQuery(EntangledQuery query) {
+  CheckNotReentrant();
   QueryId id = all_.AddQuery(std::move(query));
-  pending_.resize(all_.size(), false);
+  Admit(id);
+  return id;
+}
+
+Result<std::vector<QueryId>> CoordinationEngine::SubmitBatch(
+    const std::vector<std::string>& query_texts) {
+  CheckNotReentrant();
+  // Admission is all-or-nothing: parse the whole batch against a
+  // staging set first, so a mid-batch syntax error leaves no orphaned
+  // half-batch pending with ids the caller never received.
+  {
+    QuerySet staging;
+    for (const std::string& text : query_texts) {
+      auto id = ParseQuery(text, &staging);
+      if (!id.ok()) return id.status();
+    }
+  }
+  std::vector<QueryId> ids;
+  ids.reserve(query_texts.size());
+  // Suspend per-arrival evaluation while the batch is admitted: the
+  // whole batch lands in the graph first, then one Flush() examines the
+  // (merged) dirty components once instead of once per arrival.
+  const size_t evaluate_every = options_.evaluate_every;
+  options_.evaluate_every = 0;
+  for (const std::string& text : query_texts) {
+    auto id = ParseQuery(text, &all_);
+    ENTANGLED_CHECK(id.ok()) << "validated batch re-parse failed: "
+                             << id.status().ToString();
+    Admit(*id);
+    ids.push_back(*id);
+  }
+  options_.evaluate_every = evaluate_every;
+  if (evaluate_every > 0) {
+    since_last_eval_ = 0;
+    Flush();
+  }
+  return ids;
+}
+
+void CoordinationEngine::Admit(QueryId id) {
+  const size_t n = all_.size();
+  pending_.resize(n, false);
   pending_[static_cast<size_t>(id)] = true;
   ++stats_.submitted;
+
+  if (options_.incremental) {
+    // Every new id starts as its own singleton component.
+    while (uf_parent_.size() < n) {
+      QueryId q = static_cast<QueryId>(uf_parent_.size());
+      uf_parent_.push_back(q);
+      uf_size_.push_back(1);
+      comp_min_.push_back(q);
+      comp_members_.push_back({q});
+    }
+    // Index the arrival; its incident edges are exactly the new ones.
+    graph_.AddQuery(all_, id);
+    for (size_t e : graph_.OutEdges(id)) {
+      UnionComps(id, graph_.edge(e).to);
+    }
+    for (size_t e : graph_.InEdges(id)) {
+      UnionComps(id, graph_.edge(e).from);
+    }
+    dirty_roots_.insert(FindRoot(id));
+  }
+
   if (options_.evaluate_every > 0 &&
       ++since_last_eval_ >= options_.evaluate_every) {
     since_last_eval_ = 0;
-    EvaluateComponentOf(id);
+    if (options_.incremental) {
+      EvaluateComponentOf(id);
+    } else {
+      LegacyEvaluateComponentOf(id);
+    }
   }
-  return id;
 }
+
+bool CoordinationEngine::Cancel(QueryId id) {
+  CheckNotReentrant();
+  if (!IsPending(id)) return false;
+  pending_[static_cast<size_t>(id)] = false;
+  ++stats_.cancelled;
+  if (options_.incremental) {
+    RetireAndRepartition({id});
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Pending bookkeeping
+// ---------------------------------------------------------------------------
 
 std::vector<QueryId> CoordinationEngine::PendingQueries() const {
   std::vector<QueryId> pending;
@@ -57,22 +144,297 @@ bool CoordinationEngine::IsPending(QueryId id) const {
          pending_[static_cast<size_t>(id)];
 }
 
-std::vector<QueryId> CoordinationEngine::ComponentOf(QueryId root) const {
+std::vector<QueryId> CoordinationEngine::ComponentOf(QueryId id) const {
+  ENTANGLED_CHECK(IsPending(id)) << "query " << id << " is not pending";
+  if (!options_.incremental) return LegacyComponentOf(id);
+  std::vector<QueryId> component =
+      comp_members_[static_cast<size_t>(FindRoot(id))];
+  std::sort(component.begin(), component.end());
+  return component;
+}
+
+// ---------------------------------------------------------------------------
+// Union-find over weakly connected components
+// ---------------------------------------------------------------------------
+
+QueryId CoordinationEngine::FindRoot(QueryId q) const {
+  QueryId root = q;
+  while (uf_parent_[static_cast<size_t>(root)] != root) {
+    root = uf_parent_[static_cast<size_t>(root)];
+  }
+  // Path compression.
+  while (uf_parent_[static_cast<size_t>(q)] != root) {
+    QueryId next = uf_parent_[static_cast<size_t>(q)];
+    uf_parent_[static_cast<size_t>(q)] = root;
+    q = next;
+  }
+  return root;
+}
+
+void CoordinationEngine::UnionComps(QueryId a, QueryId b) {
+  QueryId ra = FindRoot(a);
+  QueryId rb = FindRoot(b);
+  if (ra == rb) return;
+  // Dirtiness survives merging: membership of the merged component has
+  // certainly changed.
+  bool dirty = dirty_roots_.erase(ra) > 0;
+  dirty = dirty_roots_.erase(rb) > 0 || dirty;
+  if (uf_size_[static_cast<size_t>(ra)] < uf_size_[static_cast<size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  uf_parent_[static_cast<size_t>(rb)] = ra;
+  uf_size_[static_cast<size_t>(ra)] += uf_size_[static_cast<size_t>(rb)];
+  comp_min_[static_cast<size_t>(ra)] = std::min(
+      comp_min_[static_cast<size_t>(ra)], comp_min_[static_cast<size_t>(rb)]);
+  auto& into = comp_members_[static_cast<size_t>(ra)];
+  auto& from = comp_members_[static_cast<size_t>(rb)];
+  into.insert(into.end(), from.begin(), from.end());
+  from.clear();
+  from.shrink_to_fit();
+  if (dirty) dirty_roots_.insert(ra);
+}
+
+std::vector<QueryId> CoordinationEngine::RetireAndRepartition(
+    const std::vector<QueryId>& retired) {
+  ENTANGLED_CHECK(!retired.empty());
+  // All retired queries belong to one component (a coordinating set is
+  // connected; Cancel retires a single query).
+  QueryId root = FindRoot(retired[0]);
+  dirty_roots_.erase(root);
+
+  std::vector<QueryId> survivors;
+  for (QueryId m : comp_members_[static_cast<size_t>(root)]) {
+    if (pending_[static_cast<size_t>(m)]) survivors.push_back(m);
+  }
+  graph_.RetireQueries(retired);
+  comp_members_[static_cast<size_t>(root)].clear();
+
+  // Rebuild the union-find partition of the survivors from the live
+  // edges — a retirement can split its component but never touches any
+  // other component, so the rebuild is local.
+  for (QueryId m : survivors) {
+    uf_parent_[static_cast<size_t>(m)] = m;
+    uf_size_[static_cast<size_t>(m)] = 1;
+    comp_min_[static_cast<size_t>(m)] = m;
+    comp_members_[static_cast<size_t>(m)] = {m};
+  }
+  for (QueryId m : survivors) {
+    // Every intra-component edge is some survivor's out-edge, so one
+    // direction suffices for weak connectivity.
+    for (size_t e : graph_.OutEdges(m)) {
+      UnionComps(m, graph_.edge(e).to);
+    }
+  }
+  std::unordered_set<QueryId> distinct_roots;
+  for (QueryId m : survivors) distinct_roots.insert(FindRoot(m));
+  std::vector<QueryId> fragment_roots(distinct_roots.begin(),
+                                      distinct_roots.end());
+  std::sort(fragment_roots.begin(), fragment_roots.end(),
+            [this](QueryId a, QueryId b) {
+              return comp_min_[static_cast<size_t>(a)] <
+                     comp_min_[static_cast<size_t>(b)];
+            });
+  // Membership changed: these components may now coordinate (or, having
+  // shed an unsafe sibling, may have become safe).
+  for (QueryId r : fragment_roots) dirty_roots_.insert(r);
+  return fragment_roots;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental evaluation
+// ---------------------------------------------------------------------------
+
+CoordinationEngine::EvalTask CoordinationEngine::BuildTask(
+    QueryId root) const {
+  EvalTask task;
+  std::vector<QueryId> members =
+      comp_members_[static_cast<size_t>(FindRoot(root))];
+  std::sort(members.begin(), members.end());
+  ENTANGLED_CHECK(!members.empty());
+  task.min_id = members.front();
+  task.subset = all_.Subset(members, &task.original);
+
+  auto local_id = [&members](QueryId engine_id) {
+    auto it = std::lower_bound(members.begin(), members.end(), engine_id);
+    ENTANGLED_CHECK(it != members.end() && *it == engine_id);
+    return static_cast<QueryId>(it - members.begin());
+  };
+  // Slice the component's edges out of the persistent graph instead of
+  // re-deriving them, renumbered to subset-local ids.  A component is
+  // weakly closed, so every out-edge of a member targets a member.
+  for (QueryId m : members) {
+    for (size_t e : graph_.OutEdges(m)) {
+      const ExtendedEdge& edge = graph_.edge(e);
+      task.edges.push_back(ExtendedEdge{local_id(edge.from), edge.post_index,
+                                        local_id(edge.to), edge.head_index});
+    }
+  }
+  // Canonical order — byte-identical to what a batch graph build over
+  // the same subset would enumerate, so both engine paths hand the
+  // solver bit-identical inputs.
+  std::sort(task.edges.begin(), task.edges.end(),
+            [](const ExtendedEdge& a, const ExtendedEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.post_index != b.post_index)
+                return a.post_index < b.post_index;
+              if (a.to != b.to) return a.to < b.to;
+              return a.head_index < b.head_index;
+            });
+  return task;
+}
+
+CoordinationEngine::EvalOutcome CoordinationEngine::RunTask(
+    const EvalTask& task) const {
+  // Runs on a worker thread in parallel flushes: touches only the task,
+  // the read-only database, and a private coordinator.
+  EvalOutcome outcome;
+  SccCoordinator coordinator(db_, options_.scc);
+  auto result = coordinator.Solve(task.subset, task.edges);
+  outcome.db_queries = coordinator.stats().db_queries;
+  if (result.ok()) {
+    outcome.ok = true;
+    outcome.solution = std::move(*result);
+  } else {
+    outcome.unsafe = result.status().IsFailedPrecondition();
+  }
+  return outcome;
+}
+
+bool CoordinationEngine::ApplyOutcome(const EvalTask& task,
+                                      EvalOutcome outcome,
+                                      std::vector<QueryId>* new_roots) {
+  stats_.db_queries += outcome.db_queries;
+  if (!outcome.ok) {
+    if (outcome.unsafe) ++stats_.unsafe_components;
+    return false;
+  }
+  // Translate subset ids back to engine ids and retire the winners.
+  CoordinationSolution solution;
+  solution.assignment = std::move(outcome.solution.assignment);
+  for (QueryId local : outcome.solution.queries) {
+    QueryId engine_id = task.original[static_cast<size_t>(local)];
+    solution.queries.push_back(engine_id);
+    pending_[static_cast<size_t>(engine_id)] = false;
+  }
+  std::sort(solution.queries.begin(), solution.queries.end());
+  std::vector<QueryId> fragment_roots = RetireAndRepartition(solution.queries);
+  if (new_roots != nullptr) *new_roots = std::move(fragment_roots);
+  stats_.coordinated_queries += solution.queries.size();
+  ++stats_.coordinating_sets;
+  if (callback_) {
+    in_callback_ = true;
+    callback_(all_, solution);
+    in_callback_ = false;
+  }
+  return true;
+}
+
+bool CoordinationEngine::EvaluateComponentOf(QueryId root) {
+  if (!IsPending(root)) return false;
+  dirty_roots_.erase(FindRoot(root));
+  EvalTask task = BuildTask(root);
+  ++stats_.evaluations;
+  return ApplyOutcome(task, RunTask(task));
+}
+
+size_t CoordinationEngine::IncrementalFlush() {
+  if (pool_ == nullptr && options_.flush_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.flush_threads);
+  }
+
+  // One entry per dispatched component evaluation.  Deque: references
+  // handed to worker closures must survive later emplace_backs.
+  struct PendingEval {
+    EvalTask task;
+    std::optional<EvalOutcome> outcome;      // serial mode
+    std::future<EvalOutcome> future;         // pooled mode
+  };
+  std::deque<PendingEval> evals;
+
+  // Results are applied strictly in ascending smallest-member order —
+  // the order the reference path discovers components in — so delivery
+  // order is deterministic and thread-count-independent.
+  using HeapItem = std::pair<QueryId, size_t>;  // (min_id, evals index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>,
+                      std::greater<HeapItem>>
+      apply_order;
+
+  auto dispatch = [&](QueryId root) {
+    evals.emplace_back();
+    PendingEval& eval = evals.back();
+    eval.task = BuildTask(root);
+    ++stats_.evaluations;
+    if (pool_ != nullptr) {
+      auto work = std::make_shared<std::packaged_task<EvalOutcome()>>(
+          [this, &eval] { return RunTask(eval.task); });
+      eval.future = work->get_future();
+      pool_->Submit([work] { (*work)(); });
+    } else {
+      eval.outcome = RunTask(eval.task);
+    }
+    apply_order.push({eval.task.min_id, evals.size() - 1});
+  };
+
+  // Seed with every dirty component; components untouched since their
+  // last evaluation are provably still failures and are skipped.
+  std::vector<QueryId> seeds(dirty_roots_.begin(), dirty_roots_.end());
+  std::sort(seeds.begin(), seeds.end(), [this](QueryId a, QueryId b) {
+    return comp_min_[static_cast<size_t>(a)] <
+           comp_min_[static_cast<size_t>(b)];
+  });
+  dirty_roots_.clear();
+  for (QueryId root : seeds) dispatch(root);
+
+  size_t delivered = 0;
+  while (!apply_order.empty()) {
+    auto [min_id, index] = apply_order.top();
+    apply_order.pop();
+    (void)min_id;
+    PendingEval& eval = evals[index];
+    EvalOutcome outcome = eval.outcome.has_value() ? std::move(*eval.outcome)
+                                                   : eval.future.get();
+    std::vector<QueryId> fragment_roots;
+    if (ApplyOutcome(eval.task, std::move(outcome), &fragment_roots)) {
+      ++delivered;
+      // A delivery shrank its component; the surviving fragments may
+      // coordinate on their own — evaluate them within this flush.
+      for (QueryId root : fragment_roots) {
+        dirty_roots_.erase(root);
+        dispatch(root);
+      }
+    }
+  }
+  return delivered;
+}
+
+size_t CoordinationEngine::Flush() {
+  CheckNotReentrant();
+  return options_.incremental ? IncrementalFlush() : LegacyFlush();
+}
+
+// ---------------------------------------------------------------------------
+// From-scratch reference path: rebuilds the coordination graph over the
+// whole pending set for every evaluation.  Kept as the differential
+//-testing oracle and as the baseline bench_incremental_stream measures
+// the incremental core against.
+// ---------------------------------------------------------------------------
+
+std::vector<QueryId> CoordinationEngine::LegacyComponentOf(
+    QueryId root) const {
   // Weak connectivity over the coordination graph of the pending
-  // queries.  The graph is rebuilt over the pending subset; incremental
-  // maintenance would only matter once components grow far beyond the
-  // workloads of §6.
+  // queries, rebuilt from scratch.
   std::vector<QueryId> pending = PendingQueries();
   std::vector<QueryId> original;
   QuerySet subset = all_.Subset(pending, &original);
   Digraph graph = BuildCoordinationGraph(subset);
 
-  // Locate root within the subset.
-  NodeId root_node = -1;
-  for (size_t i = 0; i < original.size(); ++i) {
-    if (original[i] == root) root_node = static_cast<NodeId>(i);
-  }
-  ENTANGLED_CHECK_GE(root_node, 0) << "root query is not pending";
+  // Locate root within the subset: `original` is ascending (Subset
+  // preserves PendingQueries' order), so binary search replaces the old
+  // linear scan.
+  auto it = std::lower_bound(original.begin(), original.end(), root);
+  ENTANGLED_CHECK(it != original.end() && *it == root)
+      << "root query is not pending";
+  NodeId root_node = static_cast<NodeId>(it - original.begin());
 
   std::vector<bool> visited(static_cast<size_t>(graph.num_nodes()), false);
   std::deque<NodeId> queue{root_node};
@@ -97,9 +459,9 @@ std::vector<QueryId> CoordinationEngine::ComponentOf(QueryId root) const {
   return component;
 }
 
-bool CoordinationEngine::EvaluateComponentOf(QueryId root) {
+bool CoordinationEngine::LegacyEvaluateComponentOf(QueryId root) {
   if (!IsPending(root)) return false;
-  std::vector<QueryId> component = ComponentOf(root);
+  std::vector<QueryId> component = LegacyComponentOf(root);
   std::vector<QueryId> original;
   QuerySet subset = all_.Subset(component, &original);
 
@@ -123,22 +485,28 @@ bool CoordinationEngine::EvaluateComponentOf(QueryId root) {
   std::sort(solution.queries.begin(), solution.queries.end());
   stats_.coordinated_queries += solution.queries.size();
   ++stats_.coordinating_sets;
-  if (callback_) callback_(all_, solution);
+  if (callback_) {
+    in_callback_ = true;
+    callback_(all_, solution);
+    in_callback_ = false;
+  }
   return true;
 }
 
-size_t CoordinationEngine::Flush() {
+size_t CoordinationEngine::LegacyFlush() {
   size_t delivered = 0;
+  // Evaluate components in ascending pending-id order; every delivery
+  // can leave a smaller component that coordinates on its own, so
+  // restart the scan until a full pass delivers nothing.
   bool progress = true;
-  // Re-evaluate until no component coordinates: retiring one set can
-  // leave a smaller component that still coordinates on its own.
   while (progress) {
     progress = false;
     for (QueryId id : PendingQueries()) {
-      if (!IsPending(id)) continue;  // retired by an earlier evaluation
-      if (EvaluateComponentOf(id)) {
+      if (!IsPending(id)) continue;  // retired earlier in this pass
+      if (LegacyEvaluateComponentOf(id)) {
         ++delivered;
         progress = true;
+        break;
       }
     }
   }

@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitCoversInFlightTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++done;
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    // No Wait(): destruction must still run everything queued.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SingleThreadPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace entangled
