@@ -1,0 +1,175 @@
+// Evaluation hot path: FindOne-heavy workloads over string-keyed
+// relations, the innermost loop every coordination algorithm bottoms
+// out in (each coordination decision issues conjunctive queries whose
+// candidate rows are produced by index probes and matched term by
+// term).
+//
+// Bodies are prebuilt outside the timed region — the series measure
+// the evaluator, not query-text construction.  Three series, all
+// string-heavy on purpose; the data-layout work (interned POD values,
+// dense bindings, columnar row storage) is aimed exactly at workloads
+// where every probe used to hash a full std::string and every binding
+// used to copy one:
+//
+//   point:  single-atom FindOne through a string-keyed index probe.
+//   fof:    friend-of-friend join, string-valued variables threaded
+//           through three atoms (bind -> probe -> match per row).
+//   enum:   EnumerateDistinct bucket scan with a string constant.
+//
+// Emits BENCH_JSON records (see tools/run_benches.sh); the committed
+// BENCH_eval_hotpath.json at the repo root is the perf trajectory.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "db/evaluator.h"
+
+namespace entangled {
+namespace {
+
+constexpr size_t kUsers = 50000;
+constexpr size_t kCities = 317;
+constexpr size_t kFriendsPerUser = 2;
+constexpr int kPointQueries = 4000;
+constexpr int kFofQueries = 600;
+constexpr int kEnumQueries = 400;
+
+std::string Handle(size_t i) { return "user_" + std::to_string(i); }
+std::string City(size_t i) { return "city_" + std::to_string(i % kCities); }
+
+const Database& HotpathDb() {
+  static Database* db = [] {
+    auto* database = new Database();
+    Relation* users =
+        *database->CreateRelation("Users", {"id", "handle", "city"});
+    for (size_t i = 0; i < kUsers; ++i) {
+      ENTANGLED_CHECK(users
+                          ->Insert({Value::Int(static_cast<int64_t>(i)),
+                                    Value::Str(Handle(i)),
+                                    Value::Str(City(i))})
+                          .ok());
+    }
+    Relation* friends = *database->CreateRelation("Friends", {"a", "b"});
+    for (size_t i = 0; i < kUsers; ++i) {
+      for (size_t k = 1; k <= kFriendsPerUser; ++k) {
+        ENTANGLED_CHECK(
+            friends
+                ->Insert({Value::Str(Handle(i)),
+                          Value::Str(Handle((i * 7 + 13 * k) % kUsers))})
+                .ok());
+      }
+    }
+    return database;
+  }();
+  return *db;
+}
+
+/// Single-atom point lookups: Users(x, 'user_k', c).  Every query
+/// probes the handle column's hash index with a string key and binds
+/// two variables from the matching row.
+double PointSeries(const Evaluator& evaluator) {
+  std::vector<std::vector<Atom>> bodies;
+  bodies.reserve(kPointQueries);
+  for (int k = 0; k < kPointQueries; ++k) {
+    bodies.push_back({Atom(
+        "Users", {Term::Var(0),
+                  Term::Str(Handle(static_cast<size_t>(k) * 11 % kUsers)),
+                  Term::Var(1)})});
+  }
+  double ms = benchutil::MeanMillis(3, [&] {
+    for (const std::vector<Atom>& body : bodies) {
+      auto witness = evaluator.FindOne(body);
+      ENTANGLED_CHECK(witness.has_value());
+      ENTANGLED_CHECK(witness->at(0).is_int());
+    }
+  });
+  return kPointQueries / (ms / 1e3);
+}
+
+/// Friend-of-friend join: Friends('user_k', f), Friends(f, g),
+/// Users(u, g, c).  String-valued variables f and g thread through
+/// three atoms; each candidate row costs a binding lookup, an index
+/// probe keyed by the bound string, and per-term matches.
+double FofSeries(const Evaluator& evaluator) {
+  std::vector<std::vector<Atom>> bodies;
+  bodies.reserve(kFofQueries);
+  for (int k = 0; k < kFofQueries; ++k) {
+    bodies.push_back({
+        Atom("Friends",
+             {Term::Str(Handle(static_cast<size_t>(k) * 29 % kUsers)),
+              Term::Var(0)}),
+        Atom("Friends", {Term::Var(0), Term::Var(1)}),
+        Atom("Users", {Term::Var(2), Term::Var(1), Term::Var(3)}),
+    });
+  }
+  double ms = benchutil::MeanMillis(3, [&] {
+    for (const std::vector<Atom>& body : bodies) {
+      auto witness = evaluator.FindOne(body);
+      ENTANGLED_CHECK(witness.has_value());
+      ENTANGLED_CHECK(witness->at(1).is_string());
+    }
+  });
+  return kFofQueries / (ms / 1e3);
+}
+
+/// Bucket scans: all users of one city, projected onto their ids.
+/// ~kUsers/kCities candidate rows per query, each matched against a
+/// string constant and two variables.
+double EnumSeries(const Evaluator& evaluator) {
+  std::vector<std::vector<Atom>> bodies;
+  bodies.reserve(kEnumQueries);
+  for (int k = 0; k < kEnumQueries; ++k) {
+    bodies.push_back({Atom("Users",
+                           {Term::Var(0), Term::Var(1),
+                            Term::Str(City(static_cast<size_t>(k)))})});
+  }
+  double ms = benchutil::MeanMillis(3, [&] {
+    for (int k = 0; k < kEnumQueries; ++k) {
+      auto ids = evaluator.EnumerateDistinct(bodies[static_cast<size_t>(k)],
+                                             {0});
+      const size_t expected =
+          kUsers / kCities +
+          (static_cast<size_t>(k) % kCities < kUsers % kCities ? 1 : 0);
+      ENTANGLED_CHECK_EQ(ids.size(), expected);
+    }
+  });
+  return kEnumQueries / (ms / 1e3);
+}
+
+}  // namespace
+}  // namespace entangled
+
+int main() {
+  using namespace entangled;
+  const Database& db = HotpathDb();
+  Evaluator evaluator(&db);
+  db.stats().Reset();
+
+  benchutil::PrintSeriesHeader(
+      "Evaluation hot path: FindOne-heavy string workloads",
+      {"series", "queries_per_sec"});
+
+  const double point_qps = PointSeries(evaluator);
+  benchutil::PrintRow({0, point_qps});
+  const double fof_qps = FofSeries(evaluator);
+  benchutil::PrintRow({1, fof_qps});
+  const double enum_qps = EnumSeries(evaluator);
+  benchutil::PrintRow({2, enum_qps});
+
+  const uint64_t rows = db.stats().rows_matched;
+  benchutil::PrintJsonRecord(
+      "eval_hotpath",
+      {{"users", static_cast<double>(kUsers)},
+       {"point_qps", point_qps},
+       {"fof_qps", fof_qps},
+       {"enum_qps", enum_qps},
+       {"rows_matched", static_cast<double>(rows)}});
+  benchutil::PrintNote(
+      "point: string-keyed index probe per query; fof: string variables "
+      "threaded through a 3-atom join; enum: bucket scan with a string "
+      "constant");
+  return 0;
+}

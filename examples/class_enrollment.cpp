@@ -109,7 +109,7 @@ int main() {
             << plan->agreed_value[1] << "  (" << plan->size() << " of "
             << students.size() << " students)\n";
   for (const ConsistentMember& member : plan->members) {
-    const Tuple& row = sections->row(member.self_row);
+    RowView row = sections->row(member.self_row);
     std::cout << "  " << students[member.query_index].user
               << " -> section " << row[0] << " (" << row[3]
               << " campus), classmates:";

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
             << " of " << num_fans << " fans make it)\n";
   const Relation& flights = **db.Get("Flights");
   for (const ConsistentMember& member : solution->members) {
-    const Tuple& row = flights.row(member.self_row);
+    RowView row = flights.row(member.self_row);
     const std::string& buddy =
         scenario.queries[member.partner_queries[0][0]].user;
     std::cout << "  " << scenario.queries[member.query_index].user

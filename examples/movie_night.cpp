@@ -23,7 +23,7 @@ int main() {
   std::cout << "== Movie night (paper §5) ==\n\n"
             << "Cinema table M(movie_id, cinema, movie):\n";
   const Relation& movies = **db.Get("M");
-  for (const Tuple& row : movies.rows()) {
+  for (RowView row : movies.rows()) {
     std::cout << "  " << TupleToString(row) << "\n";
   }
   std::cout << "\nQueries (structured A-consistent form, A = {cinema}):\n";
@@ -63,7 +63,7 @@ int main() {
   std::cout << "\nChosen cinema: " << solution->agreed_value[0] << "\n";
   for (const ConsistentMember& member : solution->members) {
     const ConsistentQuery& q = scenario.queries[member.query_index];
-    const Tuple& row = movies.row(member.self_row);
+    RowView row = movies.row(member.self_row);
     std::cout << "  " << q.user << " watches " << row[2] << " at "
               << row[1] << " (ticket " << row[0] << "), sharing a cab with "
               << scenario.queries[member.partner_queries[0][0]].user << "\n";

@@ -124,7 +124,7 @@ Result<ConsistentSolution> ConsistentCoordinator::Solve(
   std::vector<ValueKey> value_order;  // V(Q), deterministic order
   std::unordered_set<ValueKey, VectorHash> value_seen;
 
-  auto coord_key_of_row = [&](const Tuple& row) {
+  auto coord_key_of_row = [&](RowView row) {
     ValueKey key;
     key.reserve(coord.size());
     for (size_t c : coord) key.push_back(row[c]);
@@ -153,7 +153,7 @@ Result<ConsistentSolution> ConsistentCoordinator::Solve(
     } else {
       for (RowId row_id = 0; row_id < thing.size(); ++row_id) {
         bool match = true;
-        const Tuple& row = thing.row(row_id);
+        RowView row = thing.row(row_id);
         for (size_t c = 0; c < pattern.size() && match; ++c) {
           if (pattern[c].has_value() && row[c] != *pattern[c]) match = false;
         }
@@ -498,7 +498,7 @@ CoordinationSolution ToCoordinationSolution(
     const size_t i = member.query_index;
     const ConsistentConversion::QueryVars& vars = conversion.vars[i];
     result.queries.push_back(conversion.query_ids[i]);
-    const Tuple& self_row = thing.row(member.self_row);
+    RowView self_row = thing.row(member.self_row);
     result.assignment.emplace(vars.self_key, self_row[0]);
     for (size_t a = 0; a < vars.self_attrs.size(); ++a) {
       if (vars.self_attrs[a].has_value()) {
@@ -519,7 +519,7 @@ CoordinationSolution ToCoordinationSolution(
         const ConsistentMember* partner_member = solution.FindMember(j);
         ENTANGLED_CHECK(partner_member != nullptr)
             << "partner query " << j << " missing from the solution";
-        const Tuple& partner_row = thing.row(partner_member->self_row);
+        RowView partner_row = thing.row(partner_member->self_row);
         result.assignment.emplace(pvars.key, partner_row[0]);
         if (pvars.friend_name.has_value()) {
           result.assignment.emplace(*pvars.friend_name,

@@ -1,11 +1,19 @@
 #include "common/interner.h"
 
+#include <mutex>
+
 #include "common/logging.h"
 
 namespace entangled {
 
 Symbol StringInterner::Intern(std::string_view text) {
-  auto it = index_.find(std::string(text));
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = index_.find(text);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = index_.find(text);  // lost an intern race?
   if (it != index_.end()) return it->second;
   Symbol symbol = static_cast<Symbol>(strings_.size());
   strings_.emplace_back(text);
@@ -14,13 +22,32 @@ Symbol StringInterner::Intern(std::string_view text) {
 }
 
 Symbol StringInterner::Lookup(std::string_view text) const {
-  auto it = index_.find(std::string(text));
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = index_.find(text);
   return it == index_.end() ? kInvalidSymbol : it->second;
 }
 
 const std::string& StringInterner::ToString(Symbol symbol) const {
-  ENTANGLED_CHECK(Contains(symbol)) << "unknown symbol " << symbol;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ENTANGLED_CHECK(symbol >= 0 &&
+                  static_cast<size_t>(symbol) < strings_.size())
+      << "unknown symbol " << symbol;
   return strings_[static_cast<size_t>(symbol)];
+}
+
+bool StringInterner::Contains(Symbol symbol) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return symbol >= 0 && static_cast<size_t>(symbol) < strings_.size();
+}
+
+size_t StringInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return strings_.size();
+}
+
+StringInterner& GlobalValueInterner() {
+  static StringInterner* interner = new StringInterner();
+  return *interner;
 }
 
 }  // namespace entangled

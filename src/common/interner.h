@@ -2,10 +2,11 @@
 #define ENTANGLED_COMMON_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace entangled {
 
@@ -18,13 +19,23 @@ inline constexpr Symbol kInvalidSymbol = -1;
 
 /// \brief A bidirectional string <-> integer map.
 ///
-/// Relation names and attribute names are interned so that atom
-/// comparison and graph construction work on integers.  Not thread-safe;
-/// each QuerySet/Database owns its own interner or shares one
-/// single-threadedly.
+/// Strings are interned so that equality, hashing, and index probes
+/// work on integers: string-valued database Values carry a Symbol into
+/// the process-wide interner (GlobalValueInterner), and relation /
+/// attribute names are interned for atom comparison and graph
+/// construction.
+///
+/// Thread-safe: lookups of already-interned strings take a shared
+/// lock; the exclusive lock is held only while a new string is added.
+/// Returned string references are stable forever — the backing store
+/// is a deque, which never moves elements, and interned strings are
+/// never removed.
 class StringInterner {
  public:
   StringInterner() = default;
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
 
   /// Returns the symbol for `text`, interning it on first use.
   Symbol Intern(std::string_view text);
@@ -33,20 +44,40 @@ class StringInterner {
   Symbol Lookup(std::string_view text) const;
 
   /// Returns the string for `symbol`; CHECK-fails on invalid symbols.
+  /// The reference stays valid for the interner's lifetime.
   const std::string& ToString(Symbol symbol) const;
 
   /// Whether `symbol` names an interned string.
-  bool Contains(Symbol symbol) const {
-    return symbol >= 0 && static_cast<size_t>(symbol) < strings_.size();
-  }
+  bool Contains(Symbol symbol) const;
 
   /// Number of distinct interned strings.
-  size_t size() const { return strings_.size(); }
+  size_t size() const;
 
  private:
-  std::unordered_map<std::string, Symbol> index_;
-  std::vector<std::string> strings_;
+  mutable std::shared_mutex mutex_;
+  // Keys are views into `strings_` elements (stable: deque never moves
+  // an element, and nothing is ever erased).
+  std::unordered_map<std::string_view, Symbol> index_;
+  std::deque<std::string> strings_;
 };
+
+/// \brief The process-wide interner backing string-valued db::Values.
+///
+/// One shared namespace keeps Symbol comparison meaningful across
+/// every Database, QuerySet, and thread in the process (values flow
+/// freely between query sets and databases); Database::interner()
+/// exposes the same instance for callers that want to pre-intern.
+///
+/// Interned strings are never evicted — that is what makes Value a
+/// 16-byte POD with O(1) equality and stable AsString() references —
+/// so process memory grows with the number of *distinct* strings ever
+/// seen, not with data volume.  That suits this system's workloads
+/// (handles, city names, relation constants: bounded vocabularies
+/// reused across millions of rows and queries).  Feeding an unbounded
+/// stream of unique strings (UUIDs, timestamps-as-text) through
+/// Value::Str would grow the table monotonically; encode such data as
+/// kInt values instead.
+StringInterner& GlobalValueInterner();
 
 }  // namespace entangled
 

@@ -29,11 +29,11 @@ Atom GroundAtom(const Atom& atom, const Binding& assignment) {
       result.terms.push_back(term);
       continue;
     }
-    auto it = assignment.find(term.var());
-    ENTANGLED_CHECK(it != assignment.end())
+    const Value* value = assignment.Find(term.var());
+    ENTANGLED_CHECK(value != nullptr)
         << "variable ?" << term.var() << " of " << atom.ToString()
         << " is unassigned";
-    result.terms.push_back(Term::Const(it->second));
+    result.terms.push_back(Term::Const(*value));
   }
   return result;
 }
@@ -62,9 +62,9 @@ std::optional<Binding> CompleteAssignment(const Database& db,
         assignment.emplace(v, resolved.constant());
         continue;
       }
-      auto it = witness.find(resolved.var());
-      if (it != witness.end()) {
-        assignment.emplace(v, it->second);
+      const Value* bound = witness.Find(resolved.var());
+      if (bound != nullptr) {
+        assignment.emplace(v, *bound);
         continue;
       }
       if (!fallback_computed) {
@@ -98,10 +98,10 @@ std::string SolutionToString(const QuerySet& set,
   out << " with h = {";
   bool first = true;
   for (VarId v : vars) {
-    auto it = solution.assignment.find(v);
-    if (it == solution.assignment.end()) continue;
+    const Value* value = solution.assignment.Find(v);
+    if (value == nullptr) continue;
     if (!first) out << ", ";
-    out << set.var_name(v) << " -> " << it->second.ToString(/*quote=*/true);
+    out << set.var_name(v) << " -> " << value->ToString(/*quote=*/true);
     first = false;
   }
   out << "}";

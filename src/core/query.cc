@@ -43,6 +43,7 @@ QueryId QuerySet::AddQuery(EntangledQuery query) {
     ENTANGLED_CHECK(v >= 0 && static_cast<size_t>(v) < var_names_.size())
         << "query " << query.name << " uses foreign variable " << v;
   }
+  queries_by_name_.emplace(query.name, query.id);  // first added wins
   queries_.push_back(std::move(query));
   return queries_.back().id;
 }
@@ -60,19 +61,41 @@ EntangledQuery& QuerySet::mutable_query(QueryId id) {
 }
 
 QueryId QuerySet::FindByName(const std::string& name) const {
-  for (const EntangledQuery& q : queries_) {
-    if (q.name == name) return q.id;
-  }
-  return -1;
+  auto it = queries_by_name_.find(name);
+  return it == queries_by_name_.end() ? -1 : it->second;
 }
 
 QuerySet QuerySet::Subset(const std::vector<QueryId>& ids,
-                          std::vector<QueryId>* original_ids) const {
+                          std::vector<QueryId>* original_ids,
+                          std::vector<VarId>* original_vars) const {
   QuerySet subset;
-  subset.var_names_ = var_names_;
   if (original_ids != nullptr) original_ids->clear();
+  if (original_vars != nullptr) original_vars->clear();
+  // Dense remap, allocated per first occurrence: touches only the
+  // variables the chosen queries actually use — never the full
+  // variable table, whose size grows with the whole engine.
+  std::unordered_map<VarId, VarId> remap;
+  auto remap_term = [&](const Term& term) {
+    if (term.is_constant()) return term;
+    const VarId v = term.var();
+    auto [it, inserted] = remap.emplace(v, VarId{0});
+    if (inserted) {
+      it->second = subset.NewVar(var_name(v));
+      if (original_vars != nullptr) original_vars->push_back(v);
+    }
+    return Term::Var(it->second);
+  };
+  auto remap_atoms = [&](std::vector<Atom>* atoms) {
+    for (Atom& atom : *atoms) {
+      for (Term& term : atom.terms) term = remap_term(term);
+    }
+  };
   for (QueryId id : ids) {
-    subset.AddQuery(query(id));  // copies; AddQuery renumbers
+    EntangledQuery copy = query(id);
+    remap_atoms(&copy.postconditions);
+    remap_atoms(&copy.head);
+    remap_atoms(&copy.body);
+    subset.AddQuery(std::move(copy));  // AddQuery renumbers
     if (original_ids != nullptr) original_ids->push_back(id);
   }
   return subset;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -57,19 +58,30 @@ class QuerySet {
   bool empty() const { return queries_.empty(); }
 
   const EntangledQuery& query(QueryId id) const;
+  /// Mutable access for editing a query in place.  Renaming through
+  /// this accessor is not supported: FindByName resolves against the
+  /// name the query was added under.
   EntangledQuery& mutable_query(QueryId id);
   const std::vector<EntangledQuery>& queries() const { return queries_; }
 
-  /// Id of the query named `name`, or -1.
+  /// Id of the query named `name`, or -1 (hash lookup keyed by the
+  /// name at AddQuery time; the first query added under a name wins,
+  /// matching the old linear scan).
   QueryId FindByName(const std::string& name) const;
 
   /// A new set containing copies of the given queries (renumbered
-  /// 0..k-1, input order preserved).  The variable table is copied
-  /// wholesale, so variable ids — and hence atoms — remain valid in the
-  /// subset.  `original_ids` (optional) receives the source id of each
-  /// subset query.
+  /// 0..k-1, input order preserved) whose variables are remapped to a
+  /// dense [0, k) id space in first-occurrence order.  The subset
+  /// carries only its own variables, so downstream per-component work
+  /// (Substitution tables, dense bindings) is O(component) instead of
+  /// O(engine-wide variables).  `original_ids` (optional) receives the
+  /// source id of each subset query; `original_vars` (optional)
+  /// receives the source variable of each subset variable, i.e.
+  /// (*original_vars)[subset_var] == original_var — use it to
+  /// translate witnesses back into the parent set's variable space.
   QuerySet Subset(const std::vector<QueryId>& ids,
-                  std::vector<QueryId>* original_ids = nullptr) const;
+                  std::vector<QueryId>* original_ids = nullptr,
+                  std::vector<VarId>* original_vars = nullptr) const;
 
   /// Renders a term/atom/query with variable display names
   /// ("R('C', x1)" instead of "R('C', ?3)").
@@ -90,6 +102,8 @@ class QuerySet {
  private:
   std::vector<EntangledQuery> queries_;
   std::vector<std::string> var_names_;
+  // name -> id of the first query added under that name.
+  std::unordered_map<std::string, QueryId> queries_by_name_;
 };
 
 /// \brief Fluent construction of one entangled query:

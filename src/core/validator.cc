@@ -43,7 +43,7 @@ Status ValidateSolution(const Database& db, const QuerySet& set,
   // Condition (1): every variable is assigned.
   for (QueryId q : sorted) {
     for (VarId v : set.query(q).Variables()) {
-      if (solution.assignment.find(v) == solution.assignment.end()) {
+      if (!solution.assignment.contains(v)) {
         return Status::FailedPrecondition(
             "condition (1) violated: variable ", set.var_name(v),
             " of query ", set.query(q).name, " is unassigned");

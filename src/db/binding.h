@@ -1,0 +1,215 @@
+#ifndef ENTANGLED_DB_BINDING_H_
+#define ENTANGLED_DB_BINDING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "db/term.h"
+#include "db/value.h"
+
+namespace entangled {
+
+/// \brief A (partial) assignment of values to query variables, stored
+/// densely: a flat value array covering a contiguous VarId window plus
+/// an engaged bitmap.
+///
+/// This is the structure the evaluator's innermost loop reads and
+/// writes once per term per candidate row, so lookup, bind, and
+/// unbind are direct array accesses — no hashing, no node
+/// allocations.  Density is what makes that cheap: QuerySet::Subset
+/// remaps component variables to a compact [0, k) id space, so a
+/// per-evaluation binding is O(component), not O(engine-wide
+/// variables).
+///
+/// Storage covers the window [base, base + capacity): the base (kept
+/// 64-aligned so bitmap words stay simple) snaps to the first bound
+/// variable and the window grows in either direction on demand.  A
+/// witness translated back into an engine's global variable space —
+/// whose ids grow without bound over the engine's lifetime — therefore
+/// costs O(component id span), not O(largest id ever allocated).
+///
+/// Iteration (ForEach, Vars) runs in ascending variable order, which
+/// keeps every rendering and comparison deterministic.
+class Binding {
+ public:
+  Binding() = default;
+  /// Pre-sizes storage for variables [0, num_vars).
+  explicit Binding(size_t num_vars) { Reserve(num_vars); }
+
+  Binding(const Binding&) = default;
+  Binding& operator=(const Binding&) = default;
+  // Moves leave the source empty (not just unspecified): the evaluator
+  // moves a witness out mid-search and the unwinding backtrack must
+  // see a consistent, harmlessly-empty binding.
+  Binding(Binding&& other) noexcept
+      : values_(std::move(other.values_)),
+        engaged_(std::move(other.engaged_)),
+        base_(other.base_),
+        size_(other.size_) {
+    other.base_ = 0;
+    other.size_ = 0;
+  }
+  Binding& operator=(Binding&& other) noexcept {
+    values_ = std::move(other.values_);
+    engaged_ = std::move(other.engaged_);
+    base_ = other.base_;
+    size_ = other.size_;
+    other.base_ = 0;
+    other.size_ = 0;
+    other.values_.clear();
+    other.engaged_.clear();
+    return *this;
+  }
+
+  /// Grows storage so vars [0, num_vars) bind without reallocation.
+  void Reserve(size_t num_vars) {
+    if (num_vars == 0) return;
+    EnsureCovers(0);
+    EnsureCovers(static_cast<VarId>(num_vars - 1));
+  }
+
+  bool contains(VarId var) const {
+    return InRange(var) && IsEngaged(var);
+  }
+
+  /// The bound value, or nullptr when `var` is unbound.
+  const Value* Find(VarId var) const {
+    return contains(var) ? &values_[Slot(var)] : nullptr;
+  }
+
+  /// The bound value; CHECK-fails when `var` is unbound.
+  const Value& at(VarId var) const {
+    ENTANGLED_CHECK(contains(var)) << "variable ?" << var << " is unbound";
+    return values_[Slot(var)];
+  }
+
+  /// Binds `var` if unbound (map::emplace semantics: an existing
+  /// binding wins).  Returns true when a new binding was made.
+  bool emplace(VarId var, const Value& value) {
+    ENTANGLED_CHECK_GE(var, 0) << "negative variable id";
+    if (!InRange(var)) EnsureCovers(var);
+    if (IsEngaged(var)) return false;
+    SetEngaged(var);
+    values_[Slot(var)] = value;
+    ++size_;
+    return true;
+  }
+
+  /// Binds or overwrites `var`.
+  void Set(VarId var, const Value& value) {
+    if (!emplace(var, value)) values_[Slot(var)] = value;
+  }
+
+  /// Unbinds `var`; returns true when it was bound.
+  bool erase(VarId var) {
+    if (!contains(var)) return false;
+    ClearEngaged(var);
+    --size_;
+    return true;
+  }
+
+  /// First id of the storage window (64-aligned; exposed for tests).
+  VarId base() const { return base_; }
+  /// Number of variable slots currently allocated.
+  size_t capacity() const { return values_.size(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Calls f(VarId, const Value&) per binding, ascending by variable.
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (size_t w = 0; w < engaged_.size(); ++w) {
+      uint64_t word = engaged_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        word &= word - 1;
+        size_t slot = w * 64 + static_cast<size_t>(bit);
+        f(static_cast<VarId>(static_cast<size_t>(base_) + slot),
+          values_[slot]);
+      }
+    }
+  }
+
+  /// Bound variables, ascending.
+  std::vector<VarId> Vars() const {
+    std::vector<VarId> vars;
+    vars.reserve(size_);
+    ForEach([&vars](VarId var, const Value&) { vars.push_back(var); });
+    return vars;
+  }
+
+  /// Bindings compare by content: same bound variables, same values
+  /// (internal capacity is irrelevant).
+  friend bool operator==(const Binding& a, const Binding& b) {
+    if (a.size_ != b.size_) return false;
+    bool equal = true;
+    a.ForEach([&](VarId var, const Value& value) {
+      if (equal) {
+        const Value* other = b.Find(var);
+        equal = other != nullptr && *other == value;
+      }
+    });
+    return equal;
+  }
+  friend bool operator!=(const Binding& a, const Binding& b) {
+    return !(a == b);
+  }
+
+ private:
+  bool InRange(VarId var) const {
+    return var >= base_ &&
+           static_cast<size_t>(var - base_) < values_.size();
+  }
+  size_t Slot(VarId var) const { return static_cast<size_t>(var - base_); }
+  bool IsEngaged(VarId var) const {
+    return (engaged_[Slot(var) / 64] >> (Slot(var) % 64)) & 1;
+  }
+  void SetEngaged(VarId var) {
+    engaged_[Slot(var) / 64] |= uint64_t{1} << (Slot(var) % 64);
+  }
+  void ClearEngaged(VarId var) {
+    engaged_[Slot(var) / 64] &= ~(uint64_t{1} << (Slot(var) % 64));
+  }
+
+  /// Extends the storage window to include `var`.  The first binding
+  /// snaps the base to `var` rounded down to a bitmap word; growing
+  /// downward later prepends at least a window-doubling's worth of
+  /// slots so alternating low/high binds stay amortized O(1).
+  void EnsureCovers(VarId var) {
+    const VarId aligned = var & ~VarId{63};
+    if (values_.empty()) {
+      base_ = aligned;
+      values_.resize(64);
+      engaged_.assign(1, 0);
+      return;
+    }
+    if (var < base_) {
+      VarId new_base = aligned;
+      const VarId doubled =
+          base_ - static_cast<VarId>(std::min<size_t>(
+                      values_.size(), static_cast<size_t>(base_)));
+      new_base = std::min(new_base, std::max<VarId>(0, doubled));
+      const size_t shift = static_cast<size_t>(base_ - new_base);
+      values_.insert(values_.begin(), shift, Value());
+      engaged_.insert(engaged_.begin(), shift / 64, 0);
+      base_ = new_base;
+    } else if (static_cast<size_t>(var - base_) >= values_.size()) {
+      const size_t needed = static_cast<size_t>(var - base_) + 1;
+      values_.resize(((needed + 63) / 64) * 64);
+      engaged_.resize(values_.size() / 64, 0);
+    }
+  }
+
+  std::vector<Value> values_;
+  std::vector<uint64_t> engaged_;
+  VarId base_ = 0;  // 64-aligned start of the storage window
+  size_t size_ = 0;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_DB_BINDING_H_

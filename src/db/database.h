@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/atomic_counter.h"
+#include "common/interner.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "db/relation.h"
@@ -70,6 +71,12 @@ class Database {
   /// Work counters; mutable because read-only query evaluation updates
   /// them through const Database references.
   DatabaseStats& stats() const { return stats_; }
+
+  /// The interner backing string-valued Values (the process-wide
+  /// instance — values flow freely between databases and query sets,
+  /// so they share one symbol namespace).  Callers may pre-intern
+  /// hot strings and build Values with Value::Sym.
+  StringInterner& interner() const { return GlobalValueInterner(); }
 
  private:
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;

@@ -2,18 +2,15 @@
 #define ENTANGLED_DB_EVALUATOR_H_
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "db/atom.h"
+#include "db/binding.h"
 #include "db/database.h"
 
 namespace entangled {
-
-/// \brief A (partial) assignment of values to query variables.
-using Binding = std::unordered_map<VarId, Value>;
 
 /// \brief Conjunctive-query evaluator over an in-memory Database.
 ///
@@ -25,7 +22,10 @@ using Binding = std::unordered_map<VarId, Value>;
 /// Evaluation is a backtracking join.  Atoms are ordered greedily
 /// (most-bound first, smaller relations first) and candidate rows are
 /// produced through lazily-built single-column hash indexes whenever at
-/// least one position of the atom is bound.
+/// least one position of the atom is bound.  The inner loop touches
+/// only contiguous PODs: interned 16-byte Values read from the
+/// relation's flat row arena, matched against a dense Binding, with a
+/// shared trail for O(bound-this-row) backtracking.
 class Evaluator {
  public:
   explicit Evaluator(const Database* db);
@@ -66,8 +66,10 @@ class Evaluator {
   void Search(const std::vector<Atom>& body, const Binding& initial,
               Callback&& on_solution) const;
 
-  std::vector<size_t> OrderAtoms(const std::vector<Atom>& body,
-                                 const Binding& initial) const;
+  std::vector<size_t> OrderAtoms(
+      const std::vector<Atom>& body,
+      const std::vector<const Relation*>& relations,
+      const Binding& initial) const;
 
   const Database* db_;
 };

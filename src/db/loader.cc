@@ -193,7 +193,7 @@ std::string DumpDatabase(const Database& db) {
       out << relation.column_names()[c];
     }
     out << ") {\n";
-    for (const Tuple& row : relation.rows()) {
+    for (RowView row : relation.rows()) {
       out << "  " << TupleToString(row) << "\n";
     }
     out << "}\n";

@@ -13,7 +13,7 @@ const std::vector<RowId>& EmptyRowList() {
   return kEmpty;
 }
 
-bool RowMatches(const Tuple& row,
+bool RowMatches(RowView row,
                 const std::vector<std::optional<Value>>& pattern) {
   for (size_t i = 0; i < pattern.size(); ++i) {
     if (pattern[i].has_value() && row[i] != *pattern[i]) return false;
@@ -23,7 +23,7 @@ bool RowMatches(const Tuple& row,
 
 }  // namespace
 
-std::string TupleToString(const Tuple& tuple) {
+std::string TupleToString(RowView tuple) {
   std::ostringstream out;
   out << "(";
   for (size_t i = 0; i < tuple.size(); ++i) {
@@ -43,7 +43,8 @@ Relation::Relation(std::string name, std::vector<std::string> column_names)
 Relation::Relation(const Relation& other)
     : name_(other.name_), column_names_(other.column_names_) {
   std::shared_lock<std::shared_mutex> lock(other.index_mutex_);
-  rows_ = other.rows_;
+  cells_ = other.cells_;
+  num_rows_ = other.num_rows_;
   column_indexes_ = other.column_indexes_;
   group_indexes_ = other.group_indexes_;
 }
@@ -52,7 +53,9 @@ Relation::Relation(Relation&& other) noexcept
     : name_(std::move(other.name_)),
       column_names_(std::move(other.column_names_)) {
   std::unique_lock<std::shared_mutex> lock(other.index_mutex_);
-  rows_ = std::move(other.rows_);
+  cells_ = std::move(other.cells_);
+  num_rows_ = other.num_rows_;
+  other.num_rows_ = 0;
   column_indexes_ = std::move(other.column_indexes_);
   group_indexes_ = std::move(other.group_indexes_);
 }
@@ -70,7 +73,7 @@ Status Relation::Insert(Tuple tuple) {
                                    " but tuple ", TupleToString(tuple),
                                    " has arity ", tuple.size());
   }
-  RowId id = static_cast<RowId>(rows_.size());
+  RowId id = static_cast<RowId>(num_rows_);
   // Keep the lazily-built caches consistent.
   std::unique_lock<std::shared_mutex> lock(index_mutex_);
   for (auto& [column, index] : column_indexes_) {
@@ -82,7 +85,8 @@ Status Relation::Insert(Tuple tuple) {
     for (size_t c : columns) key.push_back(tuple[c]);
     index[std::move(key)].push_back(id);
   }
-  rows_.push_back(std::move(tuple));
+  cells_.insert(cells_.end(), tuple.begin(), tuple.end());
+  ++num_rows_;
   return Status::OK();
 }
 
@@ -93,9 +97,9 @@ Status Relation::InsertAll(std::vector<Tuple> tuples) {
   return Status::OK();
 }
 
-const Tuple& Relation::row(RowId id) const {
-  ENTANGLED_CHECK_LT(id, rows_.size());
-  return rows_[id];
+RowView Relation::row(RowId id) const {
+  ENTANGLED_CHECK_LT(id, num_rows_);
+  return RowView(cell_ptr(id), arity());
 }
 
 const Relation::ColumnIndexMap& Relation::EnsureColumnIndex(
@@ -112,8 +116,8 @@ const Relation::ColumnIndexMap& Relation::EnsureColumnIndex(
   auto it = column_indexes_.find(column);  // lost a build race?
   if (it != column_indexes_.end()) return it->second;
   ColumnIndexMap index;
-  for (RowId id = 0; id < rows_.size(); ++id) {
-    index[rows_[id][column]].push_back(id);
+  for (RowId id = 0; id < num_rows_; ++id) {
+    index[cell_ptr(id)[column]].push_back(id);
   }
   return column_indexes_.emplace(column, std::move(index)).first->second;
 }
@@ -130,7 +134,7 @@ std::vector<RowId> Relation::SelectWhere(
   ENTANGLED_CHECK_EQ(pattern.size(), arity());
   // Pick the most selective engaged column to seed the scan.
   std::optional<size_t> best_column;
-  size_t best_bucket = rows_.size() + 1;
+  size_t best_bucket = num_rows_ + 1;
   for (size_t i = 0; i < pattern.size(); ++i) {
     if (!pattern[i].has_value()) continue;
     size_t bucket = Probe(i, *pattern[i]).size();
@@ -142,12 +146,12 @@ std::vector<RowId> Relation::SelectWhere(
   std::vector<RowId> result;
   if (!best_column.has_value()) {
     // No constraints: every row matches.
-    result.resize(rows_.size());
-    for (RowId id = 0; id < rows_.size(); ++id) result[id] = id;
+    result.resize(num_rows_);
+    for (RowId id = 0; id < num_rows_; ++id) result[id] = id;
     return result;
   }
   for (RowId id : Probe(*best_column, *pattern[*best_column])) {
-    if (RowMatches(rows_[id], pattern)) result.push_back(id);
+    if (RowMatches(row(id), pattern)) result.push_back(id);
   }
   return result;
 }
@@ -156,7 +160,7 @@ bool Relation::AnyMatch(
     const std::vector<std::optional<Value>>& pattern) const {
   ENTANGLED_CHECK_EQ(pattern.size(), arity());
   std::optional<size_t> best_column;
-  size_t best_bucket = rows_.size() + 1;
+  size_t best_bucket = num_rows_ + 1;
   for (size_t i = 0; i < pattern.size(); ++i) {
     if (!pattern[i].has_value()) continue;
     size_t bucket = Probe(i, *pattern[i]).size();
@@ -165,9 +169,9 @@ bool Relation::AnyMatch(
       best_column = i;
     }
   }
-  if (!best_column.has_value()) return !rows_.empty();
+  if (!best_column.has_value()) return num_rows_ > 0;
   for (RowId id : Probe(*best_column, *pattern[*best_column])) {
-    if (RowMatches(rows_[id], pattern)) return true;
+    if (RowMatches(row(id), pattern)) return true;
   }
   return false;
 }
@@ -176,8 +180,9 @@ std::vector<Value> Relation::DistinctValues(size_t column) const {
   ENTANGLED_CHECK_LT(column, arity());
   std::vector<Value> result;
   std::unordered_set<Value> seen;
-  for (const Tuple& row : rows_) {
-    if (seen.insert(row[column]).second) result.push_back(row[column]);
+  for (RowId id = 0; id < num_rows_; ++id) {
+    const Value& value = cell_ptr(id)[column];
+    if (seen.insert(value).second) result.push_back(value);
   }
   return result;
 }
@@ -194,10 +199,10 @@ Relation::GroupBy(const std::vector<size_t>& columns) const {
   auto it = group_indexes_.find(columns);  // lost a build race?
   if (it != group_indexes_.end()) return it->second;
   GroupIndexMap index;
-  for (RowId id = 0; id < rows_.size(); ++id) {
+  for (RowId id = 0; id < num_rows_; ++id) {
     std::vector<Value> key;
     key.reserve(columns.size());
-    for (size_t c : columns) key.push_back(rows_[id][c]);
+    for (size_t c : columns) key.push_back(cell_ptr(id)[c]);
     index[std::move(key)].push_back(id);
   }
   return group_indexes_.emplace(columns, std::move(index)).first->second;
@@ -209,10 +214,10 @@ std::vector<std::vector<Value>> Relation::GroupKeys(
   std::vector<std::vector<Value>> keys;
   keys.reserve(groups.size());
   std::unordered_set<std::vector<Value>, VectorHash> seen;
-  for (const Tuple& row : rows_) {
+  for (RowId id = 0; id < num_rows_; ++id) {
     std::vector<Value> key;
     key.reserve(columns.size());
-    for (size_t c : columns) key.push_back(row[c]);
+    for (size_t c : columns) key.push_back(cell_ptr(id)[c]);
     if (seen.insert(key).second) keys.push_back(std::move(key));
   }
   return keys;

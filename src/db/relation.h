@@ -18,13 +18,81 @@ namespace entangled {
 /// \brief Row identifier within a relation (index into the row store).
 using RowId = uint32_t;
 
-/// \brief A database tuple.
+/// \brief A materialized database tuple (used for insertion and for
+/// callers that need an owning copy; stored rows live in the
+/// relation's flat arena and are read through RowView).
 using Tuple = std::vector<Value>;
 
-/// "(v1, v2, ...)".
-std::string TupleToString(const Tuple& tuple);
+/// \brief A borrowed, non-owning view of one stored row: a pointer
+/// into the relation's arity-strided value arena.
+///
+/// Values are 16-byte PODs, so a row is `arity` contiguous trivially
+/// copyable cells — scans walk the arena without pointer chasing.
+/// Views are invalidated by Insert (the arena may reallocate), the
+/// same lifetime contract the old row-of-vectors store had.
+class RowView {
+ public:
+  RowView() = default;
+  RowView(const Value* data, size_t arity) : data_(data), arity_(arity) {}
+  /// A Tuple views as a row (handy for shared rendering helpers).
+  RowView(const Tuple& tuple)  // NOLINT: implicit by design
+      : data_(tuple.data()), arity_(tuple.size()) {}
 
-/// \brief An in-memory relation: a named, fixed-arity bag of tuples with
+  const Value& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return arity_; }
+  bool empty() const { return arity_ == 0; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + arity_; }
+
+  /// An owning copy.
+  Tuple ToTuple() const { return Tuple(data_, data_ + arity_); }
+
+ private:
+  const Value* data_ = nullptr;
+  size_t arity_ = 0;
+};
+
+/// \brief Iterable over a relation's rows, yielding RowView per row.
+class RowRange {
+ public:
+  class iterator {
+   public:
+    iterator(const Value* ptr, size_t arity) : ptr_(ptr), arity_(arity) {}
+    RowView operator*() const { return RowView(ptr_, arity_); }
+    iterator& operator++() {
+      ptr_ += arity_;
+      return *this;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.ptr_ == b.ptr_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    const Value* ptr_;
+    size_t arity_;
+  };
+
+  RowRange(const Value* data, size_t arity, size_t num_rows)
+      : data_(data), arity_(arity), num_rows_(num_rows) {}
+
+  iterator begin() const { return iterator(data_, arity_); }
+  iterator end() const { return iterator(data_ + num_rows_ * arity_, arity_); }
+  size_t size() const { return num_rows_; }
+
+ private:
+  const Value* data_;
+  size_t arity_;
+  size_t num_rows_;
+};
+
+/// "(v1, v2, ...)".
+std::string TupleToString(RowView tuple);
+
+/// \brief An in-memory relation: a named, fixed-arity bag of tuples
+/// stored columnar-friendly — one flat arity-strided Value arena — with
 /// lazily-built hash indexes.
 ///
 /// Indexes are caches: they are built on first probe of a column (or
@@ -55,8 +123,8 @@ class Relation {
     return column_names_;
   }
   size_t arity() const { return column_names_.size(); }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
   /// Index of the column called `name`, if any.
   std::optional<size_t> ColumnIndex(const std::string& name) const;
@@ -67,11 +135,14 @@ class Relation {
   /// Appends Insert(...) for each tuple; stops at the first failure.
   Status InsertAll(std::vector<Tuple> tuples);
 
-  const Tuple& row(RowId id) const;
-  const std::vector<Tuple>& rows() const { return rows_; }
+  /// A view of one stored row (invalidated by Insert).
+  RowView row(RowId id) const;
+  /// Iterates stored rows in insertion order, yielding RowViews.
+  RowRange rows() const { return RowRange(cells_.data(), arity(), num_rows_); }
 
   /// Row ids whose `column` equals `value` (hash-index probe; builds the
-  /// index on first use).
+  /// index on first use).  The returned reference is stable until the
+  /// next Insert.
   const std::vector<RowId>& Probe(size_t column, const Value& value) const;
 
   /// Row ids matching `pattern`, where disengaged positions are
@@ -105,9 +176,16 @@ class Relation {
 
   const ColumnIndexMap& EnsureColumnIndex(size_t column) const;
 
+  const Value* cell_ptr(RowId id) const {
+    return cells_.data() + static_cast<size_t>(id) * arity();
+  }
+
   std::string name_;
   std::vector<std::string> column_names_;
-  std::vector<Tuple> rows_;
+  // Arity-strided flat row store: row r occupies
+  // cells_[r*arity() .. (r+1)*arity()).
+  std::vector<Value> cells_;
+  size_t num_rows_ = 0;
 
   // Lazily-built caches (see class comment).
   mutable std::shared_mutex index_mutex_;

@@ -7,27 +7,40 @@ namespace entangled {
 
 int64_t Value::AsInt() const {
   ENTANGLED_CHECK(is_int()) << "Value is not an int: " << ToString(true);
-  return std::get<int64_t>(repr_);
+  return int_;
 }
 
 const std::string& Value::AsString() const {
   ENTANGLED_CHECK(is_string()) << "Value is not a string: " << ToString(true);
-  return std::get<std::string>(repr_);
+  return GlobalValueInterner().ToString(sym_);
+}
+
+Symbol Value::AsSymbol() const {
+  ENTANGLED_CHECK(is_string()) << "Value is not a string: " << ToString(true);
+  return sym_;
 }
 
 std::string Value::ToString(bool quote) const {
-  if (is_int()) return std::to_string(std::get<int64_t>(repr_));
-  const std::string& s = std::get<std::string>(repr_);
+  if (is_int()) return std::to_string(int_);
+  const std::string& s = GlobalValueInterner().ToString(sym_);
   if (!quote) return s;
   return "'" + s + "'";
 }
 
+bool operator<(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+  if (a.kind_ == Value::Kind::kInt) return a.int_ < b.int_;
+  if (a.sym_ == b.sym_) return false;
+  const StringInterner& interner = GlobalValueInterner();
+  return interner.ToString(a.sym_) < interner.ToString(b.sym_);
+}
+
 size_t Value::Hash() const {
-  size_t seed = static_cast<size_t>(kind());
+  size_t seed = static_cast<size_t>(kind_);
   if (is_int()) {
-    HashCombine(&seed, std::get<int64_t>(repr_));
+    HashCombine(&seed, int_);
   } else {
-    HashCombine(&seed, std::get<std::string>(repr_));
+    HashCombine(&seed, sym_);
   }
   return seed;
 }

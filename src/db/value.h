@@ -6,58 +6,91 @@
 #include <ostream>
 #include <string>
 #include <string_view>
-#include <variant>
+#include <type_traits>
+
+#include "common/interner.h"
 
 namespace entangled {
 
-/// \brief A dynamically-typed database value: a 64-bit integer or a
-/// string.
+/// \brief A dynamically-typed database value: a 64-bit integer or an
+/// interned string.
 ///
 /// The coordination algorithms are schema-agnostic, so relations hold
-/// dynamically typed tuples.  Values order integers before strings
-/// (arbitrary but total), which makes scan order — and therefore the
-/// choose-1 witness the evaluator returns — deterministic.
+/// dynamically typed tuples.  Strings are interned through the
+/// process-wide GlobalValueInterner, which makes Value a trivially
+/// copyable 16-byte POD: equality and hashing are O(1) integer
+/// operations, and the evaluator's innermost loop (binding, index
+/// probing, per-term matching) never touches heap-allocated string
+/// storage.  Values order integers before strings (arbitrary but
+/// total) and strings lexicographically, which makes sorted output —
+/// and therefore the choose-1 witness the evaluator returns —
+/// deterministic regardless of interning order.
 class Value {
  public:
   enum class Kind : uint8_t { kInt = 0, kString = 1 };
 
   /// Default-constructs the integer 0 (needed for container resizing).
-  Value() : repr_(int64_t{0}) {}
+  constexpr Value() : int_(0), kind_(Kind::kInt) {}
 
-  static Value Int(int64_t v) { return Value(v); }
-  static Value Str(std::string v) { return Value(std::move(v)); }
-  static Value Str(std::string_view v) { return Value(std::string(v)); }
-  static Value Str(const char* v) { return Value(std::string(v)); }
-
-  Kind kind() const {
-    return repr_.index() == 0 ? Kind::kInt : Kind::kString;
+  static Value Int(int64_t v) {
+    Value value;
+    value.kind_ = Kind::kInt;
+    value.int_ = v;
+    return value;
   }
-  bool is_int() const { return kind() == Kind::kInt; }
-  bool is_string() const { return kind() == Kind::kString; }
+  /// Interns `v` into the global value interner on first use.
+  static Value Str(std::string_view v) {
+    return Sym(GlobalValueInterner().Intern(v));
+  }
+  static Value Str(const std::string& v) {
+    return Str(std::string_view(v));
+  }
+  static Value Str(const char* v) { return Str(std::string_view(v)); }
+  /// Wraps an already-interned symbol of GlobalValueInterner.
+  static Value Sym(Symbol symbol) {
+    Value value;
+    value.kind_ = Kind::kString;
+    value.sym_ = symbol;
+    return value;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_string() const { return kind_ == Kind::kString; }
 
   /// Accessors; CHECK-fail on kind mismatch.
   int64_t AsInt() const;
   const std::string& AsString() const;
+  /// The interned symbol of a string value; CHECK-fails on ints.
+  Symbol AsSymbol() const;
 
   /// Renders the value; strings are quoted only when `quote` is set.
   std::string ToString(bool quote = false) const;
 
   friend bool operator==(const Value& a, const Value& b) {
-    return a.repr_ == b.repr_;
+    if (a.kind_ != b.kind_) return false;
+    return a.kind_ == Kind::kInt ? a.int_ == b.int_ : a.sym_ == b.sym_;
   }
   friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
-  friend bool operator<(const Value& a, const Value& b) {
-    return a.repr_ < b.repr_;
-  }
+  /// Ints before strings; strings compare lexicographically (two
+  /// interner lookups — keep this off hot paths; equality and Hash are
+  /// the O(1) operations).
+  friend bool operator<(const Value& a, const Value& b);
 
   size_t Hash() const;
 
  private:
-  explicit Value(int64_t v) : repr_(v) {}
-  explicit Value(std::string v) : repr_(std::move(v)) {}
-
-  std::variant<int64_t, std::string> repr_;
+  union {
+    int64_t int_;
+    Symbol sym_;
+  };
+  Kind kind_;
 };
+
+static_assert(std::is_trivially_copyable_v<Value>,
+              "Value must stay a trivially-copyable POD: the columnar "
+              "row store and dense bindings copy it by the million");
+static_assert(sizeof(Value) <= 16, "Value must stay register-friendly");
 
 std::ostream& operator<<(std::ostream& os, const Value& value);
 

@@ -252,7 +252,7 @@ CoordinationEngine::EvalTask CoordinationEngine::BuildTask(
   std::sort(members.begin(), members.end());
   ENTANGLED_CHECK(!members.empty());
   task.min_id = members.front();
-  task.subset = all_.Subset(members, &task.original);
+  task.subset = all_.Subset(members, &task.original, &task.original_vars);
 
   auto local_id = [&members](QueryId engine_id) {
     auto it = std::lower_bound(members.begin(), members.end(), engine_id);
@@ -308,9 +308,13 @@ bool CoordinationEngine::ApplyOutcome(const EvalTask& task,
     if (outcome.unsafe) ++stats_.unsafe_components;
     return false;
   }
-  // Translate subset ids back to engine ids and retire the winners.
+  // Translate subset ids — queries and witness variables — back to
+  // engine ids and retire the winners.
   CoordinationSolution solution;
-  solution.assignment = std::move(outcome.solution.assignment);
+  outcome.solution.assignment.ForEach([&](VarId local, const Value& value) {
+    solution.assignment.emplace(
+        task.original_vars[static_cast<size_t>(local)], value);
+  });
   for (QueryId local : outcome.solution.queries) {
     QueryId engine_id = task.original[static_cast<size_t>(local)];
     solution.queries.push_back(engine_id);
@@ -463,7 +467,8 @@ bool CoordinationEngine::LegacyEvaluateComponentOf(QueryId root) {
   if (!IsPending(root)) return false;
   std::vector<QueryId> component = LegacyComponentOf(root);
   std::vector<QueryId> original;
-  QuerySet subset = all_.Subset(component, &original);
+  std::vector<VarId> original_vars;
+  QuerySet subset = all_.Subset(component, &original, &original_vars);
 
   SccCoordinator coordinator(db_, options_.scc);
   ++stats_.evaluations;
@@ -474,9 +479,13 @@ bool CoordinationEngine::LegacyEvaluateComponentOf(QueryId root) {
     return false;
   }
 
-  // Translate subset ids back to engine ids and retire the winners.
+  // Translate subset ids — queries and witness variables — back to
+  // engine ids and retire the winners.
   CoordinationSolution solution;
-  solution.assignment = result->assignment;  // var ids are shared
+  result->assignment.ForEach([&](VarId local, const Value& value) {
+    solution.assignment.emplace(
+        original_vars[static_cast<size_t>(local)], value);
+  });
   for (QueryId local : result->queries) {
     QueryId engine_id = original[static_cast<size_t>(local)];
     solution.queries.push_back(engine_id);

@@ -159,6 +159,7 @@ class CoordinationEngine {
   struct EvalTask {
     QueryId min_id = -1;              ///< smallest member (schedule key)
     std::vector<QueryId> original;    ///< local id -> engine id
+    std::vector<VarId> original_vars; ///< local var -> engine var
     QuerySet subset;
     std::vector<ExtendedEdge> edges;  ///< local ids, canonical order
   };

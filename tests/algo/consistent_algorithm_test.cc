@@ -67,7 +67,7 @@ TEST_F(MovieNightTest, ChosenTuplesSatisfyEachUser) {
   ASSERT_TRUE(result.ok());
   const Relation& movies = **db_.Get("M");
   for (const ConsistentMember& member : result->members) {
-    const Tuple& row = movies.row(member.self_row);
+    RowView row = movies.row(member.self_row);
     const ConsistentQuery& q = scenario_.queries[member.query_index];
     // Cinema is the agreed value; self constraints hold.
     EXPECT_EQ(row[1], result->agreed_value[0]);

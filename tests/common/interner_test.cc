@@ -1,5 +1,9 @@
 #include "common/interner.h"
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace entangled {
@@ -51,6 +55,49 @@ TEST(InternerTest, EmptyStringIsInternable) {
 TEST(InternerDeathTest, ToStringOnUnknownSymbolAborts) {
   StringInterner interner;
   EXPECT_DEATH(interner.ToString(3), "unknown symbol");
+}
+
+TEST(InternerTest, ReferencesStayStableAcrossGrowth) {
+  StringInterner interner;
+  const std::string& first = interner.ToString(interner.Intern("stable"));
+  for (int i = 0; i < 10000; ++i) {
+    interner.Intern("filler_" + std::to_string(i));
+  }
+  // The deque-backed store never moves an element, so string-valued
+  // Values can hand out AsString() references forever.
+  EXPECT_EQ(first, "stable");
+  EXPECT_EQ(&first, &interner.ToString(interner.Lookup("stable")));
+}
+
+TEST(InternerTest, ConcurrentInterningAgrees) {
+  StringInterner interner;
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 500;
+  std::vector<std::vector<Symbol>> seen(kThreads,
+                                        std::vector<Symbol>(kStrings));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&interner, &seen, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        seen[static_cast<size_t>(t)][static_cast<size_t>(i)] =
+            interner.Intern("s" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Every thread resolved each string to the same symbol.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(interner.size(), static_cast<size_t>(kStrings));
+}
+
+TEST(InternerTest, GlobalValueInternerIsOneInstance) {
+  StringInterner& a = GlobalValueInterner();
+  StringInterner& b = GlobalValueInterner();
+  EXPECT_EQ(&a, &b);
+  Symbol s = a.Intern("global_interner_test_string");
+  EXPECT_EQ(b.Lookup("global_interner_test_string"), s);
 }
 
 }  // namespace

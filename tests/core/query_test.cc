@@ -85,14 +85,19 @@ TEST(QueryTest, SubsetPreservesVariablesAndRenumbers) {
   (void)qa;
 
   std::vector<QueryId> original;
-  QuerySet subset = set.Subset({qb}, &original);
+  std::vector<VarId> original_vars;
+  QuerySet subset = set.Subset({qb}, &original, &original_vars);
   EXPECT_EQ(subset.size(), 1u);
   EXPECT_EQ(original, (std::vector<QueryId>{qb}));
   EXPECT_EQ(subset.query(0).name, "b");
   EXPECT_EQ(subset.query(0).id, 0);
-  // Variable ids survive: y still renders as "y".
-  EXPECT_EQ(subset.var_name(y), "y");
-  EXPECT_EQ(subset.query(0).head[0].terms[0].var(), y);
+  // Variables are remapped densely: the subset carries only b's
+  // variable, renumbered to 0, with its display name preserved and the
+  // reverse map pointing back at y.
+  EXPECT_EQ(subset.num_vars(), 1u);
+  EXPECT_EQ(subset.query(0).head[0].terms[0].var(), 0);
+  EXPECT_EQ(subset.var_name(0), "y");
+  EXPECT_EQ(original_vars, (std::vector<VarId>{y}));
 }
 
 TEST(QueryTest, CheckWellFormedAcceptsProperQueries) {

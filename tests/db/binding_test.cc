@@ -1,0 +1,162 @@
+#include "db/binding.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(BindingTest, StartsEmpty) {
+  Binding binding;
+  EXPECT_TRUE(binding.empty());
+  EXPECT_EQ(binding.size(), 0u);
+  EXPECT_FALSE(binding.contains(0));
+  EXPECT_EQ(binding.Find(3), nullptr);
+}
+
+TEST(BindingTest, EmplaceBindsOnceExistingWins) {
+  Binding binding;
+  EXPECT_TRUE(binding.emplace(2, Value::Int(7)));
+  EXPECT_FALSE(binding.emplace(2, Value::Int(9)));  // map semantics
+  EXPECT_EQ(binding.at(2), Value::Int(7));
+  EXPECT_EQ(binding.size(), 1u);
+}
+
+TEST(BindingTest, SetOverwrites) {
+  Binding binding;
+  binding.Set(1, Value::Str("a"));
+  binding.Set(1, Value::Str("b"));
+  EXPECT_EQ(binding.at(1), Value::Str("b"));
+  EXPECT_EQ(binding.size(), 1u);
+}
+
+TEST(BindingTest, GrowsOnDemandAcrossBitmapWords) {
+  Binding binding;
+  binding.emplace(0, Value::Int(1));
+  binding.emplace(63, Value::Int(2));
+  binding.emplace(64, Value::Int(3));   // second bitmap word
+  binding.emplace(200, Value::Int(4));  // fourth bitmap word
+  EXPECT_EQ(binding.size(), 4u);
+  EXPECT_EQ(binding.at(63), Value::Int(2));
+  EXPECT_EQ(binding.at(64), Value::Int(3));
+  EXPECT_EQ(binding.at(200), Value::Int(4));
+  EXPECT_FALSE(binding.contains(65));
+  EXPECT_FALSE(binding.contains(199));
+}
+
+TEST(BindingTest, EraseUnbinds) {
+  Binding binding;
+  binding.emplace(5, Value::Int(1));
+  EXPECT_TRUE(binding.erase(5));
+  EXPECT_FALSE(binding.erase(5));  // already unbound
+  EXPECT_FALSE(binding.contains(5));
+  EXPECT_TRUE(binding.empty());
+  // Unbinding never shrinks capacity; rebinding works.
+  EXPECT_TRUE(binding.emplace(5, Value::Int(2)));
+  EXPECT_EQ(binding.at(5), Value::Int(2));
+}
+
+/// The evaluator's backtracking discipline: bind a row's variables,
+/// recurse, then unwind the trail to a mark — the binding must come
+/// back exactly to its pre-row state.
+TEST(BindingTest, TrailBacktrackRestoresState) {
+  Binding binding;
+  binding.emplace(0, Value::Str("keep"));
+  Binding before = binding;
+
+  std::vector<VarId> trail;
+  const size_t mark = trail.size();
+  for (VarId v : {1, 2, 3}) {
+    if (binding.emplace(v, Value::Int(v * 10))) trail.push_back(v);
+  }
+  // Rebinding an engaged variable does not grow the trail.
+  EXPECT_FALSE(binding.emplace(0, Value::Str("clobber")));
+  EXPECT_EQ(trail.size(), 3u);
+  EXPECT_EQ(binding.size(), 4u);
+
+  while (trail.size() > mark) {
+    binding.erase(trail.back());
+    trail.pop_back();
+  }
+  EXPECT_EQ(binding, before);
+  EXPECT_EQ(binding.at(0), Value::Str("keep"));
+}
+
+TEST(BindingTest, ForEachAscendingOrder) {
+  Binding binding;
+  binding.emplace(70, Value::Int(3));
+  binding.emplace(4, Value::Int(1));
+  binding.emplace(63, Value::Int(2));
+  std::vector<VarId> order;
+  binding.ForEach([&](VarId var, const Value& value) {
+    order.push_back(var);
+    EXPECT_EQ(value, binding.at(var));
+  });
+  EXPECT_EQ(order, (std::vector<VarId>{4, 63, 70}));
+  EXPECT_EQ(binding.Vars(), order);
+}
+
+TEST(BindingTest, EqualityIgnoresCapacity) {
+  Binding a;
+  a.emplace(1, Value::Int(5));
+  Binding b;
+  b.Reserve(1000);  // different capacity, same content
+  b.emplace(1, Value::Int(5));
+  EXPECT_EQ(a, b);
+  b.emplace(2, Value::Int(6));
+  EXPECT_NE(a, b);
+  b.erase(2);
+  EXPECT_EQ(a, b);
+  b.Set(1, Value::Int(7));
+  EXPECT_NE(a, b);
+}
+
+/// Witness translation back into an engine's global variable space
+/// binds ids that grow with the engine's lifetime; storage must snap
+/// to the component's id window, not stretch from zero.
+TEST(BindingTest, HighIdsUseWindowedStorage) {
+  Binding binding;
+  for (VarId v = 1000000; v < 1000004; ++v) {
+    binding.emplace(v, Value::Int(v));
+  }
+  EXPECT_EQ(binding.size(), 4u);
+  EXPECT_GE(binding.base(), 999936);  // 64-aligned, near the window
+  EXPECT_LE(binding.capacity(), 256u);
+  EXPECT_EQ(binding.at(1000002), Value::Int(1000002));
+  EXPECT_FALSE(binding.contains(0));
+  EXPECT_FALSE(binding.contains(999999));
+  EXPECT_EQ(binding.Vars(),
+            (std::vector<VarId>{1000000, 1000001, 1000002, 1000003}));
+}
+
+TEST(BindingTest, WindowGrowsDownward) {
+  Binding binding;
+  binding.emplace(500, Value::Int(1));
+  binding.emplace(100, Value::Int(2));  // below the initial base
+  binding.emplace(700, Value::Int(3));  // above the window
+  EXPECT_EQ(binding.at(500), Value::Int(1));
+  EXPECT_EQ(binding.at(100), Value::Int(2));
+  EXPECT_EQ(binding.at(700), Value::Int(3));
+  EXPECT_EQ(binding.Vars(), (std::vector<VarId>{100, 500, 700}));
+
+  Binding same;
+  same.emplace(100, Value::Int(2));
+  same.emplace(500, Value::Int(1));
+  same.emplace(700, Value::Int(3));
+  EXPECT_EQ(binding, same);  // content equality ignores window layout
+}
+
+TEST(BindingTest, MoveLeavesSourceEmpty) {
+  Binding source;
+  source.emplace(3, Value::Str("x"));
+  Binding target = std::move(source);
+  EXPECT_EQ(target.at(3), Value::Str("x"));
+  EXPECT_TRUE(source.empty());           // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(source.erase(3));         // harmless on moved-from
+  EXPECT_FALSE(source.contains(3));
+}
+
+}  // namespace
+}  // namespace entangled

@@ -139,7 +139,7 @@ TEST(RelationTest, GroupByMultipleColumns) {
 }
 
 TEST(RelationTest, TupleToString) {
-  EXPECT_EQ(TupleToString({Value::Int(1), Value::Str("a")}), "(1, 'a')");
+  EXPECT_EQ(TupleToString(Tuple{Value::Int(1), Value::Str("a")}), "(1, 'a')");
   EXPECT_EQ(TupleToString({}), "()");
 }
 

@@ -1,5 +1,8 @@
 #include "db/value.h"
 
+#include <cstring>
+#include <string>
+#include <type_traits>
 #include <unordered_set>
 
 #include <gtest/gtest.h>
@@ -75,6 +78,51 @@ TEST(ValueTest, UsableInUnorderedSet) {
 TEST(ValueDeathTest, WrongAccessorAborts) {
   EXPECT_DEATH(Value::Int(1).AsString(), "not a string");
   EXPECT_DEATH(Value::Str("x").AsInt(), "not an int");
+}
+
+// ---------------------------------------------------------------------------
+// POD / interning semantics: Value is a 16-byte trivially-copyable
+// handle; strings live in the process-wide interner.
+// ---------------------------------------------------------------------------
+
+TEST(ValuePodTest, IsTriviallyCopyableAndSmall) {
+  static_assert(std::is_trivially_copyable_v<Value>);
+  static_assert(sizeof(Value) <= 16);
+  // memcpy-style copies preserve meaning (what the columnar row arena
+  // and dense bindings rely on).
+  Value original = Value::Str("pod_copy");
+  Value copy;
+  std::memcpy(static_cast<void*>(&copy), static_cast<const void*>(&original),
+              sizeof(Value));
+  EXPECT_EQ(copy, original);
+  EXPECT_EQ(copy.AsString(), "pod_copy");
+}
+
+TEST(ValuePodTest, EqualStringsShareOneSymbol) {
+  Value a = Value::Str("interned_once");
+  Value b = Value::Str(std::string("interned_once"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.AsSymbol(), b.AsSymbol());
+  // The AsString reference is the interner's single stored copy.
+  EXPECT_EQ(&a.AsString(), &b.AsString());
+}
+
+TEST(ValuePodTest, SymRoundTrip) {
+  Symbol s = GlobalValueInterner().Intern("presymbolized");
+  Value v = Value::Sym(s);
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsSymbol(), s);
+  EXPECT_EQ(v, Value::Str("presymbolized"));
+}
+
+TEST(ValuePodTest, StringOrderIsLexicographicNotSymbolOrder) {
+  // Intern in anti-lexicographic order: comparison must still follow
+  // the strings, not the symbol ids.
+  Value z = Value::Str("zz_interned_late_comparand");
+  Value a = Value::Str("aa_interned_late_comparand");
+  EXPECT_LT(a, z);
+  EXPECT_FALSE(z < a);
+  EXPECT_FALSE(a < a);
 }
 
 }  // namespace

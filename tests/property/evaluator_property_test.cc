@@ -21,7 +21,7 @@ uint64_t NaiveCount(const Database& db, const std::vector<Atom>& body,
   const Atom& atom = body[index];
   const Relation& relation = *db.Find(atom.relation);
   uint64_t count = 0;
-  for (const Tuple& row : relation.rows()) {
+  for (RowView row : relation.rows()) {
     std::vector<VarId> bound_here;
     bool match = true;
     for (size_t i = 0; i < atom.terms.size() && match; ++i) {
@@ -29,12 +29,12 @@ uint64_t NaiveCount(const Database& db, const std::vector<Atom>& body,
       if (term.is_constant()) {
         match = term.constant() == row[i];
       } else {
-        auto it = binding->find(term.var());
-        if (it == binding->end()) {
+        const Value* bound = binding->Find(term.var());
+        if (bound == nullptr) {
           binding->emplace(term.var(), row[i]);
           bound_here.push_back(term.var());
         } else {
-          match = it->second == row[i];
+          match = *bound == row[i];
         }
       }
     }
@@ -49,7 +49,7 @@ bool SatisfiesBody(const Database& db, const std::vector<Atom>& body,
   for (const Atom& atom : body) {
     const Relation& relation = *db.Find(atom.relation);
     bool found = false;
-    for (const Tuple& row : relation.rows()) {
+    for (RowView row : relation.rows()) {
       bool match = true;
       for (size_t i = 0; i < atom.terms.size() && match; ++i) {
         const Term& term = atom.terms[i];

@@ -47,7 +47,7 @@ TEST(ConsistentWorkloadTest, CompleteFriendsHasAllPairs) {
   const Relation* friends = db.Find("Friends");
   EXPECT_EQ(friends->size(), 5u * 4u);
   // No self-friendship.
-  for (const Tuple& row : friends->rows()) {
+  for (RowView row : friends->rows()) {
     EXPECT_NE(row[0], row[1]);
   }
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs every BENCH_JSON-emitting bench and persists its records as
+# BENCH_<name>.json at the repo root — one JSON object per line,
+# greppable and diffable, so the perf trajectory survives across PRs
+# (CI uploads the same files as an artifact).
+#
+# Usage: tools/run_benches.sh [build_dir]   (default: ./build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+# Benches that emit BENCH_JSON records (bench_util.h PrintJsonRecord).
+benches=(
+  bench_eval_hotpath
+  bench_incremental_stream
+  bench_engine
+)
+
+status=0
+for bench in "${benches[@]}"; do
+  binary="$build_dir/$bench"
+  if [[ ! -x "$binary" ]]; then
+    echo "SKIP $bench: $binary not built" >&2
+    status=1
+    continue
+  fi
+  out="$repo_root/BENCH_${bench#bench_}.json"
+  echo "== $bench -> ${out#$repo_root/}"
+  # Keep the human-readable output on stderr for the CI log; the
+  # BENCH_JSON payloads (tag stripped) land in the committed file.
+  # Stage through a temp file so a failing bench (an internal CHECK
+  # gate, say) or one that emits no records never truncates the
+  # committed baseline, and the remaining benches still run.
+  tmp="$(mktemp)"
+  if ! "$binary" | tee /dev/stderr | { grep '^BENCH_JSON ' || true; } \
+      | sed 's/^BENCH_JSON //' > "$tmp"; then
+    echo "FAIL $bench: bench exited non-zero; $out left untouched" >&2
+    rm -f "$tmp"
+    status=1
+    continue
+  fi
+  if [[ ! -s "$tmp" ]]; then
+    echo "FAIL $bench: no BENCH_JSON records emitted; $out left untouched" >&2
+    rm -f "$tmp"
+    status=1
+    continue
+  fi
+  mv "$tmp" "$out"
+done
+exit "$status"
