@@ -122,7 +122,12 @@ bool CoordinationEngine::Cancel(QueryId id) {
   pending_[static_cast<size_t>(id)] = false;
   ++stats_.cancelled;
   if (options_.incremental) {
-    RetireAndRepartition({id});
+    std::vector<QueryId> fragment_roots = RetireAndRepartition({id});
+    if (options_.fault.lose_dirty_on_cancel) {
+      // Test-only fault: drop the re-evaluation marks the repartition
+      // just made (see EngineFaultInjection::lose_dirty_on_cancel).
+      for (QueryId root : fragment_roots) dirty_roots_.erase(root);
+    }
   }
   return true;
 }

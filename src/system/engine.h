@@ -29,6 +29,20 @@ struct EngineStats {
   uint64_t db_queries = 0;           ///< conjunctive queries issued
 };
 
+/// \brief Test-only fault injection.  Each flag disables one
+/// maintenance step of the incremental core so the stress harness's
+/// negative tests (tests/testing/) can prove the differential harness
+/// actually detects the resulting divergence.  Never set in
+/// production code.
+struct EngineFaultInjection {
+  /// Cancel() still retires the query from the incremental index, but
+  /// the surviving fragments of its component lose their dirty marks —
+  /// so a component that a cancellation made safe (or coordinable) is
+  /// never re-examined, and the engine silently misses deliveries the
+  /// from-scratch oracle makes.
+  bool lose_dirty_on_cancel = false;
+};
+
 /// \brief Options for CoordinationEngine.
 struct EngineOptions {
   /// Evaluate the arriving query's connected component after every
@@ -58,6 +72,9 @@ struct EngineOptions {
 
   /// Passed through to the SCC Coordination Algorithm.
   SccOptions scc;
+
+  /// Test-only fault injection (see EngineFaultInjection).
+  EngineFaultInjection fault;
 };
 
 /// \brief The Youtopia-style coordination module (§6.1): queries arrive

@@ -1,0 +1,561 @@
+#include "testing/stress_harness.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/validator.h"
+
+namespace entangled {
+namespace {
+
+constexpr uint64_t kPermutationSalt = 0x9e37be7a5a17ULL;
+constexpr uint64_t kRowShuffleSalt = 0x205bade5eedULL;
+
+std::string IdsToString(const std::vector<QueryId>& ids) {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out << (i == 0 ? "" : ",") << ids[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string LogToString(const std::vector<StressDelivery>& log) {
+  std::ostringstream out;
+  for (const StressDelivery& d : log) out << IdsToString(d.queries) << " ";
+  return out.str();
+}
+
+EngineOptions OracleOptions() {
+  EngineOptions options;
+  options.incremental = false;
+  options.evaluate_every = 1;
+  return options;
+}
+
+EngineOptions IncrementalOptions(size_t threads,
+                                 const EngineFaultInjection& fault) {
+  EngineOptions options;
+  options.incremental = true;
+  options.evaluate_every = 1;
+  options.flush_threads = threads;
+  options.fault = fault;
+  return options;
+}
+
+/// Replays the event stream on one engine, validating every delivery
+/// against Definition 1 as it lands.
+StressReplay Replay(const Database& db, const EngineOptions& options,
+                    const std::vector<WorkloadEvent>& events) {
+  CoordinationEngine engine(&db, options);
+  StressReplay run;
+  engine.set_solution_callback(
+      [&](const QuerySet& set, const CoordinationSolution& solution) {
+        Status valid = ValidateSolution(db, set, solution);
+        if (!valid.ok() && run.error.empty()) {
+          run.error = "delivery " + IdsToString(solution.queries) +
+                      " failed Definition-1 validation: " + valid.ToString();
+        }
+        run.log.push_back(
+            StressDelivery{solution.queries, solution.assignment});
+      });
+  std::string replay_error = ReplayWorkloadEvents(&engine, events);
+  if (!replay_error.empty() && run.error.empty()) run.error = replay_error;
+  run.final_pending = engine.PendingQueries();
+  run.stats = engine.stats();
+  return run;
+}
+
+/// Engine-internal bookkeeping must agree with the observed log.
+std::string CheckInvariants(const std::string& label,
+                            const StressReplay& run) {
+  if (!run.error.empty()) return label + ": " + run.error;
+  const EngineStats& s = run.stats;
+  size_t delivered_queries = 0;
+  std::unordered_set<QueryId> seen;
+  for (const StressDelivery& d : run.log) {
+    delivered_queries += d.queries.size();
+    for (QueryId q : d.queries) {
+      if (!seen.insert(q).second) {
+        return label + ": query " + std::to_string(q) +
+               " delivered in two coordinating sets";
+      }
+    }
+  }
+  if (s.coordinating_sets != run.log.size()) {
+    return label + ": stats.coordinating_sets=" +
+           std::to_string(s.coordinating_sets) + " but " +
+           std::to_string(run.log.size()) + " deliveries observed";
+  }
+  if (s.coordinated_queries != delivered_queries) {
+    return label + ": stats.coordinated_queries=" +
+           std::to_string(s.coordinated_queries) + " but deliveries retired " +
+           std::to_string(delivered_queries) + " queries";
+  }
+  const int64_t submitted = static_cast<int64_t>(s.submitted);
+  const int64_t cancelled = static_cast<int64_t>(s.cancelled);
+  const int64_t coordinated = static_cast<int64_t>(s.coordinated_queries);
+  if (coordinated > submitted - cancelled) {
+    return label + ": coordinated_queries=" + std::to_string(coordinated) +
+           " exceeds submitted-cancelled=" +
+           std::to_string(submitted - cancelled);
+  }
+  if (static_cast<int64_t>(run.final_pending.size()) !=
+      submitted - cancelled - coordinated) {
+    return label + ": " + std::to_string(run.final_pending.size()) +
+           " pending but submitted-cancelled-coordinated=" +
+           std::to_string(submitted - cancelled - coordinated);
+  }
+  return "";
+}
+
+/// Byte-level differential: same sets, same order, same witnesses.
+std::string CompareRuns(const std::string& a_label, const StressReplay& a,
+                        const std::string& b_label, const StressReplay& b) {
+  if (a.log.size() != b.log.size()) {
+    return b_label + " delivered " + std::to_string(b.log.size()) +
+           " coordinating sets, " + a_label + " delivered " +
+           std::to_string(a.log.size()) + "\n  " + a_label + ": " +
+           LogToString(a.log) + "\n  " + b_label + ": " + LogToString(b.log);
+  }
+  for (size_t i = 0; i < a.log.size(); ++i) {
+    if (a.log[i].queries != b.log[i].queries) {
+      return "delivery " + std::to_string(i) + " diverged: " + a_label +
+             " retired " + IdsToString(a.log[i].queries) + ", " + b_label +
+             " retired " + IdsToString(b.log[i].queries);
+    }
+    if (a.log[i].assignment != b.log[i].assignment) {
+      return "delivery " + std::to_string(i) + " " +
+             IdsToString(a.log[i].queries) + ": witness assignments differ " +
+             "between " + a_label + " and " + b_label;
+    }
+  }
+  if (a.final_pending != b.final_pending) {
+    return "final pending sets diverged: " + a_label + " " +
+           IdsToString(a.final_pending) + ", " + b_label + " " +
+           IdsToString(b.final_pending);
+  }
+  if (a.stats.cancelled != b.stats.cancelled) {
+    return "cancellation counts diverged: " + a_label + " " +
+           std::to_string(a.stats.cancelled) + ", " + b_label + " " +
+           std::to_string(b.stats.cancelled);
+  }
+  return "";
+}
+
+/// Order-insensitive canonical form of a delivery log, with ids mapped
+/// through `translate` (empty = identity).
+std::vector<std::vector<QueryId>> CanonicalSets(
+    const std::vector<StressDelivery>& log, const std::vector<QueryId>& translate) {
+  std::vector<std::vector<QueryId>> sets;
+  sets.reserve(log.size());
+  for (const StressDelivery& d : log) {
+    std::vector<QueryId> ids;
+    ids.reserve(d.queries.size());
+    for (QueryId q : d.queries) {
+      ids.push_back(translate.empty() ? q
+                                      : translate[static_cast<size_t>(q)]);
+    }
+    std::sort(ids.begin(), ids.end());
+    sets.push_back(std::move(ids));
+  }
+  std::sort(sets.begin(), sets.end());
+  return sets;
+}
+
+bool HasCancel(const std::vector<WorkloadEvent>& events) {
+  for (const WorkloadEvent& event : events) {
+    if (event.kind == WorkloadEvent::Kind::kCancel) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ReplayWorkloadEvents(CoordinationEngine* engine,
+                                 const std::vector<WorkloadEvent>& events) {
+  ENTANGLED_CHECK(engine != nullptr);
+  for (const WorkloadEvent& event : events) {
+    switch (event.kind) {
+      case WorkloadEvent::Kind::kSubmit: {
+        auto id = engine->Submit(event.texts.front());
+        if (!id.ok()) {
+          return "Submit rejected a generated query: " +
+                 id.status().ToString();
+        }
+        break;
+      }
+      case WorkloadEvent::Kind::kSubmitBatch: {
+        auto ids = engine->SubmitBatch(event.texts);
+        if (!ids.ok()) {
+          return "SubmitBatch rejected a generated batch: " +
+                 ids.status().ToString();
+        }
+        break;
+      }
+      case WorkloadEvent::Kind::kCancel: {
+        // Rank-addressed so every engine being compared cancels the
+        // same query id (pending sets agree while the engines agree).
+        std::vector<QueryId> pending = engine->PendingQueries();
+        if (!pending.empty()) {
+          engine->Cancel(pending[event.cancel_rank % pending.size()]);
+        }
+        break;
+      }
+      case WorkloadEvent::Kind::kSetEvaluateEvery:
+        engine->set_evaluate_every(event.evaluate_every);
+        break;
+      case WorkloadEvent::Kind::kFlush:
+        engine->Flush();
+        break;
+    }
+  }
+  return "";
+}
+
+StressHarness::StressHarness(StressOptions options)
+    : options_(std::move(options)) {
+  ENTANGLED_CHECK(!options_.flush_thread_counts.empty());
+}
+
+std::string StressHarness::CheckOnce(const Database& db,
+                                     const std::vector<WorkloadEvent>& events,
+                                     size_t* oracle_deliveries,
+                                     StressReplay* single_thread) const {
+  StressReplay oracle = Replay(db, OracleOptions(), events);
+  if (oracle_deliveries != nullptr) *oracle_deliveries = oracle.log.size();
+  std::string err = CheckInvariants("oracle", oracle);
+  if (!err.empty()) return err;
+  for (size_t threads : options_.flush_thread_counts) {
+    const std::string label =
+        "incremental[flush_threads=" + std::to_string(threads) + "]";
+    StressReplay run =
+        Replay(db, IncrementalOptions(threads, options_.fault), events);
+    err = CheckInvariants(label, run);
+    if (!err.empty()) return err;
+    err = CompareRuns("oracle", oracle, label, run);
+    if (!err.empty()) return err;
+    if (threads == 1 && single_thread != nullptr) {
+      *single_thread = std::move(run);
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic variants
+// ---------------------------------------------------------------------------
+
+std::string StressHarness::RunMetamorphic(
+    const GeneratorOptions& gen, const Database& db,
+    const GeneratedWorkload& workload, const StressReplay& base) const {
+  // --- (1) within-batch submission-order permutation -------------------
+  // Permuting a batch renumbers its queries, so the permuted stream is
+  // verified differentially in its own right; delivered *sets* are
+  // additionally compared up to the renaming for structures where the
+  // engine is provably order-invariant.  (Stars and random graphs can
+  // hold several equal-size coordinating sets — the solver's documented
+  // tie-break follows discovery order, which tracks submission order —
+  // and cancels are rank-addressed, so strict set equality would
+  // over-assert there.)
+  {
+    Rng rng(gen.seed ^ kPermutationSalt);
+    std::vector<WorkloadEvent> permuted = workload.events;
+    std::vector<QueryId> perm_to_base;  // permuted id -> baseline id
+    QueryId next_id = 0;
+    bool any_batch = false;
+    for (WorkloadEvent& event : permuted) {
+      if (event.kind == WorkloadEvent::Kind::kSubmit) {
+        perm_to_base.push_back(next_id++);
+      } else if (event.kind == WorkloadEvent::Kind::kSubmitBatch) {
+        const size_t n = event.texts.size();
+        std::vector<size_t> order(n);
+        std::iota(order.begin(), order.end(), size_t{0});
+        rng.Shuffle(&order);
+        std::vector<std::string> texts(n);
+        for (size_t i = 0; i < n; ++i) {
+          texts[i] = event.texts[order[i]];
+          perm_to_base.push_back(next_id + static_cast<QueryId>(order[i]));
+        }
+        any_batch = any_batch || n > 1;
+        event.texts = std::move(texts);
+        next_id += static_cast<QueryId>(n);
+      }
+    }
+    if (any_batch) {
+      std::string err = CheckOnce(db, permuted, nullptr);
+      if (!err.empty()) {
+        return "metamorphic[batch permutation]: permuted stream diverged: " +
+               err;
+      }
+      const bool order_invariant =
+          !HasCancel(workload.events) && gen.sharing_density == 0 &&
+          (gen.topology == GraphTopology::kChain ||
+           gen.topology == GraphTopology::kClique);
+      if (order_invariant) {
+        StressReplay perm =
+            Replay(db, IncrementalOptions(1, options_.fault), permuted);
+        if (CanonicalSets(base.log, {}) !=
+            CanonicalSets(perm.log, perm_to_base)) {
+          return "metamorphic[batch permutation]: delivered coordinating "
+                 "sets changed under within-batch permutation\n  base:     " +
+                 LogToString(base.log) + "\n  permuted: " +
+                 LogToString(perm.log);
+        }
+        std::vector<QueryId> pending;
+        for (QueryId q : perm.final_pending) {
+          pending.push_back(perm_to_base[static_cast<size_t>(q)]);
+        }
+        std::sort(pending.begin(), pending.end());
+        if (pending != base.final_pending) {
+          return "metamorphic[batch permutation]: final pending set changed "
+                 "under within-batch permutation";
+        }
+      }
+    }
+  }
+
+  // --- (2) relation row shuffling --------------------------------------
+  // Row order affects which witness the evaluator finds, never whether
+  // one exists: the delivered sets, their order, and the pending set
+  // must be identical; witnesses are revalidated inside the replay.
+  {
+    GeneratorOptions shuffled = gen;
+    shuffled.row_shuffle_seed = gen.seed ^ kRowShuffleSalt;
+    if (shuffled.row_shuffle_seed == 0) shuffled.row_shuffle_seed = 1;
+    Database shuffled_db;
+    Status built = WorkloadGenerator(shuffled).BuildDatabase(&shuffled_db);
+    ENTANGLED_CHECK(built.ok()) << built.ToString();
+    StressReplay variant = Replay(
+        shuffled_db, IncrementalOptions(1, options_.fault), workload.events);
+    if (!variant.error.empty()) {
+      return "metamorphic[row shuffle]: " + variant.error;
+    }
+    if (base.log.size() != variant.log.size()) {
+      return "metamorphic[row shuffle]: delivery count changed under row "
+             "shuffling: " +
+             std::to_string(base.log.size()) + " vs " +
+             std::to_string(variant.log.size());
+    }
+    for (size_t i = 0; i < base.log.size(); ++i) {
+      if (base.log[i].queries != variant.log[i].queries) {
+        return "metamorphic[row shuffle]: delivery " + std::to_string(i) +
+               " changed under row shuffling: " +
+               IdsToString(base.log[i].queries) + " vs " +
+               IdsToString(variant.log[i].queries);
+      }
+    }
+    if (base.final_pending != variant.final_pending) {
+      return "metamorphic[row shuffle]: final pending set changed under "
+             "row shuffling";
+    }
+  }
+
+  // --- (3) symbol renaming through the interner ------------------------
+  // Prefixing every generated string constant yields the same scenario
+  // up to an injective renaming: identical delivered sets in identical
+  // order, witnesses equal after mapping string values through the
+  // renaming (integers untouched).
+  {
+    GeneratorOptions renamed = gen;
+    renamed.symbol_prefix = "Rn" + gen.symbol_prefix;
+    WorkloadGenerator renamed_generator(renamed);
+    Database renamed_db;
+    Status built = renamed_generator.BuildDatabase(&renamed_db);
+    ENTANGLED_CHECK(built.ok()) << built.ToString();
+    GeneratedWorkload renamed_workload = renamed_generator.Generate();
+    if (renamed_workload.events.size() != workload.events.size()) {
+      return "metamorphic[symbol renaming]: generator is not "
+             "prefix-invariant (event counts differ)";
+    }
+    StressReplay variant =
+        Replay(renamed_db, IncrementalOptions(1, options_.fault),
+               renamed_workload.events);
+    if (!variant.error.empty()) {
+      return "metamorphic[symbol renaming]: " + variant.error;
+    }
+    if (base.log.size() != variant.log.size()) {
+      return "metamorphic[symbol renaming]: delivery count changed under "
+             "renaming: " +
+             std::to_string(base.log.size()) + " vs " +
+             std::to_string(variant.log.size());
+    }
+    for (size_t i = 0; i < base.log.size(); ++i) {
+      if (base.log[i].queries != variant.log[i].queries) {
+        return "metamorphic[symbol renaming]: delivery " + std::to_string(i) +
+               " changed under renaming: " +
+               IdsToString(base.log[i].queries) + " vs " +
+               IdsToString(variant.log[i].queries);
+      }
+      const Binding& base_witness = base.log[i].assignment;
+      const Binding& renamed_witness = variant.log[i].assignment;
+      if (base_witness.size() != renamed_witness.size()) {
+        return "metamorphic[symbol renaming]: witness arity changed at "
+               "delivery " +
+               std::to_string(i);
+      }
+      std::string mismatch;
+      base_witness.ForEach([&](VarId var, const Value& value) {
+        if (!mismatch.empty()) return;
+        const Value* other = renamed_witness.Find(var);
+        if (other == nullptr) {
+          mismatch = "variable ?" + std::to_string(var) +
+                     " unbound in the renamed witness";
+          return;
+        }
+        if (value.is_int()) {
+          if (*other != value) {
+            mismatch = "integer witness value changed under renaming";
+          }
+        } else if (!other->is_string() ||
+                   other->AsString() != "Rn" + value.AsString()) {
+          mismatch = "string witness '" + value.AsString() +
+                     "' did not map to its renamed form";
+        }
+      });
+      if (!mismatch.empty()) {
+        return "metamorphic[symbol renaming]: delivery " + std::to_string(i) +
+               ": " + mismatch;
+      }
+    }
+    if (base.final_pending != variant.final_pending) {
+      return "metamorphic[symbol renaming]: final pending set changed "
+             "under renaming";
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+std::vector<WorkloadEvent> StressHarness::Shrink(
+    const Database& db, const std::vector<WorkloadEvent>& events) const {
+  size_t budget = options_.max_shrink_replays;
+  auto fails = [&](const std::vector<WorkloadEvent>& candidate) {
+    if (budget == 0) return false;  // exhausted: stop improving
+    --budget;
+    return !CheckOnce(db, candidate, nullptr).empty();
+  };
+  WorkloadEvent flush;
+  flush.kind = WorkloadEvent::Kind::kFlush;
+  auto prefix_of = [&](size_t n) {
+    std::vector<WorkloadEvent> prefix(events.begin(),
+                                      events.begin() +
+                                          static_cast<std::ptrdiff_t>(n));
+    // A trailing flush surfaces divergence hiding in pending work.
+    prefix.push_back(flush);
+    return prefix;
+  };
+
+  // Binary search for a small failing prefix.  Divergence is not
+  // strictly monotonic in prefix length, so the result is re-verified
+  // and the search is best-effort.
+  size_t lo = 1, hi = events.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (fails(prefix_of(mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::vector<WorkloadEvent> best = prefix_of(lo);
+  if (!fails(best)) return events;  // non-monotonic case: keep the original
+
+  // Greedy single-event removal to a local minimum.
+  for (size_t i = best.size(); i-- > 0;) {
+    if (best.size() <= 2) break;
+    std::vector<WorkloadEvent> candidate = best;
+    candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+    if (fails(candidate)) best = std::move(candidate);
+  }
+  return best;
+}
+
+std::string FormatReproduction(const GeneratorOptions* gen,
+                               const std::vector<WorkloadEvent>& events,
+                               size_t original_events) {
+  std::ostringstream out;
+  out << "STRESS_REPRO ";
+  if (gen != nullptr) {
+    out << "seed=" << gen->seed << " topology=" << TopologyName(gen->topology)
+        << " queries=" << gen->num_queries << " ";
+  } else {
+    out << "directed-stream ";
+  }
+  out << "events=" << events.size() << "/" << original_events << "\n";
+  GeneratedWorkload view;
+  view.events = events;
+  out << WorkloadToString(view);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+StressReport StressHarness::VerifyEvents(
+    const Database& db, const std::vector<WorkloadEvent>& events) const {
+  StressReport report;
+  report.events = events.size();
+  for (const WorkloadEvent& event : events) {
+    report.submitted += event.texts.size();
+  }
+  report.failure = CheckOnce(db, events, &report.deliveries);
+  report.ok = report.failure.empty();
+  if (!report.ok && options_.shrink_on_failure) {
+    std::vector<WorkloadEvent> shrunk = Shrink(db, events);
+    report.shrunk_events = shrunk.size();
+    report.reproduction = FormatReproduction(nullptr, shrunk, events.size());
+  }
+  return report;
+}
+
+StressReport StressHarness::RunScenario(const GeneratorOptions& gen) const {
+  WorkloadGenerator generator(gen);
+  GeneratedWorkload workload = generator.Generate();
+  Database db;
+  Status built = generator.BuildDatabase(&db);
+  ENTANGLED_CHECK(built.ok()) << built.ToString();
+
+  StressReport report;
+  report.events = workload.events.size();
+  report.submitted = workload.num_queries;
+  StressReplay single_thread;
+  bool have_single_thread =
+      std::find(options_.flush_thread_counts.begin(),
+                options_.flush_thread_counts.end(),
+                size_t{1}) != options_.flush_thread_counts.end();
+  report.failure =
+      CheckOnce(db, workload.events, &report.deliveries, &single_thread);
+  const bool base_failed = !report.failure.empty();
+  if (!base_failed && options_.run_metamorphic) {
+    if (!have_single_thread) {
+      single_thread =
+          Replay(db, IncrementalOptions(1, options_.fault), workload.events);
+    }
+    report.failure = RunMetamorphic(gen, db, workload, single_thread);
+  }
+  report.ok = report.failure.empty();
+  if (!report.ok && options_.shrink_on_failure) {
+    // Metamorphic failures are reported unshrunk (the shrinking
+    // predicate is the base differential); engine bugs and injected
+    // faults surface there, so those streams do shrink.
+    std::vector<WorkloadEvent> shrunk =
+        base_failed ? Shrink(db, workload.events) : workload.events;
+    report.shrunk_events = shrunk.size();
+    report.reproduction =
+        FormatReproduction(&gen, shrunk, workload.events.size());
+  }
+  return report;
+}
+
+}  // namespace entangled

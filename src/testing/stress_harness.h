@@ -1,0 +1,138 @@
+#ifndef ENTANGLED_TESTING_STRESS_HARNESS_H_
+#define ENTANGLED_TESTING_STRESS_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/engine.h"
+#include "workload/generator.h"
+
+namespace entangled {
+
+/// \brief Options for StressHarness.
+struct StressOptions {
+  /// Incremental engine variants differentially compared against the
+  /// from-scratch oracle (`EngineOptions::incremental = false`) on
+  /// every scenario.  Each entry is a Flush() thread count.
+  std::vector<size_t> flush_thread_counts = {1, 4};
+
+  /// Run the metamorphic variants (within-batch permutation, relation
+  /// row shuffling, symbol renaming) after the differential passes.
+  bool run_metamorphic = true;
+
+  /// On failure, shrink the event stream to a minimal failing prefix
+  /// (binary search, then greedy single-event removal) and render it
+  /// into StressReport::reproduction.
+  bool shrink_on_failure = true;
+
+  /// Replay budget for shrinking (each probe replays the oracle plus
+  /// every incremental variant).
+  size_t max_shrink_replays = 400;
+
+  /// Injected into the *incremental* engines only (the oracle always
+  /// runs clean).  Used by negative tests to prove the harness detects
+  /// a deliberately-broken engine; see EngineFaultInjection.
+  EngineFaultInjection fault;
+};
+
+/// \brief One recorded delivery: engine ids plus the witness.
+struct StressDelivery {
+  std::vector<QueryId> queries;
+  Binding assignment;
+};
+
+/// \brief Everything one engine replay produced.
+struct StressReplay {
+  std::vector<StressDelivery> log;
+  std::vector<QueryId> final_pending;
+  EngineStats stats;
+  std::string error;  ///< witness/parse failure inside the replay
+};
+
+/// \brief Replays `events` against `engine`: Submit / SubmitBatch /
+/// rank-addressed Cancel / set_evaluate_every / Flush.  The shared
+/// dispatch loop behind the harness and bench_scenarios, so the event
+/// semantics (in particular `cancel_rank % pending.size()` addressing)
+/// have exactly one definition.  Returns an error description when the
+/// engine rejects a generated query; empty string on success.
+std::string ReplayWorkloadEvents(CoordinationEngine* engine,
+                                 const std::vector<WorkloadEvent>& events);
+
+/// \brief Outcome of one differentially-verified scenario.
+struct StressReport {
+  bool ok = true;
+  std::string failure;       ///< first divergence, human-readable
+  std::string reproduction;  ///< STRESS_REPRO block (set on failure)
+  size_t events = 0;         ///< events in the generated stream
+  size_t submitted = 0;      ///< query texts across submit events
+  size_t deliveries = 0;     ///< coordinating sets the oracle delivered
+  size_t shrunk_events = 0;  ///< events in the minimal reproduction
+};
+
+/// \brief Replays generated workloads against the incremental engine
+/// (per flush-thread-count variant) and the from-scratch oracle at
+/// once, asserting identical coordinating sets in identical order with
+/// identical witnesses, Definition-1 validity of every delivery, and
+/// EngineStats invariants (e.g. coordinated_queries <= submitted -
+/// cancelled).  Scenarios that pass are additionally re-run through
+/// metamorphic transformations; scenarios that fail are shrunk to a
+/// minimal failing event prefix rendered for reproduction.
+class StressHarness {
+ public:
+  explicit StressHarness(StressOptions options = {});
+
+  const StressOptions& options() const { return options_; }
+
+  /// Generates the scenario described by `gen` (database + event
+  /// stream) and verifies it end to end.
+  StressReport RunScenario(const GeneratorOptions& gen) const;
+
+  /// Differentially verifies a caller-supplied event stream against
+  /// `db` (no metamorphic variants — those need the generator).  Used
+  /// by directed tests, including the fault-injection negative tests.
+  StressReport VerifyEvents(const Database& db,
+                            const std::vector<WorkloadEvent>& events) const;
+
+ private:
+  /// Empty string when the differential + invariants pass; otherwise a
+  /// description of the first divergence.  `oracle_deliveries`
+  /// (optional) receives the oracle's coordinating-set count;
+  /// `single_thread` (optional) receives the flush_threads=1 replay
+  /// when that variant ran, so callers can reuse it.
+  std::string CheckOnce(const Database& db,
+                        const std::vector<WorkloadEvent>& events,
+                        size_t* oracle_deliveries,
+                        StressReplay* single_thread = nullptr) const;
+
+  /// Metamorphic variants compared against `base` (the scenario's
+  /// flush_threads=1 replay); empty string when all hold.
+  std::string RunMetamorphic(const GeneratorOptions& gen, const Database& db,
+                             const GeneratedWorkload& workload,
+                             const StressReplay& base) const;
+
+  /// Shrinks a failing stream (budgeted); returns a stream that still
+  /// fails CheckOnce (the input itself when shrinking cannot improve).
+  std::vector<WorkloadEvent> Shrink(
+      const Database& db, const std::vector<WorkloadEvent>& events) const;
+
+  StressOptions options_;
+};
+
+/// Renders the reproduction block printed on failure:
+///
+///   STRESS_REPRO seed=7 topology=chain queries=24 events=5/63
+///     [0] SUBMIT q0_0: { ... } ...
+///     [1] CANCEL rank=3
+///     [2] FLUSH
+///
+/// `gen` may be null for caller-supplied (directed) streams, which
+/// have no generator metadata to reproduce from — the events listing
+/// itself is the reproduction.
+std::string FormatReproduction(const GeneratorOptions* gen,
+                               const std::vector<WorkloadEvent>& events,
+                               size_t original_events);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_TESTING_STRESS_HARNESS_H_

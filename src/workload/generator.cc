@@ -1,0 +1,409 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "db/relation.h"
+
+namespace entangled {
+
+const char* TopologyName(GraphTopology topology) {
+  switch (topology) {
+    case GraphTopology::kChain:
+      return "chain";
+    case GraphTopology::kStar:
+      return "star";
+    case GraphTopology::kClique:
+      return "clique";
+    case GraphTopology::kErdosRenyi:
+      return "erdos_renyi";
+  }
+  return "unknown";
+}
+
+std::vector<GraphTopology> AllTopologies() {
+  return {GraphTopology::kChain, GraphTopology::kStar, GraphTopology::kClique,
+          GraphTopology::kErdosRenyi};
+}
+
+namespace {
+
+// Salts separating the generator's independent RNG streams: the
+// database stream and the event stream must not share draws, so a row
+// shuffle can rebuild the database without disturbing the events.
+constexpr uint64_t kDbSalt = 0x6db5a17f00d5eedULL;
+constexpr uint64_t kEventSalt = 0x0e7e9151a1755eedULL;
+
+/// The deterministic content behind one database relation, kept in
+/// generator-internal form so query construction can reference actual
+/// rows (guaranteeing satisfiable bodies) without reading the Database.
+struct RelationSpec {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<Tuple> rows;  // unshuffled; shuffling is insertion-only
+};
+
+/// Renders a constant cell as a term in the paper's concrete syntax.
+std::string TermText(const Value& value) {
+  if (value.is_int()) return std::to_string(value.AsInt());
+  return "'" + value.AsString() + "'";
+}
+
+/// One body atom under construction: relation + per-position term
+/// texts ("x", "_", "17", "'t0c1_3'").
+struct BodyAtom {
+  size_t relation;
+  std::vector<std::string> terms;
+
+  std::string Render(const std::vector<RelationSpec>& specs) const {
+    std::string out = specs[relation].name + "(";
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += terms[i];
+    }
+    return out + ")";
+  }
+};
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(GeneratorOptions options)
+    : options_(std::move(options)) {
+  ENTANGLED_CHECK_GE(options_.num_relations, 1u);
+  ENTANGLED_CHECK_GE(options_.min_arity, 1u);
+  ENTANGLED_CHECK_GE(options_.max_arity, options_.min_arity);
+  ENTANGLED_CHECK_GE(options_.rows_per_relation, 1u);
+  ENTANGLED_CHECK_GE(options_.population, 1u);
+  ENTANGLED_CHECK_GE(options_.tags_per_column, 1u);
+  ENTANGLED_CHECK_GE(options_.max_body_atoms, 1u);
+  ENTANGLED_CHECK_GE(options_.min_group, 1u);
+  ENTANGLED_CHECK_GE(options_.max_group, options_.min_group);
+  ENTANGLED_CHECK_GE(options_.max_batch, 2u);
+  if (!options_.symbol_prefix.empty()) {
+    // Tag constants are rendered as bare identifiers; a prefixed tag
+    // must still lex as a string constant (uppercase first letter).
+    ENTANGLED_CHECK(
+        std::isupper(static_cast<unsigned char>(options_.symbol_prefix[0])))
+        << "symbol_prefix must start with an uppercase letter";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Database stream
+// ---------------------------------------------------------------------------
+
+static std::vector<RelationSpec> BuildSpecs(const GeneratorOptions& o) {
+  Rng rng(o.seed ^ kDbSalt);
+  std::vector<RelationSpec> specs;
+  specs.reserve(o.num_relations);
+  for (size_t r = 0; r < o.num_relations; ++r) {
+    RelationSpec spec;
+    spec.name = "R" + std::to_string(r);
+    const size_t arity =
+        o.min_arity +
+        static_cast<size_t>(rng.NextBounded(o.max_arity - o.min_arity + 1));
+    spec.columns.push_back("id");
+    for (size_t c = 1; c < arity; ++c) {
+      spec.columns.push_back("c" + std::to_string(c));
+    }
+    spec.rows.reserve(o.rows_per_relation);
+    for (size_t i = 0; i < o.rows_per_relation; ++i) {
+      Tuple row;
+      row.reserve(arity);
+      row.push_back(Value::Int(
+          static_cast<int64_t>(rng.NextBounded(o.population))));
+      for (size_t c = 1; c < arity; ++c) {
+        // Small per-column tag pools give columns shared join values.
+        const std::string tag = "t" + std::to_string(r) + "c" +
+                                std::to_string(c) + "_" +
+                                std::to_string(rng.NextBounded(
+                                    o.tags_per_column));
+        row.push_back(Value::Str(o.symbol_prefix + tag));
+      }
+      spec.rows.push_back(std::move(row));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Status WorkloadGenerator::BuildDatabase(Database* db) const {
+  ENTANGLED_CHECK(db != nullptr);
+  std::vector<RelationSpec> specs = BuildSpecs(options_);
+  for (size_t r = 0; r < specs.size(); ++r) {
+    RelationSpec& spec = specs[r];
+    auto relation = db->CreateRelation(spec.name, spec.columns);
+    if (!relation.ok()) return relation.status();
+    if (options_.row_shuffle_seed != 0) {
+      Rng shuffle(options_.row_shuffle_seed ^ (kDbSalt + r));
+      shuffle.Shuffle(&spec.rows);
+    }
+    ENTANGLED_RETURN_IF_ERROR((*relation)->InsertAll(std::move(spec.rows)));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Event stream
+// ---------------------------------------------------------------------------
+
+GeneratedWorkload WorkloadGenerator::Generate() const {
+  const GeneratorOptions& o = options_;
+  const std::vector<RelationSpec> specs = BuildSpecs(o);
+  Rng rng(o.seed ^ kEventSalt);
+
+  auto tag = [&o](size_t group, size_t member) {
+    return o.symbol_prefix + "G" + std::to_string(group) + "M" +
+           std::to_string(member);
+  };
+  auto answer_rel = [](size_t group) { return "A" + std::to_string(group); };
+
+  // A satisfiable body atom: a real row of a random relation with the
+  // given variable (or wildcard) text at one position.
+  auto row_atom = [&](size_t relation, size_t row, size_t var_pos,
+                      const std::string& var_text) {
+    const RelationSpec& spec = specs[relation];
+    BodyAtom atom;
+    atom.relation = relation;
+    for (size_t i = 0; i < spec.columns.size(); ++i) {
+      atom.terms.push_back(i == var_pos ? var_text
+                                        : TermText(spec.rows[row][i]));
+    }
+    return atom;
+  };
+  auto random_site = [&]() {
+    const size_t relation = static_cast<size_t>(rng.NextBounded(specs.size()));
+    const size_t row = static_cast<size_t>(
+        rng.NextBounded(specs[relation].rows.size()));
+    const size_t pos = static_cast<size_t>(
+        rng.NextBounded(specs[relation].columns.size()));
+    return std::array<size_t, 3>{relation, row, pos};
+  };
+
+  size_t missing_counter = 0;
+
+  // ---- carve the query budget into entanglement groups ----
+  struct Member {
+    size_t group = 0;
+    size_t index = 0;                ///< member index within the group
+    size_t head_tag_of = 0;          ///< twin: duplicates this member's tag
+    std::vector<size_t> targets;     ///< in-group post targets
+    std::vector<std::pair<size_t, size_t>> bridges;  ///< (group, member)
+    std::vector<BodyAtom> body;
+    bool twin = false;
+  };
+  std::vector<std::vector<Member>> groups;
+  size_t budget = o.num_queries;
+  while (budget > 0) {
+    const size_t hi = std::min(o.max_group, budget);
+    const size_t lo = std::min(o.min_group, hi);
+    const size_t size =
+        lo + static_cast<size_t>(rng.NextBounded(hi - lo + 1));
+    const size_t g = groups.size();
+    std::vector<Member> members(size);
+    for (size_t m = 0; m < size; ++m) {
+      members[m].group = g;
+      members[m].index = m;
+      members[m].head_tag_of = m;
+    }
+    // Topology: which member posts on which member's head.  Tags are
+    // unique per member, so each post unifies with exactly one head —
+    // generated components are safe by construction.
+    switch (o.topology) {
+      case GraphTopology::kChain:
+        for (size_t m = 0; m + 1 < size; ++m) members[m].targets = {m + 1};
+        break;
+      case GraphTopology::kStar:
+        for (size_t m = 1; m < size; ++m) members[m].targets = {0};
+        break;
+      case GraphTopology::kClique:
+        for (size_t m = 0; m < size; ++m) {
+          for (size_t j = 0; j < size; ++j) {
+            if (j != m) members[m].targets.push_back(j);
+          }
+        }
+        break;
+      case GraphTopology::kErdosRenyi:
+        for (size_t m = 0; m < size; ++m) {
+          for (size_t j = 0; j < size; ++j) {
+            if (j != m && rng.NextBool(o.er_edge_prob)) {
+              members[m].targets.push_back(j);
+            }
+          }
+        }
+        break;
+    }
+    // Cross-group bridge: one member gains a post into an earlier
+    // group, merging the two weakly connected components.  Twins are
+    // excluded as targets: a twin's head repeats another member's tag,
+    // so aiming at its own (never-emitted) tag would leave the bridge
+    // post unsatisfiable and the components unmerged.
+    if (g > 0 && rng.NextBool(o.sharing_density)) {
+      const size_t src = static_cast<size_t>(rng.NextBounded(size));
+      const size_t tgt_group = static_cast<size_t>(rng.NextBounded(g));
+      size_t tgt_count = groups[tgt_group].size();
+      while (tgt_count > 0 && groups[tgt_group][tgt_count - 1].twin) {
+        --tgt_count;  // twins sit at the tail of their group
+      }
+      const size_t tgt_member =
+          static_cast<size_t>(rng.NextBounded(tgt_count));
+      members[src].bridges.push_back({tgt_group, tgt_member});
+    }
+    // Unsafe twin: a duplicate head tag makes every post aimed at the
+    // twinned member unify with two heads (Definition 2 violation);
+    // the component stays stuck until a cancellation resolves it.
+    if (size >= 2 && rng.NextBool(o.unsafe_rate)) {
+      Member twin;
+      twin.group = g;
+      twin.index = size;
+      twin.twin = true;
+      twin.head_tag_of = static_cast<size_t>(rng.NextBounded(size));
+      members.push_back(std::move(twin));
+    }
+    budget -= std::min(budget, size);
+
+    // Bodies.  Members reusing the group's template atom share a
+    // guaranteed common witness, so the group can actually coordinate;
+    // members drawing their own site may or may not intersect.
+    const auto group_site = random_site();
+    for (Member& member : members) {
+      const bool head_only = rng.NextBool(o.head_only_var_rate);
+      const bool use_template = rng.NextBool(o.template_rate);
+      const bool stuck = rng.NextBool(o.stuck_body_rate);
+      const auto own_site = random_site();
+      if (!head_only) {
+        const auto& site = use_template ? group_site : own_site;
+        BodyAtom atom = row_atom(site[0], site[1], site[2], "x");
+        if (stuck && atom.terms.size() >= 2) {
+          // Overwrite one constant with a value no relation contains:
+          // the body can never ground, so the member never coordinates.
+          size_t pos = (site[2] + 1) % atom.terms.size();
+          atom.terms[pos] = "'" + o.symbol_prefix + "missing" +
+                            std::to_string(missing_counter++) + "'";
+        }
+        member.body.push_back(std::move(atom));
+      }
+      for (size_t extra = 1; extra < o.max_body_atoms; ++extra) {
+        if (!rng.NextBool(0.4)) continue;
+        const auto site = random_site();
+        member.body.push_back(row_atom(site[0], site[1], site[2], "_"));
+      }
+    }
+    groups.push_back(std::move(members));
+  }
+
+  // ---- render texts ----
+  std::vector<std::string> texts;
+  for (const auto& members : groups) {
+    for (const Member& member : members) {
+      const size_t g = member.group;
+      std::ostringstream out;
+      out << "q" << g << "_" << (member.twin ? "t" : "")
+          << member.index << ": { ";
+      bool first = true;
+      for (size_t j : member.targets) {
+        out << (first ? "" : ", ") << answer_rel(g) << "(" << tag(g, j)
+            << ", x)";
+        first = false;
+      }
+      for (const auto& [bg, bm] : member.bridges) {
+        out << (first ? "" : ", ") << answer_rel(bg) << "(" << tag(bg, bm)
+            << ", xb)";
+        first = false;
+      }
+      out << " } " << answer_rel(g) << "(" << tag(g, member.head_tag_of)
+          << ", x) :- ";
+      for (size_t i = 0; i < member.body.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << member.body[i].Render(specs);
+      }
+      out << ".";
+      texts.push_back(out.str());
+    }
+  }
+  rng.Shuffle(&texts);
+
+  // ---- interleave arrivals with cancels, flushes, cadence switches ----
+  GeneratedWorkload workload;
+  workload.num_queries = texts.size();
+  workload.num_groups = groups.size();
+  size_t next = 0;
+  while (next < texts.size()) {
+    WorkloadEvent event;
+    const size_t remaining = texts.size() - next;
+    if (remaining >= 2 && rng.NextBool(o.batch_rate)) {
+      event.kind = WorkloadEvent::Kind::kSubmitBatch;
+      const size_t size = std::min(
+          remaining,
+          size_t{2} + static_cast<size_t>(rng.NextBounded(o.max_batch - 1)));
+      for (size_t i = 0; i < size; ++i) event.texts.push_back(texts[next++]);
+    } else {
+      event.kind = WorkloadEvent::Kind::kSubmit;
+      event.texts.push_back(texts[next++]);
+    }
+    workload.events.push_back(std::move(event));
+
+    if (rng.NextBool(o.cancel_rate)) {
+      WorkloadEvent cancel;
+      cancel.kind = WorkloadEvent::Kind::kCancel;
+      cancel.cancel_rank = static_cast<size_t>(rng.NextBounded(1024));
+      workload.events.push_back(std::move(cancel));
+    }
+    if (rng.NextBool(o.eval_every_rate)) {
+      WorkloadEvent cadence;
+      cadence.kind = WorkloadEvent::Kind::kSetEvaluateEvery;
+      cadence.evaluate_every = static_cast<size_t>(rng.NextBounded(4));
+      workload.events.push_back(std::move(cadence));
+    }
+    if (rng.NextBool(o.flush_rate)) {
+      WorkloadEvent flush;
+      flush.kind = WorkloadEvent::Kind::kFlush;
+      workload.events.push_back(std::move(flush));
+    }
+  }
+  WorkloadEvent final_flush;
+  final_flush.kind = WorkloadEvent::Kind::kFlush;
+  workload.events.push_back(std::move(final_flush));
+  return workload;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::string EventToString(const WorkloadEvent& event) {
+  std::ostringstream out;
+  switch (event.kind) {
+    case WorkloadEvent::Kind::kSubmit:
+      out << "SUBMIT " << event.texts.front();
+      break;
+    case WorkloadEvent::Kind::kSubmitBatch:
+      out << "BATCH[" << event.texts.size() << "]";
+      for (const std::string& text : event.texts) out << " | " << text;
+      break;
+    case WorkloadEvent::Kind::kCancel:
+      out << "CANCEL rank=" << event.cancel_rank;
+      break;
+    case WorkloadEvent::Kind::kSetEvaluateEvery:
+      out << "EVAL_EVERY " << event.evaluate_every;
+      break;
+    case WorkloadEvent::Kind::kFlush:
+      out << "FLUSH";
+      break;
+  }
+  return out.str();
+}
+
+std::string WorkloadToString(const GeneratedWorkload& workload) {
+  std::ostringstream out;
+  for (size_t i = 0; i < workload.events.size(); ++i) {
+    out << "  [" << i << "] " << EventToString(workload.events[i]) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace entangled

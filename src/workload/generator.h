@@ -1,0 +1,144 @@
+#ifndef ENTANGLED_WORKLOAD_GENERATOR_H_
+#define ENTANGLED_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+
+namespace entangled {
+
+/// \brief Shape of the query-sharing structure a generated scenario
+/// drapes over each entanglement group (related work shows coordination
+/// hardness is highly sensitive to exactly this shape).
+enum class GraphTopology {
+  kChain,       ///< q0 <- q1 <- ... <- qk: nested reachable sets
+  kStar,        ///< spokes all waiting on one hub's head
+  kClique,      ///< pairwise mutual entanglement (one SCC)
+  kErdosRenyi,  ///< each directed (post -> head) pair with prob p
+};
+
+const char* TopologyName(GraphTopology topology);
+
+/// All topologies, for sweeps.
+std::vector<GraphTopology> AllTopologies();
+
+/// \brief Knobs of one randomized coordination workload.  Every field
+/// participates in generation deterministically: the same options (and
+/// in particular the same `seed`) always produce the same database and
+/// the same event stream, bit for bit.
+struct GeneratorOptions {
+  uint64_t seed = 1;
+  GraphTopology topology = GraphTopology::kErdosRenyi;
+
+  // ---- database shape ----
+  size_t population = 48;         ///< distinct integer entity ids
+  size_t num_relations = 3;       ///< body relations R0..R{n-1}
+  size_t min_arity = 2;           ///< relation arity lower bound
+  size_t max_arity = 3;           ///< relation arity upper bound
+  size_t rows_per_relation = 96;  ///< cardinality of each relation
+  size_t tags_per_column = 6;     ///< distinct strings per text column
+
+  // ---- query shape ----
+  size_t num_queries = 24;     ///< total submissions in the stream
+  size_t max_body_atoms = 2;   ///< body atoms per query (>= 1)
+  double stuck_body_rate = 0.08;  ///< body names a value not in the db
+  double head_only_var_rate = 0.1;  ///< head var unconstrained by body
+  double unsafe_rate = 0.0;    ///< group gains a duplicate-head twin
+
+  // ---- sharing structure ----
+  size_t min_group = 2;         ///< entanglement group size bounds
+  size_t max_group = 5;
+  double template_rate = 0.7;   ///< member reuses the group's body atom
+  double sharing_density = 0.0; ///< bridge post into an earlier group
+  double er_edge_prob = 0.4;    ///< kErdosRenyi edge probability
+
+  // ---- arrival mix ----
+  double batch_rate = 0.25;       ///< chunk arrives via SubmitBatch
+  size_t max_batch = 5;           ///< queries per batch (>= 2)
+  double cancel_rate = 0.1;       ///< Cancel event after a chunk
+  double flush_rate = 0.15;       ///< explicit Flush event after a chunk
+  double eval_every_rate = 0.05;  ///< set_evaluate_every toggle
+
+  // ---- metamorphic hooks (used by the stress harness) ----
+  /// Prepended to every generated string constant — answer-relation
+  /// tags, text-column tag pools, and deliberately-missing constants —
+  /// in both the database and the query texts.  Must start with an
+  /// uppercase letter (tags must still lex as constants) or be empty.
+  /// Generation consumes identical RNG draws regardless of the prefix,
+  /// so a prefixed scenario is the same scenario up to symbol renaming.
+  std::string symbol_prefix;
+  /// When non-zero, each relation's rows are shuffled (seeded by this
+  /// value) before insertion.  Row order never affects which sets
+  /// coordinate, only which witness the evaluator happens to find.
+  uint64_t row_shuffle_seed = 0;
+};
+
+/// \brief One step of a generated scenario, mirroring the engine's
+/// public surface (Submit / SubmitBatch / Cancel / set_evaluate_every /
+/// Flush).  Cancellation targets a *rank* into the engine's sorted
+/// pending list at replay time, so the same event stream selects the
+/// same query on every engine being compared.
+struct WorkloadEvent {
+  enum class Kind : uint8_t {
+    kSubmit,
+    kSubmitBatch,
+    kCancel,
+    kSetEvaluateEvery,
+    kFlush,
+  };
+
+  Kind kind = Kind::kFlush;
+  std::vector<std::string> texts;  ///< kSubmit: 1 text; kSubmitBatch: >= 2
+  size_t cancel_rank = 0;          ///< kCancel: index into sorted pending
+  size_t evaluate_every = 0;       ///< kSetEvaluateEvery: new cadence
+};
+
+/// \brief A generated event stream plus its summary counts.
+struct GeneratedWorkload {
+  std::vector<WorkloadEvent> events;
+  size_t num_queries = 0;  ///< total query texts across submit events
+  size_t num_groups = 0;   ///< entanglement groups generated
+};
+
+/// One event on one line ("SUBMIT q0_1: {...} ...", "CANCEL rank=5").
+std::string EventToString(const WorkloadEvent& event);
+
+/// The whole stream, one "[i] EVENT" line per event.
+std::string WorkloadToString(const GeneratedWorkload& workload);
+
+/// \brief Produces seeded, parameterized coordination workloads: a
+/// synthetic database plus an event stream of query arrivals (single
+/// and batched), cancellations, cadence switches, and flushes whose
+/// query-sharing structure follows the requested topology.
+///
+/// Queries are emitted in the paper's concrete syntax, so any engine
+/// replaying the stream parses them through the production path.  Group
+/// `g` coordinates through a dedicated answer relation `A<g>` whose
+/// head tags `G<g>M<m>` are unique per member, keeping generated
+/// components safe by construction; `unsafe_rate` deliberately breaks
+/// that with duplicate-head twins, and `sharing_density` bridges
+/// otherwise-independent groups into larger components.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(GeneratorOptions options);
+
+  const GeneratorOptions& options() const { return options_; }
+
+  /// Installs the scenario's relations into `*db`.  Deterministic from
+  /// the options; independent of Generate()'s RNG stream, so the same
+  /// seed can rebuild the database under a different row shuffle.
+  Status BuildDatabase(Database* db) const;
+
+  /// The event stream.  Deterministic from the options.
+  GeneratedWorkload Generate() const;
+
+ private:
+  GeneratorOptions options_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_WORKLOAD_GENERATOR_H_

@@ -8,16 +8,22 @@
 // ids stay valid) is reconstructed explicitly here, since Subset no
 // longer offers it.
 
+#include <functional>
+#include <map>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "algo/scc_coordination.h"
+#include "common/rng.h"
+#include "core/coordination_graph.h"
 #include "core/parser.h"
 #include "core/query.h"
 #include "core/validator.h"
 #include "db/database.h"
+#include "workload/generator.h"
 #include "workload/social_data.h"
 
 namespace entangled {
@@ -121,6 +127,161 @@ TEST_F(SubsetRemapTest, RemapIsDeterministicFirstOccurrenceOrder) {
   EXPECT_EQ(vars_a, vars_b);
   EXPECT_EQ(first.ToString(), second.ToString());
 }
+
+// ---------------------------------------------------------------------------
+// Generator-driven coverage: the stress harness's metamorphic checks
+// lean on Subset + original_vars witness translation being correct for
+// arbitrary components and arbitrary id orders, so the same properties
+// are pinned here over generated workloads directly.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The weakly connected components of `set` under its coordination
+/// graph, each sorted ascending, in ascending smallest-member order.
+std::vector<std::vector<QueryId>> WeakComponents(const QuerySet& set) {
+  ExtendedCoordinationGraph graph(set);
+  std::vector<QueryId> parent(set.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<QueryId(QueryId)> find = [&](QueryId q) {
+    while (parent[static_cast<size_t>(q)] != q) {
+      q = parent[static_cast<size_t>(q)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(q)])];
+    }
+    return q;
+  };
+  for (const ExtendedEdge& edge : graph.edges()) {
+    parent[static_cast<size_t>(find(edge.from))] = find(edge.to);
+  }
+  std::map<QueryId, std::vector<QueryId>> by_root;
+  for (QueryId q = 0; q < static_cast<QueryId>(set.size()); ++q) {
+    by_root[find(q)].push_back(q);
+  }
+  std::vector<std::vector<QueryId>> components;
+  for (auto& [root, members] : by_root) {
+    components.push_back(std::move(members));
+  }
+  return components;
+}
+
+class GeneratedSubsetRemapTest
+    : public ::testing::TestWithParam<GraphTopology> {};
+
+}  // namespace
+
+TEST_P(GeneratedSubsetRemapTest, ComponentEvaluationMatchesPreRemapPath) {
+  GeneratorOptions options;
+  options.seed = 101 + static_cast<uint64_t>(GetParam());
+  options.topology = GetParam();
+  options.num_queries = 20;
+  options.sharing_density = 0.3;
+  WorkloadGenerator generator(options);
+  Database db;
+  ASSERT_TRUE(generator.BuildDatabase(&db).ok());
+
+  QuerySet set;
+  for (const WorkloadEvent& event : generator.Generate().events) {
+    for (const std::string& text : event.texts) {
+      ASSERT_TRUE(ParseQuery(text, &set).ok()) << text;
+    }
+  }
+
+  size_t solved = 0;
+  for (const std::vector<QueryId>& component : WeakComponents(set)) {
+    std::vector<QueryId> original_ids;
+    std::vector<VarId> original_vars;
+    QuerySet remapped = set.Subset(component, &original_ids, &original_vars);
+    QuerySet pre_remap = PreRemapSubset(set, component);
+    EXPECT_EQ(original_ids, component);
+    EXPECT_LE(remapped.num_vars(), set.num_vars());
+
+    SccCoordinator fast(&db);
+    SccCoordinator reference(&db);
+    auto fast_result = fast.Solve(remapped);
+    auto reference_result = reference.Solve(pre_remap);
+    ASSERT_EQ(fast_result.ok(), reference_result.ok())
+        << TopologyName(GetParam()) << " component "
+        << ::testing::PrintToString(component);
+    if (!fast_result.ok()) continue;
+    ++solved;
+    EXPECT_EQ(fast_result->queries, reference_result->queries);
+
+    // Witness translated through original_vars must reproduce the
+    // pre-remap witness and validate in the parent variable space.
+    Binding translated;
+    fast_result->assignment.ForEach([&](VarId local, const Value& value) {
+      translated.emplace(original_vars[static_cast<size_t>(local)], value);
+    });
+    EXPECT_EQ(translated, reference_result->assignment);
+    CoordinationSolution in_parent;
+    for (QueryId local : fast_result->queries) {
+      in_parent.queries.push_back(
+          component[static_cast<size_t>(local)]);
+    }
+    std::sort(in_parent.queries.begin(), in_parent.queries.end());
+    in_parent.assignment = translated;
+    EXPECT_TRUE(ValidateSolution(db, set, in_parent).ok());
+  }
+  EXPECT_GT(solved, 0u) << "sweep never exercised a successful component";
+}
+
+TEST_P(GeneratedSubsetRemapTest, WitnessTranslationSurvivesIdPermutation) {
+  GeneratorOptions options;
+  options.seed = 301 + static_cast<uint64_t>(GetParam());
+  options.topology = GetParam();
+  options.num_queries = 18;
+  WorkloadGenerator generator(options);
+  Database db;
+  ASSERT_TRUE(generator.BuildDatabase(&db).ok());
+
+  QuerySet set;
+  for (const WorkloadEvent& event : generator.Generate().events) {
+    for (const std::string& text : event.texts) {
+      ASSERT_TRUE(ParseQuery(text, &set).ok()) << text;
+    }
+  }
+
+  Rng rng(options.seed);
+  for (const std::vector<QueryId>& component : WeakComponents(set)) {
+    // Subset in a permuted id order: the solver may legitimately pick
+    // a different (tie-broken) coordinating set, but whatever it
+    // returns must translate into a valid parent-space solution, and
+    // solvability itself is order-independent.
+    std::vector<QueryId> permuted = component;
+    rng.Shuffle(&permuted);
+
+    std::vector<QueryId> original_ids;
+    std::vector<VarId> original_vars;
+    QuerySet subset = set.Subset(permuted, &original_ids, &original_vars);
+    EXPECT_EQ(original_ids, permuted);
+
+    SccCoordinator sorted_solver(&db);
+    SccCoordinator permuted_solver(&db);
+    auto sorted_result = sorted_solver.Solve(set.Subset(component));
+    auto permuted_result = permuted_solver.Solve(subset);
+    EXPECT_EQ(sorted_result.ok(), permuted_result.ok())
+        << "solvability changed under component id permutation";
+    if (!permuted_result.ok()) continue;
+
+    CoordinationSolution in_parent;
+    for (QueryId local : permuted_result->queries) {
+      in_parent.queries.push_back(permuted[static_cast<size_t>(local)]);
+    }
+    std::sort(in_parent.queries.begin(), in_parent.queries.end());
+    permuted_result->assignment.ForEach([&](VarId local, const Value& value) {
+      in_parent.assignment.emplace(
+          original_vars[static_cast<size_t>(local)], value);
+    });
+    EXPECT_TRUE(ValidateSolution(db, set, in_parent).ok())
+        << "translated witness invalid for permuted component order";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, GeneratedSubsetRemapTest,
+                         ::testing::ValuesIn(AllTopologies()),
+                         [](const auto& info) {
+                           return std::string(TopologyName(info.param));
+                         });
 
 }  // namespace
 }  // namespace entangled

@@ -1,0 +1,114 @@
+// Regression coverage for the documented callback-reentrancy contract
+// (src/system/engine.h): solution callbacks are notifications, not
+// extension points — every mutating entry point must CHECK-fail when
+// invoked from inside a delivery, on both engine paths.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "system/engine.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+class EngineReentrancyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 16).ok());
+  }
+
+  /// Delivers immediately: a loner query with no postconditions.
+  static const char* Loner() {
+    return "solo: { } K(w) :- Users(w, 'user5').";
+  }
+
+  Database db_;
+};
+
+using EngineReentrancyDeathTest = EngineReentrancyTest;
+
+TEST_F(EngineReentrancyDeathTest, SubmitInsideCallbackDies) {
+  CoordinationEngine engine(&db_);
+  engine.set_solution_callback(
+      [&engine](const QuerySet&, const CoordinationSolution&) {
+        (void)engine.Submit("late: { } K(v) :- Users(v, 'user1').");
+      });
+  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+}
+
+TEST_F(EngineReentrancyDeathTest, SubmitQueryInsideCallbackDies) {
+  CoordinationEngine engine(&db_);
+  engine.set_solution_callback(
+      [&engine](const QuerySet&, const CoordinationSolution&) {
+        QueryBuilder builder(engine.mutable_queries(), "late");
+        VarId v = builder.Var("v");
+        builder.Head("K", {Term::Var(v)});
+        builder.Body("Users", {Term::Var(v), Term::Str("user1")});
+        EntangledQuery query =
+            engine.mutable_queries()->query(builder.Build());
+        engine.SubmitQuery(query);
+      });
+  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+}
+
+TEST_F(EngineReentrancyDeathTest, SubmitBatchInsideCallbackDies) {
+  CoordinationEngine engine(&db_);
+  engine.set_solution_callback(
+      [&engine](const QuerySet&, const CoordinationSolution&) {
+        (void)engine.SubmitBatch({"late: { } K(v) :- Users(v, 'user1')."});
+      });
+  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+}
+
+TEST_F(EngineReentrancyDeathTest, CancelInsideCallbackDies) {
+  CoordinationEngine engine(&db_);
+  engine.set_solution_callback(
+      [&engine](const QuerySet&, const CoordinationSolution&) {
+        engine.Cancel(0);
+      });
+  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+}
+
+TEST_F(EngineReentrancyDeathTest, FlushInsideCallbackDies) {
+  CoordinationEngine engine(&db_);
+  engine.set_solution_callback(
+      [&engine](const QuerySet&, const CoordinationSolution&) {
+        engine.Flush();
+      });
+  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+}
+
+TEST_F(EngineReentrancyDeathTest, LegacyPathRejectsReentryToo) {
+  EngineOptions options;
+  options.incremental = false;
+  CoordinationEngine engine(&db_, options);
+  engine.set_solution_callback(
+      [&engine](const QuerySet&, const CoordinationSolution&) {
+        engine.Flush();
+      });
+  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+}
+
+/// The contract's positive side: deferring the follow-up until the
+/// delivering call returns is legal.
+TEST_F(EngineReentrancyTest, DeferredFollowUpWorks) {
+  CoordinationEngine engine(&db_);
+  std::vector<std::string> follow_ups;
+  engine.set_solution_callback(
+      [&follow_ups](const QuerySet&, const CoordinationSolution&) {
+        follow_ups.push_back("late: { } K(v) :- Users(v, 'user1').");
+      });
+  ASSERT_TRUE(engine.Submit(Loner()).ok());
+  ASSERT_EQ(follow_ups.size(), 1u);
+  for (const std::string& text : follow_ups) {
+    EXPECT_TRUE(engine.Submit(text).ok());
+  }
+  EXPECT_EQ(engine.stats().coordinating_sets, 2u);
+}
+
+}  // namespace
+}  // namespace entangled

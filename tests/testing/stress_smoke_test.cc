@@ -1,0 +1,106 @@
+// The tier-1 stress gate (registered with ctest as `stress_smoke`):
+// a fixed-seed sweep of generated scenarios across all four topologies
+// and several knob profiles, each differentially verified — the
+// incremental engine at flush_threads 1 and 4 against the from-scratch
+// oracle — with witness validation, EngineStats invariants, and
+// metamorphic re-runs.  Kept under ~30 s; the deep sweep lives in
+// stress_long_test.cc.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/stress_harness.h"
+#include "workload/generator.h"
+
+namespace entangled {
+namespace {
+
+/// One knob profile applied across topologies and seeds.
+struct Profile {
+  const char* name;
+  void (*apply)(GeneratorOptions*);
+};
+
+const Profile kProfiles[] = {
+    {"default", [](GeneratorOptions*) {}},
+    {"cancel_heavy",
+     [](GeneratorOptions* o) {
+       o->cancel_rate = 0.4;
+       o->unsafe_rate = 0.3;
+     }},
+    {"batch_heavy",
+     [](GeneratorOptions* o) {
+       o->batch_rate = 0.8;
+       o->max_batch = 6;
+       o->eval_every_rate = 0.2;
+     }},
+    {"bridged",
+     [](GeneratorOptions* o) {
+       o->sharing_density = 0.6;
+       o->min_group = 3;
+     }},
+    {"wide_schema",
+     [](GeneratorOptions* o) {
+       o->num_relations = 5;
+       o->min_arity = 1;
+       o->max_arity = 4;
+       o->max_body_atoms = 3;
+       o->stuck_body_rate = 0.2;
+     }},
+};
+
+TEST(StressSmoke, SweepAllTopologies) {
+  StressHarness harness;
+  size_t scenarios = 0;
+  size_t total_deliveries = 0;
+  for (GraphTopology topology : AllTopologies()) {
+    for (const Profile& profile : kProfiles) {
+      for (uint64_t seed : {1u, 2u}) {
+        GeneratorOptions options;
+        options.seed = 1000 * static_cast<uint64_t>(topology) +
+                       100 * (&profile - kProfiles) + seed;
+        options.topology = topology;
+        options.num_queries = 24;
+        profile.apply(&options);
+        StressReport report = harness.RunScenario(options);
+        EXPECT_TRUE(report.ok)
+            << TopologyName(topology) << "/" << profile.name
+            << " seed=" << options.seed << ": " << report.failure << "\n"
+            << report.reproduction;
+        ++scenarios;
+        total_deliveries += report.deliveries;
+      }
+    }
+  }
+  // The acceptance bar: >= 20 distinct seeded scenarios over >= 4
+  // topologies, all divergence-free.
+  EXPECT_GE(scenarios, 20u);
+  EXPECT_EQ(AllTopologies().size(), 4u);
+  // The sweep must actually exercise deliveries, not just stuck sets.
+  EXPECT_GT(total_deliveries, 0u);
+  std::printf("stress_smoke: %zu scenarios, %zu oracle deliveries\n",
+              scenarios, total_deliveries);
+}
+
+/// A larger single scenario exercising the parallel flush path with a
+/// big backlog (evaluate_every toggles + batches build pending mass).
+TEST(StressSmoke, BacklogScenario) {
+  GeneratorOptions options;
+  options.seed = 77;
+  options.topology = GraphTopology::kErdosRenyi;
+  options.num_queries = 80;
+  options.batch_rate = 0.6;
+  options.eval_every_rate = 0.3;
+  options.cancel_rate = 0.2;
+  options.sharing_density = 0.3;
+  StressHarness harness;
+  StressReport report = harness.RunScenario(options);
+  EXPECT_TRUE(report.ok) << report.failure << "\n" << report.reproduction;
+  EXPECT_GE(report.submitted, 80u);
+}
+
+}  // namespace
+}  // namespace entangled

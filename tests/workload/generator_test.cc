@@ -1,0 +1,294 @@
+// Unit coverage of the randomized workload generator: determinism,
+// knob behaviour, parseability and well-formedness of every generated
+// query, topology shapes over the resulting coordination graph, and
+// the metamorphic hooks (symbol_prefix, row_shuffle_seed) the stress
+// harness builds on.
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/coordination_graph.h"
+#include "core/parser.h"
+#include "core/query.h"
+#include "db/database.h"
+#include "workload/generator.h"
+
+namespace entangled {
+namespace {
+
+std::vector<std::string> AllTexts(const GeneratedWorkload& workload) {
+  std::vector<std::string> texts;
+  for (const WorkloadEvent& event : workload.events) {
+    for (const std::string& text : event.texts) texts.push_back(text);
+  }
+  return texts;
+}
+
+TEST(WorkloadGeneratorTest, GenerationIsDeterministic) {
+  GeneratorOptions options;
+  options.seed = 42;
+  options.topology = GraphTopology::kErdosRenyi;
+  WorkloadGenerator a(options);
+  WorkloadGenerator b(options);
+  GeneratedWorkload wa = a.Generate();
+  GeneratedWorkload wb = b.Generate();
+  EXPECT_EQ(WorkloadToString(wa), WorkloadToString(wb));
+  EXPECT_EQ(wa.num_queries, wb.num_queries);
+
+  Database da, db;
+  ASSERT_TRUE(a.BuildDatabase(&da).ok());
+  ASSERT_TRUE(b.BuildDatabase(&db).ok());
+  ASSERT_EQ(da.relation_names(), db.relation_names());
+  for (const std::string& name : da.relation_names()) {
+    const Relation* ra = da.Find(name);
+    const Relation* rb = db.Find(name);
+    ASSERT_EQ(ra->size(), rb->size());
+    for (RowId r = 0; r < ra->size(); ++r) {
+      EXPECT_EQ(ra->row(r).ToTuple(), rb->row(r).ToTuple());
+    }
+  }
+}
+
+TEST(WorkloadGeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions a;
+  a.seed = 1;
+  GeneratorOptions b;
+  b.seed = 2;
+  EXPECT_NE(WorkloadToString(WorkloadGenerator(a).Generate()),
+            WorkloadToString(WorkloadGenerator(b).Generate()));
+}
+
+TEST(WorkloadGeneratorTest, EveryQueryParsesAndIsWellFormed) {
+  for (GraphTopology topology : AllTopologies()) {
+    GeneratorOptions options;
+    options.seed = 7;
+    options.topology = topology;
+    options.num_queries = 30;
+    options.sharing_density = 0.5;
+    options.unsafe_rate = 0.3;
+    WorkloadGenerator generator(options);
+    Database db;
+    ASSERT_TRUE(generator.BuildDatabase(&db).ok());
+    GeneratedWorkload workload = generator.Generate();
+
+    QuerySet set;
+    for (const std::string& text : AllTexts(workload)) {
+      auto id = ParseQuery(text, &set);
+      ASSERT_TRUE(id.ok()) << TopologyName(topology) << ": " << text << "\n"
+                           << id.status();
+    }
+    EXPECT_EQ(set.size(), workload.num_queries);
+    EXPECT_TRUE(set.CheckWellFormed(db).ok()) << TopologyName(topology);
+  }
+}
+
+TEST(WorkloadGeneratorTest, StreamEndsWithFlushAndCountsSubmissions) {
+  GeneratorOptions options;
+  options.seed = 11;
+  options.num_queries = 20;
+  GeneratedWorkload workload = WorkloadGenerator(options).Generate();
+  ASSERT_FALSE(workload.events.empty());
+  EXPECT_EQ(workload.events.back().kind, WorkloadEvent::Kind::kFlush);
+  EXPECT_EQ(AllTexts(workload).size(), workload.num_queries);
+  EXPECT_GE(workload.num_queries, options.num_queries);
+}
+
+TEST(WorkloadGeneratorTest, BatchMixKnobControlsBatches) {
+  GeneratorOptions never;
+  never.seed = 5;
+  never.batch_rate = 0.0;
+  for (const WorkloadEvent& event : WorkloadGenerator(never).Generate().events) {
+    EXPECT_NE(event.kind, WorkloadEvent::Kind::kSubmitBatch);
+  }
+
+  GeneratorOptions always;
+  always.seed = 5;
+  always.batch_rate = 1.0;
+  size_t batches = 0;
+  for (const WorkloadEvent& event :
+       WorkloadGenerator(always).Generate().events) {
+    if (event.kind == WorkloadEvent::Kind::kSubmitBatch) {
+      ++batches;
+      EXPECT_GE(event.texts.size(), 2u);
+      EXPECT_LE(event.texts.size(), always.max_batch);
+    }
+  }
+  EXPECT_GT(batches, 0u);
+}
+
+TEST(WorkloadGeneratorTest, CancelRateKnobControlsCancels) {
+  GeneratorOptions none;
+  none.seed = 9;
+  none.cancel_rate = 0.0;
+  for (const WorkloadEvent& event : WorkloadGenerator(none).Generate().events) {
+    EXPECT_NE(event.kind, WorkloadEvent::Kind::kCancel);
+  }
+  GeneratorOptions heavy;
+  heavy.seed = 9;
+  heavy.cancel_rate = 1.0;
+  size_t cancels = 0;
+  for (const WorkloadEvent& event :
+       WorkloadGenerator(heavy).Generate().events) {
+    if (event.kind == WorkloadEvent::Kind::kCancel) ++cancels;
+  }
+  EXPECT_GT(cancels, 0u);
+}
+
+/// The generated query-sharing structure actually follows the
+/// requested topology: parse everything, build the batch coordination
+/// graph, and check the per-group edge shapes.
+TEST(WorkloadGeneratorTest, TopologyShapesTheCoordinationGraph) {
+  struct Expectation {
+    GraphTopology topology;
+    // Per group of size k (no twins/bridges): expected edge count.
+    std::function<size_t(size_t)> edges;
+  };
+  const std::vector<Expectation> expectations = {
+      {GraphTopology::kChain, [](size_t k) { return k - 1; }},
+      {GraphTopology::kStar, [](size_t k) { return k - 1; }},
+      {GraphTopology::kClique, [](size_t k) { return k * (k - 1); }},
+  };
+  for (const Expectation& expectation : expectations) {
+    GeneratorOptions options;
+    options.seed = 21;
+    options.topology = expectation.topology;
+    options.num_queries = 18;
+    options.sharing_density = 0.0;
+    options.unsafe_rate = 0.0;
+    GeneratedWorkload workload = WorkloadGenerator(options).Generate();
+
+    QuerySet set;
+    auto ids = ParseQueries(
+        [&] {
+          std::string all;
+          for (const std::string& text : AllTexts(workload)) {
+            all += text + "\n";
+          }
+          return all;
+        }(),
+        &set);
+    ASSERT_TRUE(ids.ok()) << ids.status();
+
+    // Group queries by name prefix ("q<g>_"), count intra-group edges.
+    ExtendedCoordinationGraph graph(set);
+    std::map<std::string, size_t> group_sizes;
+    for (const EntangledQuery& query : set.queries()) {
+      group_sizes[query.name.substr(0, query.name.find('_'))]++;
+    }
+    std::map<std::string, size_t> group_edges;
+    for (const ExtendedEdge& edge : graph.edges()) {
+      const std::string from = set.query(edge.from).name;
+      const std::string to = set.query(edge.to).name;
+      const std::string group = from.substr(0, from.find('_'));
+      ASSERT_EQ(group, to.substr(0, to.find('_')))
+          << "sharing_density=0 must not produce cross-group edges";
+      group_edges[group]++;
+    }
+    for (const auto& [group, size] : group_sizes) {
+      EXPECT_EQ(group_edges[group], expectation.edges(size))
+          << TopologyName(expectation.topology) << " group " << group
+          << " of size " << size;
+    }
+  }
+}
+
+TEST(WorkloadGeneratorTest, UnsafeRateProducesDuplicateHeadTwins) {
+  GeneratorOptions options;
+  options.seed = 33;
+  options.topology = GraphTopology::kClique;
+  options.num_queries = 30;
+  options.unsafe_rate = 1.0;
+  GeneratedWorkload workload = WorkloadGenerator(options).Generate();
+  size_t twins = 0;
+  for (const std::string& text : AllTexts(workload)) {
+    if (text.find("_t") != std::string::npos) ++twins;
+  }
+  EXPECT_GT(twins, 0u);
+  EXPECT_GT(workload.num_queries, options.num_queries);
+}
+
+TEST(WorkloadGeneratorTest, SymbolPrefixRenamesWithoutRestructuring) {
+  GeneratorOptions base;
+  base.seed = 13;
+  base.num_queries = 16;
+  GeneratorOptions renamed = base;
+  renamed.symbol_prefix = "Zz";
+
+  GeneratedWorkload base_workload = WorkloadGenerator(base).Generate();
+  GeneratedWorkload renamed_workload = WorkloadGenerator(renamed).Generate();
+  ASSERT_EQ(base_workload.events.size(), renamed_workload.events.size());
+  for (size_t i = 0; i < base_workload.events.size(); ++i) {
+    const WorkloadEvent& a = base_workload.events[i];
+    const WorkloadEvent& b = renamed_workload.events[i];
+    EXPECT_EQ(a.kind, b.kind);
+    ASSERT_EQ(a.texts.size(), b.texts.size());
+    for (size_t t = 0; t < a.texts.size(); ++t) {
+      // Stripping the prefix everywhere recovers the base text.
+      std::string stripped = b.texts[t];
+      size_t at = 0;
+      while ((at = stripped.find("Zz", at)) != std::string::npos) {
+        stripped.erase(at, 2);
+      }
+      EXPECT_EQ(stripped, a.texts[t]);
+    }
+  }
+}
+
+TEST(WorkloadGeneratorTest, RowShuffleKeepsRowMultiset) {
+  GeneratorOptions base;
+  base.seed = 17;
+  GeneratorOptions shuffled = base;
+  shuffled.row_shuffle_seed = 999;
+
+  Database a, b;
+  ASSERT_TRUE(WorkloadGenerator(base).BuildDatabase(&a).ok());
+  ASSERT_TRUE(WorkloadGenerator(shuffled).BuildDatabase(&b).ok());
+  ASSERT_EQ(a.relation_names(), b.relation_names());
+  bool any_reordered = false;
+  for (const std::string& name : a.relation_names()) {
+    const Relation* ra = a.Find(name);
+    const Relation* rb = b.Find(name);
+    ASSERT_EQ(ra->size(), rb->size());
+    std::multiset<std::string> rows_a, rows_b;
+    bool same_order = true;
+    for (RowId r = 0; r < ra->size(); ++r) {
+      rows_a.insert(TupleToString(ra->row(r)));
+      rows_b.insert(TupleToString(rb->row(r)));
+      same_order = same_order &&
+                   TupleToString(ra->row(r)) == TupleToString(rb->row(r));
+    }
+    EXPECT_EQ(rows_a, rows_b) << name;
+    any_reordered = any_reordered || !same_order;
+  }
+  EXPECT_TRUE(any_reordered) << "shuffle seed had no effect on any relation";
+}
+
+TEST(WorkloadGeneratorTest, EventRenderingCoversEveryKind) {
+  WorkloadEvent submit;
+  submit.kind = WorkloadEvent::Kind::kSubmit;
+  submit.texts = {"q: { } A(B, x) :- ."};
+  EXPECT_NE(EventToString(submit).find("SUBMIT"), std::string::npos);
+
+  WorkloadEvent cancel;
+  cancel.kind = WorkloadEvent::Kind::kCancel;
+  cancel.cancel_rank = 5;
+  EXPECT_EQ(EventToString(cancel), "CANCEL rank=5");
+
+  WorkloadEvent cadence;
+  cadence.kind = WorkloadEvent::Kind::kSetEvaluateEvery;
+  cadence.evaluate_every = 3;
+  EXPECT_EQ(EventToString(cadence), "EVAL_EVERY 3");
+
+  WorkloadEvent flush;
+  flush.kind = WorkloadEvent::Kind::kFlush;
+  EXPECT_EQ(EventToString(flush), "FLUSH");
+}
+
+}  // namespace
+}  // namespace entangled

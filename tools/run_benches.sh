@@ -15,6 +15,7 @@ benches=(
   bench_eval_hotpath
   bench_incremental_stream
   bench_engine
+  bench_scenarios
 )
 
 status=0
