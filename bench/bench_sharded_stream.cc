@@ -1,0 +1,209 @@
+// Sharded front door throughput: submissions/sec through the
+// ShardedCoordinationEngine versus the single CoordinationEngine on a
+// partitioned workload with a 10k stuck backlog.
+//
+// Scenario: 10k stuck singleton queries (each in a private answer
+// relation — 10k one-query shards on the sharded path, exercising the
+// routing table at scale) sit pending while coordinating traffic
+// streams through 4 relation partitions N0..N3: every round submits one
+// G-query *open* chain per partition and then flushes.  An open chain
+// is the paper's nested-reachable-sets shape: the SCC sweep issues one
+// database query per chain position over a combined query that grows
+// linearly towards the head, Θ(G²) grounded atoms per component — so a
+// flush carries substantial evaluation work per parsed arrival, which
+// is exactly the regime where sharding pays.  Chains in different
+// partitions have disjoint relation footprints, so the sharded engine
+// holds one shard per partition and fans the per-partition flush work —
+// component evaluation *and* retirement/repartition bookkeeping — out
+// on its shard pool.  The single engine performs identical component
+// work but applies every outcome on the calling thread; its
+// flush_threads option parallelizes only the solve step.
+//
+// The headline series sweeps the shard-pool width at a fixed 4-way
+// partitioning.  Speedups over the single-engine path require hardware
+// parallelism; the >= 2x gate becomes a hard failure only under
+// ENTANGLED_BENCH_STRICT=1 on a >= 4-thread host (parallel-speedup
+// bars are too noisy for shared CI runners to gate every push on).
+// Single-core containers record the overhead-only numbers, which also
+// bound the routing cost.
+
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "system/engine.h"
+#include "system/sharded_engine.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+constexpr size_t kSocialRows = 4096;
+constexpr size_t kBacklog = 10000;
+constexpr size_t kPartitions = 4;
+constexpr size_t kChainLength = 48;
+constexpr size_t kRounds = 12;
+
+const Database& SocialDb() {
+  static Database* db = [] {
+    auto* database = new Database();
+    ENTANGLED_CHECK(InstallSocialTable(database, "Users", kSocialRows).ok());
+    return database;
+  }();
+  return *db;
+}
+
+/// A stuck query in a private answer relation: pends forever, never
+/// entangles with anything.
+std::string StuckQuery(size_t i) {
+  return "w" + std::to_string(i) + ": { Dead" + std::to_string(i) +
+         "(m) } W" + std::to_string(i) + "(s) :- Users(s, 'user" +
+         std::to_string(i % 97) + "').";
+}
+
+/// Member k of the round-`c` open chain in partition `p`: posts on
+/// member k+1 through relation N<p> (the last member posts on nothing
+/// and anchors the sweep), so R(member 0) is the whole chain and it
+/// coordinates as one set.  Two indexed body atoms per member give the
+/// nested combined queries real grounding work.
+std::string ChainQuery(size_t p, size_t c, size_t k) {
+  const std::string rel = "N" + std::to_string(p);
+  auto tag = [&](size_t member) {
+    return "C" + std::to_string(p) + "x" + std::to_string(c) + "x" +
+           std::to_string(member);
+  };
+  // The post rides its own variable z (bound through the successor's
+  // head at unification time); x stays member-local so each member's
+  // body grounds against its own handle.
+  const std::string posts =
+      k + 1 < kChainLength ? rel + "(" + tag(k + 1) + ", z)" : std::string();
+  return "c" + std::to_string(p) + "_" + std::to_string(c) + "_" +
+         std::to_string(k) + ": { " + posts + " } " + rel + "(" + tag(k) +
+         ", x) :- Users(x, 'user" + std::to_string((c + k) % 97) +
+         "'), Users(y, 'user" + std::to_string((c * 7 + k + 3) % 97) +
+         "').";
+}
+
+struct StreamOutcome {
+  double seconds = 0;
+  size_t arrivals = 0;
+  uint64_t sets = 0;
+  double qps() const { return arrivals / seconds; }
+};
+
+/// Preloads the backlog (and settles it with one untimed flush), then
+/// streams `kRounds` rounds of one chain per partition + Flush through
+/// `engine`, timing the submit+flush loop.
+StreamOutcome RunStream(CoordinationService* engine) {
+  engine->set_evaluate_every(0);
+  for (size_t i = 0; i < kBacklog; ++i) {
+    ENTANGLED_CHECK(engine->Submit(StuckQuery(i)).ok());
+  }
+  engine->Flush();  // settle: every stuck component evaluates once
+
+  StreamOutcome outcome;
+  WallTimer timer;
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (size_t p = 0; p < kPartitions; ++p) {
+      for (size_t k = 0; k < kChainLength; ++k) {
+        ENTANGLED_CHECK(engine->Submit(ChainQuery(p, round, k)).ok());
+        ++outcome.arrivals;
+      }
+    }
+    const size_t delivered = engine->Flush();
+    ENTANGLED_CHECK_EQ(delivered, kPartitions)
+        << "every partition's chain must coordinate each round";
+  }
+  outcome.seconds = timer.ElapsedSeconds();
+  outcome.sets = engine->StatsSnapshot().coordinating_sets;
+  ENTANGLED_CHECK_EQ(engine->num_pending(), kBacklog)
+      << "the stuck backlog must survive untouched";
+  return outcome;
+}
+
+void ShardedStreamSeries() {
+  benchutil::PrintSeriesHeader(
+      "Sharded stream: submissions/sec at a 10k stuck backlog, one "
+      "coordinating chain per partition per flush, 4 relation partitions",
+      {"engine", "threads", "qps", "speedup_vs_single"});
+
+  EngineOptions single_options;
+  single_options.evaluate_every = 0;
+  CoordinationEngine single(&SocialDb(), single_options);
+  StreamOutcome base = RunStream(&single);
+
+  auto report = [&](const std::string& engine_label, size_t threads,
+                    const StreamOutcome& outcome) {
+    const double speedup = outcome.qps() / base.qps();
+    benchutil::PrintRow({static_cast<double>(engine_label == "sharded"),
+                         static_cast<double>(threads), outcome.qps(),
+                         speedup});
+    benchutil::PrintJsonRecord(
+        "sharded_stream",
+        {{"sharded", engine_label == "sharded" ? 1.0 : 0.0},
+         {"threads", static_cast<double>(threads)},
+         {"partitions", static_cast<double>(kPartitions)},
+         {"backlog", static_cast<double>(kBacklog)},
+         {"arrivals", static_cast<double>(outcome.arrivals)},
+         {"qps", outcome.qps()},
+         {"speedup_vs_single", speedup},
+         {"hardware_threads",
+          static_cast<double>(std::thread::hardware_concurrency())}});
+    return speedup;
+  };
+  report("single", 1, base);
+
+  double speedup_at_4 = 0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    ShardedEngineOptions options;
+    options.engine.evaluate_every = 0;
+    options.shard_threads = threads;
+    ShardedCoordinationEngine sharded(&SocialDb(), options);
+    StreamOutcome outcome = RunStream(&sharded);
+    const double speedup = report("sharded", threads, outcome);
+    if (threads == 4) speedup_at_4 = speedup;
+  }
+
+  // The >= 2x gate needs real hardware parallelism AND a quiet host, so
+  // it is a hard failure only when explicitly armed (perf-gate runs set
+  // ENTANGLED_BENCH_STRICT=1 on a >= 4-thread machine); everywhere else
+  // the speedup is recorded in the BENCH_JSON trajectory instead of
+  // aborting CI on a noisy shared runner.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const char* strict = std::getenv("ENTANGLED_BENCH_STRICT");
+  const bool strict_armed = strict != nullptr && strict[0] != '\0' &&
+                            strict[0] != '0';
+  if (hardware >= 4 && strict_armed) {
+    ENTANGLED_CHECK_GE(speedup_at_4, 2.0)
+        << "the sharded front door must sustain >= 2x submissions/sec "
+           "over the single-engine path on the 4-partition workload";
+  } else if (hardware < 4) {
+    benchutil::PrintNote(
+        "only " + std::to_string(hardware) +
+        " hardware thread(s): shard-pool parallelism cannot materialize, "
+        "so the >= 2x gate is disarmed and the numbers above measure "
+        "routing + migration overhead only");
+  } else {
+    benchutil::PrintNote(
+        "speedup_at_4_threads=" + std::to_string(speedup_at_4) +
+        "; set ENTANGLED_BENCH_STRICT=1 to turn the >= 2x bar into a "
+        "hard failure");
+  }
+  benchutil::PrintNote(
+      "independent shards flush whole (solve + retire + repartition) on "
+      "the shard pool; the single engine parallelizes only the solve "
+      "step and applies outcomes serially");
+}
+
+}  // namespace
+}  // namespace entangled
+
+int main() {
+  entangled::ShardedStreamSeries();
+  return 0;
+}

@@ -101,6 +101,41 @@ QuerySet QuerySet::Subset(const std::vector<QueryId>& ids,
   return subset;
 }
 
+std::vector<QueryId> QuerySet::AdoptQueries(
+    const QuerySet& src, const std::vector<QueryId>& ids,
+    std::vector<std::pair<VarId, VarId>>* var_map) {
+  ENTANGLED_CHECK(&src != this) << "cannot adopt queries from the same set";
+  if (var_map != nullptr) var_map->clear();
+  std::unordered_map<VarId, VarId> remap;
+  auto remap_term = [&](const Term& term) {
+    if (term.is_constant()) return term;
+    const VarId v = term.var();
+    auto [it, inserted] = remap.emplace(v, VarId{0});
+    if (inserted) {
+      it->second = NewVar(src.var_name(v));
+      if (var_map != nullptr) var_map->emplace_back(v, it->second);
+    }
+    return Term::Var(it->second);
+  };
+  auto remap_atoms = [&](std::vector<Atom>* atoms) {
+    for (Atom& atom : *atoms) {
+      for (Term& term : atom.terms) term = remap_term(term);
+    }
+  };
+  std::vector<QueryId> adopted;
+  adopted.reserve(ids.size());
+  for (QueryId id : ids) {
+    EntangledQuery copy = src.query(id);
+    // Postconditions, head, body: the first-occurrence order documented
+    // in EntangledQuery::Variables (and followed by the parser).
+    remap_atoms(&copy.postconditions);
+    remap_atoms(&copy.head);
+    remap_atoms(&copy.body);
+    adopted.push_back(AddQuery(std::move(copy)));
+  }
+  return adopted;
+}
+
 std::string QuerySet::TermToString(const Term& term) const {
   if (term.is_constant()) return term.constant().ToString(/*quote=*/true);
   return var_name(term.var());

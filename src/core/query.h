@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -82,6 +83,24 @@ class QuerySet {
   QuerySet Subset(const std::vector<QueryId>& ids,
                   std::vector<QueryId>* original_ids = nullptr,
                   std::vector<VarId>* original_vars = nullptr) const;
+
+  /// Appends copies of `src`'s queries `ids` to this set (renumbered to
+  /// fresh ids, input order preserved), allocating fresh variables here
+  /// for every source variable in first-occurrence order over
+  /// (postconditions, head, body) — the same traversal Subset and the
+  /// parser use, so adopting a freshly parsed query reproduces the
+  /// variable ids a direct parse into this set would have produced.
+  /// Returns the new ids.  `var_map` (optional, cleared first) receives
+  /// one (source variable, variable allocated here) pair per distinct
+  /// source variable, in first-occurrence order — pairs rather than a
+  /// dense table so the cost is O(adopted atoms), not O(src.num_vars()),
+  /// no matter how large the source namespace is.  Together with Subset
+  /// this is the migration round-trip: Subset detaches queries into a
+  /// dense standalone set, AdoptQueries re-homes them in another set's
+  /// namespace.
+  std::vector<QueryId> AdoptQueries(
+      const QuerySet& src, const std::vector<QueryId>& ids,
+      std::vector<std::pair<VarId, VarId>>* var_map = nullptr);
 
   /// Renders a term/atom/query with variable display names
   /// ("R('C', x1)" instead of "R('C', ?3)").

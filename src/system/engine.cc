@@ -21,14 +21,16 @@ CoordinationEngine::CoordinationEngine(const Database* db,
 // Submission
 // ---------------------------------------------------------------------------
 
-void CoordinationEngine::CheckNotReentrant() const {
+void CoordinationEngine::CheckNotReentrant(const char* entry_point) const {
   ENTANGLED_CHECK(!in_callback_)
-      << "solution callbacks must not re-enter the CoordinationEngine; "
-         "defer Submit/Cancel/Flush until the delivering call returns";
+      << entry_point
+      << " called from inside a solution callback: callbacks must not "
+         "re-enter the CoordinationEngine; defer the follow-up until the "
+         "delivering call returns";
 }
 
 Result<QueryId> CoordinationEngine::Submit(const std::string& query_text) {
-  CheckNotReentrant();
+  CheckNotReentrant("Submit");
   auto id = ParseQuery(query_text, &all_);
   if (!id.ok()) return id.status();
   // The parser already appended the query; run the shared admission
@@ -38,7 +40,7 @@ Result<QueryId> CoordinationEngine::Submit(const std::string& query_text) {
 }
 
 QueryId CoordinationEngine::SubmitQuery(EntangledQuery query) {
-  CheckNotReentrant();
+  CheckNotReentrant("SubmitQuery");
   QueryId id = all_.AddQuery(std::move(query));
   Admit(id);
   return id;
@@ -46,7 +48,7 @@ QueryId CoordinationEngine::SubmitQuery(EntangledQuery query) {
 
 Result<std::vector<QueryId>> CoordinationEngine::SubmitBatch(
     const std::vector<std::string>& query_texts) {
-  CheckNotReentrant();
+  CheckNotReentrant("SubmitBatch");
   // Admission is all-or-nothing: parse the whole batch against a
   // staging set first, so a mid-batch syntax error leaves no orphaned
   // half-batch pending with ids the caller never received.
@@ -79,11 +81,11 @@ Result<std::vector<QueryId>> CoordinationEngine::SubmitBatch(
   return ids;
 }
 
-void CoordinationEngine::Admit(QueryId id) {
+void CoordinationEngine::IndexQuery(QueryId id) {
   const size_t n = all_.size();
   pending_.resize(n, false);
   pending_[static_cast<size_t>(id)] = true;
-  ++stats_.submitted;
+  ++num_pending_;
 
   if (options_.incremental) {
     // Every new id starts as its own singleton component.
@@ -104,6 +106,11 @@ void CoordinationEngine::Admit(QueryId id) {
     }
     dirty_roots_.insert(FindRoot(id));
   }
+}
+
+void CoordinationEngine::Admit(QueryId id) {
+  ++stats_.submitted;
+  IndexQuery(id);
 
   if (options_.evaluate_every > 0 &&
       ++since_last_eval_ >= options_.evaluate_every) {
@@ -117,9 +124,10 @@ void CoordinationEngine::Admit(QueryId id) {
 }
 
 bool CoordinationEngine::Cancel(QueryId id) {
-  CheckNotReentrant();
+  CheckNotReentrant("Cancel");
   if (!IsPending(id)) return false;
   pending_[static_cast<size_t>(id)] = false;
+  --num_pending_;
   ++stats_.cancelled;
   if (options_.incremental) {
     std::vector<QueryId> fragment_roots = RetireAndRepartition({id});
@@ -138,6 +146,7 @@ bool CoordinationEngine::Cancel(QueryId id) {
 
 std::vector<QueryId> CoordinationEngine::PendingQueries() const {
   std::vector<QueryId> pending;
+  pending.reserve(num_pending_);
   for (size_t i = 0; i < pending_.size(); ++i) {
     if (pending_[i]) pending.push_back(static_cast<QueryId>(i));
   }
@@ -324,12 +333,14 @@ bool CoordinationEngine::ApplyOutcome(const EvalTask& task,
     QueryId engine_id = task.original[static_cast<size_t>(local)];
     solution.queries.push_back(engine_id);
     pending_[static_cast<size_t>(engine_id)] = false;
+    --num_pending_;
   }
   std::sort(solution.queries.begin(), solution.queries.end());
   std::vector<QueryId> fragment_roots = RetireAndRepartition(solution.queries);
   if (new_roots != nullptr) *new_roots = std::move(fragment_roots);
   stats_.coordinated_queries += solution.queries.size();
   ++stats_.coordinating_sets;
+  last_delivery_key_ = task.min_id;
   if (callback_) {
     in_callback_ = true;
     callback_(all_, solution);
@@ -417,8 +428,56 @@ size_t CoordinationEngine::IncrementalFlush() {
 }
 
 size_t CoordinationEngine::Flush() {
-  CheckNotReentrant();
+  CheckNotReentrant("Flush");
   return options_.incremental ? IncrementalFlush() : LegacyFlush();
+}
+
+bool CoordinationEngine::EvaluateNow(QueryId id) {
+  CheckNotReentrant("EvaluateNow");
+  if (!IsPending(id)) return false;
+  return options_.incremental ? EvaluateComponentOf(id)
+                              : LegacyEvaluateComponentOf(id);
+}
+
+// ---------------------------------------------------------------------------
+// Pending-query migration
+// ---------------------------------------------------------------------------
+
+CoordinationEngine::PendingExtract CoordinationEngine::ExtractPending() {
+  CheckNotReentrant("ExtractPending");
+  PendingExtract extract;
+  extract.original = PendingQueries();
+  extract.queries =
+      all_.Subset(extract.original, nullptr, &extract.original_vars);
+  // Detach: the queries stay in all_ (ids are never reused) but leave
+  // every live structure, as if they had never been admitted.
+  for (QueryId id : extract.original) {
+    pending_[static_cast<size_t>(id)] = false;
+  }
+  num_pending_ = 0;
+  if (options_.incremental) {
+    graph_ = ExtendedCoordinationGraph();
+    uf_parent_.clear();
+    uf_size_.clear();
+    comp_min_.clear();
+    comp_members_.clear();
+    dirty_roots_.clear();
+  }
+  return extract;
+}
+
+std::vector<QueryId> CoordinationEngine::AdoptPending(
+    const QuerySet& src, const std::vector<QueryId>& ids,
+    std::vector<std::pair<VarId, VarId>>* var_map) {
+  CheckNotReentrant("AdoptPending");
+  std::vector<QueryId> adopted = all_.AdoptQueries(src, ids, var_map);
+  // Index without counting submissions or touching the cadence: a
+  // migrated query was already counted where it first arrived, and the
+  // caller decides when evaluation happens.  Components gaining adopted
+  // members are conservatively dirty (IndexQuery), which can only add
+  // provably-failing re-evaluations, never change what is delivered.
+  for (QueryId id : adopted) IndexQuery(id);
+  return adopted;
 }
 
 // ---------------------------------------------------------------------------
@@ -495,10 +554,13 @@ bool CoordinationEngine::LegacyEvaluateComponentOf(QueryId root) {
     QueryId engine_id = original[static_cast<size_t>(local)];
     solution.queries.push_back(engine_id);
     pending_[static_cast<size_t>(engine_id)] = false;
+    --num_pending_;
   }
   std::sort(solution.queries.begin(), solution.queries.end());
   stats_.coordinated_queries += solution.queries.size();
   ++stats_.coordinating_sets;
+  // `component` is sorted ascending, so its front is the schedule key.
+  last_delivery_key_ = component.front();
   if (callback_) {
     in_callback_ = true;
     callback_(all_, solution);

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "algo/scc_coordination.h"
@@ -27,6 +28,23 @@ struct EngineStats {
   uint64_t coordinating_sets = 0;    ///< solutions delivered
   uint64_t unsafe_components = 0;    ///< components skipped as unsafe
   uint64_t db_queries = 0;           ///< conjunctive queries issued
+
+  /// Field-wise accumulation, so per-shard counters aggregate into one
+  /// engine-wide snapshot (system/sharded_engine.h).
+  EngineStats& operator+=(const EngineStats& other) {
+    submitted += other.submitted;
+    cancelled += other.cancelled;
+    evaluations += other.evaluations;
+    coordinated_queries += other.coordinated_queries;
+    coordinating_sets += other.coordinating_sets;
+    unsafe_components += other.unsafe_components;
+    db_queries += other.db_queries;
+    return *this;
+  }
+  friend EngineStats operator+(EngineStats a, const EngineStats& b) {
+    a += b;
+    return a;
+  }
 };
 
 /// \brief Test-only fault injection.  Each flag disables one
@@ -77,6 +95,41 @@ struct EngineOptions {
   EngineFaultInjection fault;
 };
 
+/// \brief The streaming coordination surface: everything a front door
+/// needs to accept, withdraw, and flush entangled queries, without
+/// committing to how the work is partitioned behind it.  Implemented by
+/// CoordinationEngine (one graph, one id namespace) and by
+/// ShardedCoordinationEngine (a relation-footprint router fanning out to
+/// many inner engines, system/sharded_engine.h); the stress harness and
+/// benches replay workloads against either through this interface.
+class CoordinationService {
+ public:
+  /// Invoked with the service's master query set and each solution
+  /// found (query ids refer to that master set).
+  using SolutionCallback =
+      std::function<void(const QuerySet&, const CoordinationSolution&)>;
+
+  virtual ~CoordinationService() = default;
+
+  virtual void set_solution_callback(SolutionCallback callback) = 0;
+  virtual void set_evaluate_every(size_t evaluate_every) = 0;
+
+  virtual Result<QueryId> Submit(const std::string& query_text) = 0;
+  virtual Result<std::vector<QueryId>> SubmitBatch(
+      const std::vector<std::string>& query_texts) = 0;
+  virtual bool Cancel(QueryId id) = 0;
+  virtual size_t Flush() = 0;
+
+  virtual std::vector<QueryId> PendingQueries() const = 0;
+  virtual bool IsPending(QueryId id) const = 0;
+  virtual size_t num_pending() const = 0;
+  virtual std::vector<QueryId> ComponentOf(QueryId id) const = 0;
+
+  /// Work counters; by value because a sharded service aggregates
+  /// per-shard counters on demand (EngineStats::operator+=).
+  virtual EngineStats StatsSnapshot() const = 0;
+};
+
 /// \brief The Youtopia-style coordination module (§6.1): queries arrive
 /// one at a time, the engine maintains the coordination graph
 /// incrementally, evaluates the affected connected component with the
@@ -102,13 +155,8 @@ struct EngineOptions {
 /// always run on the calling thread (and must not re-enter the engine —
 /// see set_solution_callback).  The database outlives the engine and
 /// must not be mutated while the engine runs.
-class CoordinationEngine {
+class CoordinationEngine : public CoordinationService {
  public:
-  /// Invoked with the engine's master query set and each solution found
-  /// (query ids refer to that master set).
-  using SolutionCallback =
-      std::function<void(const QuerySet&, const CoordinationSolution&)>;
-
   CoordinationEngine(const Database* db, EngineOptions options = {});
 
   /// Deliveries are notifications, not extension points: the callback
@@ -116,18 +164,18 @@ class CoordinationEngine {
   /// called from inside it, since in-flight component evaluations would
   /// be applied against state the callback just changed).  Queue any
   /// follow-up work and run it after the delivering call returns.
-  void set_solution_callback(SolutionCallback callback) {
+  void set_solution_callback(SolutionCallback callback) override {
     callback_ = std::move(callback);
   }
 
   /// Changes the automatic-evaluation cadence at runtime (e.g. admit a
   /// large backlog without evaluation, then switch to per-arrival).
-  void set_evaluate_every(size_t evaluate_every) {
+  void set_evaluate_every(size_t evaluate_every) override {
     options_.evaluate_every = evaluate_every;
   }
 
   /// Submits one query in the paper's concrete syntax (core/parser.h).
-  Result<QueryId> Submit(const std::string& query_text);
+  Result<QueryId> Submit(const std::string& query_text) override;
 
   /// Submits a pre-built query whose variables were allocated through
   /// NewVar() on mutable_queries().
@@ -138,18 +186,60 @@ class CoordinationEngine {
   /// ids of all admitted queries, or the first parse error.  Admission
   /// is all-or-nothing: on error nothing from the batch was admitted.
   Result<std::vector<QueryId>> SubmitBatch(
-      const std::vector<std::string>& query_texts);
+      const std::vector<std::string>& query_texts) override;
 
   /// Withdraws a pending query (a user abandoning a request).  Returns
   /// false when the id is unknown or no longer pending.  The rest of its
   /// component is re-marked dirty: shrinking a component can turn an
   /// unsafe set safe, so it may coordinate on the next evaluation.
-  bool Cancel(QueryId id);
+  bool Cancel(QueryId id) override;
 
   /// Evaluates every dirty pending component (every pending component on
   /// the from-scratch path); returns the number of coordinating sets
   /// delivered.
-  size_t Flush();
+  size_t Flush() override;
+
+  /// Evaluates just the component of `id` right now — the per-arrival
+  /// evaluation step, exposed so an external scheduler (the sharded
+  /// front door) can drive the cadence itself across many engines while
+  /// each arrival still gets exactly the §6.1 treatment.  Returns
+  /// whether a coordinating set was delivered; no-op when `id` is not
+  /// pending.  Other dirty components stay dirty.
+  bool EvaluateNow(QueryId id);
+
+  // ------------------------------------------------------------------
+  // Pending-query migration (shard merges, system/sharded_engine.h)
+  // ------------------------------------------------------------------
+
+  /// The detachable form of an engine's pending queries: a standalone
+  /// QuerySet with dense ids/vars (QuerySet::Subset) plus the maps back
+  /// into the source engine's namespaces.
+  struct PendingExtract {
+    QuerySet queries;
+    std::vector<QueryId> original;     ///< dense id -> source engine id
+    std::vector<VarId> original_vars;  ///< dense var -> source engine var
+  };
+
+  /// Detaches every pending query: returns them as a PendingExtract
+  /// (ascending source-id order) and drops them from this engine — the
+  /// pending flags, the incremental graph, the component index, and the
+  /// dirty marks are all cleared, as if the queries had never been
+  /// admitted.  Counters other than the pending count are untouched;
+  /// callers that destroy the drained engine should fold stats() into
+  /// their aggregate first.
+  PendingExtract ExtractPending();
+
+  /// Admits copies of `src`'s queries `ids` — typically another
+  /// engine's PendingExtract — renumbered into this engine's query and
+  /// variable namespaces (QuerySet::AdoptQueries; `var_map` receives
+  /// that call's (source var, adopted var) pairs).  Adopted queries are
+  /// indexed into the incremental structures and their components
+  /// marked dirty, but adoption never triggers evaluation and never
+  /// counts as a submission: the caller owns the cadence and the
+  /// submission accounting.  Returns the new ids, in input order.
+  std::vector<QueryId> AdoptPending(
+      const QuerySet& src, const std::vector<QueryId>& ids,
+      std::vector<std::pair<VarId, VarId>>* var_map = nullptr);
 
   /// Master query set (all queries ever submitted; retired ones keep
   /// their slots).  Use NewVar() here before SubmitQuery.
@@ -157,16 +247,28 @@ class CoordinationEngine {
   const QuerySet& queries() const { return all_; }
 
   /// Queries awaiting coordination.
-  std::vector<QueryId> PendingQueries() const;
-  bool IsPending(QueryId id) const;
+  std::vector<QueryId> PendingQueries() const override;
+  bool IsPending(QueryId id) const override;
+  /// How many queries are pending, O(1).
+  size_t num_pending() const override { return num_pending_; }
 
   /// Pending queries weakly connected to `id` in the coordination graph
   /// (including `id`, which must be pending), sorted ascending.  An
   /// index lookup on the incremental path; a graph rebuild + BFS on the
   /// from-scratch path.
-  std::vector<QueryId> ComponentOf(QueryId id) const;
+  std::vector<QueryId> ComponentOf(QueryId id) const override;
 
   const EngineStats& stats() const { return stats_; }
+  EngineStats StatsSnapshot() const override { return stats_; }
+
+  /// Scheduling key of the most recent delivery: the smallest member id
+  /// of the component the coordinating set was carved from (which may
+  /// not itself be in the set).  Deliveries within one Flush() are
+  /// applied in nondecreasing key order, so a front door that merges
+  /// several engines' delivery streams by this key reproduces the order
+  /// a single engine over the union would have produced.  Valid inside
+  /// and after a delivery callback; -1 before the first delivery.
+  QueryId last_delivery_schedule_key() const { return last_delivery_key_; }
 
  private:
   /// A component evaluation prepared on the coordinating thread: the
@@ -189,11 +291,18 @@ class CoordinationEngine {
     uint64_t db_queries = 0;
   };
 
-  /// Shared admission path after `id` was appended to all_.
+  /// Shared admission path after `id` was appended to all_: counts the
+  /// submission, indexes the query, and applies the evaluation cadence.
   void Admit(QueryId id);
 
-  /// CHECK-fails when called from inside a solution callback.
-  void CheckNotReentrant() const;
+  /// The indexing half of admission (pending flag, incremental graph,
+  /// component union, dirty mark) — shared by Admit and AdoptPending,
+  /// which must not count submissions or trigger evaluation.
+  void IndexQuery(QueryId id);
+
+  /// CHECK-fails when called from inside a solution callback;
+  /// `entry_point` names the violating call in the failure message.
+  void CheckNotReentrant(const char* entry_point) const;
 
   /// Union-find over engine ids (weak connectivity of pending queries).
   QueryId FindRoot(QueryId q) const;
@@ -228,10 +337,12 @@ class CoordinationEngine {
   EngineOptions options_;
   QuerySet all_;
   std::vector<bool> pending_;  // per query id in all_
+  size_t num_pending_ = 0;     // population count of pending_
   size_t since_last_eval_ = 0;
   SolutionCallback callback_;
   bool in_callback_ = false;
   EngineStats stats_;
+  QueryId last_delivery_key_ = -1;
 
   // ---- incremental core ----
   ExtendedCoordinationGraph graph_;      // over pending queries only

@@ -1,0 +1,116 @@
+#include "system/relation_router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+RelationId RelationRouter::Intern(const std::string& name) {
+  auto [it, inserted] =
+      ids_.emplace(name, static_cast<RelationId>(names_.size()));
+  if (inserted) {
+    names_.push_back(name);
+    parent_.push_back(it->second);
+    size_.push_back(1);
+    members_.push_back({it->second});
+  }
+  return it->second;
+}
+
+std::vector<RelationId> RelationRouter::Footprint(const QuerySet& set,
+                                                 QueryId id) {
+  std::vector<RelationId> footprint;
+  const EntangledQuery& query = set.query(id);
+  for (const auto* atoms : {&query.postconditions, &query.head}) {
+    for (const Atom& atom : *atoms) {
+      footprint.push_back(Intern(atom.relation));
+    }
+  }
+  std::sort(footprint.begin(), footprint.end());
+  footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                  footprint.end());
+  return footprint;
+}
+
+RelationId RelationRouter::Find(RelationId r) const {
+  ENTANGLED_CHECK(r >= 0 && static_cast<size_t>(r) < parent_.size())
+      << "unknown relation " << r;
+  RelationId root = r;
+  while (parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+  }
+  while (parent_[static_cast<size_t>(r)] != root) {
+    RelationId next = parent_[static_cast<size_t>(r)];
+    parent_[static_cast<size_t>(r)] = root;
+    r = next;
+  }
+  return root;
+}
+
+void RelationRouter::Union(RelationId a, RelationId b) {
+  RelationId ra = Find(a);
+  RelationId rb = Find(b);
+  if (ra == rb) return;
+  if (size_[static_cast<size_t>(ra)] < size_[static_cast<size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<size_t>(rb)] = ra;
+  size_[static_cast<size_t>(ra)] += size_[static_cast<size_t>(rb)];
+  auto& into = members_[static_cast<size_t>(ra)];
+  auto& from = members_[static_cast<size_t>(rb)];
+  into.insert(into.end(), from.begin(), from.end());
+  from.clear();
+  from.shrink_to_fit();
+}
+
+RelationId RelationRouter::Unite(const std::vector<RelationId>& footprint,
+                                 std::vector<RelationId>* prior_roots) {
+  ENTANGLED_CHECK(!footprint.empty());
+  if (prior_roots != nullptr) {
+    prior_roots->clear();
+    for (RelationId r : footprint) prior_roots->push_back(Find(r));
+    std::sort(prior_roots->begin(), prior_roots->end());
+    prior_roots->erase(std::unique(prior_roots->begin(), prior_roots->end()),
+                       prior_roots->end());
+  }
+  for (size_t i = 1; i < footprint.size(); ++i) {
+    Union(footprint[0], footprint[i]);
+  }
+  return Find(footprint[0]);
+}
+
+const std::vector<RelationId>& RelationRouter::GroupRelations(
+    RelationId root) const {
+  ENTANGLED_CHECK(Find(root) == root)
+      << "relation " << root << " is not a group root";
+  return members_[static_cast<size_t>(root)];
+}
+
+void RelationRouter::DissolveGroup(RelationId root) {
+  ENTANGLED_CHECK(Find(root) == root)
+      << "relation " << root << " is not a group root";
+  std::vector<RelationId> relations =
+      std::move(members_[static_cast<size_t>(root)]);
+  for (RelationId r : relations) {
+    parent_[static_cast<size_t>(r)] = r;
+    size_[static_cast<size_t>(r)] = 1;
+    members_[static_cast<size_t>(r)] = {r};
+  }
+}
+
+const std::string& RelationRouter::relation_name(RelationId r) const {
+  ENTANGLED_CHECK(r >= 0 && static_cast<size_t>(r) < names_.size())
+      << "unknown relation " << r;
+  return names_[static_cast<size_t>(r)];
+}
+
+size_t RelationRouter::num_groups() const {
+  size_t groups = 0;
+  for (size_t r = 0; r < parent_.size(); ++r) {
+    if (parent_[r] == static_cast<RelationId>(r)) ++groups;
+  }
+  return groups;
+}
+
+}  // namespace entangled

@@ -1,0 +1,89 @@
+#ifndef ENTANGLED_SYSTEM_RELATION_ROUTER_H_
+#define ENTANGLED_SYSTEM_RELATION_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+
+namespace entangled {
+
+/// \brief Identifier of an answer relation inside a RelationRouter.
+using RelationId = int32_t;
+
+/// \brief The routing layer of the sharded coordination service: a
+/// union-find over answer-relation names.
+///
+/// The coordination graph admits an edge between two queries only when
+/// a postcondition of one unifies with a head of the other — which
+/// requires the two atoms to name the *same* answer relation.  A
+/// query's **relation footprint** (the set of relation names over its
+/// postconditions and heads) therefore bounds everything it can ever
+/// coordinate with: queries whose footprints live in disjoint relation
+/// groups can never share a coordination edge, directly or
+/// transitively.  The router maintains exactly that grouping: every
+/// admitted footprint unions its relations into one group, so "which
+/// shard owns this query" is a handful of find operations —
+/// O(footprint · α(relations)) — and the small routing table is all the
+/// coordination information the front door needs (the Coordination
+/// Complexity theme: little information, large population).
+///
+/// Groups only ever grow while any of their queries are pending; when a
+/// shard drains, the owner calls DissolveGroup and the relations revert
+/// to singletons, ready to re-bridge along whatever footprints future
+/// traffic actually exhibits.
+class RelationRouter {
+ public:
+  RelationRouter() = default;
+
+  /// Interns a relation name (idempotent).
+  RelationId Intern(const std::string& name);
+
+  /// The relation footprint of `set`'s query `id`: the distinct
+  /// relation ids over its postconditions and heads, ascending.  Body
+  /// atoms are deliberately excluded — database relations never induce
+  /// coordination edges.
+  std::vector<RelationId> Footprint(const QuerySet& set, QueryId id);
+
+  /// Unions every relation of `footprint` into one group.  Returns the
+  /// surviving group root; `prior_roots` (optional) receives the
+  /// distinct roots the footprint touched *before* uniting, ascending —
+  /// more than one entry means previously independent groups (and their
+  /// shards) must merge.
+  RelationId Unite(const std::vector<RelationId>& footprint,
+                   std::vector<RelationId>* prior_roots = nullptr);
+
+  /// Group root of `r`, with path compression.
+  RelationId Find(RelationId r) const;
+
+  /// The relations of the group rooted at `root` (unordered).  Only
+  /// meaningful at a root.
+  const std::vector<RelationId>& GroupRelations(RelationId root) const;
+
+  /// Dissolves a drained group: every member relation becomes a
+  /// singleton group again.  The caller must guarantee no pending query
+  /// has a footprint inside the group (the sharding invariant makes
+  /// this safe exactly when the group's shard is empty).
+  void DissolveGroup(RelationId root);
+
+  size_t num_relations() const { return parent_.size(); }
+  const std::string& relation_name(RelationId r) const;
+
+  /// Number of distinct live groups (roots).
+  size_t num_groups() const;
+
+ private:
+  void Union(RelationId a, RelationId b);
+
+  std::unordered_map<std::string, RelationId> ids_;
+  std::vector<std::string> names_;
+  mutable std::vector<RelationId> parent_;
+  std::vector<uint32_t> size_;
+  std::vector<std::vector<RelationId>> members_;  // at roots
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_SYSTEM_RELATION_ROUTER_H_

@@ -1,0 +1,440 @@
+#include "system/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/parser.h"
+
+namespace entangled {
+
+ShardedCoordinationEngine::ShardedCoordinationEngine(
+    const Database* db, ShardedEngineOptions options)
+    : db_(db), options_(std::move(options)) {
+  ENTANGLED_CHECK(db != nullptr);
+}
+
+void ShardedCoordinationEngine::CheckNotReentrant(
+    const char* entry_point) const {
+  ENTANGLED_CHECK(!in_callback_)
+      << entry_point
+      << " called from inside a solution callback: callbacks must not "
+         "re-enter the ShardedCoordinationEngine; defer the follow-up "
+         "until the delivering call returns";
+}
+
+// ---------------------------------------------------------------------------
+// Submission & routing
+// ---------------------------------------------------------------------------
+
+Result<QueryId> ShardedCoordinationEngine::Submit(
+    const std::string& query_text) {
+  CheckNotReentrant("Submit");
+  auto id = ParseQuery(query_text, &all_);
+  if (!id.ok()) return id.status();
+  RouteAndAdmit(*id);
+  ++front_stats_.submitted;
+
+  if (options_.engine.evaluate_every > 0 &&
+      ++since_last_eval_ >= options_.engine.evaluate_every) {
+    since_last_eval_ = 0;
+    // The §6.1 per-arrival step: evaluate exactly the arrival's
+    // component, in its shard; nothing else is examined.
+    const Locator loc = locators_[static_cast<size_t>(*id)];
+    shards_[loc.shard].engine->EvaluateNow(loc.local);
+    DrainDeliveries({loc.shard});
+    MaybeGcShards({loc.shard});
+  }
+  return id;
+}
+
+Result<std::vector<QueryId>> ShardedCoordinationEngine::SubmitBatch(
+    const std::vector<std::string>& query_texts) {
+  CheckNotReentrant("SubmitBatch");
+  // All-or-nothing admission, exactly like CoordinationEngine: validate
+  // the whole batch against a staging set before admitting anything.
+  {
+    QuerySet staging;
+    for (const std::string& text : query_texts) {
+      auto id = ParseQuery(text, &staging);
+      if (!id.ok()) return id.status();
+    }
+  }
+  std::vector<QueryId> ids;
+  ids.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    auto id = ParseQuery(text, &all_);
+    ENTANGLED_CHECK(id.ok()) << "validated batch re-parse failed: "
+                             << id.status().ToString();
+    RouteAndAdmit(*id);
+    ++front_stats_.submitted;
+    ids.push_back(*id);
+  }
+  // The whole batch landed before any evaluation; now flush once, as a
+  // single engine would.
+  if (options_.engine.evaluate_every > 0) {
+    since_last_eval_ = 0;
+    Flush();
+  }
+  return ids;
+}
+
+void ShardedCoordinationEngine::RouteAndAdmit(QueryId gid) {
+  std::vector<RelationId> footprint = router_.Footprint(all_, gid);
+  if (footprint.empty()) {
+    // No postconditions and no head atoms (unreachable through the
+    // parser, which requires a head): the query can never gain a
+    // coordination edge.  One shared sentinel relation groups such
+    // loners — harmless, since co-sharding never creates edges — and
+    // keeps the router's namespace bounded.
+    footprint.push_back(router_.Intern("$lone"));
+  }
+  std::vector<RelationId> prior_roots;
+  const RelationId root = router_.Unite(footprint, &prior_roots);
+  ENTANGLED_CHECK(!prior_roots.empty());
+
+  // Live shards bound to the groups this footprint touched.
+  std::vector<size_t> involved;
+  for (RelationId r : prior_roots) {
+    auto it = group_shard_.find(r);
+    if (it != group_shard_.end()) {
+      involved.push_back(it->second);
+      group_shard_.erase(it);
+    }
+  }
+
+  size_t slot;
+  if (involved.empty()) {
+    slot = CreateShard();
+  } else if (involved.size() == 1) {
+    slot = involved.front();
+  } else {
+    ++sharded_stats_.group_merges;
+    slot = MergeShards(involved);
+  }
+  group_shard_[root] = slot;
+  shards_[slot].group_root = root;
+
+  AdoptIntoShard(slot, gid);
+  pending_.resize(all_.size(), false);
+  pending_[static_cast<size_t>(gid)] = true;
+  ++num_pending_;
+  flush_candidates_.insert(slot);
+}
+
+size_t ShardedCoordinationEngine::CreateShard() {
+  EngineOptions inner = options_.engine;
+  inner.evaluate_every = 0;  // the front door drives the cadence
+  size_t slot;
+  if (!free_slots_.empty()) {
+    // Reuse a retired slot so the shard table stays proportional to
+    // the number of *live* shards under create/GC churn.  Stale
+    // locators_ entries naming this slot all belong to non-pending
+    // queries, which every lookup path gates on IsPending first.
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    shards_.emplace_back();
+    slot = shards_.size() - 1;
+  }
+  shards_[slot].engine = std::make_unique<CoordinationEngine>(db_, inner);
+  // Capture the slot index, not the Shard: shards_ may reallocate as
+  // new shards are created (never during a flush).
+  shards_[slot].engine->set_solution_callback(
+      [this, slot](const QuerySet&, const CoordinationSolution& solution) {
+        OnShardDelivery(slot, solution);
+      });
+  ++num_live_shards_;
+  ++sharded_stats_.shards_created;
+  return slot;
+}
+
+void ShardedCoordinationEngine::AdoptIntoShard(size_t slot, QueryId gid) {
+  Shard& shard = shards_[slot];
+  std::vector<VarId> dense_to_gvar;
+  QuerySet staging = all_.Subset({gid}, nullptr, &dense_to_gvar);
+  std::vector<std::pair<VarId, VarId>> adopted_vars;
+  const QueryId local =
+      shard.engine->AdoptPending(staging, {0}, &adopted_vars).front();
+
+  ENTANGLED_CHECK_EQ(static_cast<size_t>(local),
+                     shard.local_to_global.size());
+  shard.local_to_global.push_back(gid);
+  for (const auto& [dense, lvar] : adopted_vars) {
+    if (static_cast<size_t>(lvar) >= shard.lvar_to_gvar.size()) {
+      shard.lvar_to_gvar.resize(static_cast<size_t>(lvar) + 1, -1);
+    }
+    shard.lvar_to_gvar[static_cast<size_t>(lvar)] =
+        dense_to_gvar[static_cast<size_t>(dense)];
+  }
+  locators_.resize(all_.size());
+  locators_[static_cast<size_t>(gid)] = Locator{slot, local};
+}
+
+size_t ShardedCoordinationEngine::MergeShards(
+    const std::vector<size_t>& slots) {
+  // Drain every participating shard, then replay the union into one
+  // fresh engine in ascending *global* id order.  Rebuilding (rather
+  // than appending into the largest survivor) keeps shard-local id
+  // order monotone in global submission order — the property the
+  // solver's discovery-order tie-breaks and the cross-shard delivery
+  // merge both rely on for byte-identical output.
+  struct Source {
+    size_t slot;
+    CoordinationEngine::PendingExtract extract;
+  };
+  std::vector<Source> sources;
+  sources.reserve(slots.size());
+  for (size_t s : slots) {
+    ENTANGLED_CHECK(shards_[s].deliveries.empty());
+    sources.push_back(Source{s, shards_[s].engine->ExtractPending()});
+  }
+
+  struct Item {
+    QueryId gid;
+    size_t source;
+    QueryId dense;  ///< id within the source extract
+  };
+  std::vector<Item> items;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const Source& src = sources[i];
+    const Shard& old_shard = shards_[src.slot];
+    for (size_t j = 0; j < src.extract.original.size(); ++j) {
+      const QueryId old_local = src.extract.original[j];
+      items.push_back(Item{
+          old_shard.local_to_global[static_cast<size_t>(old_local)], i,
+          static_cast<QueryId>(j)});
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.gid < b.gid; });
+
+  const size_t merged_slot = CreateShard();
+  std::vector<std::pair<VarId, VarId>> adopted_vars;
+  for (const Item& item : items) {
+    const Source& src = sources[item.source];
+    const Shard& old_shard = shards_[src.slot];
+    Shard& merged = shards_[merged_slot];
+    const QueryId local =
+        merged.engine
+            ->AdoptPending(src.extract.queries, {item.dense}, &adopted_vars)
+            .front();
+    ENTANGLED_CHECK_EQ(static_cast<size_t>(local),
+                       merged.local_to_global.size());
+    merged.local_to_global.push_back(item.gid);
+    for (const auto& [dense, lvar] : adopted_vars) {
+      // dense var -> old shard var -> global var.
+      const VarId old_lvar =
+          src.extract.original_vars[static_cast<size_t>(dense)];
+      const VarId gvar =
+          old_shard.lvar_to_gvar[static_cast<size_t>(old_lvar)];
+      if (static_cast<size_t>(lvar) >= merged.lvar_to_gvar.size()) {
+        merged.lvar_to_gvar.resize(static_cast<size_t>(lvar) + 1, -1);
+      }
+      merged.lvar_to_gvar[static_cast<size_t>(lvar)] = gvar;
+    }
+    locators_[static_cast<size_t>(item.gid)] = Locator{merged_slot, local};
+    ++sharded_stats_.queries_migrated;
+  }
+
+  for (const Source& src : sources) {
+    RetireShard(src.slot, /*absorbed=*/true);
+    flush_candidates_.erase(src.slot);
+  }
+  flush_candidates_.insert(merged_slot);
+  return merged_slot;
+}
+
+void ShardedCoordinationEngine::RetireShard(size_t slot, bool absorbed) {
+  Shard& shard = shards_[slot];
+  ENTANGLED_CHECK(shard.engine != nullptr);
+  ENTANGLED_CHECK(shard.deliveries.empty());
+  retired_stats_ += shard.engine->stats();
+  shard.engine.reset();
+  shard.local_to_global.clear();
+  shard.local_to_global.shrink_to_fit();
+  shard.lvar_to_gvar.clear();
+  shard.lvar_to_gvar.shrink_to_fit();
+  shard.group_root = -1;
+  free_slots_.push_back(slot);
+  --num_live_shards_;
+  if (absorbed) {
+    ++sharded_stats_.shards_absorbed;
+  } else {
+    ++sharded_stats_.shards_gced;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation & lookups
+// ---------------------------------------------------------------------------
+
+bool ShardedCoordinationEngine::Cancel(QueryId id) {
+  CheckNotReentrant("Cancel");
+  if (!IsPending(id)) return false;
+  const Locator loc = locators_[static_cast<size_t>(id)];
+  const bool cancelled = shards_[loc.shard].engine->Cancel(loc.local);
+  ENTANGLED_CHECK(cancelled) << "shard disagreed about pending query " << id;
+  pending_[static_cast<size_t>(id)] = false;
+  --num_pending_;
+  // Shrinking a component can make it coordinable; the shard now holds
+  // dirty fragments.
+  flush_candidates_.insert(loc.shard);
+  MaybeGcShards({loc.shard});
+  return true;
+}
+
+bool ShardedCoordinationEngine::IsPending(QueryId id) const {
+  return id >= 0 && static_cast<size_t>(id) < pending_.size() &&
+         pending_[static_cast<size_t>(id)];
+}
+
+std::vector<QueryId> ShardedCoordinationEngine::PendingQueries() const {
+  std::vector<QueryId> pending;
+  pending.reserve(num_pending_);
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i]) pending.push_back(static_cast<QueryId>(i));
+  }
+  return pending;
+}
+
+std::vector<QueryId> ShardedCoordinationEngine::ComponentOf(
+    QueryId id) const {
+  ENTANGLED_CHECK(IsPending(id)) << "query " << id << " is not pending";
+  const Locator loc = locators_[static_cast<size_t>(id)];
+  const Shard& shard = shards_[loc.shard];
+  std::vector<QueryId> component = shard.engine->ComponentOf(loc.local);
+  for (QueryId& q : component) {
+    q = shard.local_to_global[static_cast<size_t>(q)];
+  }
+  // Local ids are monotone in global ids, so the translation preserves
+  // the sorted order ComponentOf promises.
+  return component;
+}
+
+bool ShardedCoordinationEngine::SameShard(QueryId a, QueryId b) const {
+  ENTANGLED_CHECK(IsPending(a)) << "query " << a << " is not pending";
+  ENTANGLED_CHECK(IsPending(b)) << "query " << b << " is not pending";
+  return locators_[static_cast<size_t>(a)].shard ==
+         locators_[static_cast<size_t>(b)].shard;
+}
+
+EngineStats ShardedCoordinationEngine::StatsSnapshot() const {
+  EngineStats stats = front_stats_;
+  stats += retired_stats_;
+  for (const Shard& shard : shards_) {
+    if (shard.engine != nullptr) stats += shard.engine->stats();
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Flushing & delivery
+// ---------------------------------------------------------------------------
+
+void ShardedCoordinationEngine::OnShardDelivery(
+    size_t slot, const CoordinationSolution& solution) {
+  // Runs on whichever thread is flushing this shard; touches only the
+  // shard's own tables and buffer, so concurrent shard flushes never
+  // share state.
+  Shard& shard = shards_[slot];
+  BufferedDelivery delivery;
+  delivery.key = shard.local_to_global[static_cast<size_t>(
+      shard.engine->last_delivery_schedule_key())];
+  delivery.solution.queries.reserve(solution.queries.size());
+  for (QueryId local : solution.queries) {
+    delivery.solution.queries.push_back(
+        shard.local_to_global[static_cast<size_t>(local)]);
+  }
+  solution.assignment.ForEach([&](VarId lvar, const Value& value) {
+    delivery.solution.assignment.emplace(
+        shard.lvar_to_gvar[static_cast<size_t>(lvar)], value);
+  });
+  shard.deliveries.push_back(std::move(delivery));
+}
+
+size_t ShardedCoordinationEngine::DrainDeliveries(
+    const std::vector<size_t>& slots) {
+  // Merge-by-smallest-global-id: every shard's buffer is already in
+  // nondecreasing key order (inner flushes apply deliveries that way),
+  // keys collide only within one shard (a fragment reusing its parent
+  // component's smallest id), and the gather preserves buffer order —
+  // so a stable sort on the key reconstructs exactly the delivery
+  // order a single engine over the union would have produced.
+  std::vector<BufferedDelivery> merged;
+  for (size_t s : slots) {
+    Shard& shard = shards_[s];
+    for (BufferedDelivery& d : shard.deliveries) {
+      merged.push_back(std::move(d));
+    }
+    shard.deliveries.clear();
+  }
+  if (merged.empty()) return 0;
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const BufferedDelivery& a, const BufferedDelivery& b) {
+                     return a.key < b.key;
+                   });
+  for (BufferedDelivery& delivery : merged) {
+    for (QueryId gid : delivery.solution.queries) {
+      ENTANGLED_CHECK(pending_[static_cast<size_t>(gid)])
+          << "query " << gid << " delivered twice";
+      pending_[static_cast<size_t>(gid)] = false;
+      --num_pending_;
+    }
+    if (callback_) {
+      in_callback_ = true;
+      callback_(all_, delivery.solution);
+      in_callback_ = false;
+    }
+  }
+  return merged.size();
+}
+
+size_t ShardedCoordinationEngine::Flush() {
+  CheckNotReentrant("Flush");
+  // Only shards touched since their last flush can hold dirty
+  // components; visit those, not every slot ever created.
+  std::vector<size_t> slots;
+  slots.reserve(flush_candidates_.size());
+  for (size_t s : flush_candidates_) {
+    if (shards_[s].engine != nullptr) slots.push_back(s);
+  }
+  flush_candidates_.clear();
+  std::sort(slots.begin(), slots.end());
+
+  if (slots.size() > 1 && options_.shard_threads > 1) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(options_.shard_threads);
+    }
+    for (size_t s : slots) {
+      pool_->Submit([this, s] { shards_[s].engine->Flush(); });
+    }
+    pool_->Wait();
+  } else {
+    for (size_t s : slots) shards_[s].engine->Flush();
+  }
+
+  const size_t delivered = DrainDeliveries(slots);
+  MaybeGcShards(slots);
+  return delivered;
+}
+
+void ShardedCoordinationEngine::MaybeGcShards(
+    const std::vector<size_t>& slots) {
+  if (!options_.gc_empty_shards) return;
+  for (size_t s : slots) {
+    Shard& shard = shards_[s];
+    if (shard.engine == nullptr || shard.engine->num_pending() != 0) {
+      continue;
+    }
+    // Drained: no pending query anywhere has a footprint inside this
+    // group (the sharding invariant), so its relations can revert to
+    // singletons and re-bridge along future traffic.
+    router_.DissolveGroup(shard.group_root);
+    group_shard_.erase(shard.group_root);
+    RetireShard(s, /*absorbed=*/false);
+    flush_candidates_.erase(s);
+  }
+}
+
+}  // namespace entangled

@@ -1,0 +1,221 @@
+#ifndef ENTANGLED_SYSTEM_SHARDED_ENGINE_H_
+#define ENTANGLED_SYSTEM_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "system/engine.h"
+#include "system/relation_router.h"
+
+namespace entangled {
+
+/// \brief Options for ShardedCoordinationEngine.
+struct ShardedEngineOptions {
+  /// Configuration of the inner per-shard engines, except that
+  /// `engine.evaluate_every` is interpreted as the *front door's*
+  /// cadence (counted across all shards, exactly like a single engine
+  /// counts it across all arrivals); the inner engines always run with
+  /// automatic evaluation disabled and are driven explicitly.
+  EngineOptions engine;
+
+  /// Worker threads for Flush(): independent shards flush concurrently
+  /// (1 = flush shards serially on the calling thread).  Outputs do not
+  /// depend on this count — deliveries are applied in deterministic
+  /// merged order.
+  size_t shard_threads = 1;
+
+  /// Retire a shard (and dissolve its relation group back into
+  /// singleton groups) as soon as its last pending query is delivered
+  /// or cancelled, so relations re-bridge along the footprints future
+  /// traffic actually exhibits instead of accreting forever.
+  bool gc_empty_shards = true;
+};
+
+/// \brief Counters specific to the sharded service.
+struct ShardedStats {
+  uint64_t shards_created = 0;    ///< inner engines ever constructed
+  uint64_t shards_absorbed = 0;   ///< shards drained into a merge
+  uint64_t shards_gced = 0;       ///< empty shards retired
+  uint64_t group_merges = 0;      ///< footprints that united >1 shard
+  uint64_t queries_migrated = 0;  ///< pending queries moved by merges
+};
+
+/// \brief The multi-tenant front door: a CoordinationService that
+/// routes every arriving query to one of many inner CoordinationEngines
+/// by its **relation footprint** (RelationRouter) and keeps the whole
+/// ensemble byte-compatible with a single engine over the union.
+///
+/// The sharding invariant: a coordination edge requires a postcondition
+/// and a head naming the same answer relation, so queries whose
+/// footprints fall in disjoint relation groups can never coordinate —
+/// one inner engine per live relation group partitions the pending set
+/// with no lost deliveries.  Submit/SubmitBatch/Cancel route in
+/// O(footprint · α); Flush() fans independent shards out on a shared
+/// thread pool.
+///
+/// When an arrival's footprint spans k > 1 groups, the groups merge and
+/// the affected shards' pending queries **migrate** into one fresh
+/// engine (CoordinationEngine::ExtractPending / AdoptPending), replayed
+/// in ascending global-id order so shard-local id order stays monotone
+/// in global submission order — the property that keeps the solver's
+/// discovery-order tie-breaks, and therefore every delivered set and
+/// witness, identical to the unsharded engine's.
+///
+/// Determinism contract (enforced by the stress harness): for any event
+/// stream, the delivery log, witnesses, and pending set are
+/// byte-identical to a single CoordinationEngine, at any shard-pool
+/// width.  Cross-shard delivery order is reconstructed by merging the
+/// shards' delivery streams on the component schedule key
+/// (CoordinationEngine::last_delivery_schedule_key), i.e.
+/// merge-by-smallest-global-id.
+///
+/// The public API is single-threaded, like CoordinationEngine's; the
+/// global↔shard translation tables (query ids and witness variables)
+/// are maintained on the calling thread, and callbacks always fire on
+/// the calling thread with global ids.
+class ShardedCoordinationEngine : public CoordinationService {
+ public:
+  ShardedCoordinationEngine(const Database* db,
+                            ShardedEngineOptions options = {});
+
+  /// Callbacks must not re-enter the front door (same contract as
+  /// CoordinationEngine::set_solution_callback); ids and witness
+  /// variables are global.
+  void set_solution_callback(SolutionCallback callback) override {
+    callback_ = std::move(callback);
+  }
+
+  void set_evaluate_every(size_t evaluate_every) override {
+    options_.engine.evaluate_every = evaluate_every;
+  }
+
+  Result<QueryId> Submit(const std::string& query_text) override;
+  Result<std::vector<QueryId>> SubmitBatch(
+      const std::vector<std::string>& query_texts) override;
+  bool Cancel(QueryId id) override;
+  size_t Flush() override;
+
+  std::vector<QueryId> PendingQueries() const override;
+  bool IsPending(QueryId id) const override;
+  size_t num_pending() const override { return num_pending_; }
+  std::vector<QueryId> ComponentOf(QueryId id) const override;
+
+  /// Aggregate across the front door, every live shard, and every
+  /// retired shard (EngineStats::operator+=): one snapshot a single
+  /// engine over the same stream would agree with on the fields the
+  /// delivery log determines.
+  EngineStats StatsSnapshot() const override;
+
+  /// Global master query set (ids and variables as the callbacks and
+  /// witnesses report them).
+  const QuerySet& queries() const { return all_; }
+
+  // ------------------------------------------------------------------
+  // Introspection (tests, benches, operators)
+  // ------------------------------------------------------------------
+
+  const ShardedStats& sharded_stats() const { return sharded_stats_; }
+  const RelationRouter& router() const { return router_; }
+
+  /// Live inner engines right now.
+  size_t num_live_shards() const { return num_live_shards_; }
+
+  /// Whether two pending queries are currently routed to the same
+  /// shard (component-mates always are; the converse need not hold).
+  bool SameShard(QueryId a, QueryId b) const;
+
+ private:
+  /// Where a pending query lives: shard slot + shard-local id.
+  struct Locator {
+    size_t shard = 0;
+    QueryId local = -1;
+  };
+
+  /// One delivery buffered during a shard flush, already translated to
+  /// global ids/variables, keyed for the cross-shard merge.
+  struct BufferedDelivery {
+    QueryId key = -1;  ///< global schedule key (component smallest id)
+    CoordinationSolution solution;
+  };
+
+  struct Shard {
+    std::unique_ptr<CoordinationEngine> engine;  ///< null once retired
+    RelationId group_root = -1;
+    std::vector<QueryId> local_to_global;  ///< strictly increasing
+    std::vector<VarId> lvar_to_gvar;       ///< local var -> global var
+    /// Filled by this shard's delivery callback (on whichever thread
+    /// flushes the shard — each shard is flushed by exactly one
+    /// thread), drained and merged on the calling thread.
+    std::vector<BufferedDelivery> deliveries;
+  };
+
+  void CheckNotReentrant(const char* entry_point) const;
+
+  /// Routes the freshly parsed global query `gid`: computes its
+  /// footprint, unites the touched relation groups (merging shards when
+  /// the footprint bridges several), adopts the query into the owning
+  /// shard, and registers the global bookkeeping.  No evaluation.
+  void RouteAndAdmit(QueryId gid);
+
+  /// Fresh inner engine wired to this front door; returns its slot.
+  size_t CreateShard();
+
+  /// Merges the given live slots into one fresh engine, migrating every
+  /// pending query in ascending global-id order; retires the sources.
+  size_t MergeShards(const std::vector<size_t>& slots);
+
+  /// Copies global query `gid` into `slot`'s engine and records the
+  /// id/variable translations.
+  void AdoptIntoShard(size_t slot, QueryId gid);
+
+  /// Folds the shard's stats into the retired accumulator and destroys
+  /// its engine.
+  void RetireShard(size_t slot, bool absorbed);
+
+  /// Shard-callback target: translate and buffer one delivery.
+  void OnShardDelivery(size_t slot, const CoordinationSolution& solution);
+
+  /// Merges the named slots' buffered deliveries by schedule key,
+  /// updates the global pending set, and fires the outer callback per
+  /// delivery.  Returns the number of deliveries.
+  size_t DrainDeliveries(const std::vector<size_t>& slots);
+
+  /// Retires any of the named slots that drained to zero pending
+  /// queries, dissolving their relation groups (no-op unless
+  /// options_.gc_empty_shards).
+  void MaybeGcShards(const std::vector<size_t>& slots);
+
+  const Database* db_;
+  ShardedEngineOptions options_;
+
+  QuerySet all_;               // global mirror: ids/vars match a single engine
+  std::vector<bool> pending_;  // per global id
+  size_t num_pending_ = 0;
+  std::vector<Locator> locators_;  // per global id; valid while pending
+  size_t since_last_eval_ = 0;
+
+  RelationRouter router_;
+  std::unordered_map<RelationId, size_t> group_shard_;  // group root -> slot
+  std::vector<Shard> shards_;
+  std::vector<size_t> free_slots_;  ///< retired slots awaiting reuse
+  size_t num_live_shards_ = 0;
+  /// Slots possibly holding dirty components (touched since their last
+  /// flush); Flush() visits only these instead of every slot ever made.
+  std::unordered_set<size_t> flush_candidates_;
+
+  SolutionCallback callback_;
+  bool in_callback_ = false;
+  EngineStats front_stats_;    // submitted is counted here, once, globally
+  EngineStats retired_stats_;  // folded-in stats of destroyed shards
+  ShardedStats sharded_stats_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created by Flush()
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_SYSTEM_SHARDED_ENGINE_H_

@@ -1,6 +1,7 @@
 #include "testing/stress_harness.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <unordered_set>
@@ -32,30 +33,61 @@ std::string LogToString(const std::vector<StressDelivery>& log) {
   return out.str();
 }
 
-EngineOptions OracleOptions() {
-  EngineOptions options;
-  options.incremental = false;
-  options.evaluate_every = 1;
-  return options;
+/// One engine configuration a scenario is replayed on: the from-scratch
+/// oracle, an incremental CoordinationEngine, or the sharded front
+/// door.
+struct EngineVariant {
+  bool sharded = false;
+  EngineOptions engine;
+  size_t shard_threads = 1;  ///< sharded only
+};
+
+EngineVariant OracleVariant() {
+  EngineVariant variant;
+  variant.engine.incremental = false;
+  variant.engine.evaluate_every = 1;
+  return variant;
 }
 
-EngineOptions IncrementalOptions(size_t threads,
+EngineVariant IncrementalVariant(size_t threads,
                                  const EngineFaultInjection& fault) {
-  EngineOptions options;
-  options.incremental = true;
-  options.evaluate_every = 1;
-  options.flush_threads = threads;
-  options.fault = fault;
-  return options;
+  EngineVariant variant;
+  variant.engine.incremental = true;
+  variant.engine.evaluate_every = 1;
+  variant.engine.flush_threads = threads;
+  variant.engine.fault = fault;
+  return variant;
+}
+
+EngineVariant ShardedVariant(size_t shard_threads,
+                             const EngineFaultInjection& fault) {
+  EngineVariant variant;
+  variant.sharded = true;
+  variant.engine.incremental = true;
+  variant.engine.evaluate_every = 1;
+  variant.engine.fault = fault;
+  variant.shard_threads = shard_threads;
+  return variant;
+}
+
+std::unique_ptr<CoordinationService> MakeEngine(const Database& db,
+                                                const EngineVariant& variant) {
+  if (variant.sharded) {
+    ShardedEngineOptions options;
+    options.engine = variant.engine;
+    options.shard_threads = variant.shard_threads;
+    return std::make_unique<ShardedCoordinationEngine>(&db, options);
+  }
+  return std::make_unique<CoordinationEngine>(&db, variant.engine);
 }
 
 /// Replays the event stream on one engine, validating every delivery
 /// against Definition 1 as it lands.
-StressReplay Replay(const Database& db, const EngineOptions& options,
+StressReplay Replay(const Database& db, const EngineVariant& variant,
                     const std::vector<WorkloadEvent>& events) {
-  CoordinationEngine engine(&db, options);
+  std::unique_ptr<CoordinationService> engine = MakeEngine(db, variant);
   StressReplay run;
-  engine.set_solution_callback(
+  engine->set_solution_callback(
       [&](const QuerySet& set, const CoordinationSolution& solution) {
         Status valid = ValidateSolution(db, set, solution);
         if (!valid.ok() && run.error.empty()) {
@@ -65,10 +97,11 @@ StressReplay Replay(const Database& db, const EngineOptions& options,
         run.log.push_back(
             StressDelivery{solution.queries, solution.assignment});
       });
-  std::string replay_error = ReplayWorkloadEvents(&engine, events);
+  std::string replay_error = ReplayWorkloadEvents(engine.get(), events);
   if (!replay_error.empty() && run.error.empty()) run.error = replay_error;
-  run.final_pending = engine.PendingQueries();
-  run.stats = engine.stats();
+  run.final_pending = engine->PendingQueries();
+  run.pending_count = engine->num_pending();
+  run.stats = engine->StatsSnapshot();
   return run;
 }
 
@@ -77,6 +110,11 @@ std::string CheckInvariants(const std::string& label,
                             const StressReplay& run) {
   if (!run.error.empty()) return label + ": " + run.error;
   const EngineStats& s = run.stats;
+  if (run.pending_count != run.final_pending.size()) {
+    return label + ": num_pending()=" + std::to_string(run.pending_count) +
+           " but PendingQueries() enumerated " +
+           std::to_string(run.final_pending.size());
+  }
   size_t delivered_queries = 0;
   std::unordered_set<QueryId> seen;
   for (const StressDelivery& d : run.log) {
@@ -178,7 +216,7 @@ bool HasCancel(const std::vector<WorkloadEvent>& events) {
 
 }  // namespace
 
-std::string ReplayWorkloadEvents(CoordinationEngine* engine,
+std::string ReplayWorkloadEvents(CoordinationService* engine,
                                  const std::vector<WorkloadEvent>& events) {
   ENTANGLED_CHECK(engine != nullptr);
   for (const WorkloadEvent& event : events) {
@@ -228,7 +266,7 @@ std::string StressHarness::CheckOnce(const Database& db,
                                      const std::vector<WorkloadEvent>& events,
                                      size_t* oracle_deliveries,
                                      StressReplay* single_thread) const {
-  StressReplay oracle = Replay(db, OracleOptions(), events);
+  StressReplay oracle = Replay(db, OracleVariant(), events);
   if (oracle_deliveries != nullptr) *oracle_deliveries = oracle.log.size();
   std::string err = CheckInvariants("oracle", oracle);
   if (!err.empty()) return err;
@@ -236,7 +274,7 @@ std::string StressHarness::CheckOnce(const Database& db,
     const std::string label =
         "incremental[flush_threads=" + std::to_string(threads) + "]";
     StressReplay run =
-        Replay(db, IncrementalOptions(threads, options_.fault), events);
+        Replay(db, IncrementalVariant(threads, options_.fault), events);
     err = CheckInvariants(label, run);
     if (!err.empty()) return err;
     err = CompareRuns("oracle", oracle, label, run);
@@ -244,6 +282,18 @@ std::string StressHarness::CheckOnce(const Database& db,
     if (threads == 1 && single_thread != nullptr) {
       *single_thread = std::move(run);
     }
+  }
+  // The sharded front door promises the same byte-identical contract at
+  // any shard-pool width; hold it to that on every stream.
+  for (size_t threads : options_.shard_thread_counts) {
+    const std::string label =
+        "sharded[shard_threads=" + std::to_string(threads) + "]";
+    StressReplay run =
+        Replay(db, ShardedVariant(threads, options_.fault), events);
+    err = CheckInvariants(label, run);
+    if (!err.empty()) return err;
+    err = CompareRuns("oracle", oracle, label, run);
+    if (!err.empty()) return err;
   }
   return "";
 }
@@ -300,7 +350,7 @@ std::string StressHarness::RunMetamorphic(
            gen.topology == GraphTopology::kClique);
       if (order_invariant) {
         StressReplay perm =
-            Replay(db, IncrementalOptions(1, options_.fault), permuted);
+            Replay(db, IncrementalVariant(1, options_.fault), permuted);
         if (CanonicalSets(base.log, {}) !=
             CanonicalSets(perm.log, perm_to_base)) {
           return "metamorphic[batch permutation]: delivered coordinating "
@@ -333,7 +383,7 @@ std::string StressHarness::RunMetamorphic(
     Status built = WorkloadGenerator(shuffled).BuildDatabase(&shuffled_db);
     ENTANGLED_CHECK(built.ok()) << built.ToString();
     StressReplay variant = Replay(
-        shuffled_db, IncrementalOptions(1, options_.fault), workload.events);
+        shuffled_db, IncrementalVariant(1, options_.fault), workload.events);
     if (!variant.error.empty()) {
       return "metamorphic[row shuffle]: " + variant.error;
     }
@@ -375,7 +425,7 @@ std::string StressHarness::RunMetamorphic(
              "prefix-invariant (event counts differ)";
     }
     StressReplay variant =
-        Replay(renamed_db, IncrementalOptions(1, options_.fault),
+        Replay(renamed_db, IncrementalVariant(1, options_.fault),
                renamed_workload.events);
     if (!variant.error.empty()) {
       return "metamorphic[symbol renaming]: " + variant.error;
@@ -540,7 +590,7 @@ StressReport StressHarness::RunScenario(const GeneratorOptions& gen) const {
   if (!base_failed && options_.run_metamorphic) {
     if (!have_single_thread) {
       single_thread =
-          Replay(db, IncrementalOptions(1, options_.fault), workload.events);
+          Replay(db, IncrementalVariant(1, options_.fault), workload.events);
     }
     report.failure = RunMetamorphic(gen, db, workload, single_thread);
   }

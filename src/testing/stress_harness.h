@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "system/engine.h"
+#include "system/sharded_engine.h"
 #include "workload/generator.h"
 
 namespace entangled {
@@ -16,6 +17,13 @@ struct StressOptions {
   /// from-scratch oracle (`EngineOptions::incremental = false`) on
   /// every scenario.  Each entry is a Flush() thread count.
   std::vector<size_t> flush_thread_counts = {1, 4};
+
+  /// ShardedCoordinationEngine variants additionally compared against
+  /// the same oracle on every scenario (the sharded front door promises
+  /// byte-identical delivery logs, witnesses, and pending sets at any
+  /// shard-pool width).  Each entry is a shard-pool thread count; empty
+  /// disables the sharded differential.
+  std::vector<size_t> shard_thread_counts = {1, 4};
 
   /// Run the metamorphic variants (within-batch permutation, relation
   /// row shuffling, symbol renaming) after the differential passes.
@@ -46,17 +54,19 @@ struct StressDelivery {
 struct StressReplay {
   std::vector<StressDelivery> log;
   std::vector<QueryId> final_pending;
+  size_t pending_count = 0;  ///< the engine's O(1) num_pending()
   EngineStats stats;
   std::string error;  ///< witness/parse failure inside the replay
 };
 
-/// \brief Replays `events` against `engine`: Submit / SubmitBatch /
-/// rank-addressed Cancel / set_evaluate_every / Flush.  The shared
-/// dispatch loop behind the harness and bench_scenarios, so the event
-/// semantics (in particular `cancel_rank % pending.size()` addressing)
-/// have exactly one definition.  Returns an error description when the
-/// engine rejects a generated query; empty string on success.
-std::string ReplayWorkloadEvents(CoordinationEngine* engine,
+/// \brief Replays `events` against `engine` (any CoordinationService —
+/// single or sharded): Submit / SubmitBatch / rank-addressed Cancel /
+/// set_evaluate_every / Flush.  The shared dispatch loop behind the
+/// harness and bench_scenarios, so the event semantics (in particular
+/// `cancel_rank % pending.size()` addressing) have exactly one
+/// definition.  Returns an error description when the engine rejects a
+/// generated query; empty string on success.
+std::string ReplayWorkloadEvents(CoordinationService* engine,
                                  const std::vector<WorkloadEvent>& events);
 
 /// \brief Outcome of one differentially-verified scenario.

@@ -161,7 +161,11 @@ GeneratedWorkload WorkloadGenerator::Generate() const {
     return o.symbol_prefix + "G" + std::to_string(group) + "M" +
            std::to_string(member);
   };
-  auto answer_rel = [](size_t group) { return "A" + std::to_string(group); };
+  auto answer_rel = [&o](size_t group) {
+    const size_t space =
+        o.relation_partitions == 0 ? group : group % o.relation_partitions;
+    return "A" + std::to_string(space);
+  };
 
   // A satisfiable body atom: a real row of a random relation with the
   // given variable (or wildcard) text at one position.

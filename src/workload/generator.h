@@ -54,6 +54,18 @@ struct GeneratorOptions {
   double template_rate = 0.7;   ///< member reuses the group's body atom
   double sharing_density = 0.0; ///< bridge post into an earlier group
   double er_edge_prob = 0.4;    ///< kErdosRenyi edge probability
+  /// Folds the per-group answer-relation namespaces together: group `g`
+  /// coordinates through `A<g % relation_partitions>` instead of its
+  /// own `A<g>` (0 keeps one relation per group).  Head tags stay
+  /// unique per (group, member), so which sets coordinate is entirely
+  /// unaffected — only the *relation footprints* coarsen, which is
+  /// exactly the knob the sharded engine's router keys on: 0 leaves
+  /// every unbridged group footprint-disjoint (maximum sharding), a
+  /// small value yields a few wide relation groups, and 1 is the
+  /// pathological all-merge case where every query lands in one shard.
+  /// No RNG draws depend on it, so the same seed generates the same
+  /// scenario up to the relation renaming.
+  size_t relation_partitions = 0;
 
   // ---- arrival mix ----
   double batch_rate = 0.25;       ///< chunk arrives via SubmitBatch

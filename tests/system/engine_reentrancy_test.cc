@@ -37,7 +37,9 @@ TEST_F(EngineReentrancyDeathTest, SubmitInsideCallbackDies) {
       [&engine](const QuerySet&, const CoordinationSolution&) {
         (void)engine.Submit("late: { } K(v) :- Users(v, 'user1').");
       });
-  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+  // The CHECK names the violating entry point.
+  EXPECT_DEATH(engine.Submit(Loner()),
+               "Submit called from inside a solution callback");
 }
 
 TEST_F(EngineReentrancyDeathTest, SubmitQueryInsideCallbackDies) {
@@ -52,7 +54,8 @@ TEST_F(EngineReentrancyDeathTest, SubmitQueryInsideCallbackDies) {
             engine.mutable_queries()->query(builder.Build());
         engine.SubmitQuery(query);
       });
-  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+  EXPECT_DEATH(engine.Submit(Loner()),
+               "SubmitQuery called from inside a solution callback");
 }
 
 TEST_F(EngineReentrancyDeathTest, SubmitBatchInsideCallbackDies) {
@@ -61,7 +64,8 @@ TEST_F(EngineReentrancyDeathTest, SubmitBatchInsideCallbackDies) {
       [&engine](const QuerySet&, const CoordinationSolution&) {
         (void)engine.SubmitBatch({"late: { } K(v) :- Users(v, 'user1')."});
       });
-  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+  EXPECT_DEATH(engine.Submit(Loner()),
+               "SubmitBatch called from inside a solution callback");
 }
 
 TEST_F(EngineReentrancyDeathTest, CancelInsideCallbackDies) {
@@ -70,7 +74,8 @@ TEST_F(EngineReentrancyDeathTest, CancelInsideCallbackDies) {
       [&engine](const QuerySet&, const CoordinationSolution&) {
         engine.Cancel(0);
       });
-  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+  EXPECT_DEATH(engine.Submit(Loner()),
+               "Cancel called from inside a solution callback");
 }
 
 TEST_F(EngineReentrancyDeathTest, FlushInsideCallbackDies) {
@@ -79,7 +84,8 @@ TEST_F(EngineReentrancyDeathTest, FlushInsideCallbackDies) {
       [&engine](const QuerySet&, const CoordinationSolution&) {
         engine.Flush();
       });
-  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+  EXPECT_DEATH(engine.Submit(Loner()),
+               "Flush called from inside a solution callback");
 }
 
 TEST_F(EngineReentrancyDeathTest, LegacyPathRejectsReentryToo) {
@@ -90,7 +96,8 @@ TEST_F(EngineReentrancyDeathTest, LegacyPathRejectsReentryToo) {
       [&engine](const QuerySet&, const CoordinationSolution&) {
         engine.Flush();
       });
-  EXPECT_DEATH(engine.Submit(Loner()), "must not re-enter");
+  EXPECT_DEATH(engine.Submit(Loner()),
+               "Flush called from inside a solution callback");
 }
 
 /// The contract's positive side: deferring the follow-up until the

@@ -44,6 +44,11 @@ TEST(StressLong, DeepSweep) {
       options.sharing_density = 0.15 * static_cast<double>(seed % 4);
       options.unsafe_rate = 0.1 * static_cast<double>(seed % 3);
       options.eval_every_rate = 0.1;
+      // Cycle the answer-relation namespace width so the sharded
+      // variants sweep everything from one-shard-per-group to the
+      // pathological everything-in-one-shard case.
+      static constexpr size_t kPartitions[] = {0, 1, 4, 16};
+      options.relation_partitions = kPartitions[seed % 4];
       StressReport report = harness.RunScenario(options);
       ASSERT_TRUE(report.ok)
           << TopologyName(topology) << " seed=" << options.seed << ": "

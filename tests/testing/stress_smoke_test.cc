@@ -1,9 +1,10 @@
 // The tier-1 stress gate (registered with ctest as `stress_smoke`):
 // a fixed-seed sweep of generated scenarios across all four topologies
 // and several knob profiles, each differentially verified — the
-// incremental engine at flush_threads 1 and 4 against the from-scratch
-// oracle — with witness validation, EngineStats invariants, and
-// metamorphic re-runs.  Kept under ~30 s; the deep sweep lives in
+// incremental engine at flush_threads 1 and 4 *and* the sharded front
+// door at shard-pool threads 1 and 4 against the from-scratch oracle —
+// with witness validation, EngineStats invariants, and metamorphic
+// re-runs.  Kept under ~30 s; the deep sweep lives in
 // stress_long_test.cc.
 
 #include <cstdio>
@@ -49,6 +50,27 @@ const Profile kProfiles[] = {
        o->max_arity = 4;
        o->max_body_atoms = 3;
        o->stuck_body_rate = 0.2;
+     }},
+    // Answer-relation namespace widths for the sharded front door: one
+    // shard per group is the default elsewhere (relation_partitions=0);
+    // these profiles force the all-merge pathological case, a few wide
+    // relation groups, and a fine partitioning, with cancels and
+    // bridges so shards merge, migrate, and GC mid-stream.
+    {"all_merge",
+     [](GeneratorOptions* o) {
+       o->relation_partitions = 1;
+       o->cancel_rate = 0.2;
+     }},
+    {"partitioned_4",
+     [](GeneratorOptions* o) {
+       o->relation_partitions = 4;
+       o->sharing_density = 0.4;
+       o->cancel_rate = 0.2;
+     }},
+    {"partitioned_16",
+     [](GeneratorOptions* o) {
+       o->relation_partitions = 16;
+       o->batch_rate = 0.5;
      }},
 };
 

@@ -16,6 +16,7 @@ benches=(
   bench_incremental_stream
   bench_engine
   bench_scenarios
+  bench_sharded_stream
 )
 
 status=0
