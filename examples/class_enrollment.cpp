@@ -14,20 +14,10 @@
 #include <iostream>
 
 #include "algo/consistent.h"
-#include "common/logging.h"
-#include "core/validator.h"
-#include "db/database.h"
+#include "example_common.h"
 
 using namespace entangled;
-
-namespace {
-
-void Insert(Relation* relation, Tuple tuple) {
-  Status status = relation->Insert(std::move(tuple));
-  ENTANGLED_CHECK(status.ok()) << status.ToString();
-}
-
-}  // namespace
+using namespace entangled::examples;
 
 int main() {
   Database db;
@@ -39,9 +29,9 @@ int main() {
   int64_t sid = 100;
   for (const char* course : {"Databases", "Compilers", "Crypto"}) {
     for (const char* slot : {"Mon9am", "Wed2pm"}) {
-      Insert(sections, {Value::Int(sid++), Value::Str(course),
+      InsertOrDie(sections, {Value::Int(sid++), Value::Str(course),
                         Value::Str(slot), Value::Str("North")});
-      Insert(sections, {Value::Int(sid++), Value::Str(course),
+      InsertOrDie(sections, {Value::Int(sid++), Value::Str(course),
                         Value::Str(slot), Value::Str("South")});
     }
   }
@@ -49,8 +39,8 @@ int main() {
   Relation* friends = *db.CreateRelation("Friends", {"user", "friend"});
   Relation* labmates = *db.CreateRelation("LabMates", {"user", "friend"});
   auto befriend = [&](Relation* r, const char* a, const char* b) {
-    Insert(r, {Value::Str(a), Value::Str(b)});
-    Insert(r, {Value::Str(b), Value::Str(a)});
+    InsertOrDie(r, {Value::Str(a), Value::Str(b)});
+    InsertOrDie(r, {Value::Str(b), Value::Str(a)});
   };
   befriend(friends, "Ada", "Barbara");
   befriend(friends, "Ada", "Grace");
@@ -86,7 +76,7 @@ int main() {
   students[3].self_spec = {std::nullopt, std::nullopt, std::nullopt};
   students[3].partners = {PartnerSpec::User("Grace")};
 
-  std::cout << "== Class enrollment with k-friends requirements ==\n\n";
+  PrintBanner("Class enrollment with k-friends requirements");
   for (const ConsistentQuery& q : students) {
     std::cout << "  " << q.user << " wants";
     std::cout << (q.self_spec[0] ? " " + q.self_spec[0]->ToString()
@@ -126,7 +116,5 @@ int main() {
       ToEntangledQueries(schema, students, &general);
   CoordinationSolution translated =
       ToCoordinationSolution(db, schema, students, conversion, *plan);
-  std::cout << "\nindependent validation: "
-            << ValidateSolution(db, general, translated) << "\n";
-  return 0;
+  return ReportValidation(ValidateSolution(db, general, translated));
 }

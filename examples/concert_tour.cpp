@@ -11,10 +11,11 @@
 #include <iostream>
 
 #include "algo/consistent.h"
-#include "core/validator.h"
+#include "example_common.h"
 #include "workload/scenarios.h"
 
 using namespace entangled;
+using namespace entangled::examples;
 
 int main(int argc, char** argv) {
   size_t num_fans = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 12;
@@ -25,8 +26,8 @@ int main(int argc, char** argv) {
   Rng rng(seed);
   ConcertScenario scenario = BuildConcertScenario(&db, num_fans, &rng);
 
-  std::cout << "== Concert tour coordination (Example 2) ==\n"
-            << num_fans << " fans, " << db.Get("Flights").value()->size()
+  PrintBanner("Concert tour coordination (Example 2)");
+  std::cout << num_fans << " fans, " << db.Get("Flights").value()->size()
             << " flights, tour stops:";
   for (const auto& stop : scenario.tour_stops) std::cout << " " << stop;
   std::cout << "\n\nFan wishlists:\n";
@@ -68,7 +69,5 @@ int main(int argc, char** argv) {
       ToEntangledQueries(scenario.schema, scenario.queries, &general);
   CoordinationSolution translated = ToCoordinationSolution(
       db, scenario.schema, scenario.queries, conversion, *solution);
-  std::cout << "independent validation: "
-            << ValidateSolution(db, general, translated) << "\n";
-  return 0;
+  return ReportValidation(ValidateSolution(db, general, translated));
 }

@@ -1,29 +1,50 @@
-// The §2.2 flight–hotel scenario (Figure 1) solved with the SCC
-// Coordination Algorithm (§4): Coldplay's Chris, Guy, Jonny and Will
-// try to book a joint vacation.  The set is safe but NOT unique, so the
-// original Gupta et al. algorithm cannot evaluate it — the SCC
-// algorithm coordinates {qC, qG} on Paris and correctly reports that
-// Jonny's and Will's requirements cannot be met.
+// The §2.2 flight–hotel scenario (Figure 1) served through the session
+// front door: Coldplay's Chris, Guy, Jonny and Will each open a
+// ClientSession and try to book a joint vacation.  The set is safe but
+// NOT unique, so the original Gupta et al. algorithm cannot evaluate it
+// — the engine's SCC algorithm coordinates {qC, qG} on Paris, and the
+// per-session pending counts show Jonny's and Will's requests still
+// waiting.
 //
 // Build & run:  ./build/examples/flight_hotel
 
 #include <iostream>
+#include <vector>
 
-#include "algo/scc_coordination.h"
 #include "core/coordination_graph.h"
 #include "core/properties.h"
-#include "core/validator.h"
+#include "example_common.h"
 #include "workload/scenarios.h"
 
 using namespace entangled;
+using namespace entangled::examples;
+
+namespace {
+
+/// Submits each scenario query from its owner's session (the query
+/// names are qC/qG/qJ/qW — the owner is the suffix).  Texts are
+/// re-rendered from the scenario set: session submissions and Delivery
+/// texts round-trip through the same concrete syntax.
+Status RunFrontDoor(const Database& db, const QuerySet& queries) {
+  ExampleFrontDoor door(&db);
+  for (QueryId id = 0; id < static_cast<QueryId>(queries.size()); ++id) {
+    ClientSession* session = door.Connect(queries.query(id).name);
+    door.SubmitOrDie(session, queries.QueryToString(id));
+  }
+  std::cout << "\ncoordinating sets delivered: " << door.Coordinate()
+            << "\n";
+  return door.PrintInboxes();
+}
+
+}  // namespace
 
 int main() {
   Database db;
   QuerySet queries;
   FlightHotelIds ids = BuildFlightHotelScenario(&db, &queries);
 
-  std::cout << "== The flight-hotel coordination example (paper §2.2) ==\n\n"
-            << queries.ToString() << "\n";
+  PrintBanner("The flight-hotel coordination example (paper §2.2)");
+  std::cout << queries.ToString() << "\n";
 
   ExtendedCoordinationGraph ecg(queries);
   std::cout << "Extended coordination graph (Figure 2):\n"
@@ -33,19 +54,10 @@ int main() {
             << "  (qW is reachable from nobody, so Gupta et al. cannot "
                "run)\n\n";
 
-  SccCoordinator coordinator(&db);
-  auto solution = coordinator.Solve(queries);
-  if (!solution.ok()) {
-    std::cerr << "no coordination: " << solution.status() << "\n";
+  Status valid = RunFrontDoor(db, queries);
+  if (!valid.ok()) {
+    std::cerr << "validation failed: " << valid << "\n";
     return 1;
-  }
-
-  std::cout << "Coordinating set found: "
-            << SolutionToString(queries, *solution) << "\n";
-  for (QueryId id : solution->queries) {
-    for (const Atom& answer : solution->GroundedHeads(queries, id)) {
-      std::cout << "  booked " << answer << "\n";
-    }
   }
 
   std::cout << "\nWhy Jonny and Will stay home:\n"
@@ -54,16 +66,13 @@ int main() {
             << "  the combined query has no witness, so qJ's component\n"
             << "  fails, and qW fails transitively (it needs qJ's hotel).\n";
 
-  std::cout << "\nstats: " << coordinator.stats().ToString() << "\n";
-  std::cout << "validation: "
-            << ValidateSolution(db, queries, *solution) << "\n";
-
-  // What the world looks like if Guy relaxes: everyone to Athens.
+  // What the world looks like if Guy relaxes: everyone to Athens.  The
+  // variation edits Guy's body and replays the whole scenario through a
+  // fresh front door.
   std::cout << "\n== Variation: Guy agrees to Athens ==\n";
   Database db2;
   QuerySet queries2;
   BuildFlightHotelScenario(&db2, &queries2);
-  // Rewrite Guy's body from Paris to Athens.
   for (Atom& atom : queries2.mutable_query(ids.qg).body) {
     for (Term& term : atom.terms) {
       if (term.is_constant() && term.constant() == Value::Str("Paris")) {
@@ -71,13 +80,6 @@ int main() {
       }
     }
   }
-  SccCoordinator coordinator2(&db2);
-  auto solution2 = coordinator2.Solve(queries2);
-  if (solution2.ok()) {
-    std::cout << "now coordinating: "
-              << SolutionToString(queries2, *solution2) << "\n";
-  } else {
-    std::cout << "still no luck: " << solution2.status() << "\n";
-  }
-  return 0;
+  Status valid2 = RunFrontDoor(db2, queries2);
+  return ReportValidation(valid.ok() ? valid2 : valid);
 }

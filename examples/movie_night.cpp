@@ -11,17 +11,18 @@
 
 #include "algo/consistent.h"
 #include "core/properties.h"
-#include "core/validator.h"
+#include "example_common.h"
 #include "workload/scenarios.h"
 
 using namespace entangled;
+using namespace entangled::examples;
 
 int main() {
   Database db;
   MovieScenario scenario = BuildMovieScenario(&db);
 
-  std::cout << "== Movie night (paper §5) ==\n\n"
-            << "Cinema table M(movie_id, cinema, movie):\n";
+  PrintBanner("Movie night (paper §5)");
+  std::cout << "Cinema table M(movie_id, cinema, movie):\n";
   const Relation& movies = **db.Get("M");
   for (RowView row : movies.rows()) {
     std::cout << "  " << TupleToString(row) << "\n";
@@ -72,8 +73,6 @@ int main() {
   // Cross-validate through the generic Definition-1 validator.
   CoordinationSolution translated = ToCoordinationSolution(
       db, scenario.schema, scenario.queries, conversion, *solution);
-  std::cout << "\nindependent validation: "
-            << ValidateSolution(db, general, translated) << "\n";
   std::cout << "stats: " << coordinator.stats().ToString() << "\n";
-  return 0;
+  return ReportValidation(ValidateSolution(db, general, translated));
 }

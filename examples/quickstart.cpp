@@ -1,66 +1,56 @@
-// Quickstart: the paper's very first example (§2.1).  Gwyneth wants to
-// fly with Chris to Zurich; Chris just wants a Zurich flight.  Their
-// two entangled queries coordinate on a single flight id.
+// Quickstart: the paper's very first example (§2.1), served through the
+// session front door.  Gwyneth wants to fly with Chris to Zurich; Chris
+// just wants a Zurich flight.  Each opens their own ClientSession,
+// submits their entangled query, and reads the coordinated answer off
+// their session's event stream — both are notified of the same
+// coordinating set.
 //
 //   q1 = {R(Chris, x)} R(Gwyneth, x) :- Flights(x, Zurich)
 //   q2 = { }           R(Chris, y)   :- Flights(y, Zurich)
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 
 #include <iostream>
 
-#include "algo/scc_coordination.h"
-#include "core/parser.h"
-#include "core/validator.h"
-#include "db/database.h"
+#include "example_common.h"
 
 using namespace entangled;
+using namespace entangled::examples;
 
 int main() {
+  PrintBanner("Quickstart: Gwyneth & Chris fly to Zurich (paper §2.1)");
+
   // 1. A tiny flight database.
   Database db;
   Relation* flights = *db.CreateRelation("Flights", {"flightId", "dest"});
   for (auto [id, dest] : std::initializer_list<std::pair<int, const char*>>{
            {99, "Paris"}, {101, "Zurich"}, {102, "Zurich"}}) {
-    if (Status s = flights->Insert({Value::Int(id), Value::Str(dest)});
-        !s.ok()) {
-      std::cerr << s << "\n";
-      return 1;
-    }
+    InsertOrDie(flights, {Value::Int(id), Value::Str(dest)});
   }
 
-  // 2. Two entangled queries in the paper's concrete syntax.
-  QuerySet queries;
-  auto ids = ParseQueries(
-      "q1: { R(Chris, x) } R(Gwyneth, x) :- Flights(x, Zurich).\n"
-      "q2: { }             R(Chris, y)   :- Flights(y, Zurich).",
-      &queries);
-  if (!ids.ok()) {
-    std::cerr << "parse error: " << ids.status() << "\n";
-    return 1;
-  }
-  std::cout << "Submitted queries:\n" << queries.ToString() << "\n";
+  // 2. Two users, two sessions, two entangled queries in the paper's
+  // concrete syntax.
+  ExampleFrontDoor door(&db);
+  ClientSession* gwyneth = door.Connect("Gwyneth");
+  ClientSession* chris = door.Connect("Chris");
+  door.SubmitOrDie(
+      gwyneth, "q1: { R(Chris, x) } R(Gwyneth, x) :- Flights(x, Zurich).");
+  door.SubmitOrDie(
+      chris, "q2: { } R(Chris, y) :- Flights(y, Zurich).");
 
-  // 3. Find a coordinating set (Definition 1).
-  SccCoordinator coordinator(&db);
-  auto solution = coordinator.Solve(queries);
-  if (!solution.ok()) {
-    std::cerr << "no coordination: " << solution.status() << "\n";
-    return 1;
-  }
-  std::cout << "Coordinating set: " << SolutionToString(queries, *solution)
+  // 3. Coordinate (Definition 1) and let each user poll their answers —
+  // the Delivery events are self-contained, so nothing here touches
+  // engine internals.
+  std::cout << "\ncoordinating sets delivered: " << door.Coordinate()
             << "\n\n";
+  Status valid = door.PrintInboxes();
 
-  // 4. Each user reads their answer off their grounded head atoms.
-  for (QueryId id : solution->queries) {
-    for (const Atom& answer : solution->GroundedHeads(queries, id)) {
-      std::cout << "  answer for " << queries.query(id).name << ": "
-                << answer << "\n";
-    }
-  }
+  // 4. A typed rejection for flavour: a malformed query bounces with a
+  // reason a server can switch on, not just a string.
+  SubmitOutcome bad = chris->Submit("not a query at all");
+  std::cout << "\nmalformed submission bounces as: "
+            << RejectReasonName(bad.reason) << "\n";
 
-  // 5. Never trust a solver: re-check Definition 1 independently.
-  Status valid = ValidateSolution(db, queries, *solution);
-  std::cout << "\nindependent validation: " << valid << "\n";
-  return valid.ok() ? 0 : 1;
+  // 5. Never trust a solver: PrintInboxes re-checked Definition 1.
+  return ReportValidation(valid);
 }

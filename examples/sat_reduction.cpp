@@ -13,12 +13,13 @@
 #include "algo/generic_solver.h"
 #include "common/rng.h"
 #include "common/timer.h"
-#include "core/validator.h"
+#include "example_common.h"
 #include "reductions/dpll.h"
 #include "reductions/random_sat.h"
 #include "reductions/theorem1.h"
 
 using namespace entangled;
+using namespace entangled::examples;
 
 int main(int argc, char** argv) {
   int num_vars = argc > 1 ? std::atoi(argv[1]) : 4;
@@ -26,8 +27,8 @@ int main(int argc, char** argv) {
   Rng rng(424242);
   CnfFormula formula = Random3Sat(num_vars, num_clauses, &rng);
 
-  std::cout << "== 3SAT via social coordination (Theorem 1) ==\n\n"
-            << "formula: " << formula.ToString() << "\n\n";
+  PrintBanner("3SAT via social coordination (Theorem 1)");
+  std::cout << "formula: " << formula.ToString() << "\n\n";
 
   // Reference answer from a classical DPLL solver.
   DpllSolver dpll;

@@ -1,0 +1,318 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "core/parser.h"
+#include "db/atom.h"
+
+namespace entangled {
+namespace {
+
+/// Two head atoms that can denote the same answer fact: the query
+/// double-books one answer slot.
+bool HasDuplicateHeads(const EntangledQuery& query) {
+  for (size_t i = 0; i < query.head.size(); ++i) {
+    for (size_t j = i + 1; j < query.head.size(); ++j) {
+      if (PositionwiseUnifiable(query.head[i], query.head[j])) return true;
+    }
+  }
+  return false;
+}
+
+/// Definition 2 restricted to the singleton set: a postcondition of the
+/// query unifies with more than one of the query's own heads.  Such a
+/// query is unsafe in every set that contains it.
+bool IsSelfUnsafe(const EntangledQuery& query) {
+  for (const Atom& post : query.postconditions) {
+    size_t targets = 0;
+    for (const Atom& head : query.head) {
+      if (PositionwiseUnifiable(post, head) && ++targets > 1) return true;
+    }
+  }
+  return false;
+}
+
+/// Per-query admission check; kNone when the text passes (or when the
+/// session forwards verbatim).  `message` receives the detail.  The
+/// scratch parse is the deliberate price of checking *before* the
+/// engine sees the query; sessions that forward verbatim
+/// (reject_defective = false, e.g. the stress harness) skip it
+/// entirely.
+RejectReason CheckText(const SessionOptions& options, const std::string& text,
+                       std::string* message) {
+  if (!options.reject_defective) return RejectReason::kNone;
+  QuerySet scratch;
+  auto parsed = ParseQuery(text, &scratch);
+  if (!parsed.ok()) {
+    *message = parsed.status().message();
+    return RejectReason::kParseError;
+  }
+  const EntangledQuery& query = scratch.query(*parsed);
+  if (HasDuplicateHeads(query)) {
+    *message = "two head atoms of '" + query.name +
+               "' unify with each other (one answer slot booked twice)";
+    return RejectReason::kDuplicateHead;
+  }
+  if (IsSelfUnsafe(query)) {
+    *message = "a postcondition of '" + query.name +
+               "' unifies with more than one of its own heads; no set "
+               "containing it can satisfy Definition 2";
+    return RejectReason::kUnsafe;
+  }
+  return RejectReason::kNone;
+}
+
+RejectReason ClassifyServiceRejection(const Status& status) {
+  return status.IsInvalidArgument() ? RejectReason::kParseError
+                                    : RejectReason::kInternal;
+}
+
+}  // namespace
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kParseError:
+      return "parse_error";
+    case RejectReason::kDuplicateHead:
+      return "duplicate_head";
+    case RejectReason::kUnsafe:
+      return "unsafe";
+    case RejectReason::kSessionClosed:
+      return "session_closed";
+    case RejectReason::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// ClientSession: thin forwarding layer (the manager owns all state that
+// spans sessions).
+// ---------------------------------------------------------------------------
+
+SubmitOutcome ClientSession::Submit(const std::string& query_text) {
+  return manager_->SubmitFor(this, query_text);
+}
+
+BatchOutcome ClientSession::SubmitBatch(
+    const std::vector<std::string>& query_texts) {
+  return manager_->SubmitBatchFor(this, query_texts);
+}
+
+bool ClientSession::Cancel(QueryId id) {
+  return manager_->CancelFor(this, id);
+}
+
+std::vector<QueryId> ClientSession::PendingQueries() const {
+  std::vector<QueryId> pending(pending_.begin(), pending_.end());
+  std::sort(pending.begin(), pending.end());
+  return pending;
+}
+
+std::vector<SessionEvent> ClientSession::PollEvents() {
+  std::vector<SessionEvent> events(std::make_move_iterator(events_.begin()),
+                                   std::make_move_iterator(events_.end()));
+  events_.clear();
+  return events;
+}
+
+void ClientSession::Close() {
+  if (open_) manager_->CloseSession(this);
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager
+// ---------------------------------------------------------------------------
+
+SessionManager::SessionManager(CoordinationService* service)
+    : service_(service) {
+  ENTANGLED_CHECK(service != nullptr);
+  service_->set_delivery_callback(
+      [this](const Delivery& delivery) { OnDelivery(delivery); });
+}
+
+SessionManager::~SessionManager() {
+  service_->set_delivery_callback(nullptr);
+}
+
+ClientSession* SessionManager::Open(SessionOptions options) {
+  const SessionId id = static_cast<SessionId>(sessions_.size());
+  if (options.label.empty()) options.label = "s" + std::to_string(id);
+  sessions_.emplace_back(
+      new ClientSession(this, id, std::move(options)));
+  ++num_open_;
+  return sessions_.back().get();
+}
+
+bool SessionManager::Close(SessionId id) {
+  ClientSession* session = Find(id);
+  if (session == nullptr || !session->open()) return false;
+  CloseSession(session);
+  return true;
+}
+
+ClientSession* SessionManager::Find(SessionId id) {
+  if (id < 0 || static_cast<size_t>(id) >= sessions_.size()) return nullptr;
+  return sessions_[static_cast<size_t>(id)].get();
+}
+
+const ClientSession* SessionManager::Find(SessionId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= sessions_.size()) return nullptr;
+  return sessions_[static_cast<size_t>(id)].get();
+}
+
+SessionId SessionManager::OwnerOf(QueryId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= owner_.size()) return -1;
+  return owner_[static_cast<size_t>(id)];
+}
+
+std::vector<const ClientSession*> SessionManager::sessions() const {
+  std::vector<const ClientSession*> all;
+  all.reserve(sessions_.size());
+  for (const auto& session : sessions_) all.push_back(session.get());
+  return all;
+}
+
+void SessionManager::RegisterOwnership(QueryId id, ClientSession* session) {
+  if (static_cast<size_t>(id) >= owner_.size()) {
+    owner_.resize(static_cast<size_t>(id) + 1, -1);
+  }
+  owner_[static_cast<size_t>(id)] = session->id();
+  // The query may already have delivered inside the submitting call
+  // (per-arrival evaluation); only still-pending queries are tracked.
+  if (service_->IsPending(id)) session->pending_.insert(id);
+}
+
+void SessionManager::OnDelivery(const Delivery& delivery) {
+  // One shared, owned event; each owning session gets its own slice.
+  // (This is the one deep copy of the materialized Delivery; avoiding
+  // it would mean a shared_ptr-typed service callback for every
+  // consumer, which is not worth it at delivery — not submission —
+  // frequency.)
+  auto shared = std::make_shared<const Delivery>(delivery);
+  // session id -> that session's members, ascending (delivery.queries
+  // is ascending and the map is ordered, so routing is deterministic).
+  std::map<SessionId, std::vector<QueryId>> owners;
+  for (const DeliveredQuery& q : delivery.queries) {
+    SessionId owner = OwnerOf(q.id);
+    if (owner < 0) owner = current_submitter_;  // assigned mid-submit
+    if (owner < 0) continue;  // submitted directly on the service
+    if (static_cast<size_t>(q.id) >= owner_.size() ||
+        owner_[static_cast<size_t>(q.id)] < 0) {
+      owner_.resize(std::max(owner_.size(), static_cast<size_t>(q.id) + 1),
+                    -1);
+      owner_[static_cast<size_t>(q.id)] = owner;
+    }
+    owners[owner].push_back(q.id);
+    sessions_[static_cast<size_t>(owner)]->pending_.erase(q.id);
+  }
+  for (auto& [sid, own] : owners) {
+    ClientSession* session = sessions_[static_cast<size_t>(sid)].get();
+    SessionEvent event{sid, shared, std::move(own)};
+    session->events_.push_back(event);
+    ++session->deliveries_;
+    // Push observes the event exactly as it is buffered, so the push
+    // stream and a PollEvents() drain are byte-identical.  The handler
+    // gets the stack copy, not a reference into events_: a push handler
+    // may legally call PollEvents() (it touches no engine state), which
+    // drains the deque out from under any buffered reference.
+    if (session->event_callback_) {
+      session->event_callback_(event);
+    }
+  }
+}
+
+SubmitOutcome SessionManager::SubmitFor(ClientSession* session,
+                                        const std::string& query_text) {
+  SubmitOutcome outcome;
+  if (!session->open_) {
+    outcome.reason = RejectReason::kSessionClosed;
+    outcome.message = "session " + std::to_string(session->id_) + " is closed";
+    return outcome;
+  }
+  outcome.reason = CheckText(session->options_, query_text, &outcome.message);
+  if (!outcome.ok()) return outcome;
+
+  current_submitter_ = session->id_;
+  auto id = service_->Submit(query_text);
+  current_submitter_ = -1;
+  if (!id.ok()) {
+    outcome.reason = ClassifyServiceRejection(id.status());
+    outcome.message = id.status().message();
+    return outcome;
+  }
+  ++session->submitted_;
+  RegisterOwnership(*id, session);
+  outcome.id = *id;
+  return outcome;
+}
+
+BatchOutcome SessionManager::SubmitBatchFor(
+    ClientSession* session, const std::vector<std::string>& query_texts) {
+  BatchOutcome outcome;
+  if (!session->open_) {
+    outcome.reason = RejectReason::kSessionClosed;
+    outcome.message = "session " + std::to_string(session->id_) + " is closed";
+    return outcome;
+  }
+  for (size_t i = 0; i < query_texts.size(); ++i) {
+    outcome.reason =
+        CheckText(session->options_, query_texts[i], &outcome.message);
+    if (!outcome.ok()) {
+      outcome.rejected_index = i;
+      return outcome;
+    }
+  }
+
+  current_submitter_ = session->id_;
+  auto ids = service_->SubmitBatch(query_texts);
+  current_submitter_ = -1;
+  if (!ids.ok()) {
+    outcome.reason = ClassifyServiceRejection(ids.status());
+    outcome.message = ids.status().message();
+    // The service reports only the first error; locate the offending
+    // text so the typed outcome stays precise (error path only).
+    for (size_t i = 0; i < query_texts.size(); ++i) {
+      QuerySet scratch;
+      if (!ParseQuery(query_texts[i], &scratch).ok()) {
+        outcome.rejected_index = i;
+        break;
+      }
+    }
+    return outcome;
+  }
+  session->submitted_ += ids->size();
+  for (QueryId id : *ids) RegisterOwnership(id, session);
+  outcome.ids = std::move(*ids);
+  return outcome;
+}
+
+bool SessionManager::CancelFor(ClientSession* session, QueryId id) {
+  if (!session->open_ || session->pending_.count(id) == 0) return false;
+  const bool cancelled = service_->Cancel(id);
+  ENTANGLED_CHECK(cancelled)
+      << "service disagreed about session-pending query " << id;
+  session->pending_.erase(id);
+  return true;
+}
+
+void SessionManager::CloseSession(ClientSession* session) {
+  ENTANGLED_CHECK(session->open_);
+  // Bulk-cancel in ascending order (deterministic dirty-marking in the
+  // engine regardless of hash-set iteration order).
+  std::vector<QueryId> pending = session->PendingQueries();
+  for (QueryId id : pending) {
+    const bool cancelled = service_->Cancel(id);
+    ENTANGLED_CHECK(cancelled)
+        << "service disagreed about session-pending query " << id;
+  }
+  session->pending_.clear();
+  session->open_ = false;
+  --num_open_;
+}
+
+}  // namespace entangled

@@ -1,0 +1,255 @@
+#ifndef ENTANGLED_API_SESSION_H_
+#define ENTANGLED_API_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "api/delivery.h"
+#include "system/engine.h"
+
+namespace entangled {
+
+/// \brief Identifier of a ClientSession within its SessionManager.
+using SessionId = int64_t;
+
+/// \brief Why a session refused a submission.  Typed so servers can map
+/// rejections to protocol errors without parsing message strings.
+enum class RejectReason : uint8_t {
+  kNone = 0,        ///< not rejected
+  kParseError,      ///< the text is not a well-formed entangled query
+  kDuplicateHead,   ///< two head atoms of the query unify with each other
+  kUnsafe,          ///< a postcondition unifies with >1 of the query's
+                    ///< own heads (Definition 2, violated in isolation)
+  kSessionClosed,   ///< the session was closed
+  kInternal,        ///< the service failed for another reason
+};
+
+/// Stable lowercase name ("parse_error", "unsafe", ...).
+const char* RejectReasonName(RejectReason reason);
+
+/// \brief Typed outcome of ClientSession::Submit.
+struct SubmitOutcome {
+  QueryId id = -1;  ///< service-global id; valid when ok()
+  RejectReason reason = RejectReason::kNone;
+  std::string message;  ///< human-readable detail when rejected
+
+  bool ok() const { return reason == RejectReason::kNone; }
+  explicit operator bool() const { return ok(); }
+};
+
+/// \brief Typed outcome of ClientSession::SubmitBatch.  Admission is
+/// all-or-nothing: on rejection nothing from the batch was admitted and
+/// `rejected_index` names the offending text.
+struct BatchOutcome {
+  std::vector<QueryId> ids;  ///< in input order; valid when ok()
+  RejectReason reason = RejectReason::kNone;
+  std::string message;
+  size_t rejected_index = 0;  ///< offending position when rejected
+
+  bool ok() const { return reason == RejectReason::kNone; }
+  explicit operator bool() const { return ok(); }
+};
+
+class SessionManager;
+
+/// \brief One event routed to one session: a coordinating set that
+/// includes at least one of the session's queries.  The Delivery is
+/// shared (read-only) between every owning session; `own_queries` is
+/// this session's slice of it.
+struct SessionEvent {
+  SessionId session = -1;
+  std::shared_ptr<const Delivery> delivery;
+  std::vector<QueryId> own_queries;  ///< this session's members, ascending
+};
+
+/// \brief Per-session admission policy.
+struct SessionOptions {
+  std::string label;  ///< display name for operators ("" = "s<id>")
+
+  /// Reject queries that are defective in isolation *before* they reach
+  /// the engine: a duplicate-head query double-books one answer slot,
+  /// and a self-unsafe query (one of its own postconditions unifies
+  /// with two of its own heads) poisons every component it ever joins —
+  /// Definition 2 can never hold for a set containing it.  Both checks
+  /// are per-query only, so they accept exactly what the engine accepts
+  /// on any single-head query (in particular everything the workload
+  /// generator emits); disable them to forward texts verbatim.
+  bool reject_defective = true;
+};
+
+/// \brief A client's handle on the coordination service: the unit of
+/// multi-tenant isolation the Youtopia module (§6.1) assumes.  All
+/// traffic goes through the owning SessionManager's service; a session
+/// adds ownership (you can only cancel or enumerate your own queries),
+/// typed submit outcomes, and a per-session event stream.
+///
+/// Events can be consumed two ways:
+///  * **Pull** — PollEvents() drains the buffered events.  This is the
+///    front door for async servers and CLIs: polling happens outside
+///    any engine call, so handlers are free to Submit/Cancel/Flush.
+///  * **Push** — set_event_callback() observes each event at enqueue
+///    time.  Push handlers run inside the service's delivery path and
+///    must not re-enter it (same contract as
+///    CoordinationService::set_delivery_callback).
+/// Both observe the same stream in the same order: an event is always
+/// buffered, and the push hook (when set) fires as it is buffered.
+///
+/// Sessions are created by SessionManager::Open and owned by the
+/// manager; the manager must outlive every handle.  Like the services
+/// beneath it, the session API is single-threaded.
+class ClientSession {
+ public:
+  using EventCallback = std::function<void(const SessionEvent&)>;
+
+  SessionId id() const { return id_; }
+  const std::string& label() const { return options_.label; }
+  bool open() const { return open_; }
+
+  /// Submits one query in the paper's concrete syntax.  On success the
+  /// query belongs to this session; rejection reasons are typed
+  /// (RejectReason) instead of a bare status.
+  SubmitOutcome Submit(const std::string& query_text);
+
+  /// All-or-nothing batch submission (one Flush after the whole batch
+  /// lands, exactly like CoordinationService::SubmitBatch).
+  BatchOutcome SubmitBatch(const std::vector<std::string>& query_texts);
+
+  /// Withdraws one of *this session's* pending queries.  False when the
+  /// id is unknown, not pending, or owned by another session.
+  bool Cancel(QueryId id);
+
+  /// This session's pending queries, ascending.
+  std::vector<QueryId> PendingQueries() const;
+  size_t num_pending() const { return pending_.size(); }
+  /// Whether `id` is one of this session's *pending* queries (delivered
+  /// and cancelled queries drop out; for lifetime ownership — which
+  /// survives retirement — ask SessionManager::OwnerOf).
+  bool HasPending(QueryId id) const { return pending_.count(id) > 0; }
+
+  /// Drains the buffered events, in delivery order.
+  std::vector<SessionEvent> PollEvents();
+  size_t num_buffered_events() const { return events_.size(); }
+
+  /// Optional push notification; see the class comment for the
+  /// reentrancy contract.  Events already buffered are not replayed.
+  void set_event_callback(EventCallback callback) {
+    event_callback_ = std::move(callback);
+  }
+
+  /// Lifetime counters (for operator surfaces like the CLI `sessions`
+  /// table).
+  uint64_t submitted() const { return submitted_; }
+  uint64_t deliveries() const { return deliveries_; }
+
+  /// Closes the session: every pending query is bulk-cancelled, and
+  /// further submissions are rejected with kSessionClosed.  Buffered
+  /// events stay pollable so a disconnecting client can drain them.
+  void Close();
+
+ private:
+  friend class SessionManager;
+  ClientSession(SessionManager* manager, SessionId id, SessionOptions options)
+      : manager_(manager), id_(id), options_(std::move(options)) {}
+
+  SessionManager* manager_;
+  SessionId id_;
+  SessionOptions options_;
+  bool open_ = true;
+  std::unordered_set<QueryId> pending_;
+  std::deque<SessionEvent> events_;
+  EventCallback event_callback_;
+  uint64_t submitted_ = 0;
+  uint64_t deliveries_ = 0;
+};
+
+/// \brief The multi-client front door over any CoordinationService
+/// (single or sharded): owns the client sessions, tracks which session
+/// owns which query, and routes every Delivery to all owning sessions —
+/// a coordinating set spanning sessions notifies every owner, each with
+/// its own `own_queries` slice of the shared event.
+///
+/// The manager installs itself as the service's delivery callback on
+/// construction and detaches on destruction.  While it is attached the
+/// manager owns the service's traffic: submitting directly on the
+/// service is unsupported (a direct query delivered *outside* any
+/// session call is routed to nobody, but one delivered during a
+/// session's Submit would be attributed to that session — the manager
+/// cannot tell a mid-call id it has not registered yet from a foreign
+/// one).
+class SessionManager {
+ public:
+  explicit SessionManager(CoordinationService* service);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session.  The returned handle is owned by the manager and
+  /// valid until the manager is destroyed (Close()d sessions keep their
+  /// handle; ids are never reused).
+  ClientSession* Open(SessionOptions options = {});
+
+  /// Closes the session (bulk-cancelling its pending queries); false
+  /// when the id is unknown or already closed.
+  bool Close(SessionId id);
+
+  /// The session with the given id (open or closed), or nullptr.
+  ClientSession* Find(SessionId id);
+  const ClientSession* Find(SessionId id) const;
+
+  /// The session that submitted the query (still valid after the query
+  /// delivered or cancelled), or -1 for queries the manager never saw.
+  SessionId OwnerOf(QueryId id) const;
+
+  /// Every session ever opened, ascending by id.
+  std::vector<const ClientSession*> sessions() const;
+  size_t num_sessions() const { return sessions_.size(); }
+  size_t num_open_sessions() const { return num_open_; }
+
+  // ----- service passthroughs (all sessions combined) -----
+  size_t Flush() { return service_->Flush(); }
+  void set_evaluate_every(size_t n) { service_->set_evaluate_every(n); }
+  std::vector<QueryId> PendingQueries() const {
+    return service_->PendingQueries();
+  }
+  size_t num_pending() const { return service_->num_pending(); }
+  EngineStats StatsSnapshot() const { return service_->StatsSnapshot(); }
+  CoordinationService* service() const { return service_; }
+
+ private:
+  friend class ClientSession;
+
+  /// Service delivery hook: route the event to every owning session.
+  void OnDelivery(const Delivery& delivery);
+
+  /// Records `session` as the owner of `id` (and as pending when the
+  /// service still holds it).
+  void RegisterOwnership(QueryId id, ClientSession* session);
+
+  SubmitOutcome SubmitFor(ClientSession* session,
+                          const std::string& query_text);
+  BatchOutcome SubmitBatchFor(ClientSession* session,
+                              const std::vector<std::string>& query_texts);
+  bool CancelFor(ClientSession* session, QueryId id);
+  void CloseSession(ClientSession* session);
+
+  CoordinationService* service_;
+  std::vector<std::unique_ptr<ClientSession>> sessions_;  // index == id
+  size_t num_open_ = 0;
+  std::vector<SessionId> owner_;  // per service-global QueryId; -1 unknown
+  /// Session whose Submit/SubmitBatch is currently inside the service:
+  /// deliveries fired *during* that call can contain ids the manager
+  /// has not registered yet (the service assigns them mid-call), and
+  /// they all belong to this submitter.
+  SessionId current_submitter_ = -1;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_API_SESSION_H_

@@ -21,10 +21,26 @@ CoordinationEngine::CoordinationEngine(const Database* db,
 // Submission
 // ---------------------------------------------------------------------------
 
+void CoordinationEngine::Deliver(const CoordinationSolution& solution) {
+  const uint64_t sequence = next_delivery_sequence_++;
+  if (internal_callback_) {
+    in_callback_ = true;
+    internal_callback_(all_, solution);
+    in_callback_ = false;
+  } else if (callback_) {
+    // Materialize only when somebody listens: texts and grounded heads
+    // cost allocations the silent path should not pay.
+    const Delivery delivery = MakeDelivery(all_, solution, sequence);
+    in_callback_ = true;
+    callback_(delivery);
+    in_callback_ = false;
+  }
+}
+
 void CoordinationEngine::CheckNotReentrant(const char* entry_point) const {
   ENTANGLED_CHECK(!in_callback_)
       << entry_point
-      << " called from inside a solution callback: callbacks must not "
+      << " called from inside a delivery callback: callbacks must not "
          "re-enter the CoordinationEngine; defer the follow-up until the "
          "delivering call returns";
 }
@@ -341,11 +357,7 @@ bool CoordinationEngine::ApplyOutcome(const EvalTask& task,
   stats_.coordinated_queries += solution.queries.size();
   ++stats_.coordinating_sets;
   last_delivery_key_ = task.min_id;
-  if (callback_) {
-    in_callback_ = true;
-    callback_(all_, solution);
-    in_callback_ = false;
-  }
+  Deliver(solution);
   return true;
 }
 
@@ -561,11 +573,7 @@ bool CoordinationEngine::LegacyEvaluateComponentOf(QueryId root) {
   ++stats_.coordinating_sets;
   // `component` is sorted ascending, so its front is the schedule key.
   last_delivery_key_ = component.front();
-  if (callback_) {
-    in_callback_ = true;
-    callback_(all_, solution);
-    in_callback_ = false;
-  }
+  Deliver(solution);
   return true;
 }
 

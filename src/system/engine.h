@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "algo/scc_coordination.h"
+#include "api/delivery.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/coordination_graph.h"
@@ -104,14 +105,19 @@ struct EngineOptions {
 /// benches replay workloads against either through this interface.
 class CoordinationService {
  public:
-  /// Invoked with the service's master query set and each solution
-  /// found (query ids refer to that master set).
-  using SolutionCallback =
-      std::function<void(const QuerySet&, const CoordinationSolution&)>;
+  /// Invoked once per delivered coordinating set with a self-contained
+  /// Delivery event (api/delivery.h): owned query texts, names,
+  /// grounded answers, and witness values — never a reference into
+  /// engine internals.  Callbacks must not re-enter the service
+  /// (Submit/Cancel/Flush CHECK-fail when called from inside one);
+  /// clients that cannot guarantee that should consume deliveries
+  /// through the pull-based session front door instead
+  /// (api/session.h, ClientSession::PollEvents).
+  using DeliveryCallback = std::function<void(const Delivery&)>;
 
   virtual ~CoordinationService() = default;
 
-  virtual void set_solution_callback(SolutionCallback callback) = 0;
+  virtual void set_delivery_callback(DeliveryCallback callback) = 0;
   virtual void set_evaluate_every(size_t evaluate_every) = 0;
 
   virtual Result<QueryId> Submit(const std::string& query_text) = 0;
@@ -153,7 +159,7 @@ class CoordinationService {
 /// The public API is single-threaded; Flush() may fan evaluation out to
 /// an internal thread pool (EngineOptions::flush_threads), but callbacks
 /// always run on the calling thread (and must not re-enter the engine —
-/// see set_solution_callback).  The database outlives the engine and
+/// see set_delivery_callback).  The database outlives the engine and
 /// must not be mutated while the engine runs.
 class CoordinationEngine : public CoordinationService {
  public:
@@ -163,8 +169,10 @@ class CoordinationEngine : public CoordinationService {
   /// must not re-enter the engine (Submit/Cancel/Flush CHECK-fail when
   /// called from inside it, since in-flight component evaluations would
   /// be applied against state the callback just changed).  Queue any
-  /// follow-up work and run it after the delivering call returns.
-  void set_solution_callback(SolutionCallback callback) override {
+  /// follow-up work and run it after the delivering call returns.  The
+  /// Delivery is fully owned — capturing it outlives any later
+  /// Cancel/Flush/migration.
+  void set_delivery_callback(DeliveryCallback callback) override {
     callback_ = std::move(callback);
   }
 
@@ -271,6 +279,24 @@ class CoordinationEngine : public CoordinationService {
   QueryId last_delivery_schedule_key() const { return last_delivery_key_; }
 
  private:
+  /// The sharded front door consumes raw engine-space solutions (it
+  /// must translate shard-local ids/variables to global ones and merge
+  /// several shards' streams before materializing public Deliveries),
+  /// so it taps this internal hook instead of the public callback.
+  /// Deliberately private: no public callback or event may expose the
+  /// engine-internal QuerySet/CoordinationSolution types.
+  friend class ShardedCoordinationEngine;
+  using InternalSolutionCallback =
+      std::function<void(const QuerySet&, const CoordinationSolution&)>;
+  void set_internal_solution_callback(InternalSolutionCallback callback) {
+    internal_callback_ = std::move(callback);
+  }
+
+  /// Fires the delivery hooks for one engine-space solution (reentrancy
+  /// guard included): the internal hook when set, else the public
+  /// Delivery callback.  Advances the delivery sequence either way.
+  void Deliver(const CoordinationSolution& solution);
+
   /// A component evaluation prepared on the coordinating thread: the
   /// component's queries renumbered into a standalone QuerySet plus the
   /// matching slice of the persistent graph, so workers touch no shared
@@ -339,10 +365,12 @@ class CoordinationEngine : public CoordinationService {
   std::vector<bool> pending_;  // per query id in all_
   size_t num_pending_ = 0;     // population count of pending_
   size_t since_last_eval_ = 0;
-  SolutionCallback callback_;
+  DeliveryCallback callback_;
+  InternalSolutionCallback internal_callback_;
   bool in_callback_ = false;
   EngineStats stats_;
   QueryId last_delivery_key_ = -1;
+  uint64_t next_delivery_sequence_ = 0;
 
   // ---- incremental core ----
   ExtendedCoordinationGraph graph_;      // over pending queries only

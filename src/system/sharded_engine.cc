@@ -18,7 +18,7 @@ void ShardedCoordinationEngine::CheckNotReentrant(
     const char* entry_point) const {
   ENTANGLED_CHECK(!in_callback_)
       << entry_point
-      << " called from inside a solution callback: callbacks must not "
+      << " called from inside a delivery callback: callbacks must not "
          "re-enter the ShardedCoordinationEngine; defer the follow-up "
          "until the delivering call returns";
 }
@@ -139,8 +139,11 @@ size_t ShardedCoordinationEngine::CreateShard() {
   }
   shards_[slot].engine = std::make_unique<CoordinationEngine>(db_, inner);
   // Capture the slot index, not the Shard: shards_ may reallocate as
-  // new shards are created (never during a flush).
-  shards_[slot].engine->set_solution_callback(
+  // new shards are created (never during a flush).  The *internal*
+  // solution hook hands us the raw engine-space solution — the front
+  // door owns the local->global translation and materializes public
+  // Deliveries only after the cross-shard merge.
+  shards_[slot].engine->set_internal_solution_callback(
       [this, slot](const QuerySet&, const CoordinationSolution& solution) {
         OnShardDelivery(slot, solution);
       });
@@ -381,9 +384,11 @@ size_t ShardedCoordinationEngine::DrainDeliveries(
       pending_[static_cast<size_t>(gid)] = false;
       --num_pending_;
     }
+    const uint64_t sequence = next_delivery_sequence_++;
     if (callback_) {
+      const Delivery event = MakeDelivery(all_, delivery.solution, sequence);
       in_callback_ = true;
-      callback_(all_, delivery.solution);
+      callback_(event);
       in_callback_ = false;
     }
   }

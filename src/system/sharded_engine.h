@@ -84,9 +84,10 @@ class ShardedCoordinationEngine : public CoordinationService {
                             ShardedEngineOptions options = {});
 
   /// Callbacks must not re-enter the front door (same contract as
-  /// CoordinationEngine::set_solution_callback); ids and witness
-  /// variables are global.
-  void set_solution_callback(SolutionCallback callback) override {
+  /// CoordinationEngine::set_delivery_callback); delivered ids and
+  /// witness variables are global, and the Delivery is fully owned —
+  /// it survives any later Cancel/Flush/shard migration.
+  void set_delivery_callback(DeliveryCallback callback) override {
     callback_ = std::move(callback);
   }
 
@@ -208,8 +209,9 @@ class ShardedCoordinationEngine : public CoordinationService {
   /// flush); Flush() visits only these instead of every slot ever made.
   std::unordered_set<size_t> flush_candidates_;
 
-  SolutionCallback callback_;
+  DeliveryCallback callback_;
   bool in_callback_ = false;
+  uint64_t next_delivery_sequence_ = 0;
   EngineStats front_stats_;    // submitted is counted here, once, globally
   EngineStats retired_stats_;  // folded-in stats of destroyed shards
   ShardedStats sharded_stats_;

@@ -1,12 +1,14 @@
 #include "testing/stress_harness.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
 
+#include "api/session.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/validator.h"
@@ -70,38 +72,252 @@ EngineVariant ShardedVariant(size_t shard_threads,
   return variant;
 }
 
-std::unique_ptr<CoordinationService> MakeEngine(const Database& db,
-                                                const EngineVariant& variant) {
+/// A constructed engine plus access to its master query set — the
+/// harness validates deliveries against Definition 1, which needs the
+/// original query structure the public event surface (deliberately)
+/// no longer exposes.
+struct EngineInstance {
+  std::unique_ptr<CoordinationService> service;
+  std::function<const QuerySet&()> master;
+};
+
+EngineInstance MakeEngine(const Database& db, const EngineVariant& variant) {
+  EngineInstance instance;
   if (variant.sharded) {
     ShardedEngineOptions options;
     options.engine = variant.engine;
     options.shard_threads = variant.shard_threads;
-    return std::make_unique<ShardedCoordinationEngine>(&db, options);
+    auto engine = std::make_unique<ShardedCoordinationEngine>(&db, options);
+    auto* raw = engine.get();
+    instance.service = std::move(engine);
+    instance.master = [raw]() -> const QuerySet& { return raw->queries(); };
+    return instance;
   }
-  return std::make_unique<CoordinationEngine>(&db, variant.engine);
+  auto engine = std::make_unique<CoordinationEngine>(&db, variant.engine);
+  auto* raw = engine.get();
+  instance.service = std::move(engine);
+  instance.master = [raw]() -> const QuerySet& { return raw->queries(); };
+  return instance;
 }
 
 /// Replays the event stream on one engine, validating every delivery
 /// against Definition 1 as it lands.
 StressReplay Replay(const Database& db, const EngineVariant& variant,
                     const std::vector<WorkloadEvent>& events) {
-  std::unique_ptr<CoordinationService> engine = MakeEngine(db, variant);
+  EngineInstance engine = MakeEngine(db, variant);
   StressReplay run;
-  engine->set_solution_callback(
-      [&](const QuerySet& set, const CoordinationSolution& solution) {
-        Status valid = ValidateSolution(db, set, solution);
-        if (!valid.ok() && run.error.empty()) {
-          run.error = "delivery " + IdsToString(solution.queries) +
-                      " failed Definition-1 validation: " + valid.ToString();
-        }
-        run.log.push_back(
-            StressDelivery{solution.queries, solution.assignment});
-      });
-  std::string replay_error = ReplayWorkloadEvents(engine.get(), events);
+  engine.service->set_delivery_callback([&](const Delivery& delivery) {
+    if (delivery.sequence != run.log.size() && run.error.empty()) {
+      run.error = "delivery sequence " + std::to_string(delivery.sequence) +
+                  " but " + std::to_string(run.log.size()) +
+                  " deliveries observed before it";
+    }
+    CoordinationSolution solution = SolutionFromDelivery(delivery);
+    Status valid = ValidateSolution(db, engine.master(), solution);
+    if (!valid.ok() && run.error.empty()) {
+      run.error = "delivery " + IdsToString(solution.queries) +
+                  " failed Definition-1 validation: " + valid.ToString();
+    }
+    run.log.push_back(StressDelivery{std::move(solution.queries),
+                                     std::move(solution.assignment)});
+  });
+  std::string replay_error = ReplayWorkloadEvents(engine.service.get(), events);
   if (!replay_error.empty() && run.error.empty()) run.error = replay_error;
-  run.final_pending = engine->PendingQueries();
-  run.pending_count = engine->num_pending();
-  run.stats = engine->StatsSnapshot();
+  run.final_pending = engine.service->PendingQueries();
+  run.pending_count = engine.service->num_pending();
+  run.stats = engine.service->StatsSnapshot();
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Session front-door replay: the same event stream driven through a
+// SessionManager, with submissions round-robined across N sessions.
+// ---------------------------------------------------------------------------
+
+/// One session event deep-copied at observation time, so the push
+/// stream and the PollEvents() drain can be compared byte for byte.
+struct ObservedEvent {
+  uint64_t sequence = 0;
+  std::vector<QueryId> set;  ///< the full coordinating set
+  Binding witness;
+  std::vector<QueryId> own;  ///< the observing session's slice
+};
+
+ObservedEvent ObserveEvent(const SessionEvent& event) {
+  ObservedEvent observed;
+  observed.sequence = event.delivery->sequence;
+  observed.set = event.delivery->QueryIds();
+  observed.witness = event.delivery->witness;
+  observed.own = event.own_queries;
+  return observed;
+}
+
+bool ObservedEqual(const ObservedEvent& a, const ObservedEvent& b) {
+  return a.sequence == b.sequence && a.set == b.set && a.own == b.own &&
+         a.witness == b.witness;
+}
+
+struct SessionReplayRun {
+  StressReplay flat;  ///< the sessions' merged view, oracle-comparable
+  std::string error;  ///< session-layer divergence (push vs poll, ...)
+};
+
+/// Replays `events` through a SessionManager over the given engine
+/// variant.  Checks internal to the session layer (push-vs-poll
+/// equality, pending tiling, cross-session event consistency) land in
+/// `error`; the merged stream lands in `flat` for the oracle
+/// differential.
+SessionReplayRun ReplayThroughSessions(const Database& db,
+                                       const EngineVariant& variant,
+                                       const std::vector<WorkloadEvent>& events,
+                                       size_t session_count) {
+  SessionReplayRun run;
+  EngineInstance engine = MakeEngine(db, variant);
+  SessionManager manager(engine.service.get());
+  std::vector<ClientSession*> sessions;
+  std::vector<std::vector<ObservedEvent>> pushed(session_count);
+  sessions.reserve(session_count);
+  for (size_t i = 0; i < session_count; ++i) {
+    sessions.push_back(manager.Open());
+    sessions.back()->set_event_callback([&pushed, i](const SessionEvent& e) {
+      pushed[i].push_back(ObserveEvent(e));
+    });
+  }
+
+  auto fail = [&run](std::string message) {
+    if (run.error.empty()) run.error = std::move(message);
+  };
+
+  size_t next_session = 0;
+  for (const WorkloadEvent& event : events) {
+    if (!run.error.empty()) break;
+    switch (event.kind) {
+      case WorkloadEvent::Kind::kSubmit: {
+        ClientSession* s = sessions[next_session++ % session_count];
+        SubmitOutcome outcome = s->Submit(event.texts.front());
+        if (!outcome.ok()) {
+          fail(std::string("session Submit rejected a generated query (") +
+               RejectReasonName(outcome.reason) + "): " + outcome.message);
+        }
+        break;
+      }
+      case WorkloadEvent::Kind::kSubmitBatch: {
+        ClientSession* s = sessions[next_session++ % session_count];
+        BatchOutcome outcome = s->SubmitBatch(event.texts);
+        if (!outcome.ok()) {
+          fail(std::string("session SubmitBatch rejected a generated batch (") +
+               RejectReasonName(outcome.reason) + "): " + outcome.message);
+        }
+        break;
+      }
+      case WorkloadEvent::Kind::kCancel: {
+        // Same rank addressing as the service-level replay, resolved to
+        // the owning session: streams stay aligned while engines agree.
+        std::vector<QueryId> pending = manager.PendingQueries();
+        if (pending.empty()) break;
+        const QueryId gid = pending[event.cancel_rank % pending.size()];
+        const SessionId owner = manager.OwnerOf(gid);
+        if (owner < 0) {
+          fail("pending query " + std::to_string(gid) + " has no owner");
+          break;
+        }
+        if (!manager.Find(owner)->Cancel(gid)) {
+          fail("owner session refused to cancel pending query " +
+               std::to_string(gid));
+        }
+        break;
+      }
+      case WorkloadEvent::Kind::kSetEvaluateEvery:
+        manager.set_evaluate_every(event.evaluate_every);
+        break;
+      case WorkloadEvent::Kind::kFlush:
+        manager.Flush();
+        break;
+    }
+  }
+
+  // Drain every session and hold the two consumption modes to the same
+  // stream, then merge the per-session views back into one delivery
+  // log (sessions sharing a coordinating set observe the same event).
+  std::map<uint64_t, StressDelivery> merged;
+  std::unordered_set<QueryId> session_pending_union;
+  for (size_t i = 0; i < session_count; ++i) {
+    ClientSession* s = sessions[i];
+    std::vector<SessionEvent> polled = s->PollEvents();
+    if (polled.size() != pushed[i].size()) {
+      fail("session " + std::to_string(s->id()) + ": push callback saw " +
+           std::to_string(pushed[i].size()) + " events but PollEvents() " +
+           "drained " + std::to_string(polled.size()));
+    }
+    for (size_t j = 0; j < polled.size() && run.error.empty(); ++j) {
+      if (polled[j].session != s->id()) {
+        fail("session " + std::to_string(s->id()) +
+             " drained an event routed to session " +
+             std::to_string(polled[j].session));
+        break;
+      }
+      ObservedEvent drained = ObserveEvent(polled[j]);
+      if (!ObservedEqual(pushed[i][j], drained)) {
+        fail("session " + std::to_string(s->id()) + " event " +
+             std::to_string(j) +
+             ": push stream and PollEvents() drain diverged");
+        break;
+      }
+      if (drained.own.empty()) {
+        fail("session " + std::to_string(s->id()) +
+             " received an event containing none of its queries");
+        break;
+      }
+      auto [it, inserted] = merged.emplace(
+          drained.sequence, StressDelivery{drained.set, drained.witness});
+      if (!inserted && (it->second.queries != drained.set ||
+                        !(it->second.assignment == drained.witness))) {
+        fail("sessions disagree about delivery sequence " +
+             std::to_string(drained.sequence));
+        break;
+      }
+    }
+    const std::vector<QueryId> session_pending = s->PendingQueries();
+    if (session_pending.size() != s->num_pending()) {
+      fail("session " + std::to_string(s->id()) + " num_pending()=" +
+           std::to_string(s->num_pending()) + " but enumerated " +
+           std::to_string(session_pending.size()));
+    }
+    for (QueryId q : session_pending) {
+      if (!session_pending_union.insert(q).second) {
+        fail("query " + std::to_string(q) +
+             " pending in two sessions at once");
+      }
+    }
+  }
+
+  // The sessions' pending sets must tile the service's pending set.
+  run.flat.final_pending = manager.PendingQueries();
+  run.flat.pending_count = manager.num_pending();
+  run.flat.stats = manager.StatsSnapshot();
+  if (run.error.empty() &&
+      session_pending_union.size() != run.flat.final_pending.size()) {
+    fail("sessions hold " + std::to_string(session_pending_union.size()) +
+         " pending queries but the service holds " +
+         std::to_string(run.flat.final_pending.size()));
+  }
+  for (QueryId q : run.flat.final_pending) {
+    if (!run.error.empty()) break;
+    if (session_pending_union.count(q) == 0) {
+      fail("service-pending query " + std::to_string(q) +
+           " is pending in no session");
+    }
+  }
+
+  uint64_t expected_sequence = 0;
+  for (auto& [sequence, delivery] : merged) {
+    if (sequence != expected_sequence++ && run.error.empty()) {
+      fail("delivery sequences are not contiguous at " +
+           std::to_string(sequence));
+    }
+    run.flat.log.push_back(std::move(delivery));
+  }
+  run.flat.error = run.error;
   return run;
 }
 
@@ -294,6 +510,32 @@ std::string StressHarness::CheckOnce(const Database& db,
     if (!err.empty()) return err;
     err = CompareRuns("oracle", oracle, label, run);
     if (!err.empty()) return err;
+  }
+  // The session front door must be a transparent overlay on every
+  // variant: per-session push streams equal to the PollEvents() drains,
+  // and the merged view byte-identical to the oracle.
+  if (options_.session_count > 0) {
+    std::vector<std::pair<std::string, EngineVariant>> wrapped;
+    for (size_t threads : options_.flush_thread_counts) {
+      wrapped.emplace_back(
+          "sessions[incremental,flush_threads=" + std::to_string(threads) +
+              "]",
+          IncrementalVariant(threads, options_.fault));
+    }
+    for (size_t threads : options_.shard_thread_counts) {
+      wrapped.emplace_back(
+          "sessions[sharded,shard_threads=" + std::to_string(threads) + "]",
+          ShardedVariant(threads, options_.fault));
+    }
+    for (const auto& [label, variant] : wrapped) {
+      SessionReplayRun run =
+          ReplayThroughSessions(db, variant, events, options_.session_count);
+      if (!run.error.empty()) return label + ": " + run.error;
+      err = CheckInvariants(label, run.flat);
+      if (!err.empty()) return err;
+      err = CompareRuns("oracle", oracle, label, run.flat);
+      if (!err.empty()) return err;
+    }
   }
   return "";
 }

@@ -25,6 +25,16 @@ struct StressOptions {
   /// disables the sharded differential.
   std::vector<size_t> shard_thread_counts = {1, 4};
 
+  /// Additionally replay every scenario through the session front door
+  /// (api/session.h) wrapping each engine variant above — submissions
+  /// round-robined across this many ClientSessions — and require (a)
+  /// every session's push-callback stream to match its PollEvents()
+  /// drain byte-for-byte, (b) the sessions' merged event stream to be
+  /// byte-identical to the oracle's delivery log, and (c) per-session
+  /// pending bookkeeping to tile the service's pending set.  0 disables
+  /// the session differential.
+  size_t session_count = 3;
+
   /// Run the metamorphic variants (within-batch permutation, relation
   /// row shuffling, symbol renaming) after the differential passes.
   bool run_metamorphic = true;

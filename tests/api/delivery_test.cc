@@ -1,0 +1,106 @@
+// Content coverage for the self-contained Delivery event
+// (api/delivery.h): names, re-rendered texts, grounded answers, witness
+// values and display names, sequence numbering, and the lookup helpers.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/delivery.h"
+#include "core/parser.h"
+#include "system/engine.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+class DeliveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 16).ok());
+  }
+  Database db_;
+};
+
+TEST_F(DeliveryTest, MaterializesEverythingAClientNeeds) {
+  CoordinationEngine engine(&db_);
+  std::vector<Delivery> delivered;
+  engine.set_delivery_callback(
+      [&](const Delivery& d) { delivered.push_back(d); });
+  auto a = engine.Submit("a: { R(B, x) } R(A, x) :- Users(x, 'user1').");
+  auto b = engine.Submit("b: { R(A, y) } R(B, y) :- Users(y, 'user1').");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(delivered.size(), 1u);
+
+  const Delivery& d = delivered[0];
+  EXPECT_EQ(d.sequence, 0u);
+  ASSERT_EQ(d.queries.size(), 2u);
+  EXPECT_EQ(d.queries[0].id, *a);
+  EXPECT_EQ(d.queries[0].name, "a");
+  EXPECT_EQ(d.queries[1].name, "b");
+  EXPECT_EQ(d.QueryIds(), (std::vector<QueryId>{*a, *b}));
+  EXPECT_EQ(d.Find(*b), &d.queries[1]);
+  EXPECT_EQ(d.Find(999), nullptr);
+
+  // The texts round-trip through the parser (quoted constants,
+  // lowercase variable names).
+  QuerySet reparsed;
+  for (const DeliveredQuery& q : d.queries) {
+    EXPECT_TRUE(ParseQuery(q.text, &reparsed).ok()) << q.text;
+  }
+
+  // Grounded answers: one head atom each, fully ground, on the answer
+  // relation.
+  for (const DeliveredQuery& q : d.queries) {
+    ASSERT_EQ(q.answers.size(), 1u);
+    EXPECT_EQ(q.answers[0].relation, "R");
+    EXPECT_TRUE(q.answers[0].IsGround());
+  }
+  // Both queries coordinate on the same value: answer terms agree.
+  EXPECT_EQ(d.queries[0].answers[0].terms[1],
+            d.queries[1].answers[0].terms[1]);
+
+  // Witness names align with the witness bindings, ascending.
+  ASSERT_EQ(d.witness_names.size(), d.witness.size());
+  for (const auto& [var, name] : d.witness_names) {
+    EXPECT_NE(d.witness.Find(var), nullptr);
+    EXPECT_FALSE(name.empty());
+  }
+  EXPECT_EQ(d.witness_names[0].second, "x");
+  EXPECT_EQ(d.witness_names[1].second, "y");
+
+  // Rendering mentions both participants.
+  const std::string rendered = d.ToString();
+  EXPECT_NE(rendered.find("{a, b}"), std::string::npos);
+  EXPECT_NE(rendered.find("witness"), std::string::npos);
+}
+
+TEST_F(DeliveryTest, SequenceNumbersTheDeliveryStream) {
+  EngineOptions options;
+  options.evaluate_every = 0;
+  CoordinationEngine engine(&db_, options);
+  std::vector<uint64_t> sequences;
+  engine.set_delivery_callback(
+      [&](const Delivery& d) { sequences.push_back(d.sequence); });
+  ASSERT_TRUE(engine.Submit("s1: { } K(w) :- Users(w, 'user5').").ok());
+  ASSERT_TRUE(engine.Submit("s2: { } L(w) :- Users(w, 'user6').").ok());
+  ASSERT_TRUE(engine.Submit("s3: { } M(w) :- Users(w, 'user7').").ok());
+  EXPECT_EQ(engine.Flush(), 3u);
+  EXPECT_EQ(sequences, (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST_F(DeliveryTest, SequenceAdvancesEvenWithoutAListener) {
+  CoordinationEngine engine(&db_);
+  // First delivery happens unobserved...
+  ASSERT_TRUE(engine.Submit("s1: { } K(w) :- Users(w, 'user5').").ok());
+  // ...the next observer still sees the true stream position.
+  std::vector<uint64_t> sequences;
+  engine.set_delivery_callback(
+      [&](const Delivery& d) { sequences.push_back(d.sequence); });
+  ASSERT_TRUE(engine.Submit("s2: { } L(w) :- Users(w, 'user6').").ok());
+  EXPECT_EQ(sequences, (std::vector<uint64_t>{1}));
+}
+
+}  // namespace
+}  // namespace entangled

@@ -1,0 +1,271 @@
+// Coverage for the session front door (api/session.h): typed submit
+// outcomes, per-session ownership and cancellation, cross-session
+// delivery routing, push-vs-poll stream equality, session teardown, and
+// the same behaviour over the sharded engine.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "system/engine.h"
+#include "system/sharded_engine.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 32).ok());
+  }
+
+  static std::string PairA(const std::string& rel) {
+    return "a_" + rel + ": { " + rel + "(Bob, x) } " + rel +
+           "(Alice, x) :- Users(x, 'user3').";
+  }
+  static std::string PairB(const std::string& rel) {
+    return "b_" + rel + ": { " + rel + "(Alice, y) } " + rel +
+           "(Bob, y) :- Users(y, 'user3').";
+  }
+  static std::string Stuck(const std::string& tag) {
+    return "s_" + tag + ": { S(Never" + tag + ", x) } S(" + tag +
+           ", x) :- Users(x, 'user7').";
+  }
+
+  Database db_;
+};
+
+// ---------------------------------------------------------------------------
+// Typed outcomes
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, TypedRejectionReasons) {
+  CoordinationEngine engine(&db_);
+  SessionManager manager(&engine);
+  ClientSession* session = manager.Open();
+
+  // Parse error.
+  SubmitOutcome bad = session->Submit("not a query");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.reason, RejectReason::kParseError);
+  EXPECT_FALSE(bad.message.empty());
+  EXPECT_STREQ(RejectReasonName(bad.reason), "parse_error");
+
+  // Duplicate heads: R(A, x) and R(A, y) book the same answer slot.
+  SubmitOutcome dup = session->Submit(
+      "dup: { } R(A, x), R(A, y) :- Users(x, 'user1'), Users(y, 'user1').");
+  EXPECT_EQ(dup.reason, RejectReason::kDuplicateHead);
+
+  // Self-unsafe: the postcondition R(p, q) unifies with both own heads
+  // (which are not unifiable with each other — A vs B).
+  SubmitOutcome unsafe = session->Submit(
+      "selfunsafe: { R(p, q) } R(A, x), R(B, y) :- Users(x, 'user1'), "
+      "Users(y, 'user1').");
+  EXPECT_EQ(unsafe.reason, RejectReason::kUnsafe);
+
+  // Nothing defective was admitted.
+  EXPECT_EQ(manager.StatsSnapshot().submitted, 0u);
+  EXPECT_EQ(session->num_pending(), 0u);
+
+  // The checks are policy: a session that forwards verbatim admits the
+  // same texts (the *set*-level unsafety is then the engine's business,
+  // exactly as before the session layer existed).
+  SessionOptions verbatim;
+  verbatim.reject_defective = false;
+  ClientSession* raw = manager.Open(verbatim);
+  EXPECT_TRUE(raw->Submit(
+                     "dup: { } R(A, x), R(A, y) :- Users(x, 'user1'), "
+                     "Users(y, 'user1').")
+                  .ok());
+}
+
+TEST_F(SessionTest, BatchOutcomeNamesTheOffendingText) {
+  CoordinationEngine engine(&db_);
+  SessionManager manager(&engine);
+  ClientSession* session = manager.Open();
+
+  BatchOutcome outcome = session->SubmitBatch(
+      {PairA("P"), "garbage in the middle", PairB("P")});
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.reason, RejectReason::kParseError);
+  EXPECT_EQ(outcome.rejected_index, 1u);
+  // All-or-nothing: nothing from the batch landed.
+  EXPECT_EQ(manager.num_pending(), 0u);
+  EXPECT_EQ(session->num_pending(), 0u);
+
+  BatchOutcome good = session->SubmitBatch({PairA("P"), PairB("P")});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.ids.size(), 2u);
+  // The pair coordinated inside the batch flush: one event, no pending.
+  EXPECT_EQ(session->num_buffered_events(), 1u);
+  EXPECT_EQ(session->num_pending(), 0u);
+}
+
+TEST_F(SessionTest, ClosedSessionRejectsSubmissions) {
+  CoordinationEngine engine(&db_);
+  SessionManager manager(&engine);
+  ClientSession* session = manager.Open();
+  ASSERT_TRUE(session->Submit(Stuck("T0")).ok());
+  ASSERT_EQ(manager.num_pending(), 1u);
+
+  session->Close();
+  EXPECT_FALSE(session->open());
+  // Teardown bulk-cancelled the pending query, in the engine too.
+  EXPECT_EQ(manager.num_pending(), 0u);
+  EXPECT_EQ(manager.StatsSnapshot().cancelled, 1u);
+
+  SubmitOutcome rejected = session->Submit(Stuck("T1"));
+  EXPECT_EQ(rejected.reason, RejectReason::kSessionClosed);
+  EXPECT_EQ(session->SubmitBatch({Stuck("T1")}).reason,
+            RejectReason::kSessionClosed);
+  EXPECT_EQ(manager.num_open_sessions(), 0u);
+  EXPECT_FALSE(manager.Close(session->id()));  // already closed
+}
+
+// ---------------------------------------------------------------------------
+// Ownership & routing
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, CoordinatingSetSpanningSessionsNotifiesEveryOwner) {
+  EngineOptions options;
+  options.evaluate_every = 0;
+  CoordinationEngine engine(&db_, options);
+  SessionManager manager(&engine);
+  ClientSession* alice = manager.Open({/*label=*/"alice"});
+  ClientSession* bob = manager.Open({/*label=*/"bob"});
+
+  SubmitOutcome a = alice->Submit(PairA("P"));
+  SubmitOutcome b = bob->Submit(PairB("P"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(manager.OwnerOf(a.id), alice->id());
+  EXPECT_EQ(manager.OwnerOf(b.id), bob->id());
+
+  EXPECT_EQ(manager.Flush(), 1u);
+  std::vector<SessionEvent> alice_events = alice->PollEvents();
+  std::vector<SessionEvent> bob_events = bob->PollEvents();
+  ASSERT_EQ(alice_events.size(), 1u);
+  ASSERT_EQ(bob_events.size(), 1u);
+  // Both observe the same self-contained event...
+  EXPECT_EQ(alice_events[0].delivery->QueryIds(),
+            (std::vector<QueryId>{a.id, b.id}));
+  EXPECT_EQ(alice_events[0].delivery->sequence,
+            bob_events[0].delivery->sequence);
+  // ...each with its own slice.
+  EXPECT_EQ(alice_events[0].own_queries, (std::vector<QueryId>{a.id}));
+  EXPECT_EQ(bob_events[0].own_queries, (std::vector<QueryId>{b.id}));
+  // Ownership survives retirement (operator introspection).
+  EXPECT_EQ(manager.OwnerOf(a.id), alice->id());
+}
+
+TEST_F(SessionTest, CancelIsOwnershipScoped) {
+  CoordinationEngine engine(&db_);
+  SessionManager manager(&engine);
+  ClientSession* alice = manager.Open();
+  ClientSession* bob = manager.Open();
+  SubmitOutcome stuck = alice->Submit(Stuck("T0"));
+  ASSERT_TRUE(stuck.ok());
+
+  EXPECT_FALSE(bob->Cancel(stuck.id));   // not bob's query
+  EXPECT_TRUE(manager.service()->IsPending(stuck.id));
+  EXPECT_TRUE(alice->Cancel(stuck.id));  // the owner may withdraw
+  EXPECT_FALSE(manager.service()->IsPending(stuck.id));
+  EXPECT_FALSE(alice->Cancel(stuck.id));  // no longer pending
+}
+
+TEST_F(SessionTest, ImmediateDeliveryDuringSubmitIsRoutedToSubmitter) {
+  CoordinationEngine engine(&db_);  // evaluate_every = 1
+  SessionManager manager(&engine);
+  ClientSession* session = manager.Open();
+  // The loner coordinates *inside* Submit — before the session even
+  // learns the id — and must still land in this session's stream.
+  SubmitOutcome solo = session->Submit("solo: { } K(w) :- Users(w, 'user5').");
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(session->num_pending(), 0u);
+  std::vector<SessionEvent> events = session->PollEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].own_queries, (std::vector<QueryId>{solo.id}));
+  EXPECT_EQ(manager.OwnerOf(solo.id), session->id());
+}
+
+// ---------------------------------------------------------------------------
+// Push vs pull
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, PushStreamEqualsPollDrain) {
+  EngineOptions options;
+  options.evaluate_every = 0;
+  CoordinationEngine engine(&db_, options);
+  SessionManager manager(&engine);
+  ClientSession* session = manager.Open();
+  std::vector<uint64_t> pushed;
+  session->set_event_callback([&](const SessionEvent& event) {
+    pushed.push_back(event.delivery->sequence);
+  });
+
+  ASSERT_TRUE(session->Submit(PairA("P")).ok());
+  ASSERT_TRUE(session->Submit(PairB("P")).ok());
+  ASSERT_TRUE(session->Submit("solo: { } K(w) :- Users(w, 'user5').").ok());
+  EXPECT_EQ(manager.Flush(), 2u);
+
+  std::vector<SessionEvent> polled = session->PollEvents();
+  ASSERT_EQ(polled.size(), pushed.size());
+  for (size_t i = 0; i < polled.size(); ++i) {
+    EXPECT_EQ(polled[i].delivery->sequence, pushed[i]);
+  }
+  // The drain consumed the buffer.
+  EXPECT_TRUE(session->PollEvents().empty());
+  EXPECT_EQ(session->deliveries(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Sessions over the sharded front door
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, WorksUnchangedOverShardedEngine) {
+  ShardedEngineOptions options;
+  options.engine.evaluate_every = 0;
+  ShardedCoordinationEngine engine(&db_, options);
+  SessionManager manager(&engine);
+  ClientSession* alice = manager.Open();
+  ClientSession* bob = manager.Open();
+
+  // Two pairs in footprint-disjoint relations: distinct shards, both
+  // sessions entangled with each other in both.
+  SubmitOutcome p1 = alice->Submit(PairA("P"));
+  SubmitOutcome p2 = bob->Submit(PairB("P"));
+  SubmitOutcome q1 = bob->Submit(PairA("Q"));
+  SubmitOutcome q2 = alice->Submit(PairB("Q"));
+  ASSERT_TRUE(p1.ok() && p2.ok() && q1.ok() && q2.ok());
+  EXPECT_EQ(manager.Flush(), 2u);
+
+  std::vector<SessionEvent> alice_events = alice->PollEvents();
+  std::vector<SessionEvent> bob_events = bob->PollEvents();
+  ASSERT_EQ(alice_events.size(), 2u);
+  ASSERT_EQ(bob_events.size(), 2u);
+  // Cross-shard deliveries arrive merged by global schedule key, so
+  // both sessions observe the same order: P's set first.
+  EXPECT_EQ(alice_events[0].delivery->QueryIds(),
+            (std::vector<QueryId>{p1.id, p2.id}));
+  EXPECT_EQ(alice_events[1].delivery->QueryIds(),
+            (std::vector<QueryId>{q1.id, q2.id}));
+  EXPECT_EQ(alice_events[0].own_queries, (std::vector<QueryId>{p1.id}));
+  EXPECT_EQ(alice_events[1].own_queries, (std::vector<QueryId>{q2.id}));
+  EXPECT_EQ(bob_events[0].own_queries, (std::vector<QueryId>{p2.id}));
+
+  // Session teardown bulk-cancels across shards.
+  SubmitOutcome s0 = alice->Submit(Stuck("T0"));
+  SubmitOutcome s1 = alice->Submit("s_U: { U(NeverU, x) } U(TU, x) :- "
+                                   "Users(x, 'user7').");
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  ASSERT_EQ(manager.num_pending(), 2u);
+  manager.Close(alice->id());
+  EXPECT_EQ(manager.num_pending(), 0u);
+  EXPECT_EQ(manager.StatsSnapshot().cancelled, 2u);
+}
+
+}  // namespace
+}  // namespace entangled

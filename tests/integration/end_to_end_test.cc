@@ -3,6 +3,7 @@
 #include "algo/consistent.h"
 #include "algo/generic_solver.h"
 #include "algo/scc_coordination.h"
+#include "api/session.h"
 #include "core/parser.h"
 #include "core/properties.h"
 #include "core/validator.h"
@@ -16,21 +17,16 @@ namespace entangled {
 namespace {
 
 /// Text in, coordinated answers out: the full §6.1 pipeline through the
-/// engine with a realistic mixed arrival stream.
-TEST(EndToEndTest, EngineProcessesMixedArrivalStream) {
+/// session front door with a realistic mixed arrival stream, consumed
+/// through the pull-based PollEvents() drain.
+TEST(EndToEndTest, SessionsProcessMixedArrivalStream) {
   Database db;
   ASSERT_TRUE(InstallSocialTable(&db, "Users", 64).ok());
   CoordinationEngine engine(&db);
-  std::vector<CoordinationSolution> delivered;
-  engine.set_solution_callback(
-      [&](const QuerySet& set, const CoordinationSolution& solution) {
-        // Every delivered solution must pass the independent validator.
-        ASSERT_TRUE(ValidateSolution(db, set, solution).ok());
-        delivered.push_back(solution);
-      });
+  SessionManager manager(&engine);
 
   // A lone traveller, one mutually-entangled pair, one chain of three,
-  // and a query that never coordinates.
+  // and a query that never coordinates — each from its own session.
   // Postconditions use fresh variables (p1, p2): each chain member asks
   // the next to coordinate without demanding the *same* tuple.
   const std::vector<std::string> arrivals = {
@@ -42,16 +38,36 @@ TEST(EndToEndTest, EngineProcessesMixedArrivalStream) {
       "stuck: { Nothing(n) }   S(C9, n)   :- Users(n, 'user4').",
       "chain3: { }             S(C3, c)   :- Users(c, 'user4').",
   };
+  std::vector<ClientSession*> users;
   for (const std::string& text : arrivals) {
-    ASSERT_TRUE(engine.Submit(text).ok()) << text;
+    users.push_back(manager.Open());
+    SubmitOutcome outcome = users.back()->Submit(text);
+    ASSERT_TRUE(outcome.ok())
+        << text << ": " << RejectReasonName(outcome.reason) << " "
+        << outcome.message;
   }
+
   // solo retires alone; the pair on pairB's arrival; the chain when
-  // chain3 lands; stuck stays pending forever.
-  EXPECT_EQ(delivered.size(), 3u);
-  EXPECT_EQ(engine.stats().coordinated_queries, 6u);
-  EXPECT_EQ(engine.PendingQueries().size(), 1u);
-  EXPECT_EQ(engine.queries().query(engine.PendingQueries()[0]).name,
-            "stuck");
+  // chain3 lands; stuck stays pending forever.  Every owner of a
+  // coordinating set is notified, so the pull streams tile the log.
+  size_t events = 0;
+  for (ClientSession* user : users) {
+    for (const SessionEvent& event : user->PollEvents()) {
+      ++events;
+      // Each delivered event re-validates against Definition 1.
+      ASSERT_TRUE(ValidateSolution(db, engine.queries(),
+                                   SolutionFromDelivery(*event.delivery))
+                      .ok());
+      ASSERT_EQ(event.own_queries.size(), 1u);
+    }
+  }
+  EXPECT_EQ(events, 6u);  // six queries coordinated, one owner each
+  EXPECT_EQ(manager.StatsSnapshot().coordinated_queries, 6u);
+  ASSERT_EQ(manager.PendingQueries().size(), 1u);
+  const QueryId stuck = manager.PendingQueries()[0];
+  EXPECT_EQ(engine.queries().query(stuck).name, "stuck");
+  EXPECT_EQ(manager.OwnerOf(stuck), users[5]->id());
+  EXPECT_EQ(users[5]->num_pending(), 1u);
 }
 
 /// The two headline algorithms composed: a batch solved by the SCC

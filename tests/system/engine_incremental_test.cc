@@ -24,18 +24,18 @@ namespace entangled {
 namespace {
 
 /// One recorded delivery: engine ids plus the full witness assignment.
-struct Delivery {
+struct LoggedDelivery {
   std::vector<QueryId> queries;
   Binding assignment;
 
-  friend bool operator==(const Delivery& a, const Delivery& b) {
+  friend bool operator==(const LoggedDelivery& a, const LoggedDelivery& b) {
     return a.queries == b.queries && a.assignment == b.assignment;
   }
 };
 
-std::string DeliveryLogToString(const std::vector<Delivery>& log) {
+std::string DeliveryLogToString(const std::vector<LoggedDelivery>& log) {
   std::ostringstream out;
-  for (const Delivery& d : log) {
+  for (const LoggedDelivery& d : log) {
     out << "{";
     for (QueryId q : d.queries) out << q << ",";
     out << "} ";
@@ -129,7 +129,7 @@ std::vector<Op> MakeOps(uint64_t seed, size_t num_submits) {
 }
 
 struct RunResult {
-  std::vector<Delivery> log;
+  std::vector<LoggedDelivery> log;
   std::vector<QueryId> final_pending;
   uint64_t coordinating_sets = 0;
   uint64_t cancelled = 0;
@@ -140,12 +140,13 @@ RunResult RunInterleaving(const Database& db, EngineOptions options,
                           const std::vector<Op>& ops) {
   CoordinationEngine engine(&db, options);
   RunResult run;
-  engine.set_solution_callback(
-      [&](const QuerySet& set, const CoordinationSolution& solution) {
-        // Every delivery must also be independently valid (Def. 1).
-        EXPECT_TRUE(ValidateSolution(db, set, solution).ok());
-        run.log.push_back(Delivery{solution.queries, solution.assignment});
-      });
+  engine.set_delivery_callback([&](const Delivery& delivery) {
+    // Every delivery must also be independently valid (Def. 1).
+    CoordinationSolution solution = SolutionFromDelivery(delivery);
+    EXPECT_TRUE(ValidateSolution(db, engine.queries(), solution).ok());
+    run.log.push_back(LoggedDelivery{std::move(solution.queries),
+                                     std::move(solution.assignment)});
+  });
   size_t next_text = 0;
   for (const Op& op : ops) {
     switch (op.kind) {
@@ -243,8 +244,7 @@ class EngineIncrementalTest : public ::testing::Test {
 TEST_F(EngineIncrementalTest, SubmitBatchDeliversOnce) {
   CoordinationEngine engine(&db_);
   size_t deliveries = 0;
-  engine.set_solution_callback(
-      [&](const QuerySet&, const CoordinationSolution&) { ++deliveries; });
+  engine.set_delivery_callback([&](const Delivery&) { ++deliveries; });
   auto ids = engine.SubmitBatch({
       "a: { R(B, x) } R(A, x) :- Users(x, 'user1').",
       "b: { R(A, y) } R(B, y) :- Users(y, 'user1').",
@@ -285,10 +285,9 @@ TEST_F(EngineIncrementalTest, SubmitRejectsMultiQueryTextAtomically) {
 
 TEST_F(EngineIncrementalTest, CallbackReentryIsRejected) {
   CoordinationEngine engine(&db_);
-  engine.set_solution_callback(
-      [&engine](const QuerySet&, const CoordinationSolution&) {
-        engine.Flush();  // illegal: deliveries must not re-enter
-      });
+  engine.set_delivery_callback([&engine](const Delivery&) {
+    engine.Flush();  // illegal: deliveries must not re-enter
+  });
   EXPECT_DEATH(engine.Submit("solo: { } K(w) :- Users(w, 'user5')."),
                "must not re-enter");
 }
@@ -298,8 +297,7 @@ TEST_F(EngineIncrementalTest, CancelUnblocksUnsafeComponent) {
   options.evaluate_every = 0;
   CoordinationEngine engine(&db_, options);
   size_t deliveries = 0;
-  engine.set_solution_callback(
-      [&](const QuerySet&, const CoordinationSolution&) { ++deliveries; });
+  engine.set_delivery_callback([&](const Delivery&) { ++deliveries; });
   // a's postcondition unifies with both b1's and b2's head: unsafe.
   auto a = engine.Submit("a: { U(B, x) } U(A, x) :- Users(x, 'user1').");
   auto b1 = engine.Submit("b1: { U(A, y) } U(B, y) :- Users(y, 'user1').");

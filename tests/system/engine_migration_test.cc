@@ -104,12 +104,11 @@ TEST_F(EngineMigrationTest, ExtractAdoptRoundTripPreservesCoordination) {
   // ...but the adopted components are dirty: the pair coordinates on
   // the next flush while the singleton stays stuck.
   size_t deliveries = 0;
-  target.set_solution_callback(
-      [&deliveries](const QuerySet& set, const CoordinationSolution& s) {
-        ++deliveries;
-        EXPECT_EQ(s.queries, (std::vector<QueryId>{0, 1}));
-        EXPECT_EQ(set.query(s.queries[0]).name, "a_P");
-      });
+  target.set_delivery_callback([&deliveries](const Delivery& d) {
+    ++deliveries;
+    EXPECT_EQ(d.QueryIds(), (std::vector<QueryId>{0, 1}));
+    EXPECT_EQ(d.queries[0].name, "a_P");
+  });
   EXPECT_EQ(target.Flush(), 1u);
   EXPECT_EQ(deliveries, 1u);
   EXPECT_EQ(target.PendingQueries(), (std::vector<QueryId>{2}));
@@ -128,10 +127,8 @@ TEST_F(EngineMigrationTest, EvaluateNowEvaluatesOnlyThatComponent) {
     ASSERT_TRUE(engine.Submit(text).ok());
   }
   size_t deliveries = 0;
-  engine.set_solution_callback(
-      [&deliveries](const QuerySet&, const CoordinationSolution&) {
-        ++deliveries;
-      });
+  engine.set_delivery_callback(
+      [&deliveries](const Delivery&) { ++deliveries; });
   // Only P's component is evaluated; Q's stays dirty and pending.
   EXPECT_TRUE(engine.EvaluateNow(0));
   EXPECT_EQ(deliveries, 1u);

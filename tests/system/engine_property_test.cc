@@ -78,12 +78,11 @@ std::vector<std::string> RunStream(const Database& db,
   options.evaluate_every = eager ? 1 : 0;
   CoordinationEngine engine(&db, options);
   std::vector<std::string> coordinated;
-  engine.set_solution_callback(
-      [&](const QuerySet& set, const CoordinationSolution& solution) {
-        for (QueryId id : solution.queries) {
-          coordinated.push_back(set.query(id).name);
-        }
-      });
+  engine.set_delivery_callback([&](const Delivery& delivery) {
+    for (const DeliveredQuery& q : delivery.queries) {
+      coordinated.push_back(q.name);
+    }
+  });
   for (size_t index : order) {
     auto id = engine.Submit(stream.texts[index]);
     EXPECT_TRUE(id.ok()) << stream.texts[index] << ": " << id.status();

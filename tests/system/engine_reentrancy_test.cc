@@ -1,5 +1,5 @@
 // Regression coverage for the documented callback-reentrancy contract
-// (src/system/engine.h): solution callbacks are notifications, not
+// (src/system/engine.h): delivery callbacks are notifications, not
 // extension points — every mutating entry point must CHECK-fail when
 // invoked from inside a delivery, on both engine paths.
 
@@ -33,71 +33,61 @@ using EngineReentrancyDeathTest = EngineReentrancyTest;
 
 TEST_F(EngineReentrancyDeathTest, SubmitInsideCallbackDies) {
   CoordinationEngine engine(&db_);
-  engine.set_solution_callback(
-      [&engine](const QuerySet&, const CoordinationSolution&) {
-        (void)engine.Submit("late: { } K(v) :- Users(v, 'user1').");
-      });
+  engine.set_delivery_callback([&engine](const Delivery&) {
+    (void)engine.Submit("late: { } K(v) :- Users(v, 'user1').");
+  });
   // The CHECK names the violating entry point.
   EXPECT_DEATH(engine.Submit(Loner()),
-               "Submit called from inside a solution callback");
+               "Submit called from inside a delivery callback");
 }
 
 TEST_F(EngineReentrancyDeathTest, SubmitQueryInsideCallbackDies) {
   CoordinationEngine engine(&db_);
-  engine.set_solution_callback(
-      [&engine](const QuerySet&, const CoordinationSolution&) {
-        QueryBuilder builder(engine.mutable_queries(), "late");
-        VarId v = builder.Var("v");
-        builder.Head("K", {Term::Var(v)});
-        builder.Body("Users", {Term::Var(v), Term::Str("user1")});
-        EntangledQuery query =
-            engine.mutable_queries()->query(builder.Build());
-        engine.SubmitQuery(query);
-      });
+  engine.set_delivery_callback([&engine](const Delivery&) {
+    QueryBuilder builder(engine.mutable_queries(), "late");
+    VarId v = builder.Var("v");
+    builder.Head("K", {Term::Var(v)});
+    builder.Body("Users", {Term::Var(v), Term::Str("user1")});
+    EntangledQuery query = engine.mutable_queries()->query(builder.Build());
+    engine.SubmitQuery(query);
+  });
   EXPECT_DEATH(engine.Submit(Loner()),
-               "SubmitQuery called from inside a solution callback");
+               "SubmitQuery called from inside a delivery callback");
 }
 
 TEST_F(EngineReentrancyDeathTest, SubmitBatchInsideCallbackDies) {
   CoordinationEngine engine(&db_);
-  engine.set_solution_callback(
-      [&engine](const QuerySet&, const CoordinationSolution&) {
-        (void)engine.SubmitBatch({"late: { } K(v) :- Users(v, 'user1')."});
-      });
+  engine.set_delivery_callback([&engine](const Delivery&) {
+    (void)engine.SubmitBatch({"late: { } K(v) :- Users(v, 'user1')."});
+  });
   EXPECT_DEATH(engine.Submit(Loner()),
-               "SubmitBatch called from inside a solution callback");
+               "SubmitBatch called from inside a delivery callback");
 }
 
 TEST_F(EngineReentrancyDeathTest, CancelInsideCallbackDies) {
   CoordinationEngine engine(&db_);
-  engine.set_solution_callback(
-      [&engine](const QuerySet&, const CoordinationSolution&) {
-        engine.Cancel(0);
-      });
+  engine.set_delivery_callback(
+      [&engine](const Delivery&) { engine.Cancel(0); });
   EXPECT_DEATH(engine.Submit(Loner()),
-               "Cancel called from inside a solution callback");
+               "Cancel called from inside a delivery callback");
 }
 
 TEST_F(EngineReentrancyDeathTest, FlushInsideCallbackDies) {
   CoordinationEngine engine(&db_);
-  engine.set_solution_callback(
-      [&engine](const QuerySet&, const CoordinationSolution&) {
-        engine.Flush();
-      });
+  engine.set_delivery_callback(
+      [&engine](const Delivery&) { engine.Flush(); });
   EXPECT_DEATH(engine.Submit(Loner()),
-               "Flush called from inside a solution callback");
+               "Flush called from inside a delivery callback");
 }
 
 TEST_F(EngineReentrancyDeathTest, LegacyPathRejectsReentryToo) {
   EngineOptions options;
   options.incremental = false;
   CoordinationEngine engine(&db_, options);
-  engine.set_solution_callback(
-      [&engine](const QuerySet&, const CoordinationSolution&) {
-        engine.Flush();
-      });
+  engine.set_delivery_callback(
+      [&engine](const Delivery&) { engine.Flush(); });
   EXPECT_DEATH(engine.Submit(Loner()),
-               "Flush called from inside a solution callback");
+               "Flush called from inside a delivery callback");
 }
 
 /// The contract's positive side: deferring the follow-up until the
@@ -105,10 +95,9 @@ TEST_F(EngineReentrancyDeathTest, LegacyPathRejectsReentryToo) {
 TEST_F(EngineReentrancyTest, DeferredFollowUpWorks) {
   CoordinationEngine engine(&db_);
   std::vector<std::string> follow_ups;
-  engine.set_solution_callback(
-      [&follow_ups](const QuerySet&, const CoordinationSolution&) {
-        follow_ups.push_back("late: { } K(v) :- Users(v, 'user1').");
-      });
+  engine.set_delivery_callback([&follow_ups](const Delivery&) {
+    follow_ups.push_back("late: { } K(v) :- Users(v, 'user1').");
+  });
   ASSERT_TRUE(engine.Submit(Loner()).ok());
   ASSERT_EQ(follow_ups.size(), 1u);
   for (const std::string& text : follow_ups) {

@@ -15,13 +15,11 @@ class EngineTest : public ::testing::Test {
   }
 
   Database db_;
-  std::vector<CoordinationSolution> delivered_;
+  std::vector<Delivery> delivered_;
 
   void Capture(CoordinationEngine* engine) {
-    engine->set_solution_callback(
-        [this](const QuerySet&, const CoordinationSolution& solution) {
-          delivered_.push_back(solution);
-        });
+    engine->set_delivery_callback(
+        [this](const Delivery& delivery) { delivered_.push_back(delivery); });
   }
 };
 
@@ -40,10 +38,12 @@ TEST_F(EngineTest, PairCoordinatesOnSecondArrival) {
   ASSERT_TRUE(b.ok()) << b.status();
   // The pair coordinates and retires.
   ASSERT_EQ(delivered_.size(), 1u);
-  EXPECT_EQ(delivered_[0].queries, (std::vector<QueryId>{*a, *b}));
+  EXPECT_EQ(delivered_[0].QueryIds(), (std::vector<QueryId>{*a, *b}));
   EXPECT_FALSE(engine.IsPending(*a));
   EXPECT_FALSE(engine.IsPending(*b));
-  EXPECT_TRUE(ValidateSolution(db_, engine.queries(), delivered_[0]).ok());
+  EXPECT_TRUE(ValidateSolution(db_, engine.queries(),
+                               SolutionFromDelivery(delivered_[0]))
+                  .ok());
 }
 
 TEST_F(EngineTest, SelfContainedQueryRetiresImmediately) {
@@ -52,7 +52,7 @@ TEST_F(EngineTest, SelfContainedQueryRetiresImmediately) {
   auto solo = engine.Submit("solo: { } K(w) :- Users(w, 'user5').");
   ASSERT_TRUE(solo.ok());
   ASSERT_EQ(delivered_.size(), 1u);
-  EXPECT_EQ(delivered_[0].queries, (std::vector<QueryId>{*solo}));
+  EXPECT_EQ(delivered_[0].QueryIds(), (std::vector<QueryId>{*solo}));
   EXPECT_TRUE(engine.PendingQueries().empty());
 }
 
@@ -163,7 +163,7 @@ TEST_F(EngineTest, RetiredQueriesDoNotRecoordinate) {
   auto b2 = engine.Submit("b2: { R(A, y) } R(B, y) :- Users(y, 'user2').");
   ASSERT_TRUE(b2.ok());
   ASSERT_EQ(delivered_.size(), 2u);
-  EXPECT_EQ(delivered_[1].queries, (std::vector<QueryId>{*a2, *b2}));
+  EXPECT_EQ(delivered_[1].QueryIds(), (std::vector<QueryId>{*a2, *b2}));
 }
 
 }  // namespace

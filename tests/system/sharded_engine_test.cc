@@ -21,7 +21,7 @@ namespace entangled {
 namespace {
 
 /// One recorded delivery, in global ids.
-struct Delivery {
+struct LoggedDelivery {
   std::vector<QueryId> queries;
   Binding assignment;
 };
@@ -58,11 +58,10 @@ class ShardedEngineTest : public ::testing::Test {
 /// byte-identical logs, witnesses, and pending sets.
 TEST_F(ShardedEngineTest, MatchesSingleEngineByteForByte) {
   auto drive = [&](CoordinationService* engine,
-                   std::vector<Delivery>* log) {
-    engine->set_solution_callback(
-        [log](const QuerySet&, const CoordinationSolution& solution) {
-          log->push_back(Delivery{solution.queries, solution.assignment});
-        });
+                   std::vector<LoggedDelivery>* log) {
+    engine->set_delivery_callback([log](const Delivery& delivery) {
+      log->push_back(LoggedDelivery{delivery.QueryIds(), delivery.witness});
+    });
     // Disjoint pairs under eager evaluation.
     for (const std::string& text : Pair("P")) {
       ASSERT_TRUE(engine->Submit(text).ok());
@@ -89,14 +88,14 @@ TEST_F(ShardedEngineTest, MatchesSingleEngineByteForByte) {
   };
 
   CoordinationEngine single(&db_);
-  std::vector<Delivery> single_log;
+  std::vector<LoggedDelivery> single_log;
   drive(&single, &single_log);
 
   for (size_t shard_threads : {size_t{1}, size_t{4}}) {
     ShardedEngineOptions options;
     options.shard_threads = shard_threads;
     ShardedCoordinationEngine sharded(&db_, options);
-    std::vector<Delivery> sharded_log;
+    std::vector<LoggedDelivery> sharded_log;
     drive(&sharded, &sharded_log);
 
     ASSERT_EQ(single_log.size(), sharded_log.size())
@@ -156,10 +155,8 @@ TEST_F(ShardedEngineTest, EvaluateEveryCadenceCountsAcrossShards) {
   options.engine.evaluate_every = 2;
   ShardedCoordinationEngine engine(&db_, options);
   size_t deliveries = 0;
-  engine.set_solution_callback(
-      [&deliveries](const QuerySet&, const CoordinationSolution&) {
-        ++deliveries;
-      });
+  engine.set_delivery_callback(
+      [&deliveries](const Delivery&) { ++deliveries; });
   std::vector<std::string> pair = Pair("P");
   // Arrival 1 (no evaluation yet), arrival 2 — the cadence fires on the
   // pair's second half even though the two arrivals share a shard and
@@ -186,26 +183,23 @@ using ShardedEngineDeathTest = ShardedEngineTest;
 
 TEST_F(ShardedEngineDeathTest, ReentrantSubmitDiesNamingEntryPoint) {
   ShardedCoordinationEngine engine(&db_);
-  engine.set_solution_callback(
-      [&engine](const QuerySet&, const CoordinationSolution&) {
-        (void)engine.Submit("late: { } K(v) :- Users(v, 'user1').");
-      });
+  engine.set_delivery_callback([&engine](const Delivery&) {
+    (void)engine.Submit("late: { } K(v) :- Users(v, 'user1').");
+  });
   std::vector<std::string> pair = Pair("P");
   ASSERT_TRUE(engine.Submit(pair[0]).ok());
   EXPECT_DEATH(engine.Submit(pair[1]),
-               "Submit called from inside a solution callback");
+               "Submit called from inside a delivery callback");
 }
 
 TEST_F(ShardedEngineDeathTest, ReentrantFlushDiesNamingEntryPoint) {
   ShardedCoordinationEngine engine(&db_);
-  engine.set_solution_callback(
-      [&engine](const QuerySet&, const CoordinationSolution&) {
-        engine.Flush();
-      });
+  engine.set_delivery_callback(
+      [&engine](const Delivery&) { engine.Flush(); });
   std::vector<std::string> pair = Pair("P");
   ASSERT_TRUE(engine.Submit(pair[0]).ok());
   EXPECT_DEATH(engine.Submit(pair[1]),
-               "Flush called from inside a solution callback");
+               "Flush called from inside a delivery callback");
 }
 
 }  // namespace

@@ -1,55 +1,112 @@
-// entangled_cli — batch driver for entangled-query coordination.
+// entangled_cli — command-line front door for entangled-query
+// coordination, built on the session API (api/session.h).
 //
-//   entangled_cli --data instance.edb --queries requests.eq
+//   entangled_cli [--help] [--version]
+//   entangled_cli coordinate --data FILE.edb --queries FILE.eq
 //                 [--algorithm scc|gupta|generic|single] [--quiet]
+//   entangled_cli sessions   --data FILE.edb --queries FILE.eq
+//                 [--sessions N] [--sharded] [--evaluate-every K] [--quiet]
 //
-// Loads a database (db/loader.h format), parses entangled queries in
-// the paper's syntax (core/parser.h), runs the chosen coordination
-// algorithm, independently validates the result against Definition 1,
-// and prints each participant's grounded answers.
+// `coordinate` (the default when flags are given without a subcommand)
+// loads a database (db/loader.h format), parses entangled queries in
+// the paper's syntax (core/parser.h), streams them through a
+// ClientSession over the coordination engine, drains the delivered
+// events with PollEvents(), independently validates every delivery
+// against Definition 1, and prints each participant's grounded
+// answers.  `--algorithm` values other than `scc` run the matching
+// reference solver directly on the whole set instead (those algorithms
+// have no streaming engine).
 //
-// Exit codes: 0 = coordinating set found; 2 = none exists;
+// `sessions` distributes the queries round-robin across N client
+// sessions of one shared engine (optionally the sharded front door),
+// coordinates, and prints each session's delivered events plus a
+// per-session table of pending counts — the multi-tenant view.
+//
+// Exit codes: 0 = coordinating set(s) found; 2 = none exists;
 //             1 = usage/parse/validation error.
 
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "algo/generic_solver.h"
 #include "algo/gupta_baseline.h"
 #include "algo/scc_coordination.h"
 #include "algo/single_connected.h"
+#include "api/session.h"
 #include "core/parser.h"
 #include "core/properties.h"
 #include "core/validator.h"
 #include "db/loader.h"
+#include "system/engine.h"
+#include "system/sharded_engine.h"
 
 namespace {
 
 using namespace entangled;
 
+constexpr const char* kVersion = "0.5.0";
+
 struct CliOptions {
+  std::string command = "coordinate";
   std::string data_path;
   std::string queries_path;
   std::string algorithm = "scc";
+  size_t num_sessions = 4;
+  size_t evaluate_every = 0;
+  bool sharded = false;
   bool quiet = false;
 };
 
-void PrintUsage() {
-  std::cerr
-      << "usage: entangled_cli --data FILE.edb --queries FILE.eq\n"
-      << "                     [--algorithm scc|gupta|generic|single]\n"
-      << "                     [--quiet]\n\n"
-      << "  --data       database instance (relation blocks; see docs)\n"
-      << "  --queries    entangled queries, one '{P} H :- B.' each\n"
-      << "  --algorithm  scc      SCC Coordination Algorithm (default;\n"
-      << "                        safe sets, uniqueness not required)\n"
-      << "               gupta    Gupta et al. baseline (safe + unique)\n"
-      << "               generic  complete exponential search (any set)\n"
-      << "               single   single-connected solver (Theorem 3)\n"
-      << "  --quiet      print only the coordinating set\n";
+void PrintVersion() {
+  std::cout << "entangled_cli " << kVersion
+            << " (The Complexity of Social Coordination, VLDB 2012)\n";
 }
 
-bool ParseArgs(int argc, char** argv, CliOptions* options) {
+void PrintUsage() {
+  std::cerr
+      << "usage: entangled_cli [--help] [--version]\n"
+      << "       entangled_cli coordinate --data FILE.edb --queries "
+         "FILE.eq\n"
+      << "                     [--algorithm scc|gupta|generic|single] "
+         "[--quiet]\n"
+      << "       entangled_cli sessions --data FILE.edb --queries FILE.eq\n"
+      << "                     [--sessions N] [--sharded] "
+         "[--evaluate-every K] [--quiet]\n\n"
+      << "commands:\n"
+      << "  coordinate   stream the queries through one client session,\n"
+      << "               coordinate, validate, print grounded answers\n"
+      << "               (default when only flags are given)\n"
+      << "  sessions     round-robin the queries across N client sessions\n"
+      << "               and show each session's deliveries and pending\n"
+      << "               counts\n\n"
+      << "options:\n"
+      << "  --data            database instance (relation blocks; see "
+         "docs)\n"
+      << "  --queries         entangled queries, one '{P} H :- B.' each\n"
+      << "  --algorithm       scc      streaming engine + SCC algorithm\n"
+      << "                             (default; safe sets, uniqueness\n"
+      << "                             not required)\n"
+      << "                    gupta    Gupta et al. baseline (safe + "
+         "unique)\n"
+      << "                    generic  complete exponential search\n"
+      << "                    single   single-connected solver (Thm. 3)\n"
+      << "  --sessions N      client sessions to spread queries over "
+         "(default 4)\n"
+      << "  --sharded         serve from the sharded multi-tenant front "
+         "door\n"
+      << "  --evaluate-every K  per-arrival evaluation cadence (default "
+         "0:\n"
+      << "                    admit everything, then flush once)\n"
+      << "  --quiet           print only the coordinating sets\n"
+      << "  --help, -h        this text\n"
+      << "  --version         version string\n";
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options, int* exit_code) {
+  *exit_code = 1;
+  bool saw_command = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -67,83 +124,125 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->algorithm = v;
+    } else if (arg == "--sessions") {
+      const char* v = next();
+      const long n = v == nullptr ? 0 : std::atol(v);
+      if (n <= 0 || n > 100000) {
+        std::cerr << "--sessions wants a count in [1, 100000]\n";
+        return false;
+      }
+      options->num_sessions = static_cast<size_t>(n);
+    } else if (arg == "--evaluate-every") {
+      const char* v = next();
+      const long n = v == nullptr ? -1 : std::atol(v);
+      if (n < 0) {
+        std::cerr << "--evaluate-every wants a cadence >= 0\n";
+        return false;
+      }
+      options->evaluate_every = static_cast<size_t>(n);
+    } else if (arg == "--sharded") {
+      options->sharded = true;
     } else if (arg == "--quiet") {
       options->quiet = true;
     } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      *exit_code = 0;
       return false;
+    } else if (arg == "--version") {
+      PrintVersion();
+      *exit_code = 0;
+      return false;
+    } else if (!saw_command && !arg.empty() && arg[0] != '-') {
+      options->command = arg;
+      saw_command = true;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return false;
     }
   }
-  return !options->data_path.empty() && !options->queries_path.empty();
-}
-
-Result<CoordinationSolution> RunAlgorithm(const CliOptions& options,
-                                          const Database& db,
-                                          const QuerySet& queries,
-                                          std::string* stats_line) {
-  if (options.algorithm == "scc") {
-    SccCoordinator solver(&db);
-    auto result = solver.Solve(queries);
-    *stats_line = solver.stats().ToString();
-    return result;
+  if (options->command != "coordinate" && options->command != "sessions") {
+    std::cerr << "unknown command: " << options->command << "\n";
+    return false;
   }
-  if (options.algorithm == "gupta") {
-    GuptaBaseline solver(&db);
-    auto result = solver.Solve(queries);
-    *stats_line = solver.stats().ToString();
-    return result;
+  if (options->command == "sessions" && options->algorithm != "scc") {
+    std::cerr << "the sessions front door serves the streaming engine "
+                 "(scc) only; --algorithm " << options->algorithm
+              << " is a coordinate-command reference path\n";
+    return false;
   }
-  if (options.algorithm == "generic") {
-    GenericSolver solver(&db);
-    auto result = solver.FindAny(queries);
-    *stats_line = solver.stats().ToString();
-    return result;
-  }
-  if (options.algorithm == "single") {
-    SingleConnectedSolver solver(&db);
-    auto result = solver.Solve(queries);
-    *stats_line = solver.stats().ToString();
-    return result;
-  }
-  return Status::InvalidArgument("unknown algorithm '", options.algorithm,
-                                 "'");
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions options;
-  if (!ParseArgs(argc, argv, &options)) {
+  if (options->data_path.empty() || options->queries_path.empty()) {
     PrintUsage();
-    return 1;
+    return false;
   }
+  return true;
+}
 
-  Database db;
-  if (Status status = LoadDatabaseFile(options.data_path, &db);
+/// Loads the database and parses the query file; returns false (after
+/// printing the error) when anything is malformed.
+bool LoadInputs(const CliOptions& options, Database* db, QuerySet* queries) {
+  if (Status status = LoadDatabaseFile(options.data_path, db);
       !status.ok()) {
     std::cerr << options.data_path << ": " << status << "\n";
-    return 1;
+    return false;
   }
-
   auto query_text = ReadFileToString(options.queries_path);
   if (!query_text.ok()) {
-    std::cerr << options.queries_path << ": " << query_text.status()
-              << "\n";
-    return 1;
+    std::cerr << options.queries_path << ": " << query_text.status() << "\n";
+    return false;
   }
-  QuerySet queries;
-  auto ids = ParseQueries(*query_text, &queries);
+  auto ids = ParseQueries(*query_text, queries);
   if (!ids.ok()) {
     std::cerr << options.queries_path << ": " << ids.status() << "\n";
-    return 1;
+    return false;
   }
-  if (Status status = queries.CheckWellFormed(db); !status.ok()) {
+  if (Status status = queries->CheckWellFormed(*db); !status.ok()) {
     std::cerr << "ill-formed queries: " << status << "\n";
-    return 1;
+    return false;
   }
+  return true;
+}
 
+/// Re-renders each parsed query in the paper's syntax — the per-query
+/// texts a session submits one at a time (constants are quoted and
+/// parser-produced variable names are lowercase, so rendering
+/// round-trips through the parser).
+std::vector<std::string> QueryTexts(const QuerySet& queries) {
+  std::vector<std::string> texts;
+  texts.reserve(queries.size());
+  for (QueryId id = 0; id < static_cast<QueryId>(queries.size()); ++id) {
+    texts.push_back(queries.QueryToString(id));
+  }
+  return texts;
+}
+
+/// Re-validates a delivered event against Definition 1 using the
+/// engine's master set; returns false (printing the failure) on a
+/// solver bug.
+bool ValidateDelivered(const Database& db, const QuerySet& master,
+                       const Delivery& delivery) {
+  if (Status valid = ValidateSolution(db, master, SolutionFromDelivery(delivery));
+      !valid.ok()) {
+    std::cerr << "INTERNAL ERROR: engine delivered an invalid solution: "
+              << valid << "\n";
+    return false;
+  }
+  return true;
+}
+
+void PrintDelivery(const Delivery& delivery, bool quiet) {
+  if (quiet) {
+    std::cout << "{";
+    for (size_t i = 0; i < delivery.queries.size(); ++i) {
+      std::cout << (i == 0 ? "" : ", ") << delivery.queries[i].name;
+    }
+    std::cout << "}\n";
+    return;
+  }
+  std::cout << delivery.ToString() << "\n";
+}
+
+int RunCoordinate(const CliOptions& options, const Database& db,
+                  QuerySet& queries) {
   if (!options.quiet) {
     std::cout << "database: " << db.relation_count() << " relations, "
               << db.TotalRows() << " tuples\n"
@@ -153,35 +252,185 @@ int main(int argc, char** argv) {
               << ")\n\n";
   }
 
-  std::string stats_line;
-  auto solution = RunAlgorithm(options, db, queries, &stats_line);
-  if (!solution.ok()) {
-    if (solution.status().IsNotFound()) {
-      std::cout << "no coordinating set: " << solution.status().message()
-                << "\n";
-      return 2;
-    }
-    std::cerr << "error: " << solution.status() << "\n";
-    return 1;
-  }
-
-  if (Status valid = ValidateSolution(db, queries, *solution);
-      !valid.ok()) {
-    std::cerr << "INTERNAL ERROR: solver returned an invalid solution: "
-              << valid << "\n";
-    return 1;
-  }
-
-  std::cout << "coordinating set: "
-            << SolutionToString(queries, *solution) << "\n";
-  if (!options.quiet) {
-    for (QueryId id : solution->queries) {
-      for (const Atom& answer : solution->GroundedHeads(queries, id)) {
-        std::cout << "  " << queries.query(id).name << " <- " << answer
-                  << "\n";
+  // The reference solvers have no streaming engine: run them directly
+  // on the whole set (the paper's batch formulation).
+  if (options.algorithm != "scc") {
+    std::string stats_line;
+    Result<CoordinationSolution> solution = [&]() {
+      if (options.algorithm == "gupta") {
+        GuptaBaseline solver(&db);
+        auto result = solver.Solve(queries);
+        stats_line = solver.stats().ToString();
+        return result;
       }
+      if (options.algorithm == "generic") {
+        GenericSolver solver(&db);
+        auto result = solver.FindAny(queries);
+        stats_line = solver.stats().ToString();
+        return result;
+      }
+      if (options.algorithm == "single") {
+        SingleConnectedSolver solver(&db);
+        auto result = solver.Solve(queries);
+        stats_line = solver.stats().ToString();
+        return result;
+      }
+      return Result<CoordinationSolution>(Status::InvalidArgument(
+          "unknown algorithm '", options.algorithm, "'"));
+    }();
+    if (!solution.ok()) {
+      if (solution.status().IsNotFound()) {
+        std::cout << "no coordinating set: " << solution.status().message()
+                  << "\n";
+        return 2;
+      }
+      std::cerr << "error: " << solution.status() << "\n";
+      return 1;
     }
-    std::cout << "stats: " << stats_line << "\n";
+    if (Status valid = ValidateSolution(db, queries, *solution);
+        !valid.ok()) {
+      std::cerr << "INTERNAL ERROR: solver returned an invalid solution: "
+                << valid << "\n";
+      return 1;
+    }
+    std::cout << "coordinating set: " << SolutionToString(queries, *solution)
+              << "\n";
+    if (!options.quiet) {
+      for (QueryId id : solution->queries) {
+        for (const Atom& answer : solution->GroundedHeads(queries, id)) {
+          std::cout << "  " << queries.query(id).name << " <- " << answer
+                    << "\n";
+        }
+      }
+      std::cout << "stats: " << stats_line << "\n";
+    }
+    return 0;
+  }
+
+  // The production path: one client session over the streaming engine.
+  EngineOptions engine_options;
+  engine_options.evaluate_every = options.evaluate_every;
+  CoordinationEngine engine(&db, engine_options);
+  SessionManager manager(&engine);
+  ClientSession* session = manager.Open({/*label=*/"cli"});
+  for (const std::string& text : QueryTexts(queries)) {
+    SubmitOutcome outcome = session->Submit(text);
+    if (!outcome.ok()) {
+      std::cerr << "rejected (" << RejectReasonName(outcome.reason)
+                << "): " << text << "\n  " << outcome.message << "\n";
+      return 1;
+    }
+  }
+  manager.Flush();
+
+  size_t delivered = 0;
+  for (const SessionEvent& event : session->PollEvents()) {
+    if (!ValidateDelivered(db, engine.queries(), *event.delivery)) return 1;
+    ++delivered;
+    PrintDelivery(*event.delivery, options.quiet);
+  }
+  if (!options.quiet) {
+    const EngineStats stats = manager.StatsSnapshot();
+    std::cout << "still pending: " << session->num_pending() << " of "
+              << stats.submitted << " submitted\n"
+              << "stats: evaluations=" << stats.evaluations
+              << " db_queries=" << stats.db_queries
+              << " coordinating_sets=" << stats.coordinating_sets << "\n";
+  }
+  if (delivered == 0) {
+    std::cout << "no coordinating set\n";
+    return 2;
   }
   return 0;
+}
+
+int RunSessions(const CliOptions& options, const Database& db,
+                QuerySet& queries) {
+  std::unique_ptr<CoordinationService> service;
+  std::function<const QuerySet&()> master;
+  if (options.sharded) {
+    ShardedEngineOptions sharded_options;
+    sharded_options.engine.evaluate_every = options.evaluate_every;
+    auto engine =
+        std::make_unique<ShardedCoordinationEngine>(&db, sharded_options);
+    auto* raw = engine.get();
+    master = [raw]() -> const QuerySet& { return raw->queries(); };
+    service = std::move(engine);
+  } else {
+    EngineOptions engine_options;
+    engine_options.evaluate_every = options.evaluate_every;
+    auto engine = std::make_unique<CoordinationEngine>(&db, engine_options);
+    auto* raw = engine.get();
+    master = [raw]() -> const QuerySet& { return raw->queries(); };
+    service = std::move(engine);
+  }
+
+  SessionManager manager(service.get());
+  std::vector<ClientSession*> sessions;
+  for (size_t i = 0; i < options.num_sessions; ++i) {
+    sessions.push_back(manager.Open());
+  }
+  const std::vector<std::string> texts = QueryTexts(queries);
+  for (size_t i = 0; i < texts.size(); ++i) {
+    ClientSession* session = sessions[i % sessions.size()];
+    SubmitOutcome outcome = session->Submit(texts[i]);
+    if (!outcome.ok()) {
+      std::cerr << "rejected (" << RejectReasonName(outcome.reason)
+                << "): " << texts[i] << "\n  " << outcome.message << "\n";
+      return 1;
+    }
+  }
+  manager.Flush();
+
+  size_t delivered_events = 0;
+  for (ClientSession* session : sessions) {
+    std::vector<SessionEvent> events = session->PollEvents();
+    if (events.empty()) continue;
+    if (!options.quiet) {
+      std::cout << "== session " << session->id() << " ("
+                << session->label() << ") ==\n";
+    }
+    for (const SessionEvent& event : events) {
+      if (!ValidateDelivered(db, master(), *event.delivery)) return 1;
+      ++delivered_events;
+      PrintDelivery(*event.delivery, options.quiet);
+    }
+  }
+
+  // The multi-tenant table the command exists for: per-session pending
+  // counts after coordination settled.
+  std::cout << "\nsession  label     submitted  delivered  pending\n";
+  for (const ClientSession* session : manager.sessions()) {
+    std::cout << "  " << session->id() << "      " << session->label()
+              << "        " << session->submitted() << "          "
+              << session->deliveries() << "          "
+              << session->num_pending();
+    if (session->num_pending() > 0 && !options.quiet) {
+      std::cout << "   (";
+      const std::vector<QueryId> pending = session->PendingQueries();
+      for (size_t i = 0; i < pending.size(); ++i) {
+        std::cout << (i == 0 ? "" : ", ")
+                  << master().query(pending[i]).name;
+      }
+      std::cout << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "total pending: " << manager.num_pending() << "\n";
+  return delivered_events > 0 ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  int exit_code = 1;
+  if (!ParseArgs(argc, argv, &options, &exit_code)) return exit_code;
+
+  Database db;
+  QuerySet queries;
+  if (!LoadInputs(options, &db, &queries)) return 1;
+
+  return options.command == "sessions" ? RunSessions(options, db, queries)
+                                       : RunCoordinate(options, db, queries);
 }
