@@ -1,0 +1,167 @@
+// Flush-pipeline throughput: submissions/sec through ONE
+// CoordinationEngine whose Flush() fans independent dirty components
+// out on the chunked work-stealing pool.
+//
+// Scenario: every round submits one open chain per lane across
+// kLanes disjoint relation lanes and then flushes.  Each chain is its
+// own connected component, so one flush holds kLanes independent
+// evaluation tasks — exactly the shape the chunked dispatch is built
+// for: workers steal chunk-sized runs of component evaluations and
+// write outcomes into pre-sized slots, while the coordinator applies
+// them in the deterministic smallest-global-id order.  The series
+// sweeps flush_threads x intake {off,on}; with the intake armed,
+// Submit only validates + enqueues and the whole admission burst is
+// drained at the flush boundary.
+//
+// speedup_vs_single compares each configuration against the
+// flush_threads=1, intake-off baseline measured in the same process.
+// The >= 2x bar at 4 threads needs real hardware parallelism and a
+// quiet host, so it is a hard failure only under
+// ENTANGLED_BENCH_STRICT=1 on a >= 4-thread machine; single-core
+// containers record the scheduling overhead instead (which also bounds
+// the cost of the chunked dispatch at width 1).
+
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "system/engine.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+constexpr size_t kSocialRows = 4096;
+constexpr size_t kLanes = 8;
+constexpr size_t kChainLength = 32;
+constexpr size_t kRounds = 10;
+
+const Database& SocialDb() {
+  static Database* db = [] {
+    auto* database = new Database();
+    ENTANGLED_CHECK(InstallSocialTable(database, "Users", kSocialRows).ok());
+    return database;
+  }();
+  return *db;
+}
+
+/// Member k of the round-`c` open chain in lane `p`: posts on member
+/// k+1 through the lane-private relation L<p>, so the chain is one
+/// connected component and coordinates as one set.  Lanes never share
+/// a relation — components stay independent, which is what lets the
+/// flush pool run them concurrently.
+std::string ChainQuery(size_t p, size_t c, size_t k) {
+  const std::string rel = "L" + std::to_string(p);
+  auto tag = [&](size_t member) {
+    return "C" + std::to_string(p) + "x" + std::to_string(c) + "x" +
+           std::to_string(member);
+  };
+  const std::string posts =
+      k + 1 < kChainLength ? rel + "(" + tag(k + 1) + ", z)" : std::string();
+  return "c" + std::to_string(p) + "_" + std::to_string(c) + "_" +
+         std::to_string(k) + ": { " + posts + " } " + rel + "(" + tag(k) +
+         ", x) :- Users(x, 'user" + std::to_string((c + k) % 97) +
+         "'), Users(y, 'user" + std::to_string((c * 7 + k + 3) % 97) +
+         "').";
+}
+
+struct StreamOutcome {
+  double seconds = 0;
+  size_t arrivals = 0;
+  double qps() const { return arrivals / seconds; }
+};
+
+/// Streams kRounds rounds of one chain per lane + Flush, timing the
+/// submit+flush loop.
+StreamOutcome RunStream(CoordinationEngine* engine) {
+  engine->set_evaluate_every(0);
+  StreamOutcome outcome;
+  WallTimer timer;
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (size_t p = 0; p < kLanes; ++p) {
+      for (size_t k = 0; k < kChainLength; ++k) {
+        ENTANGLED_CHECK(engine->Submit(ChainQuery(p, round, k)).ok());
+        ++outcome.arrivals;
+      }
+    }
+    const size_t delivered = engine->Flush();
+    ENTANGLED_CHECK_EQ(delivered, kLanes)
+        << "every lane's chain must coordinate each round";
+  }
+  outcome.seconds = timer.ElapsedSeconds();
+  ENTANGLED_CHECK_EQ(engine->num_pending(), size_t{0});
+  return outcome;
+}
+
+void FlushPipelineSeries() {
+  benchutil::PrintSeriesHeader(
+      "Flush pipeline: submissions/sec, one coordinating chain per lane "
+      "per flush, " + std::to_string(kLanes) + " independent lanes",
+      {"threads", "intake", "qps", "speedup_vs_single"});
+
+  double base_qps = 0;
+  double speedup_at_4 = 0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (size_t intake : {size_t{0}, size_t{256}}) {
+      EngineOptions options;
+      options.evaluate_every = 0;
+      options.flush_threads = threads;
+      options.intake_capacity = intake;
+      CoordinationEngine engine(&SocialDb(), options);
+      StreamOutcome outcome = RunStream(&engine);
+      if (threads == 1 && intake == 0) base_qps = outcome.qps();
+      const double speedup = outcome.qps() / base_qps;
+      if (threads == 4 && intake == 0) speedup_at_4 = speedup;
+      benchutil::PrintRow({static_cast<double>(threads),
+                           static_cast<double>(intake), outcome.qps(),
+                           speedup});
+      benchutil::PrintJsonRecord(
+          "flush_pipeline",
+          {{"threads", static_cast<double>(threads)},
+           {"intake", static_cast<double>(intake)},
+           {"lanes", static_cast<double>(kLanes)},
+           {"chain_length", static_cast<double>(kChainLength)},
+           {"arrivals", static_cast<double>(outcome.arrivals)},
+           {"qps", outcome.qps()},
+           {"speedup_vs_single", speedup}});
+    }
+  }
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const char* strict = std::getenv("ENTANGLED_BENCH_STRICT");
+  const bool strict_armed =
+      strict != nullptr && strict[0] != '\0' && strict[0] != '0';
+  if (hardware >= 4 && strict_armed) {
+    ENTANGLED_CHECK_GE(speedup_at_4, 2.0)
+        << "the chunked flush pool must sustain >= 2x submissions/sec "
+           "over the serial path on the independent-lane workload";
+  } else if (hardware < 4) {
+    benchutil::PrintNote(
+        "only " + std::to_string(hardware) +
+        " hardware thread(s): flush-pool parallelism cannot materialize, "
+        "so the >= 2x gate is disarmed and the numbers above measure "
+        "chunked-dispatch overhead only");
+  } else {
+    benchutil::PrintNote(
+        "speedup_at_4_threads=" + std::to_string(speedup_at_4) +
+        "; set ENTANGLED_BENCH_STRICT=1 to turn the >= 2x bar into a "
+        "hard failure");
+  }
+  benchutil::PrintNote(
+      "workers steal chunk-sized runs of component evaluations; the "
+      "coordinator applies outcomes in ascending global-id order, so "
+      "the delivery stream is identical at every width");
+}
+
+}  // namespace
+}  // namespace entangled
+
+int main() {
+  entangled::FlushPipelineSeries();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -59,17 +60,26 @@ inline void PrintNote(const std::string& note) {
 ///   BENCH_JSON {"bench":"engine_eager","num_pairs":25,"qps":123.4}
 ///
 /// Integral-looking values print without decimals (matching PrintRow).
+/// Every record is stamped with the host's hardware_threads (unless the
+/// caller already supplied one), so parallel-speedup trajectories can
+/// be interpreted against the machine that produced them.
 inline void PrintJsonRecord(
     const std::string& bench,
     const std::vector<std::pair<std::string, double>>& fields) {
   std::printf("BENCH_JSON {\"bench\":\"%s\"", bench.c_str());
+  bool has_hardware_threads = false;
   for (const auto& [key, value] : fields) {
+    if (key == "hardware_threads") has_hardware_threads = true;
     if (value == static_cast<double>(static_cast<long long>(value))) {
       std::printf(",\"%s\":%lld", key.c_str(),
                   static_cast<long long>(value));
     } else {
       std::printf(",\"%s\":%.4f", key.c_str(), value);
     }
+  }
+  if (!has_hardware_threads) {
+    std::printf(",\"hardware_threads\":%u",
+                std::thread::hardware_concurrency());
   }
   std::printf("}\n");
 }

@@ -182,6 +182,15 @@ void SessionManager::RegisterOwnership(QueryId id, ClientSession* session) {
     owner_.resize(static_cast<size_t>(id) + 1, -1);
   }
   owner_[static_cast<size_t>(id)] = session->id();
+  if (service_->AdmitsDeferred()) {
+    // Deferred admission: the submission is queued, so it cannot have
+    // delivered inside the submitting call — and probing IsPending here
+    // would force a drain on every Submit, defeating the non-blocking
+    // intake.  Register optimistically; OnDelivery erases the entry the
+    // moment the queued query coordinates.
+    session->pending_.insert(id);
+    return;
+  }
   // The query may already have delivered inside the submitting call
   // (per-arrival evaluation); only still-pending queries are tracked.
   if (service_->IsPending(id)) session->pending_.insert(id);
@@ -293,6 +302,14 @@ BatchOutcome SessionManager::SubmitBatchFor(
 
 bool SessionManager::CancelFor(ClientSession* session, QueryId id) {
   if (!session->open_ || session->pending_.count(id) == 0) return false;
+  if (service_->AdmitsDeferred()) {
+    // Force the intake drain *before* deciding: queued submissions may
+    // coordinate as they land, and each delivery routes through
+    // OnDelivery, which erases the session's optimistic pending entry.
+    // After the drain the session view is exact again.
+    service_->IsPending(id);
+    if (session->pending_.count(id) == 0) return false;  // just delivered
+  }
   const bool cancelled = service_->Cancel(id);
   ENTANGLED_CHECK(cancelled)
       << "service disagreed about session-pending query " << id;
@@ -302,6 +319,10 @@ bool SessionManager::CancelFor(ClientSession* session, QueryId id) {
 
 void SessionManager::CloseSession(ClientSession* session) {
   ENTANGLED_CHECK(session->open_);
+  // Settle any queued submissions first: draining may deliver optimistic
+  // entries (OnDelivery erases them), so the snapshot below is exact and
+  // every Cancel in the loop is guaranteed to succeed.
+  if (service_->AdmitsDeferred()) service_->num_pending();
   // Bulk-cancel in ascending order (deterministic dirty-marking in the
   // engine regardless of hash-set iteration order).
   std::vector<QueryId> pending = session->PendingQueries();

@@ -114,6 +114,13 @@ class ClientSession {
   /// Submits one query in the paper's concrete syntax.  On success the
   /// query belongs to this session; rejection reasons are typed
   /// (RejectReason) instead of a bare status.
+  ///
+  /// When the underlying service admits deferred submissions
+  /// (CoordinationService::AdmitsDeferred — an engine with an armed
+  /// intake queue), the call validates and enqueues without waiting on
+  /// any in-progress flush: the returned id is final, the query counts
+  /// as pending immediately, but coordination happens at the service's
+  /// next flush or read boundary rather than inside this call.
   SubmitOutcome Submit(const std::string& query_text);
 
   /// All-or-nothing batch submission (one Flush after the whole batch
@@ -124,7 +131,10 @@ class ClientSession {
   /// id is unknown, not pending, or owned by another session.
   bool Cancel(QueryId id);
 
-  /// This session's pending queries, ascending.
+  /// This session's pending queries, ascending.  Under deferred
+  /// admission, queued-but-not-yet-drained submissions are included:
+  /// "pending" means submitted and not yet delivered or cancelled,
+  /// regardless of whether the service has drained its intake.
   std::vector<QueryId> PendingQueries() const;
   size_t num_pending() const { return pending_.size(); }
   /// Whether `id` is one of this session's *pending* queries (delivered

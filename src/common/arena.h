@@ -1,0 +1,169 @@
+#ifndef ENTANGLED_COMMON_ARENA_H_
+#define ENTANGLED_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+/// \brief Bump allocator for flush-local scratch.
+///
+/// One flush builds thousands of tiny, identically-scoped allocations
+/// (wave lists, heap storage, member scratch); Arena turns each of them
+/// into a pointer bump and frees them all at once with Reset().  Not
+/// thread-safe: each worker owns its own arena.
+///
+/// Layout: one primary block (the construction capacity, retained
+/// across Reset) plus overflow blocks allocated geometrically when the
+/// primary fills.  Requests larger than half the next block size get a
+/// dedicated block so they never strand bump space.  Reset() drops every
+/// overflow block but keeps the primary, so a warmed-up arena serves a
+/// steady-state flush without touching the global heap at all.
+class Arena {
+ public:
+  explicit Arena(size_t initial_capacity = 16 * 1024)
+      : primary_size_(initial_capacity < kMinBlock ? kMinBlock
+                                                   : initial_capacity) {
+    primary_.reset(new char[primary_size_]);
+    cursor_ = primary_.get();
+    end_ = cursor_ + primary_size_;
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two,
+  /// at most alignof(std::max_align_t) honored from the block base).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    ENTANGLED_CHECK(align != 0 && (align & (align - 1)) == 0)
+        << "Arena alignment must be a power of two, got " << align;
+    if (bytes == 0) bytes = 1;
+    uintptr_t p = reinterpret_cast<uintptr_t>(cursor_);
+    uintptr_t aligned = (p + align - 1) & ~(uintptr_t{align} - 1);
+    size_t padding = aligned - p;
+    if (padding + bytes <= static_cast<size_t>(end_ - cursor_)) {
+      cursor_ = reinterpret_cast<char*>(aligned) + bytes;
+      bytes_used_ += padding + bytes;
+      return reinterpret_cast<void*>(aligned);
+    }
+    return AllocateSlow(bytes, align);
+  }
+
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Constructs a T in arena storage.  The arena never runs
+  /// destructors — only use for trivially destructible scratch or
+  /// objects whose teardown the caller handles before Reset().
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    return ::new (Allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Frees everything at once: overflow blocks are released, the
+  /// primary block is retained and the bump cursor rewinds to its base.
+  void Reset() {
+    overflow_.clear();
+    cursor_ = primary_.get();
+    end_ = cursor_ + primary_size_;
+    bytes_used_ = 0;
+  }
+
+  /// Bytes handed out (including alignment padding) since the last
+  /// Reset().
+  size_t bytes_used() const { return bytes_used_; }
+
+  /// Bytes of backing storage currently owned (primary + overflow).
+  size_t bytes_reserved() const {
+    size_t total = primary_size_;
+    for (const Block& b : overflow_) total += b.size;
+    return total;
+  }
+
+  /// Overflow blocks live right now (0 after Reset or while the
+  /// primary block suffices).
+  size_t overflow_blocks() const { return overflow_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  static constexpr size_t kMinBlock = 1024;
+  static constexpr size_t kMaxBlock = 1 << 20;
+
+  void* AllocateSlow(size_t bytes, size_t align) {
+    // Oversized requests get a dedicated block and leave the current
+    // bump region untouched, so one large outlier does not strand the
+    // remaining primary space.
+    size_t next = next_block_size_;
+    if (bytes + align > next / 2) {
+      Block block;
+      block.size = bytes + align;
+      block.data.reset(new char[block.size]);
+      uintptr_t p = reinterpret_cast<uintptr_t>(block.data.get());
+      uintptr_t aligned = (p + align - 1) & ~(uintptr_t{align} - 1);
+      overflow_.push_back(std::move(block));
+      bytes_used_ += bytes;
+      return reinterpret_cast<void*>(aligned);
+    }
+    Block block;
+    block.size = next;
+    block.data.reset(new char[block.size]);
+    cursor_ = block.data.get();
+    end_ = cursor_ + block.size;
+    overflow_.push_back(std::move(block));
+    if (next_block_size_ < kMaxBlock) next_block_size_ *= 2;
+    return Allocate(bytes, align);
+  }
+
+  std::unique_ptr<char[]> primary_;
+  size_t primary_size_;
+  char* cursor_ = nullptr;
+  char* end_ = nullptr;
+  std::vector<Block> overflow_;
+  size_t next_block_size_ = kMinBlock * 4;
+  size_t bytes_used_ = 0;
+};
+
+/// \brief Minimal C++17 allocator over an Arena, for STL containers
+/// whose lifetime is one flush (deallocate is a no-op; Reset() reclaims
+/// the storage wholesale).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) { return arena_->AllocateArray<T>(n); }
+  void deallocate(T*, size_t) {}  // reclaimed by Arena::Reset()
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_ARENA_H_

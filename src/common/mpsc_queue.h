@@ -1,0 +1,150 @@
+#ifndef ENTANGLED_COMMON_MPSC_QUEUE_H_
+#define ENTANGLED_COMMON_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace entangled {
+
+/// \brief Bounded lock-free multi-producer single-consumer queue
+/// (Vyukov bounded-queue cell/sequence scheme restricted to one
+/// consumer).
+///
+/// Producers claim a monotone **ticket** with one fetch_add on the
+/// enqueue cursor; the consumer pops strictly in ticket order.  The
+/// ticket therefore defines a total arrival order across producers —
+/// the engine's intake path uses it to predict the global QueryId an
+/// event will adopt when drained, with a single atomic op establishing
+/// both the id and the FIFO position (no separate id counter to race
+/// against the push).
+///
+/// Capacity is rounded up to a power of two.  TryPush fails (without
+/// blocking) when the ring is full; Push spins with yields until space
+/// frees — callers that might be the consumer thread must drain instead
+/// of blocking (see CoordinationEngine::DrainIntake).
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    if (cap < 2) cap = 2;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    cells_.reset(new Cell[cap]);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Destroys any unconsumed items (drain-on-destroy).
+  ~MpscQueue() {
+    T scratch;
+    while (TryPop(&scratch)) {
+    }
+  }
+
+  /// Attempts to enqueue without blocking.  On success stores the
+  /// claimed ticket (the 0-based position in the queue's total arrival
+  /// order) into `*ticket` when non-null and returns true; returns
+  /// false when the ring is full — in which case `value` is NOT
+  /// consumed (it is only moved from once a cell is claimed), so the
+  /// caller can drain and retry with the same object.
+  bool TryPush(T&& value, uint64_t* ticket = nullptr) {
+    Cell* cell;
+    uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      intptr_t dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    ::new (cell->storage) T(std::move(value));
+    cell->seq.store(pos + 1, std::memory_order_release);
+    if (ticket != nullptr) *ticket = pos;
+    return true;
+  }
+
+  /// Enqueues, spinning (with yields) while the ring is full.  Returns
+  /// the claimed ticket.  Must not be called from the consumer thread
+  /// when the ring may be full — the consumer would wait on itself;
+  /// consumers drain and retry instead.
+  uint64_t Push(T value) {
+    uint64_t ticket = 0;
+    size_t spins = 0;
+    // Safe to retry: a failed TryPush leaves `value` intact.
+    while (!TryPush(std::move(value), &ticket)) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+    return ticket;
+  }
+
+  /// Single-consumer pop in ticket order.  Returns false when empty.
+  bool TryPop(T* out) {
+    uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Cell* cell = &cells_[pos & mask_];
+    uint64_t seq = cell->seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+      return false;  // next cell not yet published
+    }
+    T* item = reinterpret_cast<T*>(cell->storage);
+    *out = std::move(*item);
+    item->~T();
+    cell->seq.store(pos + capacity_, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer-side emptiness check (racy for producers, exact for the
+  /// consumer: no item published at the dequeue cursor).
+  bool Empty() const {
+    uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    const Cell* cell = &cells_[pos & mask_];
+    uint64_t seq = cell->seq.load(std::memory_order_acquire);
+    return static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0;
+  }
+
+  /// The ticket the next successful push will claim.  Only meaningful
+  /// when no producer is concurrently mid-push (e.g. on the owner
+  /// thread during a producer-quiescent resync).
+  uint64_t next_ticket() const {
+    return enqueue_pos_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> seq;
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_MPSC_QUEUE_H_

@@ -1,10 +1,13 @@
 #ifndef ENTANGLED_COMMON_THREAD_POOL_H_
 #define ENTANGLED_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -14,18 +17,36 @@
 
 namespace entangled {
 
-/// \brief A fixed-size pool of worker threads draining a FIFO task
-/// queue.
+/// \brief A fixed-size pool of worker threads with two entry points:
+/// a FIFO closure queue (Submit/Wait) and a chunked work-stealing
+/// parallel-for (RunChunked).
 ///
-/// Deliberately minimal: the engine's parallel Flush() (and any future
-/// fan-out work) needs "run these independent closures on N threads and
-/// wait", nothing more.  Results travel through whatever the closures
-/// capture; ordering guarantees are the caller's responsibility — the
-/// engine keeps its outputs deterministic by *applying* results in a
-/// fixed order regardless of completion order (see system/engine.cc).
+/// Submit/Wait serves coarse fan-out — the sharded front door's "flush
+/// these shards concurrently".  Completion is **count-based**: one
+/// submitted/completed counter pair instead of a per-task in-flight
+/// census, so a worker finishing a task publishes one atomic increment
+/// and touches the mutex only when it is the last task of a batch and a
+/// waiter is actually armed (the old scheme locked twice per task and
+/// `notify_all`ed on every drain).
 ///
-/// Submit() is thread-safe.  Destruction drains the queue: queued tasks
-/// still run before the workers exit.
+/// RunChunked serves fine fan-out — the engine's "evaluate these K
+/// dirty components".  The index space is sliced into one contiguous
+/// run per participant; each participant drains its own run in chunks
+/// of `chunk` indices (one atomic fetch_add per chunk, not one closure
+/// per component), then steals chunks from other runs until everything
+/// is claimed.  The **calling thread participates**, which makes nested
+/// use safe: a worker running a shard flush can RunChunked that shard's
+/// components and is guaranteed progress even when every other worker
+/// is busy — whoever claims a chunk runs it to completion without
+/// blocking, so the claimant chain always terminates.
+///
+/// Results travel through whatever the closures capture; ordering is
+/// the caller's responsibility — the engine keeps its outputs
+/// deterministic by *applying* results in a fixed order regardless of
+/// completion order (see system/engine.cc).
+///
+/// Submit() and RunChunked() are thread-safe.  Destruction drains the
+/// queue: queued tasks still run before the workers exit.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads) {
@@ -55,21 +76,121 @@ class ThreadPool {
     ENTANGLED_CHECK(task != nullptr);
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      submitted_.fetch_add(1, std::memory_order_relaxed);
       queue_.push_back(std::move(task));
     }
     wake_worker_.notify_one();
   }
 
-  /// Blocks until every submitted task has finished running (queue empty
-  /// and no task in flight).  Tasks submitted concurrently with Wait()
-  /// may or may not be covered; the intended pattern is
-  /// submit-batch-then-wait from one coordinating thread.
+  /// Blocks until every submitted task has finished running.  Tasks
+  /// submitted concurrently with Wait() may or may not be covered; the
+  /// intended pattern is submit-batch-then-wait from one coordinating
+  /// thread.
   void Wait() {
     std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    // seq_cst on the waiter flag vs. the completion counter closes the
+    // store-load race against WorkerLoop's "skip the mutex when nobody
+    // waits" fast path.
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    idle_.wait(lock, [this] {
+      return completed_.load(std::memory_order_seq_cst) ==
+             submitted_.load(std::memory_order_seq_cst);
+    });
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Chunked work-stealing parallel-for: invokes `fn(i)` exactly once
+  /// for every i in [0, count), on the calling thread plus up to
+  /// num_threads() helpers, claiming `chunk` consecutive indices per
+  /// atomic op.  Returns once every index has finished; the callees'
+  /// writes are visible to the caller.  `fn` must be safe to invoke
+  /// concurrently for distinct indices and must not block on the pool.
+  void RunChunked(size_t count, size_t chunk,
+                  const std::function<void(size_t)>& fn) {
+    if (count == 0) return;
+    if (chunk == 0) chunk = 1;
+    size_t chunks = (count + chunk - 1) / chunk;
+    size_t helpers = workers_.size();
+    if (helpers + 1 > chunks) helpers = chunks - 1;
+    if (helpers == 0) {  // serial fast path: nothing to steal, no job state
+      for (size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    auto job = std::make_shared<ChunkJob>();
+    job->fn = &fn;
+    job->count = count;
+    job->chunk = chunk;
+    job->num_runs = helpers + 1;
+    job->runs.reset(new ChunkJob::Run[job->num_runs]);
+    size_t base = count / job->num_runs;
+    size_t rem = count % job->num_runs;
+    size_t start = 0;
+    for (size_t r = 0; r < job->num_runs; ++r) {
+      size_t len = base + (r < rem ? 1 : 0);
+      job->runs[r].next.store(start, std::memory_order_relaxed);
+      job->runs[r].end = start + len;
+      start += len;
+    }
+    // Helpers hold the job alive via shared_ptr: a closure that runs
+    // after the job already drained finds every run dry and returns.
+    // `fn` itself is only dereferenced for claimed indices, all of
+    // which complete before the caller's wait below returns.
+    for (size_t h = 0; h < helpers; ++h) {
+      Submit([job] { Participate(*job); });
+    }
+    Participate(*job);
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done.wait(lock, [&job] {
+      return job->completed.load(std::memory_order_acquire) == job->count;
+    });
   }
 
  private:
+  struct ChunkJob {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    size_t chunk = 1;
+    struct alignas(64) Run {
+      std::atomic<size_t> next{0};
+      size_t end = 0;
+    };
+    std::unique_ptr<Run[]> runs;
+    size_t num_runs = 0;
+    std::atomic<size_t> arrivals{0};   ///< assigns each participant a run
+    std::atomic<size_t> completed{0};  ///< indices finished
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+
+  /// Drains the participant's own run, then steals chunks round-robin
+  /// from the others.  Never blocks.
+  static void Participate(ChunkJob& job) {
+    const size_t mine =
+        job.arrivals.fetch_add(1, std::memory_order_relaxed) % job.num_runs;
+    size_t finished = 0;
+    for (size_t r = 0; r < job.num_runs; ++r) {
+      ChunkJob::Run& run = job.runs[(mine + r) % job.num_runs];
+      for (;;) {
+        size_t i = run.next.fetch_add(job.chunk, std::memory_order_relaxed);
+        if (i >= run.end) break;
+        size_t stop = i + job.chunk < run.end ? i + job.chunk : run.end;
+        finished += stop - i;
+        for (; i < stop; ++i) (*job.fn)(i);
+      }
+    }
+    if (finished == 0) return;
+    // Release pairs with the caller's acquire so every fn(i) write is
+    // visible once the wait returns; the mutex hop only happens for
+    // whoever retires the last index.
+    size_t done_total =
+        job.completed.fetch_add(finished, std::memory_order_acq_rel) +
+        finished;
+    if (done_total == job.count) {
+      std::lock_guard<std::mutex> lock(job.mutex);
+      job.done.notify_one();  // exactly one waiter: the RunChunked caller
+    }
+  }
+
   void WorkerLoop() {
     for (;;) {
       std::function<void()> task;
@@ -80,13 +201,16 @@ class ThreadPool {
         if (queue_.empty()) return;  // stopping_ and drained
         task = std::move(queue_.front());
         queue_.pop_front();
-        ++in_flight_;
       }
       task();
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        --in_flight_;
-        if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      uint64_t done = completed_.fetch_add(1, std::memory_order_seq_cst) + 1;
+      if (waiters_.load(std::memory_order_seq_cst) != 0 &&
+          done == submitted_.load(std::memory_order_seq_cst)) {
+        // Lock so the notify cannot slip between a waiter's predicate
+        // check and its sleep; notify_all because several threads may
+        // Wait() on the same batch boundary (rare, once per batch).
+        std::lock_guard<std::mutex> lock(mutex_);
+        idle_.notify_all();
       }
     }
   }
@@ -95,7 +219,9 @@ class ThreadPool {
   std::condition_variable wake_worker_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> waiters_{0};
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -68,6 +68,12 @@ QueryId QuerySet::FindByName(const std::string& name) const {
 QuerySet QuerySet::Subset(const std::vector<QueryId>& ids,
                           std::vector<QueryId>* original_ids,
                           std::vector<VarId>* original_vars) const {
+  return Subset(ids.data(), ids.size(), original_ids, original_vars);
+}
+
+QuerySet QuerySet::Subset(const QueryId* ids, size_t count,
+                          std::vector<QueryId>* original_ids,
+                          std::vector<VarId>* original_vars) const {
   QuerySet subset;
   if (original_ids != nullptr) original_ids->clear();
   if (original_vars != nullptr) original_vars->clear();
@@ -90,7 +96,8 @@ QuerySet QuerySet::Subset(const std::vector<QueryId>& ids,
       for (Term& term : atom.terms) term = remap_term(term);
     }
   };
-  for (QueryId id : ids) {
+  for (size_t i = 0; i < count; ++i) {
+    const QueryId id = ids[i];
     EntangledQuery copy = query(id);
     remap_atoms(&copy.postconditions);
     remap_atoms(&copy.head);

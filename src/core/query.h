@@ -84,6 +84,12 @@ class QuerySet {
                   std::vector<QueryId>* original_ids = nullptr,
                   std::vector<VarId>* original_vars = nullptr) const;
 
+  /// Pointer/length form of Subset, for callers whose id list lives in
+  /// scratch storage other than a std::vector (e.g. a flush arena).
+  QuerySet Subset(const QueryId* ids, size_t count,
+                  std::vector<QueryId>* original_ids = nullptr,
+                  std::vector<VarId>* original_vars = nullptr) const;
+
   /// Appends copies of `src`'s queries `ids` to this set (renumbered to
   /// fresh ids, input order preserved), allocating fresh variables here
   /// for every source variable in first-occurrence order over

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <future>
 #include <queue>
 #include <utility>
 
@@ -13,8 +12,15 @@ namespace entangled {
 
 CoordinationEngine::CoordinationEngine(const Database* db,
                                        EngineOptions options)
-    : db_(db), options_(options) {
+    : db_(db),
+      options_(options),
+      owner_thread_(std::this_thread::get_id()) {
   ENTANGLED_CHECK(db != nullptr);
+  if (options_.intake_capacity > 0) {
+    intake_ =
+        std::make_unique<MpscQueue<IntakeEvent>>(options_.intake_capacity);
+    // all_ is empty and no ticket has been claimed: base = 0.
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -46,6 +52,7 @@ void CoordinationEngine::CheckNotReentrant(const char* entry_point) const {
 }
 
 Result<QueryId> CoordinationEngine::Submit(const std::string& query_text) {
+  if (intake_ != nullptr) return SubmitDeferred(query_text);
   CheckNotReentrant("Submit");
   auto id = ParseQuery(query_text, &all_);
   if (!id.ok()) return id.status();
@@ -57,14 +64,23 @@ Result<QueryId> CoordinationEngine::Submit(const std::string& query_text) {
 
 QueryId CoordinationEngine::SubmitQuery(EntangledQuery query) {
   CheckNotReentrant("SubmitQuery");
+  // Owner-thread inline mutator: queued intake must land first so ids
+  // stay in arrival order, and the id base must resync afterwards
+  // because this growth bypasses the ticket accounting.
+  DrainIntake();
   QueryId id = all_.AddQuery(std::move(query));
   Admit(id);
+  ResyncIntakeBase();
   return id;
 }
 
 Result<std::vector<QueryId>> CoordinationEngine::SubmitBatch(
     const std::vector<std::string>& query_texts) {
+  if (intake_ != nullptr && !query_texts.empty()) {
+    return SubmitBatchDeferred(query_texts);
+  }
   CheckNotReentrant("SubmitBatch");
+  DrainIntake();  // empty deferred batch: flush below covers the queue
   // Admission is all-or-nothing: parse the whole batch against a
   // staging set first, so a mid-batch syntax error leaves no orphaned
   // half-batch pending with ids the caller never received.
@@ -95,6 +111,111 @@ Result<std::vector<QueryId>> CoordinationEngine::SubmitBatch(
     Flush();
   }
   return ids;
+}
+
+// ---------------------------------------------------------------------------
+// Deferred admission (EngineOptions::intake_capacity > 0)
+// ---------------------------------------------------------------------------
+
+Result<QueryId> CoordinationEngine::SubmitDeferred(
+    const std::string& query_text) {
+  // in_callback_ is owner-thread state; producers on other threads
+  // cannot read it (and cannot be inside a callback anyway).
+  if (std::this_thread::get_id() == owner_thread_) CheckNotReentrant("Submit");
+  IntakeEvent event;
+  auto id = ParseQuery(query_text, &event.staging);
+  if (!id.ok()) return id.status();
+  const uint64_t ticket = PushIntake(std::move(event));
+  return static_cast<QueryId>(intake_base_.load(std::memory_order_relaxed) +
+                              static_cast<int64_t>(ticket));
+}
+
+Result<std::vector<QueryId>> CoordinationEngine::SubmitBatchDeferred(
+    const std::vector<std::string>& query_texts) {
+  if (std::this_thread::get_id() == owner_thread_) {
+    CheckNotReentrant("SubmitBatch");
+  }
+  // All-or-nothing: validate every text before enqueuing anything, so
+  // a mid-batch syntax error admits nothing.
+  std::vector<IntakeEvent> events;
+  events.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    IntakeEvent event;
+    auto id = ParseQuery(text, &event.staging);
+    if (!id.ok()) return id.status();
+    // Batch members do not tick the cadence; the tail flushes once —
+    // the same suspend-then-flush the inline path performs.
+    event.cadence = false;
+    events.push_back(std::move(event));
+  }
+  events.back().batch_tail = true;
+  std::vector<QueryId> ids;
+  ids.reserve(events.size());
+  const int64_t base = intake_base_.load(std::memory_order_relaxed);
+  for (IntakeEvent& event : events) {
+    const uint64_t ticket = PushIntake(std::move(event));
+    ids.push_back(static_cast<QueryId>(base + static_cast<int64_t>(ticket)));
+  }
+  return ids;
+}
+
+uint64_t CoordinationEngine::PushIntake(IntakeEvent event) {
+  uint64_t ticket = 0;
+  if (std::this_thread::get_id() == owner_thread_) {
+    // The owner is the queue's consumer: on a full ring it drains
+    // inline instead of blocking on itself.
+    ENTANGLED_CHECK(!draining_)
+        << "intake push from inside the drain path";
+    while (!intake_->TryPush(std::move(event), &ticket)) DrainIntake();
+  } else {
+    ticket = intake_->Push(std::move(event));
+  }
+  return ticket;
+}
+
+void CoordinationEngine::DrainIntake() {
+  if (intake_ == nullptr || draining_ || in_callback_) return;
+  draining_ = true;
+  IntakeEvent event;
+  while (intake_->TryPop(&event)) {
+    const QueryId predicted = static_cast<QueryId>(
+        intake_base_.load(std::memory_order_relaxed) +
+        static_cast<int64_t>(intake_drained_++));
+    // Replay the inline admission path: adopt the staged query (same
+    // query/variable ids a direct parse would have produced), index it,
+    // and apply the cadence the event carried.
+    std::vector<QueryId> adopted = all_.AdoptQueries(event.staging, {0});
+    ENTANGLED_CHECK_EQ(adopted.size(), size_t{1});
+    ENTANGLED_CHECK_EQ(adopted.front(), predicted)
+        << "intake drain order diverged from ticket order";
+    ++stats_.submitted;
+    IndexQuery(predicted);
+    if (event.cadence && options_.evaluate_every > 0 &&
+        ++since_last_eval_ >= options_.evaluate_every) {
+      since_last_eval_ = 0;
+      if (options_.incremental) {
+        EvaluateComponentOf(predicted);
+      } else {
+        LegacyEvaluateComponentOf(predicted);
+      }
+    }
+    if (event.batch_tail && options_.evaluate_every > 0) {
+      since_last_eval_ = 0;
+      if (options_.incremental) {
+        IncrementalFlush();
+      } else {
+        LegacyFlush();
+      }
+    }
+  }
+  draining_ = false;
+}
+
+void CoordinationEngine::ResyncIntakeBase() {
+  if (intake_ == nullptr) return;
+  intake_base_.store(static_cast<int64_t>(all_.size()) -
+                         static_cast<int64_t>(intake_->next_ticket()),
+                     std::memory_order_relaxed);
 }
 
 void CoordinationEngine::IndexQuery(QueryId id) {
@@ -141,6 +262,9 @@ void CoordinationEngine::Admit(QueryId id) {
 
 bool CoordinationEngine::Cancel(QueryId id) {
   CheckNotReentrant("Cancel");
+  // Cancels apply inline (the caller needs the exact boolean), after
+  // any queued submissions that arrived before it.
+  DrainIntake();
   if (!IsPending(id)) return false;
   pending_[static_cast<size_t>(id)] = false;
   --num_pending_;
@@ -161,6 +285,10 @@ bool CoordinationEngine::Cancel(QueryId id) {
 // ---------------------------------------------------------------------------
 
 std::vector<QueryId> CoordinationEngine::PendingQueries() const {
+  // Reads observe every accepted submission: the deferred-admission
+  // queue only ever buffers between an accepted Submit and the next
+  // flush/read boundary, so the pending set is never torn.
+  DrainIntakeConst();
   std::vector<QueryId> pending;
   pending.reserve(num_pending_);
   for (size_t i = 0; i < pending_.size(); ++i) {
@@ -170,6 +298,7 @@ std::vector<QueryId> CoordinationEngine::PendingQueries() const {
 }
 
 bool CoordinationEngine::IsPending(QueryId id) const {
+  DrainIntakeConst();
   return id >= 0 && static_cast<size_t>(id) < pending_.size() &&
          pending_[static_cast<size_t>(id)];
 }
@@ -274,15 +403,22 @@ std::vector<QueryId> CoordinationEngine::RetireAndRepartition(
 // Incremental evaluation
 // ---------------------------------------------------------------------------
 
-CoordinationEngine::EvalTask CoordinationEngine::BuildTask(
-    QueryId root) const {
-  EvalTask task;
-  std::vector<QueryId> members =
+void CoordinationEngine::BuildTask(QueryId root, EvalTask* task) const {
+  // Member scratch dies with the flush: one arena bump instead of a
+  // heap vector per evaluation.  The task's own vectors are reused
+  // (capacity retained across flushes by the slot pool).
+  const std::vector<QueryId>& src =
       comp_members_[static_cast<size_t>(FindRoot(root))];
+  ENTANGLED_CHECK(!src.empty());
+  std::vector<QueryId, ArenaAllocator<QueryId>> members(
+      src.begin(), src.end(), ArenaAllocator<QueryId>(&flush_arena_));
   std::sort(members.begin(), members.end());
-  ENTANGLED_CHECK(!members.empty());
-  task.min_id = members.front();
-  task.subset = all_.Subset(members, &task.original, &task.original_vars);
+  task->min_id = members.front();
+  task->original.clear();
+  task->original_vars.clear();
+  task->edges.clear();
+  task->subset = all_.Subset(members.data(), members.size(), &task->original,
+                             &task->original_vars);
 
   auto local_id = [&members](QueryId engine_id) {
     auto it = std::lower_bound(members.begin(), members.end(), engine_id);
@@ -295,14 +431,14 @@ CoordinationEngine::EvalTask CoordinationEngine::BuildTask(
   for (QueryId m : members) {
     for (size_t e : graph_.OutEdges(m)) {
       const ExtendedEdge& edge = graph_.edge(e);
-      task.edges.push_back(ExtendedEdge{local_id(edge.from), edge.post_index,
-                                        local_id(edge.to), edge.head_index});
+      task->edges.push_back(ExtendedEdge{local_id(edge.from), edge.post_index,
+                                         local_id(edge.to), edge.head_index});
     }
   }
   // Canonical order — byte-identical to what a batch graph build over
   // the same subset would enumerate, so both engine paths hand the
   // solver bit-identical inputs.
-  std::sort(task.edges.begin(), task.edges.end(),
+  std::sort(task->edges.begin(), task->edges.end(),
             [](const ExtendedEdge& a, const ExtendedEdge& b) {
               if (a.from != b.from) return a.from < b.from;
               if (a.post_index != b.post_index)
@@ -310,7 +446,6 @@ CoordinationEngine::EvalTask CoordinationEngine::BuildTask(
               if (a.to != b.to) return a.to < b.to;
               return a.head_index < b.head_index;
             });
-  return task;
 }
 
 CoordinationEngine::EvalOutcome CoordinationEngine::RunTask(
@@ -364,52 +499,82 @@ bool CoordinationEngine::ApplyOutcome(const EvalTask& task,
 bool CoordinationEngine::EvaluateComponentOf(QueryId root) {
   if (!IsPending(root)) return false;
   dirty_roots_.erase(FindRoot(root));
-  EvalTask task = BuildTask(root);
+  flush_arena_.Reset();
+  BuildTask(root, &arrival_task_);
   ++stats_.evaluations;
-  return ApplyOutcome(task, RunTask(task));
+  return ApplyOutcome(arrival_task_, RunTask(arrival_task_));
+}
+
+ThreadPool* CoordinationEngine::FlushPool() {
+  if (options_.flush_threads <= 1) return nullptr;
+  if (options_.shared_pool != nullptr) return options_.shared_pool;
+  if (pool_ == nullptr) {
+    // The flushing thread participates in RunChunked, so n configured
+    // threads means n - 1 pool workers.
+    pool_ = std::make_unique<ThreadPool>(options_.flush_threads - 1);
+  }
+  return pool_.get();
 }
 
 size_t CoordinationEngine::IncrementalFlush() {
-  if (pool_ == nullptr && options_.flush_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.flush_threads);
-  }
-
-  // One entry per dispatched component evaluation.  Deque: references
-  // handed to worker closures must survive later emplace_backs.
-  struct PendingEval {
-    EvalTask task;
-    std::optional<EvalOutcome> outcome;      // serial mode
-    std::future<EvalOutcome> future;         // pooled mode
-  };
-  std::deque<PendingEval> evals;
+  // Per-flush scratch: the apply heap, the seed list, and every
+  // BuildTask member copy come from the arena; evaluation slots are
+  // pooled in eval_slots_.  A steady-state flush therefore performs no
+  // per-component heap allocation for its own bookkeeping — at any
+  // flush_threads, including the serial path.
+  flush_arena_.Reset();
+  eval_slots_used_ = 0;
+  size_t ran_watermark = 0;  // slots below this have outcomes
 
   // Results are applied strictly in ascending smallest-member order —
   // the order the reference path discovers components in — so delivery
   // order is deterministic and thread-count-independent.
-  using HeapItem = std::pair<QueryId, size_t>;  // (min_id, evals index)
-  std::priority_queue<HeapItem, std::vector<HeapItem>,
-                      std::greater<HeapItem>>
-      apply_order;
+  using HeapItem = std::pair<QueryId, size_t>;  // (min_id, slot index)
+  using HeapVec = std::vector<HeapItem, ArenaAllocator<HeapItem>>;
+  std::priority_queue<HeapItem, HeapVec, std::greater<HeapItem>> apply_order{
+      std::greater<HeapItem>(), HeapVec(ArenaAllocator<HeapItem>(&flush_arena_))};
 
   auto dispatch = [&](QueryId root) {
-    evals.emplace_back();
-    PendingEval& eval = evals.back();
-    eval.task = BuildTask(root);
+    if (eval_slots_used_ == eval_slots_.size()) eval_slots_.emplace_back();
+    PendingEval& eval = eval_slots_[eval_slots_used_];
+    BuildTask(root, &eval.task);
+    eval.ran = false;
     ++stats_.evaluations;
-    if (pool_ != nullptr) {
-      auto work = std::make_shared<std::packaged_task<EvalOutcome()>>(
-          [this, &eval] { return RunTask(eval.task); });
-      eval.future = work->get_future();
-      pool_->Submit([work] { (*work)(); });
+    apply_order.push({eval.task.min_id, eval_slots_used_});
+    ++eval_slots_used_;
+  };
+
+  // Runs every built-but-unrun slot — always the contiguous tail
+  // [ran_watermark, eval_slots_used_): dispatch only appends, and each
+  // wave retires the whole tail.  Chunked across the pool when one is
+  // configured; a barrier, so outcomes are safe to read after.
+  auto run_wave = [&] {
+    const size_t begin = ran_watermark;
+    const size_t n = eval_slots_used_ - begin;
+    ThreadPool* pool = n > 1 ? FlushPool() : nullptr;
+    if (pool == nullptr) {
+      for (size_t i = begin; i < eval_slots_used_; ++i) {
+        PendingEval& eval = eval_slots_[i];
+        eval.outcome = RunTask(eval.task);
+        eval.ran = true;
+      }
     } else {
-      eval.outcome = RunTask(eval.task);
+      // Workers write into disjoint pre-sized slots; no slot is created
+      // or destroyed while the wave runs, so the deque is stable.
+      pool->RunChunked(n, options_.flush_chunk, [this, begin](size_t i) {
+        PendingEval& eval = eval_slots_[begin + i];
+        eval.outcome = RunTask(eval.task);
+        eval.ran = true;
+      });
     }
-    apply_order.push({eval.task.min_id, evals.size() - 1});
+    ran_watermark = eval_slots_used_;
   };
 
   // Seed with every dirty component; components untouched since their
   // last evaluation are provably still failures and are skipped.
-  std::vector<QueryId> seeds(dirty_roots_.begin(), dirty_roots_.end());
+  std::vector<QueryId, ArenaAllocator<QueryId>> seeds(
+      dirty_roots_.begin(), dirty_roots_.end(),
+      ArenaAllocator<QueryId>(&flush_arena_));
   std::sort(seeds.begin(), seeds.end(), [this](QueryId a, QueryId b) {
     return comp_min_[static_cast<size_t>(a)] <
            comp_min_[static_cast<size_t>(b)];
@@ -419,14 +584,14 @@ size_t CoordinationEngine::IncrementalFlush() {
 
   size_t delivered = 0;
   while (!apply_order.empty()) {
-    auto [min_id, index] = apply_order.top();
+    const size_t index = apply_order.top().second;
+    // The heap's next slot needs an outcome: run the pending wave
+    // (covers this slot — it is in the unrun tail by construction).
+    if (!eval_slots_[index].ran) run_wave();
     apply_order.pop();
-    (void)min_id;
-    PendingEval& eval = evals[index];
-    EvalOutcome outcome = eval.outcome.has_value() ? std::move(*eval.outcome)
-                                                   : eval.future.get();
+    PendingEval& eval = eval_slots_[index];
     std::vector<QueryId> fragment_roots;
-    if (ApplyOutcome(eval.task, std::move(outcome), &fragment_roots)) {
+    if (ApplyOutcome(eval.task, std::move(eval.outcome), &fragment_roots)) {
       ++delivered;
       // A delivery shrank its component; the surviving fragments may
       // coordinate on their own — evaluate them within this flush.
@@ -441,11 +606,13 @@ size_t CoordinationEngine::IncrementalFlush() {
 
 size_t CoordinationEngine::Flush() {
   CheckNotReentrant("Flush");
+  DrainIntake();
   return options_.incremental ? IncrementalFlush() : LegacyFlush();
 }
 
 bool CoordinationEngine::EvaluateNow(QueryId id) {
   CheckNotReentrant("EvaluateNow");
+  DrainIntake();
   if (!IsPending(id)) return false;
   return options_.incremental ? EvaluateComponentOf(id)
                               : LegacyEvaluateComponentOf(id);
@@ -457,6 +624,7 @@ bool CoordinationEngine::EvaluateNow(QueryId id) {
 
 CoordinationEngine::PendingExtract CoordinationEngine::ExtractPending() {
   CheckNotReentrant("ExtractPending");
+  DrainIntake();  // queued submissions are pending too: extract them
   PendingExtract extract;
   extract.original = PendingQueries();
   extract.queries =
@@ -482,7 +650,9 @@ std::vector<QueryId> CoordinationEngine::AdoptPending(
     const QuerySet& src, const std::vector<QueryId>& ids,
     std::vector<std::pair<VarId, VarId>>* var_map) {
   CheckNotReentrant("AdoptPending");
+  DrainIntake();
   std::vector<QueryId> adopted = all_.AdoptQueries(src, ids, var_map);
+  ResyncIntakeBase();  // adoption grew all_ outside the ticket flow
   // Index without counting submissions or touching the cadence: a
   // migrated query was already counted where it first arrived, and the
   // caller decides when evaluation happens.  Components gaining adopted

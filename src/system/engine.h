@@ -1,16 +1,21 @@
 #ifndef ENTANGLED_SYSTEM_ENGINE_H_
 #define ENTANGLED_SYSTEM_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "algo/scc_coordination.h"
 #include "api/delivery.h"
+#include "common/arena.h"
+#include "common/mpsc_queue.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/coordination_graph.h"
@@ -86,8 +91,35 @@ struct EngineOptions {
   /// Components are disjoint query sets evaluated against the shared
   /// read-only database, and results are *applied* in deterministic
   /// component order, so outputs do not depend on the thread count.
-  /// Only the incremental path parallelizes.
+  /// Only the incremental path parallelizes.  The flushing thread
+  /// itself participates in evaluation, so `flush_threads = n` runs at
+  /// most n compute threads.
   size_t flush_threads = 1;
+
+  /// Dirty components claimed per atomic operation by the chunked
+  /// work-stealing flush (ThreadPool::RunChunked): each participant
+  /// grabs `flush_chunk` consecutive evaluation slots at a time instead
+  /// of one closure per component.  Purely a scheduling knob — outputs
+  /// never depend on it.
+  size_t flush_chunk = 8;
+
+  /// Capacity of the deferred-admission intake queue.  0 (the default)
+  /// admits inline, exactly as before.  > 0 arms a bounded MPSC queue
+  /// in front of the engine: Submit/SubmitBatch parse + validate on the
+  /// calling thread, enqueue the admitted event, and return its
+  /// predicted id without ever blocking on an in-progress Flush();
+  /// the owning thread drains the queue in arrival order at the next
+  /// flush/read boundary, reproducing the inline engine's admission
+  /// cadence byte for byte.  See CoordinationEngine::DrainIntake for
+  /// the threading contract.
+  size_t intake_capacity = 0;
+
+  /// Borrowed scheduler for Flush() fan-out (not owned; must outlive
+  /// the engine).  When null and flush_threads > 1 the engine lazily
+  /// creates its own pool.  The sharded front door points every inner
+  /// engine here so shard fan-out and component evaluation share one
+  /// set of workers instead of spawning a pool per shard.
+  ThreadPool* shared_pool = nullptr;
 
   /// Passed through to the SCC Coordination Algorithm.
   SccOptions scc;
@@ -130,6 +162,13 @@ class CoordinationService {
   virtual bool IsPending(QueryId id) const = 0;
   virtual size_t num_pending() const = 0;
   virtual std::vector<QueryId> ComponentOf(QueryId id) const = 0;
+
+  /// True when Submit/SubmitBatch defer admission to an intake queue
+  /// drained at the service's flush/read boundaries instead of
+  /// admitting inline (EngineOptions::intake_capacity).  Front doors
+  /// that interleave bookkeeping with submission (api/session.h) use
+  /// this to avoid read calls that would force a premature drain.
+  virtual bool AdmitsDeferred() const { return false; }
 
   /// Work counters; by value because a sharded service aggregates
   /// per-shard counters on demand (EngineStats::operator+=).
@@ -178,7 +217,10 @@ class CoordinationEngine : public CoordinationService {
 
   /// Changes the automatic-evaluation cadence at runtime (e.g. admit a
   /// large backlog without evaluation, then switch to per-arrival).
+  /// Drains any queued intake first, so earlier submissions keep the
+  /// cadence that was in force when they arrived.
   void set_evaluate_every(size_t evaluate_every) override {
+    DrainIntake();
     options_.evaluate_every = evaluate_every;
   }
 
@@ -257,8 +299,15 @@ class CoordinationEngine : public CoordinationService {
   /// Queries awaiting coordination.
   std::vector<QueryId> PendingQueries() const override;
   bool IsPending(QueryId id) const override;
-  /// How many queries are pending, O(1).
-  size_t num_pending() const override { return num_pending_; }
+  /// How many queries are pending, O(1) (after draining any queued
+  /// intake — reads always observe every accepted submission).
+  size_t num_pending() const override {
+    DrainIntakeConst();
+    return num_pending_;
+  }
+
+  /// Whether deferred admission is armed (EngineOptions::intake_capacity).
+  bool AdmitsDeferred() const override { return intake_ != nullptr; }
 
   /// Pending queries weakly connected to `id` in the coordination graph
   /// (including `id`, which must be pending), sorted ascending.  An
@@ -267,7 +316,10 @@ class CoordinationEngine : public CoordinationService {
   std::vector<QueryId> ComponentOf(QueryId id) const override;
 
   const EngineStats& stats() const { return stats_; }
-  EngineStats StatsSnapshot() const override { return stats_; }
+  EngineStats StatsSnapshot() const override {
+    DrainIntakeConst();
+    return stats_;
+  }
 
   /// Scheduling key of the most recent delivery: the smallest member id
   /// of the component the coordinating set was carved from (which may
@@ -317,6 +369,26 @@ class CoordinationEngine : public CoordinationService {
     uint64_t db_queries = 0;
   };
 
+  /// One reusable evaluation slot: task built on the coordinating
+  /// thread, outcome written by whichever participant claims the slot's
+  /// chunk, applied on the coordinating thread in min-id heap order.
+  /// Slots persist across flushes so a steady-state flush reuses their
+  /// vector capacity instead of allocating per evaluation.
+  struct PendingEval {
+    EvalTask task;
+    EvalOutcome outcome;
+    bool ran = false;  ///< outcome valid (read only at wave barriers)
+  };
+
+  /// One deferred admission: a single parsed query (staging id 0)
+  /// carried from the producing thread to the owner's drain, plus how
+  /// it participates in the evaluation cadence.
+  struct IntakeEvent {
+    QuerySet staging;
+    bool cadence = true;      ///< counts toward evaluate_every at drain
+    bool batch_tail = false;  ///< last member of a batch: flush after
+  };
+
   /// Shared admission path after `id` was appended to all_: counts the
   /// submission, indexes the query, and applies the evaluation cadence.
   void Admit(QueryId id);
@@ -341,7 +413,9 @@ class CoordinationEngine : public CoordinationService {
   std::vector<QueryId> RetireAndRepartition(
       const std::vector<QueryId>& retired);
 
-  EvalTask BuildTask(QueryId root) const;
+  /// Builds `root`'s component evaluation into `*task`, reusing the
+  /// task's vector capacity; member scratch comes from flush_arena_.
+  void BuildTask(QueryId root, EvalTask* task) const;
   EvalOutcome RunTask(const EvalTask& task) const;
   /// Applies one outcome: delivers + retires on success.  Returns
   /// whether a coordinating set was delivered; on delivery the
@@ -353,6 +427,42 @@ class CoordinationEngine : public CoordinationService {
   bool EvaluateComponentOf(QueryId root);
 
   size_t IncrementalFlush();
+
+  /// The scheduler Flush() fans out on: the borrowed shared pool, the
+  /// lazily created owned pool (flush_threads - 1 workers; the flushing
+  /// thread is the remaining participant), or null for the serial path.
+  ThreadPool* FlushPool();
+
+  // ---- deferred admission (intake_ != nullptr) -----------------------
+  //
+  // Producers (any thread): parse into a private staging QuerySet,
+  // claim a queue ticket with one atomic op, and derive the adopted id
+  // from it (id = intake_base_ + ticket) — the ticket fixes both the
+  // FIFO position and the id, so concurrent producers can never hand
+  // out ids out of arrival order.  The owner thread drains at every
+  // flush/read boundary and replays the inline admission path
+  // (AdoptQueries + IndexQuery + cadence), so the delivery log is
+  // byte-identical to an inline engine fed the same arrival order.
+  //
+  // Owner-only surface: everything except Submit / non-empty
+  // SubmitBatch must be called on the thread that constructed the
+  // engine while producers are in flight.
+
+  Result<QueryId> SubmitDeferred(const std::string& query_text);
+  Result<std::vector<QueryId>> SubmitBatchDeferred(
+      const std::vector<std::string>& query_texts);
+  /// Enqueues; on a full ring the owner drains inline (it is the
+  /// consumer — blocking would deadlock), other producers spin-wait.
+  uint64_t PushIntake(IntakeEvent event);
+  /// Owner thread: adopts every queued event in ticket order.  No-op
+  /// while already draining or inside a delivery callback.
+  void DrainIntake();
+  void DrainIntakeConst() const {
+    const_cast<CoordinationEngine*>(this)->DrainIntake();
+  }
+  /// Re-derives intake_base_ after all_ grew outside the drain path
+  /// (SubmitQuery/AdoptPending); requires producer quiescence.
+  void ResyncIntakeBase();
 
   // ---- from-scratch reference path (options_.incremental == false) ----
   bool LegacyEvaluateComponentOf(QueryId root);
@@ -379,7 +489,20 @@ class CoordinationEngine : public CoordinationService {
   std::vector<QueryId> comp_min_;        // at roots: smallest member id
   std::vector<std::vector<QueryId>> comp_members_;  // at roots
   std::unordered_set<QueryId> dirty_roots_;
-  std::unique_ptr<ThreadPool> pool_;     // lazily created by Flush()
+  std::unique_ptr<ThreadPool> pool_;     // lazily created by FlushPool()
+
+  // ---- flush scratch (coordinating thread; reset per flush) ----
+  std::deque<PendingEval> eval_slots_;   // stable refs; reused per flush
+  size_t eval_slots_used_ = 0;
+  EvalTask arrival_task_;                // per-arrival evaluation slot
+  mutable Arena flush_arena_;            // heap/wave/member scratch
+
+  // ---- deferred admission ----
+  std::unique_ptr<MpscQueue<IntakeEvent>> intake_;  // null = inline
+  std::atomic<int64_t> intake_base_{0};  // adopted id = base + ticket
+  uint64_t intake_drained_ = 0;          // next ticket the drain adopts
+  std::thread::id owner_thread_;         // constructor thread = consumer
+  bool draining_ = false;                // re-entrancy guard for drains
 };
 
 }  // namespace entangled

@@ -12,6 +12,18 @@ ShardedCoordinationEngine::ShardedCoordinationEngine(
     const Database* db, ShardedEngineOptions options)
     : db_(db), options_(std::move(options)) {
   ENTANGLED_CHECK(db != nullptr);
+  // One scheduler for the whole front door: shard fan-out (Submit/Wait)
+  // and every inner engine's chunked component evaluation share these
+  // workers instead of spawning a pool per shard.  Created eagerly —
+  // idle workers just park on the queue's condition variable.
+  const size_t width =
+      std::max(options_.shard_threads, options_.engine.flush_threads);
+  if (width > 1) pool_ = std::make_unique<ThreadPool>(width);
+  // Inner engines are driven synchronously on the routing thread (and
+  // on pool workers during Flush); deferred admission belongs to the
+  // front door, never to a shard.
+  options_.engine.intake_capacity = 0;
+  options_.engine.shared_pool = pool_.get();
 }
 
 void ShardedCoordinationEngine::CheckNotReentrant(
@@ -407,10 +419,12 @@ size_t ShardedCoordinationEngine::Flush() {
   flush_candidates_.clear();
   std::sort(slots.begin(), slots.end());
 
-  if (slots.size() > 1 && options_.shard_threads > 1) {
-    if (pool_ == nullptr) {
-      pool_ = std::make_unique<ThreadPool>(options_.shard_threads);
-    }
+  if (slots.size() > 1 && options_.shard_threads > 1 && pool_ != nullptr) {
+    // Each shard is flushed by exactly one thread (its delivery buffer
+    // is single-writer); inner engines may additionally fan their own
+    // component waves out on the same pool via RunChunked, whose
+    // caller-participation guarantees progress even when every worker
+    // here is occupied by a shard task.
     for (size_t s : slots) {
       pool_->Submit([this, s] { shards_[s].engine->Flush(); });
     }

@@ -52,11 +52,15 @@ EngineVariant OracleVariant() {
 }
 
 EngineVariant IncrementalVariant(size_t threads,
-                                 const EngineFaultInjection& fault) {
+                                 const EngineFaultInjection& fault,
+                                 size_t intake_capacity = 0,
+                                 size_t flush_chunk = 0) {
   EngineVariant variant;
   variant.engine.incremental = true;
   variant.engine.evaluate_every = 1;
   variant.engine.flush_threads = threads;
+  variant.engine.intake_capacity = intake_capacity;
+  if (flush_chunk > 0) variant.engine.flush_chunk = flush_chunk;
   variant.engine.fault = fault;
   return variant;
 }
@@ -235,6 +239,11 @@ SessionReplayRun ReplayThroughSessions(const Database& db,
         break;
     }
   }
+
+  // Settle any queued submissions before the final accounting: the
+  // drain routes trailing deliveries through OnDelivery, so the
+  // per-session event buffers and pending sets read below are final.
+  manager.num_pending();
 
   // Drain every session and hold the two consumption modes to the same
   // stream, then merge the per-session views back into one delivery
@@ -486,17 +495,36 @@ std::string StressHarness::CheckOnce(const Database& db,
   if (oracle_deliveries != nullptr) *oracle_deliveries = oracle.log.size();
   std::string err = CheckInvariants("oracle", oracle);
   if (!err.empty()) return err;
+  // Incremental variants: every flush-thread count crossed with every
+  // intake capacity, and (for multi-threaded flushes only) every chunk
+  // size.  All of them promise the oracle's byte-identical output.
+  const std::vector<size_t> kInlineOnly = {0};
+  const std::vector<size_t>& capacities =
+      options_.intake_capacities.empty() ? kInlineOnly
+                                         : options_.intake_capacities;
   for (size_t threads : options_.flush_thread_counts) {
-    const std::string label =
-        "incremental[flush_threads=" + std::to_string(threads) + "]";
-    StressReplay run =
-        Replay(db, IncrementalVariant(threads, options_.fault), events);
-    err = CheckInvariants(label, run);
-    if (!err.empty()) return err;
-    err = CompareRuns("oracle", oracle, label, run);
-    if (!err.empty()) return err;
-    if (threads == 1 && single_thread != nullptr) {
-      *single_thread = std::move(run);
+    const std::vector<size_t> kDefaultChunk = {0};
+    const std::vector<size_t>& chunks =
+        (threads > 1 && !options_.flush_chunks.empty()) ? options_.flush_chunks
+                                                        : kDefaultChunk;
+    for (size_t capacity : capacities) {
+      for (size_t chunk : chunks) {
+        std::string label =
+            "incremental[flush_threads=" + std::to_string(threads) +
+            ",intake=" + std::to_string(capacity);
+        if (chunk > 0) label += ",chunk=" + std::to_string(chunk);
+        label += "]";
+        StressReplay run = Replay(
+            db, IncrementalVariant(threads, options_.fault, capacity, chunk),
+            events);
+        err = CheckInvariants(label, run);
+        if (!err.empty()) return err;
+        err = CompareRuns("oracle", oracle, label, run);
+        if (!err.empty()) return err;
+        if (threads == 1 && capacity == 0 && single_thread != nullptr) {
+          *single_thread = std::move(run);
+        }
+      }
     }
   }
   // The sharded front door promises the same byte-identical contract at
@@ -521,6 +549,17 @@ std::string StressHarness::CheckOnce(const Database& db,
           "sessions[incremental,flush_threads=" + std::to_string(threads) +
               "]",
           IncrementalVariant(threads, options_.fault));
+    }
+    // One armed-intake session variant: the session layer registers
+    // queued ids optimistically and relies on drain-time OnDelivery to
+    // settle them, which only an AdmitsDeferred service exercises.
+    for (size_t capacity : capacities) {
+      if (capacity == 0) continue;
+      wrapped.emplace_back(
+          "sessions[incremental,flush_threads=1,intake=" +
+              std::to_string(capacity) + "]",
+          IncrementalVariant(1, options_.fault, capacity));
+      break;
     }
     for (size_t threads : options_.shard_thread_counts) {
       wrapped.emplace_back(

@@ -18,6 +18,19 @@ struct StressOptions {
   /// every scenario.  Each entry is a Flush() thread count.
   std::vector<size_t> flush_thread_counts = {1, 4};
 
+  /// Intake-queue capacities crossed with every flush-thread count
+  /// above (0 = inline admission, the historical path).  An armed
+  /// intake defers admission to the next flush/read boundary, so this
+  /// exercises the deferred-id prediction and drain replay against the
+  /// same byte-identical contract.
+  std::vector<size_t> intake_capacities = {0, 64};
+
+  /// Flush chunk sizes crossed with the *multi-threaded* incremental
+  /// variants (chunking never runs at flush_threads=1).  Chunk size is
+  /// a pure scheduling knob; every value must produce the oracle's
+  /// exact delivery log.
+  std::vector<size_t> flush_chunks = {1, 8};
+
   /// ShardedCoordinationEngine variants additionally compared against
   /// the same oracle on every scenario (the sharded front door promises
   /// byte-identical delivery logs, witnesses, and pending sets at any

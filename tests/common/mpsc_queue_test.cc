@@ -1,0 +1,123 @@
+#include "common/mpsc_queue.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+TEST(MpscQueueTest, FifoSingleProducer) {
+  MpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    uint64_t ticket = 0;
+    ASSERT_TRUE(q.TryPush(int{i}, &ticket));
+    EXPECT_EQ(ticket, static_cast<uint64_t>(i));
+  }
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.TryPop(&out));
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(MpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  MpscQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(MpscQueueTest, BoundedBackpressure) {
+  MpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.TryPush(int{i}));
+  EXPECT_FALSE(q.TryPush(99));  // full: TryPush fails, does not block
+  int out = -1;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 0);
+  uint64_t ticket = 0;
+  ASSERT_TRUE(q.TryPush(99, &ticket));  // space freed by the pop
+  EXPECT_EQ(ticket, 4u);
+  // Drain preserves ticket order across the wraparound.
+  for (int expect : {1, 2, 3, 99}) {
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, expect);
+  }
+}
+
+// Multi-producer: pop order must equal ticket order, every element
+// must surface exactly once, and each producer's own pushes must
+// appear in its program order.
+TEST(MpscQueueTest, MultiProducerTicketOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  MpscQueue<std::pair<int, int>> q(64);  // small ring: forces contention
+  std::vector<std::thread> producers;
+  std::vector<std::vector<uint64_t>> tickets(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &tickets, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        tickets[p].push_back(q.Push({p, i}));
+      }
+    });
+  }
+  std::vector<std::pair<int, int>> popped;
+  std::vector<int> next_from(kProducers, 0);
+  while (popped.size() < kProducers * kPerProducer) {
+    std::pair<int, int> item;
+    if (q.TryPop(&item)) {
+      // Per-producer FIFO: producer p's items arrive in push order.
+      EXPECT_EQ(item.second, next_from[item.first]++);
+      popped.push_back(item);
+    }
+  }
+  for (auto& t : producers) t.join();
+  std::pair<int, int> item;
+  EXPECT_FALSE(q.TryPop(&item));
+  // Tickets are a permutation of [0, N): pop order == ticket order
+  // means producer p's i-th item was popped at position tickets[p][i].
+  std::vector<char> seen(kProducers * kPerProducer, 0);
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(tickets[p].size(), static_cast<size_t>(kPerProducer));
+    for (int i = 0; i < kPerProducer; ++i) {
+      uint64_t t = tickets[p][i];
+      ASSERT_LT(t, seen.size());
+      EXPECT_FALSE(seen[t]) << "duplicate ticket " << t;
+      seen[t] = 1;
+      EXPECT_EQ(popped[t], (std::pair<int, int>{p, i}))
+          << "pop order diverged from ticket order at ticket " << t;
+    }
+  }
+}
+
+TEST(MpscQueueTest, DrainOnDestroyReleasesUnconsumedItems) {
+  auto tracker = std::make_shared<int>(7);
+  {
+    MpscQueue<std::shared_ptr<int>> q(8);
+    for (int i = 0; i < 6; ++i) q.Push(tracker);
+    std::shared_ptr<int> out;
+    ASSERT_TRUE(q.TryPop(&out));  // consume one, leave five enqueued
+    EXPECT_EQ(tracker.use_count(), 7);
+  }
+  // Destructor destroyed the five unconsumed copies (and `out` died
+  // with the scope): only the original reference remains.
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(MpscQueueTest, NextTicketTracksPushes) {
+  MpscQueue<int> q(8);
+  EXPECT_EQ(q.next_ticket(), 0u);
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.next_ticket(), 2u);
+  int out;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(q.next_ticket(), 2u);  // pops do not move the enqueue cursor
+}
+
+}  // namespace
+}  // namespace entangled

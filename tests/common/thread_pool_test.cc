@@ -68,5 +68,71 @@ TEST(ThreadPoolTest, SingleThreadPreservesFifoOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(ThreadPoolTest, WaitReusableAfterIdle) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted: returns immediately
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  pool.Wait();  // count-based: already-drained batches stay drained
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunChunkedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t count : {1u, 7u, 64u, 1000u}) {
+    for (size_t chunk : {1u, 8u, 1024u}) {
+      std::vector<std::atomic<int>> hits(count);
+      for (auto& h : hits) h.store(0);
+      pool.RunChunked(count, chunk,
+                      [&hits](size_t i) { hits[i].fetch_add(1); });
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "count=" << count << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunChunkedWritesVisibleToCaller) {
+  ThreadPool pool(4);
+  std::vector<uint64_t> out(5000, 0);  // plain writes, distinct slots
+  pool.RunChunked(out.size(), 16,
+                  [&out](size_t i) { out[i] = i * i; });
+  for (size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, RunChunkedZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.RunChunked(0, 4, [](size_t) { FAIL() << "must not be invoked"; });
+}
+
+TEST(ThreadPoolTest, RunChunkedNestedInsideSubmittedTask) {
+  // A worker running a coarse task (a shard flush) starts a chunked
+  // run on the same pool; the caller participates, so this completes
+  // even when every worker is busy with coarse tasks.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&pool, &total] {
+      pool.RunChunked(100, 8, [&total](size_t) { total.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPoolTest, RunChunkedInterleavesWithSubmit) {
+  ThreadPool pool(3);
+  std::atomic<int> submitted{0};
+  std::atomic<int> chunked{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&submitted] { ++submitted; });
+  }
+  pool.RunChunked(500, 4, [&chunked](size_t) { ++chunked; });
+  pool.Wait();
+  EXPECT_EQ(submitted.load(), 50);
+  EXPECT_EQ(chunked.load(), 500);
+}
+
 }  // namespace
 }  // namespace entangled

@@ -17,6 +17,7 @@ benches=(
   bench_engine
   bench_scenarios
   bench_sharded_stream
+  bench_flush_pipeline
 )
 
 status=0
