@@ -77,9 +77,19 @@ struct StreamOutcome {
 };
 
 /// Streams kRounds rounds of one chain per lane + Flush, timing the
-/// submit+flush loop.
+/// submit+flush loop.  One untimed warm-up round runs first so the
+/// intake ring, flush pool, and allocator pools are primed before the
+/// clock starts — cold-start costs otherwise dominate the armed-intake
+/// configurations on slow hosts and skew speedup_vs_single.
 StreamOutcome RunStream(CoordinationEngine* engine) {
   engine->set_evaluate_every(0);
+  for (size_t p = 0; p < kLanes; ++p) {
+    for (size_t k = 0; k < kChainLength; ++k) {
+      ENTANGLED_CHECK(engine->Submit(ChainQuery(p, kRounds, k)).ok());
+    }
+  }
+  ENTANGLED_CHECK_EQ(engine->Flush(), kLanes)
+      << "every lane's warm-up chain must coordinate";
   StreamOutcome outcome;
   WallTimer timer;
   for (size_t round = 0; round < kRounds; ++round) {

@@ -68,7 +68,8 @@ Result<CoordinationSolution> SccCoordinator::Solve(const QuerySet& set) {
 }
 
 Result<CoordinationSolution> SccCoordinator::Solve(
-    const QuerySet& set, const std::vector<ExtendedEdge>& edges) {
+    const QuerySet& set, const std::vector<ExtendedEdge>& edges,
+    EvalMemo* memo) {
   WallTimer total_timer;
   WallTimer graph_timer;
   stats_.Reset();
@@ -76,12 +77,37 @@ Result<CoordinationSolution> SccCoordinator::Solve(
   if (set.empty()) {
     return Status::NotFound("no coordinating set: the query set is empty");
   }
-  return SolveWithEdges(set, edges, total_timer, graph_timer);
+  return SolveWithEdges(set, edges, total_timer, graph_timer, memo);
 }
+
+namespace {
+
+/// Whether every relation stamp in `entry` still matches the live
+/// database.  A (nullptr, v) stamp means "this body named a relation
+/// absent from the catalog at compute time" and pins the catalog-wide
+/// version instead, so a later CreateRelation invalidates the entry.
+bool StampsCurrent(const EvalMemo::Entry& entry, const Database& db) {
+  for (const auto& [relation, version] : entry.stamps) {
+    const uint64_t now = relation != nullptr ? relation->version()
+                                             : db.version();
+    if (now != version) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Result<CoordinationSolution> SccCoordinator::SolveWithEdges(
     const QuerySet& set, const std::vector<ExtendedEdge>& edges,
-    const WallTimer& total_timer, const WallTimer& graph_timer) {
+    const WallTimer& total_timer, const WallTimer& graph_timer,
+    EvalMemo* memo) {
+  // The memo's soundness contract (see EvalMemo) leans on safety (each
+  // postcondition has at most one target overall) and pre-cleaning (each
+  // live postcondition has exactly one live target, necessarily inside
+  // R(c)); without both, an identical R(c) key no longer implies an
+  // identical unifier, so the memo disarms itself.
+  const bool use_memo = memo != nullptr && options_.check_safety &&
+                        options_.prune_postconditions;
   const QueryId n = static_cast<QueryId>(set.size());
 
   // Per-postcondition target lists, and pre-cleaning: a query whose
@@ -209,6 +235,28 @@ Result<CoordinationSolution> SccCoordinator::SolveWithEdges(
     std::sort(r.begin(), r.end());
     r.erase(std::unique(r.begin(), r.end()), r.end());
 
+    // Memoized verdict for this exact R(c) with current relation
+    // stamps: replay it instead of re-unifying and re-grounding.
+    if (use_memo) {
+      auto it = memo->entries.find(r);
+      if (it != memo->entries.end() && StampsCurrent(it->second, *db_)) {
+        ++stats_.memo_hits;
+        const EvalMemo::Entry& entry = it->second;
+        if (!entry.unified || !entry.grounded) {
+          failed[static_cast<size_t>(c)] = true;
+          continue;
+        }
+        successful_sets_.push_back(r);
+        double r_score = score(set, r);
+        if (!best.has_value() || r_score > best->score) {
+          // Copies: CompleteAssignment path-compresses the winning
+          // substitution, and the entry must stay pristine.
+          best = Best{r, entry.subst, entry.witness, r_score};
+        }
+        continue;
+      }
+    }
+
     // Unify every postcondition in R(c) with its (unique, by safety)
     // live target head.
     Substitution subst(set.num_vars());
@@ -246,6 +294,11 @@ Result<CoordinationSolution> SccCoordinator::SolveWithEdges(
       if (!unified) break;
     }
     if (!unified) {
+      if (use_memo) {
+        // A failed unifier is database-independent: valid (no stamps)
+        // for as long as the key matches.
+        memo->entries[r] = EvalMemo::Entry{};
+      }
       failed[static_cast<size_t>(c)] = true;
       continue;
     }
@@ -265,6 +318,22 @@ Result<CoordinationSolution> SccCoordinator::SolveWithEdges(
     }
     ++stats_.db_queries;
     std::optional<Binding> witness = evaluator.FindOne(body);
+    if (use_memo) {
+      EvalMemo::Entry entry;
+      entry.unified = true;
+      entry.grounded = witness.has_value();
+      entry.subst = subst;
+      if (witness.has_value()) entry.witness = *witness;
+      std::unordered_set<std::string> stamped;
+      for (const Atom& atom : body) {
+        if (!stamped.insert(atom.relation).second) continue;
+        const Relation* relation = db_->Find(atom.relation);
+        entry.stamps.emplace_back(
+            relation, relation != nullptr ? relation->version()
+                                          : db_->version());
+      }
+      memo->entries[r] = std::move(entry);
+    }
     if (!witness.has_value()) {
       failed[static_cast<size_t>(c)] = true;
       continue;

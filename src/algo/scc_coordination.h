@@ -1,15 +1,20 @@
 #ifndef ENTANGLED_ALGO_SCC_COORDINATION_H_
 #define ENTANGLED_ALGO_SCC_COORDINATION_H_
 
+#include <cstdint>
 #include <functional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "algo/stats.h"
+#include "common/hash.h"
 #include "common/result.h"
 #include "common/timer.h"
 #include "core/coordination_graph.h"
 #include "core/grounding.h"
 #include "core/query.h"
+#include "core/unify.h"
 #include "db/database.h"
 
 namespace entangled {
@@ -49,6 +54,38 @@ struct SccOptions {
   /// Selection criterion among the successful sets (null = MaxSizeScore,
   /// the paper's default).
   CoordinationScore score;
+};
+
+/// \brief Caller-owned cross-Solve cache of per-component sweep
+/// outcomes (the streaming engine keeps one per live component).
+///
+/// An entry memoizes the expensive tail of one reverse-topological
+/// sweep step — unifying R(c), building the combined body, and the
+/// single database FindOne — keyed on the exact reachable member set
+/// R(c).  Reuse is sound because the caller guarantees (a) QueryIds are
+/// stable for the memo's lifetime (the engine's persistent component
+/// subsets; the memo must be dropped whenever ids are re-densified) and
+/// (b) queries are immutable once admitted, while the solver itself
+/// requires check_safety + prune_postconditions, which pin every
+/// postcondition of R(c) to exactly one live target inside R(c): an
+/// identical key therefore replays the identical unifier and body, and
+/// the stored relation version stamps prove the database slice is
+/// unchanged, so the stored verdict (and witness) is byte-identical to
+/// a recompute.  Entries whose stamps mismatch are recomputed in place.
+struct EvalMemo {
+  struct Entry {
+    bool unified = false;   ///< the unifier of R(c) exists (DB-independent)
+    bool grounded = false;  ///< FindOne succeeded; `witness` is valid
+    Substitution subst{0};
+    Binding witness;
+    /// (relation, version at compute time) per distinct body relation.
+    std::vector<std::pair<const Relation*, uint64_t>> stamps;
+  };
+  /// Keyed on R(c), sorted ascending.
+  std::unordered_map<std::vector<QueryId>, Entry, VectorHash> entries;
+
+  void Clear() { entries.clear(); }
+  bool empty() const { return entries.empty(); }
 };
 
 /// \brief The SCC Coordination Algorithm (paper §4): finds a
@@ -91,8 +128,16 @@ class SccCoordinator {
   /// supply edges in the batch constructor's (from, post_index, to,
   /// head_index) lexicographic order to match Solve(set) exactly, since
   /// an ambiguous postcondition resolves to its first listed target.
+  ///
+  /// When `memo` is non-null (and the options keep check_safety and
+  /// prune_postconditions on — otherwise it is ignored), sweep steps
+  /// whose R(c) and relation stamps match a cached entry skip
+  /// unification, body construction, and the database round-trip, and
+  /// fresh steps populate the memo; see EvalMemo for the soundness
+  /// contract the caller owes.
   Result<CoordinationSolution> Solve(const QuerySet& set,
-                                     const std::vector<ExtendedEdge>& edges);
+                                     const std::vector<ExtendedEdge>& edges,
+                                     EvalMemo* memo = nullptr);
 
   /// Work counters of the last Solve call.
   const SolverStats& stats() const { return stats_; }
@@ -110,7 +155,8 @@ class SccCoordinator {
   /// whatever graph work already happened (batch ECG construction).
   Result<CoordinationSolution> SolveWithEdges(
       const QuerySet& set, const std::vector<ExtendedEdge>& edges,
-      const WallTimer& total_timer, const WallTimer& graph_timer);
+      const WallTimer& total_timer, const WallTimer& graph_timer,
+      EvalMemo* memo = nullptr);
 
   const Database* db_;
   SccOptions options_;

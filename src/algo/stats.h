@@ -20,6 +20,7 @@ struct SolverStats {
   uint64_t num_sccs = 0;        ///< strongly connected components
   uint64_t candidate_values = 0;  ///< |V(Q)| (consistent algorithm)
   uint64_t cleaning_rounds = 0;   ///< cleaning-phase sweeps (consistent)
+  uint64_t memo_hits = 0;       ///< sweep steps served from an EvalMemo
   double graph_seconds = 0.0;   ///< graph build + SCC + condensation time
   double total_seconds = 0.0;   ///< end-to-end Solve time
 
@@ -37,6 +38,7 @@ inline std::string SolverStats::ToString() const {
     out += ", values=" + std::to_string(candidate_values);
     out += ", cleaning_rounds=" + std::to_string(cleaning_rounds);
   }
+  if (memo_hits > 0) out += ", memo_hits=" + std::to_string(memo_hits);
   out += ", graph_s=" + std::to_string(graph_seconds);
   out += ", total_s=" + std::to_string(total_seconds) + "}";
   return out;

@@ -12,8 +12,10 @@ Result<Relation*> Database::CreateRelation(
   }
   auto relation = std::make_unique<Relation>(name, std::move(column_names));
   Relation* ptr = relation.get();
+  ptr->BindDatabaseVersion(&version_);
   relations_.emplace(name, std::move(relation));
   names_.push_back(name);
+  version_.fetch_add(1, std::memory_order_relaxed);
   return ptr;
 }
 

@@ -1,6 +1,7 @@
 #ifndef ENTANGLED_DB_DATABASE_H_
 #define ENTANGLED_DB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -68,6 +69,23 @@ class Database {
   /// Total number of tuples across all relations.
   size_t TotalRows() const;
 
+  /// Catalog-wide monotone mutation counter: bumped by CreateRelation
+  /// and by every Insert into any relation of this database.  Equal
+  /// values returned by two reads bracket a window in which no fact
+  /// changed, so delta-aware evaluation can prove "the database my
+  /// cached result was computed against is still the database".
+  uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  /// The mutation counter of one relation (0 when `name` is absent —
+  /// indistinguishable from "exists but never inserted into", which is
+  /// fine: both mean no facts to invalidate caches over).
+  uint64_t version_of(const std::string& name) const {
+    const Relation* relation = Find(name);
+    return relation == nullptr ? 0 : relation->version();
+  }
+
   /// Work counters; mutable because read-only query evaluation updates
   /// them through const Database references.
   DatabaseStats& stats() const { return stats_; }
@@ -82,6 +100,9 @@ class Database {
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
   std::vector<std::string> names_;
   mutable DatabaseStats stats_;
+  // Relations bump this through the pointer bound in CreateRelation;
+  // atomic because inserts into distinct relations may race.
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace entangled

@@ -45,6 +45,7 @@ Relation::Relation(const Relation& other)
   std::shared_lock<std::shared_mutex> lock(other.index_mutex_);
   cells_ = other.cells_;
   num_rows_ = other.num_rows_;
+  version_ = other.version_;
   column_indexes_ = other.column_indexes_;
   group_indexes_ = other.group_indexes_;
 }
@@ -56,6 +57,7 @@ Relation::Relation(Relation&& other) noexcept
   cells_ = std::move(other.cells_);
   num_rows_ = other.num_rows_;
   other.num_rows_ = 0;
+  version_ = other.version_;
   column_indexes_ = std::move(other.column_indexes_);
   group_indexes_ = std::move(other.group_indexes_);
 }
@@ -87,6 +89,10 @@ Status Relation::Insert(Tuple tuple) {
   }
   cells_.insert(cells_.end(), tuple.begin(), tuple.end());
   ++num_rows_;
+  ++version_;
+  if (db_version_ != nullptr) {
+    db_version_->fetch_add(1, std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 

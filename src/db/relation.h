@@ -1,6 +1,7 @@
 #ifndef ENTANGLED_DB_RELATION_H_
 #define ENTANGLED_DB_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -126,6 +127,20 @@ class Relation {
   size_t size() const { return num_rows_; }
   bool empty() const { return num_rows_ == 0; }
 
+  /// Monotone mutation counter: bumped by every successful Insert.
+  /// Two reads returning the same value bracket a window in which the
+  /// relation's contents were unchanged, so cached evaluation results
+  /// stamped with it can be reused (same read/write contract as size():
+  /// Insert must not run concurrently with readers).
+  uint64_t version() const { return version_; }
+
+  /// Points this relation at its owning database's mutation counter so
+  /// Insert can bump the catalog-wide version too (wired by
+  /// Database::CreateRelation; nullptr for free-standing relations).
+  void BindDatabaseVersion(std::atomic<uint64_t>* counter) {
+    db_version_ = counter;
+  }
+
   /// Index of the column called `name`, if any.
   std::optional<size_t> ColumnIndex(const std::string& name) const;
 
@@ -186,6 +201,8 @@ class Relation {
   // cells_[r*arity() .. (r+1)*arity()).
   std::vector<Value> cells_;
   size_t num_rows_ = 0;
+  uint64_t version_ = 0;
+  std::atomic<uint64_t>* db_version_ = nullptr;
 
   // Lazily-built caches (see class comment).
   mutable std::shared_mutex index_mutex_;

@@ -16,6 +16,8 @@ CoordinationEngine::CoordinationEngine(const Database* db,
       options_(options),
       owner_thread_(std::this_thread::get_id()) {
   ENTANGLED_CHECK(db != nullptr);
+  delta_armed_ = options_.incremental && options_.delta_eval;
+  last_db_version_ = db_->version();
   if (options_.intake_capacity > 0) {
     intake_ =
         std::make_unique<MpscQueue<IntakeEvent>>(options_.intake_capacity);
@@ -235,13 +237,53 @@ void CoordinationEngine::IndexQuery(QueryId id) {
     }
     // Index the arrival; its incident edges are exactly the new ones.
     graph_.AddQuery(all_, id);
+
+    // Persistent-subset maintenance must see the component partition
+    // *before* the arrival's unions: an arrival joining exactly one
+    // existing component extends its state in place (appending the
+    // newest id reproduces a rebuild byte for byte); an arrival gluing
+    // several components together invalidates all their states — the
+    // concatenation would not be the ascending-id dense subset a
+    // rebuild produces.
+    QueryId extended_root = -1;
+    if (delta_armed_) {
+      std::vector<QueryId> neighbour_roots;
+      auto note = [&](QueryId neighbour) {
+        if (neighbour == id) return;  // self-loop: no pre-existing root
+        QueryId root = FindRoot(neighbour);
+        for (QueryId seen : neighbour_roots) {
+          if (seen == root) return;
+        }
+        neighbour_roots.push_back(root);
+      };
+      for (size_t e : graph_.OutEdges(id)) note(graph_.edge(e).to);
+      for (size_t e : graph_.InEdges(id)) note(graph_.edge(e).from);
+      if (neighbour_roots.size() == 1) {
+        ExtendComponentState(neighbour_roots.front(), id);
+        extended_root = neighbour_roots.front();
+      } else if (neighbour_roots.size() > 1) {
+        for (QueryId root : neighbour_roots) DoomComponentState(root);
+      }
+    }
+
     for (size_t e : graph_.OutEdges(id)) {
       UnionComps(id, graph_.edge(e).to);
     }
     for (size_t e : graph_.InEdges(id)) {
       UnionComps(id, graph_.edge(e).from);
     }
-    dirty_roots_.insert(FindRoot(id));
+    const QueryId new_root = FindRoot(id);
+    if (extended_root >= 0 && new_root != extended_root) {
+      // The union picked the arrival as the surviving root (two
+      // singletons): re-key the extended state under it.
+      auto it = comp_states_.find(extended_root);
+      if (it != comp_states_.end()) {
+        auto state = std::move(it->second);
+        comp_states_.erase(it);
+        comp_states_.emplace(new_root, std::move(state));
+      }
+    }
+    dirty_roots_.insert(new_root);
   }
 }
 
@@ -265,6 +307,7 @@ bool CoordinationEngine::Cancel(QueryId id) {
   // Cancels apply inline (the caller needs the exact boolean), after
   // any queued submissions that arrived before it.
   DrainIntake();
+  doomed_states_.clear();  // previous round's references are released
   if (!IsPending(id)) return false;
   pending_[static_cast<size_t>(id)] = false;
   --num_pending_;
@@ -360,6 +403,9 @@ std::vector<QueryId> CoordinationEngine::RetireAndRepartition(
   // connected; Cancel retires a single query).
   QueryId root = FindRoot(retired[0]);
   dirty_roots_.erase(root);
+  // Retirement re-densifies the fragments' id spaces, so the persistent
+  // subset (and the memo keyed on its local ids) cannot survive.
+  DoomComponentState(root);
 
   std::vector<QueryId> survivors;
   for (QueryId m : comp_members_[static_cast<size_t>(root)]) {
@@ -449,13 +495,15 @@ void CoordinationEngine::BuildTask(QueryId root, EvalTask* task) const {
 }
 
 CoordinationEngine::EvalOutcome CoordinationEngine::RunTask(
-    const EvalTask& task) const {
+    const EvalTask& task, EvalMemo* memo) const {
   // Runs on a worker thread in parallel flushes: touches only the task,
-  // the read-only database, and a private coordinator.
+  // its component's private memo, the read-only database, and a private
+  // coordinator.
   EvalOutcome outcome;
   SccCoordinator coordinator(db_, options_.scc);
-  auto result = coordinator.Solve(task.subset, task.edges);
+  auto result = coordinator.Solve(task.subset, task.edges, memo);
   outcome.db_queries = coordinator.stats().db_queries;
+  outcome.memo_hits = coordinator.stats().memo_hits;
   if (result.ok()) {
     outcome.ok = true;
     outcome.solution = std::move(*result);
@@ -465,10 +513,132 @@ CoordinationEngine::EvalOutcome CoordinationEngine::RunTask(
   return outcome;
 }
 
+// ---------------------------------------------------------------------------
+// Delta-aware evaluation (EngineOptions::delta_eval)
+// ---------------------------------------------------------------------------
+
+CoordinationEngine::ComponentState* CoordinationEngine::EnsureComponentState(
+    QueryId root) {
+  root = FindRoot(root);
+  auto it = comp_states_.find(root);
+  if (it != comp_states_.end()) return it->second.get();
+  auto state = std::make_unique<ComponentState>();
+  BuildTask(root, &state->task);
+  ComponentState* ptr = state.get();
+  comp_states_.emplace(root, std::move(state));
+  return ptr;
+}
+
+void CoordinationEngine::ExtendComponentState(QueryId root, QueryId id) {
+  auto it = comp_states_.find(root);
+  if (it == comp_states_.end()) return;  // lazily rebuilt at next eval
+  ComponentState* state = it->second.get();
+  EvalTask* task = &state->task;
+  if (!task->original.empty() && task->original.back() >= id) {
+    // Appending would break the ascending-id invariant the dense subset
+    // depends on (cannot happen through the public paths, where an
+    // arrival always carries the largest id — but degrade to a rebuild
+    // rather than corrupt the subset).
+    DoomComponentState(root);
+    return;
+  }
+  // Adopt the arrival into the persistent subset.  AdoptQueries
+  // allocates dense variables in the same first-occurrence order
+  // Subset uses and queries never share variables, so the extended
+  // subset is byte-identical to a rebuild over the grown member list.
+  std::vector<std::pair<VarId, VarId>> var_map;
+  std::vector<QueryId> adopted = task->subset.AdoptQueries(all_, {id},
+                                                           &var_map);
+  ENTANGLED_CHECK_EQ(adopted.size(), size_t{1});
+  const QueryId arrival_local = adopted.front();
+  task->original.push_back(id);
+  task->original_vars.resize(task->subset.num_vars());
+  for (const auto& [source_var, local_var] : var_map) {
+    task->original_vars[static_cast<size_t>(local_var)] = source_var;
+  }
+  // min_id is unchanged: the arrival's id is the largest member.
+
+  auto local_id = [task](QueryId engine_id) {
+    auto pos = std::lower_bound(task->original.begin(),
+                                task->original.end(), engine_id);
+    ENTANGLED_CHECK(pos != task->original.end() && *pos == engine_id);
+    return static_cast<QueryId>(pos - task->original.begin());
+  };
+  // The arrival's incident edges are exactly the new ones; a self-loop
+  // shows up in both directions but is one edge.
+  for (size_t e : graph_.OutEdges(id)) {
+    const ExtendedEdge& edge = graph_.edge(e);
+    task->edges.push_back(ExtendedEdge{arrival_local, edge.post_index,
+                                       local_id(edge.to), edge.head_index});
+  }
+  for (size_t e : graph_.InEdges(id)) {
+    const ExtendedEdge& edge = graph_.edge(e);
+    if (edge.from == id) continue;  // self-loop already appended above
+    task->edges.push_back(ExtendedEdge{local_id(edge.from), edge.post_index,
+                                       arrival_local, edge.head_index});
+  }
+  // Restore the canonical order BuildTask establishes (nearly sorted:
+  // only the appended tail is out of place).
+  std::sort(task->edges.begin(), task->edges.end(),
+            [](const ExtendedEdge& a, const ExtendedEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.post_index != b.post_index)
+                return a.post_index < b.post_index;
+              if (a.to != b.to) return a.to < b.to;
+              return a.head_index < b.head_index;
+            });
+  state->members_changed = true;
+}
+
+bool CoordinationEngine::CanSkipEvaluation(const ComponentState& state) const {
+  if (!state.clean_failure) return false;
+  if (state.members_changed && !options_.fault.poison_eval_cache) {
+    return false;
+  }
+  // Membership (hence the edge slice) is unchanged, so the outcome can
+  // only differ if a relation some member's body reads has changed.
+  for (const auto& [relation, version] : state.stamps) {
+    const uint64_t now =
+        relation != nullptr ? relation->version() : db_->version();
+    if (now != version) return false;
+  }
+  return true;
+}
+
+void CoordinationEngine::RecordCleanFailure(ComponentState* state) const {
+  state->clean_failure = true;
+  state->members_changed = false;
+  state->stamps.clear();
+  // Stamp every relation the evaluation could have read: failing
+  // evaluations touch the database only through member bodies (the
+  // domain scan of CompleteAssignment runs only on deliveries, which
+  // destroy the state anyway).  A body naming an absent relation pins
+  // the catalog version instead, so a later CreateRelation invalidates.
+  std::unordered_set<std::string> seen;
+  const QuerySet& subset = state->task.subset;
+  for (QueryId q = 0; q < static_cast<QueryId>(subset.size()); ++q) {
+    for (const Atom& atom : subset.query(q).body) {
+      if (!seen.insert(atom.relation).second) continue;
+      const Relation* relation = db_->Find(atom.relation);
+      state->stamps.emplace_back(
+          relation,
+          relation != nullptr ? relation->version() : db_->version());
+    }
+  }
+}
+
+void CoordinationEngine::DoomComponentState(QueryId root) {
+  auto it = comp_states_.find(root);
+  if (it == comp_states_.end()) return;
+  doomed_states_.push_back(std::move(it->second));
+  comp_states_.erase(it);
+}
+
 bool CoordinationEngine::ApplyOutcome(const EvalTask& task,
                                       EvalOutcome outcome,
                                       std::vector<QueryId>* new_roots) {
   stats_.db_queries += outcome.db_queries;
+  stats_.eval_cache_hits += outcome.memo_hits;
   if (!outcome.ok) {
     if (outcome.unsafe) ++stats_.unsafe_components;
     return false;
@@ -498,8 +668,23 @@ bool CoordinationEngine::ApplyOutcome(const EvalTask& task,
 
 bool CoordinationEngine::EvaluateComponentOf(QueryId root) {
   if (!IsPending(root)) return false;
+  doomed_states_.clear();  // previous round's references are released
   dirty_roots_.erase(FindRoot(root));
   flush_arena_.Reset();
+  if (delta_armed_) {
+    ComponentState* state = EnsureComponentState(root);
+    if (CanSkipEvaluation(*state)) {
+      ++stats_.evaluations_avoided;
+      return false;
+    }
+    ++stats_.evaluations;
+    const bool delivered =
+        ApplyOutcome(state->task, RunTask(state->task, &state->memo));
+    // On delivery the state was doomed by the repartition; on failure
+    // it survives — arm the skip fingerprint.
+    if (!delivered) RecordCleanFailure(state);
+    return delivered;
+  }
   BuildTask(root, &arrival_task_);
   ++stats_.evaluations;
   return ApplyOutcome(arrival_task_, RunTask(arrival_task_));
@@ -522,9 +707,26 @@ size_t CoordinationEngine::IncrementalFlush() {
   // pooled in eval_slots_.  A steady-state flush therefore performs no
   // per-component heap allocation for its own bookkeeping — at any
   // flush_threads, including the serial path.
+  doomed_states_.clear();  // previous round's references are released
   flush_arena_.Reset();
   eval_slots_used_ = 0;
   size_t ran_watermark = 0;  // slots below this have outcomes
+
+  // Facts changed since the last flush: every pending component's last
+  // verdict is potentially stale, exactly as the from-scratch reference
+  // path (which re-examines everything each Flush) would discover.
+  // Mark all live components dirty — independent of delta_eval, so both
+  // settings stay byte-identical to the oracle; with delta_eval armed
+  // the stamp fingerprints below prune the flood back down to the
+  // components that actually read a mutated relation.
+  if (db_->version() != last_db_version_) {
+    last_db_version_ = db_->version();
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i]) {
+        dirty_roots_.insert(FindRoot(static_cast<QueryId>(i)));
+      }
+    }
+  }
 
   // Results are applied strictly in ascending smallest-member order —
   // the order the reference path discovers components in — so delivery
@@ -535,12 +737,27 @@ size_t CoordinationEngine::IncrementalFlush() {
       std::greater<HeapItem>(), HeapVec(ArenaAllocator<HeapItem>(&flush_arena_))};
 
   auto dispatch = [&](QueryId root) {
+    ComponentState* state = nullptr;
+    if (delta_armed_) {
+      state = EnsureComponentState(root);
+      if (CanSkipEvaluation(*state)) {
+        // Provably the same failure as last time: skip the solver.
+        ++stats_.evaluations_avoided;
+        return;
+      }
+    }
     if (eval_slots_used_ == eval_slots_.size()) eval_slots_.emplace_back();
     PendingEval& eval = eval_slots_[eval_slots_used_];
-    BuildTask(root, &eval.task);
+    eval.state = state;
+    if (state != nullptr) {
+      eval.task_ptr = &state->task;
+    } else {
+      BuildTask(root, &eval.task);
+      eval.task_ptr = &eval.task;
+    }
     eval.ran = false;
     ++stats_.evaluations;
-    apply_order.push({eval.task.min_id, eval_slots_used_});
+    apply_order.push({eval.task_ptr->min_id, eval_slots_used_});
     ++eval_slots_used_;
   };
 
@@ -555,15 +772,18 @@ size_t CoordinationEngine::IncrementalFlush() {
     if (pool == nullptr) {
       for (size_t i = begin; i < eval_slots_used_; ++i) {
         PendingEval& eval = eval_slots_[i];
-        eval.outcome = RunTask(eval.task);
+        eval.outcome = RunTask(*eval.task_ptr,
+                               eval.state ? &eval.state->memo : nullptr);
         eval.ran = true;
       }
     } else {
       // Workers write into disjoint pre-sized slots; no slot is created
-      // or destroyed while the wave runs, so the deque is stable.
+      // or destroyed while the wave runs, so the deque is stable (and
+      // each component's state/memo is touched by exactly one worker).
       pool->RunChunked(n, options_.flush_chunk, [this, begin](size_t i) {
         PendingEval& eval = eval_slots_[begin + i];
-        eval.outcome = RunTask(eval.task);
+        eval.outcome = RunTask(*eval.task_ptr,
+                               eval.state ? &eval.state->memo : nullptr);
         eval.ran = true;
       });
     }
@@ -591,7 +811,8 @@ size_t CoordinationEngine::IncrementalFlush() {
     apply_order.pop();
     PendingEval& eval = eval_slots_[index];
     std::vector<QueryId> fragment_roots;
-    if (ApplyOutcome(eval.task, std::move(eval.outcome), &fragment_roots)) {
+    if (ApplyOutcome(*eval.task_ptr, std::move(eval.outcome),
+                     &fragment_roots)) {
       ++delivered;
       // A delivery shrank its component; the surviving fragments may
       // coordinate on their own — evaluate them within this flush.
@@ -599,6 +820,8 @@ size_t CoordinationEngine::IncrementalFlush() {
         dirty_roots_.erase(root);
         dispatch(root);
       }
+    } else if (eval.state != nullptr) {
+      RecordCleanFailure(eval.state);
     }
   }
   return delivered;
@@ -642,6 +865,11 @@ CoordinationEngine::PendingExtract CoordinationEngine::ExtractPending() {
     comp_min_.clear();
     comp_members_.clear();
     dirty_roots_.clear();
+    // Migration invalidates the delta caches wholesale: the extracted
+    // queries get new dense ids wherever they land, so neither the
+    // persistent subsets nor the memo keys mean anything there.
+    comp_states_.clear();
+    doomed_states_.clear();
   }
   return extract;
 }

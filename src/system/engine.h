@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -34,6 +35,8 @@ struct EngineStats {
   uint64_t coordinating_sets = 0;    ///< solutions delivered
   uint64_t unsafe_components = 0;    ///< components skipped as unsafe
   uint64_t db_queries = 0;           ///< conjunctive queries issued
+  uint64_t eval_cache_hits = 0;      ///< sweep steps served by an EvalMemo
+  uint64_t evaluations_avoided = 0;  ///< dirty components skipped via stamps
 
   /// Field-wise accumulation, so per-shard counters aggregate into one
   /// engine-wide snapshot (system/sharded_engine.h).
@@ -45,6 +48,8 @@ struct EngineStats {
     coordinating_sets += other.coordinating_sets;
     unsafe_components += other.unsafe_components;
     db_queries += other.db_queries;
+    eval_cache_hits += other.eval_cache_hits;
+    evaluations_avoided += other.evaluations_avoided;
     return *this;
   }
   friend EngineStats operator+(EngineStats a, const EngineStats& b) {
@@ -65,6 +70,14 @@ struct EngineFaultInjection {
   /// never re-examined, and the engine silently misses deliveries the
   /// from-scratch oracle makes.
   bool lose_dirty_on_cancel = false;
+
+  /// The delta-eval skip path ignores the members-changed bit of the
+  /// component fingerprint: a component that gained a member since its
+  /// last failing evaluation is wrongly skipped as "provably the same
+  /// failure", so deliveries the new member enabled are silently
+  /// missed.  Proves the stress harness detects a broken cache
+  /// invalidation discipline.
+  bool poison_eval_cache = false;
 };
 
 /// \brief Options for CoordinationEngine.
@@ -120,6 +133,16 @@ struct EngineOptions {
   /// engine here so shard fan-out and component evaluation share one
   /// set of workers instead of spawning a pool per shard.
   ThreadPool* shared_pool = nullptr;
+
+  /// Delta-aware component evaluation (incremental path only): each
+  /// live component keeps a persistent dense subset (extended in place
+  /// on arrivals instead of rebuilt per flush), an EvalMemo of per-R(c)
+  /// sweep verdicts keyed on relation version stamps, and a failure
+  /// fingerprint that lets a dirty-but-unchanged component skip the
+  /// solver entirely (EngineStats::evaluations_avoided).  Outcomes are
+  /// byte-identical to delta_eval = false at every setting — the cache
+  /// is only consulted where a recompute is provably identical.
+  bool delta_eval = true;
 
   /// Passed through to the SCC Coordination Algorithm.
   SccOptions scc;
@@ -367,15 +390,40 @@ class CoordinationEngine : public CoordinationService {
     CoordinationSolution solution;  ///< local ids; valid when ok
     bool unsafe = false;            ///< FailedPrecondition (safety)
     uint64_t db_queries = 0;
+    uint64_t memo_hits = 0;         ///< sweep steps served by the memo
+  };
+
+  /// Persistent per-component evaluation state (delta_eval), keyed by
+  /// union-find root.  The task's dense subset/maps/edges are extended
+  /// in place when an arrival joins exactly this component — appending
+  /// the newest (largest) id reproduces byte for byte what a rebuild
+  /// over the ascending member list would produce, so local ids and
+  /// variables stay stable and the memo's keys stay meaningful.  Any
+  /// other structure change (multi-component merge, cancel or delivery
+  /// repartition, migration) drops the state; it is lazily rebuilt at
+  /// the next evaluation.
+  struct ComponentState {
+    EvalTask task;
+    EvalMemo memo;  ///< per-R(c) sweep verdicts (algo/scc_coordination.h)
+    bool members_changed = true;  ///< membership changed since last eval
+    bool clean_failure = false;   ///< last eval completed, delivered nothing
+    /// (relation, version) for every relation read by the last failing
+    /// evaluation; all unchanged + membership unchanged ⇒ the same
+    /// failure is provable without running the solver.
+    std::vector<std::pair<const Relation*, uint64_t>> stamps;
   };
 
   /// One reusable evaluation slot: task built on the coordinating
   /// thread, outcome written by whichever participant claims the slot's
   /// chunk, applied on the coordinating thread in min-id heap order.
   /// Slots persist across flushes so a steady-state flush reuses their
-  /// vector capacity instead of allocating per evaluation.
+  /// vector capacity instead of allocating per evaluation.  With
+  /// delta_eval armed the slot borrows the component's persistent task
+  /// (`task_ptr` into `state`) instead of building into its own.
   struct PendingEval {
     EvalTask task;
+    const EvalTask* task_ptr = nullptr;  ///< &task, or &state->task
+    ComponentState* state = nullptr;     ///< non-null on the delta path
     EvalOutcome outcome;
     bool ran = false;  ///< outcome valid (read only at wave barriers)
   };
@@ -416,7 +464,26 @@ class CoordinationEngine : public CoordinationService {
   /// Builds `root`'s component evaluation into `*task`, reusing the
   /// task's vector capacity; member scratch comes from flush_arena_.
   void BuildTask(QueryId root, EvalTask* task) const;
-  EvalOutcome RunTask(const EvalTask& task) const;
+  EvalOutcome RunTask(const EvalTask& task, EvalMemo* memo = nullptr) const;
+
+  // ---- delta-aware evaluation (options_.delta_eval) ------------------
+
+  /// The persistent state of `root`'s component, built on first use.
+  ComponentState* EnsureComponentState(QueryId root);
+  /// Appends arrival `id` — which must carry the largest engine id — to
+  /// `root`'s persistent subset/edges, if a state exists (no-op
+  /// otherwise; the state is lazily built at the next evaluation).
+  void ExtendComponentState(QueryId root, QueryId id);
+  /// Whether the stamp fingerprint proves re-evaluating `state` would
+  /// reproduce its last failure (EngineStats::evaluations_avoided).
+  bool CanSkipEvaluation(const ComponentState& state) const;
+  /// Records a completed no-delivery evaluation: arms the skip
+  /// fingerprint with the current relation stamps.
+  void RecordCleanFailure(ComponentState* state) const;
+  /// Moves `root`'s state (if any) to doomed_states_, which keeps the
+  /// task storage alive until the current evaluation round finishes —
+  /// ApplyOutcome holds references into it across the repartition.
+  void DoomComponentState(QueryId root);
   /// Applies one outcome: delivers + retires on success.  Returns
   /// whether a coordinating set was delivered; on delivery the
   /// repartitioned fragment roots land in `new_roots` when non-null.
@@ -490,6 +557,12 @@ class CoordinationEngine : public CoordinationService {
   std::vector<std::vector<QueryId>> comp_members_;  // at roots
   std::unordered_set<QueryId> dirty_roots_;
   std::unique_ptr<ThreadPool> pool_;     // lazily created by FlushPool()
+
+  // ---- delta-aware evaluation state ----
+  bool delta_armed_ = false;             // incremental && delta_eval
+  uint64_t last_db_version_ = 0;         // db_->version() at last flush
+  std::unordered_map<QueryId, std::unique_ptr<ComponentState>> comp_states_;
+  std::vector<std::unique_ptr<ComponentState>> doomed_states_;
 
   // ---- flush scratch (coordinating thread; reset per flush) ----
   std::deque<PendingEval> eval_slots_;   // stable refs; reused per flush

@@ -54,23 +54,27 @@ EngineVariant OracleVariant() {
 EngineVariant IncrementalVariant(size_t threads,
                                  const EngineFaultInjection& fault,
                                  size_t intake_capacity = 0,
-                                 size_t flush_chunk = 0) {
+                                 size_t flush_chunk = 0,
+                                 bool delta_eval = true) {
   EngineVariant variant;
   variant.engine.incremental = true;
   variant.engine.evaluate_every = 1;
   variant.engine.flush_threads = threads;
   variant.engine.intake_capacity = intake_capacity;
   if (flush_chunk > 0) variant.engine.flush_chunk = flush_chunk;
+  variant.engine.delta_eval = delta_eval;
   variant.engine.fault = fault;
   return variant;
 }
 
 EngineVariant ShardedVariant(size_t shard_threads,
-                             const EngineFaultInjection& fault) {
+                             const EngineFaultInjection& fault,
+                             bool delta_eval = true) {
   EngineVariant variant;
   variant.sharded = true;
   variant.engine.incremental = true;
   variant.engine.evaluate_every = 1;
+  variant.engine.delta_eval = delta_eval;
   variant.engine.fault = fault;
   variant.shard_threads = shard_threads;
   return variant;
@@ -538,6 +542,37 @@ std::string StressHarness::CheckOnce(const Database& db,
     if (!err.empty()) return err;
     err = CompareRuns("oracle", oracle, label, run);
     if (!err.empty()) return err;
+  }
+  // Delta-aware evaluation off: the memoization/skip machinery must be
+  // a pure optimization — disabling it cannot change any outcome.  One
+  // incremental variant per flush-thread count plus one sharded width.
+  if (options_.cross_delta_eval) {
+    for (size_t threads : options_.flush_thread_counts) {
+      const std::string label =
+          "incremental[flush_threads=" + std::to_string(threads) +
+          ",delta_eval=off]";
+      StressReplay run = Replay(
+          db,
+          IncrementalVariant(threads, options_.fault, /*intake_capacity=*/0,
+                             /*flush_chunk=*/0, /*delta_eval=*/false),
+          events);
+      err = CheckInvariants(label, run);
+      if (!err.empty()) return err;
+      err = CompareRuns("oracle", oracle, label, run);
+      if (!err.empty()) return err;
+    }
+    if (!options_.shard_thread_counts.empty()) {
+      const size_t threads = options_.shard_thread_counts.back();
+      const std::string label = "sharded[shard_threads=" +
+                                std::to_string(threads) + ",delta_eval=off]";
+      StressReplay run = Replay(
+          db, ShardedVariant(threads, options_.fault, /*delta_eval=*/false),
+          events);
+      err = CheckInvariants(label, run);
+      if (!err.empty()) return err;
+      err = CompareRuns("oracle", oracle, label, run);
+      if (!err.empty()) return err;
+    }
   }
   // The session front door must be a transparent overlay on every
   // variant: per-session push streams equal to the PollEvents() drains,

@@ -65,6 +65,15 @@ struct StressOptions {
   /// runs clean).  Used by negative tests to prove the harness detects
   /// a deliberately-broken engine; see EngineFaultInjection.
   EngineFaultInjection fault;
+
+  /// Additionally replay every scenario with delta-aware evaluation
+  /// disabled (`EngineOptions::delta_eval = false`) — one incremental
+  /// variant per flush-thread count plus one sharded variant — and hold
+  /// those replays to the same byte-identical contract.  The default-on
+  /// variants above exercise delta evaluation; this crossing proves the
+  /// memo/skip machinery never *changes* an outcome relative to the
+  /// plain incremental path.
+  bool cross_delta_eval = true;
 };
 
 /// \brief One recorded delivery: engine ids plus the witness.

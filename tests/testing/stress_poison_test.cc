@@ -1,0 +1,125 @@
+// Negative coverage for the delta-evaluation cache: the stress harness
+// must *fail* when the skip fingerprint is deliberately corrupted.
+// EngineFaultInjection::poison_eval_cache makes CanSkipEvaluation
+// ignore membership changes, so a component that cleanly failed once
+// keeps skipping the solver even after an arrival makes it deliverable
+// — the incremental engine silently misses deliveries the oracle makes,
+// and the harness has to report the divergence and shrink the stream.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/stress_harness.h"
+#include "workload/generator.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+WorkloadEvent Submit(const std::string& text) {
+  WorkloadEvent event;
+  event.kind = WorkloadEvent::Kind::kSubmit;
+  event.texts = {text};
+  return event;
+}
+
+WorkloadEvent Flush() {
+  WorkloadEvent event;
+  event.kind = WorkloadEvent::Kind::kFlush;
+  return event;
+}
+
+WorkloadEvent EvalEvery(size_t n) {
+  WorkloadEvent event;
+  event.kind = WorkloadEvent::Kind::kSetEvaluateEvery;
+  event.evaluate_every = n;
+  return event;
+}
+
+class StressPoisonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 16).ok());
+  }
+
+  /// `a` fails alone (its postcondition unifies with no head), arming
+  /// the clean-failure fingerprint; `b` then closes the cycle and makes
+  /// {a, b} deliverable.  A poisoned cache ignores the membership
+  /// change, sees unchanged relation stamps, and skips the very
+  /// evaluation that would deliver.
+  std::vector<WorkloadEvent> FailThenCompleteStream() {
+    return {
+        EvalEvery(0),
+        Submit("a: { U(B, x) } U(A, x) :- Users(x, 'user1')."),
+        Flush(),  // no coordinating set: clean failure memoized
+        Submit("b: { U(A, y) } U(B, y) :- Users(y, 'user1')."),
+        Flush(),  // oracle delivers {a, b}; poisoned engine skips
+    };
+  }
+
+  Database db_;
+};
+
+TEST_F(StressPoisonTest, CleanEnginePassesDirectedStream) {
+  StressHarness harness;
+  StressReport report = harness.VerifyEvents(db_, FailThenCompleteStream());
+  EXPECT_TRUE(report.ok) << report.failure;
+  EXPECT_EQ(report.deliveries, 1u);
+}
+
+TEST_F(StressPoisonTest, InjectedFaultIsCaughtAndShrunk) {
+  StressOptions options;
+  options.fault.poison_eval_cache = true;
+  StressHarness harness(options);
+  StressReport report = harness.VerifyEvents(db_, FailThenCompleteStream());
+  ASSERT_FALSE(report.ok)
+      << "a poisoned eval cache must surface as a differential failure";
+  // The divergence is a missed delivery, reported against the oracle.
+  EXPECT_NE(report.failure.find("coordinating sets"), std::string::npos)
+      << report.failure;
+  EXPECT_GT(report.shrunk_events, 0u);
+  EXPECT_LE(report.shrunk_events, FailThenCompleteStream().size() + 1);
+  EXPECT_NE(report.reproduction.find("STRESS_REPRO"), std::string::npos);
+  EXPECT_NE(report.reproduction.find("FLUSH"), std::string::npos)
+      << report.reproduction;
+}
+
+TEST_F(StressPoisonTest, GeneratedScenariosCatchTheFaultToo) {
+  // Purely generated workloads must catch it as well: growing chain
+  // components fail until the last link arrives, so a poisoned skip
+  // suppresses the completing evaluation on most seeds.
+  GeneratorOptions gen;
+  gen.topology = GraphTopology::kChain;
+  gen.num_queries = 24;
+  gen.cancel_rate = 0.5;
+  gen.unsafe_rate = 0.4;
+  gen.min_group = 3;
+
+  StressOptions faulty;
+  faulty.fault.poison_eval_cache = true;
+  faulty.run_metamorphic = false;  // the base differential is the point
+  StressHarness faulty_harness(faulty);
+  StressHarness clean_harness;
+
+  bool caught = false;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    gen.seed = seed;
+    StressReport clean = clean_harness.RunScenario(gen);
+    EXPECT_TRUE(clean.ok) << "seed " << seed
+                          << " must pass without the fault: " << clean.failure;
+    StressReport report = faulty_harness.RunScenario(gen);
+    if (!report.ok) {
+      caught = true;
+      EXPECT_NE(report.reproduction.find("STRESS_REPRO"), std::string::npos);
+      EXPECT_LE(report.shrunk_events, report.events + 1);
+      break;
+    }
+  }
+  EXPECT_TRUE(caught)
+      << "no chain seed in 1..12 exposed the poisoned eval cache";
+}
+
+}  // namespace
+}  // namespace entangled

@@ -18,6 +18,7 @@ benches=(
   bench_scenarios
   bench_sharded_stream
   bench_flush_pipeline
+  bench_delta_eval
 )
 
 status=0
