@@ -1,0 +1,187 @@
+// Session front-door admission overhead: submissions/sec through a
+// SessionManager with the production-hardening gates disarmed versus
+// armed (per-session pending quota + overload shedding), on a seeded
+// generator workload replayed round-robin across 4 sessions.
+//
+// The armed run is NOT an apples-to-apples throughput comparison — a
+// quota's whole point is that some submissions bounce (cheaply, before
+// any engine work) — so the series reports both the wall time and the
+// bounce count.  What the bench gates informally is the *disarmed*
+// overhead: with every limit at 0 the admission gate is a handful of
+// integer compares, so quotas-off session throughput should track the
+// pre-quota session layer.  The final record times Metrics() snapshots,
+// which operators poll continuously.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "system/engine.h"
+#include "workload/generator.h"
+
+namespace entangled {
+namespace {
+
+constexpr size_t kNumQueries = 1200;
+constexpr size_t kSessions = 4;
+constexpr size_t kQuotaMaxPending = 8;
+constexpr int kReps = 3;
+
+struct ReplayResult {
+  size_t accepted = 0;
+  size_t bounced = 0;
+};
+
+/// Replays the generated stream through quota-armed (or disarmed)
+/// sessions; only quota bounces are tolerated.
+ReplayResult ReplayOnce(const Database& db,
+                        const std::vector<WorkloadEvent>& events,
+                        const SessionOptions& session_options,
+                        const ManagerOptions& manager_options) {
+  ReplayResult result;
+  EngineOptions engine_options;
+  engine_options.evaluate_every = 0;  // admission cost, not solver cost
+  CoordinationEngine engine(&db, engine_options);
+  SessionManager manager(&engine, manager_options);
+  std::vector<ClientSession*> sessions;
+  for (size_t i = 0; i < kSessions; ++i) {
+    sessions.push_back(manager.Open(session_options));
+  }
+  size_t next = 0;
+  for (const WorkloadEvent& event : events) {
+    switch (event.kind) {
+      case WorkloadEvent::Kind::kSubmit: {
+        SubmitOutcome outcome =
+            sessions[next++ % kSessions]->Submit(event.texts.front());
+        if (outcome.ok()) {
+          ++result.accepted;
+        } else {
+          ENTANGLED_CHECK(outcome.reason == RejectReason::kQuotaPending ||
+                          outcome.reason == RejectReason::kOverloaded)
+              << outcome.message;
+          ++result.bounced;
+        }
+        break;
+      }
+      case WorkloadEvent::Kind::kSubmitBatch: {
+        BatchOutcome outcome =
+            sessions[next++ % kSessions]->SubmitBatch(event.texts);
+        if (outcome.ok()) {
+          result.accepted += event.texts.size();
+        } else {
+          ENTANGLED_CHECK(outcome.reason == RejectReason::kQuotaPending ||
+                          outcome.reason == RejectReason::kOverloaded)
+              << outcome.message;
+          result.bounced += event.texts.size();
+        }
+        break;
+      }
+      case WorkloadEvent::Kind::kCancel: {
+        const std::vector<QueryId> pending = manager.PendingQueries();
+        if (pending.empty()) break;
+        const QueryId gid = pending[event.cancel_rank % pending.size()];
+        const SessionId owner = manager.OwnerOf(gid);
+        if (owner >= 0) manager.Find(owner)->Cancel(gid);
+        break;
+      }
+      case WorkloadEvent::Kind::kSetEvaluateEvery:
+        // Cadence toggles would reintroduce solver cost; skip.
+        break;
+      case WorkloadEvent::Kind::kFlush:
+        break;
+    }
+  }
+  for (ClientSession* session : sessions) session->PollEvents();
+  return result;
+}
+
+}  // namespace
+}  // namespace entangled
+
+int main() {
+  using namespace entangled;
+
+  GeneratorOptions gen;
+  gen.seed = 11;
+  gen.num_queries = kNumQueries;
+  WorkloadGenerator generator(gen);
+  Database db;
+  ENTANGLED_CHECK(generator.BuildDatabase(&db).ok());
+  const GeneratedWorkload workload = generator.Generate();
+  size_t total_texts = 0;
+  for (const WorkloadEvent& event : workload.events) {
+    total_texts += event.texts.size();
+  }
+
+  benchutil::PrintSeriesHeader(
+      "Session admission: quotas disarmed vs armed",
+      {"variant", "time_ms", "submits_per_sec", "accepted", "bounced"});
+
+  const SessionOptions off;
+  const ManagerOptions none;
+  ReplayResult off_result;
+  const double off_ms = benchutil::MeanMillis(
+      kReps, [&] { off_result = ReplayOnce(db, workload.events, off, none); });
+  std::printf("off,%.3f,%.0f,%zu,%zu\n", off_ms,
+              1000.0 * static_cast<double>(total_texts) / off_ms,
+              off_result.accepted, off_result.bounced);
+  benchutil::PrintJsonRecord(
+      "session_quota_off",
+      {{"queries", static_cast<double>(total_texts)},
+       {"time_ms", off_ms},
+       {"submits_per_sec",
+        1000.0 * static_cast<double>(total_texts) / off_ms},
+       {"bounced", static_cast<double>(off_result.bounced)}});
+
+  SessionOptions armed;
+  armed.max_pending = kQuotaMaxPending;
+  ManagerOptions shedding;
+  shedding.shed_high_water = kSessions * kQuotaMaxPending;  // unreachable
+  ReplayResult armed_result;
+  const double armed_ms = benchutil::MeanMillis(kReps, [&] {
+    armed_result = ReplayOnce(db, workload.events, armed, shedding);
+  });
+  std::printf("armed,%.3f,%.0f,%zu,%zu\n", armed_ms,
+              1000.0 * static_cast<double>(total_texts) / armed_ms,
+              armed_result.accepted, armed_result.bounced);
+  ENTANGLED_CHECK(armed_result.bounced > 0)
+      << "quota bench exercised no bounces; tighten kQuotaMaxPending";
+  benchutil::PrintJsonRecord(
+      "session_quota_armed",
+      {{"queries", static_cast<double>(total_texts)},
+       {"time_ms", armed_ms},
+       {"submits_per_sec",
+        1000.0 * static_cast<double>(total_texts) / armed_ms},
+       {"bounced", static_cast<double>(armed_result.bounced)}});
+
+  // Snapshot cost: what an operator dashboard pays per poll.
+  {
+    EngineOptions engine_options;
+    engine_options.evaluate_every = 0;
+    CoordinationEngine engine(&db, engine_options);
+    SessionManager manager(&engine);
+    ClientSession* session = manager.Open();
+    for (const WorkloadEvent& event : workload.events) {
+      if (event.kind == WorkloadEvent::Kind::kSubmit) {
+        ENTANGLED_CHECK(session->Submit(event.texts.front()).ok());
+      }
+    }
+    constexpr int kSnapshots = 200;
+    std::string last_json;
+    const double snap_ms = benchutil::MeanMillis(1, [&] {
+      for (int i = 0; i < kSnapshots; ++i) {
+        last_json = manager.Metrics().ToJson();
+      }
+    });
+    std::printf("metrics_snapshot,%.4f,,,%zu\n", snap_ms / kSnapshots,
+                last_json.size());
+    benchutil::PrintJsonRecord(
+        "session_metrics_snapshot",
+        {{"snapshot_ms", snap_ms / kSnapshots},
+         {"json_bytes", static_cast<double>(last_json.size())}});
+  }
+  return 0;
+}

@@ -1,9 +1,12 @@
 #include "api/session.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <map>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "core/parser.h"
 #include "db/atom.h"
 
@@ -37,19 +40,32 @@ bool IsSelfUnsafe(const EntangledQuery& query) {
 /// Per-query admission check; kNone when the text passes (or when the
 /// session forwards verbatim).  `message` receives the detail.  The
 /// scratch parse is the deliberate price of checking *before* the
-/// engine sees the query; sessions that forward verbatim
-/// (reject_defective = false, e.g. the stress harness) skip it
-/// entirely.
+/// engine sees the query; sessions with neither defect checks nor a
+/// footprint quota (e.g. the stress harness default) skip it entirely.
 RejectReason CheckText(const SessionOptions& options, const std::string& text,
                        std::string* message) {
-  if (!options.reject_defective) return RejectReason::kNone;
+  const bool check_defective = options.reject_defective;
+  const bool check_footprint = options.max_body_atoms > 0;
+  if (!check_defective && !check_footprint) return RejectReason::kNone;
   QuerySet scratch;
   auto parsed = ParseQuery(text, &scratch);
   if (!parsed.ok()) {
+    // A footprint quota alone does not opt the session into pre-engine
+    // validation: unparseable texts are forwarded verbatim and the
+    // service's own rejection is classified as usual.
+    if (!check_defective) return RejectReason::kNone;
     *message = parsed.status().message();
     return RejectReason::kParseError;
   }
   const EntangledQuery& query = scratch.query(*parsed);
+  if (check_footprint && query.body.size() > options.max_body_atoms) {
+    *message = "body of '" + query.name + "' has " +
+               std::to_string(query.body.size()) +
+               " atoms; this session's footprint quota is " +
+               std::to_string(options.max_body_atoms);
+    return RejectReason::kQuotaFootprint;
+  }
+  if (!check_defective) return RejectReason::kNone;
   if (HasDuplicateHeads(query)) {
     *message = "two head atoms of '" + query.name +
                "' unify with each other (one answer slot booked twice)";
@@ -69,9 +85,26 @@ RejectReason ClassifyServiceRejection(const Status& status) {
                                     : RejectReason::kInternal;
 }
 
+/// Records the enclosing scope's wall time into one histogram.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram* histogram)
+      : histogram_(histogram) {}
+  ~ScopedLatency() { histogram_->Record(timer_.ElapsedNanos()); }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  LatencyHistogram* histogram_;
+  WallTimer timer_;
+};
+
 }  // namespace
 
 const char* RejectReasonName(RejectReason reason) {
+  // Exhaustive on purpose — no default case, so adding a RejectReason
+  // without naming it is a -Wswitch compile warning here, and the
+  // trailing CHECK catches out-of-range values at runtime.
   switch (reason) {
     case RejectReason::kNone:
       return "none";
@@ -83,10 +116,20 @@ const char* RejectReasonName(RejectReason reason) {
       return "unsafe";
     case RejectReason::kSessionClosed:
       return "session_closed";
+    case RejectReason::kQuotaPending:
+      return "quota_pending";
+    case RejectReason::kQuotaRate:
+      return "quota_rate";
+    case RejectReason::kQuotaFootprint:
+      return "quota_footprint";
+    case RejectReason::kOverloaded:
+      return "overloaded";
     case RejectReason::kInternal:
       return "internal";
   }
-  return "unknown";
+  ENTANGLED_CHECK(false) << "unnamed RejectReason "
+                         << static_cast<int>(reason);
+  return nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -114,6 +157,7 @@ std::vector<QueryId> ClientSession::PendingQueries() const {
 }
 
 std::vector<SessionEvent> ClientSession::PollEvents() {
+  ScopedLatency scoped(&manager_->lat_poll_events_);
   std::vector<SessionEvent> events(std::make_move_iterator(events_.begin()),
                                    std::make_move_iterator(events_.end()));
   events_.clear();
@@ -128,9 +172,16 @@ void ClientSession::Close() {
 // SessionManager
 // ---------------------------------------------------------------------------
 
-SessionManager::SessionManager(CoordinationService* service)
-    : service_(service) {
+SessionManager::SessionManager(CoordinationService* service,
+                               ManagerOptions options)
+    : service_(service), options_(std::move(options)) {
   ENTANGLED_CHECK(service != nullptr);
+  if (options_.shed_low_water == 0 && options_.shed_high_water > 0) {
+    options_.shed_low_water = options_.shed_high_water / 2;
+  }
+  ENTANGLED_CHECK(options_.shed_high_water == 0 ||
+                  options_.shed_low_water < options_.shed_high_water)
+      << "shed_low_water must sit below shed_high_water";
   service_->set_delivery_callback(
       [this](const Delivery& delivery) { OnDelivery(delivery); });
 }
@@ -177,23 +228,155 @@ std::vector<const ClientSession*> SessionManager::sessions() const {
   return all;
 }
 
+size_t SessionManager::Flush() {
+  ScopedLatency scoped(&lat_flush_);
+  return service_->Flush();
+}
+
+// ----- quotas, shedding, and pending accounting ---------------------------
+
+uint64_t SessionManager::NowNanos() const {
+  if (options_.clock_nanos) return options_.clock_nanos();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SessionManager::RefillBucket(ClientSession* session) {
+  const double rate = session->options_.max_queries_per_sec;
+  const double burst = std::max(1.0, std::ceil(rate));
+  const uint64_t now = NowNanos();
+  if (!session->bucket_primed_) {
+    session->tokens_ = burst;
+    session->last_refill_ns_ = now;
+    session->bucket_primed_ = true;
+    return;
+  }
+  if (now <= session->last_refill_ns_) return;
+  const double elapsed_sec =
+      static_cast<double>(now - session->last_refill_ns_) * 1e-9;
+  session->tokens_ = std::min(burst, session->tokens_ + elapsed_sec * rate);
+  session->last_refill_ns_ = now;
+}
+
+void SessionManager::SpendTokens(ClientSession* session, double cost) {
+  if (session->options_.max_queries_per_sec <= 0) return;
+  RefillBucket(session);
+  session->tokens_ = std::max(0.0, session->tokens_ - cost);
+}
+
+bool SessionManager::UpdateShedding() {
+  const size_t high = options_.shed_high_water;
+  const size_t intake_high = options_.shed_intake_high_water;
+  if (high == 0 && intake_high == 0) return false;
+  // IntakeDepth is passive (an atomic ticket read); this never forces a
+  // drain on the submit path.
+  const size_t intake_depth =
+      intake_high > 0 ? service_->IntakeDepth() : 0;
+  if (!shedding_) {
+    const bool pending_over = high > 0 && tracked_pending_ >= high;
+    const bool intake_over = intake_high > 0 && intake_depth >= intake_high;
+    if (pending_over || intake_over) {
+      shedding_ = true;
+      ++shed_transitions_;
+    }
+  } else {
+    const bool pending_recovered =
+        high == 0 || tracked_pending_ <= options_.shed_low_water;
+    const bool intake_recovered =
+        intake_high == 0 || intake_depth <= intake_high / 2;
+    if (pending_recovered && intake_recovered) shedding_ = false;
+  }
+  return shedding_;
+}
+
+RejectReason SessionManager::AdmissionCheck(ClientSession* session,
+                                            size_t count,
+                                            std::string* message) {
+  if (UpdateShedding()) {
+    *message = "shedding load: " + std::to_string(tracked_pending_) +
+               " queries pending across all sessions (recovery at " +
+               std::to_string(options_.shed_low_water) + ")";
+    return RejectReason::kOverloaded;
+  }
+  if (options_.global_pending_ceiling > 0 &&
+      tracked_pending_ + count > options_.global_pending_ceiling) {
+    *message = "global pending ceiling of " +
+               std::to_string(options_.global_pending_ceiling) +
+               " reached (" + std::to_string(tracked_pending_) + " pending)";
+    return RejectReason::kQuotaPending;
+  }
+  const SessionOptions& opts = session->options_;
+  if (opts.max_pending > 0 &&
+      session->pending_.size() + count > opts.max_pending) {
+    *message = "session " + std::to_string(session->id_) + " holds " +
+               std::to_string(session->pending_.size()) +
+               " pending queries; its quota is " +
+               std::to_string(opts.max_pending);
+    return RejectReason::kQuotaPending;
+  }
+  if (opts.max_queries_per_sec > 0) {
+    RefillBucket(session);
+    if (session->tokens_ + 1e-9 < static_cast<double>(count)) {
+      *message = "session " + std::to_string(session->id_) +
+                 " exceeded its rate of " +
+                 std::to_string(opts.max_queries_per_sec) + " queries/sec";
+      return RejectReason::kQuotaRate;
+    }
+  }
+  return RejectReason::kNone;
+}
+
+void SessionManager::MarkPending(ClientSession* session, QueryId id) {
+  if (session->pending_.insert(id).second) ++tracked_pending_;
+}
+
+void SessionManager::UnmarkPending(ClientSession* session, QueryId id) {
+  if (session->pending_.erase(id) > 0) --tracked_pending_;
+}
+
+void SessionManager::MarkRetired(QueryId id) {
+  if (id < 0) return;
+  const size_t idx = static_cast<size_t>(id);
+  if (idx >= retired_.size()) retired_.resize(idx + 1, false);
+  retired_[idx] = true;
+}
+
+bool SessionManager::IsRetired(QueryId id) const {
+  return id >= 0 && static_cast<size_t>(id) < retired_.size() &&
+         retired_[static_cast<size_t>(id)];
+}
+
+void SessionManager::CountReject(RejectReason reason) {
+  ++reject_counts_[static_cast<size_t>(reason)];
+}
+
+// ----- delivery routing and ownership -------------------------------------
+
 void SessionManager::RegisterOwnership(QueryId id, ClientSession* session) {
   if (static_cast<size_t>(id) >= owner_.size()) {
     owner_.resize(static_cast<size_t>(id) + 1, -1);
   }
   owner_[static_cast<size_t>(id)] = session->id();
   if (service_->AdmitsDeferred()) {
-    // Deferred admission: the submission is queued, so it cannot have
-    // delivered inside the submitting call — and probing IsPending here
-    // would force a drain on every Submit, defeating the non-blocking
-    // intake.  Register optimistically; OnDelivery erases the entry the
-    // moment the queued query coordinates.
-    session->pending_.insert(id);
+    // Deferred admission: the submission is queued, so probing
+    // IsPending here would force a drain on every Submit, defeating the
+    // non-blocking intake.  Register optimistically; OnDelivery erases
+    // the entry the moment the queued query coordinates.  One guard:
+    // nothing in the service contract says the id cannot retire *during
+    // this very call* — pushing onto a full intake ring drains (and
+    // delivers) earlier events inline, and whether an in-flight id can
+    // be among them is a property of the engine's drain ordering, not
+    // of this layer.  OnDelivery marks delivered ids retired;
+    // re-inserting one here would be a phantom pending entry that never
+    // clears and breaks the session/service pending tiling.
+    if (!IsRetired(id)) MarkPending(session, id);
     return;
   }
   // The query may already have delivered inside the submitting call
   // (per-arrival evaluation); only still-pending queries are tracked.
-  if (service_->IsPending(id)) session->pending_.insert(id);
+  if (service_->IsPending(id)) MarkPending(session, id);
 }
 
 void SessionManager::OnDelivery(const Delivery& delivery) {
@@ -207,6 +390,7 @@ void SessionManager::OnDelivery(const Delivery& delivery) {
   // is ascending and the map is ordered, so routing is deterministic).
   std::map<SessionId, std::vector<QueryId>> owners;
   for (const DeliveredQuery& q : delivery.queries) {
+    MarkRetired(q.id);
     SessionId owner = OwnerOf(q.id);
     if (owner < 0) owner = current_submitter_;  // assigned mid-submit
     if (owner < 0) continue;  // submitted directly on the service
@@ -217,7 +401,7 @@ void SessionManager::OnDelivery(const Delivery& delivery) {
       owner_[static_cast<size_t>(q.id)] = owner;
     }
     owners[owner].push_back(q.id);
-    sessions_[static_cast<size_t>(owner)]->pending_.erase(q.id);
+    UnmarkPending(sessions_[static_cast<size_t>(owner)].get(), q.id);
   }
   for (auto& [sid, own] : owners) {
     ClientSession* session = sessions_[static_cast<size_t>(sid)].get();
@@ -235,16 +419,28 @@ void SessionManager::OnDelivery(const Delivery& delivery) {
   }
 }
 
+// ----- submission / cancellation / close ----------------------------------
+
 SubmitOutcome SessionManager::SubmitFor(ClientSession* session,
                                         const std::string& query_text) {
+  ScopedLatency scoped(&lat_submit_);
   SubmitOutcome outcome;
   if (!session->open_) {
     outcome.reason = RejectReason::kSessionClosed;
     outcome.message = "session " + std::to_string(session->id_) + " is closed";
+    CountReject(outcome.reason);
+    return outcome;
+  }
+  outcome.reason = AdmissionCheck(session, 1, &outcome.message);
+  if (!outcome.ok()) {
+    CountReject(outcome.reason);
     return outcome;
   }
   outcome.reason = CheckText(session->options_, query_text, &outcome.message);
-  if (!outcome.ok()) return outcome;
+  if (!outcome.ok()) {
+    CountReject(outcome.reason);
+    return outcome;
+  }
 
   current_submitter_ = session->id_;
   auto id = service_->Submit(query_text);
@@ -252,9 +448,11 @@ SubmitOutcome SessionManager::SubmitFor(ClientSession* session,
   if (!id.ok()) {
     outcome.reason = ClassifyServiceRejection(id.status());
     outcome.message = id.status().message();
+    CountReject(outcome.reason);
     return outcome;
   }
   ++session->submitted_;
+  SpendTokens(session, 1.0);
   RegisterOwnership(*id, session);
   outcome.id = *id;
   return outcome;
@@ -262,10 +460,20 @@ SubmitOutcome SessionManager::SubmitFor(ClientSession* session,
 
 BatchOutcome SessionManager::SubmitBatchFor(
     ClientSession* session, const std::vector<std::string>& query_texts) {
+  ScopedLatency scoped(&lat_submit_batch_);
   BatchOutcome outcome;
   if (!session->open_) {
     outcome.reason = RejectReason::kSessionClosed;
     outcome.message = "session " + std::to_string(session->id_) + " is closed";
+    CountReject(outcome.reason);
+    return outcome;
+  }
+  // All-or-nothing: the whole batch must clear every quota before any
+  // text reaches the service (one token / pending slot per member).
+  outcome.reason =
+      AdmissionCheck(session, query_texts.size(), &outcome.message);
+  if (!outcome.ok()) {
+    CountReject(outcome.reason);
     return outcome;
   }
   for (size_t i = 0; i < query_texts.size(); ++i) {
@@ -273,6 +481,7 @@ BatchOutcome SessionManager::SubmitBatchFor(
         CheckText(session->options_, query_texts[i], &outcome.message);
     if (!outcome.ok()) {
       outcome.rejected_index = i;
+      CountReject(outcome.reason);
       return outcome;
     }
   }
@@ -292,15 +501,18 @@ BatchOutcome SessionManager::SubmitBatchFor(
         break;
       }
     }
+    CountReject(outcome.reason);
     return outcome;
   }
   session->submitted_ += ids->size();
+  SpendTokens(session, static_cast<double>(ids->size()));
   for (QueryId id : *ids) RegisterOwnership(id, session);
   outcome.ids = std::move(*ids);
   return outcome;
 }
 
 bool SessionManager::CancelFor(ClientSession* session, QueryId id) {
+  ScopedLatency scoped(&lat_cancel_);
   if (!session->open_ || session->pending_.count(id) == 0) return false;
   if (service_->AdmitsDeferred()) {
     // Force the intake drain *before* deciding: queued submissions may
@@ -313,7 +525,7 @@ bool SessionManager::CancelFor(ClientSession* session, QueryId id) {
   const bool cancelled = service_->Cancel(id);
   ENTANGLED_CHECK(cancelled)
       << "service disagreed about session-pending query " << id;
-  session->pending_.erase(id);
+  UnmarkPending(session, id);
   return true;
 }
 
@@ -330,10 +542,59 @@ void SessionManager::CloseSession(ClientSession* session) {
     const bool cancelled = service_->Cancel(id);
     ENTANGLED_CHECK(cancelled)
         << "service disagreed about session-pending query " << id;
+    UnmarkPending(session, id);
   }
-  session->pending_.clear();
+  ENTANGLED_CHECK(session->pending_.empty());
   session->open_ = false;
   --num_open_;
+  // Buffered events stay pollable (ClientSession::Close contract): a
+  // disconnecting client drains them exactly once via PollEvents.
+}
+
+// ----- observability -------------------------------------------------------
+
+MetricsSnapshot SessionManager::Metrics() const {
+  MetricsSnapshot snap;
+  // StatsSnapshot is a service read boundary: queued intake drains, so
+  // the counters below agree with an inline-admission run.
+  const EngineStats stats = service_->StatsSnapshot();
+  snap.counters.emplace_back("engine.submitted", stats.submitted);
+  snap.counters.emplace_back("engine.cancelled", stats.cancelled);
+  snap.counters.emplace_back("engine.rejected", stats.rejected);
+  snap.counters.emplace_back("engine.evaluations", stats.evaluations);
+  snap.counters.emplace_back("engine.evaluations_avoided",
+                             stats.evaluations_avoided);
+  snap.counters.emplace_back("engine.coordinated_queries",
+                             stats.coordinated_queries);
+  snap.counters.emplace_back("engine.coordinating_sets",
+                             stats.coordinating_sets);
+  snap.counters.emplace_back("engine.unsafe_components",
+                             stats.unsafe_components);
+  snap.counters.emplace_back("engine.db_queries", stats.db_queries);
+  snap.counters.emplace_back("engine.eval_cache_hits",
+                             stats.eval_cache_hits);
+  snap.counters.emplace_back("sessions.opened", sessions_.size());
+  snap.counters.emplace_back("sessions.open", num_open_);
+  for (size_t i = 0; i < kNumRejectReasons; ++i) {
+    snap.counters.emplace_back(
+        std::string("reject.") + RejectReasonName(kAllRejectReasons[i]),
+        reject_counts_[static_cast<size_t>(kAllRejectReasons[i])]);
+  }
+  snap.counters.emplace_back(
+      "shed.events",
+      reject_counts_[static_cast<size_t>(RejectReason::kOverloaded)]);
+  snap.counters.emplace_back("shed.transitions", shed_transitions_);
+  snap.counters.emplace_back("shed.active", shedding_ ? 1 : 0);
+
+  snap.latency.emplace_back("submit", lat_submit_);
+  snap.latency.emplace_back("submit_batch", lat_submit_batch_);
+  snap.latency.emplace_back("cancel", lat_cancel_);
+  snap.latency.emplace_back("flush", lat_flush_);
+  snap.latency.emplace_back("poll_events", lat_poll_events_);
+  snap.latency.emplace_back("eval", stats.eval_latency);
+
+  snap.gauges = service_->GaugesSnapshot();
+  return snap;
 }
 
 }  // namespace entangled

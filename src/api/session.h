@@ -1,6 +1,7 @@
 #ifndef ENTANGLED_API_SESSION_H_
 #define ENTANGLED_API_SESSION_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "api/delivery.h"
+#include "common/metrics.h"
 #include "system/engine.h"
 
 namespace entangled {
@@ -27,8 +29,29 @@ enum class RejectReason : uint8_t {
   kUnsafe,          ///< a postcondition unifies with >1 of the query's
                     ///< own heads (Definition 2, violated in isolation)
   kSessionClosed,   ///< the session was closed
+  kQuotaPending,    ///< a pending-query quota is exhausted (per-session
+                    ///< SessionOptions::max_pending or the manager-wide
+                    ///< ManagerOptions::global_pending_ceiling)
+  kQuotaRate,       ///< the session's token bucket is empty
+                    ///< (SessionOptions::max_queries_per_sec)
+  kQuotaFootprint,  ///< the query's body is wider than
+                    ///< SessionOptions::max_body_atoms allows
+  kOverloaded,      ///< the front door is shedding load (a high-water
+                    ///< mark was crossed; recovery is hysteretic)
   kInternal,        ///< the service failed for another reason
 };
+
+/// Every RejectReason, for exhaustive iteration (metrics counters, the
+/// round-trip name test).  Must list each enumerator exactly once.
+inline constexpr RejectReason kAllRejectReasons[] = {
+    RejectReason::kNone,          RejectReason::kParseError,
+    RejectReason::kDuplicateHead, RejectReason::kUnsafe,
+    RejectReason::kSessionClosed, RejectReason::kQuotaPending,
+    RejectReason::kQuotaRate,     RejectReason::kQuotaFootprint,
+    RejectReason::kOverloaded,    RejectReason::kInternal,
+};
+inline constexpr size_t kNumRejectReasons =
+    sizeof(kAllRejectReasons) / sizeof(kAllRejectReasons[0]);
 
 /// Stable lowercase name ("parse_error", "unsafe", ...).
 const char* RejectReasonName(RejectReason reason);
@@ -81,6 +104,62 @@ struct SessionOptions {
   /// on any single-head query (in particular everything the workload
   /// generator emits); disable them to forward texts verbatim.
   bool reject_defective = true;
+
+  // ---- per-session quotas (0 = unlimited).  Every quota rejection is
+  // a typed outcome (kQuotaPending / kQuotaRate / kQuotaFootprint):
+  // nothing throws, nothing is silently dropped, and the metrics
+  // snapshot counts every bounce. ----
+
+  /// Most queries this session may hold pending at once.  A batch is
+  /// admitted only when the *whole* batch fits (all-or-nothing, like
+  /// every other batch failure).
+  size_t max_pending = 0;
+
+  /// Sustained queries/second this session may submit, enforced by a
+  /// token bucket (burst = max(1, ceil(rate)) tokens; one token per
+  /// query text, so a batch of k costs k).  Tokens are spent only on
+  /// accepted submissions — a rejected text never burns budget.  Time
+  /// comes from ManagerOptions::clock_nanos, so tests inject a clock.
+  double max_queries_per_sec = 0;
+
+  /// Widest query body (in body atoms) this session may submit — the
+  /// per-participant footprint bound motivated by the paper's hardness
+  /// results: solver cost explodes with footprint width, so one
+  /// adversarial session must not be able to inject wide queries that
+  /// blow up evaluation for every tenant.
+  size_t max_body_atoms = 0;
+};
+
+/// \brief Manager-wide admission policy (ManagerOptions to
+/// SessionManager's constructor; all limits default to off).
+struct ManagerOptions {
+  /// Most queries pending across *all* sessions; submissions beyond it
+  /// bounce with kQuotaPending.  Counted from the manager's own
+  /// bookkeeping (the per-session pending sets), so the check is O(1)
+  /// and never forces an intake drain.
+  size_t global_pending_ceiling = 0;
+
+  /// Overload shedding: once the manager-tracked global pending count
+  /// reaches `shed_high_water`, Submit/SubmitBatch reject with
+  /// kOverloaded *before* touching the service, and keep rejecting
+  /// until pending falls back to `shed_low_water` (default: half the
+  /// high-water mark) — hysteresis, so recovery is a clean edge instead
+  /// of flapping at the mark.  Cancels, deliveries, and Flush() remain
+  /// admissible throughout: they are how the backlog drains.
+  size_t shed_high_water = 0;
+  size_t shed_low_water = 0;
+
+  /// Same shedding trigger on the service's intake-queue depth
+  /// (CoordinationService::IntakeDepth — validated-but-undrained
+  /// submissions).  Only meaningful over an AdmitsDeferred service;
+  /// recovery requires the depth back under half the mark.  The read is
+  /// passive, so arming this never defeats the non-blocking intake.
+  size_t shed_intake_high_water = 0;
+
+  /// Monotonic clock for the rate quotas, nanoseconds.  Null (the
+  /// default) reads std::chrono::steady_clock; tests inject a manual
+  /// clock so token-bucket behaviour is deterministic.
+  std::function<uint64_t()> clock_nanos;
 };
 
 /// \brief A client's handle on the coordination service: the unit of
@@ -176,6 +255,11 @@ class ClientSession {
   EventCallback event_callback_;
   uint64_t submitted_ = 0;
   uint64_t deliveries_ = 0;
+  // Token bucket (SessionOptions::max_queries_per_sec); managed by the
+  // manager, which owns the clock.  Initialized full on first use.
+  double tokens_ = 0;
+  uint64_t last_refill_ns_ = 0;
+  bool bucket_primed_ = false;
 };
 
 /// \brief The multi-client front door over any CoordinationService
@@ -194,7 +278,8 @@ class ClientSession {
 /// one).
 class SessionManager {
  public:
-  explicit SessionManager(CoordinationService* service);
+  explicit SessionManager(CoordinationService* service,
+                          ManagerOptions options = {});
   ~SessionManager();
 
   SessionManager(const SessionManager&) = delete;
@@ -223,7 +308,7 @@ class SessionManager {
   size_t num_open_sessions() const { return num_open_; }
 
   // ----- service passthroughs (all sessions combined) -----
-  size_t Flush() { return service_->Flush(); }
+  size_t Flush();
   void set_evaluate_every(size_t n) { service_->set_evaluate_every(n); }
   std::vector<QueryId> PendingQueries() const {
     return service_->PendingQueries();
@@ -231,6 +316,24 @@ class SessionManager {
   size_t num_pending() const { return service_->num_pending(); }
   EngineStats StatsSnapshot() const { return service_->StatsSnapshot(); }
   CoordinationService* service() const { return service_; }
+
+  // ----- observability -----
+
+  /// Whether overload shedding is currently engaged (kOverloaded
+  /// rejections until the low-water mark is reached).
+  bool shedding() const { return shedding_; }
+
+  /// One self-contained observability snapshot (common/metrics.h):
+  /// engine counters, a counter per RejectReason, shed state, the
+  /// per-entry-point latency histograms (submit / submit_batch /
+  /// cancel / flush / poll_events) plus the engine's eval histogram,
+  /// and the service gauges (per-shard rows on a sharded service).
+  /// The snapshot owns every byte — nothing references manager or
+  /// engine internals — and Metrics().ToJson() is the stable JSON
+  /// document the CLI `metrics` subcommand, the benches, and the
+  /// stress harness consume.  Reading it is a service read boundary
+  /// (queued intake is drained, like num_pending()).
+  MetricsSnapshot Metrics() const;
 
  private:
   friend class ClientSession;
@@ -249,15 +352,70 @@ class SessionManager {
   bool CancelFor(ClientSession* session, QueryId id);
   void CloseSession(ClientSession* session);
 
+  // ----- quotas, shedding, and pending accounting -----
+
+  uint64_t NowNanos() const;
+
+  /// Admission gate shared by Submit and SubmitBatch (`count` = query
+  /// texts being admitted): overload shedding (with the hysteresis
+  /// update), the global pending ceiling, the session pending quota,
+  /// and the rate quota, in that order.  kNone when admissible;
+  /// `message` receives the detail otherwise.  Does not spend tokens —
+  /// SpendTokens runs only after the service accepted.
+  RejectReason AdmissionCheck(ClientSession* session, size_t count,
+                              std::string* message);
+
+  /// Re-evaluates the hysteretic shedding state against the current
+  /// load; returns whether submissions are currently shed.
+  bool UpdateShedding();
+
+  /// Refills `session`'s token bucket from the clock, then reports
+  /// whether `cost` tokens are available / spends them.
+  void RefillBucket(ClientSession* session);
+  void SpendTokens(ClientSession* session, double cost);
+
+  /// Pending-set bookkeeping: every insert/erase of a session's
+  /// pending_ goes through these so tracked_pending_ (the O(1) global
+  /// count quotas and shedding read) never drifts.
+  void MarkPending(ClientSession* session, QueryId id);
+  void UnmarkPending(ClientSession* session, QueryId id);
+
+  /// Marks `id` delivered.  RegisterOwnership consults this on the
+  /// deferred-admission path: the service contract permits retiring an
+  /// id *inside* the submitting call (the inline engines deliver
+  /// per-arrival; a full intake ring drains — and delivers — inline),
+  /// and a retired id must not be optimistically inserted as pending
+  /// afterwards — that phantom entry would never clear and the session
+  /// pendings would stop tiling the service's pending set.
+  void MarkRetired(QueryId id);
+  bool IsRetired(QueryId id) const;
+
+  void CountReject(RejectReason reason);
+
   CoordinationService* service_;
+  ManagerOptions options_;
   std::vector<std::unique_ptr<ClientSession>> sessions_;  // index == id
   size_t num_open_ = 0;
   std::vector<SessionId> owner_;  // per service-global QueryId; -1 unknown
+  std::vector<bool> retired_;     // per service-global QueryId: delivered
   /// Session whose Submit/SubmitBatch is currently inside the service:
   /// deliveries fired *during* that call can contain ids the manager
   /// has not registered yet (the service assigns them mid-call), and
   /// they all belong to this submitter.
   SessionId current_submitter_ = -1;
+
+  // ----- admission-control state -----
+  size_t tracked_pending_ = 0;  ///< sum of per-session pending_.size()
+  bool shedding_ = false;
+  uint64_t shed_transitions_ = 0;  ///< times shedding engaged
+
+  // ----- metrics -----
+  std::array<uint64_t, kNumRejectReasons> reject_counts_{};
+  LatencyHistogram lat_submit_;
+  LatencyHistogram lat_submit_batch_;
+  LatencyHistogram lat_cancel_;
+  LatencyHistogram lat_flush_;
+  LatencyHistogram lat_poll_events_;
 };
 
 }  // namespace entangled

@@ -1,0 +1,119 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace entangled {
+namespace {
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+void AppendHistogram(std::string* out, const LatencyHistogram& h) {
+  *out += "{\"count\":";
+  AppendUint(out, h.count());
+  *out += ",\"total_ns\":";
+  AppendUint(out, h.total_ns());
+  *out += ",\"max_ns\":";
+  AppendUint(out, h.max_ns());
+  *out += ",\"p50_ns\":";
+  AppendUint(out, h.ApproxQuantileNs(0.5));
+  *out += ",\"p99_ns\":";
+  AppendUint(out, h.ApproxQuantileNs(0.99));
+  // Buckets as [upper_edge_exponent, count] pairs for the non-empty
+  // buckets only: the document stays compact and every entry is
+  // self-describing (upper edge = 2^exponent ns).
+  *out += ",\"buckets\":[";
+  bool first = true;
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    if (h.bucket(i) == 0) continue;
+    if (!first) *out += ",";
+    first = false;
+    *out += "[";
+    AppendUint(out, i);
+    *out += ",";
+    AppendUint(out, h.bucket(i));
+    *out += "]";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(counters[i].first) + "\":";
+    AppendUint(&out, counters[i].second);
+  }
+  out += "},\"gauges\":{\"pending\":";
+  AppendUint(&out, gauges.pending);
+  out += ",\"intake_depth\":";
+  AppendUint(&out, gauges.intake_depth);
+  out += ",\"live_shards\":";
+  AppendUint(&out, gauges.live_shards);
+  out += ",\"group_merges\":";
+  AppendUint(&out, gauges.group_merges);
+  out += ",\"queries_migrated\":";
+  AppendUint(&out, gauges.queries_migrated);
+  out += ",\"shards\":[";
+  for (size_t i = 0; i < gauges.shards.size(); ++i) {
+    if (i > 0) out += ",";
+    const ShardGauge& s = gauges.shards[i];
+    out += "{\"slot\":";
+    AppendUint(&out, static_cast<uint64_t>(s.slot < 0 ? 0 : s.slot));
+    out += ",\"pending\":";
+    AppendUint(&out, s.pending);
+    out += ",\"evaluations\":";
+    AppendUint(&out, s.evaluations);
+    out += "}";
+  }
+  out += "]},\"latency\":{";
+  for (size_t i = 0; i < latency.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(latency[i].first) + "\":";
+    AppendHistogram(&out, latency[i].second);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace entangled

@@ -1,0 +1,134 @@
+#ifndef ENTANGLED_COMMON_METRICS_H_
+#define ENTANGLED_COMMON_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace entangled {
+
+/// \brief Fixed-bucket latency histogram: 32 power-of-two buckets over
+/// nanoseconds (bucket i counts samples with bit_width(ns) == i, i.e.
+/// ns in [2^(i-1), 2^i)), so Record() is a shift and an increment and
+/// two histograms merge field-wise.  Plain (non-atomic) counters: every
+/// producer in this codebase records on the thread that owns the stats
+/// it feeds (the coordinating thread of an engine, or the session
+/// manager's single API thread).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;
+
+  void Record(int64_t nanos) {
+    if (nanos < 0) nanos = 0;
+    ++buckets_[BucketIndex(static_cast<uint64_t>(nanos))];
+    ++count_;
+    total_ns_ += static_cast<uint64_t>(nanos);
+    if (static_cast<uint64_t>(nanos) > max_ns_) {
+      max_ns_ = static_cast<uint64_t>(nanos);
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t total_ns() const { return total_ns_; }
+  uint64_t max_ns() const { return max_ns_; }
+  uint64_t bucket(size_t i) const { return buckets_[i]; }
+
+  /// Upper edge (exclusive) of bucket `i` in nanoseconds; the last
+  /// bucket is unbounded and reports the largest representable edge.
+  static uint64_t BucketUpperBoundNs(size_t i) {
+    if (i >= kNumBuckets - 1) return ~uint64_t{0};
+    return uint64_t{1} << i;
+  }
+
+  /// Upper bound on the p-quantile (p in [0, 1]): the upper edge of the
+  /// bucket the quantile sample falls in.  0 when empty.
+  uint64_t ApproxQuantileNs(double p) const {
+    if (count_ == 0) return 0;
+    if (p < 0) p = 0;
+    if (p > 1) p = 1;
+    // Rank of the quantile sample, 1-based, matching "at least p of the
+    // samples are <= this bucket's upper edge".
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count_));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) return BucketUpperBoundNs(i);
+    }
+    return max_ns_;
+  }
+
+  LatencyHistogram& operator+=(const LatencyHistogram& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    total_ns_ += other.total_ns_;
+    if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+    return *this;
+  }
+
+ private:
+  static size_t BucketIndex(uint64_t nanos) {
+    size_t width = 0;
+    while (nanos != 0) {
+      ++width;
+      nanos >>= 1;
+    }
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t total_ns_ = 0;
+  uint64_t max_ns_ = 0;
+};
+
+/// \brief Point-in-time load view of one shard of a sharded service (or
+/// of the single engine, which reports itself as slot 0).
+struct ShardGauge {
+  int64_t slot = 0;          ///< shard slot id
+  uint64_t pending = 0;      ///< pending queries routed to this shard
+  uint64_t evaluations = 0;  ///< component evaluations this shard ran
+};
+
+/// \brief Point-in-time load view of a CoordinationService, cheap
+/// enough to poll per snapshot (the per-shard vector is the only
+/// allocation).  `pending` counts every accepted-but-unretired
+/// submission, including intake-queued ones the owning thread has not
+/// drained yet — the admission-control view of load.
+struct ServiceGauges {
+  uint64_t pending = 0;
+  uint64_t intake_depth = 0;  ///< validated-but-undrained submissions
+  uint64_t live_shards = 0;
+  uint64_t group_merges = 0;      ///< footprints that united >1 shard
+  uint64_t queries_migrated = 0;  ///< pending queries moved by merges
+  std::vector<ShardGauge> shards;
+};
+
+/// \brief One self-contained observability snapshot: flat counters,
+/// named latency histograms, and the service gauges.  Deliberately
+/// generic (string-keyed sections, no engine or session types) so the
+/// common layer stays at the bottom of the include graph and the
+/// snapshot never leaks internals of the layers that fill it in.
+///
+/// ToJson() emits a stable document: section order and key order are
+/// the insertion order of the builder, which is fixed in code.  Two
+/// snapshots of identical runs differ only in the timing fields —
+/// every key ending in `_ns` plus the per-histogram `buckets` array;
+/// all `count` fields and counters are deterministic.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, LatencyHistogram>> latency;
+  ServiceGauges gauges;
+
+  std::string ToJson() const;
+};
+
+/// JSON string escaping for the snapshot serializer (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_COMMON_METRICS_H_

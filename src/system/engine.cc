@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "core/parser.h"
 
 namespace entangled {
@@ -57,7 +58,10 @@ Result<QueryId> CoordinationEngine::Submit(const std::string& query_text) {
   if (intake_ != nullptr) return SubmitDeferred(query_text);
   CheckNotReentrant("Submit");
   auto id = ParseQuery(query_text, &all_);
-  if (!id.ok()) return id.status();
+  if (!id.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return id.status();
+  }
   // The parser already appended the query; run the shared admission
   // path without re-adding.
   Admit(*id);
@@ -90,7 +94,10 @@ Result<std::vector<QueryId>> CoordinationEngine::SubmitBatch(
     QuerySet staging;
     for (const std::string& text : query_texts) {
       auto id = ParseQuery(text, &staging);
-      if (!id.ok()) return id.status();
+      if (!id.ok()) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return id.status();
+      }
     }
   }
   std::vector<QueryId> ids;
@@ -126,7 +133,10 @@ Result<QueryId> CoordinationEngine::SubmitDeferred(
   if (std::this_thread::get_id() == owner_thread_) CheckNotReentrant("Submit");
   IntakeEvent event;
   auto id = ParseQuery(query_text, &event.staging);
-  if (!id.ok()) return id.status();
+  if (!id.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return id.status();
+  }
   const uint64_t ticket = PushIntake(std::move(event));
   return static_cast<QueryId>(intake_base_.load(std::memory_order_relaxed) +
                               static_cast<int64_t>(ticket));
@@ -144,7 +154,10 @@ Result<std::vector<QueryId>> CoordinationEngine::SubmitBatchDeferred(
   for (const std::string& text : query_texts) {
     IntakeEvent event;
     auto id = ParseQuery(text, &event.staging);
-    if (!id.ok()) return id.status();
+    if (!id.ok()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return id.status();
+    }
     // Batch members do not tick the cadence; the tail flushes once —
     // the same suspend-then-flush the inline path performs.
     event.cadence = false;
@@ -500,8 +513,10 @@ CoordinationEngine::EvalOutcome CoordinationEngine::RunTask(
   // its component's private memo, the read-only database, and a private
   // coordinator.
   EvalOutcome outcome;
+  WallTimer timer;
   SccCoordinator coordinator(db_, options_.scc);
   auto result = coordinator.Solve(task.subset, task.edges, memo);
+  outcome.eval_nanos = timer.ElapsedNanos();
   outcome.db_queries = coordinator.stats().db_queries;
   outcome.memo_hits = coordinator.stats().memo_hits;
   if (result.ok()) {
@@ -639,6 +654,7 @@ bool CoordinationEngine::ApplyOutcome(const EvalTask& task,
                                       std::vector<QueryId>* new_roots) {
   stats_.db_queries += outcome.db_queries;
   stats_.eval_cache_hits += outcome.memo_hits;
+  stats_.eval_latency.Record(outcome.eval_nanos);
   if (!outcome.ok) {
     if (outcome.unsafe) ++stats_.unsafe_components;
     return false;
@@ -946,7 +962,9 @@ bool CoordinationEngine::LegacyEvaluateComponentOf(QueryId root) {
 
   SccCoordinator coordinator(db_, options_.scc);
   ++stats_.evaluations;
+  WallTimer timer;
   auto result = coordinator.Solve(subset);
+  stats_.eval_latency.Record(timer.ElapsedNanos());
   stats_.db_queries += coordinator.stats().db_queries;
   if (!result.ok()) {
     if (result.status().IsFailedPrecondition()) ++stats_.unsafe_components;

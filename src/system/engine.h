@@ -16,6 +16,7 @@
 #include "algo/scc_coordination.h"
 #include "api/delivery.h"
 #include "common/arena.h"
+#include "common/metrics.h"
 #include "common/mpsc_queue.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -37,6 +38,14 @@ struct EngineStats {
   uint64_t db_queries = 0;           ///< conjunctive queries issued
   uint64_t eval_cache_hits = 0;      ///< sweep steps served by an EvalMemo
   uint64_t evaluations_avoided = 0;  ///< dirty components skipped via stamps
+  uint64_t rejected = 0;             ///< submissions refused (parse errors)
+
+  /// Wall-clock time of every component evaluation the engine ran
+  /// (solver + memo sweeps; skipped evaluations do not record).  Merged
+  /// field-wise like the counters, so a sharded snapshot aggregates the
+  /// per-shard histograms — including shards already drained and
+  /// destroyed — into one engine-wide distribution.
+  LatencyHistogram eval_latency;
 
   /// Field-wise accumulation, so per-shard counters aggregate into one
   /// engine-wide snapshot (system/sharded_engine.h).
@@ -50,6 +59,8 @@ struct EngineStats {
     db_queries += other.db_queries;
     eval_cache_hits += other.eval_cache_hits;
     evaluations_avoided += other.evaluations_avoided;
+    rejected += other.rejected;
+    eval_latency += other.eval_latency;
     return *this;
   }
   friend EngineStats operator+(EngineStats a, const EngineStats& b) {
@@ -196,6 +207,23 @@ class CoordinationService {
   /// Work counters; by value because a sharded service aggregates
   /// per-shard counters on demand (EngineStats::operator+=).
   virtual EngineStats StatsSnapshot() const = 0;
+
+  /// Validated-but-undrained intake submissions, O(1) and passive — it
+  /// never forces a drain, so admission-control callers (overload
+  /// shedding in api/session.h) can poll it on every Submit without
+  /// defeating the non-blocking intake.  0 for inline services.
+  virtual size_t IntakeDepth() const { return 0; }
+
+  /// Point-in-time load view (common/metrics.h): pending including
+  /// queued intake, intake depth, and per-shard rows for sharded
+  /// services.  Passive like IntakeDepth — reading gauges never drains
+  /// or flushes.  The default covers single-partition services.
+  virtual ServiceGauges GaugesSnapshot() const {
+    ServiceGauges gauges;
+    gauges.pending = num_pending();
+    gauges.live_shards = 1;
+    return gauges;
+  }
 };
 
 /// \brief The Youtopia-style coordination module (§6.1): queries arrive
@@ -332,6 +360,24 @@ class CoordinationEngine : public CoordinationService {
   /// Whether deferred admission is armed (EngineOptions::intake_capacity).
   bool AdmitsDeferred() const override { return intake_ != nullptr; }
 
+  /// Tickets claimed but not yet adopted by DrainIntake — a passive
+  /// atomic read; never drains.
+  size_t IntakeDepth() const override {
+    if (intake_ == nullptr) return 0;
+    return static_cast<size_t>(intake_->next_ticket() - intake_drained_);
+  }
+
+  /// Passive load view: `pending` counts adopted pending queries plus
+  /// queued intake (every accepted submission not yet retired), without
+  /// forcing a drain the way num_pending() does.
+  ServiceGauges GaugesSnapshot() const override {
+    ServiceGauges gauges;
+    gauges.pending = num_pending_ + IntakeDepth();
+    gauges.intake_depth = IntakeDepth();
+    gauges.live_shards = 1;
+    return gauges;
+  }
+
   /// Pending queries weakly connected to `id` in the coordination graph
   /// (including `id`, which must be pending), sorted ascending.  An
   /// index lookup on the incremental path; a graph rebuild + BFS on the
@@ -341,7 +387,9 @@ class CoordinationEngine : public CoordinationService {
   const EngineStats& stats() const { return stats_; }
   EngineStats StatsSnapshot() const override {
     DrainIntakeConst();
-    return stats_;
+    EngineStats stats = stats_;
+    stats.rejected = rejected_.load(std::memory_order_relaxed);
+    return stats;
   }
 
   /// Scheduling key of the most recent delivery: the smallest member id
@@ -391,6 +439,7 @@ class CoordinationEngine : public CoordinationService {
     bool unsafe = false;            ///< FailedPrecondition (safety)
     uint64_t db_queries = 0;
     uint64_t memo_hits = 0;         ///< sweep steps served by the memo
+    int64_t eval_nanos = 0;         ///< solver wall time (worker-side)
   };
 
   /// Persistent per-component evaluation state (delta_eval), keyed by
@@ -546,6 +595,10 @@ class CoordinationEngine : public CoordinationService {
   InternalSolutionCallback internal_callback_;
   bool in_callback_ = false;
   EngineStats stats_;
+  /// Refused submissions (parse failures).  Atomic — and outside
+  /// stats_ — because deferred producers reject on their own threads;
+  /// StatsSnapshot() folds it into EngineStats::rejected.
+  std::atomic<uint64_t> rejected_{0};
   QueryId last_delivery_key_ = -1;
   uint64_t next_delivery_sequence_ = 0;
 

@@ -43,7 +43,10 @@ Result<QueryId> ShardedCoordinationEngine::Submit(
     const std::string& query_text) {
   CheckNotReentrant("Submit");
   auto id = ParseQuery(query_text, &all_);
-  if (!id.ok()) return id.status();
+  if (!id.ok()) {
+    ++front_stats_.rejected;
+    return id.status();
+  }
   RouteAndAdmit(*id);
   ++front_stats_.submitted;
 
@@ -69,7 +72,10 @@ Result<std::vector<QueryId>> ShardedCoordinationEngine::SubmitBatch(
     QuerySet staging;
     for (const std::string& text : query_texts) {
       auto id = ParseQuery(text, &staging);
-      if (!id.ok()) return id.status();
+      if (!id.ok()) {
+        ++front_stats_.rejected;
+        return id.status();
+      }
     }
   }
   std::vector<QueryId> ids;
@@ -341,6 +347,25 @@ EngineStats ShardedCoordinationEngine::StatsSnapshot() const {
     if (shard.engine != nullptr) stats += shard.engine->stats();
   }
   return stats;
+}
+
+ServiceGauges ShardedCoordinationEngine::GaugesSnapshot() const {
+  ServiceGauges gauges;
+  gauges.pending = num_pending_;
+  gauges.live_shards = num_live_shards_;
+  gauges.group_merges = sharded_stats_.group_merges;
+  gauges.queries_migrated = sharded_stats_.queries_migrated;
+  gauges.shards.reserve(num_live_shards_);
+  for (size_t slot = 0; slot < shards_.size(); ++slot) {
+    const Shard& shard = shards_[slot];
+    if (shard.engine == nullptr) continue;
+    ShardGauge row;
+    row.slot = static_cast<int64_t>(slot);
+    row.pending = shard.engine->num_pending();
+    row.evaluations = shard.engine->stats().evaluations;
+    gauges.shards.push_back(row);
+  }
+  return gauges;
 }
 
 // ---------------------------------------------------------------------------

@@ -112,6 +112,11 @@ class ShardedCoordinationEngine : public CoordinationService {
   /// delivery log determines.
   EngineStats StatsSnapshot() const override;
 
+  /// Load gauges with one row per live shard (slot, pending,
+  /// evaluations) plus the global merge/migration counters.  Passive —
+  /// inner engines run inline intake (depth 0) and nothing drains.
+  ServiceGauges GaugesSnapshot() const override;
+
   /// Global master query set (ids and variables as the callbacks and
   /// witnesses report them).
   const QuerySet& queries() const { return all_; }

@@ -170,15 +170,39 @@ struct SessionReplayRun {
   std::string error;  ///< session-layer divergence (push vs poll, ...)
 };
 
+/// Bookkeeping of a quota-armed session replay: the filtered stream an
+/// oracle can be fed (accepted submissions only; cancels stay
+/// rank-addressed, which resolves identically because the pending sets
+/// agree), plus the bounce accounting the caller cross-checks against
+/// the manager's metrics snapshot.
+struct QuotaObservations {
+  std::vector<WorkloadEvent> accepted;
+  size_t bounced_calls = 0;  ///< Submit/SubmitBatch calls refused
+  size_t bounced_texts = 0;  ///< query texts those calls carried
+  uint64_t counted = 0;      ///< manager metric "reject.quota_pending"
+};
+
+uint64_t FindCounter(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [key, value] : snap.counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
 /// Replays `events` through a SessionManager over the given engine
 /// variant.  Checks internal to the session layer (push-vs-poll
 /// equality, pending tiling, cross-session event consistency) land in
 /// `error`; the merged stream lands in `flat` for the oracle
-/// differential.
+/// differential.  When `quota` is non-null the sessions run with
+/// `session_options` armed and typed kQuotaPending bounces are recorded
+/// instead of failing the replay (any *other* rejection still fails).
 SessionReplayRun ReplayThroughSessions(const Database& db,
                                        const EngineVariant& variant,
                                        const std::vector<WorkloadEvent>& events,
-                                       size_t session_count) {
+                                       size_t session_count,
+                                       const SessionOptions& session_options =
+                                           SessionOptions{},
+                                       QuotaObservations* quota = nullptr) {
   SessionReplayRun run;
   EngineInstance engine = MakeEngine(db, variant);
   SessionManager manager(engine.service.get());
@@ -186,7 +210,7 @@ SessionReplayRun ReplayThroughSessions(const Database& db,
   std::vector<std::vector<ObservedEvent>> pushed(session_count);
   sessions.reserve(session_count);
   for (size_t i = 0; i < session_count; ++i) {
-    sessions.push_back(manager.Open());
+    sessions.push_back(manager.Open(session_options));
     sessions.back()->set_event_callback([&pushed, i](const SessionEvent& e) {
       pushed[i].push_back(ObserveEvent(e));
     });
@@ -194,6 +218,19 @@ SessionReplayRun ReplayThroughSessions(const Database& db,
 
   auto fail = [&run](std::string message) {
     if (run.error.empty()) run.error = std::move(message);
+  };
+  auto accept = [&quota](const WorkloadEvent& event) {
+    if (quota != nullptr) quota->accepted.push_back(event);
+  };
+  auto bounce = [&quota, &fail](RejectReason reason, const std::string& message,
+                                size_t texts) {
+    if (quota == nullptr || reason != RejectReason::kQuotaPending) {
+      fail(std::string("session rejected a generated submission (") +
+           RejectReasonName(reason) + "): " + message);
+      return;
+    }
+    ++quota->bounced_calls;
+    quota->bounced_texts += texts;
   };
 
   size_t next_session = 0;
@@ -203,24 +240,29 @@ SessionReplayRun ReplayThroughSessions(const Database& db,
       case WorkloadEvent::Kind::kSubmit: {
         ClientSession* s = sessions[next_session++ % session_count];
         SubmitOutcome outcome = s->Submit(event.texts.front());
-        if (!outcome.ok()) {
-          fail(std::string("session Submit rejected a generated query (") +
-               RejectReasonName(outcome.reason) + "): " + outcome.message);
+        if (outcome.ok()) {
+          accept(event);
+        } else {
+          bounce(outcome.reason, outcome.message, 1);
         }
         break;
       }
       case WorkloadEvent::Kind::kSubmitBatch: {
         ClientSession* s = sessions[next_session++ % session_count];
         BatchOutcome outcome = s->SubmitBatch(event.texts);
-        if (!outcome.ok()) {
-          fail(std::string("session SubmitBatch rejected a generated batch (") +
-               RejectReasonName(outcome.reason) + "): " + outcome.message);
+        if (outcome.ok()) {
+          accept(event);
+        } else {
+          bounce(outcome.reason, outcome.message, event.texts.size());
         }
         break;
       }
       case WorkloadEvent::Kind::kCancel: {
         // Same rank addressing as the service-level replay, resolved to
-        // the owning session: streams stay aligned while engines agree.
+        // the owning session: streams stay aligned while engines agree
+        // (under a quota the filtered-oracle pending set matches this
+        // run's, so the rank resolves to the same query there too).
+        accept(event);
         std::vector<QueryId> pending = manager.PendingQueries();
         if (pending.empty()) break;
         const QueryId gid = pending[event.cancel_rank % pending.size()];
@@ -236,12 +278,17 @@ SessionReplayRun ReplayThroughSessions(const Database& db,
         break;
       }
       case WorkloadEvent::Kind::kSetEvaluateEvery:
+        accept(event);
         manager.set_evaluate_every(event.evaluate_every);
         break;
       case WorkloadEvent::Kind::kFlush:
+        accept(event);
         manager.Flush();
         break;
     }
+  }
+  if (quota != nullptr) {
+    quota->counted = FindCounter(manager.Metrics(), "reject.quota_pending");
   }
 
   // Settle any queued submissions before the final accounting: the
@@ -494,7 +541,8 @@ StressHarness::StressHarness(StressOptions options)
 std::string StressHarness::CheckOnce(const Database& db,
                                      const std::vector<WorkloadEvent>& events,
                                      size_t* oracle_deliveries,
-                                     StressReplay* single_thread) const {
+                                     StressReplay* single_thread,
+                                     size_t* quota_bounces) const {
   StressReplay oracle = Replay(db, OracleVariant(), events);
   if (oracle_deliveries != nullptr) *oracle_deliveries = oracle.log.size();
   std::string err = CheckInvariants("oracle", oracle);
@@ -609,6 +657,59 @@ std::string StressHarness::CheckOnce(const Database& db,
       if (!err.empty()) return err;
       err = CompareRuns("oracle", oracle, label, run.flat);
       if (!err.empty()) return err;
+    }
+  }
+  // Quota-armed session differential: rejected submissions never reach
+  // the service, so the armed run must be byte-identical to an oracle
+  // fed only the accepted events — and every bounce must surface as a
+  // typed, metrics-counted kQuotaPending outcome (no silent drops).
+  if (options_.session_count > 0 && options_.quota_max_session_pending > 0) {
+    SessionOptions armed;
+    armed.max_pending = options_.quota_max_session_pending;
+    std::vector<std::pair<std::string, EngineVariant>> armed_variants;
+    armed_variants.emplace_back(
+        "sessions[quota,incremental]",
+        IncrementalVariant(1, options_.fault));
+    if (!options_.shard_thread_counts.empty()) {
+      armed_variants.emplace_back(
+          "sessions[quota,sharded]",
+          ShardedVariant(options_.shard_thread_counts.front(),
+                         options_.fault));
+    }
+    for (const auto& [label, variant] : armed_variants) {
+      QuotaObservations quota;
+      SessionReplayRun run = ReplayThroughSessions(
+          db, variant, events, options_.session_count, armed, &quota);
+      if (!run.error.empty()) return label + ": " + run.error;
+      err = CheckInvariants(label, run.flat);
+      if (!err.empty()) return err;
+      StressReplay filtered = Replay(db, OracleVariant(), quota.accepted);
+      err = CheckInvariants("oracle[accepted-only]", filtered);
+      if (!err.empty()) return err;
+      err = CompareRuns("oracle[accepted-only]", filtered, label, run.flat);
+      if (!err.empty()) return err;
+      size_t total_texts = 0;
+      for (const WorkloadEvent& event : events) {
+        total_texts += event.texts.size();
+      }
+      size_t accepted_texts = 0;
+      for (const WorkloadEvent& event : quota.accepted) {
+        accepted_texts += event.texts.size();
+      }
+      if (accepted_texts + quota.bounced_texts != total_texts) {
+        return label + ": " + std::to_string(total_texts) +
+               " texts submitted but " + std::to_string(accepted_texts) +
+               " accepted + " + std::to_string(quota.bounced_texts) +
+               " bounced (a submission was silently dropped)";
+      }
+      if (quota.counted != quota.bounced_calls) {
+        return label + ": metrics counted " + std::to_string(quota.counted) +
+               " quota_pending rejections but the replay observed " +
+               std::to_string(quota.bounced_calls);
+      }
+      if (quota_bounces != nullptr) {
+        *quota_bounces = std::max(*quota_bounces, quota.bounced_calls);
+      }
     }
   }
   return "";
@@ -875,7 +976,9 @@ StressReport StressHarness::VerifyEvents(
   for (const WorkloadEvent& event : events) {
     report.submitted += event.texts.size();
   }
-  report.failure = CheckOnce(db, events, &report.deliveries);
+  report.failure = CheckOnce(db, events, &report.deliveries,
+                             /*single_thread=*/nullptr,
+                             &report.quota_bounces);
   report.ok = report.failure.empty();
   if (!report.ok && options_.shrink_on_failure) {
     std::vector<WorkloadEvent> shrunk = Shrink(db, events);
@@ -900,8 +1003,8 @@ StressReport StressHarness::RunScenario(const GeneratorOptions& gen) const {
       std::find(options_.flush_thread_counts.begin(),
                 options_.flush_thread_counts.end(),
                 size_t{1}) != options_.flush_thread_counts.end();
-  report.failure =
-      CheckOnce(db, workload.events, &report.deliveries, &single_thread);
+  report.failure = CheckOnce(db, workload.events, &report.deliveries,
+                             &single_thread, &report.quota_bounces);
   const bool base_failed = !report.failure.empty();
   if (!base_failed && options_.run_metamorphic) {
     if (!have_single_thread) {

@@ -48,6 +48,17 @@ struct StressOptions {
   /// the session differential.
   size_t session_count = 3;
 
+  /// Arm every replayed session with this per-session pending quota
+  /// (SessionOptions::max_pending; 0 disables the quota differential).
+  /// When set, each scenario additionally replays through quota-armed
+  /// sessions and requires (a) every bounced submission to be a *typed*
+  /// kQuotaPending outcome, counted in the manager's metrics snapshot —
+  /// no exceptions, no silent drops — and (b) the accepted queries'
+  /// delivery stream to be byte-identical to an oracle fed only the
+  /// accepted submissions (rejected texts never reach the service, so
+  /// id assignment and rank-addressed cancels stay aligned).
+  size_t quota_max_session_pending = 0;
+
   /// Run the metamorphic variants (within-batch permutation, relation
   /// row shuffling, symbol renaming) after the differential passes.
   bool run_metamorphic = true;
@@ -110,6 +121,7 @@ struct StressReport {
   size_t submitted = 0;      ///< query texts across submit events
   size_t deliveries = 0;     ///< coordinating sets the oracle delivered
   size_t shrunk_events = 0;  ///< events in the minimal reproduction
+  size_t quota_bounces = 0;  ///< typed quota rejections in the armed run
 };
 
 /// \brief Replays generated workloads against the incremental engine
@@ -145,7 +157,8 @@ class StressHarness {
   std::string CheckOnce(const Database& db,
                         const std::vector<WorkloadEvent>& events,
                         size_t* oracle_deliveries,
-                        StressReplay* single_thread = nullptr) const;
+                        StressReplay* single_thread = nullptr,
+                        size_t* quota_bounces = nullptr) const;
 
   /// Metamorphic variants compared against `base` (the scenario's
   /// flush_threads=1 replay); empty string when all hold.

@@ -1,0 +1,130 @@
+// Coverage for the observability primitives (common/metrics.h): the
+// power-of-two latency histogram (bucketing, quantile bounds, merges)
+// and the MetricsSnapshot JSON serializer (exact stable document,
+// escaping, empty snapshot).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace entangled {
+namespace {
+
+TEST(LatencyHistogramTest, BucketsByBitWidth) {
+  LatencyHistogram h;
+  h.Record(0);     // bucket 0 (bit width of 0)
+  h.Record(1);     // bucket 1: [1, 2)
+  h.Record(2);     // bucket 2: [2, 4)
+  h.Record(3);     // bucket 2
+  h.Record(1024);  // bucket 11: [1024, 2048)
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.total_ns(), 1030u);
+  EXPECT_EQ(h.max_ns(), 1024u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(11), 1u);
+
+  EXPECT_EQ(LatencyHistogram::BucketUpperBoundNs(1), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBoundNs(11), 2048u);
+  // The final bucket is unbounded.
+  EXPECT_EQ(LatencyHistogram::BucketUpperBoundNs(31), ~uint64_t{0});
+}
+
+TEST(LatencyHistogramTest, NegativeSamplesClampToZero) {
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.total_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(LatencyHistogramTest, HugeSamplesLandInTheLastBucket) {
+  LatencyHistogram h;
+  h.Record(static_cast<int64_t>(uint64_t{1} << 62));
+  EXPECT_EQ(h.bucket(LatencyHistogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.ApproxQuantileNs(0.5), ~uint64_t{0});
+}
+
+TEST(LatencyHistogramTest, QuantileReportsBucketUpperEdge) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.ApproxQuantileNs(0.5), 0u);  // empty
+
+  h.Record(1);  // bucket 1, edge 2
+  h.Record(2);  // bucket 2, edge 4
+  h.Record(4);  // bucket 3, edge 8
+  // p50 rank = 1 of 3: the first sample's bucket edge.
+  EXPECT_EQ(h.ApproxQuantileNs(0.5), 2u);
+  EXPECT_EQ(h.ApproxQuantileNs(0.0), 2u);  // rank clamps to 1
+  EXPECT_EQ(h.ApproxQuantileNs(1.0), 8u);
+  EXPECT_EQ(h.ApproxQuantileNs(2.0), 8u);  // p clamps to 1
+}
+
+TEST(LatencyHistogramTest, MergeIsFieldWise) {
+  LatencyHistogram a;
+  a.Record(1);
+  a.Record(100);
+  LatencyHistogram b;
+  b.Record(3);
+  b.Record(5000);
+
+  a += b;
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.total_ns(), 5104u);
+  EXPECT_EQ(a.max_ns(), 5000u);
+  EXPECT_EQ(a.bucket(1), 1u);   // 1
+  EXPECT_EQ(a.bucket(2), 1u);   // 3
+  EXPECT_EQ(a.bucket(7), 1u);   // 100 in [64, 128)
+  EXPECT_EQ(a.bucket(13), 1u);  // 5000 in [4096, 8192)
+}
+
+TEST(MetricsSnapshotTest, ToJsonIsTheExactDocumentedDocument) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("a", 1);
+  snap.counters.emplace_back("b", 2);
+  LatencyHistogram h;
+  h.Record(1);
+  h.Record(1000);
+  snap.latency.emplace_back("h", h);
+  snap.gauges.pending = 3;
+  snap.gauges.intake_depth = 1;
+  snap.gauges.live_shards = 2;
+  snap.gauges.group_merges = 4;
+  snap.gauges.queries_migrated = 5;
+  snap.gauges.shards.push_back(ShardGauge{0, 1, 2});
+  snap.gauges.shards.push_back(ShardGauge{3, 2, 9});
+
+  EXPECT_EQ(
+      snap.ToJson(),
+      "{\"counters\":{\"a\":1,\"b\":2},"
+      "\"gauges\":{\"pending\":3,\"intake_depth\":1,\"live_shards\":2,"
+      "\"group_merges\":4,\"queries_migrated\":5,"
+      "\"shards\":[{\"slot\":0,\"pending\":1,\"evaluations\":2},"
+      "{\"slot\":3,\"pending\":2,\"evaluations\":9}]},"
+      "\"latency\":{\"h\":{\"count\":2,\"total_ns\":1001,\"max_ns\":1000,"
+      "\"p50_ns\":2,\"p99_ns\":2,\"buckets\":[[1,1],[10,1]]}}}");
+}
+
+TEST(MetricsSnapshotTest, EmptySnapshotSerializesAllSections) {
+  MetricsSnapshot snap;
+  EXPECT_EQ(snap.ToJson(),
+            "{\"counters\":{},"
+            "\"gauges\":{\"pending\":0,\"intake_depth\":0,\"live_shards\":0,"
+            "\"group_merges\":0,\"queries_migrated\":0,\"shards\":[]},"
+            "\"latency\":{}}");
+}
+
+TEST(MetricsSnapshotTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace entangled

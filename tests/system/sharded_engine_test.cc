@@ -148,6 +148,50 @@ TEST_F(ShardedEngineTest, StatsAggregateAcrossMigrationAndGc) {
   EXPECT_EQ(sharded.queries_migrated, 2u);  // both stuck queries
   EXPECT_EQ(engine.num_pending(), 3u);
   EXPECT_EQ(engine.num_live_shards(), 1u);
+
+  // The observability counters survive the same churn.  The evaluation
+  // histogram aggregates one sample per evaluation — including those
+  // run by the two shards GC has since dissolved — and front-door parse
+  // failures land in `rejected` without disturbing anything else.
+  EXPECT_EQ(stats.eval_latency.count(), stats.evaluations);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_FALSE(engine.Submit("not a query").ok());
+  EXPECT_FALSE(engine.SubmitBatch({Stuck("S", "T2"), "also bad"}).ok());
+  const EngineStats after = engine.StatsSnapshot();
+  EXPECT_EQ(after.rejected, 2u);
+  EXPECT_EQ(after.submitted, stats.submitted);  // nothing half-admitted
+  EXPECT_EQ(after.evaluations, stats.evaluations);
+  EXPECT_EQ(after.eval_latency.count(), stats.eval_latency.count());
+
+  // The gauges view agrees with the aggregate: one live (merged) shard
+  // holding every survivor, and the merge/migration history.
+  const ServiceGauges gauges = engine.GaugesSnapshot();
+  EXPECT_EQ(gauges.live_shards, 1u);
+  ASSERT_EQ(gauges.shards.size(), 1u);
+  EXPECT_EQ(gauges.shards[0].pending, 3u);
+  EXPECT_EQ(gauges.pending, 3u);
+  EXPECT_EQ(gauges.intake_depth, 0u);
+  EXPECT_EQ(gauges.group_merges, 1u);
+  EXPECT_EQ(gauges.queries_migrated, 2u);
+}
+
+TEST(EngineStatsTest, MergeFoldsRejectionsAndEvalHistogram) {
+  EngineStats a;
+  a.rejected = 1;
+  a.evaluations = 2;
+  a.eval_latency.Record(10);
+  a.eval_latency.Record(700);
+  EngineStats b;
+  b.rejected = 2;
+  b.evaluations = 1;
+  b.eval_latency.Record(20);
+
+  a += b;
+  EXPECT_EQ(a.rejected, 3u);
+  EXPECT_EQ(a.evaluations, 3u);
+  EXPECT_EQ(a.eval_latency.count(), 3u);
+  EXPECT_EQ(a.eval_latency.total_ns(), 730u);
+  EXPECT_EQ(a.eval_latency.max_ns(), 700u);
 }
 
 TEST_F(ShardedEngineTest, EvaluateEveryCadenceCountsAcrossShards) {

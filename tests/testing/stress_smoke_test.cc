@@ -107,6 +107,50 @@ TEST(StressSmoke, SweepAllTopologies) {
               scenarios, total_deliveries);
 }
 
+/// The quota-armed profile (tier-1 typed-rejection coverage): every
+/// scenario additionally replays through sessions holding a tight
+/// per-session pending quota.  The harness requires each bounce to be a
+/// typed kQuotaPending outcome counted in the metrics snapshot (no
+/// exceptions, no silent drops) and the accepted queries' delivery
+/// stream to be byte-identical to an oracle fed only the accepted
+/// submissions.
+TEST(StressSmoke, QuotaArmedDifferential) {
+  StressOptions stress;
+  stress.quota_max_session_pending = 3;
+  // The quota overlay is the subject; skip the crossings that only
+  // re-verify engine internals to keep the tier-1 budget.
+  stress.run_metamorphic = false;
+  stress.cross_delta_eval = false;
+  StressHarness harness(stress);
+
+  size_t scenarios = 0;
+  size_t total_bounces = 0;
+  for (GraphTopology topology : AllTopologies()) {
+    for (uint64_t seed : {1u, 2u}) {
+      GeneratorOptions options;
+      options.seed = 9000 + 100 * static_cast<uint64_t>(topology) + seed;
+      options.topology = topology;
+      options.num_queries = 24;
+      // Stuck-heavy streams build the pending mass that trips the quota.
+      options.stuck_body_rate = 0.3;
+      options.cancel_rate = 0.2;
+      StressReport report = harness.RunScenario(options);
+      EXPECT_TRUE(report.ok)
+          << TopologyName(topology) << " seed=" << options.seed << ": "
+          << report.failure << "\n"
+          << report.reproduction;
+      ++scenarios;
+      total_bounces += report.quota_bounces;
+    }
+  }
+  EXPECT_GE(scenarios, 8u);
+  // The sweep must actually bounce submissions, or the quota paths
+  // went untested.
+  EXPECT_GT(total_bounces, 0u);
+  std::printf("stress_smoke: quota-armed %zu scenarios, %zu bounces\n",
+              scenarios, total_bounces);
+}
+
 /// A larger single scenario exercising the parallel flush path with a
 /// big backlog (evaluate_every toggles + batches build pending mass).
 TEST(StressSmoke, BacklogScenario) {

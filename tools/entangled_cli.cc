@@ -6,6 +6,8 @@
 //                 [--algorithm scc|gupta|generic|single] [--quiet]
 //   entangled_cli sessions   --data FILE.edb --queries FILE.eq
 //                 [--sessions N] [--sharded] [--evaluate-every K] [--quiet]
+//   entangled_cli metrics    [--seed N] [--num-queries N] [--sessions N]
+//                 [--max-pending N] [--sharded] [--evaluate-every K]
 //
 // `coordinate` (the default when flags are given without a subcommand)
 // loads a database (db/loader.h format), parses entangled queries in
@@ -21,6 +23,14 @@
 // sessions of one shared engine (optionally the sharded front door),
 // coordinates, and prints each session's delivered events plus a
 // per-session table of pending counts — the multi-tenant view.
+//
+// `metrics` needs no input files: it drives a seeded generator workload
+// (workload/generator.h) through N client sessions — optionally armed
+// with a per-session pending quota so rejection counters are exercised —
+// and prints the manager's observability snapshot as one JSON document
+// (SessionManager::Metrics; schema documented in the README).  The
+// document is stable: two runs with the same flags agree on every field
+// except wall-clock timings (keys ending `_ns`, histogram `buckets`).
 //
 // Exit codes: 0 = coordinating set(s) found; 2 = none exists;
 //             1 = usage/parse/validation error.
@@ -41,12 +51,13 @@
 #include "db/loader.h"
 #include "system/engine.h"
 #include "system/sharded_engine.h"
+#include "workload/generator.h"
 
 namespace {
 
 using namespace entangled;
 
-constexpr const char* kVersion = "0.5.0";
+constexpr const char* kVersion = "0.6.0";
 
 struct CliOptions {
   std::string command = "coordinate";
@@ -57,6 +68,10 @@ struct CliOptions {
   size_t evaluate_every = 0;
   bool sharded = false;
   bool quiet = false;
+  // metrics command only
+  uint64_t seed = 1;
+  size_t num_queries = 48;
+  size_t max_pending = 0;
 };
 
 void PrintVersion() {
@@ -73,14 +88,21 @@ void PrintUsage() {
          "[--quiet]\n"
       << "       entangled_cli sessions --data FILE.edb --queries FILE.eq\n"
       << "                     [--sessions N] [--sharded] "
-         "[--evaluate-every K] [--quiet]\n\n"
+         "[--evaluate-every K] [--quiet]\n"
+      << "       entangled_cli metrics [--seed N] [--num-queries N] "
+         "[--sessions N]\n"
+      << "                     [--max-pending N] [--sharded] "
+         "[--evaluate-every K]\n\n"
       << "commands:\n"
       << "  coordinate   stream the queries through one client session,\n"
       << "               coordinate, validate, print grounded answers\n"
       << "               (default when only flags are given)\n"
       << "  sessions     round-robin the queries across N client sessions\n"
       << "               and show each session's deliveries and pending\n"
-      << "               counts\n\n"
+      << "               counts\n"
+      << "  metrics      drive a seeded generator workload through N\n"
+      << "               sessions and print the observability snapshot\n"
+      << "               as one JSON document (no input files needed)\n\n"
       << "options:\n"
       << "  --data            database instance (relation blocks; see "
          "docs)\n"
@@ -99,6 +121,12 @@ void PrintUsage() {
       << "  --evaluate-every K  per-arrival evaluation cadence (default "
          "0:\n"
       << "                    admit everything, then flush once)\n"
+      << "  --seed N          metrics: workload generator seed (default 1)\n"
+      << "  --num-queries N   metrics: query texts to generate (default "
+         "48)\n"
+      << "  --max-pending N   metrics: per-session pending quota (default "
+         "0:\n"
+      << "                    unlimited; bounces are typed and counted)\n"
       << "  --quiet           print only the coordinating sets\n"
       << "  --help, -h        this text\n"
       << "  --version         version string\n";
@@ -140,6 +168,30 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, int* exit_code) {
         return false;
       }
       options->evaluate_every = static_cast<size_t>(n);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      const long long n = v == nullptr ? -1 : std::atoll(v);
+      if (n < 0) {
+        std::cerr << "--seed wants a value >= 0\n";
+        return false;
+      }
+      options->seed = static_cast<uint64_t>(n);
+    } else if (arg == "--num-queries") {
+      const char* v = next();
+      const long n = v == nullptr ? 0 : std::atol(v);
+      if (n <= 0 || n > 1000000) {
+        std::cerr << "--num-queries wants a count in [1, 1000000]\n";
+        return false;
+      }
+      options->num_queries = static_cast<size_t>(n);
+    } else if (arg == "--max-pending") {
+      const char* v = next();
+      const long n = v == nullptr ? -1 : std::atol(v);
+      if (n < 0) {
+        std::cerr << "--max-pending wants a quota >= 0\n";
+        return false;
+      }
+      options->max_pending = static_cast<size_t>(n);
     } else if (arg == "--sharded") {
       options->sharded = true;
     } else if (arg == "--quiet") {
@@ -160,15 +212,25 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, int* exit_code) {
       return false;
     }
   }
-  if (options->command != "coordinate" && options->command != "sessions") {
+  if (options->command != "coordinate" && options->command != "sessions" &&
+      options->command != "metrics") {
     std::cerr << "unknown command: " << options->command << "\n";
     return false;
   }
-  if (options->command == "sessions" && options->algorithm != "scc") {
-    std::cerr << "the sessions front door serves the streaming engine "
-                 "(scc) only; --algorithm " << options->algorithm
+  if (options->command != "coordinate" && options->algorithm != "scc") {
+    std::cerr << "the " << options->command
+              << " front door serves the streaming engine (scc) only; "
+                 "--algorithm " << options->algorithm
               << " is a coordinate-command reference path\n";
     return false;
+  }
+  if (options->command == "metrics") {
+    if (!options->data_path.empty() || !options->queries_path.empty()) {
+      std::cerr << "metrics generates its own workload; --data/--queries "
+                   "do not apply\n";
+      return false;
+    }
+    return true;
   }
   if (options->data_path.empty() || options->queries_path.empty()) {
     PrintUsage();
@@ -420,12 +482,100 @@ int RunSessions(const CliOptions& options, const Database& db,
   return delivered_events > 0 ? 0 : 2;
 }
 
+int RunMetrics(const CliOptions& options) {
+  GeneratorOptions gen;
+  gen.seed = options.seed;
+  gen.num_queries = options.num_queries;
+  WorkloadGenerator generator(gen);
+  Database db;
+  if (Status built = generator.BuildDatabase(&db); !built.ok()) {
+    std::cerr << "generator: " << built << "\n";
+    return 1;
+  }
+  const GeneratedWorkload workload = generator.Generate();
+
+  std::unique_ptr<CoordinationService> service;
+  if (options.sharded) {
+    ShardedEngineOptions sharded_options;
+    sharded_options.engine.evaluate_every = options.evaluate_every;
+    service = std::make_unique<ShardedCoordinationEngine>(&db,
+                                                          sharded_options);
+  } else {
+    EngineOptions engine_options;
+    engine_options.evaluate_every = options.evaluate_every;
+    service = std::make_unique<CoordinationEngine>(&db, engine_options);
+  }
+  SessionManager manager(service.get());
+  SessionOptions session_options;
+  session_options.max_pending = options.max_pending;
+  std::vector<ClientSession*> sessions;
+  for (size_t i = 0; i < options.num_sessions; ++i) {
+    sessions.push_back(manager.Open(session_options));
+  }
+
+  // Replay the generated stream round-robin across the sessions.  With
+  // a quota armed some submissions legitimately bounce — the snapshot
+  // printed below counts them; any *other* rejection of a generated
+  // query is an internal error.
+  size_t next_session = 0;
+  for (const WorkloadEvent& event : workload.events) {
+    switch (event.kind) {
+      case WorkloadEvent::Kind::kSubmit:
+      case WorkloadEvent::Kind::kSubmitBatch: {
+        ClientSession* session = sessions[next_session++ % sessions.size()];
+        RejectReason reason = RejectReason::kNone;
+        std::string message;
+        if (event.kind == WorkloadEvent::Kind::kSubmit) {
+          SubmitOutcome outcome = session->Submit(event.texts.front());
+          reason = outcome.reason;
+          message = outcome.message;
+        } else {
+          BatchOutcome outcome = session->SubmitBatch(event.texts);
+          reason = outcome.reason;
+          message = outcome.message;
+        }
+        const bool quota_bounce = reason == RejectReason::kQuotaPending ||
+                                  reason == RejectReason::kQuotaRate ||
+                                  reason == RejectReason::kQuotaFootprint ||
+                                  reason == RejectReason::kOverloaded;
+        if (reason != RejectReason::kNone && !quota_bounce) {
+          std::cerr << "INTERNAL ERROR: generated query rejected ("
+                    << RejectReasonName(reason) << "): " << message << "\n";
+          return 1;
+        }
+        break;
+      }
+      case WorkloadEvent::Kind::kCancel: {
+        const std::vector<QueryId> pending = manager.PendingQueries();
+        if (pending.empty()) break;
+        const QueryId gid = pending[event.cancel_rank % pending.size()];
+        const SessionId owner = manager.OwnerOf(gid);
+        if (owner >= 0) manager.Find(owner)->Cancel(gid);
+        break;
+      }
+      case WorkloadEvent::Kind::kSetEvaluateEvery:
+        manager.set_evaluate_every(event.evaluate_every);
+        break;
+      case WorkloadEvent::Kind::kFlush:
+        manager.Flush();
+        break;
+    }
+  }
+  manager.Flush();
+  for (ClientSession* session : sessions) session->PollEvents();
+
+  std::cout << manager.Metrics().ToJson() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions options;
   int exit_code = 1;
   if (!ParseArgs(argc, argv, &options, &exit_code)) return exit_code;
+
+  if (options.command == "metrics") return RunMetrics(options);
 
   Database db;
   QuerySet queries;

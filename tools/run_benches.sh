@@ -19,6 +19,7 @@ benches=(
   bench_sharded_stream
   bench_flush_pipeline
   bench_delta_eval
+  bench_session_quota
 )
 
 status=0
@@ -52,4 +53,78 @@ for bench in "${benches[@]}"; do
   fi
   mv "$tmp" "$out"
 done
+
+# ---------------------------------------------------------------------------
+# Metrics-snapshot JSON: validate the schema the README documents and
+# check that two identical runs agree on every field except wall-clock
+# timings (keys ending `_ns`, histogram `buckets`).
+# ---------------------------------------------------------------------------
+cli="$build_dir/entangled_cli"
+if [[ ! -x "$cli" ]]; then
+  echo "SKIP metrics validation: $cli not built" >&2
+  status=1
+else
+  echo "== entangled_cli metrics: schema + stability"
+  snap_a="$(mktemp)"
+  snap_b="$(mktemp)"
+  if "$cli" metrics --seed 7 --num-queries 64 --sessions 3 \
+        --max-pending 4 > "$snap_a" \
+     && "$cli" metrics --seed 7 --num-queries 64 --sessions 3 \
+        --max-pending 4 > "$snap_b" \
+     && python3 - "$snap_a" "$snap_b" <<'PY'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+a, b = load(sys.argv[1]), load(sys.argv[2])
+
+# --- schema: the shape the README documents ---
+for doc in (a, b):
+    assert set(doc) == {"counters", "gauges", "latency"}, sorted(doc)
+    counters = doc["counters"]
+    for key in ("engine.submitted", "engine.rejected", "sessions.open",
+                "reject.quota_pending", "reject.overloaded",
+                "shed.transitions", "shed.active"):
+        assert key in counters, f"missing counter {key}"
+        assert isinstance(counters[key], int), key
+    gauges = doc["gauges"]
+    for key in ("pending", "intake_depth", "live_shards", "group_merges",
+                "queries_migrated", "shards"):
+        assert key in gauges, f"missing gauge {key}"
+    for row in gauges["shards"]:
+        assert set(row) == {"slot", "pending", "evaluations"}, row
+    latency = doc["latency"]
+    for name in ("submit", "submit_batch", "cancel", "flush",
+                 "poll_events", "eval"):
+        assert name in latency, f"missing histogram {name}"
+        hist = latency[name]
+        assert set(hist) == {"count", "total_ns", "max_ns", "p50_ns",
+                             "p99_ns", "buckets"}, sorted(hist)
+        assert sum(n for _, n in hist["buckets"]) == hist["count"], name
+
+# --- stability: drop timing-only fields, require exact equality ---
+def strip(node):
+    if isinstance(node, dict):
+        return {k: strip(v) for k, v in node.items()
+                if not k.endswith("_ns") and k != "buckets"}
+    if isinstance(node, list):
+        return [strip(v) for v in node]
+    return node
+
+sa, sb = strip(a), strip(b)
+assert sa == sb, "metrics snapshot is not stable across identical runs"
+# The quota-armed profile must actually exercise the reject counters.
+assert a["counters"]["reject.quota_pending"] > 0, "no quota bounces"
+print("metrics snapshot: schema OK, stable across runs")
+PY
+  then
+    :
+  else
+    echo "FAIL entangled_cli metrics: schema/stability check failed" >&2
+    status=1
+  fi
+  rm -f "$snap_a" "$snap_b"
+fi
 exit "$status"
