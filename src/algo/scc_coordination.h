@@ -21,9 +21,12 @@ namespace entangled {
 
 /// \brief Scores a candidate coordinating set; the sweep returns the
 /// highest-scoring successful set (ties break towards the earlier
-/// discovery).  §4 suggests application-specific criteria — "the set
-/// with the most gold-status passengers", "the set containing some VIP
-/// client" — all expressible as scores.
+/// discovery).  Discovery order is the caller's subset-id order: the
+/// engine hands the solver queries sorted by schedule key (global id in
+/// the sharded service), so tie-breaks are deterministic and identical
+/// across shard layouts.  §4 suggests application-specific criteria —
+/// "the set with the most gold-status passengers", "the set containing
+/// some VIP client" — all expressible as scores.
 using CoordinationScore =
     std::function<double(const QuerySet&, const std::vector<QueryId>&)>;
 

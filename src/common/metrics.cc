@@ -94,6 +94,12 @@ std::string MetricsSnapshot::ToJson() const {
   AppendUint(&out, gauges.group_merges);
   out += ",\"queries_migrated\":";
   AppendUint(&out, gauges.queries_migrated);
+  out += ",\"queries_retained\":";
+  AppendUint(&out, gauges.queries_retained);
+  out += ",\"merge_events\":";
+  AppendUint(&out, gauges.merge_events);
+  out += ",\"merge_migrated_max\":";
+  AppendUint(&out, gauges.merge_migrated_max);
   out += ",\"shards\":[";
   for (size_t i = 0; i < gauges.shards.size(); ++i) {
     if (i > 0) out += ",";

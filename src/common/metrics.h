@@ -102,7 +102,13 @@ struct ServiceGauges {
   uint64_t intake_depth = 0;  ///< validated-but-undrained submissions
   uint64_t live_shards = 0;
   uint64_t group_merges = 0;      ///< footprints that united >1 shard
-  uint64_t queries_migrated = 0;  ///< pending queries moved by merges
+  uint64_t queries_migrated = 0;  ///< pending queries merges moved
+  /// Pending queries merges left in place (the survivors' sides under
+  /// the small-into-large policy); moved + retained sums the work a
+  /// rebuild-everything policy would have done.
+  uint64_t queries_retained = 0;
+  uint64_t merge_events = 0;        ///< shard-merge operations performed
+  uint64_t merge_migrated_max = 0;  ///< most queries any one merge moved
   std::vector<ShardGauge> shards;
 };
 

@@ -143,6 +143,13 @@ std::vector<QueryId> QuerySet::AdoptQueries(
   return adopted;
 }
 
+std::vector<QueryId> QuerySet::AdoptAll(
+    const QuerySet& src, std::vector<std::pair<VarId, VarId>>* var_map) {
+  std::vector<QueryId> ids(src.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<QueryId>(i);
+  return AdoptQueries(src, ids, var_map);
+}
+
 std::string QuerySet::TermToString(const Term& term) const {
   if (term.is_constant()) return term.constant().ToString(/*quote=*/true);
   return var_name(term.var());

@@ -108,6 +108,15 @@ class QuerySet {
       const QuerySet& src, const std::vector<QueryId>& ids,
       std::vector<std::pair<VarId, VarId>>* var_map = nullptr);
 
+  /// Whole-set form of AdoptQueries: appends copies of *every* query of
+  /// `src` in id order, sharing one variable remap across the whole
+  /// call.  This is the bulk half of the migration round-trip — a shard
+  /// merge adopts an entire PendingExtract in one pass instead of one
+  /// AdoptQueries call (and one remap map) per query.
+  std::vector<QueryId> AdoptAll(
+      const QuerySet& src,
+      std::vector<std::pair<VarId, VarId>>* var_map = nullptr);
+
   /// Renders a term/atom/query with variable display names
   /// ("R('C', x1)" instead of "R('C', ?3)").
   std::string TermToString(const Term& term) const;

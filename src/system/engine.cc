@@ -236,6 +236,9 @@ void CoordinationEngine::ResyncIntakeBase() {
 void CoordinationEngine::IndexQuery(QueryId id) {
   const size_t n = all_.size();
   pending_.resize(n, false);
+  // Identity keys for directly submitted queries; AdoptPending already
+  // overwrote the adopted range when the caller passed explicit keys.
+  EnsureScheduleKeys(n);
   pending_[static_cast<size_t>(id)] = true;
   ++num_pending_;
 
@@ -245,7 +248,7 @@ void CoordinationEngine::IndexQuery(QueryId id) {
       QueryId q = static_cast<QueryId>(uf_parent_.size());
       uf_parent_.push_back(q);
       uf_size_.push_back(1);
-      comp_min_.push_back(q);
+      comp_min_.push_back(key_of(q));
       comp_members_.push_back({q});
     }
     // Index the arrival; its incident edges are exactly the new ones.
@@ -433,7 +436,7 @@ std::vector<QueryId> CoordinationEngine::RetireAndRepartition(
   for (QueryId m : survivors) {
     uf_parent_[static_cast<size_t>(m)] = m;
     uf_size_[static_cast<size_t>(m)] = 1;
-    comp_min_[static_cast<size_t>(m)] = m;
+    comp_min_[static_cast<size_t>(m)] = key_of(m);
     comp_members_[static_cast<size_t>(m)] = {m};
   }
   for (QueryId m : survivors) {
@@ -471,16 +474,27 @@ void CoordinationEngine::BuildTask(QueryId root, EvalTask* task) const {
   ENTANGLED_CHECK(!src.empty());
   std::vector<QueryId, ArenaAllocator<QueryId>> members(
       src.begin(), src.end(), ArenaAllocator<QueryId>(&flush_arena_));
-  std::sort(members.begin(), members.end());
-  task->min_id = members.front();
+  // Order members by schedule key, not engine id: keys are monotone in
+  // global submission order even when local ids are not (queries merged
+  // into this engine mid-life), so the dense subset — and with it every
+  // discovery-order tie-break inside the solver — is byte-identical to
+  // what a single engine over the union would build.
+  std::sort(members.begin(), members.end(), [this](QueryId a, QueryId b) {
+    return key_of(a) < key_of(b);
+  });
+  task->min_key = key_of(members.front());
   task->original.clear();
   task->original_vars.clear();
   task->edges.clear();
   task->subset = all_.Subset(members.data(), members.size(), &task->original,
                              &task->original_vars);
 
-  auto local_id = [&members](QueryId engine_id) {
-    auto it = std::lower_bound(members.begin(), members.end(), engine_id);
+  auto local_id = [this, &members](QueryId engine_id) {
+    const QueryId key = key_of(engine_id);
+    auto it = std::lower_bound(members.begin(), members.end(), key,
+                               [this](QueryId member, QueryId k) {
+                                 return key_of(member) < k;
+                               });
     ENTANGLED_CHECK(it != members.end() && *it == engine_id);
     return static_cast<QueryId>(it - members.begin());
   };
@@ -549,10 +563,10 @@ void CoordinationEngine::ExtendComponentState(QueryId root, QueryId id) {
   if (it == comp_states_.end()) return;  // lazily rebuilt at next eval
   ComponentState* state = it->second.get();
   EvalTask* task = &state->task;
-  if (!task->original.empty() && task->original.back() >= id) {
-    // Appending would break the ascending-id invariant the dense subset
-    // depends on (cannot happen through the public paths, where an
-    // arrival always carries the largest id — but degrade to a rebuild
+  if (!task->original.empty() && key_of(task->original.back()) >= key_of(id)) {
+    // Appending would break the ascending-key invariant the dense
+    // subset depends on (an arrival normally carries the largest key —
+    // but a merge can adopt interleaved keys; degrade to a rebuild
     // rather than corrupt the subset).
     DoomComponentState(root);
     return;
@@ -571,11 +585,14 @@ void CoordinationEngine::ExtendComponentState(QueryId root, QueryId id) {
   for (const auto& [source_var, local_var] : var_map) {
     task->original_vars[static_cast<size_t>(local_var)] = source_var;
   }
-  // min_id is unchanged: the arrival's id is the largest member.
+  // min_key is unchanged: the arrival carries the largest key.
 
-  auto local_id = [task](QueryId engine_id) {
-    auto pos = std::lower_bound(task->original.begin(),
-                                task->original.end(), engine_id);
+  auto local_id = [this, task](QueryId engine_id) {
+    const QueryId key = key_of(engine_id);
+    auto pos = std::lower_bound(task->original.begin(), task->original.end(),
+                                key, [this](QueryId member, QueryId k) {
+                                  return key_of(member) < k;
+                                });
     ENTANGLED_CHECK(pos != task->original.end() && *pos == engine_id);
     return static_cast<QueryId>(pos - task->original.begin());
   };
@@ -677,7 +694,7 @@ bool CoordinationEngine::ApplyOutcome(const EvalTask& task,
   if (new_roots != nullptr) *new_roots = std::move(fragment_roots);
   stats_.coordinated_queries += solution.queries.size();
   ++stats_.coordinating_sets;
-  last_delivery_key_ = task.min_id;
+  last_delivery_key_ = task.min_key;
   Deliver(solution);
   return true;
 }
@@ -744,10 +761,10 @@ size_t CoordinationEngine::IncrementalFlush() {
     }
   }
 
-  // Results are applied strictly in ascending smallest-member order —
-  // the order the reference path discovers components in — so delivery
-  // order is deterministic and thread-count-independent.
-  using HeapItem = std::pair<QueryId, size_t>;  // (min_id, slot index)
+  // Results are applied strictly in ascending smallest-member-key order
+  // — the order the reference path discovers components in — so
+  // delivery order is deterministic and thread-count-independent.
+  using HeapItem = std::pair<QueryId, size_t>;  // (min_key, slot index)
   using HeapVec = std::vector<HeapItem, ArenaAllocator<HeapItem>>;
   std::priority_queue<HeapItem, HeapVec, std::greater<HeapItem>> apply_order{
       std::greater<HeapItem>(), HeapVec(ArenaAllocator<HeapItem>(&flush_arena_))};
@@ -773,7 +790,7 @@ size_t CoordinationEngine::IncrementalFlush() {
     }
     eval.ran = false;
     ++stats_.evaluations;
-    apply_order.push({eval.task_ptr->min_id, eval_slots_used_});
+    apply_order.push({eval.task_ptr->min_key, eval_slots_used_});
     ++eval_slots_used_;
   };
 
@@ -868,6 +885,10 @@ CoordinationEngine::PendingExtract CoordinationEngine::ExtractPending() {
   extract.original = PendingQueries();
   extract.queries =
       all_.Subset(extract.original, nullptr, &extract.original_vars);
+  // Schedule keys travel with the queries, so whichever engine adopts
+  // this extract keeps scheduling them in the same global order.
+  extract.keys.reserve(extract.original.size());
+  for (QueryId id : extract.original) extract.keys.push_back(key_of(id));
   // Detach: the queries stay in all_ (ids are never reused) but leave
   // every live structure, as if they had never been admitted.
   for (QueryId id : extract.original) {
@@ -892,16 +913,46 @@ CoordinationEngine::PendingExtract CoordinationEngine::ExtractPending() {
 
 std::vector<QueryId> CoordinationEngine::AdoptPending(
     const QuerySet& src, const std::vector<QueryId>& ids,
-    std::vector<std::pair<VarId, VarId>>* var_map) {
+    std::vector<std::pair<VarId, VarId>>* var_map,
+    const std::vector<QueryId>* keys) {
   CheckNotReentrant("AdoptPending");
   DrainIntake();
   std::vector<QueryId> adopted = all_.AdoptQueries(src, ids, var_map);
   ResyncIntakeBase();  // adoption grew all_ outside the ticket flow
+  // Keys must land before IndexQuery: component bookkeeping (comp_min_,
+  // persistent-subset extension guards) is key-ordered from the start.
+  EnsureScheduleKeys(all_.size());
+  if (keys != nullptr) {
+    ENTANGLED_CHECK_EQ(keys->size(), adopted.size());
+    for (size_t i = 0; i < adopted.size(); ++i) {
+      schedule_keys_[static_cast<size_t>(adopted[i])] = (*keys)[i];
+    }
+  }
   // Index without counting submissions or touching the cadence: a
   // migrated query was already counted where it first arrived, and the
   // caller decides when evaluation happens.  Components gaining adopted
   // members are conservatively dirty (IndexQuery), which can only add
   // provably-failing re-evaluations, never change what is delivered.
+  for (QueryId id : adopted) IndexQuery(id);
+  return adopted;
+}
+
+std::vector<QueryId> CoordinationEngine::AdoptPending(
+    const PendingExtract& extract,
+    std::vector<std::pair<VarId, VarId>>* var_map) {
+  CheckNotReentrant("AdoptPending");
+  DrainIntake();
+  // One AdoptAll call: a single variable-remap pass over the whole
+  // extract, instead of one AdoptQueries (and one remap map) per query.
+  std::vector<QueryId> adopted = all_.AdoptAll(extract.queries, var_map);
+  ResyncIntakeBase();
+  EnsureScheduleKeys(all_.size());
+  if (!extract.keys.empty()) {
+    ENTANGLED_CHECK_EQ(extract.keys.size(), adopted.size());
+    for (size_t i = 0; i < adopted.size(); ++i) {
+      schedule_keys_[static_cast<size_t>(adopted[i])] = extract.keys[i];
+    }
+  }
   for (QueryId id : adopted) IndexQuery(id);
   return adopted;
 }
@@ -956,6 +1007,10 @@ std::vector<QueryId> CoordinationEngine::LegacyComponentOf(
 bool CoordinationEngine::LegacyEvaluateComponentOf(QueryId root) {
   if (!IsPending(root)) return false;
   std::vector<QueryId> component = LegacyComponentOf(root);
+  // Solver input is ordered by schedule key (identical to ascending id
+  // for a never-adopted engine), matching the incremental path.
+  std::sort(component.begin(), component.end(),
+            [this](QueryId a, QueryId b) { return key_of(a) < key_of(b); });
   std::vector<QueryId> original;
   std::vector<VarId> original_vars;
   QuerySet subset = all_.Subset(component, &original, &original_vars);
@@ -987,21 +1042,24 @@ bool CoordinationEngine::LegacyEvaluateComponentOf(QueryId root) {
   std::sort(solution.queries.begin(), solution.queries.end());
   stats_.coordinated_queries += solution.queries.size();
   ++stats_.coordinating_sets;
-  // `component` is sorted ascending, so its front is the schedule key.
-  last_delivery_key_ = component.front();
+  // `component` is sorted by key, so its front carries the schedule key.
+  last_delivery_key_ = key_of(component.front());
   Deliver(solution);
   return true;
 }
 
 size_t CoordinationEngine::LegacyFlush() {
   size_t delivered = 0;
-  // Evaluate components in ascending pending-id order; every delivery
+  // Evaluate components in ascending schedule-key order; every delivery
   // can leave a smaller component that coordinates on its own, so
   // restart the scan until a full pass delivers nothing.
   bool progress = true;
   while (progress) {
     progress = false;
-    for (QueryId id : PendingQueries()) {
+    std::vector<QueryId> scan = PendingQueries();
+    std::sort(scan.begin(), scan.end(),
+              [this](QueryId a, QueryId b) { return key_of(a) < key_of(b); });
+    for (QueryId id : scan) {
       if (!IsPending(id)) continue;  // retired earlier in this pass
       if (LegacyEvaluateComponentOf(id)) {
         ++delivered;

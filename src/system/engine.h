@@ -319,6 +319,10 @@ class CoordinationEngine : public CoordinationService {
     QuerySet queries;
     std::vector<QueryId> original;     ///< dense id -> source engine id
     std::vector<VarId> original_vars;  ///< dense var -> source engine var
+    /// dense id -> source schedule key.  Keys travel with the queries,
+    /// so adopting an extract preserves the global ordering the source
+    /// engine scheduled them under (see AdoptPending).
+    std::vector<QueryId> keys;
   };
 
   /// Detaches every pending query: returns them as a PendingExtract
@@ -338,8 +342,28 @@ class CoordinationEngine : public CoordinationService {
   /// marked dirty, but adoption never triggers evaluation and never
   /// counts as a submission: the caller owns the cadence and the
   /// submission accounting.  Returns the new ids, in input order.
+  ///
+  /// `keys` (optional, parallel to `ids`) assigns each adopted query an
+  /// explicit schedule key; null defaults keys to the adopted local
+  /// ids.  Keys must be unique engine-wide and a caller that passes
+  /// explicit keys anywhere must pass them everywhere (the sharded
+  /// front door keys every query by its global id) — mixing keyed and
+  /// default-keyed admissions can collide.  All scheduling order —
+  /// solver tie-breaks, the flush apply heap, last_delivery_schedule_key
+  /// — follows keys, never local ids, which is what lets a merge append
+  /// queries to a survivor engine out of local-id order and still
+  /// reproduce the single-engine behaviour byte for byte.
   std::vector<QueryId> AdoptPending(
       const QuerySet& src, const std::vector<QueryId>& ids,
+      std::vector<std::pair<VarId, VarId>>* var_map = nullptr,
+      const std::vector<QueryId>* keys = nullptr);
+
+  /// Bulk adoption of a whole PendingExtract: one QuerySet::AdoptAll
+  /// call (one variable-remap pass, no per-query Subset), carrying the
+  /// extract's schedule keys across.  O(extract) total — this is the
+  /// O(smaller-side) path shard merges migrate through.
+  std::vector<QueryId> AdoptPending(
+      const PendingExtract& extract,
       std::vector<std::pair<VarId, VarId>>* var_map = nullptr);
 
   /// Master query set (all queries ever submitted; retired ones keep
@@ -392,13 +416,16 @@ class CoordinationEngine : public CoordinationService {
     return stats;
   }
 
-  /// Scheduling key of the most recent delivery: the smallest member id
-  /// of the component the coordinating set was carved from (which may
-  /// not itself be in the set).  Deliveries within one Flush() are
-  /// applied in nondecreasing key order, so a front door that merges
-  /// several engines' delivery streams by this key reproduces the order
-  /// a single engine over the union would have produced.  Valid inside
-  /// and after a delivery callback; -1 before the first delivery.
+  /// Scheduling key of the most recent delivery: the smallest schedule
+  /// key over the component the coordinating set was carved from (whose
+  /// holder may not itself be in the set).  Keys default to local ids;
+  /// AdoptPending can assign explicit ones (the sharded front door uses
+  /// global ids), in which case this returns the caller's key directly.
+  /// Deliveries within one Flush() are applied in nondecreasing key
+  /// order, so a front door that merges several engines' delivery
+  /// streams by this key reproduces the order a single engine over the
+  /// union would have produced.  Valid inside and after a delivery
+  /// callback; -1 before the first delivery.
   QueryId last_delivery_schedule_key() const { return last_delivery_key_; }
 
  private:
@@ -424,9 +451,14 @@ class CoordinationEngine : public CoordinationService {
   /// component's queries renumbered into a standalone QuerySet plus the
   /// matching slice of the persistent graph, so workers touch no shared
   /// engine state.
+  /// Members are ordered by schedule key (ascending), so the dense
+  /// subset handed to the solver is monotone in global submission order
+  /// even when engine-local ids are not — the discovery-order
+  /// tie-breaks inside SccCoordinator then reproduce exactly what a
+  /// single engine over the union would decide.
   struct EvalTask {
-    QueryId min_id = -1;              ///< smallest member (schedule key)
-    std::vector<QueryId> original;    ///< local id -> engine id
+    QueryId min_key = -1;             ///< smallest member schedule key
+    std::vector<QueryId> original;    ///< local id -> engine id, key order
     std::vector<VarId> original_vars; ///< local var -> engine var
     QuerySet subset;
     std::vector<ExtendedEdge> edges;  ///< local ids, canonical order
@@ -445,9 +477,10 @@ class CoordinationEngine : public CoordinationService {
   /// Persistent per-component evaluation state (delta_eval), keyed by
   /// union-find root.  The task's dense subset/maps/edges are extended
   /// in place when an arrival joins exactly this component — appending
-  /// the newest (largest) id reproduces byte for byte what a rebuild
-  /// over the ascending member list would produce, so local ids and
-  /// variables stay stable and the memo's keys stay meaningful.  Any
+  /// the newest (largest schedule key) member reproduces byte for byte
+  /// what a rebuild over the key-ordered member list would produce, so
+  /// local ids and variables stay stable and the memo's keys stay
+  /// meaningful.  Any
   /// other structure change (multi-component merge, cancel or delivery
   /// repartition, migration) drops the state; it is lazily rebuilt at
   /// the next evaluation.
@@ -499,6 +532,19 @@ class CoordinationEngine : public CoordinationService {
   /// `entry_point` names the violating call in the failure message.
   void CheckNotReentrant(const char* entry_point) const;
 
+  /// Grows schedule_keys_ to cover ids [0, n) with identity keys.
+  /// Queries adopted with explicit keys are overwritten right after.
+  void EnsureScheduleKeys(size_t n) {
+    if (schedule_keys_.size() >= n) return;
+    schedule_keys_.reserve(n);
+    while (schedule_keys_.size() < n) {
+      schedule_keys_.push_back(static_cast<QueryId>(schedule_keys_.size()));
+    }
+  }
+  QueryId key_of(QueryId id) const {
+    return schedule_keys_[static_cast<size_t>(id)];
+  }
+
   /// Union-find over engine ids (weak connectivity of pending queries).
   QueryId FindRoot(QueryId q) const;
   void UnionComps(QueryId a, QueryId b);
@@ -519,9 +565,10 @@ class CoordinationEngine : public CoordinationService {
 
   /// The persistent state of `root`'s component, built on first use.
   ComponentState* EnsureComponentState(QueryId root);
-  /// Appends arrival `id` — which must carry the largest engine id — to
-  /// `root`'s persistent subset/edges, if a state exists (no-op
-  /// otherwise; the state is lazily built at the next evaluation).
+  /// Appends arrival `id` — which must carry the largest schedule key
+  /// in its component — to `root`'s persistent subset/edges, if a state
+  /// exists (no-op otherwise; the state is lazily built at the next
+  /// evaluation).  An id out of key order degrades to a rebuild.
   void ExtendComponentState(QueryId root, QueryId id);
   /// Whether the stamp fingerprint proves re-evaluating `state` would
   /// reproduce its last failure (EngineStats::evaluations_avoided).
@@ -589,6 +636,10 @@ class CoordinationEngine : public CoordinationService {
   EngineOptions options_;
   QuerySet all_;
   std::vector<bool> pending_;  // per query id in all_
+  /// Per query id: the monotone schedule key every ordering decision
+  /// (solver member order, apply heap, delivery merge key) is taken on.
+  /// Identity unless AdoptPending assigned explicit keys.
+  std::vector<QueryId> schedule_keys_;
   size_t num_pending_ = 0;     // population count of pending_
   size_t since_last_eval_ = 0;
   DeliveryCallback callback_;
@@ -606,7 +657,7 @@ class CoordinationEngine : public CoordinationService {
   ExtendedCoordinationGraph graph_;      // over pending queries only
   mutable std::vector<QueryId> uf_parent_;
   std::vector<uint32_t> uf_size_;
-  std::vector<QueryId> comp_min_;        // at roots: smallest member id
+  std::vector<QueryId> comp_min_;        // at roots: smallest member key
   std::vector<std::vector<QueryId>> comp_members_;  // at roots
   std::unordered_set<QueryId> dirty_roots_;
   std::unique_ptr<ThreadPool> pool_;     // lazily created by FlushPool()

@@ -13,6 +13,7 @@ RelationId RelationRouter::Intern(const std::string& name) {
     names_.push_back(name);
     parent_.push_back(it->second);
     size_.push_back(1);
+    weight_.push_back(0);
     members_.push_back({it->second});
   }
   return it->second;
@@ -52,11 +53,18 @@ void RelationRouter::Union(RelationId a, RelationId b) {
   RelationId ra = Find(a);
   RelationId rb = Find(b);
   if (ra == rb) return;
-  if (size_[static_cast<size_t>(ra)] < size_[static_cast<size_t>(rb)]) {
+  // Weight-first union (relation count as the tie-break): the surviving
+  // root is the one bound to the heavy shard, so a merge rebinds the
+  // light groups under it instead of the other way around.
+  if (weight_[static_cast<size_t>(ra)] < weight_[static_cast<size_t>(rb)] ||
+      (weight_[static_cast<size_t>(ra)] == weight_[static_cast<size_t>(rb)] &&
+       size_[static_cast<size_t>(ra)] < size_[static_cast<size_t>(rb)])) {
     std::swap(ra, rb);
   }
   parent_[static_cast<size_t>(rb)] = ra;
   size_[static_cast<size_t>(ra)] += size_[static_cast<size_t>(rb)];
+  weight_[static_cast<size_t>(ra)] += weight_[static_cast<size_t>(rb)];
+  weight_[static_cast<size_t>(rb)] = 0;
   auto& into = members_[static_cast<size_t>(ra)];
   auto& from = members_[static_cast<size_t>(rb)];
   into.insert(into.end(), from.begin(), from.end());
@@ -95,8 +103,15 @@ void RelationRouter::DissolveGroup(RelationId root) {
   for (RelationId r : relations) {
     parent_[static_cast<size_t>(r)] = r;
     size_[static_cast<size_t>(r)] = 1;
+    weight_[static_cast<size_t>(r)] = 0;
     members_[static_cast<size_t>(r)] = {r};
   }
+}
+
+void RelationRouter::SetWeight(RelationId root, uint64_t weight) {
+  ENTANGLED_CHECK(Find(root) == root)
+      << "relation " << root << " is not a group root";
+  weight_[static_cast<size_t>(root)] = weight;
 }
 
 const std::string& RelationRouter::relation_name(RelationId r) const {

@@ -55,6 +55,18 @@ class RelationRouter {
   RelationId Unite(const std::vector<RelationId>& footprint,
                    std::vector<RelationId>* prior_roots = nullptr);
 
+  /// Caller-assigned weight of the group rooted at `root` (the sharded
+  /// front door stores the bound shard's pending count).  Union prefers
+  /// the heavier root — so the surviving group root tracks the heavy
+  /// shard and the survivor's group binding is an O(1) rebind, matching
+  /// the engine side's small-into-large merge — and sums weights on
+  /// merge; relation count breaks ties.  Weights reset to 0 on
+  /// DissolveGroup.
+  void SetWeight(RelationId root, uint64_t weight);
+  uint64_t weight(RelationId root) const {
+    return weight_[static_cast<size_t>(root)];
+  }
+
   /// Group root of `r`, with path compression.
   RelationId Find(RelationId r) const;
 
@@ -81,6 +93,7 @@ class RelationRouter {
   std::vector<std::string> names_;
   mutable std::vector<RelationId> parent_;
   std::vector<uint32_t> size_;
+  std::vector<uint64_t> weight_;                  // at roots
   std::vector<std::vector<RelationId>> members_;  // at roots
 };
 

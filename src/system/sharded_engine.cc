@@ -1,6 +1,7 @@
 #include "system/sharded_engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
@@ -107,8 +108,23 @@ void ShardedCoordinationEngine::RouteAndAdmit(QueryId gid) {
     // keeps the router's namespace bounded.
     footprint.push_back(router_.Intern("$lone"));
   }
+  // Refresh the touched groups' weights (their shards' pending counts)
+  // before uniting, so union-by-weight keeps the heavy shard's root as
+  // the surviving group root.
   std::vector<RelationId> prior_roots;
-  const RelationId root = router_.Unite(footprint, &prior_roots);
+  prior_roots.reserve(footprint.size());
+  for (RelationId r : footprint) prior_roots.push_back(router_.Find(r));
+  std::sort(prior_roots.begin(), prior_roots.end());
+  prior_roots.erase(std::unique(prior_roots.begin(), prior_roots.end()),
+                    prior_roots.end());
+  for (RelationId r : prior_roots) {
+    auto it = group_shard_.find(r);
+    router_.SetWeight(
+        r, it != group_shard_.end()
+               ? shards_[it->second].engine->num_pending()
+               : 0);
+  }
+  const RelationId root = router_.Unite(footprint);
   ENTANGLED_CHECK(!prior_roots.empty());
 
   // Live shards bound to the groups this footprint touched.
@@ -175,8 +191,12 @@ void ShardedCoordinationEngine::AdoptIntoShard(size_t slot, QueryId gid) {
   std::vector<VarId> dense_to_gvar;
   QuerySet staging = all_.Subset({gid}, nullptr, &dense_to_gvar);
   std::vector<std::pair<VarId, VarId>> adopted_vars;
+  // The global id doubles as the schedule key: unique across shards and
+  // monotone in submission order, which is all the inner engines need
+  // to reproduce a single engine's tie-breaks.
+  const std::vector<QueryId> keys{gid};
   const QueryId local =
-      shard.engine->AdoptPending(staging, {0}, &adopted_vars).front();
+      shard.engine->AdoptPending(staging, {0}, &adopted_vars, &keys).front();
 
   ENTANGLED_CHECK_EQ(static_cast<size_t>(local),
                      shard.local_to_global.size());
@@ -194,76 +214,119 @@ void ShardedCoordinationEngine::AdoptIntoShard(size_t slot, QueryId gid) {
 
 size_t ShardedCoordinationEngine::MergeShards(
     const std::vector<size_t>& slots) {
-  // Drain every participating shard, then replay the union into one
-  // fresh engine in ascending *global* id order.  Rebuilding (rather
-  // than appending into the largest survivor) keeps shard-local id
-  // order monotone in global submission order — the property the
-  // solver's discovery-order tie-breaks and the cross-shard delivery
-  // merge both rely on for byte-identical output.
+  if (options_.rebuild_merges) return MergeShardsRebuild(slots);
+  // Small-into-large: the slot with the most pending queries survives
+  // with its engine, translation tables, and memoized component state
+  // untouched; every other slot is drained and bulk-adopted into it —
+  // O(sum of smaller sides) per merge, not O(union).  The survivor's
+  // local ids stop being monotone in global ids, which is fine: the
+  // schedule keys adopted alongside each query carry the global order,
+  // and the inner engine breaks every tie on keys.
+  ++sharded_stats_.merge_events;
+  size_t survivor = slots.front();
+  for (size_t s : slots) {
+    const size_t p = shards_[s].engine->num_pending();
+    const size_t best = shards_[survivor].engine->num_pending();
+    if (p > best || (p == best && s < survivor)) survivor = s;
+  }
+  sharded_stats_.queries_retained += shards_[survivor].engine->num_pending();
+
+  uint64_t moved = 0;
+  for (size_t s : slots) {
+    if (s == survivor) continue;
+    ENTANGLED_CHECK(shards_[s].deliveries.empty());
+    const CoordinationEngine::PendingExtract extract =
+        shards_[s].engine->ExtractPending();
+    moved += AdoptExtractIntoShard(survivor, s, extract);
+    RetireShard(s, /*absorbed=*/true);
+    flush_candidates_.erase(s);
+  }
+  sharded_stats_.queries_migrated += moved;
+  sharded_stats_.merge_migrated_max =
+      std::max(sharded_stats_.merge_migrated_max, moved);
+  flush_candidates_.insert(survivor);
+  return survivor;
+}
+
+size_t ShardedCoordinationEngine::MergeShardsRebuild(
+    const std::vector<size_t>& slots) {
+  // Historical baseline: drain every participating shard and replay the
+  // union into one fresh engine in ascending global id order.  Extracts
+  // are taken (and adopted) per source in that order, so each source
+  // still lands with a single bulk AdoptPending; the O(union) work and
+  // the loss of every side's memoized state are the point — this is
+  // what the small-into-large path is measured against.
+  ++sharded_stats_.merge_events;
   struct Source {
     size_t slot;
+    QueryId min_gid;
     CoordinationEngine::PendingExtract extract;
   };
   std::vector<Source> sources;
   sources.reserve(slots.size());
+  uint64_t moved = 0;
   for (size_t s : slots) {
     ENTANGLED_CHECK(shards_[s].deliveries.empty());
-    sources.push_back(Source{s, shards_[s].engine->ExtractPending()});
-  }
-
-  struct Item {
-    QueryId gid;
-    size_t source;
-    QueryId dense;  ///< id within the source extract
-  };
-  std::vector<Item> items;
-  for (size_t i = 0; i < sources.size(); ++i) {
-    const Source& src = sources[i];
-    const Shard& old_shard = shards_[src.slot];
-    for (size_t j = 0; j < src.extract.original.size(); ++j) {
-      const QueryId old_local = src.extract.original[j];
-      items.push_back(Item{
-          old_shard.local_to_global[static_cast<size_t>(old_local)], i,
-          static_cast<QueryId>(j)});
+    Source src{s, std::numeric_limits<QueryId>::max(),
+               shards_[s].engine->ExtractPending()};
+    for (QueryId gid : src.extract.keys) {
+      src.min_gid = std::min(src.min_gid, gid);
     }
+    moved += src.extract.original.size();
+    sources.push_back(std::move(src));
   }
-  std::sort(items.begin(), items.end(),
-            [](const Item& a, const Item& b) { return a.gid < b.gid; });
+  // Keys are global ids and each source extract is already ascending in
+  // them (inner adoption order tracks submission order per shard), so
+  // ordering sources by smallest key replays the union nearly sorted;
+  // exact global order is restored by the schedule keys regardless.
+  std::sort(sources.begin(), sources.end(),
+            [](const Source& a, const Source& b) {
+              return a.min_gid < b.min_gid;
+            });
 
   const size_t merged_slot = CreateShard();
-  std::vector<std::pair<VarId, VarId>> adopted_vars;
-  for (const Item& item : items) {
-    const Source& src = sources[item.source];
-    const Shard& old_shard = shards_[src.slot];
-    Shard& merged = shards_[merged_slot];
-    const QueryId local =
-        merged.engine
-            ->AdoptPending(src.extract.queries, {item.dense}, &adopted_vars)
-            .front();
-    ENTANGLED_CHECK_EQ(static_cast<size_t>(local),
-                       merged.local_to_global.size());
-    merged.local_to_global.push_back(item.gid);
-    for (const auto& [dense, lvar] : adopted_vars) {
-      // dense var -> old shard var -> global var.
-      const VarId old_lvar =
-          src.extract.original_vars[static_cast<size_t>(dense)];
-      const VarId gvar =
-          old_shard.lvar_to_gvar[static_cast<size_t>(old_lvar)];
-      if (static_cast<size_t>(lvar) >= merged.lvar_to_gvar.size()) {
-        merged.lvar_to_gvar.resize(static_cast<size_t>(lvar) + 1, -1);
-      }
-      merged.lvar_to_gvar[static_cast<size_t>(lvar)] = gvar;
-    }
-    locators_[static_cast<size_t>(item.gid)] = Locator{merged_slot, local};
-    ++sharded_stats_.queries_migrated;
+  for (const Source& src : sources) {
+    AdoptExtractIntoShard(merged_slot, src.slot, src.extract);
   }
-
   for (const Source& src : sources) {
     RetireShard(src.slot, /*absorbed=*/true);
     flush_candidates_.erase(src.slot);
   }
+  sharded_stats_.queries_migrated += moved;
+  sharded_stats_.merge_migrated_max =
+      std::max(sharded_stats_.merge_migrated_max, moved);
   flush_candidates_.insert(merged_slot);
   return merged_slot;
+}
+
+uint64_t ShardedCoordinationEngine::AdoptExtractIntoShard(
+    size_t into_slot, size_t from_slot,
+    const CoordinationEngine::PendingExtract& extract) {
+  Shard& into = shards_[into_slot];
+  const Shard& from = shards_[from_slot];
+  std::vector<std::pair<VarId, VarId>> adopted_vars;
+  const std::vector<QueryId> locals =
+      into.engine->AdoptPending(extract, &adopted_vars);
+  for (size_t j = 0; j < locals.size(); ++j) {
+    // The extract's keys are this front door's global ids (AdoptIntoShard
+    // planted them), so no source-table lookup is needed for ids.
+    const QueryId gid = extract.keys[j];
+    ENTANGLED_CHECK_EQ(static_cast<size_t>(locals[j]),
+                       into.local_to_global.size());
+    into.local_to_global.push_back(gid);
+    locators_[static_cast<size_t>(gid)] = Locator{into_slot, locals[j]};
+  }
+  for (const auto& [dense, lvar] : adopted_vars) {
+    // dense var -> source shard var -> global var.
+    const VarId old_lvar =
+        extract.original_vars[static_cast<size_t>(dense)];
+    const VarId gvar = from.lvar_to_gvar[static_cast<size_t>(old_lvar)];
+    if (static_cast<size_t>(lvar) >= into.lvar_to_gvar.size()) {
+      into.lvar_to_gvar.resize(static_cast<size_t>(lvar) + 1, -1);
+    }
+    into.lvar_to_gvar[static_cast<size_t>(lvar)] = gvar;
+  }
+  return static_cast<uint64_t>(locals.size());
 }
 
 void ShardedCoordinationEngine::RetireShard(size_t slot, bool absorbed) {
@@ -328,8 +391,9 @@ std::vector<QueryId> ShardedCoordinationEngine::ComponentOf(
   for (QueryId& q : component) {
     q = shard.local_to_global[static_cast<size_t>(q)];
   }
-  // Local ids are monotone in global ids, so the translation preserves
-  // the sorted order ComponentOf promises.
+  // Local ids need not be monotone in global ids after a merge, so sort
+  // to restore the ascending order ComponentOf promises.
+  std::sort(component.begin(), component.end());
   return component;
 }
 
@@ -355,6 +419,9 @@ ServiceGauges ShardedCoordinationEngine::GaugesSnapshot() const {
   gauges.live_shards = num_live_shards_;
   gauges.group_merges = sharded_stats_.group_merges;
   gauges.queries_migrated = sharded_stats_.queries_migrated;
+  gauges.queries_retained = sharded_stats_.queries_retained;
+  gauges.merge_events = sharded_stats_.merge_events;
+  gauges.merge_migrated_max = sharded_stats_.merge_migrated_max;
   gauges.shards.reserve(num_live_shards_);
   for (size_t slot = 0; slot < shards_.size(); ++slot) {
     const Shard& shard = shards_[slot];
@@ -379,13 +446,19 @@ void ShardedCoordinationEngine::OnShardDelivery(
   // share state.
   Shard& shard = shards_[slot];
   BufferedDelivery delivery;
-  delivery.key = shard.local_to_global[static_cast<size_t>(
-      shard.engine->last_delivery_schedule_key())];
+  // The inner engine's schedule keys ARE this front door's global ids,
+  // so the delivery key needs no table lookup.
+  delivery.key = shard.engine->last_delivery_schedule_key();
   delivery.solution.queries.reserve(solution.queries.size());
   for (QueryId local : solution.queries) {
     delivery.solution.queries.push_back(
         shard.local_to_global[static_cast<size_t>(local)]);
   }
+  // Local ids lose global monotonicity once a merge lands migrated
+  // queries, so restore the ascending global order a single engine's
+  // deliveries report.
+  std::sort(delivery.solution.queries.begin(),
+            delivery.solution.queries.end());
   solution.assignment.ForEach([&](VarId lvar, const Value& value) {
     delivery.solution.assignment.emplace(
         shard.lvar_to_gvar[static_cast<size_t>(lvar)], value);

@@ -34,6 +34,15 @@ struct ShardedEngineOptions {
   /// or cancelled, so relations re-bridge along the footprints future
   /// traffic actually exhibits instead of accreting forever.
   bool gc_empty_shards = true;
+
+  /// Merge policy fallback: rebuild the union of merging shards into a
+  /// fresh engine (the historical behaviour) instead of migrating the
+  /// smaller sides into the largest survivor.  Outputs are
+  /// byte-identical either way — schedule keys make the solver
+  /// order-independent of shard-local ids — but the rebuild does
+  /// O(union) work and dooms the survivor's memoized component state,
+  /// so this exists only as the differential/bench baseline.
+  bool rebuild_merges = false;
 };
 
 /// \brief Counters specific to the sharded service.
@@ -42,7 +51,13 @@ struct ShardedStats {
   uint64_t shards_absorbed = 0;   ///< shards drained into a merge
   uint64_t shards_gced = 0;       ///< empty shards retired
   uint64_t group_merges = 0;      ///< footprints that united >1 shard
-  uint64_t queries_migrated = 0;  ///< pending queries moved by merges
+  /// Pending queries a merge physically moved between engines.  Under
+  /// the small-into-large policy only the non-survivor sides count —
+  /// the survivor's queries stay put and count as retained below.
+  uint64_t queries_migrated = 0;
+  uint64_t queries_retained = 0;    ///< survivor-side queries left in place
+  uint64_t merge_events = 0;        ///< shard-merge operations performed
+  uint64_t merge_migrated_max = 0;  ///< most queries any one merge moved
 };
 
 /// \brief The multi-tenant front door: a CoordinationService that
@@ -59,12 +74,16 @@ struct ShardedStats {
 /// thread pool.
 ///
 /// When an arrival's footprint spans k > 1 groups, the groups merge and
-/// the affected shards' pending queries **migrate** into one fresh
-/// engine (CoordinationEngine::ExtractPending / AdoptPending), replayed
-/// in ascending global-id order so shard-local id order stays monotone
-/// in global submission order — the property that keeps the solver's
-/// discovery-order tie-breaks, and therefore every delivered set and
-/// witness, identical to the unsharded engine's.
+/// only the *smaller* shards' pending queries **migrate** into the
+/// largest survivor (CoordinationEngine::ExtractPending plus one bulk
+/// AdoptPending per source) — O(smaller side) per merge, not O(union).
+/// Every query carries its global id as an explicit **schedule key**,
+/// and the inner engines order all solver input, apply-heap, and
+/// delivery-key decisions on keys rather than shard-local ids; the
+/// survivor's local-id order therefore no longer needs to stay monotone
+/// in global order, its translation tables and memoized component state
+/// survive the merge untouched, and the solver's discovery-order
+/// tie-breaks still see members in exact global submission order.
 ///
 /// Determinism contract (enforced by the stress harness): for any event
 /// stream, the delivery log, witnesses, and pending set are
@@ -152,7 +171,11 @@ class ShardedCoordinationEngine : public CoordinationService {
   struct Shard {
     std::unique_ptr<CoordinationEngine> engine;  ///< null once retired
     RelationId group_root = -1;
-    std::vector<QueryId> local_to_global;  ///< strictly increasing
+    /// Local id -> global id.  Appended in adoption order — NOT
+    /// globally sorted once a merge lands migrated queries: ordering
+    /// correctness rides on schedule keys (== global ids), never on
+    /// this table's monotonicity.
+    std::vector<QueryId> local_to_global;
     std::vector<VarId> lvar_to_gvar;       ///< local var -> global var
     /// Filled by this shard's delivery callback (on whichever thread
     /// flushes the shard — each shard is flushed by exactly one
@@ -171,9 +194,27 @@ class ShardedCoordinationEngine : public CoordinationService {
   /// Fresh inner engine wired to this front door; returns its slot.
   size_t CreateShard();
 
-  /// Merges the given live slots into one fresh engine, migrating every
-  /// pending query in ascending global-id order; retires the sources.
+  /// Merges the given live slots small-into-large: the slot with the
+  /// most pending queries (ties -> smallest slot) survives with its
+  /// engine, tables, and memoized component state intact, and every
+  /// other slot's extract is adopted into it with one bulk AdoptPending
+  /// call per source — O(sum of smaller sides) total.  Returns the
+  /// surviving slot.  With options_.rebuild_merges the historical
+  /// rebuild-into-a-fresh-engine shape runs instead (still bulk-adopted
+  /// per source).
   size_t MergeShards(const std::vector<size_t>& slots);
+
+  /// The rebuild_merges fallback body.
+  size_t MergeShardsRebuild(const std::vector<size_t>& slots);
+
+  /// Adopts one source extract into `into_slot`'s engine (single bulk
+  /// AdoptPending) and rewires the id/variable translations and
+  /// locators; `from_slot` names the source shard whose tables map the
+  /// extract back to global space.  Returns the number of queries
+  /// moved.
+  uint64_t AdoptExtractIntoShard(
+      size_t into_slot, size_t from_slot,
+      const CoordinationEngine::PendingExtract& extract);
 
   /// Copies global query `gid` into `slot`'s engine and records the
   /// id/variable translations.

@@ -41,7 +41,8 @@ std::string LogToString(const std::vector<StressDelivery>& log) {
 struct EngineVariant {
   bool sharded = false;
   EngineOptions engine;
-  size_t shard_threads = 1;  ///< sharded only
+  size_t shard_threads = 1;      ///< sharded only
+  bool rebuild_merges = false;   ///< sharded only: rebuild-merge baseline
 };
 
 EngineVariant OracleVariant() {
@@ -69,7 +70,8 @@ EngineVariant IncrementalVariant(size_t threads,
 
 EngineVariant ShardedVariant(size_t shard_threads,
                              const EngineFaultInjection& fault,
-                             bool delta_eval = true) {
+                             bool delta_eval = true,
+                             bool rebuild_merges = false) {
   EngineVariant variant;
   variant.sharded = true;
   variant.engine.incremental = true;
@@ -77,6 +79,7 @@ EngineVariant ShardedVariant(size_t shard_threads,
   variant.engine.delta_eval = delta_eval;
   variant.engine.fault = fault;
   variant.shard_threads = shard_threads;
+  variant.rebuild_merges = rebuild_merges;
   return variant;
 }
 
@@ -95,6 +98,7 @@ EngineInstance MakeEngine(const Database& db, const EngineVariant& variant) {
     ShardedEngineOptions options;
     options.engine = variant.engine;
     options.shard_threads = variant.shard_threads;
+    options.rebuild_merges = variant.rebuild_merges;
     auto engine = std::make_unique<ShardedCoordinationEngine>(&db, options);
     auto* raw = engine.get();
     instance.service = std::move(engine);
@@ -586,6 +590,25 @@ std::string StressHarness::CheckOnce(const Database& db,
         "sharded[shard_threads=" + std::to_string(threads) + "]";
     StressReplay run =
         Replay(db, ShardedVariant(threads, options_.fault), events);
+    err = CheckInvariants(label, run);
+    if (!err.empty()) return err;
+    err = CompareRuns("oracle", oracle, label, run);
+    if (!err.empty()) return err;
+  }
+  // Rebuild-merge baseline: the small-into-large migration policy and
+  // the historical rebuild-everything policy must be byte-identical
+  // (the schedule keys make merge mechanics unobservable).  One width
+  // suffices — merge policy is orthogonal to the flush pool.
+  if (options_.cross_rebuild_merges &&
+      !options_.shard_thread_counts.empty()) {
+    const size_t threads = options_.shard_thread_counts.front();
+    const std::string label = "sharded[shard_threads=" +
+                              std::to_string(threads) + ",rebuild_merges]";
+    StressReplay run =
+        Replay(db,
+               ShardedVariant(threads, options_.fault, /*delta_eval=*/true,
+                              /*rebuild_merges=*/true),
+               events);
     err = CheckInvariants(label, run);
     if (!err.empty()) return err;
     err = CompareRuns("oracle", oracle, label, run);

@@ -77,6 +77,13 @@ struct StressOptions {
   /// a deliberately-broken engine; see EngineFaultInjection.
   EngineFaultInjection fault;
 
+  /// Additionally replay one sharded variant with the rebuild-merge
+  /// baseline (`ShardedEngineOptions::rebuild_merges = true`) and hold
+  /// it to the same byte-identical contract: merge mechanics — migrate
+  /// the smaller sides into the survivor vs rebuild the union — must be
+  /// unobservable in every output.
+  bool cross_rebuild_merges = true;
+
   /// Additionally replay every scenario with delta-aware evaluation
   /// disabled (`EngineOptions::delta_eval = false`) — one incremental
   /// variant per flush-thread count plus one sharded variant — and hold

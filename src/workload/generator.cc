@@ -190,6 +190,7 @@ GeneratedWorkload WorkloadGenerator::Generate() const {
   };
 
   size_t missing_counter = 0;
+  size_t storm_ordinal = 0;  // queries generated so far (bridge_storm)
 
   // ---- carve the query budget into entanglement groups ----
   struct Member {
@@ -257,6 +258,18 @@ GeneratedWorkload WorkloadGenerator::Generate() const {
       const size_t tgt_member =
           static_cast<size_t>(rng.NextBounded(tgt_count));
       members[src].bridges.push_back({tgt_group, tgt_member});
+    }
+    // Bridge storm: every bridge_storm-th query (a running count over
+    // the whole stream, no RNG draws — seeds stay metamorphic-safe)
+    // posts into the two most recent earlier groups, so its arrival
+    // unites three relation groups at once.  Member 0 is never a twin,
+    // so the bridge posts always unify with exactly one head.
+    for (size_t m = 0; m < size; ++m) {
+      ++storm_ordinal;
+      if (o.bridge_storm == 0 || g < 2) continue;
+      if (storm_ordinal % o.bridge_storm != 0) continue;
+      members[m].bridges.push_back({g - 1, 0});
+      members[m].bridges.push_back({g - 2, 0});
     }
     // Unsafe twin: a duplicate head tag makes every post aimed at the
     // twinned member unify with two heads (Definition 2 violation);

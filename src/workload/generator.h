@@ -53,6 +53,14 @@ struct GeneratorOptions {
   size_t max_group = 5;
   double template_rate = 0.7;   ///< member reuses the group's body atom
   double sharing_density = 0.0; ///< bridge post into an earlier group
+  /// When non-zero, every `bridge_storm`-th query (counted across the
+  /// whole stream) gains posts into the two most recent earlier groups,
+  /// forcing a k-way group merge the moment it arrives — the
+  /// merge-churn stressor for the sharded front door's small-into-large
+  /// migration path.  Deterministic and draw-free: no RNG draws depend
+  /// on it, so the same seed generates the same scenario with the storm
+  /// bridges layered on top.
+  size_t bridge_storm = 0;
   double er_edge_prob = 0.4;    ///< kErdosRenyi edge probability
   /// Folds the per-group answer-relation namespaces together: group `g`
   /// coordinates through `A<g % relation_partitions>` instead of its

@@ -109,9 +109,9 @@ TEST_F(DeliveryLifetimeTest, SurvivesShardMigrationAndGc) {
   EXPECT_EQ(engine.sharded_stats().shards_gced, 1u);
 
   // Two stuck queries in separate shards, then a bridge whose footprint
-  // spans both groups: the shards merge and every pending query
-  // migrates into a fresh engine (new ids, new variable namespace —
-  // the captured Delivery must not care).
+  // spans both groups: the shards merge and the smaller side's pending
+  // query migrates into the survivor (new ids, new variable namespace
+  // for the moved query — the captured Delivery must not care).
   ASSERT_TRUE(engine.Submit(Stuck("S", "T0")).ok());
   ASSERT_TRUE(engine.Submit(Stuck("R", "T1")).ok());
   ASSERT_TRUE(engine
@@ -119,7 +119,7 @@ TEST_F(DeliveryLifetimeTest, SurvivesShardMigrationAndGc) {
                           "B(Tb, x) :- Users(x, 'user7').")
                   .ok());
   EXPECT_EQ(engine.sharded_stats().group_merges, 1u);
-  EXPECT_GE(engine.sharded_stats().queries_migrated, 2u);
+  EXPECT_GE(engine.sharded_stats().queries_migrated, 1u);
 
   // More churn: another pair delivers, a flush sweeps, a cancel drains.
   for (const std::string& text : Pair("V")) {

@@ -95,6 +95,9 @@ TEST(MetricsSnapshotTest, ToJsonIsTheExactDocumentedDocument) {
   snap.gauges.live_shards = 2;
   snap.gauges.group_merges = 4;
   snap.gauges.queries_migrated = 5;
+  snap.gauges.queries_retained = 7;
+  snap.gauges.merge_events = 6;
+  snap.gauges.merge_migrated_max = 3;
   snap.gauges.shards.push_back(ShardGauge{0, 1, 2});
   snap.gauges.shards.push_back(ShardGauge{3, 2, 9});
 
@@ -102,7 +105,8 @@ TEST(MetricsSnapshotTest, ToJsonIsTheExactDocumentedDocument) {
       snap.ToJson(),
       "{\"counters\":{\"a\":1,\"b\":2},"
       "\"gauges\":{\"pending\":3,\"intake_depth\":1,\"live_shards\":2,"
-      "\"group_merges\":4,\"queries_migrated\":5,"
+      "\"group_merges\":4,\"queries_migrated\":5,\"queries_retained\":7,"
+      "\"merge_events\":6,\"merge_migrated_max\":3,"
       "\"shards\":[{\"slot\":0,\"pending\":1,\"evaluations\":2},"
       "{\"slot\":3,\"pending\":2,\"evaluations\":9}]},"
       "\"latency\":{\"h\":{\"count\":2,\"total_ns\":1001,\"max_ns\":1000,"
@@ -114,7 +118,8 @@ TEST(MetricsSnapshotTest, EmptySnapshotSerializesAllSections) {
   EXPECT_EQ(snap.ToJson(),
             "{\"counters\":{},"
             "\"gauges\":{\"pending\":0,\"intake_depth\":0,\"live_shards\":0,"
-            "\"group_merges\":0,\"queries_migrated\":0,\"shards\":[]},"
+            "\"group_merges\":0,\"queries_migrated\":0,\"queries_retained\":0,"
+            "\"merge_events\":0,\"merge_migrated_max\":0,\"shards\":[]},"
             "\"latency\":{}}");
 }
 

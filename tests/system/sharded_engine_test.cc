@@ -145,7 +145,12 @@ TEST_F(ShardedEngineTest, StatsAggregateAcrossMigrationAndGc) {
   const ShardedStats& sharded = engine.sharded_stats();
   EXPECT_EQ(sharded.shards_gced, 2u);       // each delivered pair drained one
   EXPECT_EQ(sharded.group_merges, 1u);      // the bridge
-  EXPECT_EQ(sharded.queries_migrated, 2u);  // both stuck queries
+  // Small-into-large: one stuck query moved into the other's shard, the
+  // survivor's stayed put.
+  EXPECT_EQ(sharded.queries_migrated, 1u);
+  EXPECT_EQ(sharded.queries_retained, 1u);
+  EXPECT_EQ(sharded.merge_events, 1u);
+  EXPECT_EQ(sharded.merge_migrated_max, 1u);
   EXPECT_EQ(engine.num_pending(), 3u);
   EXPECT_EQ(engine.num_live_shards(), 1u);
 
@@ -172,7 +177,10 @@ TEST_F(ShardedEngineTest, StatsAggregateAcrossMigrationAndGc) {
   EXPECT_EQ(gauges.pending, 3u);
   EXPECT_EQ(gauges.intake_depth, 0u);
   EXPECT_EQ(gauges.group_merges, 1u);
-  EXPECT_EQ(gauges.queries_migrated, 2u);
+  EXPECT_EQ(gauges.queries_migrated, 1u);
+  EXPECT_EQ(gauges.queries_retained, 1u);
+  EXPECT_EQ(gauges.merge_events, 1u);
+  EXPECT_EQ(gauges.merge_migrated_max, 1u);
 }
 
 TEST(EngineStatsTest, MergeFoldsRejectionsAndEvalHistogram) {

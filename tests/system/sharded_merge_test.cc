@@ -1,0 +1,290 @@
+// Directed coverage for the small-into-large shard-merge path
+// (system/sharded_engine.h): differential k-way merges over streams
+// whose global ids interleave across shards — held byte-identical to a
+// single CoordinationEngine AND to the rebuild-merge baseline
+// (ShardedEngineOptions::rebuild_merges) — plus memoized component
+// state surviving a merge in the surviving shard (eval_cache_hits),
+// and bridge-then-cancel churn that recycles freed shard slots.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/binding.h"
+#include "system/engine.h"
+#include "system/sharded_engine.h"
+#include "workload/social_data.h"
+
+namespace entangled {
+namespace {
+
+/// One recorded delivery, in global ids.
+struct LoggedDelivery {
+  std::vector<QueryId> queries;
+  Binding assignment;
+};
+
+class ShardedMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallSocialTable(&db_, "Users", 32).ok());
+  }
+
+  /// Mutually entangled pair through answer relation `rel`: both
+  /// deliver as soon as the second one arrives.
+  static std::vector<std::string> Pair(const std::string& rel) {
+    return {
+        "a_" + rel + ": { " + rel + "(Bob, x) } " + rel +
+            "(Alice, x) :- Users(x, 'user3').",
+        "b_" + rel + ": { " + rel + "(Alice, y) } " + rel +
+            "(Bob, y) :- Users(y, 'user3').",
+    };
+  }
+
+  /// A pending query that never coordinates (its post is unanswered).
+  static std::string Stuck(const std::string& rel, const std::string& tag) {
+    return "s_" + rel + tag + ": { " + rel + "(Never" + tag + ", x) } " +
+           rel + "(" + tag + ", x) :- Users(x, 'user7').";
+  }
+
+  /// A pending query that joins `rel`'s tag component: its post unifies
+  /// with the Stuck(rel, tag) head, so it extends that component
+  /// without resolving it (Stuck's own post stays unanswered).
+  static std::string Joiner(const std::string& rel, const std::string& tag) {
+    return "j_" + rel + tag + ": { " + rel + "(" + tag + ", x) } " + rel +
+           "(J" + tag + ", x) :- Users(x, 'user7').";
+  }
+
+  /// A memo-recording pending query: no postconditions (so it survives
+  /// postcondition pre-cleaning and the SCC sweep reaches it — a Stuck
+  /// query's dead post would prune it before any memo entry is written)
+  /// and an ungroundable body, so each evaluation records a replayable
+  /// failed-grounding verdict in the component's EvalMemo.
+  static std::string Sink(const std::string& rel, const std::string& tag) {
+    return "k_" + rel + tag + ": { } " + rel + "(" + tag +
+           ", y) :- Users(y, 'nouser'), Users(y2, 'user1').";
+  }
+
+  Database db_;
+};
+
+/// The differential: a stream whose arrivals interleave across three
+/// relation groups (so every shard's local ids map to *non-contiguous*
+/// global ids), then a k-way bridge merging all three shards at once,
+/// then more interleaved traffic, joins into merged components,
+/// cancels, and coordinating pairs.  The single engine, the
+/// small-into-large sharded engine (both pool widths), and the
+/// rebuild-merge baseline must agree byte for byte.
+TEST_F(ShardedMergeTest, KWayMergeWithInterleavedIdsMatchesSingleEngine) {
+  auto drive = [&](CoordinationService* engine,
+                   std::vector<LoggedDelivery>* log) {
+    engine->set_delivery_callback([log](const Delivery& delivery) {
+      log->push_back(LoggedDelivery{delivery.QueryIds(), delivery.witness});
+    });
+    engine->set_evaluate_every(0);
+    // Interleaved arrivals: shard S gets global ids {0,3,6,7}, shard R
+    // {1,4}, shard W {2,5} — no shard's table is globally contiguous.
+    ASSERT_TRUE(engine->Submit(Stuck("S", "T0")).ok());
+    ASSERT_TRUE(engine->Submit(Stuck("R", "U0")).ok());
+    ASSERT_TRUE(engine->Submit(Stuck("W", "V0")).ok());
+    ASSERT_TRUE(engine->Submit(Stuck("S", "T1")).ok());
+    ASSERT_TRUE(engine->Submit(Stuck("R", "U1")).ok());
+    ASSERT_TRUE(engine->Submit(Stuck("W", "V1")).ok());
+    ASSERT_TRUE(engine->Submit(Stuck("S", "T2")).ok());
+    ASSERT_TRUE(engine->Submit(Stuck("S", "T3")).ok());
+    engine->Flush();
+    // The 4-way bridge: its footprint spans S, R, and W (plus its own
+    // head relation B), uniting every live group in one arrival.  S is
+    // the heavy side and must survive with R's and W's queries
+    // migrating in — invisible in every output below.
+    ASSERT_TRUE(engine
+                    ->Submit("br: { S(NeverT0, x), R(NeverU0, x), "
+                             "W(NeverV0, x) } B(Tb, x) :- "
+                             "Users(x, 'user7').")
+                    .ok());
+    // A second bridge posting into *heads* (T3's and V1's): a real
+    // coordination component spanning a native survivor query and a
+    // migrated one, so the solver orders mixed-origin members by key.
+    ASSERT_TRUE(engine
+                    ->Submit("br2: { S(T3, x), W(V1, x) } C(Tc, x) :- "
+                             "Users(x, 'user7').")
+                    .ok());
+    // Post-merge traffic: joins extending a migrated component (U1) and
+    // an untouched survivor component (T2), landing interleaved with a
+    // coordinating pair in a fresh relation.
+    ASSERT_TRUE(engine->Submit(Joiner("R", "U1")).ok());
+    ASSERT_TRUE(engine->Submit(Pair("P")[0]).ok());
+    ASSERT_TRUE(engine->Submit(Joiner("S", "T2")).ok());
+    ASSERT_TRUE(engine->Submit(Pair("P")[1]).ok());
+    engine->Flush();
+    // Cancels by pending rank: same rank -> same global id everywhere.
+    ASSERT_TRUE(engine->Cancel(engine->PendingQueries().front()));
+    engine->set_evaluate_every(1);
+    ASSERT_TRUE(engine->SubmitBatch(Pair("V")).ok());
+    engine->Flush();
+  };
+
+  CoordinationEngine single(&db_);
+  std::vector<LoggedDelivery> single_log;
+  drive(&single, &single_log);
+
+  uint64_t migrated_small_into_large = 0;
+  uint64_t migrated_rebuild = 0;
+  for (bool rebuild : {false, true}) {
+    for (size_t shard_threads : {size_t{1}, size_t{4}}) {
+      ShardedEngineOptions options;
+      options.shard_threads = shard_threads;
+      options.rebuild_merges = rebuild;
+      ShardedCoordinationEngine sharded(&db_, options);
+      std::vector<LoggedDelivery> sharded_log;
+      drive(&sharded, &sharded_log);
+
+      const std::string which = std::string(rebuild ? "rebuild" : "migrate") +
+                                "/threads=" + std::to_string(shard_threads);
+      ASSERT_EQ(single_log.size(), sharded_log.size()) << which;
+      for (size_t i = 0; i < single_log.size(); ++i) {
+        EXPECT_EQ(single_log[i].queries, sharded_log[i].queries)
+            << "delivery " << i << " at " << which;
+        EXPECT_EQ(single_log[i].assignment, sharded_log[i].assignment)
+            << "witness " << i << " at " << which;
+      }
+      EXPECT_EQ(single.PendingQueries(), sharded.PendingQueries()) << which;
+      EXPECT_EQ(single.num_pending(), sharded.num_pending()) << which;
+      // ComponentOf must report sorted global ids even though the
+      // survivor's local order interleaves migrated and native queries.
+      for (QueryId id : sharded.PendingQueries()) {
+        std::vector<QueryId> component = sharded.ComponentOf(id);
+        EXPECT_TRUE(std::is_sorted(component.begin(), component.end()))
+            << which << " ComponentOf(" << id << ")";
+        EXPECT_EQ(component, single.ComponentOf(id)) << which;
+      }
+
+      EXPECT_EQ(sharded.sharded_stats().merge_events, 1u) << which;
+      if (shard_threads == 1) {
+        (rebuild ? migrated_rebuild : migrated_small_into_large) =
+            sharded.sharded_stats().queries_migrated;
+      }
+      if (rebuild) {
+        // The baseline rebuilds the union: every query moves.
+        EXPECT_EQ(sharded.sharded_stats().queries_retained, 0u) << which;
+      } else {
+        // Small-into-large: S's four queries stay put, R's and W's four
+        // (2 + 2, including both bridged tags) migrate.
+        EXPECT_EQ(sharded.sharded_stats().queries_retained, 4u) << which;
+        EXPECT_EQ(sharded.sharded_stats().queries_migrated, 4u) << which;
+        EXPECT_EQ(sharded.sharded_stats().merge_migrated_max, 4u) << which;
+      }
+    }
+  }
+  EXPECT_LT(migrated_small_into_large, migrated_rebuild);
+}
+
+/// Memo retention: the surviving shard's evaluated-component state
+/// (EvalMemo sweep verdicts) must survive a merge, so post-merge
+/// re-evaluation of an extended survivor component serves sweep steps
+/// from the memo.  The rebuild baseline discards everything, so the
+/// same stream records strictly fewer cache hits.
+TEST_F(ShardedMergeTest, SurvivorKeepsMemoizedComponentStateAcrossMerge) {
+  auto run = [&](bool rebuild) -> std::vector<uint64_t> {
+    ShardedEngineOptions options;
+    options.rebuild_merges = rebuild;
+    ShardedCoordinationEngine engine(&db_, options);
+    engine.set_evaluate_every(0);
+    // A heavy S shard with four evaluated sink components (the flush
+    // records each one's failed-grounding verdict in its memo), and a
+    // light R shard.
+    for (const char* tag : {"T0", "T1", "T2", "T3"}) {
+      EXPECT_TRUE(engine.Submit(Sink("S", tag)).ok());
+    }
+    EXPECT_TRUE(engine.Submit(Sink("R", "U0")).ok());
+    engine.Flush();
+    const uint64_t hits_before = engine.StatsSnapshot().eval_cache_hits;
+    // The bridge's footprint merges R's shard into S's (its posts name
+    // tags no head answers, so no coordination edge forms and no
+    // component is disturbed — the merge itself is the only event).
+    // S's components keep their memos; R's U0 re-indexes from scratch
+    // in the survivor (the O(smaller-side) cost).
+    EXPECT_TRUE(engine
+                    .Submit("br: { S(NeverT0, x), R(NeverU0, x) } "
+                            "B(Tb, x) :- Users(x, 'user7').")
+                    .ok());
+    // Extend the survivor component T1 with a post into its head and
+    // re-flush: the sweep of the grown component reaches R(sink)
+    // first, and the survivor serves that step from the memo it
+    // recorded before the merge.
+    EXPECT_TRUE(engine.Submit(Joiner("S", "T1")).ok());
+    engine.Flush();
+    const uint64_t hits_after = engine.StatsSnapshot().eval_cache_hits;
+    return {hits_before, hits_after};
+  };
+
+  const std::vector<uint64_t> migrate = run(/*rebuild=*/false);
+  const std::vector<uint64_t> rebuild = run(/*rebuild=*/true);
+  // Post-merge, the survivor serves sweep steps from memos it held
+  // before the merge.
+  EXPECT_GT(migrate[1], migrate[0]);
+  // The rebuild baseline destroyed those memos, so the identical
+  // stream finds strictly fewer hits.
+  EXPECT_GT(migrate[1] - migrate[0], rebuild[1] - rebuild[0]);
+}
+
+/// Bridge-then-cancel churn: merges followed by cancels drain shards,
+/// free their slots, and the next wave reuses them.  Stale locators
+/// naming recycled slots must never leak into lookups, and the slot
+/// table must stay bounded by the live width, not the churn count.
+TEST_F(ShardedMergeTest, BridgeThenCancelChurnRecyclesSlots)  {
+  ShardedCoordinationEngine engine(&db_);
+  engine.set_evaluate_every(0);
+  int64_t max_slot = 0;
+  for (int round = 0; round < 6; ++round) {
+    const std::string x = "X" + std::to_string(round);
+    const std::string y = "Y" + std::to_string(round);
+    ASSERT_TRUE(engine.Submit(Stuck(x, "T")).ok());
+    ASSERT_TRUE(engine.Submit(Stuck(y, "U")).ok());
+    ASSERT_EQ(engine.num_live_shards(), 2u);
+    ASSERT_TRUE(engine
+                    .Submit("br" + std::to_string(round) + ": { " + x +
+                            "(NeverT, x), " + y + "(NeverU, x) } B" +
+                            std::to_string(round) +
+                            "(Tb, x) :- Users(x, 'user7').")
+                    .ok());
+    ASSERT_EQ(engine.num_live_shards(), 1u);
+    for (const ShardGauge& row : engine.GaugesSnapshot().shards) {
+      max_slot = std::max(max_slot, row.slot);
+    }
+    // Cancel everything; the merged shard drains and GCs, freeing its
+    // slot for the next round.
+    std::vector<QueryId> pending = engine.PendingQueries();
+    for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+      ASSERT_TRUE(engine.Cancel(*it));
+    }
+    ASSERT_EQ(engine.num_live_shards(), 0u);
+    ASSERT_EQ(engine.num_pending(), 0u);
+  }
+  const ShardedStats& stats = engine.sharded_stats();
+  EXPECT_EQ(stats.merge_events, 6u);
+  EXPECT_EQ(stats.queries_migrated, 6u);  // one light side per round
+  EXPECT_EQ(stats.queries_retained, 6u);
+  EXPECT_EQ(stats.merge_migrated_max, 1u);
+  EXPECT_EQ(stats.shards_created, 12u);
+  // Slot recycling: 12 shards ever created, but the table never grew
+  // past the first round's width.
+  EXPECT_LE(max_slot, 1);
+
+  // Freed slots still work end to end: a coordinating pair lands in a
+  // recycled slot and delivers.
+  size_t deliveries = 0;
+  engine.set_delivery_callback([&](const Delivery&) { ++deliveries; });
+  engine.set_evaluate_every(1);
+  for (const std::string& text : Pair("Z")) {
+    ASSERT_TRUE(engine.Submit(text).ok());
+  }
+  EXPECT_EQ(deliveries, 1u);
+  EXPECT_EQ(engine.num_pending(), 0u);
+}
+
+}  // namespace
+}  // namespace entangled

@@ -72,6 +72,16 @@ const Profile kProfiles[] = {
        o->relation_partitions = 16;
        o->batch_rate = 0.5;
      }},
+    // Merge churn: every 3rd query bridges the two most recent earlier
+    // groups, so k-way shard merges fire constantly — the hot path of
+    // the small-into-large migration (and its rebuild-merge baseline,
+    // which the harness crosses in on every scenario).
+    {"bridge_storm",
+     [](GeneratorOptions* o) {
+       o->bridge_storm = 3;
+       o->min_group = 3;
+       o->cancel_rate = 0.2;
+     }},
 };
 
 TEST(StressSmoke, SweepAllTopologies) {

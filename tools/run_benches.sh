@@ -20,6 +20,7 @@ benches=(
   bench_flush_pipeline
   bench_delta_eval
   bench_session_quota
+  bench_shard_merge
 )
 
 status=0
@@ -91,7 +92,8 @@ for doc in (a, b):
         assert isinstance(counters[key], int), key
     gauges = doc["gauges"]
     for key in ("pending", "intake_depth", "live_shards", "group_merges",
-                "queries_migrated", "shards"):
+                "queries_migrated", "queries_retained", "merge_events",
+                "merge_migrated_max", "shards"):
         assert key in gauges, f"missing gauge {key}"
     for row in gauges["shards"]:
         assert set(row) == {"slot", "pending", "evaluations"}, row
