@@ -1,0 +1,279 @@
+// Durability overhead and recovery-tail economics of the write-ahead
+// log (storage/durable_service.h).
+//
+// Series 1 — admission throughput: submissions/sec of a seeded
+// generator stream through the durability decorator under each fsync
+// policy, against the bare engine (no WAL at all).  evaluate_every=0
+// keeps solver cost out of the loop: the gap is logging + (policy-
+// dependent) fsync(2).  kNone should track the baseline closely,
+// kEveryRecord pays one fsync per admitted event — the classic
+// durability-horizon/throughput trade the policy enum documents.
+//
+// Series 2 — recovery replay length: the same stream recorded once
+// with only the genesis snapshot (recovery replays the whole log) and
+// once with periodic snapshot rotation (recovery replays only the tail
+// past the newest snapshot).  The counts are deterministic, so the
+// bench gates the whole point of snapshots outright: the full-log
+// replay must re-apply at least 10x more events than snapshot + tail.
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "storage/durable_service.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "system/engine.h"
+#include "workload/generator.h"
+
+namespace entangled {
+namespace {
+
+constexpr size_t kNumQueries = 600;
+constexpr uint64_t kSnapshotEvery = 40;
+constexpr int kReps = 2;
+
+/// mkdtemp-backed scratch directory, recursively removed on scope exit
+/// (each timed run wants a fresh genesis, not an append to the last).
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/entangled_bench_wal_XXXXXX";
+    char* made = mkdtemp(tmpl);
+    ENTANGLED_CHECK(made != nullptr) << "mkdtemp failed";
+    path_ = made;
+  }
+  ~TempDir() {
+    DIR* dir = opendir(path_.c_str());
+    if (dir != nullptr) {
+      while (dirent* entry = readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path_ + "/" + name).c_str());
+      }
+      closedir(dir);
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct ReplayCounters {
+  size_t submitted = 0;
+  WalStats wal;
+};
+
+/// Streams the generated events through `service` (the bare engine or
+/// the decorator).  Cadence toggles are skipped — they would
+/// reintroduce solver cost into what is an admission/logging bench.
+size_t StreamEvents(CoordinationService* service,
+                    const std::vector<WorkloadEvent>& events) {
+  size_t submitted = 0;
+  for (const WorkloadEvent& event : events) {
+    switch (event.kind) {
+      case WorkloadEvent::Kind::kSubmit: {
+        auto id = service->Submit(event.texts.front());
+        ENTANGLED_CHECK(id.ok()) << id.status().ToString();
+        ++submitted;
+        break;
+      }
+      case WorkloadEvent::Kind::kSubmitBatch: {
+        auto ids = service->SubmitBatch(event.texts);
+        ENTANGLED_CHECK(ids.ok()) << ids.status().ToString();
+        submitted += event.texts.size();
+        break;
+      }
+      case WorkloadEvent::Kind::kCancel: {
+        const std::vector<QueryId> pending = service->PendingQueries();
+        if (!pending.empty()) {
+          service->Cancel(pending[event.cancel_rank % pending.size()]);
+        }
+        break;
+      }
+      case WorkloadEvent::Kind::kSetEvaluateEvery:
+        break;
+      case WorkloadEvent::Kind::kFlush:
+        service->Flush();
+        break;
+    }
+  }
+  service->Flush();
+  return submitted;
+}
+
+/// One timed pass through a fresh durability stack; returns the
+/// lifetime WAL counters of the run.
+ReplayCounters ReplayDurable(const Database& db,
+                             const std::vector<WorkloadEvent>& events,
+                             FsyncPolicy policy,
+                             uint64_t snapshot_every_events) {
+  TempDir dir;
+  EngineOptions engine_options;
+  engine_options.evaluate_every = 0;
+  CoordinationEngine engine(&db, engine_options);
+  DurabilityOptions durability;
+  durability.dir = dir.path();
+  durability.fsync = policy;
+  durability.snapshot_every_events = snapshot_every_events;
+  durability.initial_evaluate_every = 0;
+  auto durable = DurableCoordinationService::Create(&engine, &db, durability);
+  ENTANGLED_CHECK(durable.ok()) << durable.status().ToString();
+  ReplayCounters counters;
+  counters.submitted = StreamEvents(durable->get(), events);
+  counters.wal = (*durable)->wal_stats();
+  return counters;
+}
+
+/// Records the stream into `dir`, crashes (scope exit), rehydrates,
+/// and returns how many WAL records recovery had to re-apply.
+uint64_t RecoveryReplayLength(const Database& db,
+                              const std::vector<WorkloadEvent>& events,
+                              const std::string& dir,
+                              uint64_t snapshot_every_events) {
+  {
+    EngineOptions engine_options;
+    engine_options.evaluate_every = 0;
+    CoordinationEngine engine(&db, engine_options);
+    DurabilityOptions durability;
+    durability.dir = dir;
+    durability.fsync = FsyncPolicy::kNone;
+    durability.snapshot_every_events = snapshot_every_events;
+    durability.initial_evaluate_every = 0;
+    auto durable =
+        DurableCoordinationService::Create(&engine, &db, durability);
+    ENTANGLED_CHECK(durable.ok()) << durable.status().ToString();
+    StreamEvents(durable->get(), events);
+  }  // crash: the stack dies with the log on disk
+
+  auto state = ReadDurableState(dir);
+  ENTANGLED_CHECK(state.ok()) << state.status().ToString();
+  ENTANGLED_CHECK(!state->report.corruption_detected)
+      << state->report.corruption_detail;
+  Database recovered_db;
+  ENTANGLED_CHECK(
+      BuildDatabaseFromSnapshot(state->snapshot, &recovered_db).ok());
+  EngineOptions engine_options;
+  engine_options.evaluate_every = 0;
+  CoordinationEngine engine(&recovered_db, engine_options);
+  DurabilityOptions durability;
+  durability.dir = dir;
+  durability.fsync = FsyncPolicy::kNone;
+  durability.initial_evaluate_every = 0;
+  auto durable =
+      DurableCoordinationService::Create(&engine, &recovered_db, durability);
+  ENTANGLED_CHECK(durable.ok()) << durable.status().ToString();
+  Status recovered = (*durable)->Recover(std::move(*state), nullptr);
+  ENTANGLED_CHECK(recovered.ok()) << recovered.ToString();
+  const RecoveryReport& report = (*durable)->recovery_report();
+  ENTANGLED_CHECK(report.anomalies == 0) << report.ToString();
+  return report.replayed_events;
+}
+
+}  // namespace
+}  // namespace entangled
+
+int main() {
+  using namespace entangled;
+
+  GeneratorOptions gen;
+  gen.seed = 13;
+  gen.num_queries = kNumQueries;
+  gen.batch_rate = 0.3;
+  gen.cancel_rate = 0.2;
+  WorkloadGenerator generator(gen);
+  Database db;
+  ENTANGLED_CHECK(generator.BuildDatabase(&db).ok());
+  const GeneratedWorkload workload = generator.Generate();
+
+  benchutil::PrintSeriesHeader(
+      "WAL admission throughput by fsync policy",
+      {"variant", "time_ms", "submits_per_sec", "wal_records", "fsyncs"});
+
+  // Baseline: the bare engine, no durability decorator at all.
+  size_t baseline_submitted = 0;
+  const double baseline_ms = benchutil::MeanMillis(kReps, [&] {
+    EngineOptions engine_options;
+    engine_options.evaluate_every = 0;
+    CoordinationEngine engine(&db, engine_options);
+    baseline_submitted = StreamEvents(&engine, workload.events);
+  });
+  const double baseline_qps =
+      1000.0 * static_cast<double>(baseline_submitted) / baseline_ms;
+  std::printf("no_wal,%.3f,%.0f,0,0\n", baseline_ms, baseline_qps);
+  benchutil::PrintJsonRecord(
+      "wal_no_wal", {{"queries", static_cast<double>(baseline_submitted)},
+                     {"time_ms", baseline_ms},
+                     {"submits_per_sec", baseline_qps}});
+
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kNone, FsyncPolicy::kEveryFlush,
+        FsyncPolicy::kEveryRecord}) {
+    ReplayCounters counters;
+    const double ms = benchutil::MeanMillis(kReps, [&] {
+      counters = ReplayDurable(db, workload.events, policy,
+                               /*snapshot_every_events=*/0);
+    });
+    const double qps =
+        1000.0 * static_cast<double>(counters.submitted) / ms;
+    std::printf("fsync_%s,%.3f,%.0f,%llu,%llu\n", FsyncPolicyName(policy),
+                ms, qps,
+                static_cast<unsigned long long>(counters.wal.appended_records),
+                static_cast<unsigned long long>(counters.wal.fsyncs));
+    benchutil::PrintJsonRecord(
+        std::string("wal_fsync_") + FsyncPolicyName(policy),
+        {{"queries", static_cast<double>(counters.submitted)},
+         {"time_ms", ms},
+         {"submits_per_sec", qps},
+         {"wal_records", static_cast<double>(counters.wal.appended_records)},
+         {"wal_bytes", static_cast<double>(counters.wal.bytes)},
+         {"fsyncs", static_cast<double>(counters.wal.fsyncs)}});
+  }
+
+  benchutil::PrintSeriesHeader(
+      "Recovery replay length: genesis-only vs periodic snapshots",
+      {"variant", "replayed_events"});
+  uint64_t full_replay = 0;
+  {
+    TempDir dir;
+    full_replay = RecoveryReplayLength(db, workload.events, dir.path(),
+                                       /*snapshot_every_events=*/0);
+  }
+  uint64_t tail_replay = 0;
+  {
+    TempDir dir;
+    tail_replay = RecoveryReplayLength(db, workload.events, dir.path(),
+                                       kSnapshotEvery);
+  }
+  std::printf("genesis_only,%llu\n",
+              static_cast<unsigned long long>(full_replay));
+  std::printf("snapshot_every_%llu,%llu\n",
+              static_cast<unsigned long long>(kSnapshotEvery),
+              static_cast<unsigned long long>(tail_replay));
+  benchutil::PrintJsonRecord(
+      "wal_recovery_full",
+      {{"replayed_events", static_cast<double>(full_replay)}});
+  benchutil::PrintJsonRecord(
+      "wal_recovery_snapshot",
+      {{"snapshot_every", static_cast<double>(kSnapshotEvery)},
+       {"replayed_events", static_cast<double>(tail_replay)}});
+
+  // The deterministic gate: periodic snapshots must shorten the replay
+  // tail by at least 10x, or rotation is not pulling its weight.
+  ENTANGLED_CHECK(full_replay >= 10 * (tail_replay > 0 ? tail_replay : 1))
+      << "snapshot rotation only saved " << full_replay << " -> "
+      << tail_replay << " replayed events; widen the stream or shorten "
+      << "the rotation interval";
+  benchutil::PrintNote(
+      "gate: genesis-only replay >= 10x snapshot+tail replay — held");
+  return 0;
+}

@@ -379,6 +379,34 @@ void SessionManager::RegisterOwnership(QueryId id, ClientSession* session) {
   if (service_->IsPending(id)) MarkPending(session, id);
 }
 
+bool SessionManager::AdoptRecovered(SessionId session, QueryId id) {
+  if (session < 0 || static_cast<size_t>(session) >= sessions_.size()) {
+    return false;
+  }
+  ClientSession* owner = sessions_[static_cast<size_t>(session)].get();
+  if (!owner->open_) return false;
+  if (static_cast<size_t>(id) >= owner_.size()) {
+    owner_.resize(static_cast<size_t>(id) + 1, -1);
+  }
+  owner_[static_cast<size_t>(id)] = session;
+  // Same pending discipline as RegisterOwnership: optimistic under
+  // deferred admission (OnDelivery erases on retirement), probed
+  // otherwise.  MarkPending is idempotent, so the replay's second
+  // adoption pass settles the entry without double counting.
+  if (service_->AdmitsDeferred()) {
+    if (!IsRetired(id)) MarkPending(owner, id);
+  } else if (service_->IsPending(id)) {
+    MarkPending(owner, id);
+  }
+  return true;
+}
+
+void SessionManager::UnadoptRecovered(QueryId id) {
+  const SessionId owner = OwnerOf(id);
+  if (owner < 0) return;
+  UnmarkPending(sessions_[static_cast<size_t>(owner)].get(), id);
+}
+
 void SessionManager::OnDelivery(const Delivery& delivery) {
   // One shared, owned event; each owning session gets its own slice.
   // (This is the one deep copy of the materialized Delivery; avoiding
@@ -443,7 +471,9 @@ SubmitOutcome SessionManager::SubmitFor(ClientSession* session,
   }
 
   current_submitter_ = session->id_;
+  service_->set_session_tag(session->id_);
   auto id = service_->Submit(query_text);
+  service_->set_session_tag(-1);
   current_submitter_ = -1;
   if (!id.ok()) {
     outcome.reason = ClassifyServiceRejection(id.status());
@@ -487,7 +517,9 @@ BatchOutcome SessionManager::SubmitBatchFor(
   }
 
   current_submitter_ = session->id_;
+  service_->set_session_tag(session->id_);
   auto ids = service_->SubmitBatch(query_texts);
+  service_->set_session_tag(-1);
   current_submitter_ = -1;
   if (!ids.ok()) {
     outcome.reason = ClassifyServiceRejection(ids.status());
@@ -522,7 +554,9 @@ bool SessionManager::CancelFor(ClientSession* session, QueryId id) {
     service_->IsPending(id);
     if (session->pending_.count(id) == 0) return false;  // just delivered
   }
+  service_->set_session_tag(session->id_);
   const bool cancelled = service_->Cancel(id);
+  service_->set_session_tag(-1);
   ENTANGLED_CHECK(cancelled)
       << "service disagreed about session-pending query " << id;
   UnmarkPending(session, id);
@@ -538,12 +572,14 @@ void SessionManager::CloseSession(ClientSession* session) {
   // Bulk-cancel in ascending order (deterministic dirty-marking in the
   // engine regardless of hash-set iteration order).
   std::vector<QueryId> pending = session->PendingQueries();
+  service_->set_session_tag(session->id_);
   for (QueryId id : pending) {
     const bool cancelled = service_->Cancel(id);
     ENTANGLED_CHECK(cancelled)
         << "service disagreed about session-pending query " << id;
     UnmarkPending(session, id);
   }
+  service_->set_session_tag(-1);
   ENTANGLED_CHECK(session->pending_.empty());
   session->open_ = false;
   --num_open_;
@@ -585,6 +621,9 @@ MetricsSnapshot SessionManager::Metrics() const {
       reject_counts_[static_cast<size_t>(RejectReason::kOverloaded)]);
   snap.counters.emplace_back("shed.transitions", shed_transitions_);
   snap.counters.emplace_back("shed.active", shedding_ ? 1 : 0);
+  // Service-specific counters (a durable decorator adds its
+  // WAL/snapshot/recovery totals; plain engines add nothing).
+  service_->AppendCounters(&snap.counters);
 
   snap.latency.emplace_back("submit", lat_submit_);
   snap.latency.emplace_back("submit_batch", lat_submit_batch_);

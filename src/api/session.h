@@ -302,6 +302,20 @@ class SessionManager {
   /// delivered or cancelled), or -1 for queries the manager never saw.
   SessionId OwnerOf(QueryId id) const;
 
+  /// Recovery adoption (storage/durable_service.h): re-binds a
+  /// rehydrated query to the session that owned it pre-crash, marking
+  /// it session-pending when the service still holds it.  Safe to call
+  /// more than once per query (the durable replay adopts before *and*
+  /// after applying a submission, so a delivery fired inside the apply
+  /// already routes correctly).  Returns false — leaving the query
+  /// owner-less but service-pending — when the session was never
+  /// reopened or is closed.
+  bool AdoptRecovered(SessionId session, QueryId id);
+
+  /// Recovery counterpart of a replayed cancel: clears the owning
+  /// session's pending entry (no-op for unowned queries).
+  void UnadoptRecovered(QueryId id);
+
   /// Every session ever opened, ascending by id.
   std::vector<const ClientSession*> sessions() const;
   size_t num_sessions() const { return sessions_.size(); }

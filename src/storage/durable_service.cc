@@ -1,0 +1,745 @@
+#include "storage/durable_service.h"
+
+#include <algorithm>
+
+#include "api/session.h"
+#include "common/logging.h"
+#include "core/parser.h"
+
+namespace entangled {
+
+namespace {
+
+/// Per-text parse into a throwaway set: the admission check the
+/// decorator runs *before* logging, so invalid texts are rejected here
+/// and never reach the log or the inner service.  Returns the distinct
+/// variable count on success (the arithmetic the durable variable map
+/// extends by).
+Result<size_t> ValidateText(const std::string& text) {
+  QuerySet scratch;
+  auto parsed = ParseQuery(text, &scratch);
+  if (!parsed.ok()) return parsed.status();
+  return scratch.num_vars();
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::string out = "recovery{";
+  out += used_snapshot
+             ? "snapshot=" + std::to_string(snapshot_epoch)
+             : std::string("snapshot=none");
+  if (snapshots_skipped > 0) {
+    out += " snapshots_skipped=" + std::to_string(snapshots_skipped);
+  }
+  out += " segments=" + std::to_string(segments_scanned);
+  out += " replayed=" + std::to_string(replayed_events);
+  out += " pending=" + std::to_string(recovered_pending);
+  out += " suppressed=" + std::to_string(suppressed_deliveries);
+  out += " reforwarded=" + std::to_string(reforwarded_deliveries);
+  if (torn_tail) {
+    out += " torn_tail(" + std::to_string(truncated_bytes) + "B)";
+  }
+  if (corruption_detected) out += " CORRUPT[" + corruption_detail + "]";
+  if (anomalies > 0) out += " anomalies=" + std::to_string(anomalies);
+  out += " resume_seq=" + std::to_string(resumed_sequence);
+  out += "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ReadDurableState
+// ---------------------------------------------------------------------------
+
+Result<DurableState> ReadDurableState(const std::string& dir) {
+  auto listing = ListStorageDir(dir);
+  if (!listing.ok()) return listing.status();
+  if (listing->empty()) {
+    return Status::FailedPrecondition("storage dir " + dir +
+                                      " is empty: nothing to recover");
+  }
+
+  DurableState state;
+  // Newest loadable snapshot wins; damaged ones are fallen past (and
+  // counted) toward an older consistent point.
+  bool have_snapshot = false;
+  for (auto it = listing->snapshot_epochs.rbegin();
+       it != listing->snapshot_epochs.rend(); ++it) {
+    auto loaded = LoadSnapshot(SnapshotPath(dir, *it));
+    if (loaded.ok()) {
+      state.snapshot = std::move(*loaded);
+      state.report.used_snapshot = true;
+      state.report.snapshot_epoch = *it;
+      have_snapshot = true;
+      break;
+    }
+    ++state.report.snapshots_skipped;
+    if (!state.report.corruption_detail.empty()) {
+      state.report.corruption_detail += "; ";
+    }
+    state.report.corruption_detail += loaded.status().message();
+  }
+  if (!have_snapshot) {
+    return Status::Internal(
+        "storage dir " + dir + ": no loadable snapshot (" +
+        std::to_string(state.report.snapshots_skipped) + " damaged: " +
+        state.report.corruption_detail + ")");
+  }
+
+  uint64_t max_epoch = state.snapshot.epoch;
+  for (uint64_t e : listing->snapshot_epochs) max_epoch = std::max(max_epoch, e);
+  for (uint64_t e : listing->wal_epochs) max_epoch = std::max(max_epoch, e);
+  state.next_epoch = max_epoch + 1;
+
+  // Contiguous WAL segments from the snapshot's epoch forward.  A gap
+  // (a deleted segment) means lost events: stop at the last consistent
+  // point and report it as corruption rather than replaying across it.
+  uint64_t expected = state.snapshot.epoch;
+  for (uint64_t e : listing->wal_epochs) {
+    if (e < state.snapshot.epoch) continue;
+    if (e != expected) {
+      state.report.corruption_detected = true;
+      state.report.corruption_detail =
+          "missing wal segment for epoch " + std::to_string(expected);
+      break;
+    }
+    auto segment = ReadWalSegment(WalPath(dir, e));
+    if (!segment.ok()) {
+      state.report.corruption_detected = true;
+      state.report.corruption_detail = segment.status().message();
+      break;
+    }
+    ++state.report.segments_scanned;
+    if (segment->corrupt) {
+      // Keep the consistent prefix, stop the scan: records beyond the
+      // damage (including any later segments) are unrecoverable in
+      // order.
+      for (WalRecord& r : segment->records) state.tail.push_back(std::move(r));
+      state.report.corruption_detected = true;
+      state.report.corruption_detail = segment->error;
+      break;
+    }
+    for (WalRecord& r : segment->records) state.tail.push_back(std::move(r));
+    if (segment->torn_tail) {
+      state.report.torn_tail = true;
+      state.report.truncated_bytes += segment->truncated_bytes;
+      break;  // a torn segment is the crash frontier; nothing follows it
+    }
+    expected = e + 1;
+  }
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// DurableCoordinationService
+// ---------------------------------------------------------------------------
+
+DurableCoordinationService::DurableCoordinationService(
+    CoordinationService* inner, const Database* db, DurabilityOptions options)
+    : inner_(inner), db_(db), options_(std::move(options)) {
+  evaluate_every_ = options_.initial_evaluate_every;
+  inner_->set_delivery_callback(
+      [this](const Delivery& delivery) { OnInnerDelivery(delivery); });
+}
+
+Result<std::unique_ptr<DurableCoordinationService>>
+DurableCoordinationService::Create(CoordinationService* inner,
+                                   const Database* db,
+                                   DurabilityOptions options) {
+  ENTANGLED_CHECK(inner != nullptr);
+  ENTANGLED_CHECK(db != nullptr);
+  auto listing = ListStorageDir(options.dir);
+  if (!listing.ok()) return listing.status();
+  const bool fresh = listing->empty();
+  std::unique_ptr<DurableCoordinationService> service(
+      new DurableCoordinationService(inner, db, std::move(options)));
+  if (fresh) {
+    // Genesis: snapshot the initial facts (pending is empty, counters
+    // zero) so recovery always has a fact baseline, then open segment 0.
+    Status rotated = service->RotateWithSnapshot(0);
+    if (!rotated.ok()) return rotated;
+    service->ready_ = true;
+  }
+  // Non-empty: the caller must Recover() before submitting.
+  return service;
+}
+
+Status DurableCoordinationService::LogRecord(const WalRecord& record) {
+  ENTANGLED_CHECK(wal_ != nullptr) << "durable service has no open segment";
+  Status appended = wal_->Append(record);
+  if (!appended.ok()) return appended;
+  if (record.kind != WalRecord::Kind::kDeliveryMark) ++total_events_;
+  return Status::OK();
+}
+
+void DurableCoordinationService::AdoptAdmitted(int64_t durable_id,
+                                               int64_t session,
+                                               const std::string& text,
+                                               QueryId inner_id,
+                                               size_t var_count,
+                                               int64_t var_start) {
+  // Both namespaces allocate sequentially in admission order, so the
+  // maps extend by pure arithmetic — no engine reads, no forced drains.
+  ENTANGLED_CHECK_EQ(static_cast<size_t>(inner_id), inner_to_durable_.size())
+      << "inner service id allocation diverged from admission order";
+  inner_to_durable_.push_back(durable_id);
+  if (static_cast<size_t>(durable_id) == durable_to_inner_.size()) {
+    durable_to_inner_.push_back(inner_id);
+    ENTANGLED_CHECK_EQ(durable_id, next_durable_id_);
+    ++next_durable_id_;
+  } else {
+    // Recovery resubmission of a snapshot-pending query: the durable id
+    // already exists below next_durable_id_.
+    ENTANGLED_CHECK_LT(static_cast<size_t>(durable_id),
+                       durable_to_inner_.size());
+    durable_to_inner_[static_cast<size_t>(durable_id)] = inner_id;
+  }
+  for (size_t i = 0; i < var_count; ++i) {
+    inner_var_to_durable_.push_back(static_cast<VarId>(var_start + i));
+  }
+  next_durable_var_ = std::max(next_durable_var_,
+                               var_start + static_cast<int64_t>(var_count));
+  LiveQuery live;
+  live.session = session;
+  live.var_start = var_start;
+  live.var_count = static_cast<uint32_t>(var_count);
+  live.text = text;
+  live_[durable_id] = std::move(live);
+}
+
+void DurableCoordinationService::TickSubmitPhase() {
+  if (evaluate_every_ > 0 && ++cadence_phase_ >= evaluate_every_) {
+    cadence_phase_ = 0;
+  }
+}
+
+void DurableCoordinationService::MaybeAutoSnapshot() {
+  if (replaying_ || options_.snapshot_every_events == 0) return;
+  if (total_events_ - last_snapshot_events_ >= options_.snapshot_every_events) {
+    Status rotated = SnapshotNow();
+    ENTANGLED_CHECK(rotated.ok())
+        << "automatic snapshot failed: " << rotated.ToString();
+  }
+}
+
+// ----- delivery rewrite -----------------------------------------------------
+
+void DurableCoordinationService::OnInnerDelivery(const Delivery& delivery) {
+  const uint64_t sequence = sequence_offset_ + delivery.sequence;
+
+  Delivery out;
+  out.sequence = sequence;
+  out.queries.reserve(delivery.queries.size());
+  for (const DeliveredQuery& q : delivery.queries) {
+    ENTANGLED_CHECK_LT(static_cast<size_t>(q.id), inner_to_durable_.size());
+    const int64_t durable_id = inner_to_durable_[static_cast<size_t>(q.id)];
+    DeliveredQuery translated = q;
+    translated.id = static_cast<QueryId>(durable_id);
+    for (Atom& atom : translated.answers) {
+      for (Term& term : atom.terms) {
+        if (term.is_variable()) {
+          term = Term::Var(
+              inner_var_to_durable_[static_cast<size_t>(term.var())]);
+        }
+      }
+    }
+    out.queries.push_back(std::move(translated));
+    // Retire from the durable view (delivered queries leave the log's
+    // live set; the next snapshot no longer carries them).
+    live_.erase(durable_id);
+    durable_to_inner_[static_cast<size_t>(durable_id)] = -1;
+  }
+  delivery.witness.ForEach([&](VarId var, const Value& value) {
+    out.witness.emplace(inner_var_to_durable_[static_cast<size_t>(var)],
+                        value);
+  });
+  out.witness_names.reserve(delivery.witness_names.size());
+  for (const auto& [var, name] : delivery.witness_names) {
+    out.witness_names.emplace_back(
+        inner_var_to_durable_[static_cast<size_t>(var)], name);
+  }
+
+  delivered_next_ = sequence + 1;
+
+  if (replaying_ && sequence < suppress_below_) {
+    // Re-derived by the replay but already seen by clients pre-crash:
+    // not re-forwarded — but the session manager never hears about a
+    // suppressed delivery, so its pending bookkeeping is settled here.
+    ++report_.suppressed_deliveries;
+    if (replay_sessions_ != nullptr) {
+      for (const DeliveredQuery& q : out.queries) {
+        replay_sessions_->UnadoptRecovered(q.id);
+      }
+    }
+    return;
+  }
+  if (replaying_) ++report_.reforwarded_deliveries;
+  if (downstream_) downstream_(out);
+  if (!replaying_) {
+    // Watermark *after* the forward: a mid-call crash re-forwards this
+    // delivery (at-least-once) instead of losing it.
+    WalRecord mark;
+    mark.kind = WalRecord::Kind::kDeliveryMark;
+    mark.value = delivered_next_;
+    Status logged = LogRecord(mark);
+    ENTANGLED_CHECK(logged.ok())
+        << "delivery mark append failed: " << logged.ToString();
+  }
+}
+
+// ----- mutating front door --------------------------------------------------
+
+Result<QueryId> DurableCoordinationService::Submit(
+    const std::string& query_text) {
+  ENTANGLED_CHECK(ready_) << "durable service used before Recover()";
+  auto var_count = ValidateText(query_text);
+  if (!var_count.ok()) {
+    ++rejected_;
+    return var_count.status();
+  }
+  const int64_t durable_id = next_durable_id_;
+  WalRecord record;
+  record.kind = WalRecord::Kind::kSubmit;
+  record.id = durable_id;
+  record.session = session_tag_;
+  record.text = query_text;
+  Status logged = LogRecord(record);
+  if (!logged.ok()) return logged;
+
+  // Adopt *before* the inner call: with an immediate cadence the inner
+  // service evaluates inside Submit, and the delivery callback needs
+  // the id/variable maps to already cover the new query.  Both
+  // namespaces allocate sequentially in admission order, so the inner
+  // id is known ahead of time — and checked after.
+  const int64_t var_start = next_durable_var_;
+  const QueryId expected_inner = static_cast<QueryId>(inner_to_durable_.size());
+  AdoptAdmitted(durable_id, record.session, query_text, expected_inner,
+                *var_count, var_start);
+  auto inner_id = inner_->Submit(query_text);
+  ENTANGLED_CHECK(inner_id.ok())
+      << "pre-validated submit rejected by inner service: "
+      << inner_id.status().ToString();
+  ENTANGLED_CHECK_EQ(*inner_id, expected_inner)
+      << "inner service id allocation diverged from admission order";
+  TickSubmitPhase();
+  MaybeAutoSnapshot();
+  return static_cast<QueryId>(durable_id);
+}
+
+Result<std::vector<QueryId>> DurableCoordinationService::SubmitBatch(
+    const std::vector<std::string>& query_texts) {
+  ENTANGLED_CHECK(ready_) << "durable service used before Recover()";
+  std::vector<size_t> var_counts;
+  var_counts.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    auto var_count = ValidateText(text);
+    if (!var_count.ok()) {
+      ++rejected_;  // all-or-nothing: one rejection per refused batch
+      return var_count.status();
+    }
+    var_counts.push_back(*var_count);
+  }
+  WalRecord record;
+  record.kind = WalRecord::Kind::kSubmitBatch;
+  record.session = session_tag_;
+  record.batch.reserve(query_texts.size());
+  for (size_t i = 0; i < query_texts.size(); ++i) {
+    record.batch.emplace_back(next_durable_id_ + static_cast<int64_t>(i),
+                              query_texts[i]);
+  }
+  Status logged = LogRecord(record);
+  if (!logged.ok()) return logged;
+
+  // Adopt before the inner call (see Submit): the batch's trailing
+  // flush delivers through the callback, which needs the maps whole.
+  const size_t base_inner = inner_to_durable_.size();
+  std::vector<QueryId> ids;
+  ids.reserve(query_texts.size());
+  for (size_t i = 0; i < query_texts.size(); ++i) {
+    const int64_t durable_id = record.batch[i].first;
+    AdoptAdmitted(durable_id, record.session, query_texts[i],
+                  static_cast<QueryId>(base_inner + i), var_counts[i],
+                  next_durable_var_);
+    ids.push_back(static_cast<QueryId>(durable_id));
+  }
+  auto inner_ids = inner_->SubmitBatch(query_texts);
+  ENTANGLED_CHECK(inner_ids.ok())
+      << "pre-validated batch rejected by inner service: "
+      << inner_ids.status().ToString();
+  ENTANGLED_CHECK_EQ(inner_ids->size(), query_texts.size());
+  for (size_t i = 0; i < query_texts.size(); ++i) {
+    ENTANGLED_CHECK_EQ(static_cast<size_t>((*inner_ids)[i]), base_inner + i)
+        << "inner service id allocation diverged from admission order";
+  }
+  // A batch admits whole, then flushes once: the inner engine resets
+  // its per-arrival phase (see CoordinationEngine::SubmitBatch).
+  if (evaluate_every_ > 0) cadence_phase_ = 0;
+  MaybeAutoSnapshot();
+  return ids;
+}
+
+bool DurableCoordinationService::Cancel(QueryId id) {
+  ENTANGLED_CHECK(ready_) << "durable service used before Recover()";
+  if (id < 0 || static_cast<size_t>(id) >= durable_to_inner_.size()) {
+    return false;
+  }
+  const QueryId inner_id = durable_to_inner_[static_cast<size_t>(id)];
+  if (inner_id < 0) return false;
+  // Admission check before logging: the probe settles any queued intake
+  // (the query may coordinate as earlier events drain), so a logged
+  // cancel is always applicable on replay.
+  if (!inner_->IsPending(inner_id)) return false;
+
+  WalRecord record;
+  record.kind = WalRecord::Kind::kCancel;
+  record.id = id;
+  record.session = session_tag_;
+  Status logged = LogRecord(record);
+  ENTANGLED_CHECK(logged.ok())
+      << "cancel append failed: " << logged.ToString();
+  const bool cancelled = inner_->Cancel(inner_id);
+  ENTANGLED_CHECK(cancelled) << "settled pending query refused to cancel";
+  live_.erase(id);
+  durable_to_inner_[static_cast<size_t>(id)] = -1;
+  MaybeAutoSnapshot();
+  return true;
+}
+
+size_t DurableCoordinationService::Flush() {
+  ENTANGLED_CHECK(ready_) << "durable service used before Recover()";
+  WalRecord record;
+  record.kind = WalRecord::Kind::kFlush;
+  Status logged = LogRecord(record);
+  ENTANGLED_CHECK(logged.ok()) << "flush append failed: " << logged.ToString();
+  Status synced = wal_->MarkFlush();
+  ENTANGLED_CHECK(synced.ok()) << "flush fsync failed: " << synced.ToString();
+  const size_t delivered = inner_->Flush();
+  MaybeAutoSnapshot();
+  return delivered;
+}
+
+void DurableCoordinationService::set_evaluate_every(size_t evaluate_every) {
+  ENTANGLED_CHECK(ready_) << "durable service used before Recover()";
+  WalRecord record;
+  record.kind = WalRecord::Kind::kSetEvaluateEvery;
+  record.value = evaluate_every;
+  Status logged = LogRecord(record);
+  ENTANGLED_CHECK(logged.ok())
+      << "cadence append failed: " << logged.ToString();
+  inner_->set_evaluate_every(evaluate_every);
+  // Rate changes preserve the phase in both engines (they drain first;
+  // earlier submissions keep the cadence in force when they arrived).
+  evaluate_every_ = evaluate_every;
+  MaybeAutoSnapshot();
+}
+
+// ----- reads ----------------------------------------------------------------
+
+std::vector<QueryId> DurableCoordinationService::PendingQueries() const {
+  std::vector<QueryId> pending = inner_->PendingQueries();
+  for (QueryId& id : pending) {
+    id = static_cast<QueryId>(inner_to_durable_[static_cast<size_t>(id)]);
+  }
+  // Both namespaces grow in admission order, so the translation is
+  // monotone and the list stays ascending.
+  return pending;
+}
+
+bool DurableCoordinationService::IsPending(QueryId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= durable_to_inner_.size()) {
+    return false;
+  }
+  const QueryId inner_id = durable_to_inner_[static_cast<size_t>(id)];
+  if (inner_id < 0) return false;
+  return inner_->IsPending(inner_id);
+}
+
+std::vector<QueryId> DurableCoordinationService::ComponentOf(
+    QueryId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= durable_to_inner_.size()) {
+    return {};
+  }
+  const QueryId inner_id = durable_to_inner_[static_cast<size_t>(id)];
+  if (inner_id < 0) return {};
+  std::vector<QueryId> component = inner_->ComponentOf(inner_id);
+  for (QueryId& member : component) {
+    member =
+        static_cast<QueryId>(inner_to_durable_[static_cast<size_t>(member)]);
+  }
+  return component;
+}
+
+EngineStats DurableCoordinationService::StatsSnapshot() const {
+  EngineStats stats = inner_->StatsSnapshot();
+  stats.rejected += rejected_;  // pre-validation refusals never reach inner
+  return stats;
+}
+
+void DurableCoordinationService::AppendCounters(
+    std::vector<std::pair<std::string, uint64_t>>* counters) const {
+  const WalStats total = wal_stats();
+  counters->emplace_back("wal.appended_records", total.appended_records);
+  counters->emplace_back("wal.bytes", total.bytes);
+  counters->emplace_back("wal.fsyncs", total.fsyncs);
+  counters->emplace_back("snapshot.count", snapshot_count_);
+  counters->emplace_back("recovery.replayed_events", report_.replayed_events);
+  counters->emplace_back("recovery.truncated_bytes",
+                         report_.truncated_bytes);
+}
+
+WalStats DurableCoordinationService::wal_stats() const {
+  WalStats total = closed_wal_stats_;
+  if (wal_ != nullptr) total += wal_->stats();
+  return total;
+}
+
+// ----- rotation -------------------------------------------------------------
+
+Status DurableCoordinationService::SnapshotNow() {
+  // Settle queued intake first: the snapshot's pending set and cadence
+  // mirror must describe a fully-drained service (drains are
+  // delivery-stream-neutral, so this is observably a no-op).
+  (void)inner_->num_pending();
+  return RotateWithSnapshot(epoch_ + 1);
+}
+
+Status DurableCoordinationService::RotateWithSnapshot(uint64_t new_epoch) {
+  SnapshotState state;
+  state.epoch = new_epoch;
+  state.next_durable_id = next_durable_id_;
+  state.next_durable_var = next_durable_var_;
+  state.next_sequence = delivered_next_;
+  state.evaluate_every = evaluate_every_;
+  state.cadence_phase = cadence_phase_;
+  state.total_events = total_events_;
+  CaptureDatabaseFacts(*db_, &state);
+  state.pending.reserve(live_.size());
+  for (const auto& [durable_id, live] : live_) {
+    SnapshotPendingQuery pending;
+    pending.id = durable_id;
+    pending.session = live.session;
+    pending.var_start = live.var_start;
+    pending.var_count = live.var_count;
+    pending.text = live.text;
+    state.pending.push_back(std::move(pending));
+  }
+
+  // The outgoing segment is made durable before the snapshot that
+  // supersedes it, so disk never claims a snapshot ahead of its log.
+  if (wal_ != nullptr) {
+    Status synced = wal_->Sync();
+    if (!synced.ok()) return synced;
+  }
+  Status written = WriteSnapshot(state, options_.dir);
+  if (!written.ok()) return written;
+  auto writer =
+      WalWriter::Create(WalPath(options_.dir, new_epoch), new_epoch,
+                        options_.fsync);
+  if (!writer.ok()) return writer.status();
+  if (wal_ != nullptr) closed_wal_stats_ += wal_->stats();
+  wal_ = std::move(*writer);
+  epoch_ = new_epoch;
+  ++snapshot_count_;
+  last_snapshot_events_ = total_events_;
+  return Status::OK();
+}
+
+// ----- recovery -------------------------------------------------------------
+
+void DurableCoordinationService::ApplyReplayed(const WalRecord& record,
+                                               SessionManager* sessions) {
+  switch (record.kind) {
+    case WalRecord::Kind::kSubmit: {
+      auto var_count = ValidateText(record.text);
+      if (!var_count.ok() || record.id != next_durable_id_) {
+        ++report_.anomalies;
+        return;
+      }
+      // Ownership lands before the submission so a delivery fired
+      // inside the call (per-arrival evaluation) routes to its session.
+      if (sessions != nullptr && record.session >= 0) {
+        sessions->AdoptRecovered(record.session,
+                                 static_cast<QueryId>(record.id));
+      }
+      // Adopt before the inner call (see Submit): replay runs at the
+      // recorded cadence, so the call itself can deliver.  A validated
+      // text cannot be refused by the inner service, hence the CHECK
+      // rather than an anomaly.
+      const int64_t var_start = next_durable_var_;
+      const QueryId expected_inner =
+          static_cast<QueryId>(inner_to_durable_.size());
+      AdoptAdmitted(record.id, record.session, record.text, expected_inner,
+                    *var_count, var_start);
+      auto inner_id = inner_->Submit(record.text);
+      ENTANGLED_CHECK(inner_id.ok() && *inner_id == expected_inner)
+          << "validated replay submit diverged in the inner service";
+      TickSubmitPhase();
+      // Second adoption pass marks the query session-pending now that
+      // the service can answer IsPending for it.
+      if (sessions != nullptr && record.session >= 0) {
+        sessions->AdoptRecovered(record.session,
+                                 static_cast<QueryId>(record.id));
+      }
+      return;
+    }
+    case WalRecord::Kind::kSubmitBatch: {
+      std::vector<std::string> texts;
+      std::vector<size_t> var_counts;
+      texts.reserve(record.batch.size());
+      var_counts.reserve(record.batch.size());
+      int64_t expected = next_durable_id_;
+      for (const auto& [durable_id, text] : record.batch) {
+        auto var_count = ValidateText(text);
+        if (!var_count.ok() || durable_id != expected) {
+          ++report_.anomalies;
+          return;
+        }
+        ++expected;
+        texts.push_back(text);
+        var_counts.push_back(*var_count);
+      }
+      if (sessions != nullptr && record.session >= 0) {
+        for (const auto& [durable_id, text] : record.batch) {
+          sessions->AdoptRecovered(record.session,
+                                   static_cast<QueryId>(durable_id));
+        }
+      }
+      const size_t base_inner = inner_to_durable_.size();
+      for (size_t i = 0; i < texts.size(); ++i) {
+        AdoptAdmitted(record.batch[i].first, record.session, texts[i],
+                      static_cast<QueryId>(base_inner + i), var_counts[i],
+                      next_durable_var_);
+      }
+      auto inner_ids = inner_->SubmitBatch(texts);
+      ENTANGLED_CHECK(inner_ids.ok() && inner_ids->size() == texts.size())
+          << "validated replay batch diverged in the inner service";
+      if (evaluate_every_ > 0) cadence_phase_ = 0;
+      if (sessions != nullptr && record.session >= 0) {
+        for (const auto& [durable_id, text] : record.batch) {
+          sessions->AdoptRecovered(record.session,
+                                   static_cast<QueryId>(durable_id));
+        }
+      }
+      return;
+    }
+    case WalRecord::Kind::kCancel: {
+      if (record.id < 0 ||
+          static_cast<size_t>(record.id) >= durable_to_inner_.size()) {
+        ++report_.anomalies;
+        return;
+      }
+      const QueryId inner_id =
+          durable_to_inner_[static_cast<size_t>(record.id)];
+      if (inner_id < 0 || !inner_->IsPending(inner_id)) {
+        ++report_.anomalies;
+        return;
+      }
+      const bool cancelled = inner_->Cancel(inner_id);
+      ENTANGLED_CHECK(cancelled);
+      live_.erase(record.id);
+      durable_to_inner_[static_cast<size_t>(record.id)] = -1;
+      if (sessions != nullptr) {
+        sessions->UnadoptRecovered(static_cast<QueryId>(record.id));
+      }
+      return;
+    }
+    case WalRecord::Kind::kSetEvaluateEvery:
+      inner_->set_evaluate_every(static_cast<size_t>(record.value));
+      evaluate_every_ = static_cast<size_t>(record.value);
+      return;
+    case WalRecord::Kind::kFlush:
+      inner_->Flush();
+      return;
+    case WalRecord::Kind::kDeliveryMark:
+      return;  // watermark was folded into suppress_below_ up front
+  }
+  ++report_.anomalies;  // unknown kind survived CRC — count, don't crash
+}
+
+Status DurableCoordinationService::Recover(DurableState state,
+                                           SessionManager* sessions) {
+  ENTANGLED_CHECK(!ready_) << "Recover() on an already-live durable service";
+  ENTANGLED_CHECK(live_.empty() && next_durable_id_ == 0)
+      << "Recover() requires a freshly created decorator";
+  replaying_ = true;
+  replay_sessions_ = sessions;
+  report_ = std::move(state.report);
+
+  // Counters resume where the snapshot left them.
+  next_durable_id_ = state.snapshot.next_durable_id;
+  next_durable_var_ = state.snapshot.next_durable_var;
+  sequence_offset_ = state.snapshot.next_sequence;
+  delivered_next_ = state.snapshot.next_sequence;
+  evaluate_every_ = static_cast<size_t>(state.snapshot.evaluate_every);
+  total_events_ = state.snapshot.total_events;
+  durable_to_inner_.assign(static_cast<size_t>(next_durable_id_), -1);
+
+  // The suppression watermark: everything below it reached clients
+  // pre-crash.  Marks ride in the tail; the snapshot is a floor.
+  suppress_below_ = state.snapshot.next_sequence;
+  for (const WalRecord& record : state.tail) {
+    if (record.kind == WalRecord::Kind::kDeliveryMark) {
+      suppress_below_ = std::max(suppress_below_, record.value);
+    }
+  }
+
+  // Phase A — rebuild the snapshot's pending set with evaluation
+  // suspended: admission must not deliver while the set is a partial
+  // prefix (the pre-crash service never evaluated these mid-rebuild
+  // either; their admission-time evaluations already ran before the
+  // snapshot and found nothing, or they would not be pending).
+  inner_->set_evaluate_every(0);
+  for (const SnapshotPendingQuery& pending : state.snapshot.pending) {
+    auto var_count = ValidateText(pending.text);
+    if (!var_count.ok() || *var_count != pending.var_count) {
+      replaying_ = false;
+      replay_sessions_ = nullptr;
+      return Status::Internal("snapshot pending query " +
+                              std::to_string(pending.id) +
+                              " no longer parses: " +
+                              var_count.status().message());
+    }
+    auto inner_id = inner_->Submit(pending.text);
+    if (!inner_id.ok()) {
+      replaying_ = false;
+      replay_sessions_ = nullptr;
+      return Status::Internal("snapshot pending resubmission failed: " +
+                              inner_id.status().message());
+    }
+    AdoptAdmitted(pending.id, pending.session, pending.text, *inner_id,
+                  pending.var_count, pending.var_start);
+    if (sessions != nullptr && pending.session >= 0) {
+      sessions->AdoptRecovered(pending.session,
+                               static_cast<QueryId>(pending.id));
+    }
+  }
+  report_.recovered_pending = state.snapshot.pending.size();
+
+  // Cadence resumes exactly where the snapshot froze it.
+  inner_->set_evaluate_every(evaluate_every_);
+  inner_->RestoreCadencePhase(static_cast<size_t>(state.snapshot.cadence_phase));
+  cadence_phase_ = static_cast<size_t>(state.snapshot.cadence_phase);
+
+  // Phase B — replay the tail at the recorded cadence.  Deliveries
+  // re-derived below the watermark are suppressed in OnInnerDelivery;
+  // ones beyond it forward to the (already wired) downstream now.
+  for (const WalRecord& record : state.tail) {
+    ApplyReplayed(record, sessions);
+    ++report_.replayed_events;
+  }
+  // Settle queued intake so every pre-crash delivery is re-derived (and
+  // every in-flight one re-forwarded) before recovery returns.
+  (void)inner_->num_pending();
+
+  // Rotate into a fresh epoch capturing the recovered state: a second
+  // recovery replays this snapshot, not the old log (idempotence).
+  Status rotated = RotateWithSnapshot(state.next_epoch);
+  replaying_ = false;
+  replay_sessions_ = nullptr;
+  if (!rotated.ok()) return rotated;
+  report_.resumed_sequence = delivered_next_;
+  ready_ = true;
+  return Status::OK();
+}
+
+}  // namespace entangled

@@ -1,0 +1,99 @@
+#ifndef ENTANGLED_STORAGE_SNAPSHOT_H_
+#define ENTANGLED_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "db/relation.h"
+
+namespace entangled {
+
+/// \brief One pending query as captured at snapshot time: exactly the
+/// admitted intent (id, owner, text) plus the durable variable window
+/// the decorator had assigned to it.
+struct SnapshotPendingQuery {
+  int64_t id = -1;        ///< service-global durable query id
+  int64_t session = -1;   ///< owning session tag; -1 = direct submission
+  int64_t var_start = 0;  ///< first durable VarId allocated to this query
+  uint32_t var_count = 0;
+  std::string text;  ///< paper-syntax round-trip of the query
+};
+
+/// \brief One relation's facts at snapshot time.
+struct SnapshotRelation {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<Tuple> rows;  ///< insertion order preserved
+};
+
+/// \brief Minimal admitted state sufficient to rehydrate a
+/// DurableCoordinationService: counters, facts, and pending query
+/// texts — never engine internals (the deterministic engine re-derives
+/// components, coordination sets, and answers on replay).
+struct SnapshotState {
+  uint64_t epoch = 0;  ///< storage epoch this snapshot begins
+  int64_t next_durable_id = 0;
+  int64_t next_durable_var = 0;
+  /// Delivery-sequence watermark: deliveries below this already reached
+  /// clients before the snapshot; recovery resumes numbering here.
+  uint64_t next_sequence = 0;
+  uint64_t evaluate_every = 0;
+  uint64_t cadence_phase = 0;  ///< submissions since the last evaluation
+  uint64_t total_events = 0;   ///< logged events folded into this snapshot
+  std::vector<SnapshotRelation> relations;
+  std::vector<SnapshotPendingQuery> pending;
+};
+
+/// Canonical file names inside a storage directory.  Epochs are
+/// zero-padded so lexical order matches numeric order.
+std::string SnapshotFileName(uint64_t epoch);
+std::string WalFileName(uint64_t epoch);
+std::string SnapshotPath(const std::string& dir, uint64_t epoch);
+std::string WalPath(const std::string& dir, uint64_t epoch);
+
+/// \brief Epochs present in a storage directory, ascending.
+struct StorageDirListing {
+  std::vector<uint64_t> snapshot_epochs;
+  std::vector<uint64_t> wal_epochs;
+  bool empty() const { return snapshot_epochs.empty() && wal_epochs.empty(); }
+};
+
+/// Lists snapshot-*.snap / wal-*.log epochs under `dir` (which must
+/// exist); unrelated files are ignored.
+Result<StorageDirListing> ListStorageDir(const std::string& dir);
+
+/// Serializes `state` to `<dir>/<SnapshotFileName(epoch)>.tmp` and
+/// fsyncs it, returning the temp path.  The snapshot is NOT visible to
+/// recovery until CommitSnapshot renames it into place — a crash
+/// between the two steps leaves only the ignorable temp file, which is
+/// exactly the atomicity the crash-sim test exercises.
+Result<std::string> WriteSnapshotToTemp(const SnapshotState& state,
+                                        const std::string& dir);
+
+/// Atomically publishes a temp snapshot: rename(2) onto the final path
+/// followed by an fsync of the containing directory.
+Status CommitSnapshot(const std::string& temp_path,
+                      const std::string& final_path);
+
+/// WriteSnapshotToTemp + CommitSnapshot in one step.
+Status WriteSnapshot(const SnapshotState& state, const std::string& dir);
+
+/// Loads and CRC-validates one snapshot file.  Any damage (bad magic,
+/// bad checksum, malformed payload) is an error Status — the caller
+/// falls back to an older snapshot and counts the skip.
+Result<SnapshotState> LoadSnapshot(const std::string& path);
+
+/// Recreates the fact relations of `state` inside an empty `db`.
+Status BuildDatabaseFromSnapshot(const SnapshotState& state, Database* db);
+
+/// Captures every relation of `db` (schema + rows, insertion order)
+/// into `state->relations`.
+void CaptureDatabaseFacts(const Database& db, SnapshotState* state);
+
+}  // namespace entangled
+
+#endif  // ENTANGLED_STORAGE_SNAPSHOT_H_

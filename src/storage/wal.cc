@@ -1,0 +1,363 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace entangled {
+namespace {
+
+constexpr char kWalMagic[8] = {'E', 'W', 'A', 'L', '0', '0', '0', '1'};
+constexpr size_t kHeaderSize = 8 + 8 + 4;  // magic + epoch + header crc
+constexpr size_t kFrameOverhead = 4 + 4;   // payload length + payload crc
+
+/// CRC32C lookup table (Castagnoli polynomial 0x1EDC6F41, reflected
+/// form 0x82F63B78), built once on first use.
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutI64(std::vector<uint8_t>* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+/// Bounds-checked little-endian reader over a frame payload.
+class PayloadReader {
+ public:
+  PayloadReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (size_ - pos_ < 4) return ok_ = false;
+    *v = static_cast<uint32_t>(data_[pos_]) |
+         static_cast<uint32_t>(data_[pos_ + 1]) << 8 |
+         static_cast<uint32_t>(data_[pos_ + 2]) << 16 |
+         static_cast<uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    uint32_t lo = 0, hi = 0;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = static_cast<uint64_t>(lo) | static_cast<uint64_t>(hi) << 32;
+    return true;
+  }
+  bool ReadI64(int64_t* v) {
+    uint64_t raw = 0;
+    if (!ReadU64(&raw)) return false;
+    *v = static_cast<int64_t>(raw);
+    return true;
+  }
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (size_ - pos_ < len) return ok_ = false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Decodes one frame payload; false on a malformed payload (treated by
+/// the caller as corruption, exactly like a CRC failure).
+bool DecodeWalRecord(const uint8_t* data, size_t size, WalRecord* record) {
+  PayloadReader in(data, size);
+  if (size < 1) return false;
+  record->kind = static_cast<WalRecord::Kind>(data[0]);
+  PayloadReader body(data + 1, size - 1);
+  switch (record->kind) {
+    case WalRecord::Kind::kSubmit:
+      return body.ReadI64(&record->id) && body.ReadI64(&record->session) &&
+             body.ReadString(&record->text) && body.exhausted();
+    case WalRecord::Kind::kSubmitBatch: {
+      uint32_t count = 0;
+      if (!body.ReadI64(&record->session) || !body.ReadU32(&count)) {
+        return false;
+      }
+      record->batch.clear();
+      record->batch.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        int64_t id = -1;
+        std::string text;
+        if (!body.ReadI64(&id) || !body.ReadString(&text)) return false;
+        record->batch.emplace_back(id, std::move(text));
+      }
+      return body.exhausted();
+    }
+    case WalRecord::Kind::kCancel:
+      return body.ReadI64(&record->id) && body.ReadI64(&record->session) &&
+             body.exhausted();
+    case WalRecord::Kind::kSetEvaluateEvery:
+    case WalRecord::Kind::kDeliveryMark:
+      return body.ReadU64(&record->value) && body.exhausted();
+    case WalRecord::Kind::kFlush:
+      return body.exhausted();
+  }
+  return false;  // unknown kind byte
+}
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const uint32_t* table = Crc32cTable();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone:
+      return "none";
+    case FsyncPolicy::kEveryFlush:
+      return "every_flush";
+    case FsyncPolicy::kEveryRecord:
+      return "every_record";
+  }
+  return "unknown";
+}
+
+bool WalRecord::operator==(const WalRecord& other) const {
+  return kind == other.kind && id == other.id && session == other.session &&
+         text == other.text && batch == other.batch && value == other.value;
+}
+
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& record) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(record.kind));
+  switch (record.kind) {
+    case WalRecord::Kind::kSubmit:
+      PutI64(&out, record.id);
+      PutI64(&out, record.session);
+      PutString(&out, record.text);
+      break;
+    case WalRecord::Kind::kSubmitBatch:
+      PutI64(&out, record.session);
+      PutU32(&out, static_cast<uint32_t>(record.batch.size()));
+      for (const auto& [id, text] : record.batch) {
+        PutI64(&out, id);
+        PutString(&out, text);
+      }
+      break;
+    case WalRecord::Kind::kCancel:
+      PutI64(&out, record.id);
+      PutI64(&out, record.session);
+      break;
+    case WalRecord::Kind::kSetEvaluateEvery:
+    case WalRecord::Kind::kDeliveryMark:
+      PutU64(&out, record.value);
+      break;
+    case WalRecord::Kind::kFlush:
+      break;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     uint64_t epoch,
+                                                     FsyncPolicy policy) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open wal", path);
+  std::unique_ptr<WalWriter> writer(new WalWriter(path, fd, policy));
+  std::vector<uint8_t> header(kWalMagic, kWalMagic + sizeof(kWalMagic));
+  PutU64(&header, epoch);
+  PutU32(&header, Crc32c(header.data(), header.size()));
+  Status written = writer->WriteAll(header.data(), header.size());
+  if (!written.ok()) return written;
+  writer->stats_.bytes += header.size();
+  return writer;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
+    const std::string& path, uint64_t valid_bytes, FsyncPolicy policy) {
+  const int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) return ErrnoStatus("open wal", path);
+  // Drop the torn tail (if any) before resuming appends, so the frame
+  // stream stays parseable.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    ::close(fd);
+    return ErrnoStatus("truncate wal", path);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return ErrnoStatus("seek wal", path);
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(path, fd, policy));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::WriteAll(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd_, bytes + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write wal", path_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  const std::vector<uint8_t> payload = EncodeWalRecord(record);
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameOverhead + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32c(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  Status written = WriteAll(frame.data(), frame.size());
+  if (!written.ok()) return written;
+  ++stats_.appended_records;
+  stats_.bytes += frame.size();
+  if (policy_ == FsyncPolicy::kEveryRecord) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::MarkFlush() {
+  if (policy_ == FsyncPolicy::kEveryFlush) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync wal", path_);
+  ++stats_.fsyncs;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Segment scan
+// ---------------------------------------------------------------------------
+
+Result<WalReadResult> ReadWalSegment(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open wal", path);
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read wal", path);
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  ::close(fd);
+
+  WalReadResult result;
+  if (bytes.size() < kHeaderSize ||
+      std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    result.corrupt = true;
+    result.error = "wal segment " + path + ": missing or short header";
+    return result;
+  }
+  const uint32_t header_crc =
+      Crc32c(bytes.data(), kHeaderSize - 4);
+  PayloadReader header(bytes.data() + sizeof(kWalMagic),
+                       kHeaderSize - sizeof(kWalMagic));
+  uint32_t stored_crc = 0;
+  header.ReadU64(&result.epoch);
+  header.ReadU32(&stored_crc);
+  if (stored_crc != header_crc) {
+    result.corrupt = true;
+    result.error = "wal segment " + path + ": header CRC mismatch";
+    return result;
+  }
+
+  size_t pos = kHeaderSize;
+  result.valid_bytes = pos;
+  while (pos < bytes.size()) {
+    // A frame that does not fit in the remaining bytes is a torn tail:
+    // the crash interrupted the append mid-write.
+    if (bytes.size() - pos < kFrameOverhead) break;
+    PayloadReader frame(bytes.data() + pos, kFrameOverhead);
+    uint32_t len = 0, crc = 0;
+    frame.ReadU32(&len);
+    frame.ReadU32(&crc);
+    if (bytes.size() - pos - kFrameOverhead < len) break;
+    const uint8_t* payload = bytes.data() + pos + kFrameOverhead;
+    const bool crc_ok = Crc32c(payload, len) == crc;
+    WalRecord record;
+    if (!crc_ok || !DecodeWalRecord(payload, len, &record)) {
+      const bool at_tail = pos + kFrameOverhead + len == bytes.size();
+      if (at_tail) {
+        // A damaged *final* frame is indistinguishable from a crash
+        // that wrote the length before the payload landed: torn tail.
+        break;
+      }
+      result.corrupt = true;
+      result.error = "wal segment " + path + ": " +
+                     (crc_ok ? "malformed record" : "CRC mismatch") +
+                     " at offset " + std::to_string(pos) +
+                     " (records beyond it are unrecoverable)";
+      return result;
+    }
+    result.records.push_back(std::move(record));
+    pos += kFrameOverhead + len;
+    result.valid_bytes = pos;
+  }
+  if (result.valid_bytes < bytes.size()) {
+    result.torn_tail = true;
+    result.truncated_bytes = bytes.size() - result.valid_bytes;
+  }
+  return result;
+}
+
+}  // namespace entangled

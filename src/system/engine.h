@@ -224,6 +224,27 @@ class CoordinationService {
     gauges.live_shards = 1;
     return gauges;
   }
+
+  /// Restores the per-arrival evaluation phase — submissions admitted
+  /// since the last automatic evaluation — after a recovery replay
+  /// (storage/durable_service.h), so the resumed stream evaluates on
+  /// exactly the arrivals the uninterrupted stream would have.  Both
+  /// engines override; services without a cadence ignore it.
+  virtual void RestoreCadencePhase(size_t phase) { (void)phase; }
+
+  /// Declares the session on whose behalf the next calls are made (-1 =
+  /// direct use).  A durability decorator records the tag alongside each
+  /// logged event so recovery can rebuild session ownership; plain
+  /// engines ignore it.  Set by SessionManager around service calls.
+  virtual void set_session_tag(int64_t tag) { (void)tag; }
+
+  /// Appends service-specific monotone counters to a metrics snapshot
+  /// (SessionManager::Metrics). Plain engines add nothing; the durable
+  /// decorator reports its WAL/snapshot/recovery counters here.
+  virtual void AppendCounters(
+      std::vector<std::pair<std::string, uint64_t>>* counters) const {
+    (void)counters;
+  }
 };
 
 /// \brief The Youtopia-style coordination module (§6.1): queries arrive
@@ -383,6 +404,14 @@ class CoordinationEngine : public CoordinationService {
 
   /// Whether deferred admission is armed (EngineOptions::intake_capacity).
   bool AdmitsDeferred() const override { return intake_ != nullptr; }
+
+  /// Recovery hook: drains queued intake (its events carry the cadence
+  /// they arrived under), then pins the per-arrival phase so the next
+  /// submission counts from exactly where the snapshot froze it.
+  void RestoreCadencePhase(size_t phase) override {
+    DrainIntake();
+    since_last_eval_ = phase;
+  }
 
   /// Tickets claimed but not yet adopted by DrainIntake — a passive
   /// atomic read; never drains.

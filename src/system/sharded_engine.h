@@ -114,6 +114,10 @@ class ShardedCoordinationEngine : public CoordinationService {
     options_.engine.evaluate_every = evaluate_every;
   }
 
+  /// Recovery hook: pins the front door's per-arrival phase (no intake
+  /// to drain here — admission is always inline at the front door).
+  void RestoreCadencePhase(size_t phase) override { since_last_eval_ = phase; }
+
   Result<QueryId> Submit(const std::string& query_text) override;
   Result<std::vector<QueryId>> SubmitBatch(
       const std::vector<std::string>& query_texts) override;

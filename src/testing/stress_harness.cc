@@ -1,6 +1,10 @@
 #include "testing/stress_harness.h"
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -12,6 +16,8 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/validator.h"
+#include "storage/durable_service.h"
+#include "storage/snapshot.h"
 
 namespace entangled {
 namespace {
@@ -494,6 +500,165 @@ bool HasCancel(const std::vector<WorkloadEvent>& events) {
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Kill-and-rehydrate differential
+// ---------------------------------------------------------------------------
+
+/// Throwaway storage directory for one crash-recovery replay,
+/// recursively unlinked on scope exit (best-effort).
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    char tmpl[] = "/tmp/entangled_crash_XXXXXX";
+    char* made = mkdtemp(tmpl);
+    if (made != nullptr) path_ = made;
+  }
+  ~ScopedTempDir() {
+    if (path_.empty()) return;
+    DIR* dir = opendir(path_.c_str());
+    if (dir != nullptr) {
+      while (dirent* entry = readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path_ + "/" + name).c_str());
+      }
+      closedir(dir);
+    }
+    ::rmdir(path_.c_str());
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+  const std::string& path() const { return path_; }
+  bool ok() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
+
+/// Replays `events` with a crash in the middle: a durable-wrapped
+/// engine runs the first `crash_index` events and is then destroyed
+/// where it stands (no snapshot, no shutdown); a fresh engine is
+/// rehydrated from the storage directory (latest snapshot + WAL tail)
+/// and runs the remainder.  The returned StressReplay holds the
+/// *concatenated* pre-crash + post-recovery delivery stream in durable
+/// ids — which are the oracle's global ids — so CompareRuns can hold it
+/// to the uninterrupted oracle byte for byte.  Delivery sequences must
+/// resume, not restart, across the crash; the recording callback
+/// enforces that directly.
+StressReplay CrashRecoveryReplay(const Database& db,
+                                 const EngineVariant& variant,
+                                 const std::vector<WorkloadEvent>& events,
+                                 size_t crash_index) {
+  StressReplay run;
+  ScopedTempDir dir;
+  if (!dir.ok()) {
+    run.error = "crash: mkdtemp failed";
+    return run;
+  }
+  const std::vector<WorkloadEvent> prefix(events.begin(),
+                                          events.begin() + crash_index);
+  const std::vector<WorkloadEvent> suffix(events.begin() + crash_index,
+                                          events.end());
+
+  DurabilityOptions durability;
+  durability.dir = dir.path();
+  // The "crash" is in-process (destructors run, the page cache is
+  // coherent), so no fsync is needed for the differential — and kNone
+  // keeps the deep sweep fast.
+  durability.fsync = FsyncPolicy::kNone;
+  durability.snapshot_every_events = 7;  // exercise rotation mid-stream
+  durability.initial_evaluate_every = variant.engine.evaluate_every;
+
+  auto record = [&run](const Delivery& delivery) {
+    if (delivery.sequence != run.log.size() && run.error.empty()) {
+      run.error = "crash: delivery sequence " +
+                  std::to_string(delivery.sequence) + " but " +
+                  std::to_string(run.log.size()) +
+                  " deliveries observed before it (sequences must resume "
+                  "across recovery, not restart)";
+    }
+    CoordinationSolution solution = SolutionFromDelivery(delivery);
+    run.log.push_back(StressDelivery{std::move(solution.queries),
+                                     std::move(solution.assignment)});
+  };
+
+  uint64_t pre_cancelled = 0;
+  {
+    EngineInstance inner = MakeEngine(db, variant);
+    auto durable = DurableCoordinationService::Create(inner.service.get(),
+                                                      &db, durability);
+    if (!durable.ok()) {
+      run.error = "crash: Create failed: " + durable.status().ToString();
+      return run;
+    }
+    (*durable)->set_delivery_callback(record);
+    std::string err = ReplayWorkloadEvents(durable->get(), prefix);
+    if (!err.empty()) {
+      run.error = "crash (pre-crash half): " + err;
+      return run;
+    }
+    pre_cancelled = (*durable)->StatsSnapshot().cancelled;
+    // Crash: scope exit destroys the decorator and the inner engine
+    // with whatever the WAL holds — no rotation, no final snapshot.
+  }
+
+  auto state = ReadDurableState(dir.path());
+  if (!state.ok()) {
+    run.error = "crash: ReadDurableState failed: " + state.status().ToString();
+    return run;
+  }
+  if (state->report.corruption_detected) {
+    run.error = "crash: clean log misread as corrupt: " +
+                state->report.corruption_detail;
+    return run;
+  }
+  // Replayed tail cancels were already counted by the pre-crash engine;
+  // subtract them so the concatenated stats.cancelled matches an
+  // uninterrupted run (a clean log re-applies every one: anomalies==0).
+  uint64_t tail_cancels = 0;
+  for (const WalRecord& tail_record : state->tail) {
+    if (tail_record.kind == WalRecord::Kind::kCancel) ++tail_cancels;
+  }
+
+  Database recovered_db;
+  Status facts = BuildDatabaseFromSnapshot(state->snapshot, &recovered_db);
+  if (!facts.ok()) {
+    run.error = "crash: BuildDatabaseFromSnapshot failed: " + facts.ToString();
+    return run;
+  }
+  EngineInstance inner = MakeEngine(recovered_db, variant);
+  auto durable = DurableCoordinationService::Create(inner.service.get(),
+                                                    &recovered_db, durability);
+  if (!durable.ok()) {
+    run.error = "crash: re-Create failed: " + durable.status().ToString();
+    return run;
+  }
+  (*durable)->set_delivery_callback(record);
+  Status recovered = (*durable)->Recover(std::move(*state),
+                                         /*sessions=*/nullptr);
+  if (!recovered.ok()) {
+    run.error = "crash: Recover failed: " + recovered.ToString();
+    return run;
+  }
+  const RecoveryReport& report = (*durable)->recovery_report();
+  if (report.anomalies > 0) {
+    run.error = "crash: " + std::to_string(report.anomalies) +
+                " replay anomalies on a clean log: " + report.ToString();
+    return run;
+  }
+  std::string err = ReplayWorkloadEvents(durable->get(), suffix);
+  if (!err.empty()) {
+    run.error = "crash (post-recovery half): " + err;
+    return run;
+  }
+  run.final_pending = (*durable)->PendingQueries();
+  run.pending_count = (*durable)->num_pending();
+  run.stats = (*durable)->StatsSnapshot();
+  run.stats.cancelled += pre_cancelled;
+  run.stats.cancelled -= tail_cancels;
+  return run;
+}
+
 }  // namespace
 
 std::string ReplayWorkloadEvents(CoordinationService* engine,
@@ -594,6 +759,42 @@ std::string StressHarness::CheckOnce(const Database& db,
     if (!err.empty()) return err;
     err = CompareRuns("oracle", oracle, label, run);
     if (!err.empty()) return err;
+  }
+  // Kill-and-rehydrate: wrap one inline incremental, one
+  // deferred-intake incremental, and one sharded variant in the
+  // durability decorator, crash after a stream-dependent prefix,
+  // recover from disk, and require the concatenated delivery stream —
+  // ids, witnesses, resumed sequences, final pending set — to be
+  // byte-identical to the uninterrupted oracle.
+  if (options_.crash_at_event > 0) {
+    const size_t crash_index = options_.crash_at_event % (events.size() + 1);
+    std::vector<std::pair<std::string, EngineVariant>> crashed;
+    const size_t inc_threads = options_.flush_thread_counts.front();
+    crashed.emplace_back(
+        "crash[incremental,flush_threads=" + std::to_string(inc_threads) + "]",
+        IncrementalVariant(inc_threads, options_.fault));
+    for (size_t capacity : capacities) {
+      if (capacity == 0) continue;
+      crashed.emplace_back("crash[incremental,intake=" +
+                               std::to_string(capacity) + "]",
+                           IncrementalVariant(1, options_.fault, capacity));
+      break;
+    }
+    if (!options_.shard_thread_counts.empty()) {
+      const size_t threads = options_.shard_thread_counts.front();
+      crashed.emplace_back(
+          "crash[sharded,shard_threads=" + std::to_string(threads) + "]",
+          ShardedVariant(threads, options_.fault));
+    }
+    for (const auto& [label, variant] : crashed) {
+      StressReplay run = CrashRecoveryReplay(db, variant, events, crash_index);
+      if (!run.error.empty()) {
+        return label + "@" + std::to_string(crash_index) + ": " + run.error;
+      }
+      err = CompareRuns("oracle", oracle,
+                        label + "@" + std::to_string(crash_index), run);
+      if (!err.empty()) return err;
+    }
   }
   // Rebuild-merge baseline: the small-into-large migration policy and
   // the historical rebuild-everything policy must be byte-identical

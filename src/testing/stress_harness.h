@@ -92,6 +92,18 @@ struct StressOptions {
   /// memo/skip machinery never *changes* an outcome relative to the
   /// plain incremental path.
   bool cross_delta_eval = true;
+
+  /// Arm the kill-and-rehydrate differential (0 disables).  Selected
+  /// variants — one inline incremental, one deferred-intake
+  /// incremental, one sharded — are wrapped in a
+  /// DurableCoordinationService over a throwaway storage directory and
+  /// "crashed" (destroyed where they stand, no shutdown) after
+  /// `crash_at_event % (events.size() + 1)` events; a fresh engine is
+  /// then rehydrated from disk and runs the remainder.  The
+  /// concatenation of the pre-crash and post-recovery delivery streams
+  /// must be byte-identical — ids, witnesses, resumed sequences, final
+  /// pending set — to the uninterrupted from-scratch oracle.
+  size_t crash_at_event = 0;
 };
 
 /// \brief One recorded delivery: engine ids plus the witness.

@@ -1,0 +1,247 @@
+// WAL segment round-trips, reopen-for-append, the fsync-policy matrix,
+// and torn-tail truncation (storage/wal.h).
+
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace entangled {
+namespace {
+
+/// Throwaway file path inside a per-test temp dir.
+class TempFile {
+ public:
+  explicit TempFile(const char* name) {
+    char tmpl[] = "/tmp/entangled_wal_XXXXXX";
+    char* made = mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    dir_ = made;
+    path_ = dir_ + "/" + name;
+  }
+  ~TempFile() {
+    ::unlink(path_.c_str());
+    ::rmdir(dir_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string dir_;
+  std::string path_;
+};
+
+std::vector<WalRecord> AllKinds() {
+  std::vector<WalRecord> records;
+  WalRecord submit;
+  submit.kind = WalRecord::Kind::kSubmit;
+  submit.id = 7;
+  submit.session = 2;
+  submit.text = "q7: answers(X) :- fact(X), other(X, Y)";
+  records.push_back(submit);
+  WalRecord batch;
+  batch.kind = WalRecord::Kind::kSubmitBatch;
+  batch.session = -1;
+  batch.batch = {{8, "q8: a(X) :- b(X)"}, {9, "q9: c(Y) :- d(Y)"}};
+  records.push_back(batch);
+  WalRecord cancel;
+  cancel.kind = WalRecord::Kind::kCancel;
+  cancel.id = 8;
+  cancel.session = 2;
+  records.push_back(cancel);
+  WalRecord rate;
+  rate.kind = WalRecord::Kind::kSetEvaluateEvery;
+  rate.value = 3;
+  records.push_back(rate);
+  WalRecord flush;
+  flush.kind = WalRecord::Kind::kFlush;
+  records.push_back(flush);
+  WalRecord mark;
+  mark.kind = WalRecord::Kind::kDeliveryMark;
+  mark.value = 41;
+  records.push_back(mark);
+  return records;
+}
+
+TEST(WalTest, RoundTripsEveryRecordKind) {
+  TempFile file("wal-0000000000.log");
+  auto writer = WalWriter::Create(file.path(), 5, FsyncPolicy::kNone);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  const std::vector<WalRecord> records = AllKinds();
+  for (const WalRecord& record : records) {
+    ASSERT_TRUE((*writer)->Append(record).ok());
+  }
+  EXPECT_EQ((*writer)->stats().appended_records, records.size());
+  writer->reset();
+
+  auto read = ReadWalSegment(file.path());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->epoch, 5u);
+  EXPECT_FALSE(read->torn_tail);
+  EXPECT_FALSE(read->corrupt);
+  ASSERT_EQ(read->records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(read->records[i] == records[i]) << "record " << i;
+  }
+}
+
+TEST(WalTest, ReopenForAppendResumesTheSegment) {
+  TempFile file("wal-0000000001.log");
+  const std::vector<WalRecord> records = AllKinds();
+  {
+    auto writer = WalWriter::Create(file.path(), 1, FsyncPolicy::kNone);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(records[0]).ok());
+    ASSERT_TRUE((*writer)->Append(records[1]).ok());
+  }
+  auto first = ReadWalSegment(file.path());
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->records.size(), 2u);
+
+  // Reopen at the scanned frontier (the recovery path) and extend.
+  auto writer = WalWriter::OpenForAppend(file.path(), first->valid_bytes,
+                                         FsyncPolicy::kNone);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Append(records[2]).ok());
+  writer->reset();
+
+  auto read = ReadWalSegment(file.path());
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 3u);
+  EXPECT_TRUE(read->records[2] == records[2]);
+}
+
+TEST(WalTest, FsyncPolicyMatrix) {
+  const std::vector<WalRecord> records = AllKinds();
+  struct Case {
+    FsyncPolicy policy;
+    uint64_t expect_fsyncs;  // after N appends + one MarkFlush
+  };
+  // kEveryRecord syncs per append; kEveryFlush only at the marker;
+  // kNone never (only the explicit Sync() used by rotation would).
+  const Case cases[] = {
+      {FsyncPolicy::kEveryRecord, records.size() + 0},
+      {FsyncPolicy::kEveryFlush, 1},
+      {FsyncPolicy::kNone, 0},
+  };
+  for (const Case& c : cases) {
+    TempFile file("wal-0000000002.log");
+    auto writer = WalWriter::Create(file.path(), 2, c.policy);
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& record : records) {
+      ASSERT_TRUE((*writer)->Append(record).ok());
+    }
+    ASSERT_TRUE((*writer)->MarkFlush().ok());
+    EXPECT_EQ((*writer)->stats().fsyncs, c.expect_fsyncs)
+        << FsyncPolicyName(c.policy);
+    // The unconditional Sync (snapshot rotation) counts under every
+    // policy.
+    ASSERT_TRUE((*writer)->Sync().ok());
+    EXPECT_EQ((*writer)->stats().fsyncs, c.expect_fsyncs + 1)
+        << FsyncPolicyName(c.policy);
+    EXPECT_GT((*writer)->stats().bytes, 0u);
+  }
+}
+
+TEST(WalTest, TornTailIsTruncatedAndResumable) {
+  TempFile file("wal-0000000003.log");
+  const std::vector<WalRecord> records = AllKinds();
+  uint64_t full_size = 0;
+  {
+    auto writer = WalWriter::Create(file.path(), 3, FsyncPolicy::kNone);
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& record : records) {
+      ASSERT_TRUE((*writer)->Append(record).ok());
+    }
+    full_size = (*writer)->stats().bytes;  // header + every frame
+  }
+  // Chop the final frame mid-payload: the classic crash artifact.
+  ASSERT_EQ(::truncate(file.path().c_str(),
+                       static_cast<off_t>(full_size - 3)),
+            0);
+  auto read = ReadWalSegment(file.path());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->torn_tail);
+  EXPECT_FALSE(read->corrupt);
+  EXPECT_GT(read->truncated_bytes, 0u);
+  ASSERT_EQ(read->records.size(), records.size() - 1);
+
+  // Recovery resumes by reopening at the consistent frontier; the
+  // re-appended record replaces the torn one cleanly.
+  auto writer = WalWriter::OpenForAppend(file.path(), read->valid_bytes,
+                                         FsyncPolicy::kNone);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(records.back()).ok());
+  writer->reset();
+  auto reread = ReadWalSegment(file.path());
+  ASSERT_TRUE(reread.ok());
+  EXPECT_FALSE(reread->torn_tail);
+  EXPECT_EQ(reread->records.size(), records.size());
+}
+
+TEST(WalTest, MidSegmentBitFlipIsCorruptionNotATail) {
+  TempFile file("wal-0000000004.log");
+  const std::vector<WalRecord> records = AllKinds();
+  {
+    auto writer = WalWriter::Create(file.path(), 4, FsyncPolicy::kNone);
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& record : records) {
+      ASSERT_TRUE((*writer)->Append(record).ok());
+    }
+  }
+  // Flip one payload bit in the *second* frame: a non-final frame
+  // failing its CRC is data corruption, and the scan must keep exactly
+  // the records before it.
+  const std::vector<uint8_t> first = EncodeWalRecord(records[0]);
+  const uint64_t offset = 20 + (8 + first.size()) + 8 + 2;
+  {
+    std::fstream f(file.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  }
+  auto read = ReadWalSegment(file.path());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->corrupt);
+  EXPECT_FALSE(read->error.empty());
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_TRUE(read->records[0] == records[0]);
+}
+
+TEST(WalTest, DamagedHeaderIsReportedNotCrashed) {
+  TempFile file("wal-0000000005.log");
+  {
+    std::ofstream f(file.path(), std::ios::binary);
+    f << "NOTAWAL!garbagegarbage";
+  }
+  auto read = ReadWalSegment(file.path());
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->corrupt);
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_FALSE(read->error.empty());
+}
+
+TEST(WalTest, Crc32cKnownVector) {
+  // RFC 3720 test vector: 32 zero bytes.
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // Chaining: crc(a+b) == crc(b, crc(a)).
+  const char* text = "coordination";
+  uint32_t whole = Crc32c(text, 12);
+  uint32_t chained = Crc32c(text + 5, 7, Crc32c(text, 5));
+  EXPECT_EQ(whole, chained);
+}
+
+}  // namespace
+}  // namespace entangled

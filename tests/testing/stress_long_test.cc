@@ -27,10 +27,16 @@ TEST(StressLong, DeepSweep) {
   if (!LongSweepArmed()) {
     GTEST_SKIP() << "set ENTANGLED_STRESS_LONG=1 to arm the deep sweep";
   }
-  StressHarness harness;
   size_t scenarios = 0;
   for (GraphTopology topology : AllTopologies()) {
     for (uint64_t seed = 1; seed <= 24; ++seed) {
+      // Cross the kill-and-rehydrate differential into the sweep: the
+      // crash point walks the stream with the seed (the harness takes
+      // it modulo events+1, so every region — genesis, mid-stream,
+      // past-the-end — gets hit across the sweep).
+      StressOptions stress;
+      stress.crash_at_event = 5 + 17 * seed;
+      StressHarness harness(stress);
       GeneratorOptions options;
       options.seed = 0xBEEF0000 + 1000 * static_cast<uint64_t>(topology) +
                      seed;

@@ -85,7 +85,13 @@ const Profile kProfiles[] = {
 };
 
 TEST(StressSmoke, SweepAllTopologies) {
-  StressHarness harness;
+  StressOptions stress;
+  // Every smoke scenario also runs the kill-and-rehydrate differential
+  // (durable-wrapped incremental + sharded variants crashed mid-stream
+  // and recovered from disk); the modulo in the harness turns this one
+  // knob into a stream-dependent crash point per scenario.
+  stress.crash_at_event = 11;
+  StressHarness harness(stress);
   size_t scenarios = 0;
   size_t total_deliveries = 0;
   for (GraphTopology topology : AllTopologies()) {
@@ -159,6 +165,37 @@ TEST(StressSmoke, QuotaArmedDifferential) {
   EXPECT_GT(total_bounces, 0u);
   std::printf("stress_smoke: quota-armed %zu scenarios, %zu bounces\n",
               scenarios, total_bounces);
+}
+
+/// Crash-point sweep: one cancel-and-batch-heavy scenario killed and
+/// rehydrated at many distinct event indices — including 0 (crash
+/// before anything, recover from the genesis snapshot) and past-the-end
+/// (crash after the last event, recover, deliver nothing new).  Each
+/// recovery must resume delivery sequences and reproduce the oracle
+/// stream byte for byte.
+TEST(StressSmoke, CrashPointSweep) {
+  for (size_t crash_at : {1u, 3u, 7u, 16u, 29u, 53u}) {
+    StressOptions stress;
+    stress.crash_at_event = crash_at;
+    // The durability overlay is the subject; skip the crossings that
+    // only re-verify engine internals to keep the tier-1 budget.
+    stress.run_metamorphic = false;
+    stress.cross_delta_eval = false;
+    stress.cross_rebuild_merges = false;
+    stress.session_count = 0;
+    StressHarness harness(stress);
+    GeneratorOptions options;
+    options.seed = 4242;
+    options.topology = GraphTopology::kErdosRenyi;
+    options.num_queries = 24;
+    options.cancel_rate = 0.3;
+    options.batch_rate = 0.4;
+    options.eval_every_rate = 0.2;
+    StressReport report = harness.RunScenario(options);
+    EXPECT_TRUE(report.ok) << "crash_at_event=" << crash_at << ": "
+                           << report.failure << "\n"
+                           << report.reproduction;
+  }
 }
 
 /// A larger single scenario exercising the parallel flush path with a

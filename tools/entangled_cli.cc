@@ -5,9 +5,12 @@
 //   entangled_cli coordinate --data FILE.edb --queries FILE.eq
 //                 [--algorithm scc|gupta|generic|single] [--quiet]
 //   entangled_cli sessions   --data FILE.edb --queries FILE.eq
-//                 [--sessions N] [--sharded] [--evaluate-every K] [--quiet]
+//                 [--sessions N] [--sharded] [--evaluate-every K]
+//                 [--record DIR] [--quiet]
 //   entangled_cli metrics    [--seed N] [--num-queries N] [--sessions N]
 //                 [--max-pending N] [--sharded] [--evaluate-every K]
+//                 [--record DIR]
+//   entangled_cli replay     DIR [--sharded] [--quiet]
 //
 // `coordinate` (the default when flags are given without a subcommand)
 // loads a database (db/loader.h format), parses entangled queries in
@@ -32,9 +35,25 @@
 // document is stable: two runs with the same flags agree on every field
 // except wall-clock timings (keys ending `_ns`, histogram `buckets`).
 //
+// `--record DIR` (sessions and metrics) wraps the engine in the
+// write-ahead-logging decorator (storage/durable_service.h): every
+// admitted event is logged to DIR, which must be empty — the run
+// leaves behind a genesis snapshot plus the WAL segment(s).
+//
+// `replay DIR` rehydrates a recorded directory: loads the newest
+// snapshot, replays the WAL tail through a SessionManager (delivery
+// sequences resume, not restart), prints the recovery report to
+// stderr and the observability snapshot as JSON to stdout.  Recovery
+// rotates the directory to a fresh snapshot, so a damaged tail is
+// healed in place and a second replay reads clean state.
+//
 // Exit codes: 0 = coordinating set(s) found; 2 = none exists;
 //             1 = usage/parse/validation error.
 
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -49,6 +68,8 @@
 #include "core/properties.h"
 #include "core/validator.h"
 #include "db/loader.h"
+#include "storage/durable_service.h"
+#include "storage/snapshot.h"
 #include "system/engine.h"
 #include "system/sharded_engine.h"
 #include "workload/generator.h"
@@ -72,6 +93,8 @@ struct CliOptions {
   uint64_t seed = 1;
   size_t num_queries = 48;
   size_t max_pending = 0;
+  // storage: --record DIR (sessions/metrics) or the replay directory
+  std::string storage_dir;
 };
 
 void PrintVersion() {
@@ -88,11 +111,14 @@ void PrintUsage() {
          "[--quiet]\n"
       << "       entangled_cli sessions --data FILE.edb --queries FILE.eq\n"
       << "                     [--sessions N] [--sharded] "
-         "[--evaluate-every K] [--quiet]\n"
+         "[--evaluate-every K]\n"
+      << "                     [--record DIR] [--quiet]\n"
       << "       entangled_cli metrics [--seed N] [--num-queries N] "
          "[--sessions N]\n"
       << "                     [--max-pending N] [--sharded] "
-         "[--evaluate-every K]\n\n"
+         "[--evaluate-every K]\n"
+      << "                     [--record DIR]\n"
+      << "       entangled_cli replay DIR [--sharded] [--quiet]\n\n"
       << "commands:\n"
       << "  coordinate   stream the queries through one client session,\n"
       << "               coordinate, validate, print grounded answers\n"
@@ -102,7 +128,11 @@ void PrintUsage() {
       << "               counts\n"
       << "  metrics      drive a seeded generator workload through N\n"
       << "               sessions and print the observability snapshot\n"
-      << "               as one JSON document (no input files needed)\n\n"
+      << "               as one JSON document (no input files needed)\n"
+      << "  replay       rehydrate a recorded storage directory (latest\n"
+      << "               snapshot + WAL tail) through a SessionManager\n"
+      << "               and print the observability snapshot as JSON;\n"
+      << "               the recovery report goes to stderr\n\n"
       << "options:\n"
       << "  --data            database instance (relation blocks; see "
          "docs)\n"
@@ -127,6 +157,10 @@ void PrintUsage() {
       << "  --max-pending N   metrics: per-session pending quota (default "
          "0:\n"
       << "                    unlimited; bounces are typed and counted)\n"
+      << "  --record DIR      sessions/metrics: write-ahead-log every\n"
+      << "                    admitted event to DIR (created if missing,\n"
+      << "                    must hold no prior recording); replay the\n"
+      << "                    result with 'entangled_cli replay DIR'\n"
       << "  --quiet           print only the coordinating sets\n"
       << "  --help, -h        this text\n"
       << "  --version         version string\n";
@@ -192,6 +226,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, int* exit_code) {
         return false;
       }
       options->max_pending = static_cast<size_t>(n);
+    } else if (arg == "--record") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::cerr << "--record wants a directory path\n";
+        return false;
+      }
+      options->storage_dir = v;
     } else if (arg == "--sharded") {
       options->sharded = true;
     } else if (arg == "--quiet") {
@@ -207,13 +248,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, int* exit_code) {
     } else if (!saw_command && !arg.empty() && arg[0] != '-') {
       options->command = arg;
       saw_command = true;
+    } else if (saw_command && options->command == "replay" && !arg.empty() &&
+               arg[0] != '-' && options->storage_dir.empty()) {
+      options->storage_dir = arg;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return false;
     }
   }
   if (options->command != "coordinate" && options->command != "sessions" &&
-      options->command != "metrics") {
+      options->command != "metrics" && options->command != "replay") {
     std::cerr << "unknown command: " << options->command << "\n";
     return false;
   }
@@ -223,6 +267,24 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, int* exit_code) {
                  "--algorithm " << options->algorithm
               << " is a coordinate-command reference path\n";
     return false;
+  }
+  if (options->command == "coordinate" && !options->storage_dir.empty()) {
+    std::cerr << "--record applies to the sessions and metrics front "
+                 "doors\n";
+    return false;
+  }
+  if (options->command == "replay") {
+    if (options->storage_dir.empty()) {
+      std::cerr << "replay wants a storage directory: entangled_cli "
+                   "replay DIR\n";
+      return false;
+    }
+    if (!options->data_path.empty() || !options->queries_path.empty()) {
+      std::cerr << "replay reads everything from the storage directory; "
+                   "--data/--queries do not apply\n";
+      return false;
+    }
+    return true;
   }
   if (options->command == "metrics") {
     if (!options->data_path.empty() || !options->queries_path.empty()) {
@@ -288,6 +350,50 @@ bool ValidateDelivered(const Database& db, const QuerySet& master,
               << valid << "\n";
     return false;
   }
+  return true;
+}
+
+/// Ensures `--record DIR` points at a usable, empty recording target:
+/// creates the directory when missing and refuses one that already
+/// holds a recording (overwriting a prior log silently would defeat
+/// the point of durability).
+bool PrepareRecordingDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::cerr << "--record " << dir << ": cannot create directory\n";
+    return false;
+  }
+  auto listing = ListStorageDir(dir);
+  if (!listing.ok()) {
+    std::cerr << "--record " << dir << ": " << listing.status() << "\n";
+    return false;
+  }
+  if (!listing->snapshot_epochs.empty() || !listing->wal_epochs.empty()) {
+    std::cerr << "--record " << dir
+              << ": directory already holds a recording; replay it with "
+                 "'entangled_cli replay " << dir
+              << "' or point --record somewhere fresh\n";
+    return false;
+  }
+  return true;
+}
+
+/// Wraps `inner` in the write-ahead-logging decorator recording to
+/// `dir` (fresh genesis, so durable ids coincide with inner ids and
+/// Definition-1 validation against the inner master set still holds).
+bool WrapWithRecorder(
+    CoordinationService* inner, const Database& db, const std::string& dir,
+    size_t evaluate_every,
+    std::unique_ptr<DurableCoordinationService>* recorder) {
+  DurabilityOptions durability;
+  durability.dir = dir;
+  durability.fsync = FsyncPolicy::kEveryFlush;
+  durability.initial_evaluate_every = evaluate_every;
+  auto created = DurableCoordinationService::Create(inner, &db, durability);
+  if (!created.ok()) {
+    std::cerr << "--record " << dir << ": " << created.status() << "\n";
+    return false;
+  }
+  *recorder = std::move(*created);
   return true;
 }
 
@@ -427,7 +533,18 @@ int RunSessions(const CliOptions& options, const Database& db,
     service = std::move(engine);
   }
 
-  SessionManager manager(service.get());
+  std::unique_ptr<DurableCoordinationService> recorder;
+  CoordinationService* front = service.get();
+  if (!options.storage_dir.empty()) {
+    if (!PrepareRecordingDir(options.storage_dir)) return 1;
+    if (!WrapWithRecorder(service.get(), db, options.storage_dir,
+                          options.evaluate_every, &recorder)) {
+      return 1;
+    }
+    front = recorder.get();
+  }
+
+  SessionManager manager(front);
   std::vector<ClientSession*> sessions;
   for (size_t i = 0; i < options.num_sessions; ++i) {
     sessions.push_back(manager.Open());
@@ -479,6 +596,11 @@ int RunSessions(const CliOptions& options, const Database& db,
     std::cout << "\n";
   }
   std::cout << "total pending: " << manager.num_pending() << "\n";
+  if (recorder != nullptr && !options.quiet) {
+    const WalStats wal = recorder->wal_stats();
+    std::cout << "recorded " << wal.appended_records << " events ("
+              << wal.bytes << " bytes) to " << options.storage_dir << "\n";
+  }
   return delivered_events > 0 ? 0 : 2;
 }
 
@@ -505,7 +627,17 @@ int RunMetrics(const CliOptions& options) {
     engine_options.evaluate_every = options.evaluate_every;
     service = std::make_unique<CoordinationEngine>(&db, engine_options);
   }
-  SessionManager manager(service.get());
+  std::unique_ptr<DurableCoordinationService> recorder;
+  CoordinationService* front = service.get();
+  if (!options.storage_dir.empty()) {
+    if (!PrepareRecordingDir(options.storage_dir)) return 1;
+    if (!WrapWithRecorder(service.get(), db, options.storage_dir,
+                          options.evaluate_every, &recorder)) {
+      return 1;
+    }
+    front = recorder.get();
+  }
+  SessionManager manager(front);
   SessionOptions session_options;
   session_options.max_pending = options.max_pending;
   std::vector<ClientSession*> sessions;
@@ -568,6 +700,74 @@ int RunMetrics(const CliOptions& options) {
   return 0;
 }
 
+int RunReplay(const CliOptions& options) {
+  auto state = ReadDurableState(options.storage_dir);
+  if (!state.ok()) {
+    std::cerr << options.storage_dir << ": " << state.status() << "\n";
+    return 1;
+  }
+
+  // Rebuild the fact database the snapshot captured, then stand up the
+  // same stack a recording run uses: inner engine -> durability
+  // decorator -> session manager.
+  Database db;
+  if (Status built = BuildDatabaseFromSnapshot(state->snapshot, &db);
+      !built.ok()) {
+    std::cerr << options.storage_dir << ": " << built << "\n";
+    return 1;
+  }
+  std::unique_ptr<CoordinationService> service;
+  if (options.sharded) {
+    ShardedEngineOptions sharded_options;
+    sharded_options.engine.evaluate_every = 1;
+    service =
+        std::make_unique<ShardedCoordinationEngine>(&db, sharded_options);
+  } else {
+    EngineOptions engine_options;
+    engine_options.evaluate_every = 1;
+    service = std::make_unique<CoordinationEngine>(&db, engine_options);
+  }
+  DurabilityOptions durability;
+  durability.dir = options.storage_dir;
+  durability.fsync = FsyncPolicy::kEveryFlush;
+  auto durable = DurableCoordinationService::Create(service.get(), &db,
+                                                    durability);
+  if (!durable.ok()) {
+    std::cerr << options.storage_dir << ": " << durable.status() << "\n";
+    return 1;
+  }
+
+  // Session tags in the log are manager-assigned ids (0-based), so
+  // reopening max_tag + 1 sessions reproduces the original addressing.
+  int64_t max_tag = -1;
+  for (const SnapshotPendingQuery& pending : state->snapshot.pending) {
+    max_tag = std::max(max_tag, pending.session);
+  }
+  for (const WalRecord& record : state->tail) {
+    max_tag = std::max(max_tag, record.session);
+  }
+  SessionManager manager((*durable).get());
+  std::vector<ClientSession*> sessions;
+  for (int64_t tag = 0; tag <= max_tag; ++tag) {
+    sessions.push_back(manager.Open());
+  }
+
+  if (Status recovered = (*durable)->Recover(std::move(*state), &manager);
+      !recovered.ok()) {
+    std::cerr << options.storage_dir << ": " << recovered << "\n";
+    return 1;
+  }
+  const RecoveryReport& report = (*durable)->recovery_report();
+  if (!options.quiet) std::cerr << report.ToString() << "\n";
+
+  // Drain the reforwarded (in-flight-at-crash) deliveries so the
+  // printed snapshot reflects settled per-session state.
+  for (ClientSession* session : sessions) session->PollEvents();
+
+  std::cout << manager.Metrics().ToJson() << "\n";
+  return report.corruption_detected ? 2 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -576,6 +776,7 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &options, &exit_code)) return exit_code;
 
   if (options.command == "metrics") return RunMetrics(options);
+  if (options.command == "replay") return RunReplay(options);
 
   Database db;
   QuerySet queries;

@@ -21,6 +21,7 @@ benches=(
   bench_delta_eval
   bench_session_quota
   bench_shard_merge
+  bench_wal
 )
 
 status=0
@@ -128,5 +129,56 @@ PY
     status=1
   fi
   rm -f "$snap_a" "$snap_b"
+fi
+
+# ---------------------------------------------------------------------------
+# Durability counters: a --record run must surface the wal.*/snapshot.*
+# counters in the metrics snapshot, and replaying the recorded
+# directory must surface non-zero recovery.* counters.
+# ---------------------------------------------------------------------------
+if [[ -x "$cli" ]]; then
+  echo "== entangled_cli --record/replay: durability counter schema"
+  rec_root="$(mktemp -d)"
+  snap_rec="$(mktemp)"
+  snap_replay="$(mktemp)"
+  if "$cli" metrics --seed 7 --num-queries 64 --sessions 3 \
+        --record "$rec_root/wal" > "$snap_rec" \
+     && "$cli" replay "$rec_root/wal" --quiet > "$snap_replay" \
+     && python3 - "$snap_rec" "$snap_replay" <<'PY'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+recorded, replayed = load(sys.argv[1]), load(sys.argv[2])
+keys = ("wal.appended_records", "wal.bytes", "wal.fsyncs",
+        "snapshot.count", "recovery.replayed_events",
+        "recovery.truncated_bytes")
+for doc, label in ((recorded, "recorded"), (replayed, "replayed")):
+    counters = doc["counters"]
+    for key in keys:
+        assert key in counters, f"{label}: missing counter {key}"
+        assert isinstance(counters[key], int), f"{label}: {key}"
+rc = recorded["counters"]
+assert rc["wal.appended_records"] > 0, "recording logged nothing"
+assert rc["wal.bytes"] > rc["wal.appended_records"], "framing overhead?"
+assert rc["snapshot.count"] >= 1, "no genesis snapshot"
+assert rc["recovery.replayed_events"] == 0, "fresh recording replayed?"
+pc = replayed["counters"]
+assert pc["recovery.replayed_events"] == rc["wal.appended_records"], (
+    "replay re-applied %d of %d recorded events"
+    % (pc["recovery.replayed_events"], rc["wal.appended_records"]))
+print("durability counters: schema OK, replay re-applied "
+      f'{pc["recovery.replayed_events"]} events')
+PY
+  then
+    :
+  else
+    echo "FAIL entangled_cli --record/replay: durability counters" >&2
+    status=1
+  fi
+  rm -rf "$rec_root"
+  rm -f "$snap_rec" "$snap_replay"
 fi
 exit "$status"
